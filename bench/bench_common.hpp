@@ -1,0 +1,39 @@
+// Shared fixtures for the benchmark suite: the demo corpus, engine, and
+// model are built once per process (corpus generation is itself measured
+// separately where relevant).
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "core/session.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/model_gen.hpp"
+#include "synth/scada.hpp"
+
+namespace cybok::bench {
+
+inline const kb::Corpus& demo_corpus() {
+    static const kb::Corpus corpus =
+        synth::generate_corpus(synth::CorpusProfile::scada_demo());
+    return corpus;
+}
+
+inline const search::SearchEngine& demo_engine() {
+    static const search::SearchEngine engine(demo_corpus());
+    return engine;
+}
+
+/// Standard main: print a preamble (the reproduced table), then run the
+/// registered benchmarks.
+#define CYBOK_BENCH_MAIN(preamble_fn)                                   \
+    int main(int argc, char** argv) {                                   \
+        preamble_fn();                                                  \
+        benchmark::Initialize(&argc, argv);                             \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+        benchmark::RunSpecifiedBenchmarks();                            \
+        benchmark::Shutdown();                                          \
+        return 0;                                                       \
+    }
+
+} // namespace cybok::bench

@@ -1,0 +1,151 @@
+// Section 3: "the total number of attack vectors returned by the search
+// process is large. Filtering functionality is implemented to manage these
+// attack vectors." Preamble: the filter funnel on the noisiest attribute.
+// Benchmarks: filter-pipeline ablation (none / severity / top-k / class /
+// combined) and the ordering design choice (cheap-first vs selective-first).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dashboard/table.hpp"
+#include "search/filters.hpp"
+
+using namespace cybok;
+using namespace cybok::search;
+using cybok::bench::demo_engine;
+
+namespace {
+
+std::vector<Match> noisy_matches() {
+    model::Attribute attr;
+    attr.name = "os";
+    attr.value = "NI RT Linux OS";
+    attr.kind = model::AttributeKind::PlatformRef;
+    attr.platform = kb::Platform{kb::PlatformPart::OperatingSystem, "ni", "rt_linux", ""};
+    return demo_engine().query_attribute(attr);
+}
+
+void print_funnel() {
+    std::vector<Match> matches = noisy_matches();
+    std::printf("Filter funnel on the noisiest attribute (NI RT Linux OS, %zu vectors)\n",
+                matches.size());
+
+    struct Config {
+        const char* name;
+        FilterChain chain;
+    };
+    std::vector<Config> configs;
+    configs.push_back({"no filter", FilterChain{}});
+    {
+        FilterChain c;
+        c.add(min_severity(cvss::Severity::High));
+        configs.push_back({"severity >= High", std::move(c)});
+    }
+    {
+        FilterChain c;
+        c.add(min_severity(cvss::Severity::Critical));
+        configs.push_back({"severity >= Critical", std::move(c)});
+    }
+    {
+        FilterChain c;
+        c.top_k_per_class(25);
+        configs.push_back({"top-25 per class", std::move(c)});
+    }
+    {
+        FilterChain c;
+        c.add(by_class(VectorClass::Weakness));
+        configs.push_back({"weaknesses only", std::move(c)});
+    }
+    {
+        FilterChain c;
+        c.add(min_severity(cvss::Severity::High)).top_k_per_class(25);
+        configs.push_back({"severity + top-25", std::move(c)});
+    }
+
+    dashboard::TextTable table({"Filter", "Survivors", "Reduction"});
+    table.align_right(1).align_right(2);
+    for (const Config& cfg : configs) {
+        auto kept = cfg.chain.apply(matches);
+        char pct[16];
+        std::snprintf(pct, sizeof pct, "%.1f%%",
+                      100.0 * (1.0 - static_cast<double>(kept.size()) /
+                                          static_cast<double>(matches.size())));
+        table.add_row({cfg.name, std::to_string(kept.size()), pct});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+}
+
+void BM_FilterNone(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+    state.counters["survivors"] = static_cast<double>(chain.apply(matches).size());
+}
+BENCHMARK(BM_FilterNone)->Unit(benchmark::kMillisecond);
+
+void BM_FilterSeverity(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    chain.add(min_severity(cvss::Severity::High));
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+    state.counters["survivors"] = static_cast<double>(chain.apply(matches).size());
+}
+BENCHMARK(BM_FilterSeverity)->Unit(benchmark::kMillisecond);
+
+void BM_FilterTopK(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    chain.top_k_per_class(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+}
+BENCHMARK(BM_FilterTopK)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_FilterCombined(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    chain.add(min_severity(cvss::Severity::High)).top_k_per_class(25);
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+    state.counters["survivors"] = static_cast<double>(chain.apply(matches).size());
+}
+BENCHMARK(BM_FilterCombined)->Unit(benchmark::kMillisecond);
+
+// Design-choice ablation: running the selective class filter before the
+// (CVSS-parsing, hence expensive) severity filter vs after.
+void BM_FilterOrder_SelectiveFirst(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    chain.add(by_class(VectorClass::Weakness)).add(min_severity(cvss::Severity::High));
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+}
+BENCHMARK(BM_FilterOrder_SelectiveFirst)->Unit(benchmark::kMillisecond);
+
+void BM_FilterOrder_ExpensiveFirst(benchmark::State& state) {
+    auto matches = noisy_matches();
+    FilterChain chain;
+    chain.add(min_severity(cvss::Severity::High)).add(by_class(VectorClass::Weakness));
+    for (auto _ : state) {
+        auto kept = chain.apply(matches);
+        benchmark::DoNotOptimize(kept);
+    }
+}
+BENCHMARK(BM_FilterOrder_ExpensiveFirst)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+CYBOK_BENCH_MAIN(print_funnel)

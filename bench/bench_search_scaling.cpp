@@ -1,0 +1,103 @@
+// Substrate scaling: index build time and query latency as the corpus
+// grows, and the BM25-vs-TFIDF ranking ablation called out in DESIGN.md.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace cybok;
+
+namespace {
+
+const kb::Corpus& corpus_at_scale(int permille) {
+    // Cache one corpus per scale so setup cost is paid once.
+    static std::map<int, kb::Corpus> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        it = cache.emplace(permille, synth::generate_corpus(synth::CorpusProfile::scaled(
+                                        permille / 1000.0, 31))).first;
+    }
+    return it->second;
+}
+
+void preamble() {
+    std::printf("Search-engine scaling (corpus scale factor sweep)\n\n");
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        search::SearchEngine engine(corpus);
+        benchmark::DoNotOptimize(&engine);
+    }
+    state.counters["docs"] = static_cast<double>(
+        corpus.stats().patterns + corpus.stats().weaknesses + corpus.stats().vulnerabilities);
+}
+BENCHMARK(BM_IndexBuild)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryLatencyVsScale(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::SearchEngine engine(corpus);
+    model::Attribute attr;
+    attr.name = "role";
+    attr.value = "scada controller modbus command injection";
+    attr.kind = model::AttributeKind::Descriptor;
+    for (auto _ : state) {
+        auto matches = engine.query_attribute(attr);
+        benchmark::DoNotOptimize(matches);
+    }
+}
+BENCHMARK(BM_QueryLatencyVsScale)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+// Ranker ablation at full scale.
+void BM_RankerBm25(benchmark::State& state) {
+    search::EngineOptions opts;
+    opts.ranker = search::EngineOptions::Ranker::Bm25;
+    search::SearchEngine engine(cybok::bench::demo_corpus(), opts);
+    for (auto _ : state) {
+        auto hits = engine.query_text("linux kernel privilege escalation",
+                                      search::VectorClass::Weakness);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_RankerBm25);
+
+void BM_RankerTfidf(benchmark::State& state) {
+    search::EngineOptions opts;
+    opts.ranker = search::EngineOptions::Ranker::Tfidf;
+    search::SearchEngine engine(cybok::bench::demo_corpus(), opts);
+    for (auto _ : state) {
+        auto hits = engine.query_text("linux kernel privilege escalation",
+                                      search::VectorClass::Weakness);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_RankerTfidf);
+
+// Exact-CPE vs lexical vulnerability association (the second ablation).
+void BM_VulnViaPlatformBinding(benchmark::State& state) {
+    search::SearchEngine engine(cybok::bench::demo_corpus());
+    kb::Platform p{kb::PlatformPart::OperatingSystem, "microsoft", "windows_7", ""};
+    for (auto _ : state) {
+        auto hits = engine.query_platform(p);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_VulnViaPlatformBinding);
+
+void BM_VulnViaLexical(benchmark::State& state) {
+    search::EngineOptions opts;
+    opts.lexical_vulnerabilities = true;
+    search::SearchEngine engine(cybok::bench::demo_corpus(), opts);
+    for (auto _ : state) {
+        auto hits = engine.query_text("Windows 7 release", search::VectorClass::Vulnerability);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_VulnViaLexical);
+
+} // namespace
+
+CYBOK_BENCH_MAIN(preamble)

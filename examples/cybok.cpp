@@ -1,0 +1,193 @@
+// cybok — the command-line interface to the toolkit, mirroring the
+// paper's "CYBOK command line interface" companion tool. Everything the
+// library does, scriptable over files:
+//
+//   cybok generate  --out corpus.json [--scale F] [--seed N]
+//   cybok model     --demo centrifuge|centrifuge-hardened|uav --out sys.sysm
+//   cybok search    --corpus corpus.json --query "text" [--class CLASS]
+//   cybok associate --corpus corpus.json --model sys.sysm [--out assoc.json]
+//   cybok report    --corpus corpus.json --model sys.sysm --out-dir DIR [--hazards demo]
+//   cybok table1
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/session.hpp"
+#include "dashboard/vector_graph.hpp"
+#include "graph/graphml.hpp"
+#include "kb/serialize.hpp"
+#include "model/dsl.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+
+namespace {
+
+/// --key value argument bag.
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) throw Error("unexpected argument: " + key);
+            key = key.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+    [[nodiscard]] std::string require(const std::string& key) const {
+        auto it = values_.find(key);
+        if (it == values_.end()) throw Error("missing required option --" + key);
+        return it->second;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+model::SystemModel demo_model(const std::string& name) {
+    if (name == "centrifuge") return synth::centrifuge_model();
+    if (name == "centrifuge-hardened") return synth::centrifuge_model_hardened();
+    if (name == "uav") return synth::uav_model();
+    throw Error("unknown demo model: " + name + " (try centrifuge|centrifuge-hardened|uav)");
+}
+
+int cmd_generate(const Args& args) {
+    double scale = std::stod(args.get("scale", "1.0"));
+    std::uint64_t seed = std::stoull(args.get("seed", "20200629"));
+    synth::CorpusProfile profile = scale == 1.0 ? synth::CorpusProfile::scada_demo()
+                                                : synth::CorpusProfile::scaled(scale, seed);
+    profile.seed = seed;
+    kb::Corpus corpus = synth::generate_corpus(profile);
+    kb::save_corpus(args.require("out"), corpus);
+    kb::Corpus::Stats s = corpus.stats();
+    std::printf("wrote %s: %zu patterns, %zu weaknesses, %zu vulnerabilities\n",
+                args.require("out").c_str(), s.patterns, s.weaknesses, s.vulnerabilities);
+    return 0;
+}
+
+int cmd_model(const Args& args) {
+    model::SystemModel m = demo_model(args.get("demo", "centrifuge"));
+    model::save_dsl(args.require("out"), m);
+    std::printf("wrote %s: %zu components, %zu connectors\n", args.require("out").c_str(),
+                m.component_count(), m.connectors().size());
+    return 0;
+}
+
+int cmd_search(const Args& args) {
+    kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
+    search::SearchEngine engine(corpus);
+    std::string cls_name = args.get("class", "");
+    std::vector<search::VectorClass> classes;
+    if (cls_name.empty()) {
+        classes = {search::VectorClass::AttackPattern, search::VectorClass::Weakness,
+                   search::VectorClass::Vulnerability};
+    } else if (cls_name == "pattern") classes = {search::VectorClass::AttackPattern};
+    else if (cls_name == "weakness") classes = {search::VectorClass::Weakness};
+    else if (cls_name == "vulnerability") classes = {search::VectorClass::Vulnerability};
+    else throw Error("unknown --class: " + cls_name);
+
+    std::size_t limit = std::stoul(args.get("limit", "10"));
+    for (search::VectorClass cls : classes) {
+        auto hits = engine.query_text(args.require("query"), cls);
+        std::printf("%s: %zu hits\n", std::string(vector_class_name(cls)).c_str(),
+                    hits.size());
+        for (std::size_t i = 0; i < hits.size() && i < limit; ++i)
+            std::printf("  %-14s score=%.3f  %s\n", hits[i].id.c_str(), hits[i].score,
+                        hits[i].title.c_str());
+    }
+    return 0;
+}
+
+int cmd_associate(const Args& args) {
+    kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
+    model::SystemModel m = model::load_dsl(args.require("model"));
+    core::AnalysisSession session(std::move(m), corpus);
+    const search::AssociationMap& assoc = session.associations();
+    std::fputs(dashboard::attribute_summary_table(assoc).render().c_str(), stdout);
+    std::string out = args.get("out");
+    if (!out.empty()) {
+        json::save_file(out, dashboard::associations_to_json(assoc));
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int cmd_report(const Args& args) {
+    kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
+    model::SystemModel m = model::load_dsl(args.require("model"));
+    core::AnalysisSession session(std::move(m), corpus);
+    if (args.get("hazards") == "demo") {
+        if (session.model().name().rfind("uav", 0) == 0)
+            session.set_hazards(synth::uav_hazards());
+        else
+            session.set_hazards(synth::centrifuge_hazards());
+    }
+    for (const std::string& f : session.export_bundle(args.require("out-dir")))
+        std::printf("wrote %s\n", f.c_str());
+    // Also write the merged component/attack-vector graph.
+    graph::PropertyGraph vg = dashboard::build_vector_graph(
+        session.model(), session.associations(), session.corpus());
+    std::string path = args.require("out-dir") + "/vector_graph.graphml";
+    graph::save_graphml(path, vg);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+int cmd_table1(const Args&) {
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scada_demo());
+    core::AnalysisSession session(synth::centrifuge_model(), corpus);
+    std::fputs(dashboard::attribute_summary_table(session.associations()).render().c_str(),
+               stdout);
+    return 0;
+}
+
+void usage() {
+    std::fputs(
+        "usage: cybok <command> [options]\n"
+        "  generate  --out corpus.json [--scale F] [--seed N]   synthesize a corpus\n"
+        "  model     --demo NAME --out sys.sysm                 write a demo model (DSL)\n"
+        "  search    --corpus C --query Q [--class K] [--limit N]\n"
+        "  associate --corpus C --model M [--out assoc.json]\n"
+        "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
+        "  table1                                               reproduce the paper's Table 1\n",
+        stderr);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (command == "generate") return cmd_generate(args);
+        if (command == "model") return cmd_model(args);
+        if (command == "search") return cmd_search(args);
+        if (command == "associate") return cmd_associate(args);
+        if (command == "report") return cmd_report(args);
+        if (command == "table1") return cmd_table1(args);
+        usage();
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "cybok %s: error: %s\n", command.c_str(), e.what());
+        return 2;
+    }
+}

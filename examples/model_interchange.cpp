@@ -1,0 +1,40 @@
+// Model interchange: export the SCADA architecture to GraphML (the format
+// the paper's SysML exporter emits), reload it, and show that the security
+// analysis is identical on the round-tripped model — the modularity
+// property that lets any modeling language participate in the pipeline.
+//
+//   $ ./model_interchange
+
+#include <iostream>
+
+#include "core/session.hpp"
+#include "graph/graphml.hpp"
+#include "model/export.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+
+int main() {
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scada_demo());
+
+    // Export: model -> general architectural graph -> GraphML text.
+    model::SystemModel original = synth::centrifuge_model();
+    std::string graphml = graph::to_graphml(model::to_graph(original), original.name());
+    std::cout << "GraphML export: " << graphml.size() << " bytes\n";
+
+    // A different tool imports the same document...
+    model::SystemModel imported = model::from_graph(graph::from_graphml(graphml));
+    std::cout << "Imported " << imported.component_count() << " components, "
+              << imported.connectors().size() << " connectors\n";
+
+    // ...and the security analysis agrees.
+    core::AnalysisSession a(std::move(original), corpus);
+    core::AnalysisSession b(std::move(imported), corpus);
+    std::cout << "original total vectors:     " << a.associations().total() << '\n';
+    std::cout << "round-tripped total vectors: " << b.associations().total() << '\n';
+    std::cout << (a.associations().total() == b.associations().total()
+                      ? "analysis identical after round trip\n"
+                      : "MISMATCH\n");
+    return 0;
+}

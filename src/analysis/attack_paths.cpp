@@ -1,0 +1,79 @@
+#include "analysis/attack_paths.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "model/export.hpp"
+
+namespace cybok::analysis {
+
+std::vector<AttackPath> attack_paths(const model::SystemModel& m,
+                                     const search::AssociationMap& associations,
+                                     std::string_view target,
+                                     const AttackPathOptions& options) {
+    std::vector<AttackPath> out;
+    if (options.min_vectors_per_hop == 0)
+        throw ValidationError("attack paths: min_vectors_per_hop must be >= 1");
+
+    graph::PropertyGraph g = model::to_graph(m);
+    auto target_node = g.find_node(target);
+    if (!target_node.has_value())
+        throw NotFoundError("attack paths: unknown target component: " + std::string(target));
+
+    std::map<std::string, std::size_t> vectors;
+    for (const search::ComponentAssociation& ca : associations.components)
+        vectors[ca.component] = ca.total();
+
+    auto traversable = [&](const std::string& name) {
+        auto it = vectors.find(name);
+        return it != vectors.end() && it->second >= options.min_vectors_per_hop;
+    };
+    if (!traversable(std::string(target))) return out;
+
+    // Remove non-traversable nodes (except none — entry predicate equals
+    // traversal predicate) by building the induced subgraph.
+    std::vector<graph::NodeId> keep;
+    for (graph::NodeId n : g.nodes())
+        if (traversable(g.node(n).label)) keep.push_back(n);
+    graph::Subgraph sub = graph::induced_subgraph(g, keep);
+
+    auto sub_target = sub.graph.find_node(target);
+    if (!sub_target.has_value()) return out;
+
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid() || !c.external_facing) continue;
+        if (!traversable(c.name)) continue;
+        auto entry = sub.graph.find_node(c.name);
+        if (!entry.has_value()) continue;
+
+        std::vector<std::vector<graph::NodeId>> paths;
+        if (*entry == *sub_target) {
+            paths.push_back({*entry});
+        } else {
+            paths = graph::all_simple_paths(sub.graph, *entry, *sub_target, options.max_hops,
+                                            options.max_paths);
+        }
+        for (const std::vector<graph::NodeId>& p : paths) {
+            AttackPath ap;
+            ap.weakest_link = SIZE_MAX;
+            for (graph::NodeId n : p) {
+                const std::string& name = sub.graph.node(n).label;
+                ap.components.push_back(name);
+                std::size_t v = vectors.at(name);
+                ap.total_vectors += v;
+                ap.weakest_link = std::min(ap.weakest_link, v);
+            }
+            out.push_back(std::move(ap));
+            if (out.size() >= options.max_paths) break;
+        }
+        if (out.size() >= options.max_paths) break;
+    }
+
+    std::stable_sort(out.begin(), out.end(), [](const AttackPath& a, const AttackPath& b) {
+        return a.components.size() < b.components.size();
+    });
+    return out;
+}
+
+} // namespace cybok::analysis

@@ -1,0 +1,47 @@
+// Attack-path enumeration over the architectural graph. "Attackers think
+// in graphs" (Lambert, cited by the paper): a path is feasible when every
+// component along it carries at least one associated attack vector — each
+// hop needs something to exploit.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+/// One feasible attacker path from an entry point to a target.
+struct AttackPath {
+    std::vector<std::string> components; ///< entry ... target (inclusive)
+    /// Sum of associated vectors across the path's components — a rough
+    /// measure of attacker option mass.
+    std::size_t total_vectors = 0;
+    /// Minimum per-component vector count along the path — the weakest
+    /// link an architect would reinforce first.
+    std::size_t weakest_link = 0;
+
+    [[nodiscard]] std::size_t hops() const noexcept {
+        return components.empty() ? 0 : components.size() - 1;
+    }
+};
+
+struct AttackPathOptions {
+    std::size_t max_hops = 8;
+    std::size_t max_paths = 256;
+    /// Minimum number of associated vectors a component must carry to be
+    /// traversable (>= 1; raising it models a better-resourced defender).
+    std::size_t min_vectors_per_hop = 1;
+};
+
+/// All feasible paths from external-facing components to `target`,
+/// shortest first. Entry points themselves must satisfy the traversal
+/// predicate. The target must also carry vectors.
+[[nodiscard]] std::vector<AttackPath> attack_paths(const model::SystemModel& m,
+                                                   const search::AssociationMap& associations,
+                                                   std::string_view target,
+                                                   const AttackPathOptions& options = {});
+
+} // namespace cybok::analysis

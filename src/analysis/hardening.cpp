@@ -1,0 +1,100 @@
+#include "analysis/hardening.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "model/export.hpp"
+
+namespace cybok::analysis {
+
+namespace {
+
+/// Association map with one component's matches removed — the post-
+/// hardening hypothetical.
+search::AssociationMap without_component(const search::AssociationMap& assoc,
+                                         const std::string& component) {
+    search::AssociationMap out = assoc;
+    for (search::ComponentAssociation& ca : out.components) {
+        if (ca.component != component) continue;
+        for (search::AttributeAssociation& aa : ca.attributes) aa.matches.clear();
+    }
+    return out;
+}
+
+std::size_t count_paths(const model::SystemModel& m, const search::AssociationMap& assoc,
+                        const std::vector<std::string>& targets,
+                        const AttackPathOptions& opts) {
+    std::size_t n = 0;
+    for (const std::string& target : targets) {
+        if (!m.find_component(target).has_value()) continue;
+        n += attack_paths(m, assoc, target, opts).size();
+    }
+    return n;
+}
+
+} // namespace
+
+std::vector<HardeningCandidate> rank_hardening_candidates(
+    const model::SystemModel& m, const search::AssociationMap& associations,
+    const safety::HazardModel* hazards, const HardeningOptions& options) {
+    // Resolve targets.
+    std::vector<std::string> targets = options.targets;
+    if (targets.empty()) {
+        for (const model::Component& c : m.components()) {
+            if (!c.id.valid()) continue;
+            if (c.type == model::ComponentType::Controller ||
+                c.type == model::ComponentType::Actuator ||
+                c.type == model::ComponentType::PhysicalProcess)
+                targets.push_back(c.name);
+        }
+    }
+
+    const std::size_t baseline_paths = count_paths(m, associations, targets,
+                                                   options.path_options);
+    std::size_t baseline_traces = 0;
+    if (hazards != nullptr) {
+        safety::ConsequenceAnalyzer analyzer(m, *hazards);
+        baseline_traces = analyzer.trace(associations).size();
+    }
+
+    // Articulation points of the architecture graph (structural choke
+    // points; flagged because hardening them pays twice).
+    graph::PropertyGraph g = model::to_graph(m);
+    std::set<std::string> cut_vertices;
+    for (graph::NodeId n : graph::articulation_points(g))
+        cut_vertices.insert(g.node(n).label);
+
+    std::vector<HardeningCandidate> out;
+    for (const search::ComponentAssociation& ca : associations.components) {
+        if (ca.total() == 0) continue;
+        HardeningCandidate cand;
+        cand.component = ca.component;
+        cand.vectors_removed = ca.total();
+        cand.articulation_point = cut_vertices.contains(ca.component);
+
+        search::AssociationMap hardened = without_component(associations, ca.component);
+        std::size_t paths_after = count_paths(m, hardened, targets, options.path_options);
+        cand.paths_cut = baseline_paths > paths_after ? baseline_paths - paths_after : 0;
+        if (hazards != nullptr) {
+            safety::ConsequenceAnalyzer analyzer(m, *hazards);
+            std::size_t traces_after = analyzer.trace(hardened).size();
+            cand.traces_blocked =
+                baseline_traces > traces_after ? baseline_traces - traces_after : 0;
+        }
+        out.push_back(std::move(cand));
+    }
+
+    std::sort(out.begin(), out.end(), [](const HardeningCandidate& a,
+                                         const HardeningCandidate& b) {
+        if (a.traces_blocked != b.traces_blocked) return a.traces_blocked > b.traces_blocked;
+        if (a.paths_cut != b.paths_cut) return a.paths_cut > b.paths_cut;
+        if (a.vectors_removed != b.vectors_removed)
+            return a.vectors_removed > b.vectors_removed;
+        return a.component < b.component;
+    });
+    return out;
+}
+
+} // namespace cybok::analysis

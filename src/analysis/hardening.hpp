@@ -1,0 +1,42 @@
+// Hardening prioritization: which component should the architect fix
+// first? The paper's dashboard supports exactly this decision ("different
+// architectures are evaluated by experts iteratively"); this module ranks
+// candidate hardening targets by how much attacker opportunity their
+// remediation removes — qualitatively, by counting cut attack paths and
+// blocked consequence traces, never by a synthetic risk number.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/attack_paths.hpp"
+#include "safety/trace.hpp"
+
+namespace cybok::analysis {
+
+/// Effect of hardening (removing all attack vectors from) one component.
+struct HardeningCandidate {
+    std::string component;
+    std::size_t vectors_removed = 0;      ///< matches on the component itself
+    std::size_t paths_cut = 0;            ///< attack paths to targets broken
+    std::size_t traces_blocked = 0;       ///< consequence traces eliminated
+    bool articulation_point = false;      ///< removal disconnects the graph
+};
+
+struct HardeningOptions {
+    /// Targets attack paths are counted against. Empty = every controller
+    /// plus every physical process / actuator in the model.
+    std::vector<std::string> targets;
+    AttackPathOptions path_options;
+};
+
+/// Evaluate every component carrying at least one vector as a hardening
+/// candidate. Sorted by (traces blocked, paths cut, vectors removed),
+/// descending — the top entry is the recommended first fix. `hazards` may
+/// be nullptr (trace counting skipped).
+[[nodiscard]] std::vector<HardeningCandidate> rank_hardening_candidates(
+    const model::SystemModel& m, const search::AssociationMap& associations,
+    const safety::HazardModel* hazards, const HardeningOptions& options = {});
+
+} // namespace cybok::analysis

@@ -1,0 +1,60 @@
+#include "analysis/mission_impact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cybok::analysis {
+
+std::vector<MissionImpact> mission_impacts(const model::MissionModel& missions,
+                                           const search::AssociationMap& associations) {
+    std::map<std::string, std::size_t> vectors;
+    for (const search::ComponentAssociation& ca : associations.components)
+        vectors[ca.component] = ca.total();
+
+    std::vector<MissionImpact> out;
+    for (const model::Mission& mission : missions.missions()) {
+        MissionImpact impact;
+        impact.mission_id = mission.id;
+        impact.mission_text = mission.text;
+        std::set<std::string> via;
+        for (const std::string& fid : mission.requires_functions) {
+            const model::Function* f = missions.find_function(fid);
+            if (f == nullptr) continue;
+            for (const std::string& component : f->allocated_to) {
+                auto it = vectors.find(component);
+                if (it != vectors.end() && it->second > 0) via.insert(component);
+            }
+        }
+        for (const std::string& component : via) {
+            impact.threatened_via.push_back(component);
+            impact.vectors += vectors.at(component);
+        }
+        out.push_back(std::move(impact));
+    }
+    std::sort(out.begin(), out.end(), [](const MissionImpact& a, const MissionImpact& b) {
+        if (a.vectors != b.vectors) return a.vectors > b.vectors;
+        return a.mission_id < b.mission_id;
+    });
+    return out;
+}
+
+model::MissionModel centrifuge_missions() {
+    model::MissionModel mm;
+    mm.add(model::Function{"F-1", "separate particulate from solution",
+                           {"BPCS platform", "Centrifuge"}});
+    mm.add(model::Function{"F-2", "regulate solution temperature",
+                           {"BPCS platform", "Temperature sensor"}});
+    mm.add(model::Function{"F-3", "supervise and reprogram the control logic",
+                           {"Programming WS", "Control firewall"}});
+    mm.add(model::Function{"F-4", "trip the centrifuge on unsafe state",
+                           {"SIS platform", "Temperature sensor"}});
+    mm.add(model::Mission{"M-1", "produce an in-specification product batch",
+                          {"F-1", "F-2"}});
+    mm.add(model::Mission{"M-2", "operate without harm to people or equipment",
+                          {"F-2", "F-4"}});
+    mm.add(model::Mission{"M-3", "adapt the process to new recipes", {"F-3"}});
+    return mm;
+}
+
+} // namespace cybok::analysis

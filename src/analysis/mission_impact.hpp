@@ -1,0 +1,33 @@
+// Mission impact: fold the association map through the mission layer to
+// answer the question the counts alone cannot — *which missions does the
+// current attack surface threaten, and through which components?*
+
+#pragma once
+
+#include "model/mission.hpp"
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+/// Threat summary for one mission.
+struct MissionImpact {
+    std::string mission_id;
+    std::string mission_text;
+    /// Components carrying >= 1 vector that a required function is
+    /// allocated to (sorted).
+    std::vector<std::string> threatened_via;
+    std::size_t vectors = 0; ///< summed over threatened_via
+
+    [[nodiscard]] bool threatened() const noexcept { return !threatened_via.empty(); }
+};
+
+/// Per-mission impact, every mission listed (threatened or not), ordered
+/// by descending vector count then mission id.
+[[nodiscard]] std::vector<MissionImpact> mission_impacts(
+    const model::MissionModel& missions, const search::AssociationMap& associations);
+
+/// The centrifuge demo's mission model (separation mission + safety
+/// oversight mission), aligned with the synth::centrifuge_model fixture.
+[[nodiscard]] model::MissionModel centrifuge_missions();
+
+} // namespace cybok::analysis

@@ -1,0 +1,110 @@
+#include "analysis/model_advice.hpp"
+
+#include <algorithm>
+
+namespace cybok::analysis {
+
+std::string_view advice_kind_name(AdviceKind k) noexcept {
+    switch (k) {
+        case AdviceKind::MissingPlatformRef: return "missing-platform-ref";
+        case AdviceKind::UnresolvedPlatform: return "unresolved-platform";
+        case AdviceKind::NoisyDescriptor: return "noisy-descriptor";
+        case AdviceKind::SilentDescriptor: return "silent-descriptor";
+        case AdviceKind::MissingEntryPoint: return "missing-entry-point";
+        case AdviceKind::UntypedComponent: return "untyped-component";
+    }
+    return "?";
+}
+
+std::vector<Advice> advise(const model::SystemModel& m,
+                           const search::AssociationMap& associations,
+                           const AdviceOptions& options) {
+    std::vector<Advice> out;
+
+    bool any_external = false;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        any_external = any_external || c.external_facing;
+
+        if (c.type == model::ComponentType::Other) {
+            out.push_back(Advice{AdviceKind::UntypedComponent, c.name, "",
+                                 "give \"" + c.name +
+                                     "\" an architectural type (controller, sensor, "
+                                     "network...); exposure and consequence analysis "
+                                     "depend on it"});
+        }
+
+        bool has_platform_ref = false;
+        for (const model::Attribute& a : c.attributes) {
+            if (a.kind == model::AttributeKind::PlatformRef) {
+                has_platform_ref = true;
+                if (!a.platform.has_value()) {
+                    out.push_back(Advice{AdviceKind::UnresolvedPlatform, c.name, a.name,
+                                         "resolve \"" + a.value +
+                                             "\" to a structured platform name (CPE); "
+                                             "without it no vulnerability binding is "
+                                             "possible"});
+                }
+            }
+        }
+        // Hardware/software-bearing components should eventually name a
+        // product; sensors and physical processes are exempt.
+        const bool product_bearing =
+            c.type == model::ComponentType::Compute ||
+            c.type == model::ComponentType::Controller ||
+            c.type == model::ComponentType::Network ||
+            c.type == model::ComponentType::Software;
+        if (product_bearing && !has_platform_ref) {
+            out.push_back(Advice{AdviceKind::MissingPlatformRef, c.name, "",
+                                 "\"" + c.name +
+                                     "\" names no concrete product; at implementation "
+                                     "fidelity add a platform attribute so vulnerability "
+                                     "data can bind"});
+        }
+    }
+
+    if (!any_external && m.component_count() > 0) {
+        out.push_back(Advice{AdviceKind::MissingEntryPoint, "", "",
+                             "no component is marked external-facing; exposure and "
+                             "attack-path analysis have no attacker entry point"});
+    }
+
+    // Attribute result-space quality.
+    for (const search::ComponentAssociation& ca : associations.components) {
+        for (const search::AttributeAssociation& aa : ca.attributes) {
+            // Only judge descriptors: platform bindings are expected to be
+            // huge (that is the corpus, not the model's fault), parameters
+            // are expected silent.
+            auto comp = m.find_component(ca.component);
+            if (!comp.has_value()) continue;
+            const model::Attribute* attr = m.find_attribute(*comp, aa.attribute_name);
+            if (attr == nullptr || attr->kind != model::AttributeKind::Descriptor) continue;
+
+            std::size_t lexical = 0;
+            for (const search::Match& match : aa.matches)
+                if (match.via == search::MatchVia::Lexical) ++lexical;
+            if (lexical > options.noisy_threshold) {
+                out.push_back(Advice{
+                    AdviceKind::NoisyDescriptor, ca.component, aa.attribute_name,
+                    "descriptor \"" + aa.attribute_value + "\" matched " +
+                        std::to_string(lexical) +
+                        " vectors; replace generic security words with the component's "
+                        "specific technology"});
+            } else if (lexical == 0) {
+                out.push_back(Advice{
+                    AdviceKind::SilentDescriptor, ca.component, aa.attribute_name,
+                    "descriptor \"" + aa.attribute_value +
+                        "\" matched nothing; add the component's protocol or technology "
+                        "vocabulary so patterns and weaknesses can relate"});
+            }
+        }
+    }
+
+    std::sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+        if (a.component != b.component) return a.component < b.component;
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    });
+    return out;
+}
+
+} // namespace cybok::analysis

@@ -1,0 +1,47 @@
+// Model-improvement advice — the paper's proposed mitigation for the NLP
+// sensitivity of attribute matching: "A more sophisticated modeling tool
+// that enables and encourages systems engineers to add specific,
+// security-related properties to the model without needing extensive
+// domain-specific knowledge about security could mitigate this
+// limitation." This module is that encouragement: it inspects the model
+// and its association results and emits concrete, actionable suggestions.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+enum class AdviceKind : std::uint8_t {
+    MissingPlatformRef,   ///< component has no product reference at all
+    UnresolvedPlatform,   ///< PlatformRef attribute without a CPE
+    NoisyDescriptor,      ///< descriptor matched suspiciously many vectors
+    SilentDescriptor,     ///< descriptor matched nothing — likely too vague
+    MissingEntryPoint,    ///< no component is marked external-facing
+    UntypedComponent,     ///< ComponentType::Other tells analysis nothing
+};
+[[nodiscard]] std::string_view advice_kind_name(AdviceKind k) noexcept;
+
+struct Advice {
+    AdviceKind kind = AdviceKind::MissingPlatformRef;
+    std::string component; ///< empty for whole-model advice
+    std::string attribute; ///< empty unless attribute-specific
+    std::string text;      ///< human-readable suggestion
+};
+
+struct AdviceOptions {
+    /// A descriptor matching more lexical vectors than this is "noisy".
+    std::size_t noisy_threshold = 100;
+};
+
+/// Inspect model + association results and emit suggestions, ordered by
+/// component name then kind. Deterministic.
+[[nodiscard]] std::vector<Advice> advise(const model::SystemModel& m,
+                                         const search::AssociationMap& associations,
+                                         const AdviceOptions& options = {});
+
+} // namespace cybok::analysis

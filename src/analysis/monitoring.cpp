@@ -1,0 +1,64 @@
+#include "analysis/monitoring.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cybok::analysis {
+
+CorpusDelta corpus_delta(const kb::Corpus& before, const kb::Corpus& after) {
+    CorpusDelta delta;
+    std::set<std::uint32_t> old_patterns;
+    for (const kb::AttackPattern& p : before.patterns()) old_patterns.insert(p.id.value);
+    for (const kb::AttackPattern& p : after.patterns())
+        if (!old_patterns.contains(p.id.value)) delta.new_patterns.push_back(p.id.to_string());
+
+    std::set<std::uint32_t> old_weaknesses;
+    for (const kb::Weakness& w : before.weaknesses()) old_weaknesses.insert(w.id.value);
+    for (const kb::Weakness& w : after.weaknesses())
+        if (!old_weaknesses.contains(w.id.value))
+            delta.new_weaknesses.push_back(w.id.to_string());
+
+    std::set<std::pair<std::uint32_t, std::uint32_t>> old_vulns;
+    for (const kb::Vulnerability& v : before.vulnerabilities())
+        old_vulns.emplace(v.id.year, v.id.number);
+    for (const kb::Vulnerability& v : after.vulnerabilities())
+        if (!old_vulns.contains({v.id.year, v.id.number}))
+            delta.new_vulnerabilities.push_back(v.id.to_string());
+    return delta;
+}
+
+std::vector<std::string> ReevaluationResult::affected_components() const {
+    std::set<std::string> names;
+    for (const NewExposure& e : new_exposures) names.insert(e.component);
+    return {names.begin(), names.end()};
+}
+
+ReevaluationResult reevaluate(const model::SystemModel& deployed,
+                              const search::AssociationMap& baseline,
+                              const kb::Corpus& baseline_corpus,
+                              const search::SearchEngine& fresh_engine,
+                              const search::FilterChain* chain) {
+    ReevaluationResult out;
+    out.delta = corpus_delta(baseline_corpus, fresh_engine.corpus());
+
+    // Baseline match-id sets per (component, attribute).
+    std::map<std::pair<std::string, std::string>, std::set<std::string>> known;
+    for (const search::ComponentAssociation& ca : baseline.components)
+        for (const search::AttributeAssociation& aa : ca.attributes)
+            for (const search::Match& m : aa.matches)
+                known[{ca.component, aa.attribute_name}].insert(m.id);
+
+    search::AssociationMap fresh = search::associate(deployed, fresh_engine, chain);
+    for (const search::ComponentAssociation& ca : fresh.components) {
+        for (const search::AttributeAssociation& aa : ca.attributes) {
+            auto it = known.find({ca.component, aa.attribute_name});
+            for (const search::Match& m : aa.matches) {
+                if (it != known.end() && it->second.contains(m.id)) continue;
+                out.new_exposures.push_back(NewExposure{ca.component, aa.attribute_name, m});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cybok::analysis

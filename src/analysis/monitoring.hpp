@@ -1,0 +1,57 @@
+// Deployed-system re-evaluation: the paper's second use of the pipeline —
+// "the documentation and reevaluation of already deployed CPS in terms of
+// their security posture". The model is frozen (the plant is built); the
+// *corpus* moves (new advisories land every week). Re-running the
+// association against a corpus snapshot and diffing against the stored
+// baseline yields exactly the new exposure.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+/// Records present in `after` but not in `before`.
+struct CorpusDelta {
+    std::vector<std::string> new_patterns;        ///< "CAPEC-..." ids
+    std::vector<std::string> new_weaknesses;      ///< "CWE-..." ids
+    std::vector<std::string> new_vulnerabilities; ///< "CVE-..." ids
+
+    [[nodiscard]] bool empty() const noexcept {
+        return new_patterns.empty() && new_weaknesses.empty() &&
+               new_vulnerabilities.empty();
+    }
+};
+
+/// Id-level diff of two corpus snapshots.
+[[nodiscard]] CorpusDelta corpus_delta(const kb::Corpus& before, const kb::Corpus& after);
+
+/// One newly-appearing finding on the deployed system.
+struct NewExposure {
+    std::string component;
+    std::string attribute;
+    search::Match match; ///< the match absent from the baseline association
+};
+
+/// Result of re-evaluating a deployed model against a fresh corpus.
+struct ReevaluationResult {
+    CorpusDelta delta;
+    std::vector<NewExposure> new_exposures;
+    /// Components with at least one new exposure, deduplicated, sorted.
+    [[nodiscard]] std::vector<std::string> affected_components() const;
+};
+
+/// Compare the stored baseline association (computed against the old
+/// corpus) with a fresh association against `fresh_engine`'s corpus.
+/// Matches are identified by record id, so the comparison is stable across
+/// corpus reindexing.
+[[nodiscard]] ReevaluationResult reevaluate(const model::SystemModel& deployed,
+                                            const search::AssociationMap& baseline,
+                                            const kb::Corpus& baseline_corpus,
+                                            const search::SearchEngine& fresh_engine,
+                                            const search::FilterChain* chain = nullptr);
+
+} // namespace cybok::analysis

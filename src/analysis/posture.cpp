@@ -1,0 +1,121 @@
+#include "analysis/posture.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "model/export.hpp"
+
+namespace cybok::analysis {
+
+std::size_t SecurityPosture::total_vectors() const noexcept {
+    std::size_t n = 0;
+    for (const ComponentPosture& c : components) n += c.total_vectors();
+    return n;
+}
+
+const ComponentPosture* SecurityPosture::find(std::string_view component) const noexcept {
+    for (const ComponentPosture& c : components)
+        if (c.component == component) return &c;
+    return nullptr;
+}
+
+SecurityPosture compute_posture(const model::SystemModel& m,
+                                const search::AssociationMap& associations) {
+    SecurityPosture posture;
+
+    graph::PropertyGraph g = model::to_graph(m);
+    std::map<graph::NodeId, double> centrality = graph::betweenness_centrality(g);
+
+    // Exposure: BFS distance from the set of external-facing components.
+    std::vector<graph::NodeId> external;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid() || !c.external_facing) continue;
+        if (auto n = g.find_node(c.name)) external.push_back(*n);
+    }
+    std::map<std::string, std::uint32_t> exposure;
+    {
+        // Multi-source BFS: order returned by reachable_from is by level.
+        // Recompute distances per source for exactness (architectures are
+        // small).
+        for (graph::NodeId s : external) {
+            std::vector<std::uint32_t> dist = graph::bfs_distances(g, s);
+            for (graph::NodeId n : g.nodes()) {
+                std::uint32_t d = n.value < dist.size() ? dist[n.value] : UINT32_MAX;
+                const std::string& name = g.node(n).label;
+                auto it = exposure.find(name);
+                if (it == exposure.end()) exposure.emplace(name, d);
+                else it->second = std::min(it->second, d);
+            }
+        }
+    }
+
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        ComponentPosture cp;
+        cp.component = c.name;
+        if (const search::ComponentAssociation* ca = associations.find(c.name)) {
+            cp.attack_patterns = ca->count(search::VectorClass::AttackPattern);
+            cp.weaknesses = ca->count(search::VectorClass::Weakness);
+            cp.vulnerabilities = ca->count(search::VectorClass::Vulnerability);
+            for (const search::AttributeAssociation& aa : ca->attributes)
+                for (const search::Match& match : aa.matches)
+                    cp.max_severity = std::max(cp.max_severity, match.severity);
+        }
+        if (auto n = g.find_node(c.name)) cp.centrality = centrality[*n];
+        auto it = exposure.find(c.name);
+        if (it != exposure.end()) cp.exposure_hops = it->second;
+        posture.components.push_back(std::move(cp));
+    }
+    return posture;
+}
+
+std::string_view verdict_name(Verdict v) noexcept {
+    switch (v) {
+        case Verdict::Improved: return "improved";
+        case Verdict::Unchanged: return "unchanged";
+        case Verdict::Mixed: return "mixed";
+        case Verdict::Worsened: return "worsened";
+    }
+    return "?";
+}
+
+PostureComparison compare(const SecurityPosture& before, const SecurityPosture& after) {
+    PostureComparison out;
+    std::map<std::string, const ComponentPosture*> b;
+    for (const ComponentPosture& c : before.components) b.emplace(c.component, &c);
+    std::map<std::string, const ComponentPosture*> a;
+    for (const ComponentPosture& c : after.components) a.emplace(c.component, &c);
+
+    std::map<std::string, std::nullptr_t> names;
+    for (const auto& [n, _] : b) names.emplace(n, nullptr);
+    for (const auto& [n, _] : a) names.emplace(n, nullptr);
+
+    bool any_up = false;
+    bool any_down = false;
+    for (const auto& [name, _] : names) {
+        const ComponentPosture* pb = b.contains(name) ? b.at(name) : nullptr;
+        const ComponentPosture* pa = a.contains(name) ? a.at(name) : nullptr;
+        PostureComparison::Row row;
+        row.component = name;
+        auto delta = [](std::size_t x_before, std::size_t x_after) {
+            return static_cast<std::int64_t>(x_after) - static_cast<std::int64_t>(x_before);
+        };
+        row.delta_patterns = delta(pb ? pb->attack_patterns : 0, pa ? pa->attack_patterns : 0);
+        row.delta_weaknesses = delta(pb ? pb->weaknesses : 0, pa ? pa->weaknesses : 0);
+        row.delta_vulnerabilities =
+            delta(pb ? pb->vulnerabilities : 0, pa ? pa->vulnerabilities : 0);
+        if (row.delta_total() > 0) any_up = true;
+        if (row.delta_total() < 0) any_down = true;
+        out.delta_total += row.delta_total();
+        if (row.delta_total() != 0) out.rows.push_back(std::move(row));
+    }
+
+    if (!any_up && !any_down) out.verdict = Verdict::Unchanged;
+    else if (any_up && any_down) out.verdict = Verdict::Mixed;
+    else if (any_down) out.verdict = Verdict::Improved;
+    else out.verdict = Verdict::Worsened;
+    return out;
+}
+
+} // namespace cybok::analysis

@@ -1,0 +1,76 @@
+// Security-posture metrics. Deliberately *qualitative and comparative*:
+// the paper argues quantitative cyber risk is not currently measurable
+// (CVSS measures severity, not risk; attacker behavior is
+// non-probabilistic), so the unit of judgment here is "architecture A
+// relates to fewer / less exposed attack vectors than functionally
+// equivalent architecture B".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+/// Per-component posture facts.
+struct ComponentPosture {
+    std::string component;
+    std::size_t attack_patterns = 0;
+    std::size_t weaknesses = 0;
+    std::size_t vulnerabilities = 0;
+    /// Worst CVSS base score among matched vulnerabilities (-1 if none).
+    double max_severity = -1.0;
+    /// Betweenness centrality in the architectural graph — how much of the
+    /// system's communication pivots through this component.
+    double centrality = 0.0;
+    /// Minimum hop distance from any external-facing component
+    /// (0 = is external-facing; UINT32_MAX = unreachable from outside).
+    std::uint32_t exposure_hops = UINT32_MAX;
+
+    [[nodiscard]] std::size_t total_vectors() const noexcept {
+        return attack_patterns + weaknesses + vulnerabilities;
+    }
+};
+
+/// Whole-model posture.
+struct SecurityPosture {
+    std::vector<ComponentPosture> components;
+
+    [[nodiscard]] std::size_t total_vectors() const noexcept;
+    [[nodiscard]] const ComponentPosture* find(std::string_view component) const noexcept;
+};
+
+/// Compute posture facts from a model and its association map.
+[[nodiscard]] SecurityPosture compute_posture(const model::SystemModel& m,
+                                              const search::AssociationMap& associations);
+
+/// Outcome of comparing two postures (before -> after).
+enum class Verdict { Improved, Unchanged, Mixed, Worsened };
+[[nodiscard]] std::string_view verdict_name(Verdict v) noexcept;
+
+/// Component-by-component comparison of two postures. Components are
+/// matched by name; appearing/disappearing components count as changes in
+/// the direction of their vector mass.
+struct PostureComparison {
+    struct Row {
+        std::string component;
+        std::int64_t delta_patterns = 0;
+        std::int64_t delta_weaknesses = 0;
+        std::int64_t delta_vulnerabilities = 0;
+        [[nodiscard]] std::int64_t delta_total() const noexcept {
+            return delta_patterns + delta_weaknesses + delta_vulnerabilities;
+        }
+    };
+    std::vector<Row> rows;
+    std::int64_t delta_total = 0;
+    Verdict verdict = Verdict::Unchanged;
+};
+
+[[nodiscard]] PostureComparison compare(const SecurityPosture& before,
+                                        const SecurityPosture& after);
+
+} // namespace cybok::analysis

@@ -1,0 +1,18 @@
+#include "analysis/whatif.hpp"
+
+namespace cybok::analysis {
+
+WhatIfResult what_if(const model::SystemModel& before,
+                     const search::AssociationMap& before_associations,
+                     const model::SystemModel& after, const search::SearchEngine& engine,
+                     const search::FilterChain* chain) {
+    WhatIfResult out;
+    out.diff = model::diff(before, after);
+    out.after_associations =
+        search::reassociate(before_associations, out.diff, after, engine, chain);
+    out.after_posture = compute_posture(after, out.after_associations);
+    out.comparison = compare(compute_posture(before, before_associations), out.after_posture);
+    return out;
+}
+
+} // namespace cybok::analysis

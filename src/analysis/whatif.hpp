@@ -1,0 +1,31 @@
+// What-if analysis: apply an architectural refinement, re-associate only
+// what changed, and compare postures — the dashboard loop where "different
+// architectures are evaluated by experts iteratively to lead to an
+// acceptably secured system".
+
+#pragma once
+
+#include "analysis/posture.hpp"
+#include "model/diff.hpp"
+#include "search/association.hpp"
+
+namespace cybok::analysis {
+
+/// Everything an analyst needs after one refinement step.
+struct WhatIfResult {
+    model::ModelDiff diff;
+    search::AssociationMap after_associations;
+    SecurityPosture after_posture;
+    PostureComparison comparison;
+};
+
+/// Evaluate a candidate architecture `after` against the current state
+/// (`before` + its association map). Association is incremental: only
+/// components the diff touches are re-queried.
+[[nodiscard]] WhatIfResult what_if(const model::SystemModel& before,
+                                   const search::AssociationMap& before_associations,
+                                   const model::SystemModel& after,
+                                   const search::SearchEngine& engine,
+                                   const search::FilterChain* chain = nullptr);
+
+} // namespace cybok::analysis

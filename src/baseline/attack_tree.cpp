@@ -1,0 +1,119 @@
+#include "baseline/attack_tree.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace cybok::baseline {
+
+AttackTree::AttackTree(std::string goal) {
+    AttackTreeNode root;
+    root.kind = AttackTreeNode::Kind::Goal;
+    root.label = std::move(goal);
+    nodes_.push_back(std::move(root));
+}
+
+std::size_t AttackTree::add_node(AttackTreeNode::Kind kind, std::string label,
+                                 std::size_t parent) {
+    if (parent >= nodes_.size()) throw ValidationError("attack tree: bad parent index");
+    AttackTreeNode node;
+    node.kind = kind;
+    node.label = std::move(label);
+    nodes_.push_back(std::move(node));
+    std::size_t index = nodes_.size() - 1;
+    nodes_[parent].children.push_back(index);
+    return index;
+}
+
+std::size_t AttackTree::leaf_count() const noexcept {
+    std::size_t n = 0;
+    for (const AttackTreeNode& node : nodes_)
+        if (node.kind == AttackTreeNode::Kind::Leaf) ++n;
+    return n;
+}
+
+std::vector<std::vector<std::string>> AttackTree::minimal_attack_sets(
+    std::size_t max_sets) const {
+    // Bottom-up set algebra with a cap to bound the cross products.
+    std::function<std::vector<std::vector<std::string>>(std::size_t)> solve =
+        [&](std::size_t index) -> std::vector<std::vector<std::string>> {
+        const AttackTreeNode& node = nodes_[index];
+        if (node.kind == AttackTreeNode::Kind::Leaf) return {{node.label}};
+        if (node.children.empty()) return {};
+
+        if (node.kind == AttackTreeNode::Kind::And) {
+            std::vector<std::vector<std::string>> acc{{}};
+            for (std::size_t child : node.children) {
+                std::vector<std::vector<std::string>> rhs = solve(child);
+                std::vector<std::vector<std::string>> next;
+                for (const auto& a : acc) {
+                    for (const auto& b : rhs) {
+                        std::vector<std::string> merged = a;
+                        merged.insert(merged.end(), b.begin(), b.end());
+                        next.push_back(std::move(merged));
+                        if (next.size() >= max_sets) break;
+                    }
+                    if (next.size() >= max_sets) break;
+                }
+                acc = std::move(next);
+            }
+            return acc;
+        }
+        // Goal and Or: union of children's sets.
+        std::vector<std::vector<std::string>> acc;
+        for (std::size_t child : node.children) {
+            for (auto& set : solve(child)) {
+                acc.push_back(std::move(set));
+                if (acc.size() >= max_sets) return acc;
+            }
+        }
+        return acc;
+    };
+    return solve(0);
+}
+
+std::string AttackTree::render() const {
+    std::ostringstream out;
+    std::function<void(std::size_t, int)> walk = [&](std::size_t index, int depth) {
+        const AttackTreeNode& node = nodes_[index];
+        for (int i = 0; i < depth; ++i) out << "  ";
+        switch (node.kind) {
+            case AttackTreeNode::Kind::Goal: out << "GOAL: "; break;
+            case AttackTreeNode::Kind::Or: out << "OR: "; break;
+            case AttackTreeNode::Kind::And: out << "AND: "; break;
+            case AttackTreeNode::Kind::Leaf: out << "- "; break;
+        }
+        out << node.label << '\n';
+        for (std::size_t child : node.children) walk(child, depth + 1);
+    };
+    walk(0, 0);
+    return out.str();
+}
+
+AttackTree build_attack_tree(const model::SystemModel& m,
+                             const search::AssociationMap& associations,
+                             std::string_view target,
+                             const analysis::AttackPathOptions& options) {
+    AttackTree tree("compromise " + std::string(target));
+    std::vector<analysis::AttackPath> paths =
+        analysis::attack_paths(m, associations, target, options);
+    if (paths.empty()) return tree;
+
+    for (const analysis::AttackPath& path : paths) {
+        std::string branch_label = "via";
+        for (const std::string& c : path.components) branch_label += " / " + c;
+        std::size_t branch =
+            tree.add_node(AttackTreeNode::Kind::And, std::move(branch_label), 0);
+        for (const std::string& component : path.components) {
+            std::size_t vectors = 0;
+            if (const search::ComponentAssociation* ca = associations.find(component))
+                vectors = ca->total();
+            tree.add_node(AttackTreeNode::Kind::Leaf,
+                          "exploit " + component + " (" + std::to_string(vectors) +
+                              " candidate vectors)",
+                          branch);
+        }
+    }
+    return tree;
+}
+
+} // namespace cybok::baseline

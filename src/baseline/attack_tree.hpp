@@ -1,0 +1,62 @@
+// Baseline comparator #2: attack trees — "Tools based on attack trees are
+// often used to augment results from such threat modeling. Therefore, they
+// are also focused on the risk to the IT infrastructure and not the risk
+// of causing undesirable physical behaviors."
+//
+// The tree is built from the same architectural facts the CPS pipeline
+// uses (feasible attack paths toward a target), so the comparison is
+// apples-to-apples: what the representation *can* express, not what data
+// it saw. Goal node = compromise of the target; one OR branch per path;
+// each branch an AND of per-hop exploitation leaves.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/attack_paths.hpp"
+
+namespace cybok::baseline {
+
+/// One node in an attack tree (index-linked, root is node 0).
+struct AttackTreeNode {
+    enum class Kind : std::uint8_t { Goal, Or, And, Leaf };
+    Kind kind = Kind::Leaf;
+    std::string label;
+    std::vector<std::size_t> children;
+};
+
+class AttackTree {
+public:
+    /// Root label becomes the goal node.
+    explicit AttackTree(std::string goal);
+
+    std::size_t add_node(AttackTreeNode::Kind kind, std::string label,
+                         std::size_t parent);
+
+    [[nodiscard]] const std::vector<AttackTreeNode>& nodes() const noexcept { return nodes_; }
+    [[nodiscard]] const AttackTreeNode& root() const { return nodes_.front(); }
+    [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+    /// Minimal attack sets: every minimal set of leaves whose success
+    /// satisfies the root (OR = union of children's sets, AND = cross
+    /// product). Capped at `max_sets`.
+    [[nodiscard]] std::vector<std::vector<std::string>> minimal_attack_sets(
+        std::size_t max_sets = 1024) const;
+
+    /// ASCII rendering (indented, AND/OR annotated).
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<AttackTreeNode> nodes_;
+};
+
+/// Build the attack tree for one target from the feasible attack paths.
+/// Returns a tree with a bare goal node when no path exists.
+[[nodiscard]] AttackTree build_attack_tree(const model::SystemModel& m,
+                                           const search::AssociationMap& associations,
+                                           std::string_view target,
+                                           const analysis::AttackPathOptions& options = {});
+
+} // namespace cybok::baseline

@@ -1,0 +1,42 @@
+#include "baseline/comparison.hpp"
+
+#include <set>
+
+namespace cybok::baseline {
+
+MethodologyComparison compare_methodologies(const model::SystemModel& m,
+                                            const search::AssociationMap& associations,
+                                            const safety::HazardModel& hazards,
+                                            std::string_view tree_target) {
+    MethodologyComparison out;
+
+    // Baseline side.
+    std::vector<StrideThreat> stride = stride_per_element(m);
+    out.stride_findings = stride.size();
+    for (const model::Component& c : m.components())
+        if (c.id.valid() && !baseline_models(c)) ++out.unmodeled_components;
+    AttackTree tree = build_attack_tree(m, associations, tree_target);
+    out.attack_tree_leaves = tree.leaf_count();
+    out.minimal_attack_sets = tree.minimal_attack_sets().size();
+    // A STRIDE finding carries no hazard/loss reference: count any that do
+    // (there is no field to carry one — the count stays zero because the
+    // representation has nowhere to put it).
+    out.baseline_consequence_links = 0;
+
+    // CPS side.
+    safety::ConsequenceAnalyzer analyzer(m, hazards);
+    std::vector<safety::ConsequenceTrace> traces = analyzer.trace(associations);
+    out.consequence_traces = traces.size();
+    std::set<std::string> losses;
+    for (const safety::ConsequenceTrace& t : traces)
+        losses.insert(t.loss_ids.begin(), t.loss_ids.end());
+    out.distinct_losses_reached = losses.size();
+
+    for (const safety::CausalScenario& s :
+         safety::generate_scenarios(m, hazards, associations))
+        if (s.supported()) ++out.supported_scenarios;
+
+    return out;
+}
+
+} // namespace cybok::baseline

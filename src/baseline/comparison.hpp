@@ -1,0 +1,42 @@
+// The quantitative form of the paper's core argument: IT-centric threat
+// modeling produces findings, but *zero* of them connect to physical
+// consequences, because the representation cannot express them. The CPS
+// pipeline, on the same model and the same attack-vector data, produces
+// consequence-linked traces and scenarios.
+
+#pragma once
+
+#include "baseline/attack_tree.hpp"
+#include "baseline/stride.hpp"
+#include "safety/scenarios.hpp"
+#include "safety/trace.hpp"
+
+namespace cybok::baseline {
+
+struct MethodologyComparison {
+    // -- the IT baseline ---------------------------------------------------
+    std::size_t stride_findings = 0;
+    /// Model components the baseline could not represent at all
+    /// (actuators, physical processes).
+    std::size_t unmodeled_components = 0;
+    std::size_t attack_tree_leaves = 0;
+    std::size_t minimal_attack_sets = 0;
+    /// Baseline findings linked to a hazard or loss. Structurally zero —
+    /// kept as a field (not a constant) so the comparison is computed,
+    /// not asserted.
+    std::size_t baseline_consequence_links = 0;
+
+    // -- the CPS pipeline ----------------------------------------------------
+    std::size_t consequence_traces = 0;
+    std::size_t supported_scenarios = 0;
+    std::size_t distinct_losses_reached = 0;
+};
+
+/// Run both methodologies over the same model/associations/hazards.
+/// `tree_target` names the component the attack tree is built against
+/// (typically the primary controller).
+[[nodiscard]] MethodologyComparison compare_methodologies(
+    const model::SystemModel& m, const search::AssociationMap& associations,
+    const safety::HazardModel& hazards, std::string_view tree_target);
+
+} // namespace cybok::baseline

@@ -1,0 +1,120 @@
+#include "baseline/stride.hpp"
+
+namespace cybok::baseline {
+
+std::string_view stride_name(Stride s) noexcept {
+    switch (s) {
+        case Stride::Spoofing: return "spoofing";
+        case Stride::Tampering: return "tampering";
+        case Stride::Repudiation: return "repudiation";
+        case Stride::InformationDisclosure: return "information-disclosure";
+        case Stride::DenialOfService: return "denial-of-service";
+        case Stride::ElevationOfPrivilege: return "elevation-of-privilege";
+    }
+    return "?";
+}
+
+std::string_view element_class_name(ElementClass c) noexcept {
+    switch (c) {
+        case ElementClass::ExternalEntity: return "external-entity";
+        case ElementClass::Process: return "process";
+        case ElementClass::DataFlow: return "data-flow";
+        case ElementClass::DataStore: return "data-store";
+    }
+    return "?";
+}
+
+ElementClass classify_component(const model::Component& c) noexcept {
+    using model::ComponentType;
+    if (c.external_facing &&
+        (c.type == ComponentType::HumanInterface || c.type == ComponentType::Compute))
+        return ElementClass::ExternalEntity;
+    if (c.type == ComponentType::Sensor) return ElementClass::DataStore;
+    return ElementClass::Process;
+}
+
+bool baseline_models(const model::Component& c) noexcept {
+    using model::ComponentType;
+    // The IT baseline has no vocabulary for physical elements.
+    return c.type != ComponentType::Actuator && c.type != ComponentType::PhysicalProcess;
+}
+
+std::vector<Stride> applicable_categories(ElementClass c) {
+    switch (c) {
+        case ElementClass::ExternalEntity:
+            return {Stride::Spoofing, Stride::Repudiation};
+        case ElementClass::Process:
+            return {Stride::Spoofing, Stride::Tampering, Stride::Repudiation,
+                    Stride::InformationDisclosure, Stride::DenialOfService,
+                    Stride::ElevationOfPrivilege};
+        case ElementClass::DataFlow:
+            return {Stride::Tampering, Stride::InformationDisclosure,
+                    Stride::DenialOfService};
+        case ElementClass::DataStore:
+            return {Stride::Tampering, Stride::Repudiation,
+                    Stride::InformationDisclosure, Stride::DenialOfService};
+    }
+    return {};
+}
+
+namespace {
+
+std::string template_text(Stride s, const std::string& element) {
+    switch (s) {
+        case Stride::Spoofing:
+            return "An attacker may impersonate " + element + " or an identity it trusts.";
+        case Stride::Tampering:
+            return "Data handled by " + element + " may be modified without detection.";
+        case Stride::Repudiation:
+            return element + " may perform actions that cannot be attributed afterwards.";
+        case Stride::InformationDisclosure:
+            return "Information processed by " + element + " may be exposed to "
+                   "unauthorized parties.";
+        case Stride::DenialOfService:
+            return element + " may be made unavailable to legitimate users.";
+        case Stride::ElevationOfPrivilege:
+            return "An attacker may gain capabilities on " + element +
+                   " beyond those granted.";
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<StrideThreat> stride_per_element(const model::SystemModel& m) {
+    std::vector<StrideThreat> out;
+
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid() || !baseline_models(c)) continue;
+        ElementClass cls = classify_component(c);
+        for (Stride s : applicable_categories(cls)) {
+            StrideThreat t;
+            t.element = c.name;
+            t.element_class = cls;
+            t.category = s;
+            t.description = template_text(s, c.name);
+            out.push_back(std::move(t));
+        }
+    }
+
+    for (const model::Connector& k : m.connectors()) {
+        if (!m.contains(k.from) || !m.contains(k.to)) continue;
+        // Flows touching unmodeled (physical) endpoints are skipped, as in
+        // IT tools where the diagram simply ends at the last server.
+        if (!baseline_models(m.component(k.from)) || !baseline_models(m.component(k.to)))
+            continue;
+        std::string name = m.component(k.from).name + " -> " + m.component(k.to).name +
+                           " (" + k.name + ")";
+        for (Stride s : applicable_categories(ElementClass::DataFlow)) {
+            StrideThreat t;
+            t.element = name;
+            t.element_class = ElementClass::DataFlow;
+            t.category = s;
+            t.description = template_text(s, name);
+            out.push_back(std::move(t));
+        }
+    }
+    return out;
+}
+
+} // namespace cybok::baseline

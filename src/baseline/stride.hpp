@@ -1,0 +1,67 @@
+// Baseline comparator #1: STRIDE-per-element threat modeling — the
+// IT-centric methodology (Microsoft threat modeling tool style) the paper
+// holds up as insufficient for CPS: "they are primarily focused on the IT
+// infrastructure … This narrow focus does not allow for the modeling of
+// the physical interactions … and, therefore, cannot map threats to
+// environmental consequences."
+//
+// The implementation is a faithful STRIDE-per-element: each model element
+// is classified as external entity / process / data flow / data store and
+// receives the standard threat categories for its class. Crucially — and
+// this is the point of having the baseline — the findings are generic
+// template text with NO linkage to hazards, losses, or control actions.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cybok::baseline {
+
+enum class Stride : std::uint8_t {
+    Spoofing,
+    Tampering,
+    Repudiation,
+    InformationDisclosure,
+    DenialOfService,
+    ElevationOfPrivilege,
+};
+[[nodiscard]] std::string_view stride_name(Stride s) noexcept;
+
+/// STRIDE-per-element's element taxonomy.
+enum class ElementClass : std::uint8_t { ExternalEntity, Process, DataFlow, DataStore };
+[[nodiscard]] std::string_view element_class_name(ElementClass c) noexcept;
+
+/// Classification of a model element for the baseline:
+///  * external-facing HumanInterface/Compute components -> ExternalEntity
+///  * Controller/Compute/Software/Network components    -> Process
+///  * Sensor components (measurement producers)         -> DataStore
+///  * Actuator/PhysicalProcess components               -> (out of scope
+///    for the IT baseline — exactly the gap)
+///  * every connector                                   -> DataFlow
+[[nodiscard]] ElementClass classify_component(const model::Component& c) noexcept;
+
+/// Whether the IT baseline models this component at all. Physical elements
+/// (actuators, physical processes) have no STRIDE element class.
+[[nodiscard]] bool baseline_models(const model::Component& c) noexcept;
+
+/// One generic finding.
+struct StrideThreat {
+    std::string element;     ///< component name or "from -> to" for flows
+    ElementClass element_class = ElementClass::Process;
+    Stride category = Stride::Spoofing;
+    std::string description; ///< generic template text
+};
+
+/// Run STRIDE-per-element over the model. Deterministic; ordered by
+/// element then category.
+[[nodiscard]] std::vector<StrideThreat> stride_per_element(const model::SystemModel& m);
+
+/// Which STRIDE categories apply to an element class (the standard chart:
+/// external entity SR, process STRIDE, data flow TID, data store TRID).
+[[nodiscard]] std::vector<Stride> applicable_categories(ElementClass c);
+
+} // namespace cybok::baseline

@@ -1,0 +1,127 @@
+#include "core/session.hpp"
+
+#include "graph/graphml.hpp"
+#include "model/export.hpp"
+
+namespace cybok::core {
+
+AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
+                                 SessionOptions options)
+    : model_(std::move(m)), corpus_(corpus), options_(std::move(options)),
+      engine_(corpus_, options_.engine) {}
+
+void AnalysisSession::set_hazards(safety::HazardModel hazards) {
+    std::vector<std::string> issues = hazards.validate();
+    if (!issues.empty())
+        throw ValidationError("hazard model invalid: " + issues.front() + " (+" +
+                              std::to_string(issues.size() - 1) + " more)");
+    hazards_ = std::move(hazards);
+    traces_.reset();
+    scenarios_.reset();
+}
+
+void AnalysisSession::set_missions(model::MissionModel missions) {
+    std::vector<std::string> issues = missions.validate(model_);
+    if (!issues.empty())
+        throw ValidationError("mission model invalid: " + issues.front() + " (+" +
+                              std::to_string(issues.size() - 1) + " more)");
+    missions_ = std::move(missions);
+}
+
+std::vector<analysis::MissionImpact> AnalysisSession::mission_impacts() {
+    if (!missions_.has_value()) return {};
+    return analysis::mission_impacts(*missions_, associations());
+}
+
+std::vector<analysis::Advice> AnalysisSession::model_advice() {
+    return analysis::advise(model_, associations());
+}
+
+graph::PropertyGraph AnalysisSession::architecture() const { return model::to_graph(model_); }
+
+std::string AnalysisSession::architecture_graphml() const {
+    return graph::to_graphml(architecture(), model_.name());
+}
+
+const search::AssociationMap& AnalysisSession::associations() {
+    if (!associations_.has_value())
+        associations_ = search::associate(model_, engine_, chain());
+    return *associations_;
+}
+
+const analysis::SecurityPosture& AnalysisSession::posture() {
+    if (!posture_.has_value()) posture_ = analysis::compute_posture(model_, associations());
+    return *posture_;
+}
+
+const std::vector<safety::ConsequenceTrace>& AnalysisSession::consequence_traces() {
+    if (!traces_.has_value()) {
+        if (!hazards_.has_value()) {
+            traces_ = std::vector<safety::ConsequenceTrace>{};
+        } else {
+            safety::ConsequenceAnalyzer analyzer(model_, *hazards_);
+            traces_ = analyzer.trace(associations());
+        }
+    }
+    return *traces_;
+}
+
+const std::vector<safety::CausalScenario>& AnalysisSession::causal_scenarios() {
+    if (!scenarios_.has_value()) {
+        if (!hazards_.has_value()) {
+            scenarios_ = std::vector<safety::CausalScenario>{};
+        } else {
+            scenarios_ = safety::generate_scenarios(model_, *hazards_, associations());
+        }
+    }
+    return *scenarios_;
+}
+
+std::vector<analysis::HardeningCandidate> AnalysisSession::hardening_candidates() {
+    return analysis::rank_hardening_candidates(
+        model_, associations(), hazards_.has_value() ? &*hazards_ : nullptr);
+}
+
+graph::PropertyGraph AnalysisSession::vector_graph(
+    const dashboard::VectorGraphOptions& options) {
+    return dashboard::build_vector_graph(model_, associations(), corpus_, options);
+}
+
+dashboard::Report AnalysisSession::report() {
+    dashboard::ReportExtras extras;
+    if (hazards_.has_value()) {
+        extras.scenarios = causal_scenarios();
+        extras.hardening = hardening_candidates();
+    }
+    return dashboard::build_report(model_, associations(), posture(), consequence_traces(),
+                                   options_.report, &extras);
+}
+
+std::vector<std::string> AnalysisSession::export_bundle(const std::string& directory) {
+    return dashboard::write_bundle(directory, model_, associations(), report());
+}
+
+analysis::WhatIfResult AnalysisSession::propose(const model::SystemModel& candidate) {
+    return analysis::what_if(model_, associations(), candidate, engine_, chain());
+}
+
+model::ModelDiff AnalysisSession::commit(model::SystemModel candidate) {
+    model::ModelDiff d = model::diff(model_, candidate);
+    search::AssociationMap updated =
+        search::reassociate(associations(), d, candidate, engine_, chain());
+    model_ = std::move(candidate);
+    invalidate_views();
+    associations_ = std::move(updated);
+    return d;
+}
+
+void AnalysisSession::invalidate_views() noexcept {
+    associations_.reset();
+    posture_.reset();
+    traces_.reset();
+    scenarios_.reset();
+}
+
+std::string_view version() noexcept { return "1.0.0"; }
+
+} // namespace cybok::core

@@ -1,0 +1,127 @@
+// AnalysisSession: the top-level facade implementing the paper's three
+// capabilities as one object —
+//
+//   1. export the system model to a general architectural model
+//      (architecture(), architecture_graphml()),
+//   2. associate attack-vector data to the general model
+//      (associations(), lazily computed, incrementally maintained),
+//   3. present merged views for analysis and decision making
+//      (report(), posture(), consequence_traces(), export_bundle()),
+//
+// plus the iterative refinement loop (propose() / commit()) that the
+// analyst dashboard exposes as "change the model on the fly and
+// immediately see the new results".
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/hardening.hpp"
+#include "analysis/mission_impact.hpp"
+#include "analysis/model_advice.hpp"
+#include "analysis/whatif.hpp"
+#include "dashboard/export_bundle.hpp"
+#include "dashboard/vector_graph.hpp"
+#include "safety/scenarios.hpp"
+#include "safety/trace.hpp"
+#include "search/engine.hpp"
+#include "search/filters.hpp"
+
+namespace cybok::core {
+
+struct SessionOptions {
+    search::EngineOptions engine;
+    /// Filter chain applied to every attribute's matches (empty = keep
+    /// everything; the Table 1 reproduction runs unfiltered).
+    search::FilterChain filters;
+    dashboard::ReportOptions report;
+};
+
+/// One analysis session over (model, corpus). The corpus must outlive the
+/// session; the model is owned and evolves through commit().
+class AnalysisSession {
+public:
+    AnalysisSession(model::SystemModel m, const kb::Corpus& corpus)
+        : AnalysisSession(std::move(m), corpus, SessionOptions{}) {}
+    AnalysisSession(model::SystemModel m, const kb::Corpus& corpus, SessionOptions options);
+
+    AnalysisSession(const AnalysisSession&) = delete;
+    AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+    [[nodiscard]] const model::SystemModel& model() const noexcept { return model_; }
+    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
+    [[nodiscard]] const search::SearchEngine& engine() const noexcept { return engine_; }
+
+    /// Attach physical-consequence knowledge (losses/hazards/UCAs). Resets
+    /// cached traces.
+    void set_hazards(safety::HazardModel hazards);
+    [[nodiscard]] bool has_hazards() const noexcept { return hazards_.has_value(); }
+
+    /// Attach mission traceability (missions/functions/allocations).
+    void set_missions(model::MissionModel missions);
+    [[nodiscard]] bool has_missions() const noexcept { return missions_.has_value(); }
+
+    // -- capability 1: export ------------------------------------------------
+
+    [[nodiscard]] graph::PropertyGraph architecture() const;
+    [[nodiscard]] std::string architecture_graphml() const;
+
+    // -- capability 2: associate ---------------------------------------------
+
+    /// The association map for the current model (computed on first use,
+    /// maintained incrementally across commits).
+    [[nodiscard]] const search::AssociationMap& associations();
+
+    // -- capability 3: analyze / present -------------------------------------
+
+    [[nodiscard]] const analysis::SecurityPosture& posture();
+    [[nodiscard]] const std::vector<safety::ConsequenceTrace>& consequence_traces();
+    /// STPA-style causal scenarios per UCA (empty without a hazard model).
+    [[nodiscard]] const std::vector<safety::CausalScenario>& causal_scenarios();
+    /// Hardening candidates ranked by blocked traces / cut paths.
+    [[nodiscard]] std::vector<analysis::HardeningCandidate> hardening_candidates();
+    /// The merged component/attack-vector graph (dashboard graph view).
+    [[nodiscard]] graph::PropertyGraph vector_graph(
+        const dashboard::VectorGraphOptions& options = {});
+    /// Per-mission threat summary (empty without a mission model).
+    [[nodiscard]] std::vector<analysis::MissionImpact> mission_impacts();
+    /// Model-improvement suggestions for the current model + results.
+    [[nodiscard]] std::vector<analysis::Advice> model_advice();
+    [[nodiscard]] dashboard::Report report();
+    /// Write the full dashboard bundle into an existing directory.
+    std::vector<std::string> export_bundle(const std::string& directory);
+
+    // -- refinement loop ------------------------------------------------------
+
+    /// Evaluate a candidate architecture without changing session state.
+    [[nodiscard]] analysis::WhatIfResult propose(const model::SystemModel& candidate);
+
+    /// Adopt a candidate architecture; associations are updated
+    /// incrementally from the diff. Returns the diff that was applied.
+    model::ModelDiff commit(model::SystemModel candidate);
+
+private:
+    void invalidate_views() noexcept;
+    const search::FilterChain* chain() const noexcept {
+        return options_.filters.stage_count() > 0 ? &options_.filters : nullptr;
+    }
+
+    model::SystemModel model_;
+    const kb::Corpus& corpus_;
+    SessionOptions options_;
+    search::SearchEngine engine_;
+    std::optional<safety::HazardModel> hazards_;
+    std::optional<model::MissionModel> missions_;
+
+    std::optional<search::AssociationMap> associations_;
+    std::optional<analysis::SecurityPosture> posture_;
+    std::optional<std::vector<safety::ConsequenceTrace>> traces_;
+    std::optional<std::vector<safety::CausalScenario>> scenarios_;
+};
+
+/// Library version string.
+[[nodiscard]] std::string_view version() noexcept;
+
+} // namespace cybok::core

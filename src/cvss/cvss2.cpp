@@ -1,0 +1,159 @@
+#include "cvss/cvss2.hpp"
+
+#include <cmath>
+
+#include "cvss/cvss.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace cybok::cvss2 {
+
+namespace {
+
+double weight(AccessVector v) {
+    switch (v) {
+        case AccessVector::Local: return 0.395;
+        case AccessVector::AdjacentNetwork: return 0.646;
+        case AccessVector::Network: return 1.0;
+    }
+    return 0.0;
+}
+
+double weight(AccessComplexity v) {
+    switch (v) {
+        case AccessComplexity::High: return 0.35;
+        case AccessComplexity::Medium: return 0.61;
+        case AccessComplexity::Low: return 0.71;
+    }
+    return 0.0;
+}
+
+double weight(Authentication v) {
+    switch (v) {
+        case Authentication::Multiple: return 0.45;
+        case Authentication::Single: return 0.56;
+        case Authentication::None: return 0.704;
+    }
+    return 0.0;
+}
+
+double weight(Impact2 v) {
+    switch (v) {
+        case Impact2::None: return 0.0;
+        case Impact2::Partial: return 0.275;
+        case Impact2::Complete: return 0.660;
+    }
+    return 0.0;
+}
+
+double round1(double x) { return std::round(x * 10.0) / 10.0; }
+
+} // namespace
+
+Vector parse(std::string_view text) {
+    std::string_view rest = strings::trim(text);
+    // Accept NVD-style wrappers: "CVSS2#AV:N/..." or "(AV:N/...)".
+    if (rest.starts_with("CVSS2#")) rest.remove_prefix(6);
+    if (rest.starts_with("(") && rest.ends_with(")")) {
+        rest.remove_prefix(1);
+        rest.remove_suffix(1);
+    }
+    Vector v;
+    bool have[6] = {false, false, false, false, false, false};
+    for (std::string_view part : strings::split(rest, '/')) {
+        std::size_t colon = part.find(':');
+        if (colon == std::string_view::npos)
+            throw ParseError("CVSS2 metric missing ':': " + std::string(part));
+        std::string_view key = part.substr(0, colon);
+        std::string_view val = part.substr(colon + 1);
+        auto impact = [&](std::string_view s) {
+            if (s == "N") return Impact2::None;
+            if (s == "P") return Impact2::Partial;
+            if (s == "C") return Impact2::Complete;
+            throw ParseError("bad CVSS2 impact value: " + std::string(s));
+        };
+        if (key == "AV") {
+            have[0] = true;
+            if (val == "L") v.av = AccessVector::Local;
+            else if (val == "A") v.av = AccessVector::AdjacentNetwork;
+            else if (val == "N") v.av = AccessVector::Network;
+            else throw ParseError("bad AV value: " + std::string(val));
+        } else if (key == "AC") {
+            have[1] = true;
+            if (val == "H") v.ac = AccessComplexity::High;
+            else if (val == "M") v.ac = AccessComplexity::Medium;
+            else if (val == "L") v.ac = AccessComplexity::Low;
+            else throw ParseError("bad AC value: " + std::string(val));
+        } else if (key == "Au") {
+            have[2] = true;
+            if (val == "M") v.au = Authentication::Multiple;
+            else if (val == "S") v.au = Authentication::Single;
+            else if (val == "N") v.au = Authentication::None;
+            else throw ParseError("bad Au value: " + std::string(val));
+        } else if (key == "C") {
+            have[3] = true;
+            v.conf = impact(val);
+        } else if (key == "I") {
+            have[4] = true;
+            v.integ = impact(val);
+        } else if (key == "A") {
+            have[5] = true;
+            v.avail = impact(val);
+        } else {
+            // Temporal/environmental v2 metrics are ignored (base only).
+            if (key != "E" && key != "RL" && key != "RC")
+                throw ParseError("unknown CVSS2 metric: " + std::string(key));
+        }
+    }
+    for (bool h : have)
+        if (!h) throw ParseError("CVSS2 vector is missing base metrics");
+    return v;
+}
+
+std::string to_string(const Vector& v) {
+    std::string out = "AV:";
+    out += v.av == AccessVector::Local ? "L" : v.av == AccessVector::AdjacentNetwork ? "A" : "N";
+    out += "/AC:";
+    out += v.ac == AccessComplexity::High ? "H" : v.ac == AccessComplexity::Medium ? "M" : "L";
+    out += "/Au:";
+    out += v.au == Authentication::Multiple ? "M" : v.au == Authentication::Single ? "S" : "N";
+    auto impact = [](Impact2 i) {
+        return i == Impact2::None ? "N" : i == Impact2::Partial ? "P" : "C";
+    };
+    out += std::string("/C:") + impact(v.conf);
+    out += std::string("/I:") + impact(v.integ);
+    out += std::string("/A:") + impact(v.avail);
+    return out;
+}
+
+double impact_subscore(const Vector& v) {
+    return 10.41 * (1.0 - (1.0 - weight(v.conf)) * (1.0 - weight(v.integ)) *
+                              (1.0 - weight(v.avail)));
+}
+
+double exploitability_subscore(const Vector& v) {
+    return 20.0 * weight(v.av) * weight(v.ac) * weight(v.au);
+}
+
+double base_score(const Vector& v) {
+    const double impact = impact_subscore(v);
+    const double exploitability = exploitability_subscore(v);
+    const double f_impact = impact == 0.0 ? 0.0 : 1.176;
+    return round1((0.6 * impact + 0.4 * exploitability - 1.5) * f_impact);
+}
+
+} // namespace cybok::cvss2
+
+namespace cybok::cvss {
+
+std::optional<double> score_any(std::string_view vector_text) noexcept {
+    try {
+        std::string_view t = strings::trim(vector_text);
+        if (t.starts_with("CVSS:3")) return base_score(parse(t));
+        return cvss2::base_score(cvss2::parse(t));
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace cybok::cvss

@@ -1,0 +1,50 @@
+// CVSS v2 base vectors and scoring (the scheme attached to the older half
+// of the NVD corpus; a real MITRE snapshot mixes v2-only and v3-scored
+// records, so the importer and the severity filter must handle both).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cybok::cvss2 {
+
+enum class AccessVector { Local, AdjacentNetwork, Network };
+enum class AccessComplexity { High, Medium, Low };
+enum class Authentication { Multiple, Single, None };
+enum class Impact2 { None, Partial, Complete };
+
+/// A parsed CVSS v2 base vector ("AV:N/AC:L/Au:N/C:P/I:P/A:P", with or
+/// without a "CVSS2#" / parenthesized wrapper).
+struct Vector {
+    AccessVector av = AccessVector::Network;
+    AccessComplexity ac = AccessComplexity::Low;
+    Authentication au = Authentication::None;
+    Impact2 conf = Impact2::None;
+    Impact2 integ = Impact2::None;
+    Impact2 avail = Impact2::None;
+
+    friend bool operator==(const Vector&, const Vector&) = default;
+};
+
+/// Parse; throws cybok::ParseError on malformed input.
+[[nodiscard]] Vector parse(std::string_view text);
+[[nodiscard]] std::string to_string(const Vector& v);
+
+/// Base score per the CVSS v2 specification (one decimal).
+[[nodiscard]] double base_score(const Vector& v);
+[[nodiscard]] double impact_subscore(const Vector& v);
+[[nodiscard]] double exploitability_subscore(const Vector& v);
+
+} // namespace cybok::cvss2
+
+namespace cybok::cvss {
+
+/// Score a vector string of either generation: "CVSS:3.x/..." dispatches
+/// to the v3.1 scorer, anything else is tried as v2. Returns nullopt for
+/// strings neither parser accepts (corpus records with junk metadata must
+/// not take the analysis down).
+[[nodiscard]] std::optional<double> score_any(std::string_view vector_text) noexcept;
+
+} // namespace cybok::cvss

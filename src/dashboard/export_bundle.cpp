@@ -1,0 +1,125 @@
+#include "dashboard/export_bundle.hpp"
+
+#include <fstream>
+
+#include "graph/dot.hpp"
+#include "graph/graphml.hpp"
+#include "model/export.hpp"
+
+namespace cybok::dashboard {
+
+json::Value associations_to_json(const search::AssociationMap& associations) {
+    json::Array components;
+    for (const search::ComponentAssociation& ca : associations.components) {
+        json::Object comp;
+        comp["component"] = json::Value(ca.component);
+        json::Array attrs;
+        for (const search::AttributeAssociation& aa : ca.attributes) {
+            json::Object attr;
+            attr["name"] = json::Value(aa.attribute_name);
+            attr["value"] = json::Value(aa.attribute_value);
+            json::Array matches;
+            for (const search::Match& m : aa.matches) {
+                json::Object match;
+                match["class"] = json::Value(std::string(vector_class_name(m.cls)));
+                match["index"] = json::Value(static_cast<std::int64_t>(m.corpus_index));
+                match["id"] = json::Value(m.id);
+                match["title"] = json::Value(m.title);
+                match["score"] = json::Value(m.score);
+                match["via"] = json::Value(std::string(match_via_name(m.via)));
+                json::Array evidence;
+                for (const std::string& e : m.evidence) evidence.emplace_back(e);
+                match["evidence"] = json::Value(std::move(evidence));
+                if (m.severity >= 0.0) match["severity"] = json::Value(m.severity);
+                matches.emplace_back(std::move(match));
+            }
+            attr["matches"] = json::Value(std::move(matches));
+            attrs.emplace_back(std::move(attr));
+        }
+        comp["attributes"] = json::Value(std::move(attrs));
+        components.emplace_back(std::move(comp));
+    }
+    json::Object root;
+    root["format"] = json::Value("cybok-associations-v1");
+    root["components"] = json::Value(std::move(components));
+    return json::Value(std::move(root));
+}
+
+namespace {
+
+search::VectorClass class_from_name(std::string_view s) {
+    using search::VectorClass;
+    for (VectorClass c : {VectorClass::AttackPattern, VectorClass::Weakness,
+                          VectorClass::Vulnerability})
+        if (vector_class_name(c) == s) return c;
+    throw ValidationError("unknown vector class: " + std::string(s));
+}
+
+search::MatchVia via_from_name(std::string_view s) {
+    using search::MatchVia;
+    for (MatchVia v : {MatchVia::Lexical, MatchVia::PlatformBinding, MatchVia::CrossReference})
+        if (match_via_name(v) == s) return v;
+    throw ValidationError("unknown match mechanism: " + std::string(s));
+}
+
+} // namespace
+
+search::AssociationMap associations_from_json(const json::Value& doc) {
+    if (doc.get_string("format") != "cybok-associations-v1")
+        throw ValidationError("unknown associations format");
+    search::AssociationMap map;
+    for (const json::Value& comp : doc.at("components").as_array()) {
+        search::ComponentAssociation ca;
+        ca.component = comp.get_string("component");
+        for (const json::Value& attr : comp.at("attributes").as_array()) {
+            search::AttributeAssociation aa;
+            aa.attribute_name = attr.get_string("name");
+            aa.attribute_value = attr.get_string("value");
+            for (const json::Value& match : attr.at("matches").as_array()) {
+                search::Match m;
+                m.cls = class_from_name(match.get_string("class"));
+                m.corpus_index = static_cast<std::size_t>(match.get_int("index"));
+                m.id = match.get_string("id");
+                m.title = match.get_string("title");
+                m.score = match.get_number("score");
+                m.via = via_from_name(match.get_string("via"));
+                for (const json::Value& e : match.at("evidence").as_array())
+                    m.evidence.push_back(e.as_string());
+                m.severity = match.get_number("severity", -1.0);
+                aa.matches.push_back(std::move(m));
+            }
+            ca.attributes.push_back(std::move(aa));
+        }
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+std::vector<std::string> write_bundle(const std::string& directory,
+                                      const model::SystemModel& m,
+                                      const search::AssociationMap& associations,
+                                      const Report& report) {
+    std::vector<std::string> written;
+    graph::PropertyGraph g = model::to_graph(m);
+
+    auto write_text = [&](const std::string& name, const std::string& content) {
+        const std::string path = directory + "/" + name;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) throw IoError("cannot open for writing: " + path);
+        out << content;
+        if (!out) throw IoError("write failed: " + path);
+        written.push_back(path);
+    };
+
+    write_text("model.graphml", graph::to_graphml(g, m.name()));
+    graph::DotOptions dot_opts;
+    dot_opts.graph_name = m.name();
+    dot_opts.rankdir_lr = true;
+    write_text("model.dot", graph::to_dot(g, dot_opts));
+    write_text("associations.json", json::dump(associations_to_json(associations), 2) + "\n");
+    write_text("report.html", render_html(report));
+    write_text("report.txt", render_text(report));
+    return written;
+}
+
+} // namespace cybok::dashboard

@@ -1,0 +1,32 @@
+// Export bundle: everything the (external, GUI) analyst dashboard would
+// consume, written as files — the architectural graph (GraphML + DOT), the
+// association map (JSON), and the rendered report (HTML + text).
+
+#pragma once
+
+#include <string>
+
+#include "dashboard/report.hpp"
+#include "model/system_model.hpp"
+#include "search/association.hpp"
+#include "util/json.hpp"
+
+namespace cybok::dashboard {
+
+/// JSON form of an association map (stable, diff-friendly).
+[[nodiscard]] json::Value associations_to_json(const search::AssociationMap& associations);
+
+/// Inverse of associations_to_json (used to reload saved analyses; the
+/// corpus-index fields are restored verbatim and only valid against the
+/// same corpus).
+[[nodiscard]] search::AssociationMap associations_from_json(const json::Value& doc);
+
+/// Write model.graphml, model.dot, associations.json, report.html, and
+/// report.txt into `directory` (which must exist). Returns the list of
+/// files written. Throws IoError on failure.
+std::vector<std::string> write_bundle(const std::string& directory,
+                                      const model::SystemModel& m,
+                                      const search::AssociationMap& associations,
+                                      const Report& report);
+
+} // namespace cybok::dashboard

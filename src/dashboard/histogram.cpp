@@ -1,0 +1,64 @@
+#include "dashboard/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cybok::dashboard {
+
+std::size_t SeverityHistogram::total() const noexcept {
+    std::size_t n = unscored;
+    for (std::size_t b : bands) n += b;
+    return n;
+}
+
+namespace {
+void account(SeverityHistogram& h, const search::Match& m) {
+    if (m.cls != search::VectorClass::Vulnerability) return;
+    if (m.severity < 0.0) {
+        ++h.unscored;
+        return;
+    }
+    ++h.band(cvss::severity_band(m.severity));
+}
+} // namespace
+
+SeverityHistogram severity_histogram(const search::AssociationMap& associations) {
+    SeverityHistogram h;
+    for (const search::ComponentAssociation& ca : associations.components)
+        for (const search::AttributeAssociation& aa : ca.attributes)
+            for (const search::Match& m : aa.matches) account(h, m);
+    return h;
+}
+
+SeverityHistogram severity_histogram(const std::vector<search::Match>& matches) {
+    SeverityHistogram h;
+    for (const search::Match& m : matches) account(h, m);
+    return h;
+}
+
+std::string render(const SeverityHistogram& h, std::size_t width) {
+    std::size_t max_count = h.unscored;
+    for (std::size_t b : h.bands) max_count = std::max(max_count, b);
+    if (max_count == 0) max_count = 1;
+
+    std::ostringstream out;
+    auto line = [&](std::string_view label, std::size_t count) {
+        std::size_t bar = count * width / max_count;
+        if (count > 0 && bar == 0) bar = 1;
+        out << "  " << label;
+        for (std::size_t i = label.size(); i < 9; ++i) out << ' ';
+        out << '|' << std::string(bar, '#') << ' ' << strings::with_commas(count) << '\n';
+    };
+    // Highest severity first — that is reading order for an analyst.
+    line("Critical", h.band(cvss::Severity::Critical));
+    line("High", h.band(cvss::Severity::High));
+    line("Medium", h.band(cvss::Severity::Medium));
+    line("Low", h.band(cvss::Severity::Low));
+    line("None", h.band(cvss::Severity::None));
+    line("unscored", h.unscored);
+    return out.str();
+}
+
+} // namespace cybok::dashboard

@@ -1,0 +1,43 @@
+// Severity distribution views: analysts triage the (large) vulnerability
+// result space by CVSS band before reading anything else, and the paper's
+// severity filter needs a picture of what it will cut. Plain-text
+// bar-chart rendering, no GUI dependency.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cvss/cvss.hpp"
+#include "search/association.hpp"
+
+namespace cybok::dashboard {
+
+/// Counts per CVSS severity band, plus unscored.
+struct SeverityHistogram {
+    /// Indexed by cvss::Severity (None..Critical).
+    std::array<std::size_t, 5> bands{};
+    std::size_t unscored = 0;
+
+    [[nodiscard]] std::size_t total() const noexcept;
+    [[nodiscard]] std::size_t& band(cvss::Severity s) noexcept {
+        return bands[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] std::size_t band(cvss::Severity s) const noexcept {
+        return bands[static_cast<std::size_t>(s)];
+    }
+};
+
+/// Histogram over every vulnerability match in an association map.
+[[nodiscard]] SeverityHistogram severity_histogram(const search::AssociationMap& associations);
+
+/// Histogram over raw matches.
+[[nodiscard]] SeverityHistogram severity_histogram(const std::vector<search::Match>& matches);
+
+/// Render as an ASCII bar chart, widest bar = `width` characters:
+///   Critical |#####            653
+///   High     |############## 2,880
+[[nodiscard]] std::string render(const SeverityHistogram& h, std::size_t width = 40);
+
+} // namespace cybok::dashboard

@@ -1,0 +1,73 @@
+// The analyst report — the library-form of the paper's "security analyst
+// dashboard": it merges the system model with its associated attack
+// vectors, the qualitative posture, and the physical-consequence traces,
+// in one artifact an analyst (or a test) can read.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/hardening.hpp"
+#include "analysis/posture.hpp"
+#include "dashboard/table.hpp"
+#include "safety/scenarios.hpp"
+#include "safety/trace.hpp"
+#include "search/association.hpp"
+
+namespace cybok::dashboard {
+
+/// One report section: a heading, prose lines, and optionally a table.
+struct Section {
+    std::string heading;
+    std::vector<std::string> lines;
+    std::optional<TextTable> table;
+};
+
+/// A complete report document.
+struct Report {
+    std::string title;
+    std::vector<Section> sections;
+
+    [[nodiscard]] const Section* find_section(std::string_view heading) const noexcept;
+};
+
+struct ReportOptions {
+    /// Max individual matches listed per attribute (0 = counts only).
+    std::size_t max_matches_per_attribute = 3;
+    bool include_posture = true;
+    bool include_traces = true;
+    bool include_attribute_table = true;
+    /// Only supported scenarios are listed unless this is set.
+    bool include_unsupported_scenarios = false;
+};
+
+/// Optional extra analysis artifacts a report can carry.
+struct ReportExtras {
+    std::vector<safety::CausalScenario> scenarios;
+    std::vector<analysis::HardeningCandidate> hardening;
+};
+
+/// Assemble a report from the analysis artifacts. `traces` may be empty
+/// when no hazard model is available.
+[[nodiscard]] Report build_report(const model::SystemModel& m,
+                                  const search::AssociationMap& associations,
+                                  const analysis::SecurityPosture& posture,
+                                  const std::vector<safety::ConsequenceTrace>& traces,
+                                  const ReportOptions& options = {},
+                                  const ReportExtras* extras = nullptr);
+
+/// Render a report as plain text.
+[[nodiscard]] std::string render_text(const Report& report);
+
+/// Render a report as a standalone HTML page.
+[[nodiscard]] std::string render_html(const Report& report);
+
+/// Build the paper's Table 1 from an association map: one row per
+/// distinct attribute value of PlatformRef attributes, with counts per
+/// vector class (duplicate attribute values across components are
+/// aggregated by max — both controllers report the same OS row once).
+[[nodiscard]] TextTable attribute_summary_table(const search::AssociationMap& associations);
+
+} // namespace cybok::dashboard

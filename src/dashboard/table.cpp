@@ -1,0 +1,79 @@
+#include "dashboard/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cybok::dashboard {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), right_(headers_.size(), false) {
+    if (headers_.empty()) throw ValidationError("table needs at least one column");
+}
+
+TextTable& TextTable::align_right(std::size_t column) {
+    if (column >= headers_.size()) throw ValidationError("align_right: no such column");
+    right_[column] = true;
+    return *this;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw ValidationError("row has " + std::to_string(cells.size()) + " cells, expected " +
+                              std::to_string(headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+std::string pad(const std::string& s, std::size_t width, bool right) {
+    if (s.size() >= width) return s;
+    std::string spaces(width - s.size(), ' ');
+    return right ? spaces + s : s + spaces;
+}
+} // namespace
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream out;
+    auto rule = [&] {
+        out << '+';
+        for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+        out << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        out << '|';
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            out << ' ' << pad(cells[i], widths[i], right_[i]) << " |";
+        out << '\n';
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+    return out.str();
+}
+
+std::string TextTable::render_markdown() const {
+    std::ostringstream out;
+    out << '|';
+    for (const std::string& h : headers_) out << ' ' << h << " |";
+    out << "\n|";
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        out << (right_[i] ? " ---: |" : " --- |");
+    out << '\n';
+    for (const auto& row : rows_) {
+        out << '|';
+        for (const std::string& c : row) out << ' ' << c << " |";
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace cybok::dashboard

@@ -1,0 +1,37 @@
+// Plain-text table rendering for reports and benchmark output — including
+// the exact shape of the paper's Table 1.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cybok::dashboard {
+
+/// A simple column-aligned text table.
+class TextTable {
+public:
+    /// Column headers define the column count; subsequent rows must match.
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Right-align a column (numbers read better right-aligned).
+    TextTable& align_right(std::size_t column);
+
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Render with +---+ borders.
+    [[nodiscard]] std::string render() const;
+
+    /// Render as GitHub-flavored markdown.
+    [[nodiscard]] std::string render_markdown() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> right_;
+};
+
+} // namespace cybok::dashboard

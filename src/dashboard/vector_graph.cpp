@@ -1,0 +1,175 @@
+#include "dashboard/vector_graph.hpp"
+
+#include <map>
+#include <set>
+
+#include "model/export.hpp"
+
+namespace cybok::dashboard {
+
+graph::PropertyGraph build_vector_graph(const model::SystemModel& m,
+                                        const search::AssociationMap& assoc,
+                                        const kb::Corpus& corpus,
+                                        const VectorGraphOptions& options) {
+    graph::PropertyGraph g;
+
+    // Component nodes (and architecture edges when requested).
+    std::map<std::string, graph::NodeId> component_nodes;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        graph::NodeId n = g.add_node(c.name);
+        g.set_property(n, "kind", std::string(kKindComponent));
+        g.set_property(n, "type", std::string(model::component_type_name(c.type)));
+        g.set_property(n, "external", c.external_facing);
+        component_nodes.emplace(c.name, n);
+    }
+    if (options.include_architecture) {
+        for (const model::Connector& k : m.connectors()) {
+            if (!m.contains(k.from) || !m.contains(k.to)) continue;
+            graph::EdgeId e = g.add_edge(component_nodes.at(m.component(k.from).name),
+                                         component_nodes.at(m.component(k.to).name), k.name);
+            g.set_property(e, "kind", std::string("connector"));
+        }
+    }
+
+    // Pass 1: collect vector keys and the components touching each so the
+    // min_component_degree filter can be applied before creating nodes.
+    struct VectorInfo {
+        std::string_view kind;
+        std::string label;
+        std::set<std::string> components;
+        double best_score = 0.0;
+        double max_severity = -1.0;
+        std::size_t instance_count = 0; // CVEs behind a group node
+        std::optional<kb::WeaknessId> weakness; // for cross-ref edges
+        std::optional<kb::AttackPatternId> pattern;
+    };
+    std::map<std::string, VectorInfo> vectors; // key -> info
+
+    for (const search::ComponentAssociation& ca : assoc.components) {
+        for (const search::AttributeAssociation& aa : ca.attributes) {
+            for (const search::Match& match : aa.matches) {
+                std::string key;
+                VectorInfo info;
+                switch (match.cls) {
+                    case search::VectorClass::AttackPattern:
+                        key = match.id;
+                        info.kind = kKindPattern;
+                        info.label = match.id + " " + match.title;
+                        info.pattern = corpus.patterns()[match.corpus_index].id;
+                        break;
+                    case search::VectorClass::Weakness:
+                        key = match.id;
+                        info.kind = kKindWeakness;
+                        info.label = match.id + " " + match.title;
+                        info.weakness = corpus.weaknesses()[match.corpus_index].id;
+                        break;
+                    case search::VectorClass::Vulnerability: {
+                        if (options.group_vulnerabilities) {
+                            const kb::Vulnerability& v =
+                                corpus.vulnerabilities()[match.corpus_index];
+                            if (!v.weaknesses.empty()) {
+                                info.weakness = v.weaknesses.front();
+                                key = "vulns:" + v.weaknesses.front().to_string();
+                                info.label =
+                                    "CVEs under " + v.weaknesses.front().to_string();
+                            } else {
+                                key = "vulns:unclassified";
+                                info.label = "unclassified CVEs";
+                            }
+                            info.kind = kKindVulnGroup;
+                        } else {
+                            key = match.id;
+                            info.kind = kKindVulnGroup;
+                            info.label = match.id;
+                        }
+                        break;
+                    }
+                }
+                VectorInfo& slot = vectors.try_emplace(key, std::move(info)).first->second;
+                slot.components.insert(ca.component);
+                slot.best_score = std::max(slot.best_score, match.score);
+                slot.max_severity = std::max(slot.max_severity, match.severity);
+                if (slot.kind == kKindVulnGroup) ++slot.instance_count;
+            }
+        }
+    }
+
+    // Pass 2: create surviving vector nodes and association edges.
+    std::map<std::string, graph::NodeId> vector_nodes;
+    for (const auto& [key, info] : vectors) {
+        if (info.components.size() < options.min_component_degree) continue;
+        graph::NodeId n = g.add_node(info.label);
+        g.set_property(n, "kind", std::string(info.kind));
+        g.set_property(n, "fanout", static_cast<std::int64_t>(info.components.size()));
+        if (info.max_severity >= 0.0) g.set_property(n, "max_severity", info.max_severity);
+        if (info.instance_count > 0)
+            g.set_property(n, "instances", static_cast<std::int64_t>(info.instance_count));
+        vector_nodes.emplace(key, n);
+        for (const std::string& component : info.components) {
+            graph::EdgeId e = g.add_edge(component_nodes.at(component), n, "associates");
+            g.set_property(e, "kind", std::string("association"));
+            g.set_property(e, "score", info.best_score);
+        }
+    }
+
+    // Pass 3: cross-reference edges among surviving vector nodes.
+    if (options.include_cross_references) {
+        // Weakness id -> node for weakness nodes in the graph.
+        std::map<std::uint32_t, graph::NodeId> weakness_nodes;
+        for (const auto& [key, info] : vectors) {
+            auto it = vector_nodes.find(key);
+            if (it == vector_nodes.end()) continue;
+            if (info.kind == kKindWeakness && info.weakness.has_value())
+                weakness_nodes.emplace(info.weakness->value, it->second);
+        }
+        for (const auto& [key, info] : vectors) {
+            auto it = vector_nodes.find(key);
+            if (it == vector_nodes.end()) continue;
+            if (info.kind == kKindPattern && info.pattern.has_value()) {
+                const kb::AttackPattern* p = corpus.find(*info.pattern);
+                if (p == nullptr) continue;
+                for (kb::WeaknessId wid : p->related_weaknesses) {
+                    auto wn = weakness_nodes.find(wid.value);
+                    if (wn == weakness_nodes.end()) continue;
+                    graph::EdgeId e = g.add_edge(it->second, wn->second, "exploits");
+                    g.set_property(e, "kind", std::string("cross-reference"));
+                }
+            } else if (info.kind == kKindVulnGroup && info.weakness.has_value()) {
+                auto wn = weakness_nodes.find(info.weakness->value);
+                if (wn == weakness_nodes.end()) continue;
+                graph::EdgeId e = g.add_edge(it->second, wn->second, "instance-of");
+                g.set_property(e, "kind", std::string("cross-reference"));
+            }
+        }
+    }
+    return g;
+}
+
+VectorGraphStats vector_graph_stats(const graph::PropertyGraph& g) {
+    VectorGraphStats stats;
+    for (graph::NodeId n : g.nodes()) {
+        const graph::Property* kind = g.get_property(n, "kind");
+        if (kind == nullptr) continue;
+        const std::string k = graph::property_to_string(*kind);
+        if (k == kKindComponent) ++stats.components;
+        else if (k == kKindPattern) ++stats.patterns;
+        else if (k == kKindWeakness) ++stats.weaknesses;
+        else if (k == kKindVulnGroup) ++stats.vulnerability_groups;
+        if (k != kKindComponent) {
+            if (const graph::Property* fanout = g.get_property(n, "fanout")) {
+                if (std::get<std::int64_t>(*fanout) >= 2) ++stats.shared_vectors;
+            }
+        }
+    }
+    for (graph::EdgeId e : g.edges()) {
+        const graph::Property* kind = g.get_property(e, "kind");
+        if (kind == nullptr) continue;
+        const std::string k = graph::property_to_string(*kind);
+        if (k == "association") ++stats.association_edges;
+        else if (k == "cross-reference") ++stats.cross_reference_edges;
+    }
+    return stats;
+}
+
+} // namespace cybok::dashboard

@@ -1,0 +1,62 @@
+// The attack-vector graph: the "security analyst dashboard" view that
+// merges the system topology with the attack-vector space ("Defenders
+// think in lists. Attackers think in graphs." — the paper's epigraph for
+// moving security modeling to graphs).
+//
+// Nodes: system components, matched attack patterns, matched weaknesses,
+// and (grouped) matched vulnerabilities. Edges: component -> vector
+// (association, weighted by score), pattern -> weakness (exploits),
+// vulnerability-group -> weakness (instance-of), plus the architectural
+// connectors between components. The result serializes to GraphML/DOT for
+// external viewers.
+
+#pragma once
+
+#include "graph/property_graph.hpp"
+#include "kb/corpus.hpp"
+#include "model/system_model.hpp"
+#include "search/association.hpp"
+
+namespace cybok::dashboard {
+
+struct VectorGraphOptions {
+    /// Group vulnerability matches by their weakness class instead of one
+    /// node per CVE (a 10k-CVE attribute would otherwise dwarf the graph).
+    bool group_vulnerabilities = true;
+    /// Include pattern->weakness cross-reference edges from the corpus.
+    bool include_cross_references = true;
+    /// Include the architectural connectors between components.
+    bool include_architecture = true;
+    /// Drop vectors matched by fewer than this many components (1 = keep
+    /// all). Raising it surfaces the *shared* weaknesses — the BPCS/SIS
+    /// CWE-78 finding is exactly a shared node.
+    std::size_t min_component_degree = 1;
+};
+
+/// Node-kind property values used in the generated graph ("kind" key).
+inline constexpr std::string_view kKindComponent = "component";
+inline constexpr std::string_view kKindPattern = "attack-pattern";
+inline constexpr std::string_view kKindWeakness = "weakness";
+inline constexpr std::string_view kKindVulnGroup = "vulnerability-group";
+
+/// Build the merged component/attack-vector graph.
+[[nodiscard]] graph::PropertyGraph build_vector_graph(const model::SystemModel& m,
+                                                      const search::AssociationMap& assoc,
+                                                      const kb::Corpus& corpus,
+                                                      const VectorGraphOptions& options = {});
+
+/// Summary statistics of a vector graph (used by reports and tests).
+struct VectorGraphStats {
+    std::size_t components = 0;
+    std::size_t patterns = 0;
+    std::size_t weaknesses = 0;
+    std::size_t vulnerability_groups = 0;
+    std::size_t association_edges = 0;
+    std::size_t cross_reference_edges = 0;
+    /// Vector nodes associated with >= 2 components — the shared exposure
+    /// an analyst looks at first.
+    std::size_t shared_vectors = 0;
+};
+[[nodiscard]] VectorGraphStats vector_graph_stats(const graph::PropertyGraph& g);
+
+} // namespace cybok::dashboard

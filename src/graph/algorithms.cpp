@@ -1,0 +1,376 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+#include <stack>
+
+namespace cybok::graph {
+
+namespace {
+
+std::vector<NodeId> step(const PropertyGraph& g, NodeId n, Direction dir) {
+    switch (dir) {
+        case Direction::Forward: return g.successors(n);
+        case Direction::Backward: return g.predecessors(n);
+        case Direction::Undirected: return g.neighbors(n);
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<NodeId> bfs_order(const PropertyGraph& g, NodeId start, Direction dir) {
+    return reachable_from(g, {start}, dir);
+}
+
+std::vector<NodeId> reachable_from(const PropertyGraph& g, const std::vector<NodeId>& starts,
+                                   Direction dir) {
+    std::vector<bool> seen;
+    std::vector<NodeId> order;
+    std::deque<NodeId> frontier;
+    auto mark = [&](NodeId n) {
+        if (seen.size() <= n.value) seen.resize(n.value + 1, false);
+        if (seen[n.value]) return false;
+        seen[n.value] = true;
+        return true;
+    };
+    for (NodeId s : starts) {
+        if (!g.contains(s)) continue;
+        if (mark(s)) {
+            frontier.push_back(s);
+            order.push_back(s);
+        }
+    }
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        for (NodeId m : step(g, n, dir)) {
+            if (mark(m)) {
+                frontier.push_back(m);
+                order.push_back(m);
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<NodeId> dfs_postorder(const PropertyGraph& g) {
+    std::vector<NodeId> order;
+    std::vector<char> state; // 0 unseen, 1 open, 2 done
+    auto st = [&](NodeId n) -> char& {
+        if (state.size() <= n.value) state.resize(n.value + 1, 0);
+        return state[n.value];
+    };
+    for (NodeId root : g.nodes()) {
+        if (st(root) != 0) continue;
+        // Iterative DFS with explicit expansion flag.
+        std::stack<std::pair<NodeId, bool>> stack;
+        stack.push({root, false});
+        while (!stack.empty()) {
+            auto [n, expanded] = stack.top();
+            stack.pop();
+            if (expanded) {
+                st(n) = 2;
+                order.push_back(n);
+                continue;
+            }
+            if (st(n) != 0) continue;
+            st(n) = 1;
+            stack.push({n, true});
+            std::vector<NodeId> succ = g.successors(n);
+            // Push in reverse so traversal visits successors in id order.
+            for (auto it = succ.rbegin(); it != succ.rend(); ++it)
+                if (st(*it) == 0) stack.push({*it, false});
+        }
+    }
+    return order;
+}
+
+std::optional<std::vector<NodeId>> topological_order(const PropertyGraph& g) {
+    std::vector<NodeId> nodes = g.nodes();
+    std::map<NodeId, std::size_t> indegree;
+    for (NodeId n : nodes) indegree[n] = g.in_degree(n);
+    // Min-heap by id for deterministic output.
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+    for (NodeId n : nodes)
+        if (indegree[n] == 0) ready.push(n);
+    std::vector<NodeId> order;
+    order.reserve(nodes.size());
+    while (!ready.empty()) {
+        NodeId n = ready.top();
+        ready.pop();
+        order.push_back(n);
+        for (NodeId m : g.successors(n))
+            if (--indegree[m] == 0) ready.push(m);
+    }
+    if (order.size() != nodes.size()) return std::nullopt;
+    return order;
+}
+
+bool has_cycle(const PropertyGraph& g) { return !topological_order(g).has_value(); }
+
+std::vector<std::vector<NodeId>> weakly_connected_components(const PropertyGraph& g) {
+    std::vector<std::vector<NodeId>> components;
+    std::set<NodeId> visited;
+    for (NodeId n : g.nodes()) {
+        if (visited.contains(n)) continue;
+        std::vector<NodeId> comp = bfs_order(g, n, Direction::Undirected);
+        std::sort(comp.begin(), comp.end());
+        for (NodeId m : comp) visited.insert(m);
+        components.push_back(std::move(comp));
+    }
+    std::sort(components.begin(), components.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return components;
+}
+
+std::vector<std::vector<NodeId>> strongly_connected_components(const PropertyGraph& g) {
+    // Iterative Tarjan.
+    struct Frame {
+        NodeId node;
+        std::size_t next_child = 0;
+        std::vector<NodeId> succ;
+    };
+    std::map<NodeId, int> index;
+    std::map<NodeId, int> low;
+    std::map<NodeId, bool> on_stack;
+    std::vector<NodeId> stack;
+    std::vector<std::vector<NodeId>> components;
+    int counter = 0;
+
+    for (NodeId root : g.nodes()) {
+        if (index.contains(root)) continue;
+        std::vector<Frame> frames;
+        frames.push_back(Frame{root, 0, g.successors(root)});
+        index[root] = low[root] = counter++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            if (f.next_child < f.succ.size()) {
+                NodeId w = f.succ[f.next_child++];
+                if (!index.contains(w)) {
+                    index[w] = low[w] = counter++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    frames.push_back(Frame{w, 0, g.successors(w)});
+                } else if (on_stack[w]) {
+                    low[f.node] = std::min(low[f.node], index[w]);
+                }
+                continue;
+            }
+            // All children done: close the frame.
+            NodeId v = f.node;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().node] = std::min(low[frames.back().node], low[v]);
+            if (low[v] == index[v]) {
+                std::vector<NodeId> comp;
+                while (true) {
+                    NodeId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp.push_back(w);
+                    if (w == v) break;
+                }
+                std::sort(comp.begin(), comp.end());
+                components.push_back(std::move(comp));
+            }
+        }
+    }
+    std::sort(components.begin(), components.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return components;
+}
+
+std::vector<std::uint32_t> bfs_distances(const PropertyGraph& g, NodeId from, Direction dir) {
+    std::vector<std::uint32_t> dist;
+    auto d = [&](NodeId n) -> std::uint32_t& {
+        if (dist.size() <= n.value) dist.resize(n.value + 1, UINT32_MAX);
+        return dist[n.value];
+    };
+    if (!g.contains(from)) return dist;
+    d(from) = 0;
+    std::deque<NodeId> frontier{from};
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        std::uint32_t dn = d(n);
+        for (NodeId m : step(g, n, dir)) {
+            if (d(m) == UINT32_MAX) {
+                d(m) = dn + 1;
+                frontier.push_back(m);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NodeId> shortest_path(const PropertyGraph& g, NodeId from, NodeId to, Direction dir) {
+    if (!g.contains(from) || !g.contains(to)) return {};
+    std::map<NodeId, NodeId> parent;
+    std::deque<NodeId> frontier{from};
+    parent[from] = from;
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        if (n == to) break;
+        for (NodeId m : step(g, n, dir)) {
+            if (!parent.contains(m)) {
+                parent[m] = n;
+                frontier.push_back(m);
+            }
+        }
+    }
+    if (!parent.contains(to)) return {};
+    std::vector<NodeId> path;
+    for (NodeId n = to; ; n = parent[n]) {
+        path.push_back(n);
+        if (n == from) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<std::vector<NodeId>> all_simple_paths(const PropertyGraph& g, NodeId from, NodeId to,
+                                                  std::size_t max_hops, std::size_t max_paths) {
+    std::vector<std::vector<NodeId>> paths;
+    if (!g.contains(from) || !g.contains(to)) return paths;
+    std::vector<NodeId> current{from};
+    std::set<NodeId> on_path{from};
+    std::function<void(NodeId)> dfs = [&](NodeId n) {
+        if (paths.size() >= max_paths) return;
+        if (n == to) {
+            paths.push_back(current);
+            return;
+        }
+        if (current.size() > max_hops) return; // current.size()-1 edges so far
+        std::vector<NodeId> succ = g.successors(n);
+        std::sort(succ.begin(), succ.end());
+        for (NodeId m : succ) {
+            if (on_path.contains(m)) continue;
+            current.push_back(m);
+            on_path.insert(m);
+            dfs(m);
+            on_path.erase(m);
+            current.pop_back();
+        }
+    };
+    dfs(from);
+    return paths;
+}
+
+std::vector<std::vector<NodeId>> k_shortest_paths(const PropertyGraph& g, NodeId from, NodeId to,
+                                                  std::size_t k) {
+    // Enumerate bounded simple paths and keep the k shortest; adequate for
+    // architecture-scale graphs (tens to hundreds of nodes).
+    std::size_t bound = g.node_count();
+    std::vector<std::vector<NodeId>> all = all_simple_paths(g, from, to, bound, 65536);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (all.size() > k) all.resize(k);
+    return all;
+}
+
+std::map<NodeId, std::size_t> degree_centrality(const PropertyGraph& g) {
+    std::map<NodeId, std::size_t> out;
+    for (NodeId n : g.nodes()) out[n] = g.in_degree(n) + g.out_degree(n);
+    return out;
+}
+
+std::map<NodeId, double> betweenness_centrality(const PropertyGraph& g) {
+    // Brandes (2001), unweighted directed variant.
+    std::map<NodeId, double> cb;
+    std::vector<NodeId> nodes = g.nodes();
+    for (NodeId n : nodes) cb[n] = 0.0;
+    for (NodeId s : nodes) {
+        std::stack<NodeId> order;
+        std::map<NodeId, std::vector<NodeId>> preds;
+        std::map<NodeId, double> sigma;
+        std::map<NodeId, std::int64_t> dist;
+        for (NodeId n : nodes) {
+            sigma[n] = 0.0;
+            dist[n] = -1;
+        }
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        std::deque<NodeId> queue{s};
+        while (!queue.empty()) {
+            NodeId v = queue.front();
+            queue.pop_front();
+            order.push(v);
+            for (NodeId w : g.successors(v)) {
+                if (dist[w] < 0) {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if (dist[w] == dist[v] + 1) {
+                    sigma[w] += sigma[v];
+                    preds[w].push_back(v);
+                }
+            }
+        }
+        std::map<NodeId, double> delta;
+        for (NodeId n : nodes) delta[n] = 0.0;
+        while (!order.empty()) {
+            NodeId w = order.top();
+            order.pop();
+            for (NodeId v : preds[w])
+                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w]);
+            if (w != s) cb[w] += delta[w];
+        }
+    }
+    return cb;
+}
+
+std::vector<NodeId> articulation_points(const PropertyGraph& g) {
+    // Hopcroft–Tarjan over the undirected view.
+    std::map<NodeId, int> disc;
+    std::map<NodeId, int> low;
+    std::set<NodeId> points;
+    int timer = 0;
+    std::function<void(NodeId, NodeId, bool)> dfs = [&](NodeId u, NodeId parent, bool is_root) {
+        disc[u] = low[u] = timer++;
+        int children = 0;
+        for (NodeId v : g.neighbors(u)) {
+            if (v == parent) continue;
+            if (disc.contains(v)) {
+                low[u] = std::min(low[u], disc[v]);
+            } else {
+                ++children;
+                dfs(v, u, false);
+                low[u] = std::min(low[u], low[v]);
+                if (!is_root && low[v] >= disc[u]) points.insert(u);
+            }
+        }
+        if (is_root && children > 1) points.insert(u);
+    };
+    for (NodeId n : g.nodes())
+        if (!disc.contains(n)) dfs(n, NodeId{}, true);
+    return {points.begin(), points.end()};
+}
+
+Subgraph induced_subgraph(const PropertyGraph& g, const std::vector<NodeId>& keep) {
+    Subgraph out;
+    std::set<NodeId> keep_set(keep.begin(), keep.end());
+    for (NodeId n : g.nodes()) {
+        if (!keep_set.contains(n)) continue;
+        NodeId nn = out.graph.add_node(g.node(n).label);
+        out.graph.node(nn).properties = g.node(n).properties;
+        out.node_map[n] = nn;
+    }
+    for (EdgeId e : g.edges()) {
+        const auto& ed = g.edge(e);
+        auto s = out.node_map.find(ed.source);
+        auto t = out.node_map.find(ed.target);
+        if (s == out.node_map.end() || t == out.node_map.end()) continue;
+        EdgeId ne = out.graph.add_edge(s->second, t->second, ed.label);
+        out.graph.edge(ne).properties = ed.properties;
+    }
+    return out;
+}
+
+} // namespace cybok::graph

@@ -1,0 +1,90 @@
+// Graph algorithms used by the security-analysis layer: traversal,
+// reachability (attack-surface exposure), shortest paths (attack paths),
+// centrality (component criticality), and structural queries.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/property_graph.hpp"
+
+namespace cybok::graph {
+
+/// Direction in which edges are followed during traversal.
+enum class Direction { Forward, Backward, Undirected };
+
+/// Nodes reachable from `start` (inclusive), BFS order.
+[[nodiscard]] std::vector<NodeId> bfs_order(const PropertyGraph& g, NodeId start,
+                                            Direction dir = Direction::Forward);
+
+/// Nodes reachable from any node in `starts` (inclusive of live starts).
+[[nodiscard]] std::vector<NodeId> reachable_from(const PropertyGraph& g,
+                                                 const std::vector<NodeId>& starts,
+                                                 Direction dir = Direction::Forward);
+
+/// Depth-first post-order over the whole graph (deterministic by node id).
+[[nodiscard]] std::vector<NodeId> dfs_postorder(const PropertyGraph& g);
+
+/// Topological order of all live nodes, or nullopt if the graph has a
+/// directed cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(const PropertyGraph& g);
+
+/// True if a directed cycle exists.
+[[nodiscard]] bool has_cycle(const PropertyGraph& g);
+
+/// Weakly connected components; each inner vector is one component, nodes
+/// sorted by id, components sorted by their smallest node id.
+[[nodiscard]] std::vector<std::vector<NodeId>> weakly_connected_components(const PropertyGraph& g);
+
+/// Strongly connected components (Tarjan, iterative); nodes sorted by id
+/// within a component, components sorted by their smallest node id.
+/// Singleton components are included (every DAG node is its own SCC).
+[[nodiscard]] std::vector<std::vector<NodeId>> strongly_connected_components(
+    const PropertyGraph& g);
+
+/// Unweighted shortest path from `from` to `to` (inclusive endpoints), or
+/// empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path(const PropertyGraph& g, NodeId from, NodeId to,
+                                                Direction dir = Direction::Forward);
+
+/// Unweighted shortest-path distance from `from` to every node
+/// (UINT32_MAX where unreachable). Indexed by raw node id value.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const PropertyGraph& g, NodeId from,
+                                                       Direction dir = Direction::Forward);
+
+/// Up to `k` simple paths from `from` to `to`, shortest first (Yen-style
+/// enumeration over the unweighted graph). Each path includes endpoints.
+[[nodiscard]] std::vector<std::vector<NodeId>> k_shortest_paths(const PropertyGraph& g,
+                                                                NodeId from, NodeId to,
+                                                                std::size_t k);
+
+/// All simple paths from `from` to `to` of length <= max_hops (edge count),
+/// capped at `max_paths` results. DFS enumeration; deterministic order.
+[[nodiscard]] std::vector<std::vector<NodeId>> all_simple_paths(const PropertyGraph& g,
+                                                                NodeId from, NodeId to,
+                                                                std::size_t max_hops,
+                                                                std::size_t max_paths = 4096);
+
+/// In+out degree for every live node.
+[[nodiscard]] std::map<NodeId, std::size_t> degree_centrality(const PropertyGraph& g);
+
+/// Brandes' betweenness centrality over the directed, unweighted graph.
+/// Scores are unnormalized pair counts.
+[[nodiscard]] std::map<NodeId, double> betweenness_centrality(const PropertyGraph& g);
+
+/// Nodes whose removal disconnects the undirected view (articulation points).
+[[nodiscard]] std::vector<NodeId> articulation_points(const PropertyGraph& g);
+
+/// Induced subgraph on `keep` (copies labels/properties; returns the new
+/// graph and the old->new node mapping).
+struct Subgraph {
+    PropertyGraph graph;
+    std::map<NodeId, NodeId> node_map;
+};
+[[nodiscard]] Subgraph induced_subgraph(const PropertyGraph& g, const std::vector<NodeId>& keep);
+
+} // namespace cybok::graph

@@ -1,0 +1,51 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cybok::graph {
+
+namespace {
+std::string dot_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+} // namespace
+
+std::string to_dot(const PropertyGraph& g, const DotOptions& opts) {
+    std::ostringstream out;
+    out << "digraph \"" << dot_escape(opts.graph_name) << "\" {\n";
+    if (opts.rankdir_lr) out << "  rankdir=LR;\n";
+    out << "  node [shape=box, style=\"rounded,filled\", fillcolor=white];\n";
+    for (NodeId n : g.nodes()) {
+        std::string label = g.node(n).label;
+        if (!opts.annotation_key.empty()) {
+            if (const Property* p = g.get_property(n, opts.annotation_key))
+                label += "\n" + property_to_string(*p);
+        }
+        out << "  n" << n.value << " [label=\"" << dot_escape(label) << "\"";
+        if (const Property* p = g.get_property(n, opts.fillcolor_key))
+            out << ", fillcolor=\"" << dot_escape(property_to_string(*p)) << "\"";
+        out << "];\n";
+    }
+    for (EdgeId e : g.edges()) {
+        const auto& ed = g.edge(e);
+        out << "  n" << ed.source.value << " -> n" << ed.target.value;
+        if (!ed.label.empty()) out << " [label=\"" << dot_escape(ed.label) << "\"]";
+        out << ";\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace cybok::graph

@@ -1,0 +1,27 @@
+// Graphviz DOT export — the dashboard's graph-view serialization.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.hpp"
+
+namespace cybok::graph {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+    std::string graph_name = "G";
+    /// Property key whose value (if present) colors the node, e.g. the
+    /// analysis layer sets "dot.fillcolor" on high-exposure components.
+    std::string fillcolor_key = "dot.fillcolor";
+    /// Property key appended to the node label when present (e.g. a count
+    /// of associated attack vectors).
+    std::string annotation_key;
+    bool rankdir_lr = false;
+};
+
+/// Serialize the graph to Graphviz DOT.
+[[nodiscard]] std::string to_dot(const PropertyGraph& g, const DotOptions& opts = {});
+
+} // namespace cybok::graph

@@ -1,0 +1,168 @@
+#include "graph/graphml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace cybok::graph {
+
+namespace {
+
+const char* type_name(const Property& p) {
+    if (std::holds_alternative<std::string>(p)) return "string";
+    if (std::holds_alternative<double>(p)) return "double";
+    if (std::holds_alternative<std::int64_t>(p)) return "long";
+    return "boolean";
+}
+
+std::string value_text(const Property& p) {
+    if (const auto* d = std::get_if<double>(&p)) {
+        std::ostringstream ss;
+        ss.precision(17);
+        ss << *d;
+        return ss.str();
+    }
+    return property_to_string(p);
+}
+
+Property parse_property(std::string_view type, std::string_view text) {
+    std::string s(strings::trim(text));
+    if (type == "string") return Property(std::move(s));
+    if (type == "double" || type == "float") return Property(std::stod(s));
+    if (type == "long" || type == "int") return Property(static_cast<std::int64_t>(std::stoll(s)));
+    if (type == "boolean") return Property(s == "true" || s == "1");
+    throw ParseError("unknown GraphML attr.type: " + std::string(type));
+}
+
+} // namespace
+
+std::string to_graphml(const PropertyGraph& g, std::string_view graph_id) {
+    // Collect key declarations: (domain, name) -> (key id, type).
+    struct KeyDecl {
+        std::string id;
+        std::string type;
+    };
+    std::map<std::pair<std::string, std::string>, KeyDecl> keys;
+    int key_counter = 0;
+    auto declare = [&](const std::string& domain, const std::string& name, const Property& p) {
+        auto k = std::make_pair(domain, name);
+        if (!keys.contains(k))
+            keys[k] = KeyDecl{"k" + std::to_string(key_counter++), type_name(p)};
+    };
+    declare("node", "label", Property(std::string{}));
+    declare("edge", "label", Property(std::string{}));
+    for (NodeId n : g.nodes())
+        for (const auto& [name, p] : g.node(n).properties) declare("node", name, p);
+    for (EdgeId e : g.edges())
+        for (const auto& [name, p] : g.edge(e).properties) declare("edge", name, p);
+
+    std::ostringstream out;
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+        << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+    for (const auto& [k, decl] : keys) {
+        out << "  <key id=\"" << decl.id << "\" for=\"" << k.first << "\" attr.name=\""
+            << xml::escape(k.second) << "\" attr.type=\"" << decl.type << "\"/>\n";
+    }
+    out << "  <graph id=\"" << xml::escape(graph_id) << "\" edgedefault=\"directed\">\n";
+    for (NodeId n : g.nodes()) {
+        out << "    <node id=\"n" << n.value << "\">\n";
+        out << "      <data key=\"" << keys.at({"node", "label"}).id << "\">"
+            << xml::escape(g.node(n).label) << "</data>\n";
+        for (const auto& [name, p] : g.node(n).properties) {
+            out << "      <data key=\"" << keys.at({"node", name}).id << "\">"
+                << xml::escape(value_text(p)) << "</data>\n";
+        }
+        out << "    </node>\n";
+    }
+    int edge_i = 0;
+    for (EdgeId e : g.edges()) {
+        const auto& ed = g.edge(e);
+        out << "    <edge id=\"e" << edge_i++ << "\" source=\"n" << ed.source.value
+            << "\" target=\"n" << ed.target.value << "\">\n";
+        out << "      <data key=\"" << keys.at({"edge", "label"}).id << "\">"
+            << xml::escape(ed.label) << "</data>\n";
+        for (const auto& [name, p] : ed.properties) {
+            out << "      <data key=\"" << keys.at({"edge", name}).id << "\">"
+                << xml::escape(value_text(p)) << "</data>\n";
+        }
+        out << "    </edge>\n";
+    }
+    out << "  </graph>\n</graphml>\n";
+    return out.str();
+}
+
+PropertyGraph from_graphml(std::string_view xml) {
+    cybok::xml::Node root = cybok::xml::parse(xml);
+    if (root.name != "graphml") throw ParseError("root element is not <graphml>");
+
+    struct KeyInfo {
+        std::string domain;
+        std::string name;
+        std::string type;
+    };
+    std::map<std::string, KeyInfo> keys;
+    const cybok::xml::Node* graph = nullptr;
+    for (const cybok::xml::Node& child : root.children) {
+        if (child.name == "key") {
+            keys[child.attr("id")] =
+                KeyInfo{child.attr("for"), child.attr("attr.name"), child.attr("attr.type")};
+        } else if (child.name == "graph") {
+            if (graph != nullptr) throw ParseError("multiple <graph> elements unsupported");
+            graph = &child;
+        }
+    }
+    if (graph == nullptr) throw ParseError("no <graph> element");
+
+    PropertyGraph g;
+    std::map<std::string, NodeId> node_ids;
+    // Nodes first (GraphML permits interleaving; two passes keep it simple).
+    for (const cybok::xml::Node& el : graph->children) {
+        if (el.name != "node") continue;
+        NodeId n = g.add_node("");
+        node_ids[el.attr("id")] = n;
+        for (const cybok::xml::Node& data : el.children) {
+            if (data.name != "data") continue;
+            auto it = keys.find(data.attr("key"));
+            if (it == keys.end()) throw ParseError("undeclared key: " + data.attr("key"));
+            if (it->second.name == "label") g.node(n).label = std::string(strings::trim(data.text));
+            else g.set_property(n, it->second.name, parse_property(it->second.type, data.text));
+        }
+    }
+    for (const cybok::xml::Node& el : graph->children) {
+        if (el.name != "edge") continue;
+        auto s = node_ids.find(el.attr("source"));
+        auto t = node_ids.find(el.attr("target"));
+        if (s == node_ids.end() || t == node_ids.end())
+            throw ParseError("edge references unknown node");
+        EdgeId e = g.add_edge(s->second, t->second);
+        for (const cybok::xml::Node& data : el.children) {
+            if (data.name != "data") continue;
+            auto it = keys.find(data.attr("key"));
+            if (it == keys.end()) throw ParseError("undeclared key: " + data.attr("key"));
+            if (it->second.name == "label") g.edge(e).label = std::string(strings::trim(data.text));
+            else g.set_property(e, it->second.name, parse_property(it->second.type, data.text));
+        }
+    }
+    return g;
+}
+
+void save_graphml(const std::string& path, const PropertyGraph& g) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open file for writing: " + path);
+    out << to_graphml(g);
+    if (!out) throw IoError("write failed: " + path);
+}
+
+PropertyGraph load_graphml(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open file for reading: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return from_graphml(ss.str());
+}
+
+} // namespace cybok::graph

@@ -1,0 +1,33 @@
+// GraphML serialization of PropertyGraph.
+//
+// GraphML is the interchange format the paper's exporter tool emits from
+// SysML models ("GraphML export", Bakirtzis & Simon 2018) and the format the
+// CYBOK search engine and the analyst dashboard consume. The writer emits
+// the attribute-typed GraphML dialect (graphml/key/graph/node/edge/data);
+// the reader accepts the same subset, which round-trips everything the
+// writer produces.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/property_graph.hpp"
+
+namespace cybok::graph {
+
+/// Serialize to GraphML. Node/edge labels are stored under the reserved
+/// attribute name "label". Property keys are declared per element domain.
+[[nodiscard]] std::string to_graphml(const PropertyGraph& g,
+                                     std::string_view graph_id = "G");
+
+/// Parse a GraphML document produced by to_graphml (or any document using
+/// the same subset: one <graph>, typed <key> declarations, <data> values).
+/// Throws ParseError on malformed XML or GraphML.
+[[nodiscard]] PropertyGraph from_graphml(std::string_view xml);
+
+/// File helpers (throw IoError).
+void save_graphml(const std::string& path, const PropertyGraph& g);
+[[nodiscard]] PropertyGraph load_graphml(const std::string& path);
+
+} // namespace cybok::graph

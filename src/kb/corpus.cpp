@@ -1,0 +1,171 @@
+#include "kb/corpus.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cybok::kb {
+
+std::string_view rating_name(Rating r) noexcept {
+    switch (r) {
+        case Rating::VeryLow: return "Very Low";
+        case Rating::Low: return "Low";
+        case Rating::Medium: return "Medium";
+        case Rating::High: return "High";
+        case Rating::VeryHigh: return "Very High";
+    }
+    return "?";
+}
+
+void Corpus::add(AttackPattern pattern) {
+    patterns_.push_back(std::move(pattern));
+    indexed_ = false;
+}
+
+void Corpus::add(Weakness weakness) {
+    weaknesses_.push_back(std::move(weakness));
+    indexed_ = false;
+}
+
+void Corpus::add(Vulnerability vulnerability) {
+    vulnerabilities_.push_back(std::move(vulnerability));
+    indexed_ = false;
+}
+
+void Corpus::reindex() {
+    pattern_by_id_.clear();
+    weakness_by_id_.clear();
+    vulnerability_by_id_.clear();
+    vulns_by_product_.clear();
+    vulns_by_weakness_.clear();
+
+    for (std::size_t i = 0; i < patterns_.size(); ++i) {
+        if (!pattern_by_id_.emplace(patterns_[i].id, i).second)
+            throw ValidationError("duplicate attack pattern id: " + patterns_[i].id.to_string());
+    }
+    for (std::size_t i = 0; i < weaknesses_.size(); ++i) {
+        if (!weakness_by_id_.emplace(weaknesses_[i].id, i).second)
+            throw ValidationError("duplicate weakness id: " + weaknesses_[i].id.to_string());
+    }
+    for (std::size_t i = 0; i < vulnerabilities_.size(); ++i) {
+        if (!vulnerability_by_id_.emplace(vulnerabilities_[i].id, i).second)
+            throw ValidationError("duplicate vulnerability id: " +
+                                  vulnerabilities_[i].id.to_string());
+    }
+
+    // Derive weakness.related_patterns from pattern.related_weaknesses.
+    for (Weakness& w : weaknesses_) w.related_patterns.clear();
+    for (const AttackPattern& p : patterns_) {
+        for (WeaknessId wid : p.related_weaknesses) {
+            auto it = weakness_by_id_.find(wid);
+            if (it != weakness_by_id_.end())
+                weaknesses_[it->second].related_patterns.push_back(p.id);
+        }
+    }
+    for (Weakness& w : weaknesses_) {
+        std::sort(w.related_patterns.begin(), w.related_patterns.end());
+        w.related_patterns.erase(
+            std::unique(w.related_patterns.begin(), w.related_patterns.end()),
+            w.related_patterns.end());
+    }
+
+    // Platform and weakness lookup tables for vulnerabilities.
+    for (std::size_t i = 0; i < vulnerabilities_.size(); ++i) {
+        for (const Platform& p : vulnerabilities_[i].platforms)
+            vulns_by_product_[{p.vendor, p.product}].push_back(i);
+        for (WeaknessId w : vulnerabilities_[i].weaknesses)
+            vulns_by_weakness_[w].push_back(i);
+    }
+    for (auto& [_, v] : vulns_by_product_) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    for (auto& [_, v] : vulns_by_weakness_) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    indexed_ = true;
+}
+
+void Corpus::require_indexed() const {
+    if (!indexed_) throw ValidationError("corpus: reindex() required before cross-reference use");
+}
+
+const AttackPattern* Corpus::find(AttackPatternId id) const noexcept {
+    auto it = pattern_by_id_.find(id);
+    return it == pattern_by_id_.end() ? nullptr : &patterns_[it->second];
+}
+
+const Weakness* Corpus::find(WeaknessId id) const noexcept {
+    auto it = weakness_by_id_.find(id);
+    return it == weakness_by_id_.end() ? nullptr : &weaknesses_[it->second];
+}
+
+const Vulnerability* Corpus::find(VulnerabilityId id) const noexcept {
+    auto it = vulnerability_by_id_.find(id);
+    return it == vulnerability_by_id_.end() ? nullptr : &vulnerabilities_[it->second];
+}
+
+std::vector<VulnerabilityId> Corpus::vulnerabilities_for(const Platform& platform) const {
+    require_indexed();
+    std::vector<VulnerabilityId> out;
+    auto it = vulns_by_product_.find({platform.vendor, platform.product});
+    if (it == vulns_by_product_.end()) return out;
+    for (std::size_t i : it->second) {
+        const Vulnerability& v = vulnerabilities_[i];
+        bool hit = std::any_of(v.platforms.begin(), v.platforms.end(), [&](const Platform& p) {
+            return platform_matches(platform, p);
+        });
+        if (hit) out.push_back(v.id);
+    }
+    return out;
+}
+
+std::vector<VulnerabilityId> Corpus::vulnerabilities_for(WeaknessId weakness) const {
+    require_indexed();
+    std::vector<VulnerabilityId> out;
+    auto it = vulns_by_weakness_.find(weakness);
+    if (it == vulns_by_weakness_.end()) return out;
+    out.reserve(it->second.size());
+    for (std::size_t i : it->second) out.push_back(vulnerabilities_[i].id);
+    return out;
+}
+
+std::vector<AttackPatternId> Corpus::patterns_for(WeaknessId weakness) const {
+    require_indexed();
+    const Weakness* w = find(weakness);
+    return w == nullptr ? std::vector<AttackPatternId>{} : w->related_patterns;
+}
+
+std::vector<Platform> Corpus::known_platforms() const {
+    require_indexed();
+    std::vector<Platform> out;
+    out.reserve(vulns_by_product_.size());
+    for (const auto& [key, indices] : vulns_by_product_) {
+        // Representative platform: take part from the first binding.
+        const Vulnerability& v = vulnerabilities_[indices.front()];
+        for (const Platform& p : v.platforms) {
+            if (p.vendor == key.first && p.product == key.second) {
+                out.push_back(Platform{p.part, p.vendor, p.product, ""});
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+Corpus::Stats Corpus::stats() const noexcept {
+    Stats s;
+    s.patterns = patterns_.size();
+    s.weaknesses = weaknesses_.size();
+    s.vulnerabilities = vulnerabilities_.size();
+    for (const AttackPattern& p : patterns_)
+        s.pattern_weakness_links += p.related_weaknesses.size();
+    for (const Vulnerability& v : vulnerabilities_) {
+        s.platform_bindings += v.platforms.size();
+        s.vulnerability_weakness_links += v.weaknesses.size();
+    }
+    return s;
+}
+
+} // namespace cybok::kb

@@ -1,0 +1,90 @@
+// The attack-vector corpus: the in-memory form of the MITRE-style
+// databases, with id lookups and the cross-reference index that lets the
+// analysis layer walk pattern <-> weakness <-> vulnerability chains.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/records.hpp"
+
+namespace cybok::kb {
+
+/// Container for the three record families plus derived indexes.
+/// Records are added individually; `reindex()` (re)builds cross-references
+/// and must be called before the cross-reference accessors are used.
+/// Mutating accessors invalidate the index until the next reindex().
+class Corpus {
+public:
+    // -- population --------------------------------------------------------
+
+    void add(AttackPattern pattern);
+    void add(Weakness weakness);
+    void add(Vulnerability vulnerability);
+
+    /// Rebuild derived indexes: weakness.related_patterns (from pattern
+    /// references), platform -> vulnerability lists, weakness ->
+    /// vulnerability lists. Throws ValidationError on duplicate ids.
+    void reindex();
+    [[nodiscard]] bool indexed() const noexcept { return indexed_; }
+
+    // -- record access ------------------------------------------------------
+
+    [[nodiscard]] const std::vector<AttackPattern>& patterns() const noexcept { return patterns_; }
+    [[nodiscard]] const std::vector<Weakness>& weaknesses() const noexcept { return weaknesses_; }
+    [[nodiscard]] const std::vector<Vulnerability>& vulnerabilities() const noexcept {
+        return vulnerabilities_;
+    }
+
+    [[nodiscard]] const AttackPattern* find(AttackPatternId id) const noexcept;
+    [[nodiscard]] const Weakness* find(WeaknessId id) const noexcept;
+    [[nodiscard]] const Vulnerability* find(VulnerabilityId id) const noexcept;
+
+    // -- cross references (require indexed()) -------------------------------
+
+    /// Vulnerabilities whose platform list matches `platform` under CPE
+    /// matching rules (pattern = the query).
+    [[nodiscard]] std::vector<VulnerabilityId> vulnerabilities_for(const Platform& platform) const;
+
+    /// Vulnerabilities classified under the weakness.
+    [[nodiscard]] std::vector<VulnerabilityId> vulnerabilities_for(WeaknessId weakness) const;
+
+    /// Patterns that exploit the weakness.
+    [[nodiscard]] std::vector<AttackPatternId> patterns_for(WeaknessId weakness) const;
+
+    /// All distinct vendor/product pairs seen in vulnerability platforms.
+    [[nodiscard]] std::vector<Platform> known_platforms() const;
+
+    // -- stats --------------------------------------------------------------
+
+    struct Stats {
+        std::size_t patterns = 0;
+        std::size_t weaknesses = 0;
+        std::size_t vulnerabilities = 0;
+        std::size_t platform_bindings = 0;
+        std::size_t pattern_weakness_links = 0;
+        std::size_t vulnerability_weakness_links = 0;
+    };
+    [[nodiscard]] Stats stats() const noexcept;
+
+private:
+    void require_indexed() const;
+
+    std::vector<AttackPattern> patterns_;
+    std::vector<Weakness> weaknesses_;
+    std::vector<Vulnerability> vulnerabilities_;
+
+    bool indexed_ = false;
+    std::map<AttackPatternId, std::size_t> pattern_by_id_;
+    std::map<WeaknessId, std::size_t> weakness_by_id_;
+    std::map<VulnerabilityId, std::size_t> vulnerability_by_id_;
+    /// (vendor, product) -> vulnerability indices; version filtering is
+    /// applied at query time.
+    std::map<std::pair<std::string, std::string>, std::vector<std::size_t>> vulns_by_product_;
+    std::map<WeaknessId, std::vector<std::size_t>> vulns_by_weakness_;
+};
+
+} // namespace cybok::kb

@@ -1,0 +1,94 @@
+#include "kb/hierarchy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace cybok::kb {
+
+Hierarchy::Hierarchy(const Corpus& corpus) : corpus_(corpus) {
+    for (const Weakness& w : corpus.weaknesses())
+        if (w.parent.value != 0) weakness_children_[w.parent].push_back(w.id);
+    for (const AttackPattern& p : corpus.patterns())
+        if (p.parent.value != 0) pattern_children_[p.parent].push_back(p.id);
+    for (auto& [_, v] : weakness_children_) std::sort(v.begin(), v.end());
+    for (auto& [_, v] : pattern_children_) std::sort(v.begin(), v.end());
+}
+
+namespace {
+
+template <typename Id, typename Lookup>
+std::vector<Id> walk_ancestors(Id id, Lookup&& parent_of) {
+    std::vector<Id> chain;
+    std::set<Id> seen{id};
+    for (Id p = parent_of(id); p.value != 0; p = parent_of(p)) {
+        if (!seen.insert(p).second)
+            throw ValidationError("hierarchy: parent cycle at id " + std::to_string(p.value));
+        chain.push_back(p);
+    }
+    return chain;
+}
+
+} // namespace
+
+std::vector<WeaknessId> Hierarchy::ancestors(WeaknessId id) const {
+    return walk_ancestors(id, [this](WeaknessId w) {
+        const Weakness* rec = corpus_.find(w);
+        return rec == nullptr ? WeaknessId{0} : rec->parent;
+    });
+}
+
+std::vector<AttackPatternId> Hierarchy::ancestors(AttackPatternId id) const {
+    return walk_ancestors(id, [this](AttackPatternId p) {
+        const AttackPattern* rec = corpus_.find(p);
+        return rec == nullptr ? AttackPatternId{0} : rec->parent;
+    });
+}
+
+WeaknessId Hierarchy::root(WeaknessId id) const {
+    std::vector<WeaknessId> chain = ancestors(id);
+    return chain.empty() ? id : chain.back();
+}
+
+AttackPatternId Hierarchy::root(AttackPatternId id) const {
+    std::vector<AttackPatternId> chain = ancestors(id);
+    return chain.empty() ? id : chain.back();
+}
+
+std::vector<WeaknessId> Hierarchy::children(WeaknessId id) const {
+    auto it = weakness_children_.find(id);
+    return it == weakness_children_.end() ? std::vector<WeaknessId>{} : it->second;
+}
+
+std::vector<AttackPatternId> Hierarchy::children(AttackPatternId id) const {
+    auto it = pattern_children_.find(id);
+    return it == pattern_children_.end() ? std::vector<AttackPatternId>{} : it->second;
+}
+
+std::vector<WeaknessId> Hierarchy::descendants(WeaknessId id) const {
+    std::vector<WeaknessId> out;
+    std::vector<WeaknessId> frontier = children(id);
+    std::set<WeaknessId> seen;
+    while (!frontier.empty()) {
+        WeaknessId w = frontier.back();
+        frontier.pop_back();
+        if (!seen.insert(w).second) continue;
+        out.push_back(w);
+        for (WeaknessId c : children(w)) frontier.push_back(c);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t Hierarchy::depth(WeaknessId id) const { return ancestors(id).size(); }
+
+std::vector<WeaknessId> Hierarchy::weakness_roots() const {
+    std::vector<WeaknessId> out;
+    for (const Weakness& w : corpus_.weaknesses())
+        if (w.parent.value == 0) out.push_back(w.id);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace cybok::kb

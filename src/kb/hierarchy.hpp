@@ -1,0 +1,51 @@
+// Hierarchy utilities over CWE/CAPEC parent links. Both taxonomies are
+// trees (pillar -> class -> base -> variant); the paper's proposed
+// mitigation for early-lifecycle noise — "abstract away vulnerabilities at
+// the earlier stages" — needs exactly this machinery: walk a concrete
+// finding up to the abstraction level that matches the model's fidelity.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "kb/corpus.hpp"
+
+namespace cybok::kb {
+
+/// Parent-link traversal for weaknesses (CWE) and attack patterns (CAPEC)
+/// over one corpus. Construction is O(records); queries are O(depth).
+class Hierarchy {
+public:
+    explicit Hierarchy(const Corpus& corpus);
+
+    /// Chain of ancestors from the record's parent up to its root.
+    /// Unknown ids or records without parents yield an empty chain.
+    /// Malformed corpora with parent cycles throw ValidationError.
+    [[nodiscard]] std::vector<WeaknessId> ancestors(WeaknessId id) const;
+    [[nodiscard]] std::vector<AttackPatternId> ancestors(AttackPatternId id) const;
+
+    /// Topmost ancestor (the record itself when it has no parent).
+    [[nodiscard]] WeaknessId root(WeaknessId id) const;
+    [[nodiscard]] AttackPatternId root(AttackPatternId id) const;
+
+    /// Direct children.
+    [[nodiscard]] std::vector<WeaknessId> children(WeaknessId id) const;
+    [[nodiscard]] std::vector<AttackPatternId> children(AttackPatternId id) const;
+
+    /// All records in the subtree rooted at `id` (excluding `id`).
+    [[nodiscard]] std::vector<WeaknessId> descendants(WeaknessId id) const;
+
+    /// Distance from the root (root = 0).
+    [[nodiscard]] std::size_t depth(WeaknessId id) const;
+
+    /// Every weakness with no parent, ascending by id.
+    [[nodiscard]] std::vector<WeaknessId> weakness_roots() const;
+
+private:
+    const Corpus& corpus_;
+    std::map<WeaknessId, std::vector<WeaknessId>> weakness_children_;
+    std::map<AttackPatternId, std::vector<AttackPatternId>> pattern_children_;
+};
+
+} // namespace cybok::kb

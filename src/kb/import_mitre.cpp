@@ -1,0 +1,264 @@
+#include "kb/import_mitre.hpp"
+
+#include <sstream>
+
+#include "kb/import_nvd.hpp"
+#include "util/strings.hpp"
+
+namespace cybok::kb {
+
+namespace {
+
+std::uint32_t parse_id_attr(const xml::Node& node) {
+    const std::string id = node.attr("ID");
+    if (id.empty()) throw ParseError("catalog entry without ID attribute");
+    try {
+        return static_cast<std::uint32_t>(std::stoul(id));
+    } catch (const std::exception&) {
+        throw ParseError("malformed catalog ID: " + id);
+    }
+}
+
+/// First ChildOf reference id in a Related_Weaknesses/Related_Attack_
+/// Patterns block (the catalogs allow several; the primary parent is the
+/// one the hierarchy uses).
+std::uint32_t parent_from_related(const xml::Node& entry, std::string_view block_name,
+                                  std::string_view child_name,
+                                  std::string_view id_attr) {
+    const xml::Node* block = entry.child(block_name);
+    if (block == nullptr) return 0;
+    for (const xml::Node* rel : block->children_named(child_name)) {
+        if (rel->attr("Nature") != "ChildOf") continue;
+        try {
+            return static_cast<std::uint32_t>(std::stoul(rel->attr(id_attr)));
+        } catch (const std::exception&) {
+            continue;
+        }
+    }
+    return 0;
+}
+
+Rating rating_from_text(std::string_view text) {
+    if (strings::iequals(text, "Very Low")) return Rating::VeryLow;
+    if (strings::iequals(text, "Low")) return Rating::Low;
+    if (strings::iequals(text, "High")) return Rating::High;
+    if (strings::iequals(text, "Very High")) return Rating::VeryHigh;
+    return Rating::Medium;
+}
+
+std::string_view rating_text(Rating r) { return rating_name(r); }
+
+std::string squeeze(std::string_view s) { return std::string(strings::trim(s)); }
+
+} // namespace
+
+// -------------------------------------------------------------------- CWE
+
+std::vector<Weakness> import_cwe_catalog(const xml::Node& root, MitreImportStats* stats) {
+    if (root.name != "Weakness_Catalog")
+        throw ValidationError("not a CWE catalog: root is <" + root.name + ">");
+    const xml::Node* list = root.child("Weaknesses");
+    if (list == nullptr) throw ValidationError("CWE catalog without <Weaknesses>");
+
+    MitreImportStats local;
+    std::vector<Weakness> out;
+    for (const xml::Node* entry : list->children_named("Weakness")) {
+        ++local.records;
+        if (entry->attr("Status") == "Deprecated") {
+            ++local.deprecated_skipped;
+            continue;
+        }
+        Weakness w;
+        w.id = WeaknessId{parse_id_attr(*entry)};
+        w.name = entry->attr("Name");
+        w.description = squeeze(entry->child_text("Description"));
+        w.parent = WeaknessId{parent_from_related(*entry, "Related_Weaknesses",
+                                                  "Related_Weakness", "CWE_ID")};
+
+        if (const xml::Node* modes = entry->child("Modes_Of_Introduction")) {
+            for (const xml::Node* intro : modes->children_named("Introduction"))
+                w.modes_of_introduction.push_back(squeeze(intro->child_text("Phase")));
+        }
+        if (const xml::Node* consequences = entry->child("Common_Consequences")) {
+            for (const xml::Node* cons : consequences->children_named("Consequence")) {
+                std::string scope = squeeze(cons->child_text("Scope"));
+                std::string impact = squeeze(cons->child_text("Impact"));
+                if (!scope.empty() || !impact.empty())
+                    w.consequences.push_back(scope + ": " + impact);
+            }
+        }
+        if (const xml::Node* platforms = entry->child("Applicable_Platforms")) {
+            for (const xml::Node& p : platforms->children) {
+                std::string name = p.attr("Name", p.attr("Class"));
+                if (!name.empty()) w.applicable_platforms.push_back(strings::to_lower(name));
+            }
+        }
+        out.push_back(std::move(w));
+        ++local.imported;
+    }
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+std::vector<Weakness> import_cwe_catalog_text(std::string_view text, MitreImportStats* stats) {
+    return import_cwe_catalog(xml::parse(text), stats);
+}
+
+// ------------------------------------------------------------------ CAPEC
+
+std::vector<AttackPattern> import_capec_catalog(const xml::Node& root,
+                                                MitreImportStats* stats) {
+    if (root.name != "Attack_Pattern_Catalog")
+        throw ValidationError("not a CAPEC catalog: root is <" + root.name + ">");
+    const xml::Node* list = root.child("Attack_Patterns");
+    if (list == nullptr) throw ValidationError("CAPEC catalog without <Attack_Patterns>");
+
+    MitreImportStats local;
+    std::vector<AttackPattern> out;
+    for (const xml::Node* entry : list->children_named("Attack_Pattern")) {
+        ++local.records;
+        if (entry->attr("Status") == "Deprecated") {
+            ++local.deprecated_skipped;
+            continue;
+        }
+        AttackPattern p;
+        p.id = AttackPatternId{parse_id_attr(*entry)};
+        p.name = entry->attr("Name");
+        p.summary = squeeze(entry->child_text("Description"));
+        p.parent = AttackPatternId{parent_from_related(*entry, "Related_Attack_Patterns",
+                                                       "Related_Attack_Pattern",
+                                                       "CAPEC_ID")};
+        p.likelihood = rating_from_text(squeeze(entry->child_text("Likelihood_Of_Attack")));
+        p.typical_severity = rating_from_text(squeeze(entry->child_text("Typical_Severity")));
+
+        if (const xml::Node* prereqs = entry->child("Prerequisites")) {
+            for (const xml::Node* pre : prereqs->children_named("Prerequisite"))
+                p.prerequisites.push_back(squeeze(pre->text));
+        }
+        if (const xml::Node* related = entry->child("Related_Weaknesses")) {
+            for (const xml::Node* rel : related->children_named("Related_Weakness")) {
+                try {
+                    p.related_weaknesses.push_back(WeaknessId{
+                        static_cast<std::uint32_t>(std::stoul(rel->attr("CWE_ID")))});
+                } catch (const std::exception&) {
+                    // Tolerate malformed references as real catalogs do.
+                }
+            }
+        }
+        if (const xml::Node* domains = entry->child("Domains_Of_Attack")) {
+            for (const xml::Node* d : domains->children_named("Domain"))
+                p.domains.push_back(strings::to_lower(squeeze(d->text)));
+        }
+        out.push_back(std::move(p));
+        ++local.imported;
+    }
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+std::vector<AttackPattern> import_capec_catalog_text(std::string_view text,
+                                                     MitreImportStats* stats) {
+    return import_capec_catalog(xml::parse(text), stats);
+}
+
+// --------------------------------------------------------------- exporters
+
+std::string export_cwe_catalog(const std::vector<Weakness>& weaknesses) {
+    std::ostringstream out;
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+        << "<Weakness_Catalog Name=\"CWE\" Version=\"4.x\">\n  <Weaknesses>\n";
+    for (const Weakness& w : weaknesses) {
+        out << "    <Weakness ID=\"" << w.id.value << "\" Name=\"" << xml::escape(w.name)
+            << "\" Status=\"Stable\">\n";
+        out << "      <Description>" << xml::escape(w.description) << "</Description>\n";
+        if (w.parent.value != 0) {
+            out << "      <Related_Weaknesses>\n"
+                << "        <Related_Weakness Nature=\"ChildOf\" CWE_ID=\"" << w.parent.value
+                << "\"/>\n      </Related_Weaknesses>\n";
+        }
+        if (!w.modes_of_introduction.empty()) {
+            out << "      <Modes_Of_Introduction>\n";
+            for (const std::string& phase : w.modes_of_introduction)
+                out << "        <Introduction><Phase>" << xml::escape(phase)
+                    << "</Phase></Introduction>\n";
+            out << "      </Modes_Of_Introduction>\n";
+        }
+        if (!w.consequences.empty()) {
+            out << "      <Common_Consequences>\n";
+            for (const std::string& c : w.consequences) {
+                std::size_t colon = c.find(':');
+                std::string scope = colon == std::string::npos ? c : c.substr(0, colon);
+                std::string impact =
+                    colon == std::string::npos
+                        ? std::string()
+                        : std::string(strings::trim(std::string_view(c).substr(colon + 1)));
+                out << "        <Consequence><Scope>" << xml::escape(scope)
+                    << "</Scope><Impact>" << xml::escape(impact)
+                    << "</Impact></Consequence>\n";
+            }
+            out << "      </Common_Consequences>\n";
+        }
+        if (!w.applicable_platforms.empty()) {
+            out << "      <Applicable_Platforms>\n";
+            for (const std::string& p : w.applicable_platforms)
+                out << "        <Platform Name=\"" << xml::escape(p) << "\"/>\n";
+            out << "      </Applicable_Platforms>\n";
+        }
+        out << "    </Weakness>\n";
+    }
+    out << "  </Weaknesses>\n</Weakness_Catalog>\n";
+    return out.str();
+}
+
+std::string export_capec_catalog(const std::vector<AttackPattern>& patterns) {
+    std::ostringstream out;
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+        << "<Attack_Pattern_Catalog Name=\"CAPEC\" Version=\"3.x\">\n  <Attack_Patterns>\n";
+    for (const AttackPattern& p : patterns) {
+        out << "    <Attack_Pattern ID=\"" << p.id.value << "\" Name=\""
+            << xml::escape(p.name) << "\" Status=\"Stable\">\n";
+        out << "      <Description>" << xml::escape(p.summary) << "</Description>\n";
+        out << "      <Likelihood_Of_Attack>" << rating_text(p.likelihood)
+            << "</Likelihood_Of_Attack>\n";
+        out << "      <Typical_Severity>" << rating_text(p.typical_severity)
+            << "</Typical_Severity>\n";
+        if (p.parent.value != 0) {
+            out << "      <Related_Attack_Patterns>\n"
+                << "        <Related_Attack_Pattern Nature=\"ChildOf\" CAPEC_ID=\""
+                << p.parent.value << "\"/>\n      </Related_Attack_Patterns>\n";
+        }
+        if (!p.prerequisites.empty()) {
+            out << "      <Prerequisites>\n";
+            for (const std::string& pre : p.prerequisites)
+                out << "        <Prerequisite>" << xml::escape(pre) << "</Prerequisite>\n";
+            out << "      </Prerequisites>\n";
+        }
+        if (!p.related_weaknesses.empty()) {
+            out << "      <Related_Weaknesses>\n";
+            for (WeaknessId w : p.related_weaknesses)
+                out << "        <Related_Weakness CWE_ID=\"" << w.value << "\"/>\n";
+            out << "      </Related_Weaknesses>\n";
+        }
+        if (!p.domains.empty()) {
+            out << "      <Domains_Of_Attack>\n";
+            for (const std::string& d : p.domains)
+                out << "        <Domain>" << xml::escape(d) << "</Domain>\n";
+            out << "      </Domains_Of_Attack>\n";
+        }
+        out << "    </Attack_Pattern>\n";
+    }
+    out << "  </Attack_Patterns>\n</Attack_Pattern_Catalog>\n";
+    return out.str();
+}
+
+Corpus corpus_from_mitre(std::string_view cwe_xml, std::string_view capec_xml,
+                         std::string_view nvd_json) {
+    Corpus corpus;
+    for (Weakness& w : import_cwe_catalog_text(cwe_xml)) corpus.add(std::move(w));
+    for (AttackPattern& p : import_capec_catalog_text(capec_xml)) corpus.add(std::move(p));
+    for (Vulnerability& v : import_nvd_feed_text(nvd_json)) corpus.add(std::move(v));
+    corpus.reindex();
+    return corpus;
+}
+
+} // namespace cybok::kb

@@ -1,0 +1,49 @@
+// Importers for the MITRE catalog XML formats — the distribution formats
+// of CWE (cwec_v4.x.xml) and CAPEC (capec_v3.x.xml) that the paper's
+// prototype ingests for weakness and attack-pattern data. The subset read
+// is what the association pipeline uses: ids, names, prose, parent
+// (ChildOf) links, pattern->weakness references, likelihood/severity, and
+// applicable platforms. Matching exporters produce catalog-shaped XML
+// from a corpus for round-trip tests and offline fixtures.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/corpus.hpp"
+#include "util/xml.hpp"
+
+namespace cybok::kb {
+
+struct MitreImportStats {
+    std::size_t records = 0;
+    std::size_t imported = 0;
+    std::size_t deprecated_skipped = 0; ///< Status="Deprecated" records
+};
+
+/// Parse a CWE weakness catalog document ("Weakness_Catalog" root).
+/// Throws ParseError / ValidationError on structurally invalid documents;
+/// deprecated entries are skipped and counted.
+[[nodiscard]] std::vector<Weakness> import_cwe_catalog(const xml::Node& root,
+                                                       MitreImportStats* stats = nullptr);
+[[nodiscard]] std::vector<Weakness> import_cwe_catalog_text(std::string_view text,
+                                                            MitreImportStats* stats = nullptr);
+
+/// Parse a CAPEC attack-pattern catalog ("Attack_Pattern_Catalog" root).
+[[nodiscard]] std::vector<AttackPattern> import_capec_catalog(const xml::Node& root,
+                                                              MitreImportStats* stats = nullptr);
+[[nodiscard]] std::vector<AttackPattern> import_capec_catalog_text(
+    std::string_view text, MitreImportStats* stats = nullptr);
+
+/// Render corpus records as catalog-shaped XML.
+[[nodiscard]] std::string export_cwe_catalog(const std::vector<Weakness>& weaknesses);
+[[nodiscard]] std::string export_capec_catalog(const std::vector<AttackPattern>& patterns);
+
+/// Assemble a full corpus from the three MITRE-format documents (CWE XML,
+/// CAPEC XML, NVD JSON text). Reindexed and ready to query.
+[[nodiscard]] Corpus corpus_from_mitre(std::string_view cwe_xml, std::string_view capec_xml,
+                                       std::string_view nvd_json);
+
+} // namespace cybok::kb

@@ -1,0 +1,199 @@
+#include "kb/import_nvd.hpp"
+
+#include "util/strings.hpp"
+
+namespace cybok::kb {
+
+VulnerabilityId parse_cve_id(std::string_view text) {
+    std::vector<std::string_view> parts = strings::split(text, '-');
+    if (parts.size() != 3 || parts[0] != "CVE")
+        throw ParseError("not a CVE id: " + std::string(text));
+    try {
+        VulnerabilityId id;
+        id.year = static_cast<std::uint32_t>(std::stoul(std::string(parts[1])));
+        id.number = static_cast<std::uint32_t>(std::stoul(std::string(parts[2])));
+        return id;
+    } catch (const std::exception&) {
+        throw ParseError("malformed CVE id: " + std::string(text));
+    }
+}
+
+namespace {
+
+std::optional<WeaknessId> parse_cwe_ref(std::string_view value) {
+    // NVD writes "CWE-78" or placeholder strings like "NVD-CWE-noinfo".
+    if (!value.starts_with("CWE-")) return std::nullopt;
+    try {
+        return WeaknessId{static_cast<std::uint32_t>(std::stoul(std::string(value.substr(4))))};
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+std::string english_description(const json::Value& cve) {
+    if (!cve.contains("description")) return {};
+    const json::Value& desc = cve.at("description");
+    if (!desc.contains("description_data")) return {};
+    for (const json::Value& d : desc.at("description_data").as_array()) {
+        if (d.get_string("lang", "en") == "en") return d.get_string("value");
+    }
+    return {};
+}
+
+void collect_cpes(const json::Value& node, std::vector<Platform>& out) {
+    if (node.contains("cpe_match")) {
+        for (const json::Value& match : node.at("cpe_match").as_array()) {
+            if (!match.get_bool("vulnerable", true)) continue;
+            std::string uri = match.get_string("cpe23Uri");
+            if (uri.empty()) continue;
+            try {
+                out.push_back(Platform::parse(uri));
+            } catch (const ParseError&) {
+                // Malformed CPE in a feed record: skip the binding, keep
+                // the record.
+            }
+        }
+    }
+    if (node.contains("children")) {
+        for (const json::Value& child : node.at("children").as_array())
+            collect_cpes(child, out);
+    }
+}
+
+} // namespace
+
+std::vector<Vulnerability> import_nvd_feed(const json::Value& feed, NvdImportStats* stats) {
+    NvdImportStats local;
+    if (!feed.contains("CVE_Items"))
+        throw ValidationError("not an NVD feed: missing CVE_Items");
+
+    std::vector<Vulnerability> out;
+    for (const json::Value& item : feed.at("CVE_Items").as_array()) {
+        ++local.records;
+        const json::Value& cve = item.at("cve");
+        const std::string id_text = cve.at("CVE_data_meta").get_string("ID");
+        Vulnerability v;
+        v.id = parse_cve_id(id_text);
+        v.description = english_description(cve);
+        if (v.description.starts_with("** REJECT **")) {
+            ++local.skipped_rejected;
+            continue;
+        }
+
+        // Problem types -> CWE references.
+        if (cve.contains("problemtype") &&
+            cve.at("problemtype").contains("problemtype_data")) {
+            for (const json::Value& pt : cve.at("problemtype").at("problemtype_data")
+                                             .as_array()) {
+                if (!pt.contains("description")) continue;
+                for (const json::Value& d : pt.at("description").as_array()) {
+                    if (auto wid = parse_cwe_ref(d.get_string("value")))
+                        v.weaknesses.push_back(*wid);
+                }
+            }
+        }
+        if (v.weaknesses.empty()) ++local.without_cwe;
+
+        // Configurations -> CPE platform bindings.
+        if (item.contains("configurations") &&
+            item.at("configurations").contains("nodes")) {
+            for (const json::Value& node : item.at("configurations").at("nodes").as_array())
+                collect_cpes(node, v.platforms);
+        }
+        if (v.platforms.empty()) ++local.without_platforms;
+
+        // Impact -> newest available CVSS vector string.
+        if (item.contains("impact")) {
+            const json::Value& impact = item.at("impact");
+            if (impact.contains("baseMetricV3")) {
+                v.cvss_vector =
+                    impact.at("baseMetricV3").at("cvssV3").get_string("vectorString");
+            } else if (impact.contains("baseMetricV2")) {
+                v.cvss_vector =
+                    impact.at("baseMetricV2").at("cvssV2").get_string("vectorString");
+            }
+        }
+        if (v.cvss_vector.empty()) ++local.without_cvss;
+
+        out.push_back(std::move(v));
+        ++local.imported;
+    }
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+std::vector<Vulnerability> import_nvd_feed_text(std::string_view text, NvdImportStats* stats) {
+    return import_nvd_feed(json::parse(text), stats);
+}
+
+json::Value export_nvd_feed(const std::vector<Vulnerability>& vulnerabilities) {
+    json::Array items;
+    for (const Vulnerability& v : vulnerabilities) {
+        json::Object item;
+
+        json::Object meta;
+        meta["ID"] = json::Value(v.id.to_string());
+        json::Object cve;
+        cve["CVE_data_meta"] = json::Value(std::move(meta));
+
+        json::Array cwe_descs;
+        for (WeaknessId w : v.weaknesses) {
+            json::Object d;
+            d["value"] = json::Value(w.to_string());
+            cwe_descs.emplace_back(std::move(d));
+        }
+        json::Object pt_entry;
+        pt_entry["description"] = json::Value(std::move(cwe_descs));
+        json::Array pt_data;
+        pt_data.emplace_back(std::move(pt_entry));
+        json::Object problemtype;
+        problemtype["problemtype_data"] = json::Value(std::move(pt_data));
+        cve["problemtype"] = json::Value(std::move(problemtype));
+
+        json::Object desc_entry;
+        desc_entry["lang"] = json::Value("en");
+        desc_entry["value"] = json::Value(v.description);
+        json::Array desc_data;
+        desc_data.emplace_back(std::move(desc_entry));
+        json::Object description;
+        description["description_data"] = json::Value(std::move(desc_data));
+        cve["description"] = json::Value(std::move(description));
+        item["cve"] = json::Value(std::move(cve));
+
+        json::Array cpe_matches;
+        for (const Platform& p : v.platforms) {
+            json::Object match;
+            match["vulnerable"] = json::Value(true);
+            match["cpe23Uri"] = json::Value(p.uri());
+            cpe_matches.emplace_back(std::move(match));
+        }
+        json::Object node;
+        node["operator"] = json::Value("OR");
+        node["cpe_match"] = json::Value(std::move(cpe_matches));
+        json::Array nodes;
+        nodes.emplace_back(std::move(node));
+        json::Object configurations;
+        configurations["nodes"] = json::Value(std::move(nodes));
+        item["configurations"] = json::Value(std::move(configurations));
+
+        if (!v.cvss_vector.empty()) {
+            json::Object cvss;
+            cvss["vectorString"] = json::Value(v.cvss_vector);
+            json::Object metric;
+            const bool v3 = v.cvss_vector.starts_with("CVSS:3");
+            metric[v3 ? "cvssV3" : "cvssV2"] = json::Value(std::move(cvss));
+            json::Object impact;
+            impact[v3 ? "baseMetricV3" : "baseMetricV2"] = json::Value(std::move(metric));
+            item["impact"] = json::Value(std::move(impact));
+        }
+        items.emplace_back(std::move(item));
+    }
+    json::Object feed;
+    feed["CVE_data_type"] = json::Value("CVE");
+    feed["CVE_data_format"] = json::Value("MITRE");
+    feed["CVE_data_version"] = json::Value("4.0");
+    feed["CVE_Items"] = json::Value(std::move(items));
+    return json::Value(std::move(feed));
+}
+
+} // namespace cybok::kb

@@ -1,0 +1,47 @@
+// Importer for the NVD JSON 1.1 data-feed schema — the actual file format
+// the paper's prototype ingests for vulnerability data. The importer reads
+// the subset of the schema that the association pipeline uses (CVE id,
+// English description, CWE problem types, CPE applicability, CVSS v3/v2
+// vector strings) and tolerates records with missing optional parts, which
+// real feeds are full of.
+//
+// A matching exporter produces feed-shaped JSON from a corpus so round-trip
+// tests and offline fixtures don't need real feed files.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/corpus.hpp"
+#include "util/json.hpp"
+
+namespace cybok::kb {
+
+/// Import statistics (what a real feed makes you care about).
+struct NvdImportStats {
+    std::size_t records = 0;            ///< CVE_Items seen
+    std::size_t imported = 0;           ///< vulnerabilities produced
+    std::size_t skipped_rejected = 0;   ///< "** REJECT **" records dropped
+    std::size_t without_cwe = 0;        ///< no usable problemtype
+    std::size_t without_platforms = 0;  ///< no CPE applicability
+    std::size_t without_cvss = 0;       ///< unscored
+};
+
+/// Parse an NVD 1.1 feed document. Throws ParseError / ValidationError on
+/// structurally invalid documents; per-record omissions are tolerated and
+/// counted in `stats` (pass nullptr to discard).
+[[nodiscard]] std::vector<Vulnerability> import_nvd_feed(const json::Value& feed,
+                                                         NvdImportStats* stats = nullptr);
+
+/// Convenience: parse text, then import.
+[[nodiscard]] std::vector<Vulnerability> import_nvd_feed_text(std::string_view text,
+                                                              NvdImportStats* stats = nullptr);
+
+/// Render vulnerabilities as an NVD 1.1-shaped feed document.
+[[nodiscard]] json::Value export_nvd_feed(const std::vector<Vulnerability>& vulnerabilities);
+
+/// Parse a "CVE-2019-10953" style id. Throws ParseError.
+[[nodiscard]] VulnerabilityId parse_cve_id(std::string_view text);
+
+} // namespace cybok::kb

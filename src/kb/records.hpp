@@ -1,0 +1,105 @@
+// The three attack-vector record families the paper's pipeline consumes
+// ("databases containing vulnerability, weakness, and attack pattern data,
+// such as the ones published by MITRE"), mirrored on CAPEC, CWE, and
+// CVE/NVD schemas respectively, restricted to the fields the design-phase
+// association actually uses.
+//
+// The cross-reference structure matters as much as the records themselves:
+// attack patterns cite the weaknesses they exploit (attacker perspective),
+// vulnerabilities cite the weakness class they instantiate and the
+// platforms they bind to (system-owner perspective). The paper argues a
+// security posture is incomplete without all three views.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/platform.hpp"
+
+namespace cybok::kb {
+
+/// Identifier newtypes; values mirror MITRE numbering ("CAPEC-88",
+/// "CWE-78", "CVE-2020-12345" keep only the numeric core).
+struct AttackPatternId {
+    std::uint32_t value = 0;
+    [[nodiscard]] std::string to_string() const { return "CAPEC-" + std::to_string(value); }
+    friend auto operator<=>(const AttackPatternId&, const AttackPatternId&) = default;
+};
+
+struct WeaknessId {
+    std::uint32_t value = 0;
+    [[nodiscard]] std::string to_string() const { return "CWE-" + std::to_string(value); }
+    friend auto operator<=>(const WeaknessId&, const WeaknessId&) = default;
+};
+
+struct VulnerabilityId {
+    std::uint32_t year = 0;
+    std::uint32_t number = 0;
+    [[nodiscard]] std::string to_string() const {
+        return "CVE-" + std::to_string(year) + "-" + std::to_string(number);
+    }
+    friend auto operator<=>(const VulnerabilityId&, const VulnerabilityId&) = default;
+};
+
+/// Qualitative likelihood / severity scale used by CAPEC records.
+enum class Rating { VeryLow, Low, Medium, High, VeryHigh };
+[[nodiscard]] std::string_view rating_name(Rating r) noexcept;
+
+/// CAPEC-like attack pattern: the attacker's perspective. High-level,
+/// described in terms of techniques and preconditions rather than specific
+/// products — which is why high-level model attributes match patterns.
+struct AttackPattern {
+    AttackPatternId id;
+    std::string name;
+    std::string summary;
+    std::vector<std::string> prerequisites;
+    Rating likelihood = Rating::Medium;
+    Rating typical_severity = Rating::Medium;
+    /// Weaknesses this pattern exploits (CWE references).
+    std::vector<WeaknessId> related_weaknesses;
+    /// Parent pattern in the CAPEC hierarchy (0 = none).
+    AttackPatternId parent;
+    /// Domains of attack ("software", "hardware", "communications"...).
+    std::vector<std::string> domains;
+};
+
+/// CWE-like weakness: a class of flaw. Sits between the attacker's and the
+/// owner's perspective; cites both patterns that exploit it and is cited by
+/// vulnerabilities that instantiate it.
+struct Weakness {
+    WeaknessId id;
+    std::string name;
+    std::string description;
+    /// Lifecycle phases where the flaw is introduced ("Design",
+    /// "Implementation"...). Design-phase weaknesses are the ones the
+    /// paper's early-lifecycle analysis can still prevent cheaply.
+    std::vector<std::string> modes_of_introduction;
+    /// Typical consequences ("integrity: modify application data", ...).
+    std::vector<std::string> consequences;
+    /// Patterns known to exploit this weakness (reverse of
+    /// AttackPattern::related_weaknesses; maintained by the corpus index).
+    std::vector<AttackPatternId> related_patterns;
+    /// Parent weakness in the CWE hierarchy (0 = none).
+    WeaknessId parent;
+    /// Platform classes where the weakness commonly occurs ("linux",
+    /// "windows", "ics"...). Empty = language/platform independent.
+    std::vector<std::string> applicable_platforms;
+};
+
+/// CVE-like vulnerability: a concrete flaw in a concrete product version.
+/// Matches only low-level (implementation-fidelity) model attributes.
+struct Vulnerability {
+    VulnerabilityId id;
+    std::string description;
+    /// Platforms (CPE-style) the flaw applies to.
+    std::vector<Platform> platforms;
+    /// Weakness classification (CWE references), possibly empty (NVD's
+    /// "NVD-CWE-noinfo" case).
+    std::vector<WeaknessId> weaknesses;
+    /// CVSS v3.1 vector string; empty when unscored.
+    std::string cvss_vector;
+};
+
+} // namespace cybok::kb

@@ -1,0 +1,140 @@
+#include "kb/serialize.hpp"
+
+namespace cybok::kb {
+
+namespace {
+
+json::Array strings_to_json(const std::vector<std::string>& items) {
+    json::Array a;
+    a.reserve(items.size());
+    for (const std::string& s : items) a.emplace_back(s);
+    return a;
+}
+
+std::vector<std::string> strings_from_json(const json::Value& v) {
+    std::vector<std::string> out;
+    for (const json::Value& e : v.as_array()) out.push_back(e.as_string());
+    return out;
+}
+
+Rating rating_from_int(std::int64_t i) {
+    if (i < 0 || i > 4) throw ValidationError("rating out of range");
+    return static_cast<Rating>(i);
+}
+
+} // namespace
+
+json::Value to_json(const Corpus& corpus) {
+    json::Object root;
+    root["format"] = json::Value("cybok-corpus-v1");
+
+    json::Array patterns;
+    for (const AttackPattern& p : corpus.patterns()) {
+        json::Object o;
+        o["id"] = json::Value(static_cast<std::int64_t>(p.id.value));
+        o["name"] = json::Value(p.name);
+        o["summary"] = json::Value(p.summary);
+        o["prerequisites"] = json::Value(strings_to_json(p.prerequisites));
+        o["likelihood"] = json::Value(static_cast<std::int64_t>(p.likelihood));
+        o["severity"] = json::Value(static_cast<std::int64_t>(p.typical_severity));
+        json::Array rel;
+        for (WeaknessId w : p.related_weaknesses)
+            rel.emplace_back(static_cast<std::int64_t>(w.value));
+        o["related_weaknesses"] = json::Value(std::move(rel));
+        o["parent"] = json::Value(static_cast<std::int64_t>(p.parent.value));
+        o["domains"] = json::Value(strings_to_json(p.domains));
+        patterns.emplace_back(std::move(o));
+    }
+    root["attack_patterns"] = json::Value(std::move(patterns));
+
+    json::Array weaknesses;
+    for (const Weakness& w : corpus.weaknesses()) {
+        json::Object o;
+        o["id"] = json::Value(static_cast<std::int64_t>(w.id.value));
+        o["name"] = json::Value(w.name);
+        o["description"] = json::Value(w.description);
+        o["modes_of_introduction"] = json::Value(strings_to_json(w.modes_of_introduction));
+        o["consequences"] = json::Value(strings_to_json(w.consequences));
+        o["parent"] = json::Value(static_cast<std::int64_t>(w.parent.value));
+        o["applicable_platforms"] = json::Value(strings_to_json(w.applicable_platforms));
+        weaknesses.emplace_back(std::move(o));
+    }
+    root["weaknesses"] = json::Value(std::move(weaknesses));
+
+    json::Array vulns;
+    for (const Vulnerability& v : corpus.vulnerabilities()) {
+        json::Object o;
+        o["year"] = json::Value(static_cast<std::int64_t>(v.id.year));
+        o["number"] = json::Value(static_cast<std::int64_t>(v.id.number));
+        o["description"] = json::Value(v.description);
+        json::Array plats;
+        for (const Platform& p : v.platforms) plats.emplace_back(p.uri());
+        o["platforms"] = json::Value(std::move(plats));
+        json::Array cwes;
+        for (WeaknessId w : v.weaknesses) cwes.emplace_back(static_cast<std::int64_t>(w.value));
+        o["weaknesses"] = json::Value(std::move(cwes));
+        if (!v.cvss_vector.empty()) o["cvss"] = json::Value(v.cvss_vector);
+        vulns.emplace_back(std::move(o));
+    }
+    root["vulnerabilities"] = json::Value(std::move(vulns));
+    return json::Value(std::move(root));
+}
+
+Corpus corpus_from_json(const json::Value& doc) {
+    if (doc.get_string("format") != "cybok-corpus-v1")
+        throw ValidationError("unknown corpus format: " + doc.get_string("format"));
+    Corpus corpus;
+
+    for (const json::Value& e : doc.at("attack_patterns").as_array()) {
+        AttackPattern p;
+        p.id.value = static_cast<std::uint32_t>(e.get_int("id"));
+        p.name = e.get_string("name");
+        p.summary = e.get_string("summary");
+        p.prerequisites = strings_from_json(e.at("prerequisites"));
+        p.likelihood = rating_from_int(e.get_int("likelihood", 2));
+        p.typical_severity = rating_from_int(e.get_int("severity", 2));
+        for (const json::Value& w : e.at("related_weaknesses").as_array())
+            p.related_weaknesses.push_back(WeaknessId{static_cast<std::uint32_t>(w.as_int())});
+        p.parent.value = static_cast<std::uint32_t>(e.get_int("parent"));
+        p.domains = strings_from_json(e.at("domains"));
+        corpus.add(std::move(p));
+    }
+
+    for (const json::Value& e : doc.at("weaknesses").as_array()) {
+        Weakness w;
+        w.id.value = static_cast<std::uint32_t>(e.get_int("id"));
+        w.name = e.get_string("name");
+        w.description = e.get_string("description");
+        w.modes_of_introduction = strings_from_json(e.at("modes_of_introduction"));
+        w.consequences = strings_from_json(e.at("consequences"));
+        w.parent.value = static_cast<std::uint32_t>(e.get_int("parent"));
+        w.applicable_platforms = strings_from_json(e.at("applicable_platforms"));
+        corpus.add(std::move(w));
+    }
+
+    for (const json::Value& e : doc.at("vulnerabilities").as_array()) {
+        Vulnerability v;
+        v.id.year = static_cast<std::uint32_t>(e.get_int("year"));
+        v.id.number = static_cast<std::uint32_t>(e.get_int("number"));
+        v.description = e.get_string("description");
+        for (const json::Value& p : e.at("platforms").as_array())
+            v.platforms.push_back(Platform::parse(p.as_string()));
+        for (const json::Value& w : e.at("weaknesses").as_array())
+            v.weaknesses.push_back(WeaknessId{static_cast<std::uint32_t>(w.as_int())});
+        v.cvss_vector = e.get_string("cvss");
+        corpus.add(std::move(v));
+    }
+
+    corpus.reindex();
+    return corpus;
+}
+
+void save_corpus(const std::string& path, const Corpus& corpus) {
+    json::save_file(path, to_json(corpus), 0);
+}
+
+Corpus load_corpus(const std::string& path) {
+    return corpus_from_json(json::load_file(path));
+}
+
+} // namespace cybok::kb

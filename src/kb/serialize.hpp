@@ -1,0 +1,25 @@
+// JSON (de)serialization of the attack-vector corpus — the on-disk form
+// corresponding to the downloadable MITRE snapshots the paper's tools
+// consume. The format is stable and diff-friendly (ordered keys).
+
+#pragma once
+
+#include <string>
+
+#include "kb/corpus.hpp"
+#include "util/json.hpp"
+
+namespace cybok::kb {
+
+/// Corpus -> JSON document (records only; indexes are rebuilt on load).
+[[nodiscard]] json::Value to_json(const Corpus& corpus);
+
+/// JSON document -> Corpus (reindexed and ready to query).
+/// Throws ParseError / ValidationError on schema violations.
+[[nodiscard]] Corpus corpus_from_json(const json::Value& doc);
+
+/// File helpers.
+void save_corpus(const std::string& path, const Corpus& corpus);
+[[nodiscard]] Corpus load_corpus(const std::string& path);
+
+} // namespace cybok::kb

@@ -1,0 +1,107 @@
+#include "model/diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cybok::model {
+
+std::vector<std::string> ModelDiff::touched_components() const {
+    std::set<std::string> names(added_components.begin(), added_components.end());
+    for (const AttributeChange& c : attribute_changes) names.insert(c.component);
+    return {names.begin(), names.end()};
+}
+
+namespace {
+
+std::map<std::string, const Component*> by_name(const SystemModel& m) {
+    std::map<std::string, const Component*> out;
+    for (const Component& c : m.components())
+        if (c.id.valid()) out.emplace(c.name, &c);
+    return out;
+}
+
+std::string connector_key(const SystemModel& m, const Connector& k) {
+    std::string from = m.contains(k.from) ? m.component(k.from).name : "?";
+    std::string to = m.contains(k.to) ? m.component(k.to).name : "?";
+    std::string key = from + " -> " + to + " (" + k.name + ")";
+    if (k.bidirectional) key += " [bidir]";
+    return key;
+}
+
+} // namespace
+
+ModelDiff diff(const SystemModel& before, const SystemModel& after) {
+    ModelDiff d;
+    auto old_comps = by_name(before);
+    auto new_comps = by_name(after);
+
+    for (const auto& [name, _] : new_comps)
+        if (!old_comps.contains(name)) d.added_components.push_back(name);
+    for (const auto& [name, _] : old_comps)
+        if (!new_comps.contains(name)) d.removed_components.push_back(name);
+
+    for (const auto& [name, new_c] : new_comps) {
+        auto it = old_comps.find(name);
+        if (it == old_comps.end()) continue;
+        const Component* old_c = it->second;
+        std::map<std::string, const Attribute*> old_attrs;
+        for (const Attribute& a : old_c->attributes) old_attrs.emplace(a.name, &a);
+        std::set<std::string> seen;
+        for (const Attribute& a : new_c->attributes) {
+            seen.insert(a.name);
+            auto oit = old_attrs.find(a.name);
+            if (oit == old_attrs.end()) {
+                d.attribute_changes.push_back(
+                    {name, a.name, AttributeChange::Kind::Added, "", a.value});
+            } else if (!(*oit->second == a)) {
+                d.attribute_changes.push_back({name, a.name, AttributeChange::Kind::Modified,
+                                               oit->second->value, a.value});
+            }
+        }
+        for (const auto& [attr_name, old_a] : old_attrs) {
+            if (!seen.contains(attr_name))
+                d.attribute_changes.push_back(
+                    {name, attr_name, AttributeChange::Kind::Removed, old_a->value, ""});
+        }
+    }
+
+    std::multiset<std::string> old_conns;
+    for (const Connector& k : before.connectors()) old_conns.insert(connector_key(before, k));
+    std::multiset<std::string> new_conns;
+    for (const Connector& k : after.connectors()) new_conns.insert(connector_key(after, k));
+    for (const std::string& key : new_conns)
+        if (old_conns.erase(key) == 0) d.added_connectors.push_back(key);
+    // Whatever survives in old_conns was not matched by a new connector.
+    for (const std::string& key : old_conns) d.removed_connectors.push_back(key);
+
+    return d;
+}
+
+std::string to_string(const ModelDiff& d) {
+    std::ostringstream out;
+    for (const std::string& c : d.added_components) out << "+ component " << c << '\n';
+    for (const std::string& c : d.removed_components) out << "- component " << c << '\n';
+    for (const AttributeChange& c : d.attribute_changes) {
+        switch (c.kind) {
+            case AttributeChange::Kind::Added:
+                out << "+ " << c.component << "." << c.attribute << " = \"" << c.new_value
+                    << "\"\n";
+                break;
+            case AttributeChange::Kind::Removed:
+                out << "- " << c.component << "." << c.attribute << " (was \"" << c.old_value
+                    << "\")\n";
+                break;
+            case AttributeChange::Kind::Modified:
+                out << "~ " << c.component << "." << c.attribute << ": \"" << c.old_value
+                    << "\" -> \"" << c.new_value << "\"\n";
+                break;
+        }
+    }
+    for (const std::string& k : d.added_connectors) out << "+ connector " << k << '\n';
+    for (const std::string& k : d.removed_connectors) out << "- connector " << k << '\n';
+    return out.str();
+}
+
+} // namespace cybok::model

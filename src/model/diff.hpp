@@ -1,0 +1,50 @@
+// Model diffing: the unit of "architectural refinement" in the paper's
+// iterative what-if loop. A diff between two model versions tells the
+// incremental association engine exactly which components need re-querying.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cybok::model {
+
+/// A change to one attribute of one component.
+struct AttributeChange {
+    std::string component;  ///< component name (names are the stable key
+                            ///< across model versions)
+    std::string attribute;
+    enum class Kind { Added, Removed, Modified } kind;
+    std::string old_value;  ///< empty for Added
+    std::string new_value;  ///< empty for Removed
+};
+
+/// Structural + attribute delta between two model versions.
+struct ModelDiff {
+    std::vector<std::string> added_components;
+    std::vector<std::string> removed_components;
+    std::vector<AttributeChange> attribute_changes;
+    std::vector<std::string> added_connectors;   ///< "<from> -> <to> (<name>)"
+    std::vector<std::string> removed_connectors;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return added_components.empty() && removed_components.empty() &&
+               attribute_changes.empty() && added_connectors.empty() &&
+               removed_connectors.empty();
+    }
+
+    /// Names of components whose attack-vector associations may have
+    /// changed (added components + components with attribute changes).
+    [[nodiscard]] std::vector<std::string> touched_components() const;
+};
+
+/// Compute the delta from `before` to `after`. Components are matched by
+/// name; a renamed component appears as removed + added.
+[[nodiscard]] ModelDiff diff(const SystemModel& before, const SystemModel& after);
+
+/// Human-readable one-line-per-change rendering.
+[[nodiscard]] std::string to_string(const ModelDiff& d);
+
+} // namespace cybok::model

@@ -1,0 +1,387 @@
+#include "model/dsl.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "kb/platform.hpp"
+
+namespace cybok::model {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+enum class TokKind { Ident, String, Symbol, End };
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::size_t offset = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+    [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+    Token take() {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+private:
+    void skip_ws_and_comments() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else if (c == '#') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    static bool ident_char(char c) noexcept {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+               c == '-' || c == '_' || c == '.';
+    }
+
+    void advance() {
+        skip_ws_and_comments();
+        current_.offset = pos_;
+        if (pos_ >= text_.size()) {
+            current_.kind = TokKind::End;
+            current_.text.clear();
+            return;
+        }
+        char c = text_[pos_];
+        if (c == '"') {
+            ++pos_;
+            std::string out;
+            while (pos_ < text_.size() && text_[pos_] != '"') {
+                if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+                    ++pos_;
+                    char esc = text_[pos_];
+                    out.push_back(esc == 'n' ? '\n' : esc);
+                } else {
+                    out.push_back(text_[pos_]);
+                }
+                ++pos_;
+            }
+            if (pos_ >= text_.size())
+                throw ParseError("unterminated string literal", current_.offset);
+            ++pos_; // closing quote
+            current_.kind = TokKind::String;
+            current_.text = std::move(out);
+            return;
+        }
+        // Arrows before identifiers: '-' is also an identifier character,
+        // so "->" must be recognized here or it would lex as ident "-".
+        if (text_.substr(pos_, 3) == "<->") {
+            current_ = Token{TokKind::Symbol, "<->", pos_};
+            pos_ += 3;
+            return;
+        }
+        if (text_.substr(pos_, 2) == "->") {
+            current_ = Token{TokKind::Symbol, "->", pos_};
+            pos_ += 2;
+            return;
+        }
+        if (ident_char(c)) {
+            std::size_t start = pos_;
+            while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+            current_.kind = TokKind::Ident;
+            current_.text = std::string(text_.substr(start, pos_ - start));
+            return;
+        }
+        if (c == '{' || c == '}' || c == '=') {
+            current_ = Token{TokKind::Symbol, std::string(1, c), pos_};
+            ++pos_;
+            return;
+        }
+        throw ParseError(std::string("unexpected character '") + c + "'", pos_);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    Token current_;
+};
+
+// --------------------------------------------------------------- parser
+
+ComponentType parse_component_type(const Token& t) {
+    for (int i = 0; i <= static_cast<int>(ComponentType::Other); ++i) {
+        auto ct = static_cast<ComponentType>(i);
+        if (component_type_name(ct) == t.text) return ct;
+    }
+    throw ParseError("unknown component type: " + t.text, t.offset);
+}
+
+ChannelKind parse_channel_kind(const Token& t) {
+    for (int i = 0; i <= static_cast<int>(ChannelKind::LogicalFlow); ++i) {
+        auto k = static_cast<ChannelKind>(i);
+        if (channel_kind_name(k) == t.text) return k;
+    }
+    throw ParseError("unknown channel kind: " + t.text, t.offset);
+}
+
+Fidelity parse_fidelity(const Token& t) {
+    for (int i = 0; i <= static_cast<int>(Fidelity::Implementation); ++i) {
+        auto f = static_cast<Fidelity>(i);
+        if (fidelity_name(f) == t.text) return f;
+    }
+    throw ParseError("unknown fidelity level: " + t.text, t.offset);
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : lex_(text) {}
+
+    SystemModel parse() {
+        expect_ident("system");
+        std::string name = expect_string();
+        SystemModel m(std::move(name), "");
+        expect_symbol("{");
+        while (!at_symbol("}")) {
+            Token t = lex_.take();
+            if (t.kind != TokKind::Ident)
+                throw ParseError("expected directive, got '" + t.text + "'", t.offset);
+            if (t.text == "description") {
+                m.set_description(expect_string());
+            } else if (t.text == "component") {
+                parse_component(m);
+            } else if (t.text == "connect") {
+                parse_connect(m);
+            } else {
+                throw ParseError("unknown directive: " + t.text, t.offset);
+            }
+        }
+        expect_symbol("}");
+        if (lex_.peek().kind != TokKind::End)
+            throw ParseError("trailing content after system block", lex_.peek().offset);
+        return m;
+    }
+
+private:
+    void parse_component(SystemModel& m) {
+        std::string name = expect_string();
+        if (m.find_component(name).has_value())
+            throw ValidationError("duplicate component: " + name);
+        ComponentType type = ComponentType::Other;
+        std::string subsystem;
+        bool external = false;
+        bool saw_type = false;
+        // Header options until '{'.
+        while (!at_symbol("{")) {
+            Token t = lex_.take();
+            if (t.kind != TokKind::Ident)
+                throw ParseError("expected component option", t.offset);
+            if (t.text == "type") {
+                expect_symbol("=");
+                type = parse_component_type(lex_.take());
+                saw_type = true;
+            } else if (t.text == "subsystem") {
+                expect_symbol("=");
+                subsystem = expect_string();
+            } else if (t.text == "external") {
+                external = true;
+            } else {
+                throw ParseError("unknown component option: " + t.text, t.offset);
+            }
+        }
+        if (!saw_type) throw ValidationError("component \"" + name + "\" needs type=...");
+        expect_symbol("{");
+
+        ComponentId id = m.add_component(std::move(name), type);
+        m.component(id).subsystem = std::move(subsystem);
+        m.component(id).external_facing = external;
+
+        while (!at_symbol("}")) {
+            Token t = lex_.take();
+            if (t.kind != TokKind::Ident)
+                throw ParseError("expected attribute directive", t.offset);
+            if (t.text == "description") {
+                m.component(id).description = expect_string();
+                continue;
+            }
+            AttributeKind kind;
+            Fidelity fidelity;
+            if (t.text == "descriptor") {
+                kind = AttributeKind::Descriptor;
+                fidelity = Fidelity::Functional;
+            } else if (t.text == "platform") {
+                kind = AttributeKind::PlatformRef;
+                fidelity = Fidelity::Implementation;
+            } else if (t.text == "parameter") {
+                kind = AttributeKind::Parameter;
+                fidelity = Fidelity::Logical;
+            } else {
+                throw ParseError("unknown attribute directive: " + t.text, t.offset);
+            }
+            Token name_tok = lex_.take();
+            if (name_tok.kind != TokKind::Ident)
+                throw ParseError("expected attribute name", name_tok.offset);
+            expect_symbol("=");
+            Attribute attr;
+            attr.name = name_tok.text;
+            attr.value = expect_string();
+            attr.kind = kind;
+            attr.fidelity = fidelity;
+            // Trailing options: cpe="..." fidelity=<level>
+            while (lex_.peek().kind == TokKind::Ident &&
+                   (lex_.peek().text == "cpe" || lex_.peek().text == "fidelity")) {
+                Token opt = lex_.take();
+                expect_symbol("=");
+                if (opt.text == "cpe") {
+                    attr.platform = kb::Platform::parse(expect_string());
+                } else {
+                    attr.fidelity = parse_fidelity(lex_.take());
+                }
+            }
+            if (kind == AttributeKind::PlatformRef && !attr.platform.has_value())
+                throw ValidationError("platform attribute \"" + attr.name +
+                                      "\" needs cpe=\"...\"");
+            m.set_attribute(id, std::move(attr));
+        }
+        expect_symbol("}");
+    }
+
+    void parse_connect(SystemModel& m) {
+        std::string from = expect_string();
+        Token arrow = lex_.take();
+        if (arrow.kind != TokKind::Symbol || (arrow.text != "->" && arrow.text != "<->"))
+            throw ParseError("expected -> or <-> in connect", arrow.offset);
+        bool bidirectional = arrow.text == "<->";
+        std::string to = expect_string();
+        expect_ident("via");
+        std::string label = expect_string();
+        ChannelKind kind = ChannelKind::LogicalFlow;
+        Fidelity fidelity = Fidelity::Logical;
+        while (lex_.peek().kind == TokKind::Ident &&
+               (lex_.peek().text == "kind" || lex_.peek().text == "fidelity")) {
+            Token opt = lex_.take();
+            expect_symbol("=");
+            if (opt.text == "kind") kind = parse_channel_kind(lex_.take());
+            else fidelity = parse_fidelity(lex_.take());
+        }
+        auto from_id = m.find_component(from);
+        auto to_id = m.find_component(to);
+        if (!from_id.has_value())
+            throw ValidationError("connect references unknown component: " + from);
+        if (!to_id.has_value())
+            throw ValidationError("connect references unknown component: " + to);
+        m.connect(*from_id, *to_id, std::move(label), kind, bidirectional, fidelity);
+    }
+
+    void expect_ident(std::string_view word) {
+        Token t = lex_.take();
+        if (t.kind != TokKind::Ident || t.text != word)
+            throw ParseError("expected '" + std::string(word) + "', got '" + t.text + "'",
+                             t.offset);
+    }
+
+    std::string expect_string() {
+        Token t = lex_.take();
+        if (t.kind != TokKind::String)
+            throw ParseError("expected string literal, got '" + t.text + "'", t.offset);
+        return t.text;
+    }
+
+    void expect_symbol(std::string_view sym) {
+        Token t = lex_.take();
+        if (t.kind != TokKind::Symbol || t.text != sym)
+            throw ParseError("expected '" + std::string(sym) + "', got '" + t.text + "'",
+                             t.offset);
+    }
+
+    [[nodiscard]] bool at_symbol(std::string_view sym) {
+        return lex_.peek().kind == TokKind::Symbol && lex_.peek().text == sym;
+    }
+
+    Lexer lex_;
+};
+
+std::string quote(std::string_view s) {
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
+SystemModel parse_dsl(std::string_view text) { return Parser(text).parse(); }
+
+std::string to_dsl(const SystemModel& m) {
+    std::ostringstream out;
+    out << "system " << quote(m.name()) << " {\n";
+    if (!m.description().empty())
+        out << "  description " << quote(m.description()) << "\n";
+    for (const Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        out << "\n  component " << quote(c.name) << " type="
+            << component_type_name(c.type);
+        if (!c.subsystem.empty()) out << " subsystem=" << quote(c.subsystem);
+        if (c.external_facing) out << " external";
+        out << " {\n";
+        if (!c.description.empty())
+            out << "    description " << quote(c.description) << "\n";
+        for (const Attribute& a : c.attributes) {
+            const char* directive = "descriptor";
+            Fidelity default_fid = Fidelity::Functional;
+            if (a.kind == AttributeKind::PlatformRef) {
+                directive = "platform";
+                default_fid = Fidelity::Implementation;
+            } else if (a.kind == AttributeKind::Parameter) {
+                directive = "parameter";
+                default_fid = Fidelity::Logical;
+            }
+            out << "    " << directive << " " << a.name << " = " << quote(a.value);
+            if (a.platform.has_value()) out << " cpe=" << quote(a.platform->uri());
+            if (a.fidelity != default_fid)
+                out << " fidelity=" << fidelity_name(a.fidelity);
+            out << "\n";
+        }
+        out << "  }\n";
+    }
+    if (!m.connectors().empty()) out << "\n";
+    for (const Connector& k : m.connectors()) {
+        if (!m.contains(k.from) || !m.contains(k.to)) continue;
+        out << "  connect " << quote(m.component(k.from).name)
+            << (k.bidirectional ? " <-> " : " -> ") << quote(m.component(k.to).name)
+            << " via " << quote(k.name) << " kind=" << channel_kind_name(k.kind);
+        if (k.fidelity != Fidelity::Logical) out << " fidelity=" << fidelity_name(k.fidelity);
+        out << "\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+SystemModel load_dsl(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open file for reading: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_dsl(ss.str());
+}
+
+void save_dsl(const std::string& path, const SystemModel& m) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open file for writing: " + path);
+    out << to_dsl(m);
+    if (!out) throw IoError("write failed: " + path);
+}
+
+} // namespace cybok::model

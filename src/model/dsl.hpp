@@ -1,0 +1,50 @@
+// A textual architecture description language (".sysm") for SystemModel.
+//
+// GraphML is the machine interchange format (model/export.hpp); this DSL
+// is the human one — version-controllable, diffable, and writable without
+// a modeling tool, which is exactly the situation the paper targets ("the
+// only available description is design documents or incomplete
+// documentation of legacy systems").
+//
+// Grammar (line comments start with '#'):
+//
+//   system "<name>" {
+//     description "<text>"
+//     component "<name>" type=<component-type> [subsystem="<text>"] [external] {
+//       [description "<text>"]
+//       descriptor <attr-name> = "<text>" [fidelity=<level>]
+//       platform   <attr-name> = "<text>" cpe="<cpe-2.3-uri>"
+//       parameter  <attr-name> = "<text>"
+//     }
+//     connect "<from>" -> "<to>"  via "<label>" [kind=<channel>] [fidelity=<level>]
+//     connect "<from>" <-> "<to>" via "<label>" [kind=<channel>] [fidelity=<level>]
+//   }
+//
+// <component-type>, <channel>, <level> use the canonical names from
+// system_model.hpp (component_type_name / channel_kind_name /
+// fidelity_name). Unspecified fidelity defaults: descriptor=functional,
+// platform=implementation, parameter=logical, connector=logical.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "model/system_model.hpp"
+
+namespace cybok::model {
+
+/// Parse a DSL document into a model. Throws ParseError (with offset) on
+/// syntax errors and ValidationError on semantic ones (unknown component
+/// in connect, unknown enum name, duplicate component).
+[[nodiscard]] SystemModel parse_dsl(std::string_view text);
+
+/// Serialize a model to DSL text. parse_dsl(to_dsl(m)) reconstructs an
+/// equivalent model (diff-empty up to attribute ordering).
+[[nodiscard]] std::string to_dsl(const SystemModel& m);
+
+/// File helpers (throw IoError).
+[[nodiscard]] SystemModel load_dsl(const std::string& path);
+void save_dsl(const std::string& path, const SystemModel& m);
+
+} // namespace cybok::model

@@ -1,0 +1,132 @@
+#include "model/export.hpp"
+
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace cybok::model {
+
+namespace {
+
+ComponentType component_type_from_name(std::string_view s) {
+    for (int i = 0; i <= static_cast<int>(ComponentType::Other); ++i) {
+        auto t = static_cast<ComponentType>(i);
+        if (component_type_name(t) == s) return t;
+    }
+    throw ValidationError("unknown component type: " + std::string(s));
+}
+
+ChannelKind channel_kind_from_name(std::string_view s) {
+    for (int i = 0; i <= static_cast<int>(ChannelKind::LogicalFlow); ++i) {
+        auto k = static_cast<ChannelKind>(i);
+        if (channel_kind_name(k) == s) return k;
+    }
+    throw ValidationError("unknown channel kind: " + std::string(s));
+}
+
+AttributeKind attribute_kind_from_name(std::string_view s) {
+    for (int i = 0; i <= static_cast<int>(AttributeKind::Parameter); ++i) {
+        auto k = static_cast<AttributeKind>(i);
+        if (attribute_kind_name(k) == s) return k;
+    }
+    throw ValidationError("unknown attribute kind: " + std::string(s));
+}
+
+Fidelity fidelity_from_int(std::int64_t i) {
+    if (i < 0 || i > static_cast<int>(Fidelity::Implementation))
+        throw ValidationError("fidelity out of range: " + std::to_string(i));
+    return static_cast<Fidelity>(i);
+}
+
+} // namespace
+
+graph::PropertyGraph to_graph(const SystemModel& m) {
+    graph::PropertyGraph g;
+    std::map<std::uint32_t, graph::NodeId> node_of;
+    for (const Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        graph::NodeId n = g.add_node(c.name);
+        node_of[c.id.value] = n;
+        g.set_property(n, "type", std::string(component_type_name(c.type)));
+        if (!c.subsystem.empty()) g.set_property(n, "subsystem", c.subsystem);
+        if (!c.description.empty()) g.set_property(n, "description", c.description);
+        g.set_property(n, "external", c.external_facing);
+        for (const Attribute& a : c.attributes) {
+            g.set_property(n, "attr." + a.name, a.value);
+            g.set_property(n, "attr." + a.name + ".kind",
+                           std::string(attribute_kind_name(a.kind)));
+            g.set_property(n, "attr." + a.name + ".fidelity",
+                           static_cast<std::int64_t>(a.fidelity));
+            if (a.platform.has_value())
+                g.set_property(n, "attr." + a.name + ".platform", a.platform->uri());
+        }
+    }
+    for (const Connector& k : m.connectors()) {
+        auto add = [&](ComponentId from, ComponentId to) {
+            graph::EdgeId e = g.add_edge(node_of.at(from.value), node_of.at(to.value), k.name);
+            g.set_property(e, "channel", std::string(channel_kind_name(k.kind)));
+            g.set_property(e, "fidelity", static_cast<std::int64_t>(k.fidelity));
+        };
+        add(k.from, k.to);
+        if (k.bidirectional) add(k.to, k.from);
+    }
+    return g;
+}
+
+SystemModel from_graph(const graph::PropertyGraph& g) {
+    SystemModel m("imported", "model imported from architectural graph");
+    std::map<graph::NodeId, ComponentId> comp_of;
+
+    for (graph::NodeId n : g.nodes()) {
+        const graph::PropertyGraph::Node& node = g.node(n);
+        const graph::Property* type_p = g.get_property(n, "type");
+        if (type_p == nullptr)
+            throw ValidationError("node \"" + node.label + "\" lacks a 'type' property");
+        ComponentId id = m.add_component(node.label,
+                                         component_type_from_name(
+                                             graph::property_to_string(*type_p)));
+        comp_of[n] = id;
+        Component& c = m.component(id);
+        if (const graph::Property* p = g.get_property(n, "subsystem"))
+            c.subsystem = graph::property_to_string(*p);
+        if (const graph::Property* p = g.get_property(n, "description"))
+            c.description = graph::property_to_string(*p);
+        if (const graph::Property* p = g.get_property(n, "external"))
+            c.external_facing = std::holds_alternative<bool>(*p) ? std::get<bool>(*p)
+                                : graph::property_to_string(*p) == "true";
+
+        // Reassemble attributes from the attr.<name>[.suffix] properties.
+        for (const auto& [key, value] : node.properties) {
+            if (!key.starts_with("attr.")) continue;
+            std::string_view rest = std::string_view(key).substr(5);
+            if (rest.find('.') != std::string_view::npos) continue; // metadata key
+            Attribute a;
+            a.name = std::string(rest);
+            a.value = graph::property_to_string(value);
+            if (const graph::Property* p = g.get_property(n, key + ".kind"))
+                a.kind = attribute_kind_from_name(graph::property_to_string(*p));
+            if (const graph::Property* p = g.get_property(n, key + ".fidelity")) {
+                if (const auto* i = std::get_if<std::int64_t>(p))
+                    a.fidelity = fidelity_from_int(*i);
+            }
+            if (const graph::Property* p = g.get_property(n, key + ".platform"))
+                a.platform = kb::Platform::parse(graph::property_to_string(*p));
+            m.set_attribute(id, std::move(a));
+        }
+    }
+
+    for (graph::EdgeId e : g.edges()) {
+        const auto& edge = g.edge(e);
+        ChannelKind kind = ChannelKind::LogicalFlow;
+        Fidelity fid = Fidelity::Logical;
+        if (const graph::Property* p = g.get_property(e, "channel"))
+            kind = channel_kind_from_name(graph::property_to_string(*p));
+        if (const graph::Property* p = g.get_property(e, "fidelity"))
+            if (const auto* i = std::get_if<std::int64_t>(p)) fid = fidelity_from_int(*i);
+        m.connect(comp_of.at(edge.source), comp_of.at(edge.target), edge.label, kind,
+                  /*bidirectional=*/false, fid);
+    }
+    return m;
+}
+
+} // namespace cybok::model

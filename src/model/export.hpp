@@ -1,0 +1,25 @@
+// Capability (1) of the paper: export the modeling-language-specific system
+// model to the general architectural model (a property graph, serializable
+// as GraphML) that the security tooling consumes.
+
+#pragma once
+
+#include "graph/property_graph.hpp"
+#include "model/system_model.hpp"
+
+namespace cybok::model {
+
+/// Convert the system model to the general architectural graph.
+///
+/// Node properties: "type", "subsystem", "external" plus one
+/// "attr.<name>" property per attribute (value text) and
+/// "attr.<name>.kind"/"attr.<name>.fidelity" metadata. Edge properties:
+/// "channel" and "fidelity". Bidirectional connectors become two edges.
+[[nodiscard]] graph::PropertyGraph to_graph(const SystemModel& m);
+
+/// Inverse of to_graph for graphs produced by it (used to ingest GraphML
+/// models exported from external modeling tools). Throws ValidationError
+/// when required properties are missing.
+[[nodiscard]] SystemModel from_graph(const graph::PropertyGraph& g);
+
+} // namespace cybok::model

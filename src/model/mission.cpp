@@ -1,0 +1,72 @@
+#include "model/mission.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cybok::model {
+
+void MissionModel::add(Function function) { functions_.push_back(std::move(function)); }
+void MissionModel::add(Mission mission) { missions_.push_back(std::move(mission)); }
+
+const Function* MissionModel::find_function(std::string_view id) const noexcept {
+    for (const Function& f : functions_)
+        if (f.id == id) return &f;
+    return nullptr;
+}
+
+const Mission* MissionModel::find_mission(std::string_view id) const noexcept {
+    for (const Mission& m : missions_)
+        if (m.id == id) return &m;
+    return nullptr;
+}
+
+std::vector<const Function*> MissionModel::functions_on(std::string_view component) const {
+    std::vector<const Function*> out;
+    for (const Function& f : functions_) {
+        if (std::find(f.allocated_to.begin(), f.allocated_to.end(), component) !=
+            f.allocated_to.end())
+            out.push_back(&f);
+    }
+    return out;
+}
+
+std::vector<const Mission*> MissionModel::missions_threatened_by(
+    std::string_view component) const {
+    std::set<std::string> function_ids;
+    for (const Function* f : functions_on(component)) function_ids.insert(f->id);
+    std::vector<const Mission*> out;
+    for (const Mission& m : missions_) {
+        bool hit = std::any_of(m.requires_functions.begin(), m.requires_functions.end(),
+                               [&](const std::string& fid) {
+                                   return function_ids.contains(fid);
+                               });
+        if (hit) out.push_back(&m);
+    }
+    return out;
+}
+
+std::vector<std::string> MissionModel::validate(const SystemModel& m) const {
+    std::vector<std::string> issues;
+    std::set<std::string> ids;
+    for (const Function& f : functions_) {
+        if (!ids.insert(f.id).second) issues.push_back("duplicate id: " + f.id);
+        if (f.allocated_to.empty())
+            issues.push_back("function " + f.id + " is not allocated to any component");
+        for (const std::string& component : f.allocated_to)
+            if (!m.find_component(component).has_value())
+                issues.push_back("function " + f.id + " allocated to unknown component \"" +
+                                 component + "\"");
+    }
+    for (const Mission& mission : missions_) {
+        if (!ids.insert(mission.id).second) issues.push_back("duplicate id: " + mission.id);
+        if (mission.requires_functions.empty())
+            issues.push_back("mission " + mission.id + " requires no functions");
+        for (const std::string& fid : mission.requires_functions)
+            if (find_function(fid) == nullptr)
+                issues.push_back("mission " + mission.id + " references unknown function " +
+                                 fid);
+    }
+    return issues;
+}
+
+} // namespace cybok::model

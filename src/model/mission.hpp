@@ -1,0 +1,65 @@
+// Mission layer: missions -> system functions -> component allocations.
+//
+// The paper's methodology lineage (its reference [9], "A model-based
+// approach to security analysis for cyber-physical systems") is
+// mission-aware: what makes a component critical is not its CVE count but
+// the mission functions that die with it. This layer records that
+// traceability so the analysis can answer "which missions does this
+// attack vector ultimately threaten?".
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cybok::model {
+
+/// A system function ("regulate temperature", "separate particulate").
+struct Function {
+    std::string id;   ///< "F-1"
+    std::string text;
+    /// Components this function is allocated to (all are needed; losing
+    /// any one degrades the function).
+    std::vector<std::string> allocated_to;
+};
+
+/// A mission with the functions it requires.
+struct Mission {
+    std::string id;   ///< "M-1"
+    std::string text;
+    std::vector<std::string> requires_functions; ///< function ids
+};
+
+/// Missions + functions + allocation for one system model.
+class MissionModel {
+public:
+    void add(Function function);
+    void add(Mission mission);
+
+    [[nodiscard]] const std::vector<Function>& functions() const noexcept { return functions_; }
+    [[nodiscard]] const std::vector<Mission>& missions() const noexcept { return missions_; }
+    [[nodiscard]] const Function* find_function(std::string_view id) const noexcept;
+    [[nodiscard]] const Mission* find_mission(std::string_view id) const noexcept;
+
+    /// Functions allocated (at least partly) to the component.
+    [[nodiscard]] std::vector<const Function*> functions_on(std::string_view component) const;
+
+    /// Missions requiring any function allocated to the component — the
+    /// blast radius of losing it.
+    [[nodiscard]] std::vector<const Mission*> missions_threatened_by(
+        std::string_view component) const;
+
+    /// Referential integrity against a system model: allocations name
+    /// existing components, mission function references resolve, ids are
+    /// unique, every function is allocated. Empty = valid.
+    [[nodiscard]] std::vector<std::string> validate(const SystemModel& m) const;
+
+private:
+    std::vector<Function> functions_;
+    std::vector<Mission> missions_;
+};
+
+} // namespace cybok::model

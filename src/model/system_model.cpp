@@ -1,0 +1,206 @@
+#include "model/system_model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cybok::model {
+
+std::string_view fidelity_name(Fidelity f) noexcept {
+    switch (f) {
+        case Fidelity::Conceptual: return "conceptual";
+        case Fidelity::Functional: return "functional";
+        case Fidelity::Logical: return "logical";
+        case Fidelity::Implementation: return "implementation";
+    }
+    return "?";
+}
+
+std::string_view attribute_kind_name(AttributeKind k) noexcept {
+    switch (k) {
+        case AttributeKind::Descriptor: return "descriptor";
+        case AttributeKind::PlatformRef: return "platform-ref";
+        case AttributeKind::Parameter: return "parameter";
+    }
+    return "?";
+}
+
+std::string_view component_type_name(ComponentType t) noexcept {
+    switch (t) {
+        case ComponentType::Controller: return "controller";
+        case ComponentType::Sensor: return "sensor";
+        case ComponentType::Actuator: return "actuator";
+        case ComponentType::Compute: return "compute";
+        case ComponentType::Network: return "network";
+        case ComponentType::Software: return "software";
+        case ComponentType::HumanInterface: return "human-interface";
+        case ComponentType::PhysicalProcess: return "physical-process";
+        case ComponentType::Other: return "other";
+    }
+    return "?";
+}
+
+std::string_view channel_kind_name(ChannelKind k) noexcept {
+    switch (k) {
+        case ChannelKind::Ethernet: return "ethernet";
+        case ChannelKind::Serial: return "serial";
+        case ChannelKind::Fieldbus: return "fieldbus";
+        case ChannelKind::Wireless: return "wireless";
+        case ChannelKind::AnalogSignal: return "analog-signal";
+        case ChannelKind::Mechanical: return "mechanical";
+        case ChannelKind::LogicalFlow: return "logical-flow";
+    }
+    return "?";
+}
+
+ComponentId SystemModel::add_component(std::string name, ComponentType type,
+                                       std::string description) {
+    Component c;
+    c.id = ComponentId{static_cast<std::uint32_t>(components_.size())};
+    c.name = std::move(name);
+    c.type = type;
+    c.description = std::move(description);
+    components_.push_back(std::move(c));
+    return components_.back().id;
+}
+
+bool SystemModel::contains(ComponentId id) const noexcept {
+    return id.value < components_.size() && components_[id.value].id.valid();
+}
+
+const Component& SystemModel::component(ComponentId id) const {
+    if (!contains(id))
+        throw NotFoundError("model: no component with id " + std::to_string(id.value));
+    return components_[id.value];
+}
+
+Component& SystemModel::component(ComponentId id) {
+    if (!contains(id))
+        throw NotFoundError("model: no component with id " + std::to_string(id.value));
+    return components_[id.value];
+}
+
+std::optional<ComponentId> SystemModel::find_component(std::string_view name) const noexcept {
+    for (const Component& c : components_)
+        if (c.id.valid() && c.name == name) return c.id;
+    return std::nullopt;
+}
+
+void SystemModel::remove_component(ComponentId id) {
+    Component& c = component(id);
+    c.id = ComponentId{}; // tombstone
+    connectors_.erase(std::remove_if(connectors_.begin(), connectors_.end(),
+                                     [id](const Connector& k) {
+                                         return k.from == id || k.to == id;
+                                     }),
+                      connectors_.end());
+}
+
+void SystemModel::set_attribute(ComponentId id, Attribute attr) {
+    Component& c = component(id);
+    for (Attribute& existing : c.attributes) {
+        if (existing.name == attr.name) {
+            existing = std::move(attr);
+            return;
+        }
+    }
+    c.attributes.push_back(std::move(attr));
+}
+
+bool SystemModel::remove_attribute(ComponentId id, std::string_view attr_name) {
+    Component& c = component(id);
+    auto it = std::find_if(c.attributes.begin(), c.attributes.end(),
+                           [&](const Attribute& a) { return a.name == attr_name; });
+    if (it == c.attributes.end()) return false;
+    c.attributes.erase(it);
+    return true;
+}
+
+const Attribute* SystemModel::find_attribute(ComponentId id,
+                                             std::string_view attr_name) const noexcept {
+    if (!contains(id)) return nullptr;
+    for (const Attribute& a : components_[id.value].attributes)
+        if (a.name == attr_name) return &a;
+    return nullptr;
+}
+
+void SystemModel::connect(ComponentId from, ComponentId to, std::string name,
+                          ChannelKind kind, bool bidirectional, Fidelity fidelity) {
+    if (!contains(from) || !contains(to))
+        throw NotFoundError("model: connector references unknown component");
+    connectors_.push_back(Connector{from, to, std::move(name), kind, bidirectional, fidelity});
+}
+
+std::vector<std::string> SystemModel::validate() const {
+    std::vector<std::string> issues;
+
+    std::map<std::string, int> name_counts;
+    for (const Component& c : components_)
+        if (c.id.valid()) ++name_counts[c.name];
+    for (const auto& [name, count] : name_counts)
+        if (count > 1)
+            issues.push_back("duplicate component name: \"" + name + "\" (" +
+                             std::to_string(count) + " components)");
+
+    for (const Connector& k : connectors_) {
+        if (!contains(k.from) || !contains(k.to))
+            issues.push_back("connector \"" + k.name + "\" references a removed component");
+    }
+
+    std::set<std::uint32_t> connected;
+    for (const Connector& k : connectors_) {
+        connected.insert(k.from.value);
+        connected.insert(k.to.value);
+    }
+    for (const Component& c : components_) {
+        if (!c.id.valid()) continue;
+        if (!connected.contains(c.id.value) && component_count() > 1)
+            issues.push_back("component \"" + c.name + "\" has no connectors");
+        for (const Attribute& a : c.attributes) {
+            if (a.kind == AttributeKind::PlatformRef && !a.platform.has_value())
+                issues.push_back("component \"" + c.name + "\": platform-ref attribute \"" +
+                                 a.name + "\" has no resolved platform");
+            if (a.name.empty())
+                issues.push_back("component \"" + c.name + "\" has an unnamed attribute");
+        }
+    }
+    return issues;
+}
+
+SystemModel SystemModel::at_fidelity(Fidelity f) const {
+    SystemModel out(name_, description_);
+    // Preserve ids: re-add in order, including tombstones.
+    for (const Component& c : components_) {
+        ComponentId id = out.add_component(c.name, c.type, c.description);
+        Component& nc = out.component(id);
+        nc.external_facing = c.external_facing;
+        nc.subsystem = c.subsystem;
+        for (const Attribute& a : c.attributes)
+            if (a.fidelity <= f) nc.attributes.push_back(a);
+        if (!c.id.valid()) nc.id = ComponentId{}; // keep tombstone
+    }
+    for (const Connector& k : connectors_)
+        if (k.fidelity <= f) out.connectors_.push_back(k);
+    return out;
+}
+
+Fidelity SystemModel::max_fidelity() const noexcept {
+    Fidelity f = Fidelity::Conceptual;
+    for (const Component& c : components_) {
+        if (!c.id.valid()) continue;
+        for (const Attribute& a : c.attributes)
+            if (a.fidelity > f) f = a.fidelity;
+    }
+    for (const Connector& k : connectors_)
+        if (k.fidelity > f) f = k.fidelity;
+    return f;
+}
+
+std::size_t SystemModel::component_count() const noexcept {
+    std::size_t n = 0;
+    for (const Component& c : components_)
+        if (c.id.valid()) ++n;
+    return n;
+}
+
+} // namespace cybok::model

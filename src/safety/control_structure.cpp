@@ -1,0 +1,74 @@
+#include "safety/control_structure.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cybok::safety {
+
+bool ControlStructure::is_controller(std::string_view name) const noexcept {
+    return std::find(controllers.begin(), controllers.end(), name) != controllers.end();
+}
+
+std::vector<FeedbackPath> ControlStructure::feedback_into(std::string_view controller) const {
+    std::vector<FeedbackPath> out;
+    for (const FeedbackPath& f : feedback)
+        if (f.controller == controller) out.push_back(f);
+    return out;
+}
+
+ControlStructure extract_control_structure(const model::SystemModel& m) {
+    using model::ComponentType;
+    ControlStructure cs;
+
+    auto type_of = [&](model::ComponentId id) { return m.component(id).type; };
+    auto name_of = [&](model::ComponentId id) { return m.component(id).name; };
+
+    std::set<std::string> controllers;
+    std::set<std::string> processes;
+
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        if (c.type == ComponentType::Controller) controllers.insert(c.name);
+        if (c.type == ComponentType::Actuator || c.type == ComponentType::PhysicalProcess)
+            processes.insert(c.name);
+    }
+    // Compute/Software components commanding an actuator or process act as
+    // controllers too (a workstation that can command the drive directly).
+    for (const model::Connector& k : m.connectors()) {
+        if (!m.contains(k.from) || !m.contains(k.to)) continue;
+        ComponentType ft = type_of(k.from);
+        ComponentType tt = type_of(k.to);
+        bool to_process = tt == ComponentType::Actuator || tt == ComponentType::PhysicalProcess;
+        if (to_process &&
+            (ft == ComponentType::Compute || ft == ComponentType::Software ||
+             ft == ComponentType::Controller))
+            controllers.insert(name_of(k.from));
+    }
+
+    cs.controllers.assign(controllers.begin(), controllers.end());
+    cs.controlled_processes.assign(processes.begin(), processes.end());
+
+    for (const model::Connector& k : m.connectors()) {
+        if (!m.contains(k.from) || !m.contains(k.to)) continue;
+        const std::string from = name_of(k.from);
+        const std::string to = name_of(k.to);
+        ComponentType ft = type_of(k.from);
+        ComponentType tt = type_of(k.to);
+
+        const bool from_is_ctrl = controllers.contains(from);
+        const bool to_is_process =
+            tt == ComponentType::Actuator || tt == ComponentType::PhysicalProcess;
+        if (from_is_ctrl && (to_is_process || controllers.contains(to)))
+            cs.actions.push_back(ControlAction{from, to, k.name});
+        // Bidirectional command links also act downstream->upstream only
+        // for feedback, handled below.
+
+        if (ft == ComponentType::Sensor && controllers.contains(to))
+            cs.feedback.push_back(FeedbackPath{from, to, k.name});
+        if (k.bidirectional && tt == ComponentType::Sensor && controllers.contains(from))
+            cs.feedback.push_back(FeedbackPath{to, from, k.name});
+    }
+    return cs;
+}
+
+} // namespace cybok::safety

@@ -1,0 +1,54 @@
+// Control-structure extraction: derive the STPA control structure
+// (controllers, controlled processes, control actions, feedback paths)
+// from the architectural model, so consequence tracing can reason about
+// *which* compromised component can issue *which* control action.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system_model.hpp"
+
+namespace cybok::safety {
+
+/// One control action: a directed influence from a controlling component
+/// onto a controlled one (actuator or physical process).
+struct ControlAction {
+    std::string controller;
+    std::string controlled;
+    std::string via; ///< connector name ("MODBUS/TCP", "drive command")
+};
+
+/// One feedback path: measurement flowing from a sensed component to a
+/// controller.
+struct FeedbackPath {
+    std::string source;
+    std::string controller;
+    std::string via;
+};
+
+/// The extracted control structure.
+struct ControlStructure {
+    std::vector<std::string> controllers;
+    std::vector<std::string> controlled_processes;
+    std::vector<ControlAction> actions;
+    std::vector<FeedbackPath> feedback;
+
+    [[nodiscard]] bool is_controller(std::string_view name) const noexcept;
+
+    /// Feedback paths reaching a controller. An attack on any component on
+    /// such a path can corrupt the controller's process view — the
+    /// sensor-spoofing consequence class.
+    [[nodiscard]] std::vector<FeedbackPath> feedback_into(std::string_view controller) const;
+};
+
+/// Derive the control structure: controllers are Controller-typed
+/// components (plus Compute/Software components that command an actuator
+/// or physical process); controlled processes are Actuator/PhysicalProcess
+/// components; control actions are connectors from (transitive)
+/// controllers toward controlled processes; feedback are connectors from
+/// Sensor components toward controllers.
+[[nodiscard]] ControlStructure extract_control_structure(const model::SystemModel& m);
+
+} // namespace cybok::safety

@@ -1,0 +1,71 @@
+#include "safety/hazards.hpp"
+
+#include <set>
+
+namespace cybok::safety {
+
+std::string_view uca_type_name(UcaType t) noexcept {
+    switch (t) {
+        case UcaType::NotProviding: return "not-providing";
+        case UcaType::Providing: return "providing-causes-hazard";
+        case UcaType::WrongTiming: return "wrong-timing";
+        case UcaType::WrongDuration: return "wrong-duration";
+    }
+    return "?";
+}
+
+void HazardModel::add(Loss loss) { losses_.push_back(std::move(loss)); }
+void HazardModel::add(Hazard hazard) { hazards_.push_back(std::move(hazard)); }
+void HazardModel::add(UnsafeControlAction uca) { ucas_.push_back(std::move(uca)); }
+
+const Loss* HazardModel::find_loss(std::string_view id) const noexcept {
+    for (const Loss& l : losses_)
+        if (l.id == id) return &l;
+    return nullptr;
+}
+
+const Hazard* HazardModel::find_hazard(std::string_view id) const noexcept {
+    for (const Hazard& h : hazards_)
+        if (h.id == id) return &h;
+    return nullptr;
+}
+
+const UnsafeControlAction* HazardModel::find_uca(std::string_view id) const noexcept {
+    for (const UnsafeControlAction& u : ucas_)
+        if (u.id == id) return &u;
+    return nullptr;
+}
+
+std::vector<const UnsafeControlAction*>
+HazardModel::ucas_for_controller(std::string_view component) const {
+    std::vector<const UnsafeControlAction*> out;
+    for (const UnsafeControlAction& u : ucas_)
+        if (u.controller == component) out.push_back(&u);
+    return out;
+}
+
+std::vector<std::string> HazardModel::validate() const {
+    std::vector<std::string> issues;
+    std::set<std::string> ids;
+    for (const Loss& l : losses_)
+        if (!ids.insert(l.id).second) issues.push_back("duplicate id: " + l.id);
+    for (const Hazard& h : hazards_) {
+        if (!ids.insert(h.id).second) issues.push_back("duplicate id: " + h.id);
+        for (const std::string& lid : h.losses)
+            if (find_loss(lid) == nullptr)
+                issues.push_back("hazard " + h.id + " references unknown loss " + lid);
+        if (h.losses.empty())
+            issues.push_back("hazard " + h.id + " is linked to no losses");
+    }
+    for (const UnsafeControlAction& u : ucas_) {
+        if (!ids.insert(u.id).second) issues.push_back("duplicate id: " + u.id);
+        for (const std::string& hid : u.hazards)
+            if (find_hazard(hid) == nullptr)
+                issues.push_back("UCA " + u.id + " references unknown hazard " + hid);
+        if (u.hazards.empty())
+            issues.push_back("UCA " + u.id + " is linked to no hazards");
+    }
+    return issues;
+}
+
+} // namespace cybok::safety

@@ -1,0 +1,84 @@
+// Losses, hazards, and unsafe control actions — the physical-consequence
+// vocabulary (STPA-style) that the paper identifies as missing from
+// IT-centric threat modeling: "undesired physical consequences are the
+// primary loss we mitigate against regardless of the nature of its origin
+// (intrinsic safety fault or attack)".
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok::safety {
+
+/// A system-level loss stakeholders are unwilling to accept.
+struct Loss {
+    std::string id;   ///< "L-1"
+    std::string text; ///< "Loss of product batch"
+};
+
+/// A system state that, combined with worst-case environment conditions,
+/// leads to one or more losses.
+struct Hazard {
+    std::string id;   ///< "H-1"
+    std::string text; ///< "Centrifuge solution exceeds safe temperature"
+    std::vector<std::string> losses; ///< loss ids this hazard can cause
+};
+
+/// The four STPA ways a control action can be unsafe.
+enum class UcaType : std::uint8_t {
+    NotProviding,      ///< required action not provided
+    Providing,         ///< unsafe action provided
+    WrongTiming,       ///< provided too early / too late / wrong order
+    WrongDuration,     ///< stopped too soon / applied too long
+};
+[[nodiscard]] std::string_view uca_type_name(UcaType t) noexcept;
+
+/// An unsafe control action: a control action, in a context, that leads to
+/// a hazard.
+struct UnsafeControlAction {
+    std::string id;           ///< "UCA-1"
+    std::string controller;   ///< component name issuing the action
+    std::string action;       ///< "set rotor speed"
+    UcaType type = UcaType::Providing;
+    std::string context;      ///< "while solution temperature is high"
+    std::vector<std::string> hazards; ///< hazard ids
+};
+
+/// The hazard model for one system: losses, hazards, UCAs, and the
+/// mapping from security-relevant conditions to UCAs (which weakness
+/// classes on which components can cause which unsafe actions).
+class HazardModel {
+public:
+    void add(Loss loss);
+    void add(Hazard hazard);
+    void add(UnsafeControlAction uca);
+
+    [[nodiscard]] const std::vector<Loss>& losses() const noexcept { return losses_; }
+    [[nodiscard]] const std::vector<Hazard>& hazards() const noexcept { return hazards_; }
+    [[nodiscard]] const std::vector<UnsafeControlAction>& ucas() const noexcept { return ucas_; }
+
+    [[nodiscard]] const Loss* find_loss(std::string_view id) const noexcept;
+    [[nodiscard]] const Hazard* find_hazard(std::string_view id) const noexcept;
+    [[nodiscard]] const UnsafeControlAction* find_uca(std::string_view id) const noexcept;
+
+    /// UCAs attributable to a given controller component.
+    [[nodiscard]] std::vector<const UnsafeControlAction*>
+    ucas_for_controller(std::string_view component) const;
+
+    /// Referential integrity: every UCA's hazards exist, every hazard's
+    /// losses exist, ids unique. Returns problems (empty = valid).
+    [[nodiscard]] std::vector<std::string> validate() const;
+
+private:
+    std::vector<Loss> losses_;
+    std::vector<Hazard> hazards_;
+    std::vector<UnsafeControlAction> ucas_;
+};
+
+} // namespace cybok::safety

@@ -1,0 +1,118 @@
+#include "safety/scenarios.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cybok::safety {
+
+std::string_view causal_class_name(CausalClass c) noexcept {
+    switch (c) {
+        case CausalClass::CorruptedFeedback: return "corrupted-feedback";
+        case CausalClass::ForgedControlAction: return "forged-control-action";
+        case CausalClass::SuppressedAction: return "suppressed-action";
+        case CausalClass::CompromisedController: return "compromised-controller";
+    }
+    return "?";
+}
+
+namespace {
+
+/// CWE ids of weakness matches on one component.
+std::vector<std::string> weaknesses_on(const search::AssociationMap& assoc,
+                                       const std::string& component) {
+    std::vector<std::string> out;
+    const search::ComponentAssociation* ca = assoc.find(component);
+    if (ca == nullptr) return out;
+    for (const search::AttributeAssociation& aa : ca->attributes)
+        for (const search::Match& m : aa.matches)
+            if (m.cls == search::VectorClass::Weakness) out.push_back(m.id);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    if (out.size() > 5) out.resize(5); // keep narratives readable
+    return out;
+}
+
+std::string make_narrative(const CausalScenario& s, const UnsafeControlAction& uca) {
+    std::ostringstream out;
+    switch (s.cls) {
+        case CausalClass::CorruptedFeedback:
+            out << "Measurements from " << s.elements.front()
+                << " are manipulated or replayed, so " << uca.controller
+                << " acts on a false process view";
+            break;
+        case CausalClass::ForgedControlAction:
+            out << "An attacker on the \"" << s.elements.front() << "\" channel forges \""
+                << uca.action << "\" toward " << s.elements.back();
+            break;
+        case CausalClass::SuppressedAction:
+            out << "An attacker on the \"" << s.elements.front() << "\" channel blocks or "
+                << "delays \"" << uca.action << "\"";
+            break;
+        case CausalClass::CompromisedController:
+            out << "The controller " << uca.controller
+                << " itself executes attacker-supplied logic and issues \"" << uca.action
+                << "\" unsafely";
+            break;
+    }
+    out << "; this realizes " << uca.id << " (" << uca_type_name(uca.type) << ") in context: "
+        << uca.context << ".";
+    if (s.supported()) {
+        out << " Supported by associated weakness classes:";
+        for (const std::string& w : s.enabling_weaknesses) out << ' ' << w;
+        out << '.';
+    } else {
+        out << " No supporting attack vector at current model fidelity.";
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::vector<CausalScenario> generate_scenarios(const model::SystemModel& m,
+                                               const HazardModel& hazards,
+                                               const search::AssociationMap& associations) {
+    ControlStructure cs = extract_control_structure(m);
+    std::vector<CausalScenario> out;
+
+    for (const UnsafeControlAction& uca : hazards.ucas()) {
+        int counter = 1;
+        auto add = [&](CausalClass cls, std::vector<std::string> elements,
+                       const std::string& foothold) {
+            CausalScenario s;
+            s.id = "CS-" + uca.id + "-" + std::to_string(counter++);
+            s.uca_id = uca.id;
+            s.cls = cls;
+            s.elements = std::move(elements);
+            s.enabling_weaknesses = weaknesses_on(associations, foothold);
+            s.narrative = make_narrative(s, uca);
+            out.push_back(std::move(s));
+        };
+
+        // Compromised controller: foothold is the controller itself.
+        add(CausalClass::CompromisedController, {uca.controller}, uca.controller);
+
+        // Corrupted feedback: one scenario per feedback path into the
+        // controller; foothold is the sensing component.
+        for (const FeedbackPath& f : cs.feedback_into(uca.controller))
+            add(CausalClass::CorruptedFeedback, {f.source, f.via, f.controller}, f.source);
+
+        // Channel scenarios: per control action the controller issues.
+        const bool suppression = uca.type == UcaType::NotProviding ||
+                                 uca.type == UcaType::WrongDuration;
+        for (const ControlAction& a : cs.actions) {
+            if (a.controller != uca.controller) continue;
+            add(suppression ? CausalClass::SuppressedAction
+                            : CausalClass::ForgedControlAction,
+                {a.via, a.controller, a.controlled},
+                // Foothold for a channel attack: the upstream component.
+                a.controller);
+        }
+    }
+    return out;
+}
+
+std::string to_string(const CausalScenario& s) {
+    return s.id + " [" + std::string(causal_class_name(s.cls)) + "] " + s.narrative;
+}
+
+} // namespace cybok::safety

@@ -1,0 +1,61 @@
+// STPA-style causal scenarios with a security flavor: *how* could an
+// attacker make an unsafe control action happen? Each scenario combines a
+// causal class (corrupted feedback, forged command, suppressed actuation,
+// compromised controller logic) with the concrete model elements and the
+// weakness classes that enable it — closing the paper's loop from attack
+// vector to "unsafe control actions in CPS".
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safety/control_structure.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+
+namespace cybok::safety {
+
+/// The causal class of a security-induced control-loop failure.
+enum class CausalClass : std::uint8_t {
+    CorruptedFeedback,    ///< sensor/measurement path manipulated
+    ForgedControlAction,  ///< command injected on a control channel
+    SuppressedAction,     ///< command/trip blocked or delayed
+    CompromisedController,///< controller logic itself altered
+};
+[[nodiscard]] std::string_view causal_class_name(CausalClass c) noexcept;
+
+/// One generated causal scenario for one UCA.
+struct CausalScenario {
+    std::string id;          ///< "CS-<uca>-<n>"
+    std::string uca_id;
+    CausalClass cls = CausalClass::CompromisedController;
+    /// Model elements involved (attack foothold, channel, controller...).
+    std::vector<std::string> elements;
+    /// Weakness classes (CWE ids) associated to the foothold element that
+    /// make the scenario credible; empty = structurally possible but no
+    /// supporting vector found at current fidelity.
+    std::vector<std::string> enabling_weaknesses;
+    std::string narrative;   ///< one-paragraph analyst text
+
+    /// A scenario is *supported* when at least one associated attack
+    /// vector backs it.
+    [[nodiscard]] bool supported() const noexcept { return !enabling_weaknesses.empty(); }
+};
+
+/// Generate causal scenarios for every UCA in the hazard model:
+///  * CompromisedController — always generated for the UCA's controller;
+///  * CorruptedFeedback — one per feedback path into the controller;
+///  * ForgedControlAction / SuppressedAction — one per control action the
+///    controller issues (forged for Providing/WrongTiming UCAs,
+///    suppressed for NotProviding/WrongDuration ones).
+/// Scenarios are marked supported using the association map (weakness
+/// matches on the foothold component).
+[[nodiscard]] std::vector<CausalScenario> generate_scenarios(
+    const model::SystemModel& m, const HazardModel& hazards,
+    const search::AssociationMap& associations);
+
+/// Render one scenario as analyst text.
+[[nodiscard]] std::string to_string(const CausalScenario& s);
+
+} // namespace cybok::safety

@@ -1,0 +1,109 @@
+#include "safety/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+
+namespace cybok::safety {
+
+ConsequenceAnalyzer::ConsequenceAnalyzer(const model::SystemModel& m, const HazardModel& hazards)
+    : model_(m), hazards_(hazards), cs_(extract_control_structure(m)),
+      graph_(model::to_graph(m)) {}
+
+std::vector<ConsequenceTrace> ConsequenceAnalyzer::trace(
+    const search::AssociationMap& associations) const {
+    std::vector<ConsequenceTrace> out;
+
+    for (const search::ComponentAssociation& ca : associations.components) {
+        const std::size_t vectors = ca.total();
+        if (vectors == 0) continue;
+        auto start = graph_.find_node(ca.component);
+        if (!start.has_value()) continue;
+
+        // Representative vector ids: prefer weaknesses (class findings),
+        // then patterns, then vulnerabilities.
+        std::vector<std::string> examples;
+        auto collect = [&](search::VectorClass cls) {
+            for (const search::AttributeAssociation& aa : ca.attributes)
+                for (const search::Match& m : aa.matches)
+                    if (m.cls == cls && examples.size() < 3) examples.push_back(m.id);
+        };
+        collect(search::VectorClass::Weakness);
+        collect(search::VectorClass::AttackPattern);
+        collect(search::VectorClass::Vulnerability);
+
+        for (const UnsafeControlAction& uca : hazards_.ucas()) {
+            auto target = graph_.find_node(uca.controller);
+            if (!target.has_value()) continue;
+            std::vector<graph::NodeId> path =
+                graph::shortest_path(graph_, *start, *target, graph::Direction::Forward);
+            if (path.empty()) continue;
+
+            ConsequenceTrace t;
+            t.component = ca.component;
+            t.vector_count = vectors;
+            t.example_vectors = examples;
+            for (graph::NodeId n : path) t.pivot_path.push_back(graph_.node(n).label);
+            t.uca_id = uca.id;
+            t.uca_type = uca.type;
+            t.uca_action = uca.action;
+            t.hazard_ids = uca.hazards;
+            std::set<std::string> losses;
+            for (const std::string& hid : uca.hazards)
+                if (const Hazard* h = hazards_.find_hazard(hid))
+                    losses.insert(h->losses.begin(), h->losses.end());
+            t.loss_ids.assign(losses.begin(), losses.end());
+            out.push_back(std::move(t));
+        }
+    }
+
+    std::sort(out.begin(), out.end(), [](const ConsequenceTrace& a, const ConsequenceTrace& b) {
+        if (a.pivot_hops() != b.pivot_hops()) return a.pivot_hops() < b.pivot_hops();
+        if (a.component != b.component) return a.component < b.component;
+        return a.uca_id < b.uca_id;
+    });
+    return out;
+}
+
+std::vector<ConsequenceTrace> ConsequenceAnalyzer::externally_reachable(
+    const search::AssociationMap& associations) const {
+    std::set<std::string> external;
+    for (const model::Component& c : model_.components())
+        if (c.id.valid() && c.external_facing) external.insert(c.name);
+
+    std::vector<ConsequenceTrace> all = trace(associations);
+    std::vector<ConsequenceTrace> out;
+    for (ConsequenceTrace& t : all)
+        if (external.contains(t.component)) out.push_back(std::move(t));
+    return out;
+}
+
+std::string to_string(const ConsequenceTrace& t) {
+    std::ostringstream out;
+    out << t.component << " carries " << t.vector_count << " attack vector(s)";
+    if (!t.example_vectors.empty()) {
+        out << " (e.g. ";
+        for (std::size_t i = 0; i < t.example_vectors.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << t.example_vectors[i];
+        }
+        out << ")";
+    }
+    if (t.pivot_hops() > 0) {
+        out << "; pivot path ";
+        for (std::size_t i = 0; i < t.pivot_path.size(); ++i) {
+            if (i > 0) out << " -> ";
+            out << t.pivot_path[i];
+        }
+    }
+    out << "; enables " << t.uca_id << " [" << uca_type_name(t.uca_type) << "] \""
+        << t.uca_action << "\"; hazards:";
+    for (const std::string& h : t.hazard_ids) out << ' ' << h;
+    out << "; losses:";
+    for (const std::string& l : t.loss_ids) out << ' ' << l;
+    return out.str();
+}
+
+} // namespace cybok::safety

@@ -1,0 +1,70 @@
+// Consequence tracing: connect associated attack vectors to physical
+// consequences — the paper's central gap ("no science of security exists
+// yet to map attack vectors to physical consequences"). A trace says: this
+// component carries these attack vectors; from it an attacker can reach
+// this controller; that controller can issue this unsafe control action;
+// which leads to these hazards and losses. The Triton-style BPCS/SIS
+// CWE-78 scenario in the paper is exactly one such trace.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/export.hpp"
+#include "safety/control_structure.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+
+namespace cybok::safety {
+
+/// One attack-vector-to-loss trace.
+struct ConsequenceTrace {
+    std::string component;               ///< where the vectors are associated
+    std::size_t vector_count = 0;        ///< how many matches back the trace
+    std::vector<std::string> example_vectors; ///< up to 3 representative ids
+    /// Component path from the carrying component to the UCA's controller
+    /// (inclusive both ends; length 1 when the component is the controller).
+    std::vector<std::string> pivot_path;
+    std::string uca_id;
+    UcaType uca_type = UcaType::Providing;
+    std::string uca_action;
+    std::vector<std::string> hazard_ids;
+    std::vector<std::string> loss_ids;
+
+    /// Pivot hops from the compromised component to the controller (0 =
+    /// direct). The qualitative ranking key: fewer hops = more direct
+    /// threat (the paper insists on qualitative, comparative metrics).
+    [[nodiscard]] std::size_t pivot_hops() const noexcept {
+        return pivot_path.empty() ? 0 : pivot_path.size() - 1;
+    }
+};
+
+/// Computes traces for an association map against one model + hazard model.
+class ConsequenceAnalyzer {
+public:
+    ConsequenceAnalyzer(const model::SystemModel& m, const HazardModel& hazards);
+
+    /// All traces, ordered by (pivot hops, component, uca). Components with
+    /// zero associated vectors produce no traces.
+    [[nodiscard]] std::vector<ConsequenceTrace> trace(
+        const search::AssociationMap& associations) const;
+
+    /// Traces whose pivot path starts at an external-facing component —
+    /// the subset an outside attacker can initiate.
+    [[nodiscard]] std::vector<ConsequenceTrace> externally_reachable(
+        const search::AssociationMap& associations) const;
+
+    [[nodiscard]] const ControlStructure& control_structure() const noexcept { return cs_; }
+
+private:
+    const model::SystemModel& model_;
+    const HazardModel& hazards_;
+    ControlStructure cs_;
+    graph::PropertyGraph graph_;
+};
+
+/// Render a trace as a one-paragraph analyst finding.
+[[nodiscard]] std::string to_string(const ConsequenceTrace& t);
+
+} // namespace cybok::safety

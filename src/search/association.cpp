@@ -1,0 +1,111 @@
+#include "search/association.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cybok::search {
+
+std::size_t AttributeAssociation::count(VectorClass cls) const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(matches.begin(), matches.end(),
+                      [cls](const Match& m) { return m.cls == cls; }));
+}
+
+std::size_t ComponentAssociation::count(VectorClass cls) const noexcept {
+    std::size_t n = 0;
+    for (const AttributeAssociation& a : attributes) n += a.count(cls);
+    return n;
+}
+
+std::size_t ComponentAssociation::total() const noexcept {
+    std::size_t n = 0;
+    for (const AttributeAssociation& a : attributes) n += a.matches.size();
+    return n;
+}
+
+const ComponentAssociation* AssociationMap::find(std::string_view component) const noexcept {
+    for (const ComponentAssociation& c : components)
+        if (c.component == component) return &c;
+    return nullptr;
+}
+
+std::size_t AssociationMap::total() const noexcept {
+    std::size_t n = 0;
+    for (const ComponentAssociation& c : components) n += c.total();
+    return n;
+}
+
+std::size_t AssociationMap::total(VectorClass cls) const noexcept {
+    std::size_t n = 0;
+    for (const ComponentAssociation& c : components) n += c.count(cls);
+    return n;
+}
+
+std::vector<AssociationMap::TableRow> AssociationMap::attribute_table() const {
+    std::vector<TableRow> rows;
+    for (const ComponentAssociation& c : components) {
+        for (const AttributeAssociation& a : c.attributes) {
+            TableRow row;
+            row.attribute = a.attribute_value;
+            row.attack_patterns = a.count(VectorClass::AttackPattern);
+            row.weaknesses = a.count(VectorClass::Weakness);
+            row.vulnerabilities = a.count(VectorClass::Vulnerability);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+namespace {
+
+ComponentAssociation associate_component(const model::Component& c, const SearchEngine& engine,
+                                         const FilterChain* chain) {
+    ComponentAssociation out;
+    out.component = c.name;
+    for (const model::Attribute& attr : c.attributes) {
+        AttributeAssociation aa;
+        aa.attribute_name = attr.name;
+        aa.attribute_value = attr.value;
+        aa.matches = engine.query_attribute(attr);
+        if (chain != nullptr) aa.matches = chain->apply(std::move(aa.matches));
+        out.attributes.push_back(std::move(aa));
+    }
+    return out;
+}
+
+} // namespace
+
+AssociationMap associate(const model::SystemModel& m, const SearchEngine& engine,
+                         const FilterChain* chain) {
+    AssociationMap map;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        map.components.push_back(associate_component(c, engine, chain));
+    }
+    return map;
+}
+
+AssociationMap reassociate(const AssociationMap& previous, const model::ModelDiff& diff,
+                           const model::SystemModel& after, const SearchEngine& engine,
+                           const FilterChain* chain) {
+    std::set<std::string> touched;
+    for (const std::string& name : diff.touched_components()) touched.insert(name);
+    std::set<std::string> removed(diff.removed_components.begin(),
+                                  diff.removed_components.end());
+
+    AssociationMap map;
+    for (const model::Component& c : after.components()) {
+        if (!c.id.valid()) continue;
+        if (!touched.contains(c.name)) {
+            if (const ComponentAssociation* prev = previous.find(c.name)) {
+                map.components.push_back(*prev);
+                continue;
+            }
+        }
+        map.components.push_back(associate_component(c, engine, chain));
+    }
+    (void)removed; // removed components simply don't appear in `after`
+    return map;
+}
+
+} // namespace cybok::search

@@ -1,0 +1,71 @@
+// Model-wide association: run the search engine over every attribute of
+// every component — "the main output … is this association of attack
+// vectors to the system model" — with support for incremental
+// re-association after a model edit (the dashboard's on-the-fly loop).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/diff.hpp"
+#include "search/engine.hpp"
+#include "search/filters.hpp"
+
+namespace cybok::search {
+
+/// Matches for one attribute of one component.
+struct AttributeAssociation {
+    std::string attribute_name;
+    std::string attribute_value;
+    std::vector<Match> matches;
+
+    [[nodiscard]] std::size_t count(VectorClass cls) const noexcept;
+};
+
+/// All associations for one component.
+struct ComponentAssociation {
+    std::string component;
+    std::vector<AttributeAssociation> attributes;
+
+    [[nodiscard]] std::size_t count(VectorClass cls) const noexcept;
+    [[nodiscard]] std::size_t total() const noexcept;
+};
+
+/// The association map for a whole model — Table 1 of the paper is a
+/// rendering of this structure (one row per attribute, counts per class).
+struct AssociationMap {
+    std::vector<ComponentAssociation> components;
+
+    [[nodiscard]] const ComponentAssociation* find(std::string_view component) const noexcept;
+    [[nodiscard]] std::size_t total() const noexcept;
+    [[nodiscard]] std::size_t total(VectorClass cls) const noexcept;
+
+    /// One row per attribute: (attribute value, counts per class) — the
+    /// exact shape of the paper's Table 1.
+    struct TableRow {
+        std::string attribute;
+        std::size_t attack_patterns = 0;
+        std::size_t weaknesses = 0;
+        std::size_t vulnerabilities = 0;
+    };
+    [[nodiscard]] std::vector<TableRow> attribute_table() const;
+};
+
+/// Associate the whole model. If `chain` is non-null, every attribute's
+/// matches are passed through the filter chain.
+[[nodiscard]] AssociationMap associate(const model::SystemModel& m, const SearchEngine& engine,
+                                       const FilterChain* chain = nullptr);
+
+/// Incremental re-association after a model edit: only components named in
+/// the diff are re-queried; associations of untouched components are
+/// copied from `previous`. Equivalent to associate(after, engine, chain)
+/// whenever `diff` is exactly diff(before, after).
+[[nodiscard]] AssociationMap reassociate(const AssociationMap& previous,
+                                         const model::ModelDiff& diff,
+                                         const model::SystemModel& after,
+                                         const SearchEngine& engine,
+                                         const FilterChain* chain = nullptr);
+
+} // namespace cybok::search

@@ -1,0 +1,262 @@
+#include "search/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cvss/cvss2.hpp"
+#include "text/tokenize.hpp"
+
+namespace cybok::search {
+
+std::string_view vector_class_name(VectorClass c) noexcept {
+    switch (c) {
+        case VectorClass::AttackPattern: return "attack-pattern";
+        case VectorClass::Weakness: return "weakness";
+        case VectorClass::Vulnerability: return "vulnerability";
+    }
+    return "?";
+}
+
+std::string_view match_via_name(MatchVia v) noexcept {
+    switch (v) {
+        case MatchVia::Lexical: return "lexical";
+        case MatchVia::PlatformBinding: return "platform-binding";
+        case MatchVia::CrossReference: return "cross-reference";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Truncate a long description for use as a match title.
+std::string head(std::string_view text, std::size_t max_len = 70) {
+    if (text.size() <= max_len) return std::string(text);
+    return std::string(text.substr(0, max_len - 3)) + "...";
+}
+
+} // namespace
+
+SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options)
+    : corpus_(corpus), options_(options) {
+    if (!corpus.indexed())
+        throw ValidationError("search engine requires an indexed corpus (call reindex())");
+
+    const float tw = options_.title_weight;
+
+    for (const kb::AttackPattern& p : corpus.patterns()) {
+        pattern_index_.add_document();
+        pattern_index_.add_terms(text::analyze(p.name), tw);
+        pattern_index_.add_terms(text::analyze(p.summary));
+        for (const std::string& pre : p.prerequisites)
+            pattern_index_.add_terms(text::analyze(pre));
+        // p.domains is categorical metadata ("software", "communications"),
+        // not prose; indexing it would make every generic attribute word a
+        // high-IDF hit. It stays out of the lexical index by design.
+    }
+    pattern_index_.finalize();
+
+    for (const kb::Weakness& w : corpus.weaknesses()) {
+        weakness_index_.add_document();
+        weakness_index_.add_terms(text::analyze(w.name), tw);
+        weakness_index_.add_terms(text::analyze(w.description));
+        for (const std::string& c : w.consequences) weakness_index_.add_terms(text::analyze(c));
+        for (const std::string& ap : w.applicable_platforms)
+            weakness_index_.add_terms(text::analyze(ap));
+    }
+    weakness_index_.finalize();
+
+    for (const kb::Vulnerability& v : corpus.vulnerabilities()) {
+        vulnerability_index_.add_document();
+        vulnerability_index_.add_terms(text::analyze(v.description));
+    }
+    vulnerability_index_.finalize();
+
+    if (options_.ranker == EngineOptions::Ranker::Bm25) {
+        pattern_bm25_.emplace(pattern_index_);
+        weakness_bm25_.emplace(weakness_index_);
+        vulnerability_bm25_.emplace(vulnerability_index_);
+    } else {
+        pattern_tfidf_.emplace(pattern_index_);
+        weakness_tfidf_.emplace(weakness_index_);
+        vulnerability_tfidf_.emplace(vulnerability_index_);
+    }
+}
+
+Match SearchEngine::make_match(VectorClass cls, std::size_t index) const {
+    Match m;
+    m.cls = cls;
+    m.corpus_index = index;
+    switch (cls) {
+        case VectorClass::AttackPattern: {
+            const kb::AttackPattern& p = corpus_.patterns()[index];
+            m.id = p.id.to_string();
+            m.title = p.name;
+            break;
+        }
+        case VectorClass::Weakness: {
+            const kb::Weakness& w = corpus_.weaknesses()[index];
+            m.id = w.id.to_string();
+            m.title = w.name;
+            break;
+        }
+        case VectorClass::Vulnerability: {
+            const kb::Vulnerability& v = corpus_.vulnerabilities()[index];
+            m.id = v.id.to_string();
+            m.title = head(v.description);
+            // Corpus snapshots mix v3 and v2 scoring; junk metadata on a
+            // single record must not abort a whole-model association.
+            if (!v.cvss_vector.empty())
+                m.severity = cvss::score_any(v.cvss_vector).value_or(-1.0);
+            break;
+        }
+    }
+    return m;
+}
+
+std::vector<Match> SearchEngine::run_lexical(const std::vector<std::string>& tokens,
+                                             VectorClass cls) const {
+    const text::InvertedIndex* index = nullptr;
+    std::vector<text::Hit> hits;
+    switch (cls) {
+        case VectorClass::AttackPattern:
+            index = &pattern_index_;
+            hits = pattern_bm25_ ? pattern_bm25_->query(tokens) : pattern_tfidf_->query(tokens);
+            break;
+        case VectorClass::Weakness:
+            index = &weakness_index_;
+            hits = weakness_bm25_ ? weakness_bm25_->query(tokens) : weakness_tfidf_->query(tokens);
+            break;
+        case VectorClass::Vulnerability:
+            index = &vulnerability_index_;
+            hits = vulnerability_bm25_ ? vulnerability_bm25_->query(tokens)
+                                       : vulnerability_tfidf_->query(tokens);
+            break;
+    }
+
+    // Evidence-quality gate: the distinct matched terms must jointly be
+    // specific enough (summed IDF over the per-class index).
+    const double n_docs = static_cast<double>(index->doc_count());
+    std::vector<Match> out;
+    for (const text::Hit& h : hits) {
+        double evidence_idf = 0.0;
+        std::vector<std::string> evidence;
+        std::vector<text::TermId> terms = h.matched_terms;
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+        for (text::TermId t : terms) {
+            const std::string& term = index->vocabulary().term(t);
+            const double df = static_cast<double>(index->postings(t).size());
+            evidence_idf += std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+            evidence.push_back(term);
+        }
+        if (evidence_idf < options_.min_evidence_idf) continue;
+        Match m = make_match(cls, h.doc);
+        m.score = h.score;
+        m.via = MatchVia::Lexical;
+        m.evidence = std::move(evidence);
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::vector<Match> SearchEngine::query_text(std::string_view text, VectorClass cls) const {
+    return run_lexical(text::analyze(text), cls);
+}
+
+std::vector<Match> SearchEngine::query_platform(const kb::Platform& platform) const {
+    std::vector<Match> out;
+    for (kb::VulnerabilityId id : corpus_.vulnerabilities_for(platform)) {
+        const kb::Vulnerability* v = corpus_.find(id);
+        // The id came from the corpus itself; index lookup cannot fail.
+        std::size_t index = static_cast<std::size_t>(v - corpus_.vulnerabilities().data());
+        Match m = make_match(VectorClass::Vulnerability, index);
+        m.via = MatchVia::PlatformBinding;
+        m.evidence = {platform.uri()};
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::vector<Match> SearchEngine::query_attribute(const model::Attribute& attr) const {
+    std::vector<Match> out;
+    if (attr.kind == model::AttributeKind::Parameter) return out;
+
+    const std::string query_text_s = attr.name + " " + attr.value;
+    const std::vector<std::string> tokens = text::analyze(query_text_s);
+
+    for (Match& m : run_lexical(tokens, VectorClass::AttackPattern)) out.push_back(std::move(m));
+    for (Match& m : run_lexical(tokens, VectorClass::Weakness)) out.push_back(std::move(m));
+
+    if (attr.kind == model::AttributeKind::PlatformRef && attr.platform.has_value()) {
+        for (Match& m : query_platform(*attr.platform)) out.push_back(std::move(m));
+    }
+    if (options_.lexical_vulnerabilities) {
+        std::vector<Match> lex = run_lexical(tokens, VectorClass::Vulnerability);
+        // Deduplicate against platform-binding results (binding wins).
+        for (Match& m : lex) {
+            bool dup = std::any_of(out.begin(), out.end(), [&](const Match& e) {
+                return e.cls == VectorClass::Vulnerability && e.corpus_index == m.corpus_index;
+            });
+            if (!dup) out.push_back(std::move(m));
+        }
+    }
+    return out;
+}
+
+std::vector<Match> SearchEngine::expand_weakness(const Match& weakness_match) const {
+    if (weakness_match.cls != VectorClass::Weakness)
+        throw ValidationError("expand_weakness requires a weakness match");
+    const kb::Weakness& w = corpus_.weaknesses()[weakness_match.corpus_index];
+    std::vector<Match> out;
+    for (kb::AttackPatternId pid : w.related_patterns) {
+        const kb::AttackPattern* p = corpus_.find(pid);
+        if (p == nullptr) continue;
+        std::size_t index = static_cast<std::size_t>(p - corpus_.patterns().data());
+        Match m = make_match(VectorClass::AttackPattern, index);
+        m.via = MatchVia::CrossReference;
+        m.evidence = {w.id.to_string()};
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::string SearchEngine::explain(const model::Attribute& attr, const Match& match) const {
+    std::ostringstream out;
+    out << match.id << " (" << match.title << ") matched attribute \"" << attr.name << " = "
+        << attr.value << "\" via " << match_via_name(match.via) << "\n";
+
+    if (match.via == MatchVia::PlatformBinding) {
+        out << "  CPE rule: attribute platform "
+            << (attr.platform.has_value() ? attr.platform->uri() : std::string("<none>"))
+            << " matches record binding " << (match.evidence.empty() ? "?" : match.evidence[0])
+            << " (vendor+product equal, version ANY-compatible)\n";
+        if (match.severity >= 0.0) out << "  CVSS base severity: " << match.severity << "\n";
+        return out.str();
+    }
+
+    const text::InvertedIndex* index = nullptr;
+    switch (match.cls) {
+        case VectorClass::AttackPattern: index = &pattern_index_; break;
+        case VectorClass::Weakness: index = &weakness_index_; break;
+        case VectorClass::Vulnerability: index = &vulnerability_index_; break;
+    }
+    const double n_docs = static_cast<double>(index->doc_count());
+    out << "  query terms (after tokenize/stopwords/stem):\n";
+    double total_idf = 0.0;
+    for (const std::string& token : text::analyze(attr.name + " " + attr.value)) {
+        const std::size_t df = index->doc_frequency(token);
+        const double idf = std::log(1.0 + (n_docs - static_cast<double>(df) + 0.5) /
+                                              (static_cast<double>(df) + 0.5));
+        const bool matched = std::find(match.evidence.begin(), match.evidence.end(), token) !=
+                             match.evidence.end();
+        out << "    " << (matched ? "+" : " ") << " \"" << token << "\" df=" << df
+            << " idf=" << idf << (matched ? "  <- matched this record" : "") << "\n";
+        if (matched) total_idf += idf;
+    }
+    out << "  evidence IDF total " << total_idf << " (gate " << options_.min_evidence_idf
+        << "), ranking score " << match.score << "\n";
+    return out.str();
+}
+
+} // namespace cybok::search

@@ -1,0 +1,129 @@
+// The attack-vector search engine — capability (2) of the paper: associate
+// attack-vector data (attack patterns, weaknesses, vulnerabilities) to
+// elements of the system model.
+//
+// Association uses two mechanisms, mirroring the prototype's behavior:
+//
+//  * lexical matching: attribute text is analyzed (tokenize, stopwords,
+//    stem) and ranked against record text with BM25 (or TF-IDF, kept as an
+//    ablation). High-level descriptors therefore land on attack patterns
+//    and weaknesses, whose texts are technique-level prose.
+//  * platform binding: PlatformRef attributes resolve to CPE-style names
+//    and match vulnerabilities through exact product binding — the
+//    low-level end of the paper's fidelity spectrum.
+//
+// Every match carries evidence (the matched terms or the platform URI), so
+// an analyst can audit *why* a vector was associated — the paper's answer
+// to NLP sensitivity is to keep the human in the loop.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cvss/cvss.hpp"
+#include "kb/corpus.hpp"
+#include "model/system_model.hpp"
+#include "text/index.hpp"
+
+namespace cybok::search {
+
+/// Which record family a match refers to.
+enum class VectorClass : std::uint8_t { AttackPattern, Weakness, Vulnerability };
+[[nodiscard]] std::string_view vector_class_name(VectorClass c) noexcept;
+
+/// How a match was established.
+enum class MatchVia : std::uint8_t {
+    Lexical,         ///< NL similarity between attribute and record text
+    PlatformBinding, ///< CPE product match
+    CrossReference,  ///< derived by following corpus cross-references
+};
+[[nodiscard]] std::string_view match_via_name(MatchVia v) noexcept;
+
+/// One associated attack vector.
+struct Match {
+    VectorClass cls = VectorClass::AttackPattern;
+    std::size_t corpus_index = 0; ///< index into the corpus vector for `cls`
+    std::string id;               ///< "CAPEC-88", "CWE-78", "CVE-2019-10953"
+    std::string title;            ///< record name / description head
+    double score = 0.0;           ///< ranking score (BM25/TF-IDF; 0 for bindings)
+    MatchVia via = MatchVia::Lexical;
+    std::vector<std::string> evidence; ///< matched (stemmed) terms or CPE URI
+    /// CVSS base score for vulnerabilities with a vector; -1 when absent.
+    double severity = -1.0;
+};
+
+/// Engine configuration.
+struct EngineOptions {
+    enum class Ranker : std::uint8_t { Bm25, Tfidf };
+    Ranker ranker = Ranker::Bm25;
+    /// A lexical match is kept only if the summed IDF of its distinct
+    /// matched terms reaches this threshold — this suppresses matches made
+    /// purely of ubiquitous words, the paper's "unspecific properties
+    /// result in … many irrelevant results" failure mode.
+    double min_evidence_idf = 2.0;
+    /// Match vulnerabilities lexically as well as via platform binding
+    /// (ablation; default off — description text of CVEs is noisy).
+    bool lexical_vulnerabilities = false;
+    /// Weight multiplier for record titles/names relative to body text.
+    float title_weight = 3.0f;
+};
+
+/// Immutable index over one corpus. Construction analyzes and indexes all
+/// record text; queries are read-only and cheap.
+class SearchEngine {
+public:
+    explicit SearchEngine(const kb::Corpus& corpus) : SearchEngine(corpus, EngineOptions{}) {}
+    SearchEngine(const kb::Corpus& corpus, EngineOptions options);
+
+    SearchEngine(const SearchEngine&) = delete;
+    SearchEngine& operator=(const SearchEngine&) = delete;
+
+    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
+    [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+    /// Free-text query against one record family (lexical only).
+    [[nodiscard]] std::vector<Match> query_text(std::string_view text, VectorClass cls) const;
+
+    /// Full attribute query: lexical against patterns and weaknesses for
+    /// Descriptor/PlatformRef attributes, platform binding against
+    /// vulnerabilities for PlatformRef attributes (plus lexical if the
+    /// option is on). Parameter attributes match nothing by design — pure
+    /// engineering parameters carry no security text.
+    [[nodiscard]] std::vector<Match> query_attribute(const model::Attribute& attr) const;
+
+    /// Vulnerabilities for a platform (exact binding path), as matches.
+    [[nodiscard]] std::vector<Match> query_platform(const kb::Platform& platform) const;
+
+    /// Expand a weakness match into the attack patterns that exploit it
+    /// (cross-reference path); used by reports to show the attacker view
+    /// behind an owner-view finding.
+    [[nodiscard]] std::vector<Match> expand_weakness(const Match& weakness_match) const;
+
+    /// Human-readable audit of *why* a match was produced: per matched
+    /// term, its document frequency and IDF in the match's class index;
+    /// for platform bindings, the CPE rule that fired. The paper's answer
+    /// to NLP sensitivity is analyst auditability — this is the audit.
+    [[nodiscard]] std::string explain(const model::Attribute& attr, const Match& match) const;
+
+private:
+    [[nodiscard]] std::vector<Match> run_lexical(const std::vector<std::string>& tokens,
+                                                 VectorClass cls) const;
+    [[nodiscard]] Match make_match(VectorClass cls, std::size_t index) const;
+
+    const kb::Corpus& corpus_;
+    EngineOptions options_;
+    text::InvertedIndex pattern_index_;
+    text::InvertedIndex weakness_index_;
+    text::InvertedIndex vulnerability_index_;
+    std::optional<text::Bm25Scorer> pattern_bm25_;
+    std::optional<text::Bm25Scorer> weakness_bm25_;
+    std::optional<text::Bm25Scorer> vulnerability_bm25_;
+    std::optional<text::TfidfScorer> pattern_tfidf_;
+    std::optional<text::TfidfScorer> weakness_tfidf_;
+    std::optional<text::TfidfScorer> vulnerability_tfidf_;
+};
+
+} // namespace cybok::search

@@ -1,0 +1,428 @@
+#include "synth/corpus_gen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace cybok::synth {
+
+namespace {
+
+/// Generated record ids start here; anchor records use their real MITRE
+/// numbers, all below this.
+constexpr std::uint32_t kGeneratedIdBase = 1000;
+
+std::string capitalize(std::string s) {
+    if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') s[0] = static_cast<char>(s[0] - 'a' + 'A');
+    return s;
+}
+
+/// The sentence that guarantees a tagged record contains its domain's
+/// primary tag token (random tag picks inside make_sentence may choose a
+/// secondary tag; Table 1 calibration needs the primary token present in
+/// exactly the planted number of records).
+std::string tag_anchor_sentence(Domain d) {
+    auto tags = domain_tags(d);
+    if (tags.empty()) return {};
+    return " This behavior is characteristic of " + std::string(tags[0]) + " environments.";
+}
+
+std::string cvss_vector_for(Rng& rng) {
+    auto pick = [&rng](std::span<const std::string_view> choices,
+                       std::span<const double> weights) {
+        return std::string(choices[rng.weighted(weights)]);
+    };
+    constexpr std::string_view av[]{"N", "A", "L", "P"};
+    constexpr double av_w[]{0.45, 0.10, 0.35, 0.10};
+    constexpr std::string_view lh[]{"L", "H"};
+    constexpr double ac_w[]{0.70, 0.30};
+    constexpr std::string_view pr[]{"N", "L", "H"};
+    constexpr double pr_w[]{0.50, 0.35, 0.15};
+    constexpr std::string_view ui[]{"N", "R"};
+    constexpr double ui_w[]{0.60, 0.40};
+    constexpr std::string_view sc[]{"U", "C"};
+    constexpr double sc_w[]{0.80, 0.20};
+    constexpr std::string_view cia[]{"H", "L", "N"};
+    constexpr double cia_w[]{0.40, 0.35, 0.25};
+
+    std::string c = pick(cia, cia_w);
+    std::string i = pick(cia, cia_w);
+    std::string a = pick(cia, cia_w);
+    if (c == "N" && i == "N" && a == "N") a = "H"; // a CVE with no impact is not a CVE
+    return "CVSS:3.1/AV:" + pick(av, av_w) + "/AC:" + pick(lh, ac_w) + "/PR:" +
+           pick(pr, pr_w) + "/UI:" + pick(ui, ui_w) + "/S:" + pick(sc, sc_w) + "/C:" + c +
+           "/I:" + i + "/A:" + a;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- anchors
+
+std::vector<kb::Weakness> anchor_weaknesses() {
+    // Hand-written records with real CWE numbers. Text deliberately avoids
+    // the Table 1 query tokens (no "linux", "windows", "cisco", "asa",
+    // bare "7", product identifiers) so anchors never perturb the
+    // calibrated counts; ICS vocabulary *is* used so that descriptor
+    // attributes of control components find these records — that is the
+    // paper's CWE-78 BPCS/SIS finding.
+    std::vector<kb::Weakness> out;
+    auto add = [&out](std::uint32_t id, std::string name, std::string desc,
+                      std::vector<std::string> intro, std::vector<std::string> cons,
+                      std::vector<std::string> plats) {
+        kb::Weakness w;
+        w.id = kb::WeaknessId{id};
+        w.name = std::move(name);
+        w.description = std::move(desc);
+        w.modes_of_introduction = std::move(intro);
+        w.consequences = std::move(cons);
+        w.applicable_platforms = std::move(plats);
+        out.push_back(std::move(w));
+    };
+    add(kCweOsCommandInjection, "Improper Neutralization of Operating System Commands",
+        "An upstream attacker may inject all or part of an operating system command "
+        "onto an externally influenced input of a controller, for example through a "
+        "modbus or scada field interface, disrupting or manipulating the controlled "
+        "process.",
+        {"Design", "Implementation"},
+        {"integrity: execute unauthorized commands", "availability: disrupt control"},
+        {"plc", "hmi"});
+    add(kCweImproperInputValidation, "Improper Input Validation",
+        "The product receives input but does not validate that the input has the "
+        "properties required to process it safely, allowing crafted field data to "
+        "reach trusted logic.",
+        {"Implementation"}, {"integrity: modify application data"}, {});
+    add(kCweMissingAuthentication, "Missing Authentication for Critical Function",
+        "The product exposes a function that modifies controlled equipment state "
+        "without verifying the identity of the requester, a common condition on "
+        "legacy fieldbus and modbus interfaces.",
+        {"Design", "Architecture"}, {"access control: gain privileges"}, {"plc", "scada"});
+    add(kCweCleartextTransmission, "Cleartext Transmission of Sensitive Information",
+        "The product transmits sensitive or safety relevant data over a channel "
+        "readable by unintended actors, enabling interception and targeted replay "
+        "against the receiving controller.",
+        {"Design"}, {"confidentiality: read application data"}, {});
+    add(119, "Improper Restriction of Operations within the Bounds of a Memory Buffer",
+        "The product performs operations on a memory buffer but can read from or "
+        "write to a location outside of the intended boundary of the buffer.",
+        {"Implementation"}, {"integrity: memory corruption", "availability: crash"}, {});
+    add(287, "Improper Authentication",
+        "When an actor claims to have a given identity, the product does not prove "
+        "or insufficiently proves that the claim is correct.",
+        {"Design", "Architecture"}, {"access control: impersonation"}, {});
+    add(400, "Uncontrolled Resource Consumption",
+        "The product does not properly control the allocation of a limited resource, "
+        "allowing an actor to exhaust it and deny service to the controlled process.",
+        {"Implementation", "Operation"}, {"availability: resource exhaustion"}, {});
+    add(502, "Deserialization of Untrusted Data",
+        "The product deserializes data from an untrusted source without sufficiently "
+        "verifying that the resulting structure is valid.",
+        {"Implementation"}, {"integrity: object injection"}, {});
+    add(345, "Insufficient Verification of Data Authenticity",
+        "The product does not sufficiently verify the origin or authenticity of "
+        "field measurements or supervisory messages, accepting forged values into "
+        "the control loop.",
+        {"Design", "Architecture"},
+        {"integrity: accept spoofed measurements", "safety: unsafe control action"},
+        {"scada", "sensor"});
+    add(798, "Use of Hard-coded Credentials",
+        "The product contains hard-coded credentials such as a password or a "
+        "cryptographic key that it uses for inbound authentication or outbound "
+        "communication to engineering services.",
+        {"Implementation"}, {"access control: gain privileges"}, {});
+    return out;
+}
+
+std::vector<kb::AttackPattern> anchor_patterns() {
+    std::vector<kb::AttackPattern> out;
+    auto add = [&out](std::uint32_t id, std::string name, std::string summary,
+                      std::vector<std::string> prereq, kb::Rating likelihood,
+                      kb::Rating severity, std::vector<std::uint32_t> cwes,
+                      std::vector<std::string> domains) {
+        kb::AttackPattern p;
+        p.id = kb::AttackPatternId{id};
+        p.name = std::move(name);
+        p.summary = std::move(summary);
+        p.prerequisites = std::move(prereq);
+        p.likelihood = likelihood;
+        p.typical_severity = severity;
+        for (std::uint32_t c : cwes) p.related_weaknesses.push_back(kb::WeaknessId{c});
+        p.domains = std::move(domains);
+        out.push_back(std::move(p));
+    };
+    add(kCapecCommandInjection, "Operating System Command Injection",
+        "An attacker injects operating system commands through an externally "
+        "influenced input reaching a command interpreter on a controller or "
+        "engineering node, for example a supervisory hmi or a plc gateway.",
+        {"The target accepts externally supplied input into a command context."},
+        kb::Rating::High, kb::Rating::High, {kCweOsCommandInjection,
+        kCweImproperInputValidation}, {"software", "ics"});
+    add(kCapecProtocolManipulation, "Protocol Manipulation",
+        "An attacker manipulates fieldbus or modbus protocol exchanges between a "
+        "supervisory node and a controller to deliver unsafe setpoints or suppress "
+        "alarms.",
+        {"Access to the control network segment."}, kb::Rating::Medium, kb::Rating::High,
+        {kCweMissingAuthentication, kCweImproperInputValidation}, {"communications", "ics"});
+    add(94, "Adversary in the Middle",
+        "An attacker interposes between two communicating nodes and relays or "
+        "alters traffic, defeating implicit trust in the channel.",
+        {"The channel lacks mutual authentication."}, kb::Rating::Medium, kb::Rating::High,
+        {kCweCleartextTransmission, 287}, {"communications"});
+    add(125, "Flooding",
+        "An attacker consumes the resources of a target by sending a high volume "
+        "of requests, starving the controlled process of supervision.",
+        {"Reachable service endpoint."}, kb::Rating::High, kb::Rating::Medium, {400},
+        {"availability"});
+    add(112, "Brute Force",
+        "An attacker systematically guesses credentials or keys guarding an "
+        "engineering or maintenance interface.",
+        {"An authentication interface is reachable."}, kb::Rating::Medium,
+        kb::Rating::Medium, {287, 798}, {"software"});
+    add(148, "Content Spoofing",
+        "An attacker substitutes forged measurement or status content so that "
+        "operators or automation act on false process state.",
+        {"Data authenticity is not verified end to end."}, kb::Rating::Medium,
+        kb::Rating::High, {345}, {"ics", "communications"});
+    add(130, "Excessive Allocation",
+        "An attacker causes the target to allocate resources beyond sustainable "
+        "limits through crafted requests.",
+        {"Requests trigger proportional allocation."}, kb::Rating::Low,
+        kb::Rating::Medium, {400}, {"availability"});
+    add(586, "Object Injection",
+        "An attacker supplies serialized objects that instantiate attacker chosen "
+        "structures inside the receiving process.",
+        {"Deserialization of external data."}, kb::Rating::Low, kb::Rating::High, {502},
+        {"software"});
+    return out;
+}
+
+// --------------------------------------------------------------- profiles
+
+CorpusProfile CorpusProfile::scada_demo() {
+    CorpusProfile p;
+    p.seed = 20200629;
+    p.pattern_count = 550;
+    p.weakness_count = 900;
+    // Exact Table 1 calibration: query "NI RT Linux OS" must match 54
+    // patterns / 75 weaknesses, "Windows 7" 41 / 73, "Cisco ASA" 2 / 1.
+    p.plants[Domain::LinuxOs] = {54, 75};
+    p.plants[Domain::WindowsOs] = {41, 73};
+    p.plants[Domain::NetAppliance] = {2, 1};
+    // Additional domains give descriptor attributes realistic result
+    // spaces without touching the Table 1 counts.
+    p.plants[Domain::Ics] = {30, 40};
+    p.plants[Domain::Web] = {60, 80};
+    p.plants[Domain::Embedded] = {25, 30};
+    p.plants[Domain::Wireless] = {20, 25};
+
+    using kb::PlatformPart;
+    p.products = {
+        {"Cisco ASA", {PlatformPart::Hardware, "cisco", "asa", ""}, Domain::NetAppliance, 3776},
+        {"NI RT Linux OS", {PlatformPart::OperatingSystem, "ni", "rt_linux", ""},
+         Domain::LinuxOs, 9673},
+        {"Windows 7", {PlatformPart::OperatingSystem, "microsoft", "windows_7", ""},
+         Domain::WindowsOs, 6627},
+        {"LabVIEW", {PlatformPart::Application, "ni", "labview", ""}, Domain::Generic, 6},
+        {"NI cRIO 9063", {PlatformPart::Hardware, "ni", "crio_9063", ""}, Domain::Embedded, 7},
+        {"NI cRIO 9064", {PlatformPart::Hardware, "ni", "crio_9064", ""}, Domain::Embedded, 7},
+        // Background products: realistic corpus mass that no demo
+        // attribute queries, keeping the index honest.
+        {"Siemens SIMATIC S7", {PlatformPart::Hardware, "siemens", "simatic_s7", ""},
+         Domain::Ics, 420},
+        {"Apache HTTP Server", {PlatformPart::Application, "apache", "httpd", ""}, Domain::Web,
+         880},
+        {"OpenSSL", {PlatformPart::Application, "openssl", "openssl", ""}, Domain::Generic,
+         640},
+        {"Oracle Java SE", {PlatformPart::Application, "oracle", "java_se", ""},
+         Domain::Generic, 1150},
+        {"Google Chrome", {PlatformPart::Application, "google", "chrome", ""}, Domain::Web,
+         990},
+        {"Wind River VxWorks", {PlatformPart::OperatingSystem, "windriver", "vxworks", ""},
+         Domain::Embedded, 210},
+    };
+    return p;
+}
+
+CorpusProfile CorpusProfile::scaled(double factor, std::uint64_t seed) {
+    if (factor < 0.01) throw ValidationError("scale factor too small");
+    CorpusProfile p = scada_demo();
+    p.seed = seed;
+    auto scale = [factor](std::size_t n) {
+        return std::max<std::size_t>(1, static_cast<std::size_t>(n * factor));
+    };
+    p.pattern_count = scale(p.pattern_count);
+    p.weakness_count = scale(p.weakness_count);
+    for (auto& [domain, plan] : p.plants) {
+        plan.patterns = std::min(scale(plan.patterns), p.pattern_count / 8);
+        plan.weaknesses = std::min(scale(plan.weaknesses), p.weakness_count / 8);
+    }
+    for (ProductSpec& spec : p.products) spec.cve_count = scale(spec.cve_count);
+    return p;
+}
+
+// -------------------------------------------------------------- generator
+
+kb::Corpus generate_corpus(const CorpusProfile& profile) {
+    // Validate the profile.
+    std::size_t planted_patterns = 0;
+    std::size_t planted_weaknesses = 0;
+    for (const auto& [domain, plan] : profile.plants) {
+        if (domain == Domain::Generic)
+            throw ValidationError("cannot plant the Generic domain (it is the remainder)");
+        planted_patterns += plan.patterns;
+        planted_weaknesses += plan.weaknesses;
+    }
+    if (planted_patterns > profile.pattern_count ||
+        planted_weaknesses > profile.weakness_count)
+        throw ValidationError("domain plants exceed corpus totals");
+    {
+        std::set<std::pair<std::string, std::string>> seen;
+        for (const ProductSpec& spec : profile.products)
+            if (!seen.emplace(spec.platform.vendor, spec.platform.product).second)
+                throw ValidationError("duplicate product in profile: " + spec.display);
+    }
+
+    Rng root(profile.seed);
+    kb::Corpus corpus;
+
+    // Domain assignment vectors: exact plant counts, remainder Generic.
+    auto make_assignment = [](Rng& rng, std::size_t total,
+                              const std::map<Domain, DomainPlan>& plants,
+                              bool patterns) {
+        std::vector<Domain> assign;
+        assign.reserve(total);
+        for (const auto& [domain, plan] : plants) {
+            std::size_t n = patterns ? plan.patterns : plan.weaknesses;
+            assign.insert(assign.end(), n, domain);
+        }
+        assign.resize(total, Domain::Generic);
+        rng.shuffle(assign);
+        return assign;
+    };
+
+    // ---- weaknesses -------------------------------------------------------
+    Rng wrng = root.fork(1);
+    std::vector<Domain> wdomains =
+        make_assignment(wrng, profile.weakness_count, profile.plants, /*patterns=*/false);
+    std::vector<kb::WeaknessId> weakness_ids;
+    if (profile.include_anchors) {
+        for (kb::Weakness& w : anchor_weaknesses()) {
+            weakness_ids.push_back(w.id);
+            corpus.add(std::move(w));
+        }
+    }
+    // Track weakness ids per domain for pattern cross-referencing.
+    std::map<Domain, std::vector<kb::WeaknessId>> weaknesses_by_domain;
+    for (std::size_t i = 0; i < profile.weakness_count; ++i) {
+        Domain d = wdomains[i];
+        kb::Weakness w;
+        w.id = kb::WeaknessId{kGeneratedIdBase + static_cast<std::uint32_t>(i)};
+        w.name = capitalize(make_title(wrng, domain_tags(d)));
+        w.description = make_sentence(wrng, domain_tags(d)) + tag_anchor_sentence(d);
+        if (wrng.chance(0.6)) w.modes_of_introduction.push_back("Implementation");
+        if (wrng.chance(0.3)) w.modes_of_introduction.push_back("Design");
+        std::size_t n_cons = wrng.uniform(1, 2);
+        for (std::size_t c = 0; c < n_cons; ++c)
+            w.consequences.emplace_back(
+                consequence_phrases()[wrng.zipf(consequence_phrases().size(), 0.7)]);
+        if (!weakness_ids.empty() && wrng.chance(0.15))
+            w.parent = weakness_ids[wrng.uniform(0, weakness_ids.size() - 1)];
+        weakness_ids.push_back(w.id);
+        weaknesses_by_domain[d].push_back(w.id);
+        corpus.add(std::move(w));
+    }
+
+    // ---- attack patterns --------------------------------------------------
+    Rng prng = root.fork(2);
+    std::vector<Domain> pdomains =
+        make_assignment(prng, profile.pattern_count, profile.plants, /*patterns=*/true);
+    std::vector<kb::AttackPatternId> pattern_ids;
+    if (profile.include_anchors) {
+        for (kb::AttackPattern& p : anchor_patterns()) {
+            pattern_ids.push_back(p.id);
+            corpus.add(std::move(p));
+        }
+    }
+    for (std::size_t i = 0; i < profile.pattern_count; ++i) {
+        Domain d = pdomains[i];
+        kb::AttackPattern p;
+        p.id = kb::AttackPatternId{kGeneratedIdBase + static_cast<std::uint32_t>(i)};
+        p.name = capitalize(make_title(prng, domain_tags(d)));
+        p.summary = make_sentence(prng, domain_tags(d)) + tag_anchor_sentence(d);
+        std::size_t n_pre = prng.uniform(0, 2);
+        for (std::size_t k = 0; k < n_pre; ++k)
+            p.prerequisites.push_back(make_sentence(prng, {}));
+        p.likelihood = static_cast<kb::Rating>(prng.uniform(0, 4));
+        p.typical_severity = static_cast<kb::Rating>(prng.uniform(1, 4));
+        // Cross-reference 1-3 weaknesses, preferring same-domain ones.
+        std::size_t n_cwe = prng.uniform(1, 3);
+        const auto& same_domain = weaknesses_by_domain[d];
+        for (std::size_t k = 0; k < n_cwe; ++k) {
+            if (!same_domain.empty() && prng.chance(0.7)) {
+                p.related_weaknesses.push_back(
+                    same_domain[prng.uniform(0, same_domain.size() - 1)]);
+            } else if (!weakness_ids.empty()) {
+                p.related_weaknesses.push_back(
+                    weakness_ids[prng.uniform(0, weakness_ids.size() - 1)]);
+            }
+        }
+        std::sort(p.related_weaknesses.begin(), p.related_weaknesses.end());
+        p.related_weaknesses.erase(
+            std::unique(p.related_weaknesses.begin(), p.related_weaknesses.end()),
+            p.related_weaknesses.end());
+        if (!pattern_ids.empty() && prng.chance(0.12))
+            p.parent = pattern_ids[prng.uniform(0, pattern_ids.size() - 1)];
+        if (d != Domain::Generic) p.domains.emplace_back(domain_name(d));
+        pattern_ids.push_back(p.id);
+        corpus.add(std::move(p));
+    }
+
+    // ---- vulnerabilities --------------------------------------------------
+    Rng vrng = root.fork(3);
+    std::map<std::uint32_t, std::uint32_t> next_number_in_year;
+    for (const ProductSpec& spec : profile.products) {
+        Rng product_rng = vrng.fork(stable_hash(spec.platform.vendor + ":" +
+                                                spec.platform.product));
+        for (std::size_t i = 0; i < spec.cve_count; ++i) {
+            kb::Vulnerability v;
+            // Years skew recent (2020 back to 2002).
+            std::uint32_t year = 2020 - static_cast<std::uint32_t>(
+                                            product_rng.zipf(19, 0.6));
+            v.id = kb::VulnerabilityId{year, 1000 + next_number_in_year[year]++};
+            std::string version = std::to_string(product_rng.uniform(1, 12));
+            v.description = "A " + std::string(security_objects()[product_rng.zipf(
+                                       security_objects().size(), 0.8)]) +
+                            " " +
+                            std::string(security_nouns()[product_rng.zipf(
+                                security_nouns().size(), 0.8)]) +
+                            " in " + spec.display + " release " + version +
+                            " allows an adversary to " +
+                            std::string(security_verbs()[product_rng.zipf(
+                                security_verbs().size(), 0.8)]) +
+                            " controlled state.";
+            kb::Platform bound = spec.platform;
+            bound.version = version;
+            v.platforms.push_back(std::move(bound));
+            // 85% carry a CWE classification, zipf-skewed toward the head
+            // of the weakness list — anchors sit at the head, so CWE-78
+            // et al. accumulate realistic vulnerability mass.
+            if (!weakness_ids.empty() && product_rng.chance(0.85)) {
+                v.weaknesses.push_back(
+                    weakness_ids[product_rng.zipf(weakness_ids.size(), 1.1)]);
+                if (product_rng.chance(0.1))
+                    v.weaknesses.push_back(
+                        weakness_ids[product_rng.zipf(weakness_ids.size(), 1.1)]);
+                std::sort(v.weaknesses.begin(), v.weaknesses.end());
+                v.weaknesses.erase(std::unique(v.weaknesses.begin(), v.weaknesses.end()),
+                                   v.weaknesses.end());
+            }
+            if (product_rng.chance(0.9)) v.cvss_vector = cvss_vector_for(product_rng);
+            corpus.add(std::move(v));
+        }
+    }
+
+    corpus.reindex();
+    return corpus;
+}
+
+} // namespace cybok::synth

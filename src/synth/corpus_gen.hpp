@@ -1,0 +1,84 @@
+// Deterministic synthetic MITRE-style corpus generation.
+//
+// The paper's prototype consumes the CAPEC, CWE, and CVE/NVD databases.
+// Those are external artifacts, so this module generates a corpus with the
+// same schema, cross-reference structure, and — crucially — the same
+// *matching shape*:
+//
+//  * per-product vulnerability volumes are specified exactly (an OS
+//    platform drowns in thousands of CVEs, a niche lab package has six);
+//  * the number of attack-pattern / weakness records carrying each domain
+//    vocabulary is specified exactly (so "NI RT Linux OS" matches tens of
+//    patterns/weaknesses while "NI cRIO 9063" matches none);
+//  * a fixed set of *anchor* records with real MITRE numbers (CWE-78, OS
+//    command injection, CAPEC-88, ...) is always emitted so the paper's
+//    qualitative findings (the Triton-style BPCS/SIS scenario) reproduce
+//    verbatim.
+//
+// Everything is a pure function of (profile, seed).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kb/corpus.hpp"
+#include "synth/lexicon.hpp"
+
+namespace cybok::synth {
+
+/// A product the corpus knows about, with its calibrated CVE volume.
+struct ProductSpec {
+    std::string display;   ///< human name as it appears in a model ("NI RT Linux OS")
+    kb::Platform platform; ///< structured name (version empty = family)
+    Domain domain = Domain::Generic;
+    std::size_t cve_count = 0;
+};
+
+/// Exact number of generated records tagged with a domain's vocabulary.
+struct DomainPlan {
+    std::size_t patterns = 0;
+    std::size_t weaknesses = 0;
+};
+
+/// Full generation profile.
+struct CorpusProfile {
+    std::uint64_t seed = 20200629; ///< DSN 2020 vintage by default
+    std::size_t pattern_count = 550; ///< CAPEC-scale
+    std::size_t weakness_count = 900; ///< CWE-scale
+    /// Exact tagged-record counts per domain; remaining records are
+    /// Generic. Sum of plants must not exceed the totals above.
+    std::map<Domain, DomainPlan> plants;
+    std::vector<ProductSpec> products;
+    /// Emit the fixed anchor records (real CWE/CAPEC numbers).
+    bool include_anchors = true;
+
+    /// The profile calibrated to reproduce the paper's Table 1 for the
+    /// particle-separation-centrifuge SCADA model.
+    [[nodiscard]] static CorpusProfile scada_demo();
+
+    /// A size-scaled profile for throughput benchmarks: `factor` scales
+    /// record counts and per-product volumes (>= 0.01).
+    [[nodiscard]] static CorpusProfile scaled(double factor, std::uint64_t seed = 7);
+};
+
+/// Generate a corpus from a profile. The result is reindexed and ready.
+/// Throws ValidationError if the profile is inconsistent (plants exceed
+/// totals, duplicate products).
+[[nodiscard]] kb::Corpus generate_corpus(const CorpusProfile& profile);
+
+/// The anchor weaknesses/patterns emitted when include_anchors is set.
+/// Exposed so tests and the safety layer can reference stable ids.
+[[nodiscard]] std::vector<kb::Weakness> anchor_weaknesses();
+[[nodiscard]] std::vector<kb::AttackPattern> anchor_patterns();
+
+/// Id constants for anchors the demo scenario references.
+inline constexpr std::uint32_t kCweOsCommandInjection = 78;
+inline constexpr std::uint32_t kCweImproperInputValidation = 20;
+inline constexpr std::uint32_t kCweMissingAuthentication = 306;
+inline constexpr std::uint32_t kCweCleartextTransmission = 319;
+inline constexpr std::uint32_t kCapecCommandInjection = 88;
+inline constexpr std::uint32_t kCapecProtocolManipulation = 272;
+
+} // namespace cybok::synth

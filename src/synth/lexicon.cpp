@@ -1,0 +1,142 @@
+#include "synth/lexicon.hpp"
+
+#include <array>
+
+namespace cybok::synth {
+
+std::string_view domain_name(Domain d) noexcept {
+    switch (d) {
+        case Domain::Generic: return "generic";
+        case Domain::LinuxOs: return "linux-os";
+        case Domain::WindowsOs: return "windows-os";
+        case Domain::NetAppliance: return "net-appliance";
+        case Domain::Ics: return "ics";
+        case Domain::Web: return "web";
+        case Domain::Embedded: return "embedded";
+        case Domain::Wireless: return "wireless";
+    }
+    return "?";
+}
+
+namespace {
+
+// Tags are the ONLY channel through which these tokens enter generated
+// pattern/weakness text; Table 1 counts depend on that exclusivity.
+constexpr std::array<std::string_view, 2> kLinuxTags{"linux", "kernel"};
+constexpr std::array<std::string_view, 2> kWindowsTags{"windows", "registry"};
+constexpr std::array<std::string_view, 3> kApplianceTags{"cisco", "asa", "appliance"};
+constexpr std::array<std::string_view, 4> kIcsTags{"scada", "plc", "modbus", "hmi"};
+constexpr std::array<std::string_view, 3> kWebTags{"http", "browser", "javascript"};
+constexpr std::array<std::string_view, 2> kEmbeddedTags{"firmware", "bootloader"};
+constexpr std::array<std::string_view, 3> kWirelessTags{"wireless", "radio", "bluetooth"};
+
+constexpr std::array<std::string_view, 40> kNouns{
+    "overflow",      "injection",     "bypass",        "disclosure",   "corruption",
+    "escalation",    "traversal",     "spoofing",      "hijacking",    "tampering",
+    "exhaustion",    "misconfiguration", "race",       "deadlock",     "underflow",
+    "truncation",    "confusion",     "fixation",      "forgery",      "redirection",
+    "interception",  "replay",        "flooding",      "enumeration",  "poisoning",
+    "smuggling",     "splitting",     "desynchronization", "exposure", "leakage",
+    "manipulation",  "substitution",  "downgrade",     "rollback",     "amplification",
+    "starvation",    "collision",     "preimage",      "oracle",       "sidechannel",
+};
+
+constexpr std::array<std::string_view, 28> kVerbs{
+    "execute",   "inject",    "overwrite",  "read",      "modify",   "delete",
+    "intercept", "redirect",  "escalate",   "bypass",    "exhaust",  "corrupt",
+    "disclose",  "spoof",     "hijack",     "tamper",    "replay",   "enumerate",
+    "poison",    "truncate",  "desynchronize", "leak",   "manipulate", "substitute",
+    "downgrade", "amplify",   "starve",     "flood",
+};
+
+constexpr std::array<std::string_view, 36> kObjects{
+    "buffer",        "command",      "query",        "packet",      "message",
+    "credential",    "token",        "session",      "certificate", "handshake",
+    "pointer",       "index",        "header",       "parameter",   "argument",
+    "payload",       "stream",       "channel",      "interface",   "service",
+    "daemon",        "driver",       "library",      "module",      "configuration",
+    "privilege",     "permission",   "authentication", "authorization", "validation",
+    "sanitization",  "serialization", "memory",      "stack",       "heap",
+    "filesystem",
+};
+
+constexpr std::array<std::string_view, 12> kConsequences{
+    "integrity loss of controlled data",
+    "availability loss of the affected service",
+    "confidentiality loss of stored records",
+    "arbitrary code execution in the affected context",
+    "denial of service against dependent functions",
+    "unauthorized privilege acquisition",
+    "bypass of a protection mechanism",
+    "exposure of sensitive configuration",
+    "persistent corruption of state",
+    "loss of audit trail",
+    "unexpected process termination",
+    "degraded quality of service",
+};
+
+// Product identifiers the demonstration model queries with; these must
+// never leak into generated pattern/weakness text.
+constexpr std::array<std::string_view, 10> kReserved{
+    "ni", "rt", "crio", "labview", "9063", "9064", "labview", "7", "microsoft", "platform",
+};
+
+} // namespace
+
+std::span<const std::string_view> domain_tags(Domain d) noexcept {
+    switch (d) {
+        case Domain::Generic: return {};
+        case Domain::LinuxOs: return kLinuxTags;
+        case Domain::WindowsOs: return kWindowsTags;
+        case Domain::NetAppliance: return kApplianceTags;
+        case Domain::Ics: return kIcsTags;
+        case Domain::Web: return kWebTags;
+        case Domain::Embedded: return kEmbeddedTags;
+        case Domain::Wireless: return kWirelessTags;
+    }
+    return {};
+}
+
+std::span<const std::string_view> security_nouns() noexcept { return kNouns; }
+std::span<const std::string_view> security_verbs() noexcept { return kVerbs; }
+std::span<const std::string_view> security_objects() noexcept { return kObjects; }
+std::span<const std::string_view> consequence_phrases() noexcept { return kConsequences; }
+std::span<const std::string_view> reserved_product_tokens() noexcept { return kReserved; }
+
+std::string make_sentence(Rng& rng, std::span<const std::string_view> tag_tokens) {
+    // Zipf-sampled vocabulary gives realistic term-frequency skew.
+    std::string out = "An adversary can ";
+    out += kVerbs[rng.zipf(kVerbs.size(), 0.8)];
+    out += " the ";
+    out += kObjects[rng.zipf(kObjects.size(), 0.8)];
+    out += " ";
+    out += kNouns[rng.zipf(kNouns.size(), 0.8)];
+    if (!tag_tokens.empty()) {
+        out += " on ";
+        out += tag_tokens[static_cast<std::size_t>(rng.uniform(0, tag_tokens.size() - 1))];
+        out += " targets";
+    }
+    out += ", leading to ";
+    out += kConsequences[static_cast<std::size_t>(rng.uniform(0, kConsequences.size() - 1))];
+    out += ".";
+    return out;
+}
+
+std::string make_title(Rng& rng, std::span<const std::string_view> tag_tokens) {
+    std::string out;
+    if (!tag_tokens.empty()) {
+        std::string_view tag =
+            tag_tokens[static_cast<std::size_t>(rng.uniform(0, tag_tokens.size() - 1))];
+        out += tag;
+        out += " ";
+    }
+    out += kObjects[rng.zipf(kObjects.size(), 0.8)];
+    out += " ";
+    out += kNouns[rng.zipf(kNouns.size(), 0.8)];
+    // Capitalize first letter for a record-title look.
+    if (!out.empty() && out[0] >= 'a' && out[0] <= 'z')
+        out[0] = static_cast<char>(out[0] - 'a' + 'A');
+    return out;
+}
+
+} // namespace cybok::synth

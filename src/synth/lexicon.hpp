@@ -1,0 +1,62 @@
+// Controlled vocabularies for the synthetic corpus generator.
+//
+// The generator must reproduce the *shape* of matching against real MITRE
+// data: domain-specific tokens ("linux", "windows", "modbus") appear in a
+// controlled number of records, generic security prose appears everywhere,
+// and niche product identifiers ("labview", "crio", "9063") never appear
+// in attack-pattern or weakness text at all. Keeping the vocabularies
+// disjoint by construction is what makes the Table 1 reproduction
+// deterministic instead of accidental.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cybok::synth {
+
+/// Technology domains a corpus record (or product) can belong to.
+enum class Domain : std::uint8_t {
+    Generic,      ///< no domain tag — plain software security prose
+    LinuxOs,      ///< tagged with "linux" vocabulary
+    WindowsOs,    ///< tagged with "windows" vocabulary
+    NetAppliance, ///< firewalls / routers ("cisco", "asa", "appliance")
+    Ics,          ///< industrial control ("scada", "plc", "modbus", "hmi")
+    Web,          ///< web applications
+    Embedded,     ///< embedded firmware (no product identifiers)
+    Wireless,     ///< radio links
+};
+[[nodiscard]] std::string_view domain_name(Domain d) noexcept;
+inline constexpr std::size_t kDomainCount = 8;
+
+/// Tag tokens woven into records of a domain. Generic returns an empty
+/// span. These tokens appear in corpus text *only* through tagging.
+[[nodiscard]] std::span<const std::string_view> domain_tags(Domain d) noexcept;
+
+/// Generic security nouns/verbs/qualifiers used to synthesize record
+/// prose. Guaranteed disjoint from all domain tags and from the reserved
+/// product identifiers below.
+[[nodiscard]] std::span<const std::string_view> security_nouns() noexcept;
+[[nodiscard]] std::span<const std::string_view> security_verbs() noexcept;
+[[nodiscard]] std::span<const std::string_view> security_objects() noexcept;
+[[nodiscard]] std::span<const std::string_view> consequence_phrases() noexcept;
+
+/// Tokens that must never appear in generated pattern/weakness text
+/// (product identifiers the demo model queries with). Used by tests to
+/// verify the disjointness invariant.
+[[nodiscard]] std::span<const std::string_view> reserved_product_tokens() noexcept;
+
+/// Compose a pseudo-sentence: "<verb phrase> <noun> in <object> <tags>".
+/// Deterministic given the Rng state. `tag_tokens` (possibly empty) are
+/// woven into the sentence.
+[[nodiscard]] std::string make_sentence(Rng& rng,
+                                        std::span<const std::string_view> tag_tokens);
+
+/// Short noun-phrase title like "Unauthenticated buffer overflow".
+[[nodiscard]] std::string make_title(Rng& rng, std::span<const std::string_view> tag_tokens);
+
+} // namespace cybok::synth

@@ -1,0 +1,96 @@
+#include "synth/model_gen.hpp"
+
+#include <array>
+
+namespace cybok::synth {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kRolePhrases{
+    "supervisory operator console",
+    "historian data aggregation service",
+    "network segmentation appliance firewall",
+    "protocol gateway fieldbus bridge",
+    "basic process control scada controller",
+    "redundant safety instrumented monitor plc",
+    "remote terminal telemetry unit",
+    "engineering maintenance laptop",
+    "analog measurement sensor probe",
+    "variable speed drive actuator",
+};
+
+model::ComponentType type_for_layer(std::size_t layer, std::size_t layers, Rng& rng) {
+    if (layer == 0)
+        return rng.chance(0.5) ? model::ComponentType::Compute
+                               : model::ComponentType::HumanInterface;
+    if (layer + 1 == layers)
+        return rng.chance(0.5) ? model::ComponentType::Actuator
+                               : model::ComponentType::PhysicalProcess;
+    if (layer + 2 == layers)
+        return rng.chance(0.6) ? model::ComponentType::Controller
+                               : model::ComponentType::Sensor;
+    return rng.chance(0.4) ? model::ComponentType::Network : model::ComponentType::Compute;
+}
+
+} // namespace
+
+model::SystemModel generate_model(const ModelGenConfig& config) {
+    if (config.layers == 0 || config.components < config.layers)
+        throw ValidationError("model generator: need at least one component per layer");
+
+    Rng rng(config.seed);
+    const std::vector<ProductSpec> catalog =
+        config.products.empty() ? CorpusProfile::scada_demo().products : config.products;
+
+    model::SystemModel m("synthetic-architecture",
+                         "generated layered architecture (" +
+                             std::to_string(config.components) + " components)");
+
+    // Distribute components across layers as evenly as possible.
+    std::vector<std::vector<model::ComponentId>> layer_members(config.layers);
+    for (std::size_t i = 0; i < config.components; ++i) {
+        std::size_t layer = i % config.layers;
+        model::ComponentType type = type_for_layer(layer, config.layers, rng);
+        model::ComponentId id = m.add_component(
+            "C" + std::to_string(i) + "-L" + std::to_string(layer), type);
+        model::Component& c = m.component(id);
+        c.subsystem = "layer-" + std::to_string(layer);
+        c.external_facing = (layer == 0);
+
+        model::Attribute role;
+        role.name = "role";
+        role.value = std::string(kRolePhrases[rng.zipf(kRolePhrases.size(), 0.7)]);
+        role.kind = model::AttributeKind::Descriptor;
+        role.fidelity = model::Fidelity::Functional;
+        m.set_attribute(id, std::move(role));
+
+        if (rng.chance(config.platform_ref_prob)) {
+            const ProductSpec& spec = catalog[rng.uniform(0, catalog.size() - 1)];
+            model::Attribute ref;
+            ref.name = "platform";
+            ref.value = spec.display;
+            ref.kind = model::AttributeKind::PlatformRef;
+            ref.fidelity = model::Fidelity::Implementation;
+            ref.platform = spec.platform;
+            m.set_attribute(id, std::move(ref));
+        }
+        layer_members[layer].push_back(id);
+    }
+
+    // Forward edges between consecutive layers.
+    for (std::size_t layer = 0; layer + 1 < config.layers; ++layer) {
+        for (model::ComponentId from : layer_members[layer]) {
+            const auto& next = layer_members[layer + 1];
+            std::size_t fanout = static_cast<std::size_t>(
+                rng.uniform(1, std::min<std::uint64_t>(3, next.size())));
+            std::vector<std::size_t> targets = rng.sample_indices(next.size(), fanout);
+            for (std::size_t t : targets) {
+                bool bidir = rng.chance(0.5);
+                m.connect(from, next[t], "link", model::ChannelKind::Ethernet, bidir);
+            }
+        }
+    }
+    return m;
+}
+
+} // namespace cybok::synth

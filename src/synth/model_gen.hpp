@@ -1,0 +1,30 @@
+// Synthetic architecture generation for scaling benchmarks: layered
+// architectures (enterprise -> DMZ -> control -> field) of configurable
+// size, with attributes drawn from a product catalog so that association
+// workloads look like real models rather than uniform noise.
+
+#pragma once
+
+#include "model/system_model.hpp"
+#include "synth/corpus_gen.hpp"
+
+namespace cybok::synth {
+
+struct ModelGenConfig {
+    std::uint64_t seed = 11;
+    std::size_t components = 50;
+    std::size_t layers = 4;
+    /// Probability that a component carries a PlatformRef attribute drawn
+    /// from `products` (in addition to its descriptor).
+    double platform_ref_prob = 0.6;
+    /// Product catalog for PlatformRefs; defaults (empty) to the
+    /// scada_demo() catalog.
+    std::vector<ProductSpec> products;
+};
+
+/// Generate a deterministic layered architecture. Layer 0 components are
+/// external-facing; each component connects forward to 1..3 components of
+/// the next layer; the last layer contains the physical processes.
+[[nodiscard]] model::SystemModel generate_model(const ModelGenConfig& config);
+
+} // namespace cybok::synth

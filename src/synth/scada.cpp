@@ -1,0 +1,260 @@
+#include "synth/scada.hpp"
+
+namespace cybok::synth {
+
+namespace {
+
+using model::Attribute;
+using model::AttributeKind;
+using model::ChannelKind;
+using model::ComponentId;
+using model::ComponentType;
+using model::Fidelity;
+using model::SystemModel;
+
+Attribute descriptor(std::string name, std::string value,
+                     Fidelity f = Fidelity::Functional) {
+    Attribute a;
+    a.name = std::move(name);
+    a.value = std::move(value);
+    a.kind = AttributeKind::Descriptor;
+    a.fidelity = f;
+    return a;
+}
+
+Attribute platform_ref(std::string name, std::string value, kb::Platform platform) {
+    Attribute a;
+    a.name = std::move(name);
+    a.value = std::move(value);
+    a.kind = AttributeKind::PlatformRef;
+    a.fidelity = Fidelity::Implementation;
+    a.platform = std::move(platform);
+    return a;
+}
+
+Attribute parameter(std::string name, std::string value) {
+    Attribute a;
+    a.name = std::move(name);
+    a.value = std::move(value);
+    a.kind = AttributeKind::Parameter;
+    a.fidelity = Fidelity::Logical;
+    return a;
+}
+
+} // namespace
+
+model::SystemModel centrifuge_model() {
+    SystemModel m("particle-separation-centrifuge",
+                  "SCADA system for a temperature-sensitive particle separation "
+                  "centrifuge (DSN 2020 demonstration)");
+
+    ComponentId ws = m.add_component("Programming WS", ComponentType::Compute,
+                                     "Controller of the centrifuge, programmed in NI "
+                                     "LabVIEW, monitored by operators");
+    m.component(ws).subsystem = "corporate network";
+    m.component(ws).external_facing = true;
+    m.set_attribute(ws, descriptor("role", "supervisory engineering workstation operator"));
+    m.set_attribute(ws, platform_ref("os", "Windows 7",
+                                     {kb::PlatformPart::OperatingSystem, "microsoft",
+                                      "windows_7", ""}));
+    m.set_attribute(ws, platform_ref("software", "LabVIEW",
+                                     {kb::PlatformPart::Application, "ni", "labview", ""}));
+
+    ComponentId fw = m.add_component("Control firewall", ComponentType::Network,
+                                     "Isolates the corporate network from the control "
+                                     "network");
+    m.component(fw).subsystem = "control network";
+    m.set_attribute(fw, descriptor("role", "network segmentation appliance firewall"));
+    m.set_attribute(fw, platform_ref("platform", "Cisco ASA",
+                                     {kb::PlatformPart::Hardware, "cisco", "asa", ""}));
+
+    ComponentId sis = m.add_component("SIS platform", ComponentType::Controller,
+                                      "Redundant safety monitor for the centrifuge "
+                                      "controller");
+    m.component(sis).subsystem = "control network";
+    m.set_attribute(sis, descriptor("role",
+                                    "redundant safety instrumented monitor plc trip logic"));
+    m.set_attribute(sis, platform_ref("hardware", "NI cRIO 9064",
+                                      {kb::PlatformPart::Hardware, "ni", "crio_9064", ""}));
+    m.set_attribute(sis, platform_ref("os", "NI RT Linux OS",
+                                      {kb::PlatformPart::OperatingSystem, "ni", "rt_linux",
+                                       ""}));
+
+    ComponentId bpcs = m.add_component("BPCS platform", ComponentType::Controller,
+                                       "Main centrifuge controller interfaced through "
+                                       "MODBUS");
+    m.component(bpcs).subsystem = "control network";
+    m.set_attribute(bpcs, descriptor("role",
+                                     "basic process control scada controller modbus "
+                                     "interface"));
+    m.set_attribute(bpcs, platform_ref("hardware", "NI cRIO 9063",
+                                       {kb::PlatformPart::Hardware, "ni", "crio_9063", ""}));
+    m.set_attribute(bpcs, platform_ref("os", "NI RT Linux OS",
+                                       {kb::PlatformPart::OperatingSystem, "ni", "rt_linux",
+                                        ""}));
+
+    ComponentId temp = m.add_component("Temperature sensor", ComponentType::Sensor,
+                                       "Precision passive temperature probe monitoring "
+                                       "the solution");
+    m.component(temp).subsystem = "field devices";
+    m.set_attribute(temp, descriptor("role", "passive analog temperature measurement probe"));
+    m.set_attribute(temp, parameter("accuracy", "plus-minus 0.2 celsius"));
+
+    ComponentId cf = m.add_component("Centrifuge", ComponentType::PhysicalProcess,
+                                     "Precision variable speed centrifuge");
+    m.component(cf).subsystem = "field devices";
+    m.set_attribute(cf, descriptor("role", "variable speed rotor separation process",
+                                   Fidelity::Conceptual));
+    m.set_attribute(cf, parameter("max-speed", "10000 rpm"));
+    m.set_attribute(cf, parameter("regulation", "plus-minus 1 rpm of set point"));
+
+    m.connect(ws, fw, "engineering traffic", ChannelKind::Ethernet, /*bidirectional=*/true);
+    m.connect(fw, bpcs, "MODBUS/TCP", ChannelKind::Fieldbus, /*bidirectional=*/true);
+    m.connect(bpcs, sis, "status exchange", ChannelKind::Serial, /*bidirectional=*/true);
+    m.connect(bpcs, cf, "drive command", ChannelKind::AnalogSignal);
+    m.connect(sis, cf, "safety trip", ChannelKind::AnalogSignal);
+    m.connect(temp, bpcs, "temperature feedback", ChannelKind::AnalogSignal);
+    m.connect(temp, sis, "temperature feedback", ChannelKind::AnalogSignal);
+
+    return m;
+}
+
+safety::HazardModel centrifuge_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Loss of life or injury from fire or explosion"});
+    hm.add(safety::Loss{"L-2", "Loss of the product batch"});
+    hm.add(safety::Loss{"L-3", "Damage to the centrifuge equipment"});
+
+    hm.add(safety::Hazard{"H-1",
+                          "Solution temperature exceeds the chemical stability limit",
+                          {"L-1", "L-3"}});
+    hm.add(safety::Hazard{"H-2",
+                          "Solution temperature below the productive separation range",
+                          {"L-2"}});
+    hm.add(safety::Hazard{"H-3",
+                          "Rotor speed deviates more than 20 rpm from the set point",
+                          {"L-2"}});
+    hm.add(safety::Hazard{"H-4",
+                          "Safety monitor unable to trip the centrifuge on demand",
+                          {"L-1", "L-3"}});
+
+    hm.add(safety::UnsafeControlAction{
+        "UCA-1", "BPCS platform", "set rotor speed", safety::UcaType::Providing,
+        "speed command outside the productive tolerance while separation is running",
+        {"H-3"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-2", "BPCS platform", "set heater duty", safety::UcaType::Providing,
+        "heating commanded while solution is at the stability limit", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-3", "BPCS platform", "set heater duty", safety::UcaType::NotProviding,
+        "heating not commanded while solution is below the separation range", {"H-2"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-4", "SIS platform", "trip centrifuge", safety::UcaType::NotProviding,
+        "trip withheld while temperature or speed is beyond safe limits — the "
+        "Triton-style suppression of the safety system",
+        {"H-4", "H-1"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-5", "SIS platform", "trip centrifuge", safety::UcaType::WrongTiming,
+        "trip raised too late after a sustained over-temperature condition", {"H-1"}});
+    return hm;
+}
+
+model::SystemModel centrifuge_model_hardened() {
+    SystemModel m = centrifuge_model();
+
+    // Swap the Programming WS operating system for a hardened RTOS that the
+    // vulnerability corpus has no mass for, and note the application
+    // allow-listing; this is the edit an analyst makes in the dashboard.
+    model::ComponentId ws = *m.find_component("Programming WS");
+    m.set_attribute(ws, platform_ref("os", "Hardened engineering RTOS",
+                                     {kb::PlatformPart::OperatingSystem, "greenhills",
+                                      "integrity_rtos", ""}));
+    // Hardening measures are configuration parameters, not searchable
+    // descriptors — free text here would itself attract lexical matches
+    // (the NLP-sensitivity the paper warns about).
+    m.set_attribute(ws, parameter("hardening", "application allow-list, locked image"));
+
+    // Tighten the firewall story: engineering access is one-way into the
+    // control network (no return initiation).
+    model::ComponentId fw = *m.find_component("Control firewall");
+    m.set_attribute(fw, parameter("policy", "deny-by-default, one-way engineering sessions"));
+    return m;
+}
+
+model::SystemModel uav_model() {
+    SystemModel m("uav-control-system",
+                  "Small unmanned aircraft: ground station, datalink, autopilot, "
+                  "navigation sensors, and control surfaces");
+
+    ComponentId gcs = m.add_component("Ground control station", ComponentType::Compute,
+                                      "Operator laptop running the mission planner");
+    m.component(gcs).subsystem = "ground segment";
+    m.component(gcs).external_facing = true;
+    m.set_attribute(gcs, descriptor("role", "mission planning operator console"));
+    m.set_attribute(gcs, platform_ref("os", "Windows 7",
+                                      {kb::PlatformPart::OperatingSystem, "microsoft",
+                                       "windows_7", ""}));
+
+    ComponentId radio = m.add_component("Datalink radio", ComponentType::Network,
+                                        "Bidirectional command-and-telemetry radio");
+    m.component(radio).subsystem = "link segment";
+    m.component(radio).external_facing = true;
+    m.set_attribute(radio, descriptor("role", "wireless radio command telemetry datalink"));
+
+    ComponentId ap = m.add_component("Autopilot", ComponentType::Controller,
+                                     "Flight controller executing the control loops");
+    m.component(ap).subsystem = "air segment";
+    m.set_attribute(ap, descriptor("role", "flight control loop autopilot firmware"));
+    m.set_attribute(ap, platform_ref("os", "NI RT Linux OS",
+                                     {kb::PlatformPart::OperatingSystem, "ni", "rt_linux",
+                                      ""}));
+
+    ComponentId gps = m.add_component("GPS receiver", ComponentType::Sensor,
+                                      "Satellite navigation receiver");
+    m.component(gps).subsystem = "air segment";
+    m.set_attribute(gps, descriptor("role", "satellite navigation position sensor radio"));
+
+    ComponentId imu = m.add_component("IMU", ComponentType::Sensor,
+                                      "Inertial measurement unit");
+    m.component(imu).subsystem = "air segment";
+    m.set_attribute(imu, descriptor("role", "inertial attitude rate sensor"));
+
+    ComponentId servos = m.add_component("Control surfaces", ComponentType::Actuator,
+                                         "Servo-driven aerodynamic control surfaces");
+    m.component(servos).subsystem = "air segment";
+    m.set_attribute(servos, descriptor("role", "servo actuator aerodynamic surface",
+                                       Fidelity::Conceptual));
+
+    m.connect(gcs, radio, "command uplink", ChannelKind::Serial, /*bidirectional=*/true);
+    m.connect(radio, ap, "command stream", ChannelKind::Wireless, /*bidirectional=*/true);
+    m.connect(gps, ap, "position feedback", ChannelKind::Serial);
+    m.connect(imu, ap, "attitude feedback", ChannelKind::AnalogSignal);
+    m.connect(ap, servos, "surface deflection", ChannelKind::AnalogSignal);
+    return m;
+}
+
+safety::HazardModel uav_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Loss of the aircraft"});
+    hm.add(safety::Loss{"L-2", "Injury to people on the ground"});
+    hm.add(safety::Loss{"L-3", "Mission failure"});
+
+    hm.add(safety::Hazard{"H-1", "Aircraft departs the approved flight volume",
+                          {"L-2", "L-3"}});
+    hm.add(safety::Hazard{"H-2", "Aircraft enters an unrecoverable attitude", {"L-1", "L-2"}});
+    hm.add(safety::Hazard{"H-3", "Aircraft position estimate diverges from truth",
+                          {"L-1", "L-3"}});
+
+    hm.add(safety::UnsafeControlAction{
+        "UCA-1", "Autopilot", "deflect control surfaces", safety::UcaType::Providing,
+        "deflection commanded beyond the recoverable envelope", {"H-2"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-2", "Autopilot", "navigate to waypoint", safety::UcaType::Providing,
+        "waypoint accepted outside the approved flight volume", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{
+        "UCA-3", "Autopilot", "update position estimate", safety::UcaType::Providing,
+        "spoofed navigation input accepted into the estimator", {"H-3"}});
+    return hm;
+}
+
+} // namespace cybok::synth

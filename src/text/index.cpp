@@ -1,0 +1,200 @@
+#include "text/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace cybok::text {
+
+TermId Vocabulary::intern(std::string_view term) {
+    auto it = ids_.find(std::string(term));
+    if (it != ids_.end()) return it->second;
+    TermId id = static_cast<TermId>(terms_.size());
+    terms_.emplace_back(term);
+    ids_.emplace(terms_.back(), id);
+    return id;
+}
+
+TermId Vocabulary::lookup(std::string_view term) const noexcept {
+    auto it = ids_.find(std::string(term));
+    return it == ids_.end() ? kNoTerm : it->second;
+}
+
+const std::string& Vocabulary::term(TermId id) const {
+    if (id >= terms_.size()) throw NotFoundError("vocabulary: bad term id");
+    return terms_[id];
+}
+
+DocId InvertedIndex::add_document() {
+    if (finalized_) throw ValidationError("index already finalized");
+    flush_accum();
+    current_doc_ = static_cast<DocId>(doc_lengths_.size());
+    doc_lengths_.push_back(0.0);
+    return current_doc_;
+}
+
+void InvertedIndex::add_term(std::string_view token, float field_weight) {
+    if (finalized_) throw ValidationError("index already finalized");
+    if (current_doc_ == UINT32_MAX) throw ValidationError("add_document must be called first");
+    TermId t = vocab_.intern(token);
+    accum_[t] += field_weight;
+    doc_lengths_[current_doc_] += field_weight;
+}
+
+void InvertedIndex::add_terms(const std::vector<std::string>& tokens, float field_weight) {
+    for (const std::string& t : tokens) add_term(t, field_weight);
+}
+
+void InvertedIndex::flush_accum() {
+    if (current_doc_ == UINT32_MAX || accum_.empty()) {
+        accum_.clear();
+        return;
+    }
+    if (postings_.size() < vocab_.size()) postings_.resize(vocab_.size());
+    for (const auto& [term, weight] : accum_)
+        postings_[term].push_back(Posting{current_doc_, weight});
+    accum_.clear();
+}
+
+void InvertedIndex::finalize() {
+    if (finalized_) throw ValidationError("index already finalized");
+    flush_accum();
+    if (postings_.size() < vocab_.size()) postings_.resize(vocab_.size());
+    for (auto& plist : postings_)
+        std::sort(plist.begin(), plist.end(),
+                  [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+    double total = 0.0;
+    for (double len : doc_lengths_) total += len;
+    avg_len_ = doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
+    finalized_ = true;
+}
+
+std::size_t InvertedIndex::doc_frequency(std::string_view term) const noexcept {
+    TermId t = vocab_.lookup(term);
+    if (t == kNoTerm || t >= postings_.size()) return 0;
+    return postings_[t].size();
+}
+
+double InvertedIndex::doc_length(DocId d) const {
+    if (d >= doc_lengths_.size()) throw NotFoundError("index: bad doc id");
+    return doc_lengths_[d];
+}
+
+const std::vector<Posting>& InvertedIndex::postings(TermId t) const {
+    static const std::vector<Posting> empty;
+    if (t >= postings_.size()) return empty;
+    return postings_[t];
+}
+
+// ----------------------------------------------------------------- BM25
+
+Bm25Scorer::Bm25Scorer(const InvertedIndex& index, Params params)
+    : index_(index), params_(params) {
+    if (!index.finalized()) throw ValidationError("BM25 requires a finalized index");
+}
+
+double Bm25Scorer::idf(std::string_view term) const noexcept {
+    const double n = static_cast<double>(index_.doc_count());
+    const double df = static_cast<double>(index_.doc_frequency(term));
+    return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const {
+    // Deduplicate query terms; repeated query terms in short attribute
+    // strings should not double-count.
+    std::set<TermId> terms;
+    for (const std::string& tok : tokens) {
+        TermId t = index_.vocab_.lookup(tok);
+        if (t != kNoTerm) terms.insert(t);
+    }
+    std::unordered_map<DocId, Hit> acc;
+    const double avg = std::max(index_.avg_doc_length(), 1e-9);
+    for (TermId t : terms) {
+        const double idf_t = idf(index_.vocab_.term(t));
+        for (const Posting& p : index_.postings(t)) {
+            const double tf = p.weight;
+            const double norm = params_.k1 * (1.0 - params_.b +
+                                              params_.b * index_.doc_length(p.doc) / avg);
+            const double contrib = idf_t * (tf * (params_.k1 + 1.0)) / (tf + norm);
+            Hit& h = acc.try_emplace(p.doc, Hit{p.doc, 0.0, {}}).first->second;
+            h.score += contrib;
+            h.matched_terms.push_back(t);
+        }
+    }
+    std::vector<Hit> hits;
+    hits.reserve(acc.size());
+    for (auto& [_, h] : acc) hits.push_back(std::move(h));
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.doc < b.doc;
+    });
+    return hits;
+}
+
+// --------------------------------------------------------------- TF-IDF
+
+TfidfScorer::TfidfScorer(const InvertedIndex& index) : index_(index) {
+    if (!index.finalized()) throw ValidationError("TF-IDF requires a finalized index");
+    const double n = static_cast<double>(index.doc_count());
+    doc_norms_.assign(index.doc_count(), 0.0);
+    for (TermId t = 0; t < index.term_count(); ++t) {
+        const auto& plist = index.postings(t);
+        if (plist.empty()) continue;
+        const double idf = std::log(n / static_cast<double>(plist.size()));
+        for (const Posting& p : plist) {
+            const double w = (1.0 + std::log(std::max<double>(p.weight, 1e-9))) * idf;
+            doc_norms_[p.doc] += w * w;
+        }
+    }
+    for (double& norm : doc_norms_) norm = std::sqrt(norm);
+}
+
+std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) const {
+    std::unordered_map<TermId, double> qtf;
+    for (const std::string& tok : tokens) {
+        TermId t = index_.vocab_.lookup(tok);
+        if (t != kNoTerm) qtf[t] += 1.0;
+    }
+    const double n = static_cast<double>(index_.doc_count());
+    double qnorm = 0.0;
+    std::unordered_map<DocId, Hit> acc;
+    for (const auto& [t, tf] : qtf) {
+        const auto& plist = index_.postings(t);
+        if (plist.empty()) continue;
+        const double idf = std::log(n / static_cast<double>(plist.size()));
+        const double qw = (1.0 + std::log(tf)) * idf;
+        qnorm += qw * qw;
+        for (const Posting& p : plist) {
+            const double dw = (1.0 + std::log(std::max<double>(p.weight, 1e-9))) * idf;
+            Hit& h = acc.try_emplace(p.doc, Hit{p.doc, 0.0, {}}).first->second;
+            h.score += qw * dw;
+            h.matched_terms.push_back(t);
+        }
+    }
+    qnorm = std::sqrt(qnorm);
+    std::vector<Hit> hits;
+    hits.reserve(acc.size());
+    for (auto& [doc, h] : acc) {
+        const double denom = qnorm * doc_norms_[doc];
+        h.score = denom > 0.0 ? h.score / denom : 0.0;
+        hits.push_back(std::move(h));
+    }
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.doc < b.doc;
+    });
+    return hits;
+}
+
+double jaccard(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+    std::set<std::string> sa(a.begin(), a.end());
+    std::set<std::string> sb(b.begin(), b.end());
+    if (sa.empty() && sb.empty()) return 1.0;
+    std::size_t inter = 0;
+    for (const std::string& t : sa)
+        if (sb.contains(t)) ++inter;
+    const std::size_t uni = sa.size() + sb.size() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+} // namespace cybok::text

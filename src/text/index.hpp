@@ -1,0 +1,131 @@
+// Vocabulary and inverted index over tokenized documents, plus the two
+// ranking functions the search engine offers (BM25 and TF-IDF cosine).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok::text {
+
+using TermId = std::uint32_t;
+using DocId = std::uint32_t;
+inline constexpr TermId kNoTerm = UINT32_MAX;
+
+/// Bidirectional term <-> dense id mapping.
+class Vocabulary {
+public:
+    /// Id of `term`, interning it if new.
+    TermId intern(std::string_view term);
+    /// Id of `term` or kNoTerm when absent (no interning).
+    [[nodiscard]] TermId lookup(std::string_view term) const noexcept;
+    [[nodiscard]] const std::string& term(TermId id) const;
+    [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+
+private:
+    std::unordered_map<std::string, TermId> ids_;
+    std::vector<std::string> terms_;
+};
+
+/// One posting: a document and the (weighted) term frequency inside it.
+struct Posting {
+    DocId doc;
+    float weight;
+};
+
+/// Inverted index with document length normalization. Documents are added
+/// as pre-analyzed token streams; each token may carry a field weight
+/// (e.g. title tokens count 3x body tokens).
+class InvertedIndex {
+public:
+    /// Begin a new document; returns its id. Tokens are then accumulated
+    /// via add_term until the next add_document call.
+    DocId add_document();
+    void add_term(std::string_view token, float field_weight = 1.0f);
+
+    /// Convenience: a whole token vector with one weight.
+    void add_terms(const std::vector<std::string>& tokens, float field_weight = 1.0f);
+
+    /// Finish building: sorts postings, computes statistics. Must be
+    /// called once before any query; adding after finalize throws.
+    void finalize();
+
+    [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+    [[nodiscard]] std::size_t doc_count() const noexcept { return doc_lengths_.size(); }
+    [[nodiscard]] std::size_t term_count() const noexcept { return vocab_.size(); }
+    [[nodiscard]] double avg_doc_length() const noexcept { return avg_len_; }
+    [[nodiscard]] const Vocabulary& vocabulary() const noexcept { return vocab_; }
+
+    /// Number of documents containing the term (0 for unknown terms).
+    [[nodiscard]] std::size_t doc_frequency(std::string_view term) const noexcept;
+    /// Weighted length of a document.
+    [[nodiscard]] double doc_length(DocId d) const;
+    [[nodiscard]] const std::vector<Posting>& postings(TermId t) const;
+
+private:
+    friend class Bm25Scorer;
+    friend class TfidfScorer;
+
+    Vocabulary vocab_;
+    std::vector<std::vector<Posting>> postings_; // indexed by TermId
+    std::vector<double> doc_lengths_;
+    double avg_len_ = 0.0;
+    bool finalized_ = false;
+    DocId current_doc_ = UINT32_MAX;
+    // During building: per-document term accumulation buffer.
+    std::unordered_map<TermId, float> accum_;
+    void flush_accum();
+};
+
+/// A scored document hit, with the query terms that matched it (by term
+/// id) — the search layer turns these into human-readable evidence.
+struct Hit {
+    DocId doc;
+    double score;
+    std::vector<TermId> matched_terms;
+};
+
+/// Okapi BM25 ranking over an InvertedIndex.
+class Bm25Scorer {
+public:
+    struct Params {
+        double k1 = 1.2;
+        double b = 0.75;
+    };
+
+    explicit Bm25Scorer(const InvertedIndex& index) : Bm25Scorer(index, Params{}) {}
+    Bm25Scorer(const InvertedIndex& index, Params params);
+
+    /// Rank all documents matching >= 1 query token. Results sorted by
+    /// descending score (ties by ascending doc id).
+    [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
+
+    /// IDF of one term (Robertson–Sparck Jones with +1 smoothing).
+    [[nodiscard]] double idf(std::string_view term) const noexcept;
+
+private:
+    const InvertedIndex& index_;
+    Params params_;
+};
+
+/// TF-IDF cosine-similarity ranking (the ablation baseline for BM25).
+class TfidfScorer {
+public:
+    explicit TfidfScorer(const InvertedIndex& index);
+
+    [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
+
+private:
+    const InvertedIndex& index_;
+    std::vector<double> doc_norms_; // L2 norm of each doc's tf-idf vector
+};
+
+/// Jaccard similarity of two token sets.
+[[nodiscard]] double jaccard(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+} // namespace cybok::text

@@ -1,0 +1,60 @@
+// Error types shared across all CYBOK++ modules.
+//
+// The library follows the C++ Core Guidelines error-handling model (E.2):
+// errors that a caller may reasonably want to handle are thrown as typed
+// exceptions rooted at cybok::Error; programming errors (precondition
+// violations) are guarded with CYBOK_EXPECTS which aborts in debug builds.
+
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cybok {
+
+/// Root of the CYBOK++ exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input while parsing (JSON, GraphML, CVSS vectors, CPE names...).
+class ParseError : public Error {
+public:
+    ParseError(std::string_view what, std::size_t offset)
+        : Error(std::string(what) + " (at offset " + std::to_string(offset) + ")"),
+          offset_(offset) {}
+    explicit ParseError(std::string_view what) : Error(std::string(what)), offset_(0) {}
+
+    /// Byte offset into the parsed input where the error was detected.
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+/// A semantic constraint on a model / corpus / configuration was violated.
+class ValidationError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A lookup by id or name found nothing.
+class NotFoundError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Filesystem / stream failure.
+class IoError : public Error {
+public:
+    using Error::Error;
+};
+
+// Precondition / postcondition macros (GSL-style Expects/Ensures).
+#define CYBOK_EXPECTS(cond) assert(cond)
+#define CYBOK_ENSURES(cond) assert(cond)
+
+} // namespace cybok

@@ -1,0 +1,417 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cybok::json {
+
+bool Value::as_bool() const {
+    if (const bool* b = std::get_if<bool>(&data_)) return *b;
+    throw ValidationError("JSON value is not a boolean");
+}
+
+double Value::as_number() const {
+    if (const double* d = std::get_if<double>(&data_)) return *d;
+    throw ValidationError("JSON value is not a number");
+}
+
+std::int64_t Value::as_int() const {
+    return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& Value::as_string() const {
+    if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+    throw ValidationError("JSON value is not a string");
+}
+
+const Array& Value::as_array() const {
+    if (const Array* a = std::get_if<Array>(&data_)) return *a;
+    throw ValidationError("JSON value is not an array");
+}
+
+Array& Value::as_array() {
+    if (Array* a = std::get_if<Array>(&data_)) return *a;
+    throw ValidationError("JSON value is not an array");
+}
+
+const Object& Value::as_object() const {
+    if (const Object* o = std::get_if<Object>(&data_)) return *o;
+    throw ValidationError("JSON value is not an object");
+}
+
+Object& Value::as_object() {
+    if (Object* o = std::get_if<Object>(&data_)) return *o;
+    throw ValidationError("JSON value is not an object");
+}
+
+const Value& Value::at(std::string_view key) const {
+    const Object& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) throw NotFoundError("missing JSON key: " + std::string(key));
+    return it->second;
+}
+
+bool Value::contains(std::string_view key) const noexcept {
+    const Object* o = std::get_if<Object>(&data_);
+    return o != nullptr && o->find(key) != o->end();
+}
+
+std::string Value::get_string(std::string_view key, std::string_view fallback) const {
+    if (!contains(key)) return std::string(fallback);
+    return at(key).as_string();
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+    if (!contains(key)) return fallback;
+    return at(key).as_number();
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t fallback) const {
+    if (!contains(key)) return fallback;
+    return at(key).as_int();
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+    if (!contains(key)) return fallback;
+    return at(key).as_bool();
+}
+
+Value& Value::operator[](std::string_view key) {
+    if (is_null()) data_ = Object{};
+    Object& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) it = o.emplace(std::string(key), Value()).first;
+    return it->second;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        skip_ws();
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(std::string_view msg) const { throw ParseError(msg, pos_); }
+
+    [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const {
+        if (eof()) throw ParseError("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+    char take() {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void skip_ws() noexcept {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+            else break;
+        }
+    }
+
+    void expect(char c) {
+        if (take() != c) {
+            --pos_;
+            fail(std::string("expected '") + c + "'");
+        }
+    }
+
+    void expect_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) fail("invalid literal");
+        pos_ += lit.size();
+    }
+
+    Value parse_value() {
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Value(parse_string());
+            case 't': expect_literal("true"); return Value(true);
+            case 'f': expect_literal("false"); return Value(false);
+            case 'n': expect_literal("null"); return Value(nullptr);
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object o;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(o));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            o.emplace(std::move(key), parse_value());
+            skip_ws();
+            char c = take();
+            if (c == '}') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+        return Value(std::move(o));
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array a;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(a));
+        }
+        while (true) {
+            skip_ws();
+            a.push_back(parse_value());
+            skip_ws();
+            char c = take();
+            if (c == ']') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+        return Value(std::move(a));
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (eof()) fail("unterminated string");
+            char c = take();
+            if (c == '"') break;
+            if (c == '\\') {
+                char esc = take();
+                switch (esc) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'b': out.push_back('\b'); break;
+                    case 'f': out.push_back('\f'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'u': append_unicode_escape(out); break;
+                    default: fail("invalid escape sequence");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    unsigned parse_hex4() {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = take();
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("invalid \\u escape");
+        }
+        return v;
+    }
+
+    void append_unicode_escape(std::string& out) {
+        unsigned cp = parse_hex4();
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair.
+            if (take() != '\\' || take() != 'u') fail("unpaired surrogate");
+            unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unexpected low surrogate");
+        }
+        // Encode as UTF-8.
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Value parse_number() {
+        std::size_t start = pos_;
+        if (!eof() && peek() == '-') ++pos_;
+        while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        if (!eof() && text_[pos_] == '.') {
+            ++pos_;
+            while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        }
+        if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (!eof() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+            fail("invalid number");
+        std::string num(text_.substr(start, pos_ - start));
+        try {
+            return Value(std::stod(num));
+        } catch (const std::exception&) {
+            throw ParseError("number out of range", start);
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+void write_escaped(std::string& out, std::string_view s) {
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void write_number(std::string& out, double d) {
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.0e15) {
+        out += std::to_string(static_cast<std::int64_t>(d));
+        return;
+    }
+    if (!std::isfinite(d)) {
+        out += "null"; // JSON has no representation for NaN/Inf
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+void dump_impl(const Value& v, std::string& out, int indent, int depth) {
+    auto newline = [&] {
+        if (indent > 0) {
+            out.push_back('\n');
+            out.append(static_cast<std::size_t>(indent * depth), ' ');
+        }
+    };
+    if (v.is_null()) {
+        out += "null";
+    } else if (v.is_bool()) {
+        out += v.as_bool() ? "true" : "false";
+    } else if (v.is_number()) {
+        write_number(out, v.as_number());
+    } else if (v.is_string()) {
+        write_escaped(out, v.as_string());
+    } else if (v.is_array()) {
+        const Array& a = v.as_array();
+        if (a.empty()) {
+            out += "[]";
+            return;
+        }
+        out.push_back('[');
+        ++depth;
+        bool first = true;
+        for (const Value& e : a) {
+            if (!first) out.push_back(',');
+            first = false;
+            newline();
+            dump_impl(e, out, indent, depth);
+        }
+        --depth;
+        newline();
+        out.push_back(']');
+    } else {
+        const Object& o = v.as_object();
+        if (o.empty()) {
+            out += "{}";
+            return;
+        }
+        out.push_back('{');
+        ++depth;
+        bool first = true;
+        for (const auto& [k, e] : o) {
+            if (!first) out.push_back(',');
+            first = false;
+            newline();
+            write_escaped(out, k);
+            out += indent > 0 ? ": " : ":";
+            dump_impl(e, out, indent, depth);
+        }
+        --depth;
+        newline();
+        out.push_back('}');
+    }
+}
+
+} // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string dump(const Value& v, int indent) {
+    std::string out;
+    dump_impl(v, out, indent, 0);
+    return out;
+}
+
+Value load_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open file for reading: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+void save_file(const std::string& path, const Value& v, int indent) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open file for writing: " + path);
+    out << dump(v, indent) << '\n';
+    if (!out) throw IoError("write failed: " + path);
+}
+
+} // namespace cybok::json

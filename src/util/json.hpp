@@ -1,0 +1,92 @@
+// Minimal self-contained JSON value, parser, and writer.
+//
+// Used for (de)serializing knowledge-base corpora, analysis reports, and
+// benchmark outputs. Supports the full JSON grammar (RFC 8259) with UTF-8
+// pass-through; numbers are stored as double (with an integer fast path
+// preserved on output when the value is integral).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys ordered, which makes serialized corpora and
+/// reports byte-stable across runs — important for golden-file tests.
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A JSON document node.
+class Value {
+public:
+    Value() noexcept : data_(nullptr) {}
+    Value(std::nullptr_t) noexcept : data_(nullptr) {}
+    Value(bool b) noexcept : data_(b) {}
+    Value(double d) noexcept : data_(d) {}
+    Value(int i) noexcept : data_(static_cast<double>(i)) {}
+    Value(unsigned i) noexcept : data_(static_cast<double>(i)) {}
+    Value(std::int64_t i) noexcept : data_(static_cast<double>(i)) {}
+    Value(std::uint64_t i) noexcept : data_(static_cast<double>(i)) {}
+    Value(const char* s) : data_(std::string(s)) {}
+    Value(std::string s) : data_(std::move(s)) {}
+    Value(std::string_view s) : data_(std::string(s)) {}
+    Value(Array a) : data_(std::move(a)) {}
+    Value(Object o) : data_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+    [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+    [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+    [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+    [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+    [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+    /// Typed accessors; throw ValidationError on type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const Array& as_array() const;
+    [[nodiscard]] Array& as_array();
+    [[nodiscard]] const Object& as_object() const;
+    [[nodiscard]] Object& as_object();
+
+    /// Object member access. `at` throws NotFoundError for missing keys;
+    /// `get` returns a fallback.
+    [[nodiscard]] const Value& at(std::string_view key) const;
+    [[nodiscard]] bool contains(std::string_view key) const noexcept;
+    [[nodiscard]] std::string get_string(std::string_view key, std::string_view fallback = "") const;
+    [[nodiscard]] double get_number(std::string_view key, double fallback = 0.0) const;
+    [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+    [[nodiscard]] bool get_bool(std::string_view key, bool fallback = false) const;
+
+    /// Object member assignment; converts a null value into an object first.
+    Value& operator[](std::string_view key);
+
+    friend bool operator==(const Value& a, const Value& b) noexcept { return a.data_ == b.data_; }
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document. Throws ParseError with a byte offset.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Serialize. `indent` = 0 produces a compact single line; otherwise
+/// pretty-print with that many spaces per level.
+[[nodiscard]] std::string dump(const Value& v, int indent = 0);
+
+/// File helpers (throw IoError).
+[[nodiscard]] Value load_file(const std::string& path);
+void save_file(const std::string& path, const Value& v, int indent = 2);
+
+} // namespace cybok::json

@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cybok {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    CYBOK_EXPECTS(lo <= hi);
+    const std::uint64_t range = hi - lo + 1; // range==0 means the full 2^64 span
+    if (range == 0) return next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~std::uint64_t{0}) - ((~std::uint64_t{0}) % range);
+    std::uint64_t x = next();
+    while (x >= limit) x = next();
+    return lo + x % range;
+}
+
+double Rng::uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+    CYBOK_EXPECTS(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += (w > 0.0 ? w : 0.0);
+    CYBOK_EXPECTS(total > 0.0);
+    double r = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (r < w) return i;
+        r -= w;
+    }
+    return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+    CYBOK_EXPECTS(n > 0);
+    CYBOK_EXPECTS(s > 0.0);
+    // Inverse-CDF over the harmonic weights; O(n) setup avoided by the
+    // standard rejection method of Devroye for generality-free inputs.
+    // n here is small (lexicon sizes), so direct inversion is fine.
+    double h = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+    double r = uniform01() * h;
+    for (std::size_t k = 1; k <= n; ++k) {
+        double w = 1.0 / std::pow(static_cast<double>(k), s);
+        if (r < w) return k - 1;
+        r -= w;
+    }
+    return n - 1;
+}
+
+std::size_t Rng::poisson(double lambda) noexcept {
+    CYBOK_EXPECTS(lambda >= 0.0);
+    if (lambda <= 0.0) return 0;
+    if (lambda < 30.0) {
+        const double limit = std::exp(-lambda);
+        std::size_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform01();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction for large lambda.
+    double u1 = uniform01();
+    double u2 = uniform01();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double v = lambda + std::sqrt(lambda) * z + 0.5;
+    return v < 0.0 ? 0 : static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+    CYBOK_EXPECTS(k <= n);
+    // Floyd's algorithm: k iterations, set membership via sorted vector.
+    std::vector<std::size_t> chosen;
+    chosen.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+        std::size_t t = static_cast<std::size_t>(uniform(0, j));
+        bool present = false;
+        for (std::size_t c : chosen) {
+            if (c == t) {
+                present = true;
+                break;
+            }
+        }
+        chosen.push_back(present ? j : t);
+    }
+    return chosen;
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+    return Rng(next() ^ (label * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
+std::uint64_t stable_hash(std::string_view s) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+} // namespace cybok

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random generation.
+//
+// Everything in CYBOK++ that involves randomness (the synthetic corpus
+// generator, the synthetic architecture generator, property-test drivers)
+// goes through Rng so that a (seed, parameters) pair always produces the
+// same artifacts — a requirement for reproducing the paper's Table 1 from
+// a synthetic MITRE-style corpus.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok {
+
+/// xoshiro256** seeded via splitmix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+    std::uint64_t next() noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+
+    /// True with probability p (clamped to [0,1]).
+    bool chance(double p) noexcept;
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items) noexcept {
+        CYBOK_EXPECTS(!items.empty());
+        return items[static_cast<std::size_t>(uniform(0, items.size() - 1))];
+    }
+    template <typename T>
+    const T& pick(const std::vector<T>& items) noexcept {
+        return pick(std::span<const T>(items));
+    }
+
+    /// Index drawn from the (unnormalized, non-negative) weight vector.
+    /// Requires at least one strictly positive weight.
+    std::size_t weighted(std::span<const double> weights) noexcept;
+
+    /// Zipf-distributed rank in [0, n) with exponent `s` (s > 0). Heavier
+    /// head for larger s. Used to give corpus term frequencies a realistic
+    /// long tail.
+    std::size_t zipf(std::size_t n, double s) noexcept;
+
+    /// Poisson-distributed count with mean `lambda` (Knuth's algorithm for
+    /// small lambda, normal approximation above 30).
+    std::size_t poisson(double lambda) noexcept;
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+            using std::swap;
+            swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// `k` distinct indices sampled uniformly from [0, n). Requires k <= n.
+    std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+    /// Derive an independent child generator; `label` decorrelates children
+    /// created from the same parent state.
+    [[nodiscard]] Rng fork(std::uint64_t label) noexcept;
+
+private:
+    std::uint64_t state_[4];
+};
+
+/// FNV-1a hash of a string, for deriving stable seeds from names.
+[[nodiscard]] std::uint64_t stable_hash(std::string_view s) noexcept;
+
+} // namespace cybok

@@ -1,0 +1,151 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+
+namespace cybok::strings {
+
+namespace {
+bool is_space(char c) noexcept {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+char lower(char c) noexcept {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+} // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && is_space(s[b])) ++b;
+    while (e > b && is_space(s[e - 1])) --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && is_space(s[i])) ++i;
+        std::size_t start = i;
+        while (i < s.size() && !is_space(s[i])) ++i;
+        if (i > start) out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+namespace {
+template <typename Seq>
+std::string join_impl(const Seq& parts, std::string_view sep) {
+    std::string out;
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size() + sep.size();
+    out.reserve(total);
+    bool first = true;
+    for (const auto& p : parts) {
+        if (!first) out.append(sep);
+        out.append(p);
+        first = false;
+    }
+    return out;
+}
+} // namespace
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    return join_impl(parts, sep);
+}
+std::string join(const std::vector<std::string_view>& parts, std::string_view sep) {
+    return join_impl(parts, sep);
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) { return lower(c); });
+    return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+    if (from.empty()) return std::string(s);
+    std::string out;
+    out.reserve(s.size());
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t hit = s.find(from, pos);
+        if (hit == std::string_view::npos) {
+            out.append(s.substr(pos));
+            break;
+        }
+        out.append(s.substr(pos, hit - pos));
+        out.append(to);
+        pos = hit + from.size();
+    }
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (lower(a[i]) != lower(b[i])) return false;
+    return true;
+}
+
+bool icontains(std::string_view s, std::string_view needle) noexcept {
+    if (needle.empty()) return true;
+    if (needle.size() > s.size()) return false;
+    for (std::size_t i = 0; i + needle.size() <= s.size(); ++i) {
+        bool ok = true;
+        for (std::size_t j = 0; j < needle.size(); ++j) {
+            if (lower(s[i + j]) != lower(needle[j])) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) return true;
+    }
+    return false;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+    if (a.size() > b.size()) std::swap(a, b);
+    std::vector<std::size_t> row(a.size() + 1);
+    for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+        std::size_t prev_diag = row[0];
+        row[0] = j;
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t cur = row[i];
+            std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+            row[i] = std::min({row[i] + 1, row[i - 1] + 1, prev_diag + cost});
+            prev_diag = cur;
+        }
+    }
+    return row[a.size()];
+}
+
+std::string with_commas(std::uint64_t n) {
+    std::string digits = std::to_string(n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t lead = digits.size() % 3;
+    if (lead == 0) lead = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+} // namespace cybok::strings

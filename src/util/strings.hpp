@@ -1,0 +1,45 @@
+// Small string utilities used throughout the library. All functions are
+// pure and allocation is kept to the minimum required by the return type.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cybok::strings {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split `s` on the single character `sep`. Empty fields are preserved,
+/// so split(",a,", ',') yields {"", "a", ""}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on any run of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+[[nodiscard]] std::string join(const std::vector<std::string_view>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// True when `s` contains `needle` case-insensitively.
+[[nodiscard]] bool icontains(std::string_view s, std::string_view needle) noexcept;
+
+/// Levenshtein edit distance (used for fuzzy product-name matching).
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Format a non-negative integer with thousands separators ("9673" -> "9,673").
+[[nodiscard]] std::string with_commas(std::uint64_t n);
+
+} // namespace cybok::strings

@@ -1,0 +1,204 @@
+#include "util/xml.hpp"
+
+namespace cybok::xml {
+
+std::string Node::attr(std::string_view key, std::string_view fallback) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? std::string(fallback) : it->second;
+}
+
+const Node* Node::child(std::string_view name) const noexcept {
+    for (const Node& c : children)
+        if (c.name == name) return &c;
+    return nullptr;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+    std::vector<const Node*> out;
+    for (const Node& c : children)
+        if (c.name == name) out.push_back(&c);
+    return out;
+}
+
+std::string Node::child_text(std::string_view name, std::string_view fallback) const {
+    const Node* c = child(name);
+    return c == nullptr ? std::string(fallback) : c->text;
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '&') {
+            out.push_back(s[i]);
+            continue;
+        }
+        std::size_t semi = s.find(';', i);
+        if (semi == std::string_view::npos) throw ParseError("unterminated XML entity", i);
+        std::string_view ent = s.substr(i + 1, semi - i - 1);
+        if (ent == "amp") out.push_back('&');
+        else if (ent == "lt") out.push_back('<');
+        else if (ent == "gt") out.push_back('>');
+        else if (ent == "quot") out.push_back('"');
+        else if (ent == "apos") out.push_back('\'');
+        else if (!ent.empty() && ent[0] == '#') {
+            int cp = std::stoi(std::string(ent.substr(ent.size() > 1 && ent[1] == 'x' ? 2 : 1)),
+                               nullptr, ent.size() > 1 && ent[1] == 'x' ? 16 : 10);
+            if (cp < 0x80) out.push_back(static_cast<char>(cp));
+            else throw ParseError("non-ASCII character reference unsupported", i);
+        } else {
+            throw ParseError("unknown XML entity: " + std::string(ent), i);
+        }
+        i = semi;
+    }
+    return out;
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Node parse_document() {
+        skip_prolog();
+        Node root = parse_element();
+        skip_misc();
+        if (pos_ != text_.size()) throw ParseError("trailing content after root element", pos_);
+        return root;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                       text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void skip_comment() {
+        if (text_.substr(pos_, 4) == "<!--") {
+            std::size_t end = text_.find("-->", pos_ + 4);
+            if (end == std::string_view::npos) throw ParseError("unterminated comment", pos_);
+            pos_ = end + 3;
+        }
+    }
+
+    void skip_misc() {
+        while (true) {
+            std::size_t before = pos_;
+            skip_ws();
+            skip_comment();
+            if (pos_ == before) break;
+        }
+    }
+
+    void skip_prolog() {
+        skip_ws();
+        if (text_.substr(pos_, 5) == "<?xml") {
+            std::size_t end = text_.find("?>", pos_);
+            if (end == std::string_view::npos)
+                throw ParseError("unterminated XML declaration", pos_);
+            pos_ = end + 2;
+        }
+        skip_misc();
+    }
+
+    std::string parse_name() {
+        std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '/' ||
+                c == '=')
+                break;
+            ++pos_;
+        }
+        if (pos_ == start) throw ParseError("expected XML name", pos_);
+        return std::string(text_.substr(start, pos_ - start));
+    }
+
+    Node parse_element() {
+        if (pos_ >= text_.size() || text_[pos_] != '<') throw ParseError("expected '<'", pos_);
+        ++pos_;
+        Node node;
+        node.name = parse_name();
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size()) throw ParseError("unterminated element", pos_);
+            if (text_[pos_] == '/') {
+                if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>')
+                    throw ParseError("malformed self-closing tag", pos_);
+                pos_ += 2;
+                return node;
+            }
+            if (text_[pos_] == '>') {
+                ++pos_;
+                break;
+            }
+            std::string key = parse_name();
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '=')
+                throw ParseError("expected '=' in attribute", pos_);
+            ++pos_;
+            skip_ws();
+            if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\''))
+                throw ParseError("expected quoted attribute value", pos_);
+            char quote = text_[pos_++];
+            std::size_t start = pos_;
+            while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+            if (pos_ >= text_.size()) throw ParseError("unterminated attribute value", start);
+            node.attrs.emplace(std::move(key), unescape(text_.substr(start, pos_ - start)));
+            ++pos_;
+        }
+        while (true) {
+            if (pos_ >= text_.size())
+                throw ParseError("unterminated element: " + node.name, pos_);
+            if (text_.substr(pos_, 4) == "<!--") {
+                skip_comment();
+                continue;
+            }
+            if (text_.substr(pos_, 2) == "</") {
+                pos_ += 2;
+                std::string close = parse_name();
+                if (close != node.name)
+                    throw ParseError("mismatched closing tag: " + close, pos_);
+                skip_ws();
+                if (pos_ >= text_.size() || text_[pos_] != '>')
+                    throw ParseError("malformed closing tag", pos_);
+                ++pos_;
+                return node;
+            }
+            if (text_[pos_] == '<') {
+                node.children.push_back(parse_element());
+                continue;
+            }
+            std::size_t start = pos_;
+            while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+            node.text += unescape(text_.substr(start, pos_ - start));
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Node parse(std::string_view text) { return Parser(text).parse_document(); }
+
+} // namespace cybok::xml

@@ -1,0 +1,45 @@
+// Minimal non-validating XML reader shared by the GraphML codec and the
+// MITRE catalog importers (CWE and CAPEC are distributed as XML).
+//
+// Supported: elements, attributes, character data, comments, the XML
+// declaration, and the five predefined entities plus numeric character
+// references (ASCII range). Not supported: DTDs, CDATA, processing
+// instructions, namespaces beyond treating "ns:name" as a plain name.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok::xml {
+
+/// One parsed element.
+struct Node {
+    std::string name;
+    std::map<std::string, std::string, std::less<>> attrs;
+    std::vector<Node> children;
+    std::string text; ///< concatenated character data of this element
+
+    [[nodiscard]] std::string attr(std::string_view key, std::string_view fallback = "") const;
+
+    /// First child with the given element name, or nullptr.
+    [[nodiscard]] const Node* child(std::string_view name) const noexcept;
+    /// All children with the given element name.
+    [[nodiscard]] std::vector<const Node*> children_named(std::string_view name) const;
+    /// Text of the named child, or fallback.
+    [[nodiscard]] std::string child_text(std::string_view name,
+                                         std::string_view fallback = "") const;
+};
+
+/// Parse a complete document; returns the root element.
+/// Throws ParseError with a byte offset on malformed input.
+[[nodiscard]] Node parse(std::string_view text);
+
+/// Escape the five XML specials in `s`.
+[[nodiscard]] std::string escape(std::string_view s);
+
+} // namespace cybok::xml

@@ -1,0 +1,79 @@
+// Concurrent-read safety: the search engine and corpus are immutable
+// after construction, so N threads must be able to associate different
+// models simultaneously and get byte-identical results to the serial run.
+// (The dashboard's interactive loop relies on this: the GUI thread
+// re-queries while a background thread renders the previous result.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "search/association.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/model_gen.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+
+namespace {
+const kb::Corpus& shared_corpus() {
+    static const kb::Corpus corpus =
+        synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    return corpus;
+}
+} // namespace
+
+TEST(Concurrency, ParallelQueriesMatchSerialResults) {
+    search::SearchEngine engine(shared_corpus());
+
+    // Serial reference results.
+    model::SystemModel scada = synth::centrifuge_model();
+    model::SystemModel uav = synth::uav_model();
+    const std::size_t scada_total = search::associate(scada, engine).total();
+    const std::size_t uav_total = search::associate(uav, engine).total();
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 4;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                const bool use_scada = (t + round) % 2 == 0;
+                model::SystemModel m =
+                    use_scada ? synth::centrifuge_model() : synth::uav_model();
+                std::size_t total = search::associate(m, engine).total();
+                std::size_t expected = use_scada ? scada_total : uav_total;
+                if (total != expected) mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Concurrency, ParallelEnginesOverOneCorpus) {
+    // Several engines (different options) built concurrently over the same
+    // corpus — construction only reads the corpus.
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&, t] {
+            search::EngineOptions opts;
+            opts.ranker = t % 2 == 0 ? search::EngineOptions::Ranker::Bm25
+                                     : search::EngineOptions::Ranker::Tfidf;
+            try {
+                search::SearchEngine engine(shared_corpus(), opts);
+                auto hits = engine.query_text("linux kernel escalation",
+                                              search::VectorClass::Weakness);
+                if (hits.empty()) failures.fetch_add(1);
+            } catch (...) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0);
+}

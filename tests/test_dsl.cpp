@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "model/diff.hpp"
+#include "model/dsl.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+using namespace cybok::model;
+
+namespace {
+constexpr const char* kSample = R"(
+# A minimal plant, hand-written.
+system "mini-plant" {
+  description "two-component demo"
+
+  component "WS" type=compute subsystem="office" external {
+    description "engineering workstation"
+    descriptor role = "operator console" fidelity=conceptual
+    platform os = "Windows 7" cpe="cpe:2.3:o:microsoft:windows_7:*"
+    parameter uptime = "24x7"
+  }
+
+  component "PLC" type=controller {
+    descriptor role = "process controller"
+  }
+
+  connect "WS" <-> "PLC" via "engineering" kind=ethernet
+  connect "PLC" -> "WS" via "alarms" kind=logical-flow fidelity=implementation
+}
+)";
+} // namespace
+
+TEST(Dsl, ParsesSampleDocument) {
+    SystemModel m = parse_dsl(kSample);
+    EXPECT_EQ(m.name(), "mini-plant");
+    EXPECT_EQ(m.description(), "two-component demo");
+    EXPECT_EQ(m.component_count(), 2u);
+
+    ComponentId ws = *m.find_component("WS");
+    EXPECT_EQ(m.component(ws).type, ComponentType::Compute);
+    EXPECT_EQ(m.component(ws).subsystem, "office");
+    EXPECT_TRUE(m.component(ws).external_facing);
+    EXPECT_EQ(m.component(ws).description, "engineering workstation");
+
+    const Attribute* role = m.find_attribute(ws, "role");
+    ASSERT_NE(role, nullptr);
+    EXPECT_EQ(role->kind, AttributeKind::Descriptor);
+    EXPECT_EQ(role->fidelity, Fidelity::Conceptual); // explicit override
+
+    const Attribute* os = m.find_attribute(ws, "os");
+    ASSERT_NE(os, nullptr);
+    EXPECT_EQ(os->kind, AttributeKind::PlatformRef);
+    EXPECT_EQ(os->fidelity, Fidelity::Implementation); // default for platform
+    ASSERT_TRUE(os->platform.has_value());
+    EXPECT_EQ(os->platform->vendor, "microsoft");
+
+    const Attribute* uptime = m.find_attribute(ws, "uptime");
+    ASSERT_NE(uptime, nullptr);
+    EXPECT_EQ(uptime->kind, AttributeKind::Parameter);
+
+    ASSERT_EQ(m.connectors().size(), 2u);
+    EXPECT_TRUE(m.connectors()[0].bidirectional);
+    EXPECT_EQ(m.connectors()[0].kind, ChannelKind::Ethernet);
+    EXPECT_FALSE(m.connectors()[1].bidirectional);
+    EXPECT_EQ(m.connectors()[1].fidelity, Fidelity::Implementation);
+}
+
+TEST(Dsl, RoundTripIsDiffEmpty) {
+    SystemModel original = parse_dsl(kSample);
+    SystemModel reparsed = parse_dsl(to_dsl(original));
+    EXPECT_TRUE(diff(original, reparsed).empty()) << to_string(diff(original, reparsed));
+}
+
+TEST(Dsl, CentrifugeFixtureRoundTrips) {
+    SystemModel original = synth::centrifuge_model();
+    SystemModel reparsed = parse_dsl(to_dsl(original));
+    EXPECT_TRUE(diff(original, reparsed).empty()) << to_string(diff(original, reparsed));
+    EXPECT_EQ(reparsed.description(), original.description());
+}
+
+TEST(Dsl, UavFixtureRoundTrips) {
+    SystemModel original = synth::uav_model();
+    SystemModel reparsed = parse_dsl(to_dsl(original));
+    EXPECT_TRUE(diff(original, reparsed).empty());
+}
+
+TEST(Dsl, EscapedStringsRoundTrip) {
+    SystemModel m("quote\"and\\slash", "line\nbreak");
+    m.add_component("C \"1\"", ComponentType::Other);
+    SystemModel reparsed = parse_dsl(to_dsl(m));
+    EXPECT_EQ(reparsed.name(), "quote\"and\\slash");
+    EXPECT_EQ(reparsed.description(), "line\nbreak");
+    EXPECT_TRUE(reparsed.find_component("C \"1\"").has_value());
+}
+
+TEST(Dsl, SyntaxErrors) {
+    EXPECT_THROW(parse_dsl(""), cybok::ParseError);
+    EXPECT_THROW(parse_dsl("system \"x\" {"), cybok::ParseError); // unterminated block
+    EXPECT_THROW(parse_dsl("system \"x\" { bogus }"), cybok::ParseError);
+    EXPECT_THROW(parse_dsl("system \"x\" { component \"a\" type=compute { descriptor r = } }"),
+                 cybok::ParseError); // missing string
+    EXPECT_THROW(parse_dsl("system \"x\" {} trailing"), cybok::ParseError);
+    EXPECT_THROW(parse_dsl("system \"x\" { component \"a\" type=warp-drive {} }"),
+                 cybok::ParseError); // unknown enum
+    EXPECT_THROW(parse_dsl("system \"x\" { component \"a\" type=compute { descriptor r = \"v\" fidelity=ultra } }"),
+                 cybok::ParseError);
+}
+
+TEST(Dsl, SemanticErrors) {
+    // Platform attribute without cpe.
+    EXPECT_THROW(parse_dsl(R"(system "x" {
+        component "a" type=compute { platform os = "Win" } })"),
+                 cybok::ValidationError);
+    // Connect to unknown component.
+    EXPECT_THROW(parse_dsl(R"(system "x" {
+        component "a" type=compute {}
+        connect "a" -> "ghost" via "l" })"),
+                 cybok::ValidationError);
+    // Missing component type.
+    EXPECT_THROW(parse_dsl(R"(system "x" { component "a" {} })"), cybok::ValidationError);
+    // Duplicate component.
+    EXPECT_THROW(parse_dsl(R"(system "x" {
+        component "a" type=compute {}
+        component "a" type=compute {} })"),
+                 cybok::ValidationError);
+}
+
+TEST(Dsl, CommentsAndWhitespaceIgnored) {
+    SystemModel m = parse_dsl(R"(
+# leading comment
+system "c" { # trailing comment
+  component "only" type=sensor {
+    # comment inside block
+  }
+}
+)");
+    EXPECT_EQ(m.component_count(), 1u);
+}
+
+TEST(Dsl, FileRoundTrip) {
+    std::string path = testing::TempDir() + "/cybok_dsl_test.sysm";
+    save_dsl(path, synth::centrifuge_model());
+    SystemModel loaded = load_dsl(path);
+    EXPECT_EQ(loaded.component_count(), 6u);
+    EXPECT_THROW(load_dsl("/nonexistent/x.sysm"), cybok::IoError);
+}

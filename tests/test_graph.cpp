@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/property_graph.hpp"
+
+using namespace cybok::graph;
+
+namespace {
+
+/// a -> b -> c -> d with a side edge a -> c.
+PropertyGraph diamondish() {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    NodeId d = g.add_node("d");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, d);
+    g.add_edge(a, c);
+    return g;
+}
+
+} // namespace
+
+TEST(PropertyGraph, AddAndQueryNodes) {
+    PropertyGraph g;
+    NodeId a = g.add_node("alpha");
+    NodeId b = g.add_node("beta");
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.node(a).label, "alpha");
+    EXPECT_EQ(g.node(b).label, "beta");
+    EXPECT_TRUE(g.contains(a));
+    EXPECT_EQ(g.find_node("beta"), b);
+    EXPECT_FALSE(g.find_node("gamma").has_value());
+}
+
+TEST(PropertyGraph, EdgesAndAdjacency) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    EdgeId e = g.add_edge(a, b, "link");
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.edge(e).label, "link");
+    EXPECT_EQ(g.out_degree(a), 1u);
+    EXPECT_EQ(g.in_degree(b), 1u);
+    EXPECT_EQ(g.successors(a), std::vector<NodeId>{b});
+    EXPECT_EQ(g.predecessors(b), std::vector<NodeId>{a});
+    EXPECT_TRUE(g.find_edge(a, b).has_value());
+    EXPECT_FALSE(g.find_edge(b, a).has_value());
+}
+
+TEST(PropertyGraph, MultigraphAllowsParallelEdges) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    g.add_edge(a, b, "one");
+    g.add_edge(a, b, "two");
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_EQ(g.out_degree(a), 2u);
+}
+
+TEST(PropertyGraph, RemoveEdge) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    EdgeId e = g.add_edge(a, b);
+    g.remove_edge(e);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_FALSE(g.contains(e));
+    EXPECT_EQ(g.out_degree(a), 0u);
+    EXPECT_THROW(g.remove_edge(e), cybok::NotFoundError);
+}
+
+TEST(PropertyGraph, RemoveNodeRemovesIncidentEdges) {
+    PropertyGraph g = diamondish();
+    NodeId c = *g.find_node("c");
+    g.remove_node(c);
+    EXPECT_EQ(g.node_count(), 3u);
+    EXPECT_EQ(g.edge_count(), 1u); // only a->b survives
+    EXPECT_THROW((void)g.node(c), cybok::NotFoundError);
+}
+
+TEST(PropertyGraph, NodeIdsNotReused) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    g.remove_node(a);
+    NodeId b = g.add_node("b");
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(g.contains(a));
+}
+
+TEST(PropertyGraph, Properties) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    g.set_property(a, "type", std::string("controller"));
+    g.set_property(a, "count", std::int64_t{42});
+    g.set_property(a, "score", 2.5);
+    g.set_property(a, "flag", true);
+    ASSERT_NE(g.get_property(a, "type"), nullptr);
+    EXPECT_EQ(std::get<std::string>(*g.get_property(a, "type")), "controller");
+    EXPECT_EQ(std::get<std::int64_t>(*g.get_property(a, "count")), 42);
+    EXPECT_EQ(g.get_property(a, "missing"), nullptr);
+    // Overwrite.
+    g.set_property(a, "count", std::int64_t{7});
+    EXPECT_EQ(std::get<std::int64_t>(*g.get_property(a, "count")), 7);
+}
+
+TEST(PropertyGraph, PropertyToString) {
+    EXPECT_EQ(property_to_string(Property(std::string("x"))), "x");
+    EXPECT_EQ(property_to_string(Property(std::int64_t{5})), "5");
+    EXPECT_EQ(property_to_string(Property(true)), "true");
+    EXPECT_EQ(property_to_string(Property(false)), "false");
+}
+
+TEST(PropertyGraph, NeighborsDeduplicates) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+    EXPECT_EQ(g.neighbors(a), std::vector<NodeId>{b});
+}
+
+// ------------------------------------------------------------ algorithms
+
+TEST(GraphAlgorithms, BfsOrderFromSource) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    std::vector<NodeId> order = bfs_order(g, a);
+    EXPECT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), a);
+}
+
+TEST(GraphAlgorithms, BfsBackward) {
+    PropertyGraph g = diamondish();
+    NodeId d = *g.find_node("d");
+    EXPECT_EQ(bfs_order(g, d, Direction::Forward).size(), 1u);
+    EXPECT_EQ(bfs_order(g, d, Direction::Backward).size(), 4u);
+}
+
+TEST(GraphAlgorithms, ReachableFromMultipleSources) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    g.add_edge(a, c);
+    std::vector<NodeId> r = reachable_from(g, {a, b});
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(GraphAlgorithms, TopologicalOrderOfDag) {
+    PropertyGraph g = diamondish();
+    auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    auto pos = [&](std::string_view name) {
+        NodeId n = *g.find_node(name);
+        return std::find(order->begin(), order->end(), n) - order->begin();
+    };
+    EXPECT_LT(pos("a"), pos("b"));
+    EXPECT_LT(pos("b"), pos("c"));
+    EXPECT_LT(pos("c"), pos("d"));
+}
+
+TEST(GraphAlgorithms, CycleDetection) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    g.add_edge(a, b);
+    EXPECT_FALSE(has_cycle(g));
+    g.add_edge(b, a);
+    EXPECT_TRUE(has_cycle(g));
+    EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(GraphAlgorithms, WeaklyConnectedComponents) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    g.add_node("isolated");
+    g.add_edge(a, b);
+    auto comps = weakly_connected_components(g);
+    ASSERT_EQ(comps.size(), 2u);
+    EXPECT_EQ(comps[0].size(), 2u);
+    EXPECT_EQ(comps[1].size(), 1u);
+}
+
+TEST(GraphAlgorithms, ShortestPathPrefersFewerHops) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    NodeId d = *g.find_node("d");
+    std::vector<NodeId> path = shortest_path(g, a, d);
+    ASSERT_EQ(path.size(), 3u); // a -> c -> d
+    EXPECT_EQ(g.node(path[1]).label, "c");
+}
+
+TEST(GraphAlgorithms, ShortestPathUnreachableIsEmpty) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    EXPECT_TRUE(shortest_path(g, a, b).empty());
+    EXPECT_EQ(shortest_path(g, a, a).size(), 1u);
+}
+
+TEST(GraphAlgorithms, BfsDistances) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    std::vector<std::uint32_t> dist = bfs_distances(g, a);
+    EXPECT_EQ(dist[a.value], 0u);
+    EXPECT_EQ(dist[g.find_node("b")->value], 1u);
+    EXPECT_EQ(dist[g.find_node("c")->value], 1u);
+    EXPECT_EQ(dist[g.find_node("d")->value], 2u);
+}
+
+TEST(GraphAlgorithms, AllSimplePathsEnumeratesBoth) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    NodeId d = *g.find_node("d");
+    auto paths = all_simple_paths(g, a, d, 5);
+    EXPECT_EQ(paths.size(), 2u); // a-b-c-d and a-c-d
+}
+
+TEST(GraphAlgorithms, AllSimplePathsRespectsHopLimit) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    NodeId d = *g.find_node("d");
+    auto paths = all_simple_paths(g, a, d, 2);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].size(), 3u);
+}
+
+TEST(GraphAlgorithms, KShortestPathsOrdered) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    NodeId d = *g.find_node("d");
+    auto paths = k_shortest_paths(g, a, d, 10);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_LE(paths[0].size(), paths[1].size());
+    auto one = k_shortest_paths(g, a, d, 1);
+    EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(GraphAlgorithms, DegreeCentrality) {
+    PropertyGraph g = diamondish();
+    auto deg = degree_centrality(g);
+    EXPECT_EQ(deg[*g.find_node("a")], 2u);
+    EXPECT_EQ(deg[*g.find_node("c")], 3u);
+    EXPECT_EQ(deg[*g.find_node("d")], 1u);
+}
+
+TEST(GraphAlgorithms, BetweennessCentralityOnPath) {
+    // a -> b -> c: b lies on the single a..c shortest path.
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    auto cb = betweenness_centrality(g);
+    EXPECT_DOUBLE_EQ(cb[b], 1.0);
+    EXPECT_DOUBLE_EQ(cb[a], 0.0);
+    EXPECT_DOUBLE_EQ(cb[c], 0.0);
+}
+
+TEST(GraphAlgorithms, BetweennessSplitsOverEqualPaths) {
+    // Two parallel 2-hop routes a->{b,c}->d: each midpoint carries half.
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    NodeId d = g.add_node("d");
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+    g.add_edge(b, d);
+    g.add_edge(c, d);
+    auto cb = betweenness_centrality(g);
+    EXPECT_DOUBLE_EQ(cb[b], 0.5);
+    EXPECT_DOUBLE_EQ(cb[c], 0.5);
+}
+
+TEST(GraphAlgorithms, ArticulationPoints) {
+    // a - b - c (undirected view): b is the cut vertex.
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    auto points = articulation_points(g);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0], b);
+}
+
+TEST(GraphAlgorithms, ArticulationPointsNoneInCycle) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, a);
+    EXPECT_TRUE(articulation_points(g).empty());
+}
+
+TEST(GraphAlgorithms, InducedSubgraph) {
+    PropertyGraph g = diamondish();
+    g.set_property(*g.find_node("a"), "k", std::string("v"));
+    std::vector<NodeId> keep{*g.find_node("a"), *g.find_node("c"), *g.find_node("d")};
+    Subgraph sub = induced_subgraph(g, keep);
+    EXPECT_EQ(sub.graph.node_count(), 3u);
+    EXPECT_EQ(sub.graph.edge_count(), 2u); // a->c, c->d survive
+    NodeId na = sub.node_map.at(*g.find_node("a"));
+    ASSERT_NE(sub.graph.get_property(na, "k"), nullptr);
+}
+
+TEST(GraphAlgorithms, DfsPostorderVisitsAll) {
+    PropertyGraph g = diamondish();
+    auto order = dfs_postorder(g);
+    EXPECT_EQ(order.size(), 4u);
+    // Postorder property: a (the root reaching all) comes last among its
+    // reachable set.
+    EXPECT_EQ(g.node(order.back()).label, "a");
+}
+
+TEST(GraphAlgorithms, SccDagIsAllSingletons) {
+    PropertyGraph g = diamondish();
+    auto sccs = strongly_connected_components(g);
+    EXPECT_EQ(sccs.size(), 4u);
+    for (const auto& comp : sccs) EXPECT_EQ(comp.size(), 1u);
+}
+
+TEST(GraphAlgorithms, SccFindsCycle) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    NodeId d = g.add_node("d");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, a); // cycle a-b-c
+    g.add_edge(c, d); // tail
+    auto sccs = strongly_connected_components(g);
+    ASSERT_EQ(sccs.size(), 2u);
+    EXPECT_EQ(sccs[0].size(), 3u); // {a,b,c} sorted first (contains node 0)
+    EXPECT_EQ(sccs[0][0], a);
+    EXPECT_EQ(sccs[1], std::vector<NodeId>{d});
+}
+
+TEST(GraphAlgorithms, SccTwoSeparateCycles) {
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId c = g.add_node("c");
+    NodeId d = g.add_node("d");
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+    g.add_edge(c, d);
+    g.add_edge(d, c);
+    g.add_edge(b, c); // one-way bridge keeps them separate SCCs
+    auto sccs = strongly_connected_components(g);
+    ASSERT_EQ(sccs.size(), 2u);
+    EXPECT_EQ(sccs[0].size(), 2u);
+    EXPECT_EQ(sccs[1].size(), 2u);
+}
+
+TEST(GraphAlgorithms, SccEmptyAndSelfLoop) {
+    PropertyGraph empty;
+    EXPECT_TRUE(strongly_connected_components(empty).empty());
+    PropertyGraph g;
+    NodeId a = g.add_node("a");
+    g.add_edge(a, a);
+    auto sccs = strongly_connected_components(g);
+    ASSERT_EQ(sccs.size(), 1u);
+    EXPECT_EQ(sccs[0], std::vector<NodeId>{a});
+}

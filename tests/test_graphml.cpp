@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/graphml.hpp"
+
+using namespace cybok::graph;
+
+namespace {
+PropertyGraph sample() {
+    PropertyGraph g;
+    NodeId a = g.add_node("Programming WS");
+    NodeId b = g.add_node("Control <firewall> & \"friends\"");
+    g.set_property(a, "type", std::string("compute"));
+    g.set_property(a, "external", true);
+    g.set_property(a, "count", std::int64_t{42});
+    g.set_property(a, "score", 3.25);
+    EdgeId e = g.add_edge(a, b, "engineering");
+    g.set_property(e, "channel", std::string("ethernet"));
+    return g;
+}
+} // namespace
+
+TEST(GraphML, RoundTripPreservesStructure) {
+    PropertyGraph g = sample();
+    PropertyGraph g2 = from_graphml(to_graphml(g));
+    EXPECT_EQ(g2.node_count(), g.node_count());
+    EXPECT_EQ(g2.edge_count(), g.edge_count());
+    auto a = g2.find_node("Programming WS");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(g2.find_node("Control <firewall> & \"friends\"").has_value());
+}
+
+TEST(GraphML, RoundTripPreservesTypedProperties) {
+    PropertyGraph g2 = from_graphml(to_graphml(sample()));
+    NodeId a = *g2.find_node("Programming WS");
+    ASSERT_NE(g2.get_property(a, "type"), nullptr);
+    EXPECT_EQ(std::get<std::string>(*g2.get_property(a, "type")), "compute");
+    EXPECT_EQ(std::get<bool>(*g2.get_property(a, "external")), true);
+    EXPECT_EQ(std::get<std::int64_t>(*g2.get_property(a, "count")), 42);
+    EXPECT_DOUBLE_EQ(std::get<double>(*g2.get_property(a, "score")), 3.25);
+}
+
+TEST(GraphML, RoundTripPreservesEdgeProperties) {
+    PropertyGraph g2 = from_graphml(to_graphml(sample()));
+    ASSERT_EQ(g2.edges().size(), 1u);
+    EdgeId e = g2.edges()[0];
+    EXPECT_EQ(g2.edge(e).label, "engineering");
+    EXPECT_EQ(std::get<std::string>(*g2.get_property(e, "channel")), "ethernet");
+}
+
+TEST(GraphML, EscapesXmlSpecials) {
+    std::string xml = to_graphml(sample());
+    EXPECT_EQ(xml.find("<firewall>"), std::string::npos);
+    EXPECT_NE(xml.find("&lt;firewall&gt;"), std::string::npos);
+}
+
+TEST(GraphML, EmptyGraph) {
+    PropertyGraph g2 = from_graphml(to_graphml(PropertyGraph{}));
+    EXPECT_EQ(g2.node_count(), 0u);
+    EXPECT_EQ(g2.edge_count(), 0u);
+}
+
+TEST(GraphML, RejectsMalformedDocuments) {
+    EXPECT_THROW(from_graphml("not xml"), cybok::ParseError);
+    EXPECT_THROW(from_graphml("<graphml><graph><node id=\"n0\"/></graph>"),
+                 cybok::ParseError); // unterminated root
+    EXPECT_THROW(from_graphml("<wrong/>"), cybok::ParseError);
+    // Edge referencing unknown node.
+    EXPECT_THROW(from_graphml(R"(<graphml><graph id="G" edgedefault="directed">
+        <edge id="e0" source="n0" target="n1"/></graph></graphml>)"),
+                 cybok::ParseError);
+    // Undeclared data key.
+    EXPECT_THROW(from_graphml(R"(<graphml><graph id="G" edgedefault="directed">
+        <node id="n0"><data key="k9">x</data></node></graph></graphml>)"),
+                 cybok::ParseError);
+}
+
+TEST(GraphML, ParsesHandWrittenDocument) {
+    PropertyGraph g = from_graphml(R"(<?xml version="1.0"?>
+      <!-- exported from an external tool -->
+      <graphml>
+        <key id="d0" for="node" attr.name="label" attr.type="string"/>
+        <key id="d1" for="node" attr.name="weight" attr.type="double"/>
+        <graph id="net" edgedefault="directed">
+          <node id="a"><data key="d0">first</data><data key="d1">1.5</data></node>
+          <node id="b"><data key="d0">second</data></node>
+          <edge id="e" source="a" target="b"/>
+        </graph>
+      </graphml>)");
+    EXPECT_EQ(g.node_count(), 2u);
+    NodeId a = *g.find_node("first");
+    EXPECT_DOUBLE_EQ(std::get<double>(*g.get_property(a, "weight")), 1.5);
+}
+
+TEST(GraphML, FileRoundTrip) {
+    std::string path = testing::TempDir() + "/cybok_graphml_test.graphml";
+    save_graphml(path, sample());
+    PropertyGraph g2 = load_graphml(path);
+    EXPECT_EQ(g2.node_count(), 2u);
+    EXPECT_THROW(load_graphml("/nonexistent/x.graphml"), cybok::IoError);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+    DotOptions opts;
+    opts.graph_name = "demo";
+    opts.rankdir_lr = true;
+    std::string dot = to_dot(sample(), opts);
+    EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+    EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+    EXPECT_NE(dot.find("Programming WS"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("[label=\"engineering\"]"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+    std::string dot = to_dot(sample());
+    EXPECT_NE(dot.find("\\\"friends\\\""), std::string::npos);
+}
+
+TEST(Dot, AnnotationAndFillcolor) {
+    PropertyGraph g;
+    NodeId a = g.add_node("hot");
+    g.set_property(a, "dot.fillcolor", std::string("salmon"));
+    g.set_property(a, "vectors", std::int64_t{99});
+    DotOptions opts;
+    opts.annotation_key = "vectors";
+    std::string dot = to_dot(g, opts);
+    EXPECT_NE(dot.find("fillcolor=\"salmon\""), std::string::npos);
+    EXPECT_NE(dot.find("hot\\n99"), std::string::npos);
+}

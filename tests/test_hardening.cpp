@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/hardening.hpp"
+#include "search/engine.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+using namespace cybok::analysis;
+
+namespace {
+
+/// Stub associations: component -> match count.
+search::AssociationMap stub(std::initializer_list<std::pair<const char*, int>> items) {
+    search::AssociationMap map;
+    for (const auto& [name, n] : items) {
+        search::ComponentAssociation ca;
+        ca.component = name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "role";
+        aa.attribute_value = "stub";
+        for (int i = 0; i < n; ++i) {
+            search::Match m;
+            m.cls = search::VectorClass::Weakness;
+            m.id = "CWE-" + std::to_string(100 + i);
+            aa.matches.push_back(std::move(m));
+        }
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+} // namespace
+
+TEST(Hardening, FirewallIsTheChokePoint) {
+    model::SystemModel m = synth::centrifuge_model();
+    safety::HazardModel hazards = synth::centrifuge_hazards();
+    // Everything on the WS-to-controller chain carries vectors.
+    auto assoc = stub({{"Programming WS", 5},
+                       {"Control firewall", 2},
+                       {"BPCS platform", 4},
+                       {"SIS platform", 3}});
+    auto ranked = rank_hardening_candidates(m, assoc, &hazards);
+    ASSERT_FALSE(ranked.empty());
+    // Hardening the firewall or the WS cuts every externally-initiated
+    // path; the top candidate must block a positive number of traces.
+    EXPECT_GT(ranked.front().traces_blocked, 0u);
+    // The firewall sits on every WS->controller path and is an
+    // articulation point of the architecture.
+    auto fw = std::find_if(ranked.begin(), ranked.end(), [](const HardeningCandidate& c) {
+        return c.component == "Control firewall";
+    });
+    ASSERT_NE(fw, ranked.end());
+    EXPECT_TRUE(fw->articulation_point);
+    EXPECT_GT(fw->paths_cut, 0u);
+}
+
+TEST(Hardening, ComponentsWithoutVectorsNotCandidates) {
+    model::SystemModel m = synth::centrifuge_model();
+    auto assoc = stub({{"Programming WS", 3}, {"Centrifuge", 0}});
+    auto ranked = rank_hardening_candidates(m, assoc, nullptr);
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0].component, "Programming WS");
+    EXPECT_EQ(ranked[0].vectors_removed, 3u);
+}
+
+TEST(Hardening, OrderingIsDeterministicAndSorted) {
+    model::SystemModel m = synth::centrifuge_model();
+    safety::HazardModel hazards = synth::centrifuge_hazards();
+    auto assoc = stub({{"Programming WS", 5},
+                       {"Control firewall", 2},
+                       {"BPCS platform", 4},
+                       {"Temperature sensor", 1}});
+    auto a = rank_hardening_candidates(m, assoc, &hazards);
+    auto b = rank_hardening_candidates(m, assoc, &hazards);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].component, b[i].component);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        // Sorted by traces blocked first.
+        EXPECT_GE(a[i - 1].traces_blocked, a[i].traces_blocked);
+    }
+}
+
+TEST(Hardening, ExplicitTargets) {
+    model::SystemModel m = synth::centrifuge_model();
+    auto assoc = stub({{"Programming WS", 2}, {"Control firewall", 1}, {"BPCS platform", 2}});
+    HardeningOptions opts;
+    opts.targets = {"BPCS platform"};
+    auto ranked = rank_hardening_candidates(m, assoc, nullptr, opts);
+    // Hardening the firewall cuts the single WS->FW->BPCS path.
+    auto fw = std::find_if(ranked.begin(), ranked.end(), [](const HardeningCandidate& c) {
+        return c.component == "Control firewall";
+    });
+    ASSERT_NE(fw, ranked.end());
+    EXPECT_EQ(fw->paths_cut, 1u);
+}
+
+TEST(Hardening, EmptyAssociationsNoCandidates) {
+    model::SystemModel m = synth::centrifuge_model();
+    EXPECT_TRUE(rank_hardening_candidates(m, search::AssociationMap{}, nullptr).empty());
+}

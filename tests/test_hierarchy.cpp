@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "kb/hierarchy.hpp"
+#include "util/error.hpp"
+
+using namespace cybok::kb;
+
+namespace {
+
+/// Weakness tree: 1 -> {2 -> {4, 5}, 3}; 6 is a second root.
+/// Pattern tree: 10 -> 11.
+Corpus tree_corpus() {
+    Corpus c;
+    auto add_w = [&c](std::uint32_t id, std::uint32_t parent) {
+        Weakness w;
+        w.id = WeaknessId{id};
+        w.name = "W" + std::to_string(id);
+        w.parent = WeaknessId{parent};
+        c.add(w);
+    };
+    add_w(1, 0);
+    add_w(2, 1);
+    add_w(3, 1);
+    add_w(4, 2);
+    add_w(5, 2);
+    add_w(6, 0);
+
+    auto add_p = [&c](std::uint32_t id, std::uint32_t parent) {
+        AttackPattern p;
+        p.id = AttackPatternId{id};
+        p.parent = AttackPatternId{parent};
+        c.add(p);
+    };
+    add_p(10, 0);
+    add_p(11, 10);
+    c.reindex();
+    return c;
+}
+
+} // namespace
+
+TEST(Hierarchy, AncestorsWalkToRoot) {
+    Corpus c = tree_corpus();
+    Hierarchy h(c);
+    auto chain = h.ancestors(WeaknessId{4});
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0].value, 2u);
+    EXPECT_EQ(chain[1].value, 1u);
+    EXPECT_TRUE(h.ancestors(WeaknessId{1}).empty());
+    EXPECT_TRUE(h.ancestors(WeaknessId{99}).empty()); // unknown id
+}
+
+TEST(Hierarchy, RootResolution) {
+    Corpus c = tree_corpus();
+    Hierarchy h(c);
+    EXPECT_EQ(h.root(WeaknessId{4}).value, 1u);
+    EXPECT_EQ(h.root(WeaknessId{3}).value, 1u);
+    EXPECT_EQ(h.root(WeaknessId{6}).value, 6u); // own root
+    EXPECT_EQ(h.root(AttackPatternId{11}).value, 10u);
+}
+
+TEST(Hierarchy, Children) {
+    Corpus c = tree_corpus();
+    Hierarchy h(c);
+    auto kids = h.children(WeaknessId{1});
+    ASSERT_EQ(kids.size(), 2u);
+    EXPECT_EQ(kids[0].value, 2u);
+    EXPECT_EQ(kids[1].value, 3u);
+    EXPECT_TRUE(h.children(WeaknessId{4}).empty());
+    EXPECT_EQ(h.children(AttackPatternId{10}).size(), 1u);
+}
+
+TEST(Hierarchy, Descendants) {
+    Corpus c = tree_corpus();
+    Hierarchy h(c);
+    auto sub = h.descendants(WeaknessId{1});
+    ASSERT_EQ(sub.size(), 4u); // 2,3,4,5
+    EXPECT_EQ(sub[0].value, 2u);
+    EXPECT_EQ(sub[3].value, 5u);
+    EXPECT_TRUE(h.descendants(WeaknessId{6}).empty());
+}
+
+TEST(Hierarchy, DepthAndRoots) {
+    Corpus c = tree_corpus();
+    Hierarchy h(c);
+    EXPECT_EQ(h.depth(WeaknessId{1}), 0u);
+    EXPECT_EQ(h.depth(WeaknessId{2}), 1u);
+    EXPECT_EQ(h.depth(WeaknessId{4}), 2u);
+    auto roots = h.weakness_roots();
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_EQ(roots[0].value, 1u);
+    EXPECT_EQ(roots[1].value, 6u);
+}
+
+TEST(Hierarchy, CycleDetected) {
+    Corpus c;
+    Weakness a;
+    a.id = WeaknessId{1};
+    a.parent = WeaknessId{2};
+    c.add(a);
+    Weakness b;
+    b.id = WeaknessId{2};
+    b.parent = WeaknessId{1};
+    c.add(b);
+    c.reindex();
+    Hierarchy h(c);
+    EXPECT_THROW((void)h.ancestors(WeaknessId{1}), cybok::ValidationError);
+}

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "kb/hierarchy.hpp"
+#include "kb/import_mitre.hpp"
+#include "kb/import_nvd.hpp"
+#include "synth/corpus_gen.hpp"
+
+using namespace cybok;
+using namespace cybok::kb;
+
+namespace {
+
+constexpr const char* kCweXml = R"(<?xml version="1.0"?>
+<Weakness_Catalog Name="CWE" Version="4.6">
+  <Weaknesses>
+    <Weakness ID="78" Name="OS Command Injection" Status="Stable">
+      <Description>The product constructs an OS command using
+        externally-influenced input.</Description>
+      <Related_Weaknesses>
+        <Related_Weakness Nature="ChildOf" CWE_ID="77"/>
+        <Related_Weakness Nature="CanAlsoBe" CWE_ID="88"/>
+      </Related_Weaknesses>
+      <Modes_Of_Introduction>
+        <Introduction><Phase>Implementation</Phase></Introduction>
+        <Introduction><Phase>Design</Phase></Introduction>
+      </Modes_Of_Introduction>
+      <Common_Consequences>
+        <Consequence><Scope>Integrity</Scope><Impact>Execute Unauthorized Commands</Impact></Consequence>
+      </Common_Consequences>
+      <Applicable_Platforms>
+        <Language Class="Language-Independent"/>
+        <Technology Name="ICS"/>
+      </Applicable_Platforms>
+    </Weakness>
+    <Weakness ID="77" Name="Command Injection" Status="Stable">
+      <Description>Improper neutralization of special elements.</Description>
+    </Weakness>
+    <Weakness ID="9999" Name="Old Thing" Status="Deprecated">
+      <Description>Superseded.</Description>
+    </Weakness>
+  </Weaknesses>
+</Weakness_Catalog>)";
+
+constexpr const char* kCapecXml = R"(<?xml version="1.0"?>
+<Attack_Pattern_Catalog Name="CAPEC" Version="3.7">
+  <Attack_Patterns>
+    <Attack_Pattern ID="88" Name="OS Command Injection" Status="Stable">
+      <Description>An attacker injects commands to a command interpreter.</Description>
+      <Likelihood_Of_Attack>High</Likelihood_Of_Attack>
+      <Typical_Severity>Very High</Typical_Severity>
+      <Prerequisites>
+        <Prerequisite>User-controllable input reaches a shell.</Prerequisite>
+      </Prerequisites>
+      <Related_Weaknesses>
+        <Related_Weakness CWE_ID="78"/>
+        <Related_Weakness CWE_ID="77"/>
+      </Related_Weaknesses>
+      <Domains_Of_Attack>
+        <Domain>Software</Domain>
+      </Domains_Of_Attack>
+    </Attack_Pattern>
+    <Attack_Pattern ID="248" Name="Command Injection" Status="Stable">
+      <Description>Parent pattern.</Description>
+    </Attack_Pattern>
+    <Attack_Pattern ID="1" Name="Gone" Status="Deprecated">
+      <Description>Deprecated.</Description>
+    </Attack_Pattern>
+  </Attack_Patterns>
+</Attack_Pattern_Catalog>)";
+
+} // namespace
+
+TEST(CweImport, ParsesCatalogSubset) {
+    MitreImportStats stats;
+    std::vector<Weakness> weaknesses = import_cwe_catalog_text(kCweXml, &stats);
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.imported, 2u);
+    EXPECT_EQ(stats.deprecated_skipped, 1u);
+
+    ASSERT_EQ(weaknesses.size(), 2u);
+    const Weakness& w = weaknesses[0];
+    EXPECT_EQ(w.id.value, 78u);
+    EXPECT_EQ(w.name, "OS Command Injection");
+    EXPECT_NE(w.description.find("externally-influenced"), std::string::npos);
+    EXPECT_EQ(w.parent.value, 77u); // ChildOf only, not CanAlsoBe
+    ASSERT_EQ(w.modes_of_introduction.size(), 2u);
+    EXPECT_EQ(w.modes_of_introduction[0], "Implementation");
+    ASSERT_EQ(w.consequences.size(), 1u);
+    EXPECT_EQ(w.consequences[0], "Integrity: Execute Unauthorized Commands");
+    ASSERT_EQ(w.applicable_platforms.size(), 2u);
+    EXPECT_EQ(w.applicable_platforms[0], "language-independent");
+    EXPECT_EQ(w.applicable_platforms[1], "ics");
+}
+
+TEST(CapecImport, ParsesCatalogSubset) {
+    MitreImportStats stats;
+    std::vector<AttackPattern> patterns = import_capec_catalog_text(kCapecXml, &stats);
+    EXPECT_EQ(stats.imported, 2u);
+    EXPECT_EQ(stats.deprecated_skipped, 1u);
+
+    const AttackPattern& p = patterns[0];
+    EXPECT_EQ(p.id.value, 88u);
+    EXPECT_EQ(p.likelihood, Rating::High);
+    EXPECT_EQ(p.typical_severity, Rating::VeryHigh);
+    ASSERT_EQ(p.prerequisites.size(), 1u);
+    ASSERT_EQ(p.related_weaknesses.size(), 2u);
+    EXPECT_EQ(p.related_weaknesses[0].value, 78u);
+    ASSERT_EQ(p.domains.size(), 1u);
+    EXPECT_EQ(p.domains[0], "software");
+}
+
+TEST(MitreImport, RejectsWrongRoots) {
+    EXPECT_THROW((void)import_cwe_catalog_text("<Wrong/>"), cybok::ValidationError);
+    EXPECT_THROW((void)import_capec_catalog_text("<Wrong/>"), cybok::ValidationError);
+    EXPECT_THROW((void)import_cwe_catalog_text("<Weakness_Catalog/>"),
+                 cybok::ValidationError);
+    EXPECT_THROW((void)import_cwe_catalog_text("not xml"), cybok::ParseError);
+}
+
+TEST(MitreImport, CweExportImportRoundTrip) {
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.02, 5));
+    std::vector<Weakness> original(corpus.weaknesses().begin(), corpus.weaknesses().end());
+    // related_patterns is a derived field; clear it for comparison.
+    for (Weakness& w : original) w.related_patterns.clear();
+
+    std::vector<Weakness> back = import_cwe_catalog_text(export_cwe_catalog(original));
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(back[i].id, original[i].id);
+        EXPECT_EQ(back[i].name, original[i].name);
+        EXPECT_EQ(back[i].description, original[i].description);
+        EXPECT_EQ(back[i].parent, original[i].parent);
+        EXPECT_EQ(back[i].modes_of_introduction, original[i].modes_of_introduction);
+        EXPECT_EQ(back[i].applicable_platforms, original[i].applicable_platforms);
+    }
+}
+
+TEST(MitreImport, CapecExportImportRoundTrip) {
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.02, 5));
+    std::vector<AttackPattern> original(corpus.patterns().begin(), corpus.patterns().end());
+    std::vector<AttackPattern> back =
+        import_capec_catalog_text(export_capec_catalog(original));
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(back[i].id, original[i].id);
+        EXPECT_EQ(back[i].name, original[i].name);
+        EXPECT_EQ(back[i].likelihood, original[i].likelihood);
+        EXPECT_EQ(back[i].typical_severity, original[i].typical_severity);
+        EXPECT_EQ(back[i].related_weaknesses, original[i].related_weaknesses);
+        EXPECT_EQ(back[i].parent, original[i].parent);
+    }
+}
+
+TEST(MitreImport, FullCorpusFromMitreFormats) {
+    // Generate a corpus, serialize each family into its MITRE distribution
+    // format, reassemble, and verify cross-references still resolve.
+    kb::Corpus original = synth::generate_corpus(synth::CorpusProfile::scaled(0.02, 9));
+    std::vector<Weakness> ws(original.weaknesses().begin(), original.weaknesses().end());
+    std::vector<AttackPattern> ps(original.patterns().begin(), original.patterns().end());
+    std::vector<Vulnerability> vs(original.vulnerabilities().begin(),
+                                  original.vulnerabilities().end());
+
+    Corpus rebuilt = corpus_from_mitre(export_cwe_catalog(ws), export_capec_catalog(ps),
+                                       json::dump(export_nvd_feed(vs)));
+    Corpus::Stats a = original.stats();
+    Corpus::Stats b = rebuilt.stats();
+    EXPECT_EQ(a.patterns, b.patterns);
+    EXPECT_EQ(a.weaknesses, b.weaknesses);
+    EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+    EXPECT_EQ(a.pattern_weakness_links, b.pattern_weakness_links);
+
+    // Hierarchy still works on the rebuilt corpus.
+    Hierarchy h(rebuilt);
+    EXPECT_FALSE(h.weakness_roots().empty());
+}

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "cvss/cvss2.hpp"
+#include "kb/import_nvd.hpp"
+#include "synth/corpus_gen.hpp"
+
+using namespace cybok;
+using namespace cybok::kb;
+
+namespace {
+constexpr const char* kFeed = R"({
+  "CVE_data_type": "CVE",
+  "CVE_Items": [
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2019-10953"},
+        "problemtype": {"problemtype_data": [
+          {"description": [{"lang": "en", "value": "CWE-78"},
+                           {"lang": "en", "value": "NVD-CWE-noinfo"}]}]},
+        "description": {"description_data": [
+          {"lang": "de", "value": "nicht relevant"},
+          {"lang": "en", "value": "A command injection in the controller firmware."}]}
+      },
+      "configurations": {"nodes": [
+        {"operator": "OR", "cpe_match": [
+          {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:ni:rt_linux:8.5:*:*:*:*:*:*:*"},
+          {"vulnerable": false, "cpe23Uri": "cpe:2.3:h:ni:crio_9063:*:*:*:*:*:*:*:*"}],
+         "children": [
+          {"operator": "OR", "cpe_match": [
+            {"vulnerable": true, "cpe23Uri": "cpe:2.3:a:ni:labview:2019:*:*:*:*:*:*:*"}]}]}]},
+      "impact": {"baseMetricV3": {"cvssV3": {
+        "vectorString": "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"}}}
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2008-1234"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "An old flaw scored with v2 only."}]}
+      },
+      "impact": {"baseMetricV2": {"cvssV2": {"vectorString": "AV:N/AC:L/Au:N/C:P/I:P/A:P"}}}
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2020-9999"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "** REJECT ** withdrawn by the assigning CNA."}]}
+      }
+    }
+  ]
+})";
+} // namespace
+
+TEST(NvdImport, ParsesFeedSubset) {
+    NvdImportStats stats;
+    std::vector<Vulnerability> vulns = import_nvd_feed_text(kFeed, &stats);
+
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.imported, 2u);
+    EXPECT_EQ(stats.skipped_rejected, 1u);
+    EXPECT_EQ(stats.without_cwe, 1u);       // the 2008 record
+    EXPECT_EQ(stats.without_platforms, 1u); // the 2008 record
+    EXPECT_EQ(stats.without_cvss, 0u);
+
+    ASSERT_EQ(vulns.size(), 2u);
+    const Vulnerability& v = vulns[0];
+    EXPECT_EQ(v.id.to_string(), "CVE-2019-10953");
+    EXPECT_NE(v.description.find("command injection"), std::string::npos);
+    ASSERT_EQ(v.weaknesses.size(), 1u); // "NVD-CWE-noinfo" skipped
+    EXPECT_EQ(v.weaknesses[0].value, 78u);
+    // Only vulnerable bindings, including nested children.
+    ASSERT_EQ(v.platforms.size(), 2u);
+    EXPECT_EQ(v.platforms[0].product, "rt_linux");
+    EXPECT_EQ(v.platforms[0].version, "8.5");
+    EXPECT_EQ(v.platforms[1].product, "labview");
+    EXPECT_TRUE(v.cvss_vector.starts_with("CVSS:3.1/"));
+}
+
+TEST(NvdImport, V2OnlyRecordKeepsV2Vector) {
+    std::vector<Vulnerability> vulns = import_nvd_feed_text(kFeed);
+    ASSERT_EQ(vulns.size(), 2u);
+    EXPECT_EQ(vulns[1].cvss_vector, "AV:N/AC:L/Au:N/C:P/I:P/A:P");
+    // score_any handles it downstream.
+    EXPECT_DOUBLE_EQ(*cvss::score_any(vulns[1].cvss_vector), 7.5);
+}
+
+TEST(NvdImport, RejectsNonFeedDocuments) {
+    EXPECT_THROW(import_nvd_feed_text("{}"), cybok::ValidationError);
+    EXPECT_THROW(import_nvd_feed_text("[]"), cybok::ValidationError);
+    EXPECT_THROW(import_nvd_feed_text("not json"), cybok::ParseError);
+}
+
+TEST(NvdImport, CveIdParsing) {
+    VulnerabilityId id = parse_cve_id("CVE-2019-10953");
+    EXPECT_EQ(id.year, 2019u);
+    EXPECT_EQ(id.number, 10953u);
+    EXPECT_THROW((void)parse_cve_id("CWE-78"), cybok::ParseError);
+    EXPECT_THROW((void)parse_cve_id("CVE-abc-1"), cybok::ParseError);
+    EXPECT_THROW((void)parse_cve_id("CVE-2019"), cybok::ParseError);
+}
+
+TEST(NvdImport, ExportImportRoundTrip) {
+    // Generate a small corpus, export its vulnerabilities as an NVD feed,
+    // re-import, and verify the security-relevant content survives.
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.02, 3));
+    std::vector<Vulnerability> original(corpus.vulnerabilities().begin(),
+                                        corpus.vulnerabilities().end());
+    json::Value feed = export_nvd_feed(original);
+    NvdImportStats stats;
+    std::vector<Vulnerability> reimported = import_nvd_feed(feed, &stats);
+
+    ASSERT_EQ(reimported.size(), original.size());
+    EXPECT_EQ(stats.skipped_rejected, 0u);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reimported[i].id, original[i].id);
+        EXPECT_EQ(reimported[i].description, original[i].description);
+        EXPECT_EQ(reimported[i].weaknesses, original[i].weaknesses);
+        EXPECT_EQ(reimported[i].cvss_vector, original[i].cvss_vector);
+        ASSERT_EQ(reimported[i].platforms.size(), original[i].platforms.size());
+        for (std::size_t j = 0; j < original[i].platforms.size(); ++j)
+            EXPECT_EQ(reimported[i].platforms[j], original[i].platforms[j]);
+    }
+}
+
+TEST(NvdImport, ImportedFeedWorksInCorpus) {
+    // A corpus whose vulnerabilities came through the NVD path behaves
+    // identically for platform lookup.
+    std::vector<Vulnerability> vulns = import_nvd_feed_text(kFeed);
+    kb::Corpus corpus;
+    for (Vulnerability& v : vulns) corpus.add(std::move(v));
+    corpus.reindex();
+    Platform family{PlatformPart::OperatingSystem, "ni", "rt_linux", ""};
+    EXPECT_EQ(corpus.vulnerabilities_for(family).size(), 1u);
+}

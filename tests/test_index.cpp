@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "text/index.hpp"
+#include "text/tokenize.hpp"
+
+using namespace cybok::text;
+
+namespace {
+
+/// Index of four tiny documents (no stemming — raw tokens).
+InvertedIndex sample_index() {
+    InvertedIndex index;
+    const char* docs[] = {
+        "linux kernel buffer overflow",           // doc 0
+        "windows registry privilege escalation",  // doc 1
+        "linux command injection",                // doc 2
+        "generic buffer handling",                // doc 3
+    };
+    for (const char* d : docs) {
+        index.add_document();
+        index.add_terms(tokenize(d));
+    }
+    index.finalize();
+    return index;
+}
+
+} // namespace
+
+TEST(Vocabulary, InternAndLookup) {
+    Vocabulary v;
+    TermId a = v.intern("linux");
+    TermId b = v.intern("windows");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(v.intern("linux"), a); // idempotent
+    EXPECT_EQ(v.lookup("linux"), a);
+    EXPECT_EQ(v.lookup("absent"), kNoTerm);
+    EXPECT_EQ(v.term(a), "linux");
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_THROW((void)v.term(99), cybok::NotFoundError);
+}
+
+TEST(InvertedIndex, BasicStatistics) {
+    InvertedIndex index = sample_index();
+    EXPECT_EQ(index.doc_count(), 4u);
+    EXPECT_EQ(index.doc_frequency("linux"), 2u);
+    EXPECT_EQ(index.doc_frequency("buffer"), 2u);
+    EXPECT_EQ(index.doc_frequency("registry"), 1u);
+    EXPECT_EQ(index.doc_frequency("absent"), 0u);
+    EXPECT_DOUBLE_EQ(index.avg_doc_length(), (4 + 4 + 3 + 3) / 4.0);
+}
+
+TEST(InvertedIndex, FieldWeights) {
+    InvertedIndex index;
+    index.add_document();
+    index.add_term("title", 3.0f);
+    index.add_term("body", 1.0f);
+    index.finalize();
+    EXPECT_DOUBLE_EQ(index.doc_length(0), 4.0);
+    TermId t = index.vocabulary().lookup("title");
+    ASSERT_EQ(index.postings(t).size(), 1u);
+    EXPECT_FLOAT_EQ(index.postings(t)[0].weight, 3.0f);
+}
+
+TEST(InvertedIndex, RepeatedTermsAccumulate) {
+    InvertedIndex index;
+    index.add_document();
+    index.add_terms({"x", "x", "x"});
+    index.finalize();
+    TermId t = index.vocabulary().lookup("x");
+    EXPECT_FLOAT_EQ(index.postings(t)[0].weight, 3.0f);
+}
+
+TEST(InvertedIndex, LifecycleErrors) {
+    InvertedIndex index;
+    EXPECT_THROW(index.add_term("x"), cybok::ValidationError); // no document yet
+    index.add_document();
+    index.add_term("x");
+    index.finalize();
+    EXPECT_THROW(index.add_document(), cybok::ValidationError);
+    EXPECT_THROW(index.finalize(), cybok::ValidationError);
+    EXPECT_THROW((void)index.doc_length(5), cybok::NotFoundError);
+}
+
+TEST(InvertedIndex, EmptyIndexFinalizes) {
+    InvertedIndex index;
+    index.finalize();
+    EXPECT_EQ(index.doc_count(), 0u);
+    EXPECT_DOUBLE_EQ(index.avg_doc_length(), 0.0);
+}
+
+TEST(Bm25, RequiresFinalizedIndex) {
+    InvertedIndex index;
+    EXPECT_THROW(Bm25Scorer scorer(index), cybok::ValidationError);
+}
+
+TEST(Bm25, RanksMatchingDocsOnly) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    auto hits = scorer.query({"linux"});
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_TRUE((hits[0].doc == 0 && hits[1].doc == 2) ||
+                (hits[0].doc == 2 && hits[1].doc == 0));
+}
+
+TEST(Bm25, MoreMatchedTermsScoreHigher) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    auto hits = scorer.query({"linux", "kernel"});
+    ASSERT_GE(hits.size(), 2u);
+    EXPECT_EQ(hits[0].doc, 0u); // matches both terms
+    EXPECT_EQ(hits[0].matched_terms.size(), 2u);
+    EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(Bm25, UnknownTermsIgnored) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    EXPECT_TRUE(scorer.query({"zzz"}).empty());
+    EXPECT_EQ(scorer.query({"zzz", "registry"}).size(), 1u);
+}
+
+TEST(Bm25, RareTermsHaveHigherIdf) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    EXPECT_GT(scorer.idf("registry"), scorer.idf("linux"));
+    EXPECT_GT(scorer.idf("absent"), scorer.idf("registry")); // df=0 maximal
+}
+
+TEST(Bm25, DuplicateQueryTermsDontDoubleCount) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    auto once = scorer.query({"linux"});
+    auto twice = scorer.query({"linux", "linux"});
+    ASSERT_EQ(once.size(), twice.size());
+    EXPECT_DOUBLE_EQ(once[0].score, twice[0].score);
+}
+
+TEST(Bm25, ScoresDeterministic) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer scorer(index);
+    auto a = scorer.query({"buffer", "linux"});
+    auto b = scorer.query({"buffer", "linux"});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc);
+        EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+}
+
+TEST(Tfidf, CosineInUnitRange) {
+    InvertedIndex index = sample_index();
+    TfidfScorer scorer(index);
+    for (const Hit& h : scorer.query({"linux", "kernel", "buffer"})) {
+        EXPECT_GE(h.score, 0.0);
+        EXPECT_LE(h.score, 1.0 + 1e-9);
+    }
+}
+
+TEST(Tfidf, ExactDocumentQueryScoresHighest) {
+    InvertedIndex index = sample_index();
+    TfidfScorer scorer(index);
+    auto hits = scorer.query(tokenize("windows registry privilege escalation"));
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].doc, 1u);
+    EXPECT_NEAR(hits[0].score, 1.0, 1e-9);
+}
+
+TEST(Tfidf, AgreesWithBm25OnClearWinner) {
+    InvertedIndex index = sample_index();
+    Bm25Scorer bm25(index);
+    TfidfScorer tfidf(index);
+    auto b = bm25.query({"registry"});
+    auto t = tfidf.query({"registry"});
+    ASSERT_EQ(b.size(), 1u);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(b[0].doc, t[0].doc);
+}
+
+TEST(Jaccard, Basics) {
+    EXPECT_DOUBLE_EQ(jaccard({"a", "b"}, {"a", "b"}), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard({"a"}, {"b"}), 0.0);
+    EXPECT_DOUBLE_EQ(jaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+    // Multiset input collapses to sets.
+    EXPECT_DOUBLE_EQ(jaccard({"a", "a"}, {"a"}), 1.0);
+}

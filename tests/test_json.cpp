@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace json = cybok::json;
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json::parse("null").is_null());
+    EXPECT_EQ(json::parse("true").as_bool(), true);
+    EXPECT_EQ(json::parse("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(json::parse("3.5").as_number(), 3.5);
+    EXPECT_EQ(json::parse("-17").as_int(), -17);
+    EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+    auto v = json::parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+    ASSERT_TRUE(v.is_object());
+    const auto& a = v.at("a").as_array();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[0].as_int(), 1);
+    EXPECT_EQ(a[2].at("b").as_string(), "c");
+    EXPECT_TRUE(v.at("d").is_null());
+}
+
+TEST(Json, StringEscapes) {
+    auto v = json::parse(R"("line\nbreak\ttab\\\"q\"")");
+    EXPECT_EQ(v.as_string(), "line\nbreak\ttab\\\"q\"");
+}
+
+TEST(Json, UnicodeEscapes) {
+    EXPECT_EQ(json::parse(R"("A")").as_string(), "A");
+    // U+00E9 (e-acute) -> 2-byte UTF-8.
+    EXPECT_EQ(json::parse(R"("é")").as_string(), "\xc3\xa9");
+    // Surrogate pair U+1F600.
+    EXPECT_EQ(json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(json::parse(""), cybok::ParseError);
+    EXPECT_THROW(json::parse("{"), cybok::ParseError);
+    EXPECT_THROW(json::parse("[1,]"), cybok::ParseError);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), cybok::ParseError);
+    EXPECT_THROW(json::parse("tru"), cybok::ParseError);
+    EXPECT_THROW(json::parse("1 2"), cybok::ParseError);
+    EXPECT_THROW(json::parse("\"unterminated"), cybok::ParseError);
+    EXPECT_THROW(json::parse("\"\\ud800\""), cybok::ParseError); // unpaired surrogate
+}
+
+TEST(Json, TypeMismatchThrows) {
+    auto v = json::parse("[1]");
+    EXPECT_THROW((void)v.as_object(), cybok::ValidationError);
+    EXPECT_THROW((void)v.as_string(), cybok::ValidationError);
+    auto o = json::parse("{}");
+    EXPECT_THROW((void)o.at("missing"), cybok::NotFoundError);
+}
+
+TEST(Json, GettersWithFallback) {
+    auto v = json::parse(R"({"s": "x", "n": 4, "b": true})");
+    EXPECT_EQ(v.get_string("s"), "x");
+    EXPECT_EQ(v.get_string("absent", "def"), "def");
+    EXPECT_EQ(v.get_int("n"), 4);
+    EXPECT_EQ(v.get_int("absent", -1), -1);
+    EXPECT_TRUE(v.get_bool("b"));
+    EXPECT_FALSE(v.get_bool("absent"));
+}
+
+TEST(Json, DumpParseRoundTrip) {
+    const char* doc = R"({"arr":[1,2.5,"s",null,true],"nested":{"k":"v"}})";
+    auto v = json::parse(doc);
+    auto v2 = json::parse(json::dump(v));
+    EXPECT_EQ(v, v2);
+    auto v3 = json::parse(json::dump(v, 2)); // pretty print round-trips too
+    EXPECT_EQ(v, v3);
+}
+
+TEST(Json, CompactDumpIsDeterministic) {
+    json::Object o;
+    o["b"] = json::Value(1);
+    o["a"] = json::Value(2);
+    // std::map ordering: keys sorted.
+    EXPECT_EQ(json::dump(json::Value(std::move(o))), R"({"a":2,"b":1})");
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+    EXPECT_EQ(json::dump(json::Value(42)), "42");
+    EXPECT_EQ(json::dump(json::Value(42.5)), "42.5");
+}
+
+TEST(Json, OperatorBracketBuildsObjects) {
+    json::Value v;
+    v["x"]["y"] = json::Value("z");
+    EXPECT_EQ(v.at("x").at("y").as_string(), "z");
+}
+
+TEST(Json, FileRoundTrip) {
+    std::string path = testing::TempDir() + "/cybok_json_test.json";
+    json::Value v = json::parse(R"({"k": [1, 2, 3]})");
+    json::save_file(path, v);
+    EXPECT_EQ(json::load_file(path), v);
+    EXPECT_THROW(json::load_file("/nonexistent/dir/file.json"), cybok::IoError);
+}

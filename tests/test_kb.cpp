@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "kb/corpus.hpp"
+#include "kb/platform.hpp"
+#include "kb/serialize.hpp"
+
+using namespace cybok::kb;
+
+// ---------------------------------------------------------------- platform
+
+TEST(Platform, UriRendering) {
+    Platform p{PlatformPart::OperatingSystem, "ni", "rt_linux", ""};
+    EXPECT_EQ(p.uri(), "cpe:2.3:o:ni:rt_linux:*");
+    Platform q{PlatformPart::Application, "ni", "labview", "2019"};
+    EXPECT_EQ(q.uri(), "cpe:2.3:a:ni:labview:2019");
+}
+
+TEST(Platform, ParseRoundTrip) {
+    for (const Platform& p :
+         {Platform{PlatformPart::Hardware, "cisco", "asa", ""},
+          Platform{PlatformPart::OperatingSystem, "microsoft", "windows_7", "sp1"},
+          Platform{PlatformPart::Application, "", "", ""}}) {
+        EXPECT_EQ(Platform::parse(p.uri()), p) << p.uri();
+    }
+}
+
+TEST(Platform, ParseAcceptsFullCpe23Names) {
+    Platform p = Platform::parse("cpe:2.3:o:ni:rt_linux:8.5:*:*:*:*:*:*:*");
+    EXPECT_EQ(p.part, PlatformPart::OperatingSystem);
+    EXPECT_EQ(p.vendor, "ni");
+    EXPECT_EQ(p.product, "rt_linux");
+    EXPECT_EQ(p.version, "8.5");
+}
+
+TEST(Platform, ParseRejectsGarbage) {
+    EXPECT_THROW(Platform::parse("not-a-cpe"), cybok::ParseError);
+    EXPECT_THROW(Platform::parse("cpe:2.2:a:x:y"), cybok::ParseError);
+    EXPECT_THROW(Platform::parse("cpe:2.3:q:x:y"), cybok::ParseError);
+    EXPECT_THROW(Platform::parse("cpe:2.3:ab:x:y"), cybok::ParseError);
+}
+
+TEST(Platform, MatchingRules) {
+    Platform family{PlatformPart::OperatingSystem, "ni", "rt_linux", ""};
+    Platform v85{PlatformPart::OperatingSystem, "ni", "rt_linux", "8.5"};
+    Platform v86{PlatformPart::OperatingSystem, "ni", "rt_linux", "8.6"};
+    Platform other{PlatformPart::OperatingSystem, "ni", "rt_linux_ce", "8.5"};
+    Platform hw{PlatformPart::Hardware, "ni", "rt_linux", "8.5"};
+
+    EXPECT_TRUE(platform_matches(family, v85));  // ANY version matches all
+    EXPECT_TRUE(platform_matches(v85, v85));
+    EXPECT_FALSE(platform_matches(v85, v86));
+    EXPECT_FALSE(platform_matches(family, other)); // product differs
+    EXPECT_FALSE(platform_matches(family, hw));    // part differs
+    EXPECT_TRUE(platform_matches(v85, family));    // target ANY accepts any version
+}
+
+TEST(Platform, NormalizeProductToken) {
+    EXPECT_EQ(normalize_product_token("NI RT Linux OS"), "ni_rt_linux_os");
+    EXPECT_EQ(normalize_product_token("  Cisco -- ASA  "), "cisco_asa");
+    EXPECT_EQ(normalize_product_token("cRIO-9063"), "crio_9063");
+    EXPECT_EQ(normalize_product_token(""), "");
+}
+
+// ----------------------------------------------------------------- corpus
+
+namespace {
+Corpus small_corpus() {
+    Corpus c;
+    AttackPattern p1;
+    p1.id = AttackPatternId{88};
+    p1.name = "Command Injection";
+    p1.related_weaknesses = {WeaknessId{78}, WeaknessId{20}};
+    c.add(p1);
+    AttackPattern p2;
+    p2.id = AttackPatternId{125};
+    p2.name = "Flooding";
+    p2.related_weaknesses = {WeaknessId{400}};
+    c.add(p2);
+
+    for (std::uint32_t wid : {78u, 20u, 400u}) {
+        Weakness w;
+        w.id = WeaknessId{wid};
+        w.name = "CWE " + std::to_string(wid);
+        c.add(w);
+    }
+
+    Vulnerability v1;
+    v1.id = VulnerabilityId{2019, 1};
+    v1.platforms = {Platform{PlatformPart::OperatingSystem, "ni", "rt_linux", "8.5"}};
+    v1.weaknesses = {WeaknessId{78}};
+    c.add(v1);
+    Vulnerability v2;
+    v2.id = VulnerabilityId{2020, 2};
+    v2.platforms = {Platform{PlatformPart::OperatingSystem, "ni", "rt_linux", "8.6"},
+                    Platform{PlatformPart::Application, "ni", "labview", "2019"}};
+    v2.weaknesses = {WeaknessId{78}, WeaknessId{20}};
+    c.add(v2);
+    c.reindex();
+    return c;
+}
+} // namespace
+
+TEST(Corpus, IdFormatting) {
+    EXPECT_EQ(AttackPatternId{88}.to_string(), "CAPEC-88");
+    EXPECT_EQ(WeaknessId{78}.to_string(), "CWE-78");
+    EXPECT_EQ((VulnerabilityId{2019, 10953}).to_string(), "CVE-2019-10953");
+}
+
+TEST(Corpus, FindById) {
+    Corpus c = small_corpus();
+    ASSERT_NE(c.find(AttackPatternId{88}), nullptr);
+    EXPECT_EQ(c.find(AttackPatternId{88})->name, "Command Injection");
+    EXPECT_EQ(c.find(AttackPatternId{999}), nullptr);
+    ASSERT_NE(c.find(WeaknessId{78}), nullptr);
+    ASSERT_NE(c.find(VulnerabilityId{2019, 1}), nullptr);
+    EXPECT_EQ(c.find(VulnerabilityId{2019, 99}), nullptr);
+}
+
+TEST(Corpus, ReverseCrossReferencesDerived) {
+    Corpus c = small_corpus();
+    auto patterns = c.patterns_for(WeaknessId{78});
+    ASSERT_EQ(patterns.size(), 1u);
+    EXPECT_EQ(patterns[0].value, 88u);
+    EXPECT_TRUE(c.patterns_for(WeaknessId{999}).empty());
+}
+
+TEST(Corpus, VulnerabilitiesForPlatformFamilyAndVersion) {
+    Corpus c = small_corpus();
+    Platform family{PlatformPart::OperatingSystem, "ni", "rt_linux", ""};
+    EXPECT_EQ(c.vulnerabilities_for(family).size(), 2u);
+    Platform v85{PlatformPart::OperatingSystem, "ni", "rt_linux", "8.5"};
+    EXPECT_EQ(c.vulnerabilities_for(v85).size(), 1u);
+    Platform unknown{PlatformPart::OperatingSystem, "acme", "os", ""};
+    EXPECT_TRUE(c.vulnerabilities_for(unknown).empty());
+}
+
+TEST(Corpus, VulnerabilitiesForWeakness) {
+    Corpus c = small_corpus();
+    EXPECT_EQ(c.vulnerabilities_for(WeaknessId{78}).size(), 2u);
+    EXPECT_EQ(c.vulnerabilities_for(WeaknessId{20}).size(), 1u);
+    EXPECT_TRUE(c.vulnerabilities_for(WeaknessId{400}).empty());
+}
+
+TEST(Corpus, KnownPlatforms) {
+    Corpus c = small_corpus();
+    auto platforms = c.known_platforms();
+    EXPECT_EQ(platforms.size(), 2u); // rt_linux and labview product families
+    for (const Platform& p : platforms) EXPECT_TRUE(p.version.empty());
+}
+
+TEST(Corpus, StatsCountLinks) {
+    Corpus c = small_corpus();
+    Corpus::Stats s = c.stats();
+    EXPECT_EQ(s.patterns, 2u);
+    EXPECT_EQ(s.weaknesses, 3u);
+    EXPECT_EQ(s.vulnerabilities, 2u);
+    EXPECT_EQ(s.platform_bindings, 3u);
+    EXPECT_EQ(s.pattern_weakness_links, 3u);
+    EXPECT_EQ(s.vulnerability_weakness_links, 3u);
+}
+
+TEST(Corpus, DuplicateIdsRejected) {
+    Corpus c;
+    Weakness w;
+    w.id = WeaknessId{78};
+    c.add(w);
+    c.add(w);
+    EXPECT_THROW(c.reindex(), cybok::ValidationError);
+}
+
+TEST(Corpus, CrossReferenceUseRequiresIndex) {
+    Corpus c;
+    Weakness w;
+    w.id = WeaknessId{1};
+    c.add(w);
+    EXPECT_THROW((void)c.vulnerabilities_for(WeaknessId{1}), cybok::ValidationError);
+    c.reindex();
+    EXPECT_NO_THROW((void)c.vulnerabilities_for(WeaknessId{1}));
+    // Mutation invalidates.
+    c.add(Weakness{});
+    EXPECT_FALSE(c.indexed());
+}
+
+// -------------------------------------------------------------- serialize
+
+TEST(CorpusSerialize, JsonRoundTripPreservesEverything) {
+    Corpus c = small_corpus();
+    Corpus c2 = corpus_from_json(to_json(c));
+
+    Corpus::Stats a = c.stats();
+    Corpus::Stats b = c2.stats();
+    EXPECT_EQ(a.patterns, b.patterns);
+    EXPECT_EQ(a.weaknesses, b.weaknesses);
+    EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+    EXPECT_EQ(a.platform_bindings, b.platform_bindings);
+
+    const AttackPattern* p = c2.find(AttackPatternId{88});
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name, "Command Injection");
+    ASSERT_EQ(p->related_weaknesses.size(), 2u);
+
+    const Vulnerability* v = c2.find(VulnerabilityId{2020, 2});
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->platforms.size(), 2u);
+    EXPECT_EQ(v->platforms[1].product, "labview");
+}
+
+TEST(CorpusSerialize, RejectsWrongFormat) {
+    EXPECT_THROW(corpus_from_json(cybok::json::parse(R"({"format":"other"})")),
+                 cybok::ValidationError);
+}
+
+TEST(CorpusSerialize, FileRoundTrip) {
+    std::string path = testing::TempDir() + "/cybok_corpus_test.json";
+    save_corpus(path, small_corpus());
+    Corpus c2 = load_corpus(path);
+    EXPECT_EQ(c2.stats().vulnerabilities, 2u);
+    EXPECT_TRUE(c2.indexed());
+}
+
+TEST(Corpus, RatingNames) {
+    EXPECT_EQ(rating_name(Rating::VeryLow), "Very Low");
+    EXPECT_EQ(rating_name(Rating::VeryHigh), "Very High");
+}

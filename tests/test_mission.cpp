@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/mission_impact.hpp"
+#include "analysis/model_advice.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+
+namespace {
+search::AssociationMap stub(std::initializer_list<std::pair<const char*, int>> items) {
+    search::AssociationMap map;
+    for (const auto& [name, n] : items) {
+        search::ComponentAssociation ca;
+        ca.component = name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "role";
+        aa.attribute_value = "stub";
+        for (int i = 0; i < n; ++i) {
+            search::Match m;
+            m.cls = search::VectorClass::Weakness;
+            m.id = "CWE-" + std::to_string(i);
+            aa.matches.push_back(std::move(m));
+        }
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+} // namespace
+
+// ---------------------------------------------------------------- missions
+
+TEST(MissionModel, LookupsAndAllocation) {
+    model::MissionModel mm = analysis::centrifuge_missions();
+    ASSERT_NE(mm.find_function("F-1"), nullptr);
+    ASSERT_NE(mm.find_mission("M-2"), nullptr);
+    EXPECT_EQ(mm.find_function("F-99"), nullptr);
+    EXPECT_EQ(mm.find_mission("M-99"), nullptr);
+
+    auto on_bpcs = mm.functions_on("BPCS platform");
+    ASSERT_EQ(on_bpcs.size(), 2u); // F-1, F-2
+    auto on_sensor = mm.functions_on("Temperature sensor");
+    ASSERT_EQ(on_sensor.size(), 2u); // F-2, F-4
+    EXPECT_TRUE(mm.functions_on("Nonexistent").empty());
+}
+
+TEST(MissionModel, MissionsThreatenedByComponent) {
+    model::MissionModel mm = analysis::centrifuge_missions();
+    // BPCS carries F-1 and F-2 -> M-1 (F-1,F-2) and M-2 (F-2).
+    auto missions = mm.missions_threatened_by("BPCS platform");
+    ASSERT_EQ(missions.size(), 2u);
+    // The WS only carries F-3 -> M-3.
+    auto ws = mm.missions_threatened_by("Programming WS");
+    ASSERT_EQ(ws.size(), 1u);
+    EXPECT_EQ(ws[0]->id, "M-3");
+}
+
+TEST(MissionModel, ValidatesAgainstSystemModel) {
+    model::SystemModel m = synth::centrifuge_model();
+    EXPECT_TRUE(analysis::centrifuge_missions().validate(m).empty());
+
+    model::MissionModel broken;
+    broken.add(model::Function{"F-1", "float", {"Ghost component"}});
+    broken.add(model::Function{"F-1", "duplicate", {}});
+    broken.add(model::Mission{"M-1", "mission", {"F-9"}});
+    broken.add(model::Mission{"M-2", "empty", {}});
+    auto issues = broken.validate(m);
+    auto has = [&](std::string_view needle) {
+        return std::any_of(issues.begin(), issues.end(), [&](const std::string& s) {
+            return s.find(needle) != std::string::npos;
+        });
+    };
+    EXPECT_TRUE(has("unknown component"));
+    EXPECT_TRUE(has("duplicate id: F-1"));
+    EXPECT_TRUE(has("not allocated"));
+    EXPECT_TRUE(has("unknown function F-9"));
+    EXPECT_TRUE(has("requires no functions"));
+}
+
+TEST(MissionImpact, RanksThreatenedMissions) {
+    model::MissionModel mm = analysis::centrifuge_missions();
+    auto impacts = analysis::mission_impacts(
+        mm, stub({{"BPCS platform", 5}, {"Programming WS", 2}}));
+    ASSERT_EQ(impacts.size(), 3u);
+    // M-1 and M-2 both threatened via BPCS (5 vectors); M-3 via WS (2).
+    EXPECT_EQ(impacts[0].vectors, 5u);
+    EXPECT_TRUE(impacts[0].threatened());
+    EXPECT_EQ(impacts[2].mission_id, "M-3");
+    EXPECT_EQ(impacts[2].vectors, 2u);
+}
+
+TEST(MissionImpact, UnthreatenedMissionsStillListed) {
+    model::MissionModel mm = analysis::centrifuge_missions();
+    auto impacts = analysis::mission_impacts(mm, search::AssociationMap{});
+    ASSERT_EQ(impacts.size(), 3u);
+    for (const auto& impact : impacts) {
+        EXPECT_FALSE(impact.threatened());
+        EXPECT_EQ(impact.vectors, 0u);
+    }
+}
+
+// ------------------------------------------------------------ model advice
+
+TEST(ModelAdvice, CleanImplementationModelGetsMinimalAdvice) {
+    model::SystemModel m = synth::centrifuge_model();
+    kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    search::SearchEngine engine(corpus);
+    auto advice = analysis::advise(m, search::associate(m, engine));
+    // The demo model is complete: no unresolved platforms, no untyped
+    // components, an entry point exists, and its descriptors are specific.
+    for (const analysis::Advice& a : advice) {
+        EXPECT_NE(a.kind, analysis::AdviceKind::UnresolvedPlatform) << a.text;
+        EXPECT_NE(a.kind, analysis::AdviceKind::MissingEntryPoint) << a.text;
+        EXPECT_NE(a.kind, analysis::AdviceKind::UntypedComponent) << a.text;
+        EXPECT_NE(a.kind, analysis::AdviceKind::NoisyDescriptor) << a.text;
+    }
+}
+
+TEST(ModelAdvice, FlagsSparseModel) {
+    model::SystemModel m("sparse", "");
+    model::ComponentId a = m.add_component("Mystery box", model::ComponentType::Other);
+    model::ComponentId b = m.add_component("Bare server", model::ComponentType::Compute);
+    m.connect(a, b, "link");
+    // Unresolved platform ref on the server.
+    model::Attribute fw;
+    fw.name = "firmware";
+    fw.value = "Unknown RTOS";
+    fw.kind = model::AttributeKind::PlatformRef;
+    m.set_attribute(b, fw);
+
+    auto advice = analysis::advise(m, search::AssociationMap{});
+    auto count = [&](analysis::AdviceKind k) {
+        return std::count_if(advice.begin(), advice.end(),
+                             [k](const analysis::Advice& a) { return a.kind == k; });
+    };
+    EXPECT_EQ(count(analysis::AdviceKind::UntypedComponent), 1);
+    EXPECT_EQ(count(analysis::AdviceKind::UnresolvedPlatform), 1);
+    EXPECT_EQ(count(analysis::AdviceKind::MissingEntryPoint), 1);
+    // The server *has* a platform ref (unresolved), so no missing-ref
+    // advice; a truly bare compute node gets one.
+    EXPECT_EQ(count(analysis::AdviceKind::MissingPlatformRef), 0);
+    m.add_component("Bare PLC", model::ComponentType::Controller);
+    advice = analysis::advise(m, search::AssociationMap{});
+    EXPECT_EQ(count(analysis::AdviceKind::MissingPlatformRef), 1);
+}
+
+TEST(ModelAdvice, FlagsSilentAndNoisyDescriptors) {
+    model::SystemModel m("t", "");
+    model::ComponentId a = m.add_component("Widget", model::ComponentType::Sensor);
+    model::Attribute vague;
+    vague.name = "role";
+    vague.value = "thing";
+    m.set_attribute(a, vague);
+
+    // Silent: descriptor with no matches.
+    search::AssociationMap assoc;
+    search::ComponentAssociation ca;
+    ca.component = "Widget";
+    search::AttributeAssociation aa;
+    aa.attribute_name = "role";
+    aa.attribute_value = "thing";
+    ca.attributes.push_back(aa);
+    assoc.components.push_back(ca);
+
+    auto advice = analysis::advise(m, assoc);
+    bool silent = std::any_of(advice.begin(), advice.end(), [](const analysis::Advice& x) {
+        return x.kind == analysis::AdviceKind::SilentDescriptor;
+    });
+    EXPECT_TRUE(silent);
+
+    // Noisy: inflate the same attribute with many lexical matches.
+    for (int i = 0; i < 150; ++i) {
+        search::Match match;
+        match.cls = search::VectorClass::Weakness;
+        match.via = search::MatchVia::Lexical;
+        match.id = "CWE-" + std::to_string(i);
+        assoc.components[0].attributes[0].matches.push_back(std::move(match));
+    }
+    advice = analysis::advise(m, assoc);
+    bool noisy = std::any_of(advice.begin(), advice.end(), [](const analysis::Advice& x) {
+        return x.kind == analysis::AdviceKind::NoisyDescriptor;
+    });
+    EXPECT_TRUE(noisy);
+}
+
+TEST(ModelAdvice, KindNames) {
+    EXPECT_EQ(analysis::advice_kind_name(analysis::AdviceKind::NoisyDescriptor),
+              "noisy-descriptor");
+    EXPECT_EQ(analysis::advice_kind_name(analysis::AdviceKind::MissingEntryPoint),
+              "missing-entry-point");
+}

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/diff.hpp"
+#include "model/export.hpp"
+#include "model/system_model.hpp"
+
+using namespace cybok::model;
+
+namespace {
+
+Attribute make_attr(std::string name, std::string value,
+                    AttributeKind kind = AttributeKind::Descriptor,
+                    Fidelity fidelity = Fidelity::Logical) {
+    Attribute a;
+    a.name = std::move(name);
+    a.value = std::move(value);
+    a.kind = kind;
+    a.fidelity = fidelity;
+    return a;
+}
+
+SystemModel two_tier() {
+    SystemModel m("plant", "test model");
+    ComponentId ws = m.add_component("WS", ComponentType::Compute);
+    m.component(ws).external_facing = true;
+    m.set_attribute(ws, make_attr("role", "operator console", AttributeKind::Descriptor,
+                                  Fidelity::Functional));
+    Attribute os = make_attr("os", "Windows 7", AttributeKind::PlatformRef,
+                             Fidelity::Implementation);
+    os.platform =
+        cybok::kb::Platform{cybok::kb::PlatformPart::OperatingSystem, "microsoft",
+                            "windows_7", ""};
+    m.set_attribute(ws, os);
+    ComponentId plc = m.add_component("PLC", ComponentType::Controller);
+    m.set_attribute(plc, make_attr("role", "process controller"));
+    m.connect(ws, plc, "engineering", ChannelKind::Ethernet, /*bidirectional=*/true);
+    return m;
+}
+
+} // namespace
+
+TEST(SystemModel, AddAndFindComponents) {
+    SystemModel m = two_tier();
+    EXPECT_EQ(m.component_count(), 2u);
+    auto ws = m.find_component("WS");
+    ASSERT_TRUE(ws.has_value());
+    EXPECT_EQ(m.component(*ws).type, ComponentType::Compute);
+    EXPECT_FALSE(m.find_component("nope").has_value());
+    EXPECT_THROW((void)m.component(ComponentId{99}), cybok::NotFoundError);
+}
+
+TEST(SystemModel, SetAttributeReplacesByName) {
+    SystemModel m = two_tier();
+    ComponentId ws = *m.find_component("WS");
+    m.set_attribute(ws, make_attr("role", "updated"));
+    EXPECT_EQ(m.component(ws).attributes.size(), 2u); // role + os, not 3
+    EXPECT_EQ(m.find_attribute(ws, "role")->value, "updated");
+}
+
+TEST(SystemModel, RemoveAttribute) {
+    SystemModel m = two_tier();
+    ComponentId ws = *m.find_component("WS");
+    EXPECT_TRUE(m.remove_attribute(ws, "os"));
+    EXPECT_FALSE(m.remove_attribute(ws, "os"));
+    EXPECT_EQ(m.find_attribute(ws, "os"), nullptr);
+}
+
+TEST(SystemModel, RemoveComponentDropsConnectors) {
+    SystemModel m = two_tier();
+    ComponentId plc = *m.find_component("PLC");
+    m.remove_component(plc);
+    EXPECT_EQ(m.component_count(), 1u);
+    EXPECT_TRUE(m.connectors().empty());
+    EXPECT_FALSE(m.contains(plc));
+}
+
+TEST(SystemModel, ConnectRejectsUnknownComponents) {
+    SystemModel m = two_tier();
+    EXPECT_THROW(m.connect(ComponentId{99}, *m.find_component("WS"), "x"),
+                 cybok::NotFoundError);
+}
+
+TEST(SystemModel, ValidateCleanModel) {
+    EXPECT_TRUE(two_tier().validate().empty());
+}
+
+TEST(SystemModel, ValidateFindsProblems) {
+    SystemModel m = two_tier();
+    // Duplicate name.
+    m.add_component("WS", ComponentType::Compute);
+    // Unresolved platform ref.
+    ComponentId orphan = m.add_component("Orphan", ComponentType::Sensor);
+    m.set_attribute(orphan, make_attr("fw", "Mystery 1.0", AttributeKind::PlatformRef));
+    auto issues = m.validate();
+    auto has = [&](std::string_view needle) {
+        return std::any_of(issues.begin(), issues.end(), [&](const std::string& s) {
+            return s.find(needle) != std::string::npos;
+        });
+    };
+    EXPECT_TRUE(has("duplicate component name"));
+    EXPECT_TRUE(has("no resolved platform"));
+    EXPECT_TRUE(has("no connectors"));
+}
+
+TEST(SystemModel, FidelityProjectionDropsHighFidelityInfo) {
+    SystemModel m = two_tier();
+    EXPECT_EQ(m.max_fidelity(), Fidelity::Implementation);
+    SystemModel functional = m.at_fidelity(Fidelity::Functional);
+    // Components survive, implementation attributes and logical connectors
+    // do not.
+    EXPECT_EQ(functional.component_count(), 2u);
+    ComponentId ws = *functional.find_component("WS");
+    EXPECT_NE(functional.find_attribute(ws, "role"), nullptr);
+    EXPECT_EQ(functional.find_attribute(ws, "os"), nullptr);
+    EXPECT_TRUE(functional.connectors().empty());
+    EXPECT_EQ(functional.max_fidelity(), Fidelity::Functional);
+}
+
+TEST(SystemModel, FidelityProjectionAtMaxIsIdentityShaped) {
+    SystemModel m = two_tier();
+    SystemModel same = m.at_fidelity(Fidelity::Implementation);
+    EXPECT_TRUE(diff(m, same).empty());
+}
+
+TEST(SystemModel, EnumNames) {
+    EXPECT_EQ(fidelity_name(Fidelity::Conceptual), "conceptual");
+    EXPECT_EQ(fidelity_name(Fidelity::Implementation), "implementation");
+    EXPECT_EQ(component_type_name(ComponentType::PhysicalProcess), "physical-process");
+    EXPECT_EQ(channel_kind_name(ChannelKind::Fieldbus), "fieldbus");
+    EXPECT_EQ(attribute_kind_name(AttributeKind::PlatformRef), "platform-ref");
+}
+
+// -------------------------------------------------------------------- diff
+
+TEST(ModelDiff, EmptyForIdenticalModels) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    EXPECT_TRUE(diff(a, b).empty());
+}
+
+TEST(ModelDiff, DetectsComponentAddRemove) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    b.add_component("Historian", ComponentType::Compute);
+    ModelDiff d = diff(a, b);
+    ASSERT_EQ(d.added_components.size(), 1u);
+    EXPECT_EQ(d.added_components[0], "Historian");
+    ModelDiff r = diff(b, a);
+    ASSERT_EQ(r.removed_components.size(), 1u);
+    EXPECT_EQ(r.removed_components[0], "Historian");
+}
+
+TEST(ModelDiff, DetectsAttributeChanges) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    ComponentId ws = *b.find_component("WS");
+    b.set_attribute(ws, make_attr("os", "Linux", AttributeKind::Descriptor));
+    b.set_attribute(ws, make_attr("extra", "new"));
+    b.remove_attribute(ws, "role");
+    ModelDiff d = diff(a, b);
+    EXPECT_EQ(d.attribute_changes.size(), 3u);
+    int added = 0, removed = 0, modified = 0;
+    for (const auto& c : d.attribute_changes) {
+        if (c.kind == AttributeChange::Kind::Added) ++added;
+        if (c.kind == AttributeChange::Kind::Removed) ++removed;
+        if (c.kind == AttributeChange::Kind::Modified) ++modified;
+    }
+    EXPECT_EQ(added, 1);
+    EXPECT_EQ(removed, 1);
+    EXPECT_EQ(modified, 1);
+}
+
+TEST(ModelDiff, DetectsConnectorChanges) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    b.connect(*b.find_component("PLC"), *b.find_component("WS"), "alarms",
+              ChannelKind::Ethernet);
+    ModelDiff d = diff(a, b);
+    ASSERT_EQ(d.added_connectors.size(), 1u);
+    EXPECT_NE(d.added_connectors[0].find("PLC -> WS"), std::string::npos);
+}
+
+TEST(ModelDiff, TouchedComponents) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    ComponentId ws = *b.find_component("WS");
+    b.set_attribute(ws, make_attr("extra", "new"));
+    b.add_component("Historian", ComponentType::Compute);
+    auto touched = diff(a, b).touched_components();
+    ASSERT_EQ(touched.size(), 2u); // WS and Historian, sorted
+    EXPECT_EQ(touched[0], "Historian");
+    EXPECT_EQ(touched[1], "WS");
+}
+
+TEST(ModelDiff, ToStringMentionsEachChange) {
+    SystemModel a = two_tier();
+    SystemModel b = two_tier();
+    ComponentId ws = *b.find_component("WS");
+    b.set_attribute(ws, make_attr("role", "changed"));
+    std::string s = to_string(diff(a, b));
+    EXPECT_NE(s.find("WS.role"), std::string::npos);
+    EXPECT_NE(s.find("operator console"), std::string::npos);
+    EXPECT_NE(s.find("changed"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ export
+
+TEST(ModelExport, GraphHasComponentsAndProperties) {
+    cybok::graph::PropertyGraph g = to_graph(two_tier());
+    EXPECT_EQ(g.node_count(), 2u);
+    // Bidirectional connector -> 2 edges.
+    EXPECT_EQ(g.edge_count(), 2u);
+    auto ws = g.find_node("WS");
+    ASSERT_TRUE(ws.has_value());
+    EXPECT_EQ(std::get<std::string>(*g.get_property(*ws, "type")), "compute");
+    EXPECT_EQ(std::get<bool>(*g.get_property(*ws, "external")), true);
+    EXPECT_EQ(std::get<std::string>(*g.get_property(*ws, "attr.os")), "Windows 7");
+    ASSERT_NE(g.get_property(*ws, "attr.os.platform"), nullptr);
+}
+
+TEST(ModelExport, RoundTripPreservesModel) {
+    SystemModel m = two_tier();
+    SystemModel m2 = from_graph(to_graph(m));
+    // Round trip flattens bidirectional connectors into two directed ones;
+    // everything else must survive exactly.
+    EXPECT_EQ(m2.component_count(), m.component_count());
+    ComponentId ws = *m2.find_component("WS");
+    const Attribute* os = m2.find_attribute(ws, "os");
+    ASSERT_NE(os, nullptr);
+    EXPECT_EQ(os->value, "Windows 7");
+    EXPECT_EQ(os->kind, AttributeKind::PlatformRef);
+    EXPECT_EQ(os->fidelity, Fidelity::Implementation);
+    ASSERT_TRUE(os->platform.has_value());
+    EXPECT_EQ(os->platform->product, "windows_7");
+    EXPECT_TRUE(m2.component(ws).external_facing);
+    EXPECT_EQ(m2.connectors().size(), 2u);
+}
+
+TEST(ModelExport, RoundTripAssociationEquivalence) {
+    // The security-relevant content (attributes, kinds, platforms) must be
+    // identical after a round trip; diff only sees the connector split.
+    SystemModel m = two_tier();
+    SystemModel m2 = from_graph(to_graph(m));
+    ModelDiff d = diff(m, m2);
+    EXPECT_TRUE(d.attribute_changes.empty());
+    EXPECT_TRUE(d.added_components.empty());
+    EXPECT_TRUE(d.removed_components.empty());
+}
+
+TEST(ModelExport, FromGraphRejectsUntypedNodes) {
+    cybok::graph::PropertyGraph g;
+    g.add_node("untyped");
+    EXPECT_THROW(from_graph(g), cybok::ValidationError);
+}

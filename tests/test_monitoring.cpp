@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/monitoring.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+using namespace cybok::analysis;
+
+namespace {
+
+kb::Vulnerability fresh_cve(std::uint32_t number, const char* vendor, const char* product,
+                            const char* cvss = "") {
+    kb::Vulnerability v;
+    v.id = kb::VulnerabilityId{2021, number};
+    v.description = "A fresh flaw in the affected service.";
+    v.platforms = {kb::Platform{kb::PlatformPart::OperatingSystem, vendor, product, ""}};
+    v.weaknesses = {kb::WeaknessId{78}};
+    v.cvss_vector = cvss;
+    return v;
+}
+
+struct Fixture {
+    kb::Corpus baseline_corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    model::SystemModel deployed = synth::centrifuge_model();
+    search::SearchEngine baseline_engine{baseline_corpus};
+    search::AssociationMap baseline = search::associate(deployed, baseline_engine);
+};
+Fixture& fixture() {
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+TEST(CorpusDelta, DetectsNewRecordsOfEveryFamily) {
+    Fixture& f = fixture();
+    kb::Corpus fresh = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    fresh.add(fresh_cve(1, "ni", "rt_linux"));
+    kb::Weakness w;
+    w.id = kb::WeaknessId{4242};
+    w.name = "Fresh weakness";
+    fresh.add(w);
+    kb::AttackPattern p;
+    p.id = kb::AttackPatternId{4242};
+    p.name = "Fresh pattern";
+    fresh.add(p);
+    fresh.reindex();
+
+    CorpusDelta delta = corpus_delta(f.baseline_corpus, fresh);
+    ASSERT_EQ(delta.new_vulnerabilities.size(), 1u);
+    EXPECT_EQ(delta.new_vulnerabilities[0], "CVE-2021-1");
+    ASSERT_EQ(delta.new_weaknesses.size(), 1u);
+    EXPECT_EQ(delta.new_weaknesses[0], "CWE-4242");
+    ASSERT_EQ(delta.new_patterns.size(), 1u);
+    EXPECT_FALSE(delta.empty());
+}
+
+TEST(CorpusDelta, IdenticalSnapshotsAreEmpty) {
+    Fixture& f = fixture();
+    kb::Corpus same = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    EXPECT_TRUE(corpus_delta(f.baseline_corpus, same).empty());
+}
+
+TEST(Reevaluate, SurfacesOnlyNewMatches) {
+    Fixture& f = fixture();
+    kb::Corpus fresh = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    fresh.add(fresh_cve(10, "ni", "rt_linux", "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"));
+    fresh.add(fresh_cve(11, "acme", "unrelated"));
+    fresh.reindex();
+    search::SearchEngine fresh_engine(fresh);
+
+    ReevaluationResult result =
+        reevaluate(f.deployed, f.baseline, f.baseline_corpus, fresh_engine);
+
+    EXPECT_EQ(result.delta.new_vulnerabilities.size(), 2u);
+    // Only the rt_linux advisory matches the deployed system — on both
+    // controllers (BPCS and SIS run NI RT Linux).
+    ASSERT_EQ(result.new_exposures.size(), 2u);
+    for (const NewExposure& e : result.new_exposures) {
+        EXPECT_EQ(e.match.id, "CVE-2021-10");
+        EXPECT_EQ(e.attribute, "os");
+        EXPECT_DOUBLE_EQ(e.match.severity, 9.8);
+    }
+    auto affected = result.affected_components();
+    ASSERT_EQ(affected.size(), 2u);
+    EXPECT_EQ(affected[0], "BPCS platform");
+    EXPECT_EQ(affected[1], "SIS platform");
+}
+
+TEST(Reevaluate, NoNewsIsNoExposure) {
+    Fixture& f = fixture();
+    kb::Corpus same = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    same.reindex();
+    search::SearchEngine engine(same);
+    ReevaluationResult result = reevaluate(f.deployed, f.baseline, f.baseline_corpus, engine);
+    EXPECT_TRUE(result.delta.empty());
+    EXPECT_TRUE(result.new_exposures.empty());
+    EXPECT_TRUE(result.affected_components().empty());
+}
+
+TEST(Reevaluate, FilterChainApplies) {
+    Fixture& f = fixture();
+    kb::Corpus fresh = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    // Low-severity advisory on the deployed OS.
+    fresh.add(fresh_cve(20, "ni", "rt_linux", "CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"));
+    fresh.reindex();
+    search::SearchEngine engine(fresh);
+    search::FilterChain chain;
+    chain.add(search::min_severity(cvss::Severity::High));
+    ReevaluationResult result =
+        reevaluate(f.deployed, f.baseline, f.baseline_corpus, engine, &chain);
+    // The 1.6-severity advisory is filtered out.
+    EXPECT_TRUE(result.new_exposures.empty());
+    EXPECT_FALSE(result.delta.empty());
+}

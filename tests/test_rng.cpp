@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+using cybok::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformSingletonRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.uniform01();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3)) ++hits;
+    double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+    Rng rng(13);
+    std::vector<double> w{0.0, 1.0, 0.0};
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted(w), 1u);
+}
+
+TEST(Rng, WeightedFollowsDistribution) {
+    Rng rng(17);
+    std::vector<double> w{1.0, 3.0};
+    int counts[2] = {0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) ++counts[rng.weighted(w)];
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ZipfHeadHeavierThanTail) {
+    Rng rng(19);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(100, 1.0)];
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[0], 20000 / 100); // much more than uniform share
+    for (const auto& [rank, _] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(Rng, PoissonMeanIsLambda) {
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.0));
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+    // Large-lambda path.
+    sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(50.0));
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+    Rng rng(29);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto sample = rng.sample_indices(20, 7);
+        EXPECT_EQ(sample.size(), 7u);
+        std::set<std::size_t> uniq(sample.begin(), sample.end());
+        EXPECT_EQ(uniq.size(), 7u);
+        for (std::size_t idx : sample) EXPECT_LT(idx, 20u);
+    }
+}
+
+TEST(Rng, SampleAllElements) {
+    Rng rng(37);
+    auto sample = rng.sample_indices(5, 5);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(41);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkDecorrelates) {
+    Rng parent(43);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (c1.next() == c2.next()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StableHashIsStable) {
+    EXPECT_EQ(cybok::stable_hash("abc"), cybok::stable_hash("abc"));
+    EXPECT_NE(cybok::stable_hash("abc"), cybok::stable_hash("abd"));
+    EXPECT_NE(cybok::stable_hash(""), cybok::stable_hash("a"));
+}

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "safety/control_structure.hpp"
+#include "safety/hazards.hpp"
+#include "safety/trace.hpp"
+#include "synth/scada.hpp"
+
+using namespace cybok;
+using namespace cybok::safety;
+
+// ----------------------------------------------------------------- hazards
+
+namespace {
+HazardModel tiny_hazards() {
+    HazardModel hm;
+    hm.add(Loss{"L-1", "loss of product"});
+    hm.add(Hazard{"H-1", "process out of bounds", {"L-1"}});
+    hm.add(UnsafeControlAction{"UCA-1", "PLC", "set speed", UcaType::Providing,
+                               "while out of tolerance", {"H-1"}});
+    return hm;
+}
+} // namespace
+
+TEST(HazardModel, LookupByIds) {
+    HazardModel hm = tiny_hazards();
+    ASSERT_NE(hm.find_loss("L-1"), nullptr);
+    ASSERT_NE(hm.find_hazard("H-1"), nullptr);
+    ASSERT_NE(hm.find_uca("UCA-1"), nullptr);
+    EXPECT_EQ(hm.find_loss("L-9"), nullptr);
+    EXPECT_EQ(hm.find_hazard("H-9"), nullptr);
+    EXPECT_EQ(hm.find_uca("UCA-9"), nullptr);
+}
+
+TEST(HazardModel, UcasForController) {
+    HazardModel hm = tiny_hazards();
+    EXPECT_EQ(hm.ucas_for_controller("PLC").size(), 1u);
+    EXPECT_TRUE(hm.ucas_for_controller("Other").empty());
+}
+
+TEST(HazardModel, ValidateCleanModel) {
+    EXPECT_TRUE(tiny_hazards().validate().empty());
+}
+
+TEST(HazardModel, ValidateCatchesBrokenReferences) {
+    HazardModel hm;
+    hm.add(Loss{"L-1", "x"});
+    hm.add(Loss{"L-1", "duplicate"});
+    hm.add(Hazard{"H-1", "unlinked hazard", {}});
+    hm.add(Hazard{"H-2", "dangling", {"L-9"}});
+    hm.add(UnsafeControlAction{"UCA-1", "PLC", "act", UcaType::Providing, "ctx", {"H-9"}});
+    auto issues = hm.validate();
+    auto has = [&](std::string_view needle) {
+        return std::any_of(issues.begin(), issues.end(), [&](const std::string& s) {
+            return s.find(needle) != std::string::npos;
+        });
+    };
+    EXPECT_TRUE(has("duplicate id: L-1"));
+    EXPECT_TRUE(has("linked to no losses"));
+    EXPECT_TRUE(has("unknown loss L-9"));
+    EXPECT_TRUE(has("unknown hazard H-9"));
+}
+
+TEST(HazardModel, UcaTypeNames) {
+    EXPECT_EQ(uca_type_name(UcaType::NotProviding), "not-providing");
+    EXPECT_EQ(uca_type_name(UcaType::WrongDuration), "wrong-duration");
+}
+
+TEST(HazardModel, CentrifugeFixtureIsValid) {
+    EXPECT_TRUE(synth::centrifuge_hazards().validate().empty());
+    EXPECT_TRUE(synth::uav_hazards().validate().empty());
+}
+
+// -------------------------------------------------------- control structure
+
+TEST(ControlStructure, ExtractFromCentrifuge) {
+    ControlStructure cs = extract_control_structure(synth::centrifuge_model());
+    EXPECT_TRUE(cs.is_controller("BPCS platform"));
+    EXPECT_TRUE(cs.is_controller("SIS platform"));
+    EXPECT_FALSE(cs.is_controller("Temperature sensor"));
+    ASSERT_EQ(cs.controlled_processes.size(), 1u);
+    EXPECT_EQ(cs.controlled_processes[0], "Centrifuge");
+
+    // BPCS and SIS both drive the centrifuge.
+    int drives = 0;
+    for (const ControlAction& a : cs.actions)
+        if (a.controlled == "Centrifuge") ++drives;
+    EXPECT_EQ(drives, 2);
+
+    // Temperature feedback reaches both controllers.
+    EXPECT_EQ(cs.feedback_into("BPCS platform").size(), 1u);
+    EXPECT_EQ(cs.feedback_into("SIS platform").size(), 1u);
+    EXPECT_EQ(cs.feedback_into("BPCS platform")[0].source, "Temperature sensor");
+}
+
+TEST(ControlStructure, ComputeCommandingActuatorIsController) {
+    model::SystemModel m("t", "");
+    model::ComponentId ws = m.add_component("WS", model::ComponentType::Compute);
+    model::ComponentId pump = m.add_component("Pump", model::ComponentType::Actuator);
+    m.connect(ws, pump, "drive");
+    ControlStructure cs = extract_control_structure(m);
+    EXPECT_TRUE(cs.is_controller("WS"));
+}
+
+TEST(ControlStructure, ControllerToControllerIsAnAction) {
+    // BPCS -> SIS status exchange appears as an action between controllers.
+    ControlStructure cs = extract_control_structure(synth::centrifuge_model());
+    bool found = false;
+    for (const ControlAction& a : cs.actions)
+        if (a.controller == "BPCS platform" && a.controlled == "SIS platform") found = true;
+    EXPECT_TRUE(found);
+}
+
+// -------------------------------------------------------------------- trace
+
+namespace {
+
+/// Association map stub: every named component carries `n` fake matches.
+search::AssociationMap fake_assoc(std::initializer_list<std::pair<const char*, int>> items) {
+    search::AssociationMap map;
+    for (const auto& [name, n] : items) {
+        search::ComponentAssociation ca;
+        ca.component = name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "role";
+        aa.attribute_value = "stub";
+        for (int i = 0; i < n; ++i) {
+            search::Match m;
+            m.cls = search::VectorClass::Weakness;
+            m.id = "CWE-" + std::to_string(100 + i);
+            m.title = "stub weakness";
+            aa.matches.push_back(std::move(m));
+        }
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+} // namespace
+
+TEST(ConsequenceTrace, DirectControllerCompromise) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+
+    auto traces = analyzer.trace(fake_assoc({{"BPCS platform", 2}}));
+    // BPCS has three own UCAs plus a path to the SIS (serial link) with two
+    // more.
+    ASSERT_GE(traces.size(), 3u);
+    EXPECT_EQ(traces.front().pivot_hops(), 0u);
+    EXPECT_EQ(traces.front().component, "BPCS platform");
+    EXPECT_EQ(traces.front().vector_count, 2u);
+    // Hazards resolve to losses.
+    for (const ConsequenceTrace& t : traces) {
+        EXPECT_FALSE(t.hazard_ids.empty());
+        EXPECT_FALSE(t.loss_ids.empty());
+    }
+}
+
+TEST(ConsequenceTrace, PivotPathFromEntryPoint) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+
+    auto traces = analyzer.trace(fake_assoc({{"Programming WS", 1}}));
+    ASSERT_FALSE(traces.empty());
+    // The WS is not a controller; every trace pivots through the firewall.
+    for (const ConsequenceTrace& t : traces) {
+        ASSERT_GE(t.pivot_path.size(), 3u);
+        EXPECT_EQ(t.pivot_path.front(), "Programming WS");
+        EXPECT_EQ(t.pivot_path[1], "Control firewall");
+    }
+    // The SIS trip UCAs (UCA-4/5) require one more hop than BPCS UCAs.
+    auto uca4 = std::find_if(traces.begin(), traces.end(),
+                             [](const ConsequenceTrace& t) { return t.uca_id == "UCA-4"; });
+    ASSERT_NE(uca4, traces.end());
+    EXPECT_EQ(uca4->pivot_hops(), 3u); // WS -> FW -> BPCS -> SIS
+}
+
+TEST(ConsequenceTrace, NoVectorsNoTraces) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    EXPECT_TRUE(analyzer.trace(fake_assoc({{"BPCS platform", 0}})).empty());
+    EXPECT_TRUE(analyzer.trace(search::AssociationMap{}).empty());
+}
+
+TEST(ConsequenceTrace, UnreachableControllerProducesNoTrace) {
+    // Sensor -> (nothing): the temperature sensor has no forward path to
+    // the SIS? It does (feedback edge). Use the Centrifuge instead: it has
+    // no outgoing edges at all.
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    auto traces = analyzer.trace(fake_assoc({{"Centrifuge", 3}}));
+    EXPECT_TRUE(traces.empty());
+}
+
+TEST(ConsequenceTrace, ExternallyReachableFiltersEntryPoints) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    auto assoc = fake_assoc({{"Programming WS", 1}, {"BPCS platform", 1}});
+    auto all = analyzer.trace(assoc);
+    auto external = analyzer.externally_reachable(assoc);
+    EXPECT_GT(all.size(), external.size());
+    for (const ConsequenceTrace& t : external) EXPECT_EQ(t.component, "Programming WS");
+}
+
+TEST(ConsequenceTrace, TracesSortedByDirectness) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    auto traces =
+        analyzer.trace(fake_assoc({{"Programming WS", 1}, {"BPCS platform", 1}}));
+    for (std::size_t i = 1; i < traces.size(); ++i)
+        EXPECT_LE(traces[i - 1].pivot_hops(), traces[i].pivot_hops());
+}
+
+TEST(ConsequenceTrace, ToStringIsReadable) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    auto traces = analyzer.trace(fake_assoc({{"Programming WS", 2}}));
+    ASSERT_FALSE(traces.empty());
+    std::string s = to_string(traces.front());
+    EXPECT_NE(s.find("Programming WS"), std::string::npos);
+    EXPECT_NE(s.find("CWE-100"), std::string::npos);
+    EXPECT_NE(s.find("UCA-"), std::string::npos);
+    EXPECT_NE(s.find("losses:"), std::string::npos);
+}
+
+TEST(ConsequenceTrace, ExampleVectorsPreferWeaknesses) {
+    model::SystemModel m = synth::centrifuge_model();
+    HazardModel hm = synth::centrifuge_hazards();
+    ConsequenceAnalyzer analyzer(m, hm);
+    search::AssociationMap assoc = fake_assoc({{"BPCS platform", 5}});
+    auto traces = analyzer.trace(assoc);
+    ASSERT_FALSE(traces.empty());
+    EXPECT_LE(traces[0].example_vectors.size(), 3u);
+    EXPECT_EQ(traces[0].example_vectors[0].substr(0, 4), "CWE-");
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace s = cybok::strings;
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+    EXPECT_EQ(s::trim("  hello  "), "hello");
+    EXPECT_EQ(s::trim("\t\nx\r "), "x");
+    EXPECT_EQ(s::trim(""), "");
+    EXPECT_EQ(s::trim("   "), "");
+    EXPECT_EQ(s::trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+    auto parts = s::split(",a,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitSingleField) {
+    auto parts = s::split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+    auto parts = s::split_ws("  a \t b\nc ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+    EXPECT_TRUE(s::split_ws("").empty());
+    EXPECT_TRUE(s::split_ws("   ").empty());
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+    std::vector<std::string> parts{"a", "b", "c"};
+    EXPECT_EQ(s::join(parts, ", "), "a, b, c");
+    EXPECT_EQ(s::join(std::vector<std::string>{}, ","), "");
+    EXPECT_EQ(s::join(std::vector<std::string>{"x"}, ","), "x");
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(s::to_lower("MiXeD 123 Case"), "mixed 123 case");
+}
+
+TEST(Strings, ReplaceAll) {
+    EXPECT_EQ(s::replace_all("a.b.c", ".", "::"), "a::b::c");
+    EXPECT_EQ(s::replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(s::replace_all("none", "x", "y"), "none");
+    EXPECT_EQ(s::replace_all("abc", "", "z"), "abc");
+}
+
+TEST(Strings, CaseInsensitiveEquality) {
+    EXPECT_TRUE(s::iequals("Windows 7", "windows 7"));
+    EXPECT_FALSE(s::iequals("Windows 7", "Windows 10"));
+    EXPECT_FALSE(s::iequals("abc", "abcd"));
+}
+
+TEST(Strings, CaseInsensitiveContains) {
+    EXPECT_TRUE(s::icontains("NI RT Linux OS", "linux"));
+    EXPECT_TRUE(s::icontains("abc", ""));
+    EXPECT_FALSE(s::icontains("ab", "abc"));
+    EXPECT_FALSE(s::icontains("windows", "linux"));
+}
+
+TEST(Strings, EditDistanceBasics) {
+    EXPECT_EQ(s::edit_distance("", ""), 0u);
+    EXPECT_EQ(s::edit_distance("abc", "abc"), 0u);
+    EXPECT_EQ(s::edit_distance("abc", ""), 3u);
+    EXPECT_EQ(s::edit_distance("kitten", "sitting"), 3u);
+    EXPECT_EQ(s::edit_distance("crio 9063", "crio 9064"), 1u);
+}
+
+TEST(Strings, EditDistanceSymmetric) {
+    EXPECT_EQ(s::edit_distance("labview", "rt linux"), s::edit_distance("rt linux", "labview"));
+}
+
+TEST(Strings, WithCommas) {
+    EXPECT_EQ(s::with_commas(0), "0");
+    EXPECT_EQ(s::with_commas(999), "999");
+    EXPECT_EQ(s::with_commas(1000), "1,000");
+    EXPECT_EQ(s::with_commas(9673), "9,673");
+    EXPECT_EQ(s::with_commas(1234567), "1,234,567");
+}

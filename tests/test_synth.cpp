@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cvss/cvss.hpp"
+#include "kb/serialize.hpp"
+#include "model/diff.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/lexicon.hpp"
+#include "synth/model_gen.hpp"
+#include "synth/scada.hpp"
+#include "text/tokenize.hpp"
+
+using namespace cybok;
+using namespace cybok::synth;
+
+TEST(Lexicon, DomainTagsDisjointAcrossDomains) {
+    std::set<std::string_view> seen;
+    for (int d = 0; d < static_cast<int>(kDomainCount); ++d) {
+        for (std::string_view tag : domain_tags(static_cast<Domain>(d))) {
+            EXPECT_TRUE(seen.insert(tag).second) << "tag shared across domains: " << tag;
+        }
+    }
+}
+
+TEST(Lexicon, GenericVocabularyAvoidsDomainTags) {
+    std::set<std::string_view> tags;
+    for (int d = 0; d < static_cast<int>(kDomainCount); ++d)
+        for (std::string_view tag : domain_tags(static_cast<Domain>(d))) tags.insert(tag);
+    for (auto pool : {security_nouns(), security_verbs(), security_objects()})
+        for (std::string_view w : pool)
+            EXPECT_FALSE(tags.contains(w)) << "generic word collides with tag: " << w;
+}
+
+TEST(Lexicon, SentencesContainRequestedTags) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        std::string s = make_sentence(rng, domain_tags(Domain::LinuxOs));
+        bool has_tag = s.find("linux") != std::string::npos ||
+                       s.find("kernel") != std::string::npos;
+        EXPECT_TRUE(has_tag) << s;
+    }
+    std::string generic = make_sentence(rng, {});
+    EXPECT_EQ(generic.find("linux"), std::string::npos);
+}
+
+TEST(Lexicon, DomainNames) {
+    EXPECT_EQ(domain_name(Domain::Ics), "ics");
+    EXPECT_EQ(domain_name(Domain::Generic), "generic");
+}
+
+// ------------------------------------------------------------- corpus gen
+
+namespace {
+const kb::Corpus& demo() {
+    static const kb::Corpus corpus = generate_corpus(CorpusProfile::scada_demo());
+    return corpus;
+}
+} // namespace
+
+TEST(CorpusGen, DeterministicForSameProfile) {
+    CorpusProfile p = CorpusProfile::scaled(0.05, 42);
+    kb::Corpus a = generate_corpus(p);
+    kb::Corpus b = generate_corpus(p);
+    EXPECT_EQ(json::dump(kb::to_json(a)), json::dump(kb::to_json(b)));
+}
+
+TEST(CorpusGen, SeedChangesContent) {
+    kb::Corpus a = generate_corpus(CorpusProfile::scaled(0.05, 1));
+    kb::Corpus b = generate_corpus(CorpusProfile::scaled(0.05, 2));
+    EXPECT_NE(json::dump(kb::to_json(a)), json::dump(kb::to_json(b)));
+}
+
+TEST(CorpusGen, RecordCountsMatchProfile) {
+    const kb::Corpus& c = demo();
+    CorpusProfile p = CorpusProfile::scada_demo();
+    kb::Corpus::Stats s = c.stats();
+    EXPECT_EQ(s.patterns, p.pattern_count + anchor_patterns().size());
+    EXPECT_EQ(s.weaknesses, p.weakness_count + anchor_weaknesses().size());
+    std::size_t expected_cves = 0;
+    for (const ProductSpec& spec : p.products) expected_cves += spec.cve_count;
+    EXPECT_EQ(s.vulnerabilities, expected_cves);
+}
+
+TEST(CorpusGen, PerProductCveVolumesExact) {
+    const kb::Corpus& c = demo();
+    for (const ProductSpec& spec : CorpusProfile::scada_demo().products) {
+        kb::Platform family = spec.platform;
+        family.version.clear();
+        EXPECT_EQ(c.vulnerabilities_for(family).size(), spec.cve_count) << spec.display;
+    }
+}
+
+TEST(CorpusGen, DomainPlantCountsExact) {
+    // Count generated pattern/weakness records containing each primary tag
+    // token; must equal the plant plan (anchors avoid these tokens).
+    const kb::Corpus& c = demo();
+    CorpusProfile p = CorpusProfile::scada_demo();
+    auto count_containing = [](const auto& records, std::string_view token,
+                               auto&& text_of) {
+        std::size_t n = 0;
+        for (const auto& r : records) {
+            auto tokens = text::tokenize(text_of(r));
+            for (const auto& t : tokens)
+                if (t == token) {
+                    ++n;
+                    break;
+                }
+        }
+        return n;
+    };
+    auto pattern_text = [](const kb::AttackPattern& r) { return r.name + " " + r.summary; };
+    auto weakness_text = [](const kb::Weakness& r) { return r.name + " " + r.description; };
+
+    EXPECT_EQ(count_containing(c.patterns(), "linux", pattern_text),
+              p.plants.at(Domain::LinuxOs).patterns);
+    EXPECT_EQ(count_containing(c.weaknesses(), "linux", weakness_text),
+              p.plants.at(Domain::LinuxOs).weaknesses);
+    EXPECT_EQ(count_containing(c.patterns(), "windows", pattern_text),
+              p.plants.at(Domain::WindowsOs).patterns);
+    EXPECT_EQ(count_containing(c.weaknesses(), "windows", weakness_text),
+              p.plants.at(Domain::WindowsOs).weaknesses);
+    EXPECT_EQ(count_containing(c.patterns(), "cisco", pattern_text),
+              p.plants.at(Domain::NetAppliance).patterns);
+    EXPECT_EQ(count_containing(c.weaknesses(), "cisco", weakness_text),
+              p.plants.at(Domain::NetAppliance).weaknesses);
+}
+
+TEST(CorpusGen, ReservedProductTokensNeverInPatternOrWeaknessText) {
+    const kb::Corpus& c = demo();
+    std::set<std::string> reserved;
+    for (std::string_view t : reserved_product_tokens()) reserved.emplace(t);
+    auto check = [&](const std::string& text) {
+        for (const std::string& tok : text::tokenize(text))
+            EXPECT_FALSE(reserved.contains(tok))
+                << "reserved token '" << tok << "' leaked into: " << text;
+    };
+    for (const kb::AttackPattern& p : c.patterns()) {
+        check(p.name);
+        check(p.summary);
+        for (const std::string& pre : p.prerequisites) check(pre);
+    }
+    for (const kb::Weakness& w : c.weaknesses()) {
+        check(w.name);
+        check(w.description);
+    }
+}
+
+TEST(CorpusGen, AnchorsPresentWithRealIds) {
+    const kb::Corpus& c = demo();
+    const kb::Weakness* cwe78 = c.find(kb::WeaknessId{kCweOsCommandInjection});
+    ASSERT_NE(cwe78, nullptr);
+    EXPECT_NE(cwe78->name.find("Operating System Commands"), std::string::npos);
+    const kb::AttackPattern* capec88 = c.find(kb::AttackPatternId{kCapecCommandInjection});
+    ASSERT_NE(capec88, nullptr);
+    // Cross-reference: CAPEC-88 exploits CWE-78, so the derived reverse
+    // link exists.
+    auto patterns = c.patterns_for(kb::WeaknessId{kCweOsCommandInjection});
+    EXPECT_TRUE(std::find(patterns.begin(), patterns.end(),
+                          kb::AttackPatternId{kCapecCommandInjection}) != patterns.end());
+}
+
+TEST(CorpusGen, AnchorsAccumulateVulnerabilityMass) {
+    // The zipf head sits on the anchor weaknesses, so CWE-78 classifies a
+    // healthy share of generated CVEs — as in the real NVD.
+    const kb::Corpus& c = demo();
+    EXPECT_GT(c.vulnerabilities_for(kb::WeaknessId{kCweOsCommandInjection}).size(), 100u);
+}
+
+TEST(CorpusGen, MostVulnerabilitiesHaveValidCvss) {
+    const kb::Corpus& c = demo();
+    std::size_t scored = 0;
+    std::size_t checked = 0;
+    for (const kb::Vulnerability& v : c.vulnerabilities()) {
+        if (v.cvss_vector.empty()) continue;
+        ++scored;
+        if (++checked <= 500) {
+            double s = cvss::base_score(cvss::parse(v.cvss_vector));
+            EXPECT_GT(s, 0.0);
+            EXPECT_LE(s, 10.0);
+        }
+    }
+    EXPECT_GT(scored, c.vulnerabilities().size() * 8 / 10);
+}
+
+TEST(CorpusGen, InvalidProfilesRejected) {
+    CorpusProfile p = CorpusProfile::scada_demo();
+    p.pattern_count = 10; // plants exceed totals
+    EXPECT_THROW(generate_corpus(p), cybok::ValidationError);
+
+    CorpusProfile dup = CorpusProfile::scada_demo();
+    dup.products.push_back(dup.products.front());
+    EXPECT_THROW(generate_corpus(dup), cybok::ValidationError);
+
+    CorpusProfile generic_plant = CorpusProfile::scada_demo();
+    generic_plant.plants[Domain::Generic] = {1, 1};
+    EXPECT_THROW(generate_corpus(generic_plant), cybok::ValidationError);
+
+    EXPECT_THROW(CorpusProfile::scaled(0.0001), cybok::ValidationError);
+}
+
+TEST(CorpusGen, ScaledProfileShrinksEverything) {
+    CorpusProfile full = CorpusProfile::scada_demo();
+    CorpusProfile tenth = CorpusProfile::scaled(0.1, 7);
+    EXPECT_EQ(tenth.pattern_count, full.pattern_count / 10);
+    for (std::size_t i = 0; i < full.products.size(); ++i)
+        EXPECT_LE(tenth.products[i].cve_count, full.products[i].cve_count);
+    kb::Corpus c = generate_corpus(tenth);
+    EXPECT_GT(c.stats().vulnerabilities, 0u);
+}
+
+// --------------------------------------------------------------- model gen
+
+TEST(ModelGen, DeterministicAndSized) {
+    ModelGenConfig cfg;
+    cfg.seed = 3;
+    cfg.components = 40;
+    model::SystemModel a = generate_model(cfg);
+    model::SystemModel b = generate_model(cfg);
+    EXPECT_EQ(a.component_count(), 40u);
+    EXPECT_TRUE(model::diff(a, b).empty());
+}
+
+TEST(ModelGen, LayerZeroIsExternalFacing) {
+    ModelGenConfig cfg;
+    cfg.components = 20;
+    cfg.layers = 4;
+    model::SystemModel m = generate_model(cfg);
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        bool layer0 = c.subsystem == "layer-0";
+        EXPECT_EQ(c.external_facing, layer0) << c.name;
+    }
+}
+
+TEST(ModelGen, EveryNonFinalComponentHasForwardEdges) {
+    ModelGenConfig cfg;
+    cfg.components = 30;
+    cfg.layers = 3;
+    model::SystemModel m = generate_model(cfg);
+    std::set<std::uint32_t> with_out;
+    for (const model::Connector& k : m.connectors()) with_out.insert(k.from.value);
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid() || c.subsystem == "layer-2") continue;
+        EXPECT_TRUE(with_out.contains(c.id.value)) << c.name;
+    }
+}
+
+TEST(ModelGen, PlatformRefProbabilityExtremes) {
+    ModelGenConfig none;
+    none.components = 20;
+    none.platform_ref_prob = 0.0;
+    model::SystemModel m_none = generate_model(none);
+    for (const model::Component& c : m_none.components())
+        if (c.id.valid()) {
+            EXPECT_EQ(c.attributes.size(), 1u); // role only
+        }
+
+    ModelGenConfig all;
+    all.components = 20;
+    all.platform_ref_prob = 1.0;
+    model::SystemModel m_all = generate_model(all);
+    for (const model::Component& c : m_all.components())
+        if (c.id.valid()) {
+            EXPECT_EQ(c.attributes.size(), 2u);
+        }
+}
+
+TEST(ModelGen, RejectsImpossibleConfig) {
+    ModelGenConfig cfg;
+    cfg.components = 2;
+    cfg.layers = 4;
+    EXPECT_THROW(generate_model(cfg), cybok::ValidationError);
+}
+
+// ----------------------------------------------------------- scada fixtures
+
+TEST(ScadaFixture, MatchesFigureOneInventory) {
+    model::SystemModel m = centrifuge_model();
+    for (const char* name : {"Programming WS", "Control firewall", "SIS platform",
+                             "BPCS platform", "Temperature sensor", "Centrifuge"})
+        EXPECT_TRUE(m.find_component(name).has_value()) << name;
+    EXPECT_EQ(m.component_count(), 6u);
+    EXPECT_TRUE(m.validate().empty());
+    EXPECT_EQ(m.max_fidelity(), model::Fidelity::Implementation);
+}
+
+TEST(ScadaFixture, TableOneAttributesResolved) {
+    model::SystemModel m = centrifuge_model();
+    const model::Attribute* os =
+        m.find_attribute(*m.find_component("BPCS platform"), "os");
+    ASSERT_NE(os, nullptr);
+    EXPECT_EQ(os->value, "NI RT Linux OS");
+    ASSERT_TRUE(os->platform.has_value());
+    EXPECT_EQ(os->platform->product, "rt_linux");
+}
+
+TEST(ScadaFixture, HardenedModelDiffersOnlyWhereIntended) {
+    model::ModelDiff d = model::diff(centrifuge_model(), centrifuge_model_hardened());
+    EXPECT_TRUE(d.added_components.empty());
+    EXPECT_TRUE(d.removed_components.empty());
+    EXPECT_EQ(d.attribute_changes.size(), 3u);
+    auto touched = d.touched_components();
+    EXPECT_EQ(touched.size(), 2u); // WS + firewall
+}
+
+TEST(ScadaFixture, UavModelValid) {
+    model::SystemModel m = uav_model();
+    EXPECT_EQ(m.component_count(), 6u);
+    EXPECT_TRUE(m.validate().empty());
+}
