@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cvss"
+  "../bench/bench_cvss.pdb"
+  "CMakeFiles/bench_cvss.dir/bench_cvss.cpp.o"
+  "CMakeFiles/bench_cvss.dir/bench_cvss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cvss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fidelity"
+  "../bench/bench_fidelity.pdb"
+  "CMakeFiles/bench_fidelity.dir/bench_fidelity.cpp.o"
+  "CMakeFiles/bench_fidelity.dir/bench_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

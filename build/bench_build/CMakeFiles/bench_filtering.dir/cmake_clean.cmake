@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_filtering"
+  "../bench/bench_filtering.pdb"
+  "CMakeFiles/bench_filtering.dir/bench_filtering.cpp.o"
+  "CMakeFiles/bench_filtering.dir/bench_filtering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_graph"
+  "../bench/bench_graph.pdb"
+  "CMakeFiles/bench_graph.dir/bench_graph.cpp.o"
+  "CMakeFiles/bench_graph.dir/bench_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

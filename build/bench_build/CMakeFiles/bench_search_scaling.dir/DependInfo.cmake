@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_search_scaling.cpp" "bench_build/CMakeFiles/bench_search_scaling.dir/bench_search_scaling.cpp.o" "gcc" "bench_build/CMakeFiles/bench_search_scaling.dir/bench_search_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

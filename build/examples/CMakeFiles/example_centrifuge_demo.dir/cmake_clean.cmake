@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/centrifuge_demo"
+  "../examples_bin/centrifuge_demo.pdb"
+  "CMakeFiles/example_centrifuge_demo.dir/centrifuge_demo.cpp.o"
+  "CMakeFiles/example_centrifuge_demo.dir/centrifuge_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_centrifuge_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

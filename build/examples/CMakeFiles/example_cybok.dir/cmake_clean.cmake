@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/cybok"
+  "../examples_bin/cybok.pdb"
+  "CMakeFiles/example_cybok.dir/cybok.cpp.o"
+  "CMakeFiles/example_cybok.dir/cybok.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cybok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/deployed_reevaluation"
+  "../examples_bin/deployed_reevaluation.pdb"
+  "CMakeFiles/example_deployed_reevaluation.dir/deployed_reevaluation.cpp.o"
+  "CMakeFiles/example_deployed_reevaluation.dir/deployed_reevaluation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deployed_reevaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/model_interchange"
+  "../examples_bin/model_interchange.pdb"
+  "CMakeFiles/example_model_interchange.dir/model_interchange.cpp.o"
+  "CMakeFiles/example_model_interchange.dir/model_interchange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/quickstart"
+  "../examples_bin/quickstart.pdb"
+  "CMakeFiles/example_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/uav_demo"
+  "../examples_bin/uav_demo.pdb"
+  "CMakeFiles/example_uav_demo.dir/uav_demo.cpp.o"
+  "CMakeFiles/example_uav_demo.dir/uav_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uav_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples_bin/whatif_refinement"
+  "../examples_bin/whatif_refinement.pdb"
+  "CMakeFiles/example_whatif_refinement.dir/whatif_refinement.cpp.o"
+  "CMakeFiles/example_whatif_refinement.dir/whatif_refinement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attack_paths.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/attack_paths.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/attack_paths.cpp.o.d"
+  "/root/repo/src/analysis/fidelity.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/fidelity.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/fidelity.cpp.o.d"
+  "/root/repo/src/analysis/hardening.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/hardening.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/hardening.cpp.o.d"
+  "/root/repo/src/analysis/mission_impact.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/mission_impact.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/mission_impact.cpp.o.d"
+  "/root/repo/src/analysis/model_advice.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/model_advice.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/model_advice.cpp.o.d"
+  "/root/repo/src/analysis/monitoring.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/monitoring.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/monitoring.cpp.o.d"
+  "/root/repo/src/analysis/posture.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/posture.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/posture.cpp.o.d"
+  "/root/repo/src/analysis/whatif.cpp" "src/CMakeFiles/cybok_analysis.dir/analysis/whatif.cpp.o" "gcc" "src/CMakeFiles/cybok_analysis.dir/analysis/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

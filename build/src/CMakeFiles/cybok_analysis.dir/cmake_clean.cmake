@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_analysis.dir/analysis/attack_paths.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/attack_paths.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/fidelity.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/fidelity.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/hardening.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/hardening.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/mission_impact.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/mission_impact.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/model_advice.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/model_advice.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/monitoring.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/monitoring.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/posture.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/posture.cpp.o.d"
+  "CMakeFiles/cybok_analysis.dir/analysis/whatif.cpp.o"
+  "CMakeFiles/cybok_analysis.dir/analysis/whatif.cpp.o.d"
+  "libcybok_analysis.a"
+  "libcybok_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/attack_tree.cpp" "src/CMakeFiles/cybok_baseline.dir/baseline/attack_tree.cpp.o" "gcc" "src/CMakeFiles/cybok_baseline.dir/baseline/attack_tree.cpp.o.d"
+  "/root/repo/src/baseline/comparison.cpp" "src/CMakeFiles/cybok_baseline.dir/baseline/comparison.cpp.o" "gcc" "src/CMakeFiles/cybok_baseline.dir/baseline/comparison.cpp.o.d"
+  "/root/repo/src/baseline/stride.cpp" "src/CMakeFiles/cybok_baseline.dir/baseline/stride.cpp.o" "gcc" "src/CMakeFiles/cybok_baseline.dir/baseline/stride.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_baseline.dir/baseline/attack_tree.cpp.o"
+  "CMakeFiles/cybok_baseline.dir/baseline/attack_tree.cpp.o.d"
+  "CMakeFiles/cybok_baseline.dir/baseline/comparison.cpp.o"
+  "CMakeFiles/cybok_baseline.dir/baseline/comparison.cpp.o.d"
+  "CMakeFiles/cybok_baseline.dir/baseline/stride.cpp.o"
+  "CMakeFiles/cybok_baseline.dir/baseline/stride.cpp.o.d"
+  "libcybok_baseline.a"
+  "libcybok_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

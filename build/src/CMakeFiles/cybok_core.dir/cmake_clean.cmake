@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_core.dir/core/session.cpp.o"
+  "CMakeFiles/cybok_core.dir/core/session.cpp.o.d"
+  "libcybok_core.a"
+  "libcybok_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

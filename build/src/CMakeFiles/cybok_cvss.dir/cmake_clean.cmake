@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_cvss.dir/cvss/cvss.cpp.o"
+  "CMakeFiles/cybok_cvss.dir/cvss/cvss.cpp.o.d"
+  "CMakeFiles/cybok_cvss.dir/cvss/cvss2.cpp.o"
+  "CMakeFiles/cybok_cvss.dir/cvss/cvss2.cpp.o.d"
+  "libcybok_cvss.a"
+  "libcybok_cvss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_cvss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_dashboard.dir/dashboard/export_bundle.cpp.o"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/export_bundle.cpp.o.d"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/histogram.cpp.o"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/histogram.cpp.o.d"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/report.cpp.o"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/report.cpp.o.d"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/table.cpp.o"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/table.cpp.o.d"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/vector_graph.cpp.o"
+  "CMakeFiles/cybok_dashboard.dir/dashboard/vector_graph.cpp.o.d"
+  "libcybok_dashboard.a"
+  "libcybok_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

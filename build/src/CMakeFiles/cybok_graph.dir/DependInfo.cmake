@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/cybok_graph.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/cybok_graph.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/cybok_graph.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/cybok_graph.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graphml.cpp" "src/CMakeFiles/cybok_graph.dir/graph/graphml.cpp.o" "gcc" "src/CMakeFiles/cybok_graph.dir/graph/graphml.cpp.o.d"
+  "/root/repo/src/graph/property_graph.cpp" "src/CMakeFiles/cybok_graph.dir/graph/property_graph.cpp.o" "gcc" "src/CMakeFiles/cybok_graph.dir/graph/property_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/cybok_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/cybok_graph.dir/graph/dot.cpp.o"
+  "CMakeFiles/cybok_graph.dir/graph/dot.cpp.o.d"
+  "CMakeFiles/cybok_graph.dir/graph/graphml.cpp.o"
+  "CMakeFiles/cybok_graph.dir/graph/graphml.cpp.o.d"
+  "CMakeFiles/cybok_graph.dir/graph/property_graph.cpp.o"
+  "CMakeFiles/cybok_graph.dir/graph/property_graph.cpp.o.d"
+  "libcybok_graph.a"
+  "libcybok_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/corpus.cpp" "src/CMakeFiles/cybok_kb.dir/kb/corpus.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/corpus.cpp.o.d"
+  "/root/repo/src/kb/hierarchy.cpp" "src/CMakeFiles/cybok_kb.dir/kb/hierarchy.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/hierarchy.cpp.o.d"
+  "/root/repo/src/kb/import_mitre.cpp" "src/CMakeFiles/cybok_kb.dir/kb/import_mitre.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/import_mitre.cpp.o.d"
+  "/root/repo/src/kb/import_nvd.cpp" "src/CMakeFiles/cybok_kb.dir/kb/import_nvd.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/import_nvd.cpp.o.d"
+  "/root/repo/src/kb/platform.cpp" "src/CMakeFiles/cybok_kb.dir/kb/platform.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/platform.cpp.o.d"
+  "/root/repo/src/kb/serialize.cpp" "src/CMakeFiles/cybok_kb.dir/kb/serialize.cpp.o" "gcc" "src/CMakeFiles/cybok_kb.dir/kb/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

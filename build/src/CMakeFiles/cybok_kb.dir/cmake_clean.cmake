@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_kb.dir/kb/corpus.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/corpus.cpp.o.d"
+  "CMakeFiles/cybok_kb.dir/kb/hierarchy.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/hierarchy.cpp.o.d"
+  "CMakeFiles/cybok_kb.dir/kb/import_mitre.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/import_mitre.cpp.o.d"
+  "CMakeFiles/cybok_kb.dir/kb/import_nvd.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/import_nvd.cpp.o.d"
+  "CMakeFiles/cybok_kb.dir/kb/platform.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/platform.cpp.o.d"
+  "CMakeFiles/cybok_kb.dir/kb/serialize.cpp.o"
+  "CMakeFiles/cybok_kb.dir/kb/serialize.cpp.o.d"
+  "libcybok_kb.a"
+  "libcybok_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/diff.cpp" "src/CMakeFiles/cybok_model.dir/model/diff.cpp.o" "gcc" "src/CMakeFiles/cybok_model.dir/model/diff.cpp.o.d"
+  "/root/repo/src/model/dsl.cpp" "src/CMakeFiles/cybok_model.dir/model/dsl.cpp.o" "gcc" "src/CMakeFiles/cybok_model.dir/model/dsl.cpp.o.d"
+  "/root/repo/src/model/export.cpp" "src/CMakeFiles/cybok_model.dir/model/export.cpp.o" "gcc" "src/CMakeFiles/cybok_model.dir/model/export.cpp.o.d"
+  "/root/repo/src/model/mission.cpp" "src/CMakeFiles/cybok_model.dir/model/mission.cpp.o" "gcc" "src/CMakeFiles/cybok_model.dir/model/mission.cpp.o.d"
+  "/root/repo/src/model/system_model.cpp" "src/CMakeFiles/cybok_model.dir/model/system_model.cpp.o" "gcc" "src/CMakeFiles/cybok_model.dir/model/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_model.dir/model/diff.cpp.o"
+  "CMakeFiles/cybok_model.dir/model/diff.cpp.o.d"
+  "CMakeFiles/cybok_model.dir/model/dsl.cpp.o"
+  "CMakeFiles/cybok_model.dir/model/dsl.cpp.o.d"
+  "CMakeFiles/cybok_model.dir/model/export.cpp.o"
+  "CMakeFiles/cybok_model.dir/model/export.cpp.o.d"
+  "CMakeFiles/cybok_model.dir/model/mission.cpp.o"
+  "CMakeFiles/cybok_model.dir/model/mission.cpp.o.d"
+  "CMakeFiles/cybok_model.dir/model/system_model.cpp.o"
+  "CMakeFiles/cybok_model.dir/model/system_model.cpp.o.d"
+  "libcybok_model.a"
+  "libcybok_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

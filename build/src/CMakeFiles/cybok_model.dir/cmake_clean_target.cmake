@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcybok_model.a"
+)

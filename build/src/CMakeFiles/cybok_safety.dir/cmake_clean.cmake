@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_safety.dir/safety/control_structure.cpp.o"
+  "CMakeFiles/cybok_safety.dir/safety/control_structure.cpp.o.d"
+  "CMakeFiles/cybok_safety.dir/safety/hazards.cpp.o"
+  "CMakeFiles/cybok_safety.dir/safety/hazards.cpp.o.d"
+  "CMakeFiles/cybok_safety.dir/safety/scenarios.cpp.o"
+  "CMakeFiles/cybok_safety.dir/safety/scenarios.cpp.o.d"
+  "CMakeFiles/cybok_safety.dir/safety/trace.cpp.o"
+  "CMakeFiles/cybok_safety.dir/safety/trace.cpp.o.d"
+  "libcybok_safety.a"
+  "libcybok_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_search.dir/search/association.cpp.o"
+  "CMakeFiles/cybok_search.dir/search/association.cpp.o.d"
+  "CMakeFiles/cybok_search.dir/search/engine.cpp.o"
+  "CMakeFiles/cybok_search.dir/search/engine.cpp.o.d"
+  "CMakeFiles/cybok_search.dir/search/filters.cpp.o"
+  "CMakeFiles/cybok_search.dir/search/filters.cpp.o.d"
+  "libcybok_search.a"
+  "libcybok_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

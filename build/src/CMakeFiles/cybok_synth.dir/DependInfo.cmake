@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corpus_gen.cpp" "src/CMakeFiles/cybok_synth.dir/synth/corpus_gen.cpp.o" "gcc" "src/CMakeFiles/cybok_synth.dir/synth/corpus_gen.cpp.o.d"
+  "/root/repo/src/synth/lexicon.cpp" "src/CMakeFiles/cybok_synth.dir/synth/lexicon.cpp.o" "gcc" "src/CMakeFiles/cybok_synth.dir/synth/lexicon.cpp.o.d"
+  "/root/repo/src/synth/model_gen.cpp" "src/CMakeFiles/cybok_synth.dir/synth/model_gen.cpp.o" "gcc" "src/CMakeFiles/cybok_synth.dir/synth/model_gen.cpp.o.d"
+  "/root/repo/src/synth/scada.cpp" "src/CMakeFiles/cybok_synth.dir/synth/scada.cpp.o" "gcc" "src/CMakeFiles/cybok_synth.dir/synth/scada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_synth.dir/synth/corpus_gen.cpp.o"
+  "CMakeFiles/cybok_synth.dir/synth/corpus_gen.cpp.o.d"
+  "CMakeFiles/cybok_synth.dir/synth/lexicon.cpp.o"
+  "CMakeFiles/cybok_synth.dir/synth/lexicon.cpp.o.d"
+  "CMakeFiles/cybok_synth.dir/synth/model_gen.cpp.o"
+  "CMakeFiles/cybok_synth.dir/synth/model_gen.cpp.o.d"
+  "CMakeFiles/cybok_synth.dir/synth/scada.cpp.o"
+  "CMakeFiles/cybok_synth.dir/synth/scada.cpp.o.d"
+  "libcybok_synth.a"
+  "libcybok_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

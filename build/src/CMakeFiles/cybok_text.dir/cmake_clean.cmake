@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_text.dir/text/index.cpp.o"
+  "CMakeFiles/cybok_text.dir/text/index.cpp.o.d"
+  "CMakeFiles/cybok_text.dir/text/tokenize.cpp.o"
+  "CMakeFiles/cybok_text.dir/text/tokenize.cpp.o.d"
+  "libcybok_text.a"
+  "libcybok_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybok_util.dir/util/json.cpp.o"
+  "CMakeFiles/cybok_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/cybok_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cybok_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cybok_util.dir/util/strings.cpp.o"
+  "CMakeFiles/cybok_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/cybok_util.dir/util/xml.cpp.o"
+  "CMakeFiles/cybok_util.dir/util/xml.cpp.o.d"
+  "libcybok_util.a"
+  "libcybok_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybok_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/cybok_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/cybok_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/cybok_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_cvss.cpp" "tests/CMakeFiles/cybok_tests.dir/test_cvss.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_cvss.cpp.o.d"
+  "/root/repo/tests/test_cvss2.cpp" "tests/CMakeFiles/cybok_tests.dir/test_cvss2.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_cvss2.cpp.o.d"
+  "/root/repo/tests/test_dashboard.cpp" "tests/CMakeFiles/cybok_tests.dir/test_dashboard.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_dashboard.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/cybok_tests.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/cybok_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graphml.cpp" "tests/CMakeFiles/cybok_tests.dir/test_graphml.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_graphml.cpp.o.d"
+  "/root/repo/tests/test_hardening.cpp" "tests/CMakeFiles/cybok_tests.dir/test_hardening.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_hardening.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/cybok_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_import_mitre.cpp" "tests/CMakeFiles/cybok_tests.dir/test_import_mitre.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_import_mitre.cpp.o.d"
+  "/root/repo/tests/test_import_nvd.cpp" "tests/CMakeFiles/cybok_tests.dir/test_import_nvd.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_import_nvd.cpp.o.d"
+  "/root/repo/tests/test_index.cpp" "tests/CMakeFiles/cybok_tests.dir/test_index.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_index.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/cybok_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_kb.cpp" "tests/CMakeFiles/cybok_tests.dir/test_kb.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_kb.cpp.o.d"
+  "/root/repo/tests/test_mission.cpp" "tests/CMakeFiles/cybok_tests.dir/test_mission.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_mission.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/cybok_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_monitoring.cpp" "tests/CMakeFiles/cybok_tests.dir/test_monitoring.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_monitoring.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/cybok_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cybok_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_safety.cpp" "tests/CMakeFiles/cybok_tests.dir/test_safety.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_safety.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/cybok_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/cybok_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/cybok_tests.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_session.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/cybok_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/cybok_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_text.cpp" "tests/CMakeFiles/cybok_tests.dir/test_text.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_text.cpp.o.d"
+  "/root/repo/tests/test_vector_graph.cpp" "tests/CMakeFiles/cybok_tests.dir/test_vector_graph.cpp.o" "gcc" "tests/CMakeFiles/cybok_tests.dir/test_vector_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cybok_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_cvss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cybok_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
