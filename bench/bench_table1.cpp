@@ -56,6 +56,16 @@ void print_table1() {
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("Table 1 reproduction: %s\n\n", all_match ? "EXACT" : "MISMATCH");
+
+    // The same table through the parallel+cached engine must be identical;
+    // print its metrics so every bench run documents the cache behavior.
+    search::Associator par(demo_engine(), search::AssocOptions{});
+    search::AssociationMap cold = par.associate(m);
+    search::AssociationMap warm = par.associate(m);
+    std::printf("Parallel engine check: %s (cold) / %s (warm)\n",
+                cold.total() == assoc.total() ? "identical totals" : "MISMATCH",
+                warm.total() == assoc.total() ? "identical totals" : "MISMATCH");
+    std::printf("Assoc metrics: %s\n\n", par.metrics().summary().c_str());
 }
 
 // How long one attribute query takes, per attribute kind.
@@ -92,7 +102,7 @@ void BM_QueryDescriptorAttribute(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryDescriptorAttribute);
 
-// The full Table 1: associate the whole SCADA model.
+// The full Table 1: associate the whole SCADA model (sequential baseline).
 void BM_AssociateScadaModel(benchmark::State& state) {
     model::SystemModel m = synth::centrifuge_model();
     for (auto _ : state) {
@@ -101,6 +111,37 @@ void BM_AssociateScadaModel(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_AssociateScadaModel);
+
+// The same association through the parallel pipeline, cache disabled —
+// isolates the thread-pool fan-out speedup over the baseline above.
+void BM_AssociateScadaModelParallel(benchmark::State& state) {
+    model::SystemModel m = synth::centrifuge_model();
+    search::AssocOptions opts;
+    opts.threads = static_cast<std::size_t>(state.range(0));
+    opts.cache_enabled = false;
+    search::Associator assoc(demo_engine(), opts);
+    for (auto _ : state) {
+        search::AssociationMap map = assoc.associate(m);
+        benchmark::DoNotOptimize(map);
+    }
+    state.counters["threads"] = static_cast<double>(assoc.thread_count());
+}
+BENCHMARK(BM_AssociateScadaModelParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+// Warm-cache replay: the cost of re-associating an unchanged model, the
+// floor the what-if loop pays when nothing (relevant) changed.
+void BM_AssociateScadaModelCachedWarm(benchmark::State& state) {
+    model::SystemModel m = synth::centrifuge_model();
+    search::Associator assoc(demo_engine(), search::AssocOptions{});
+    (void)assoc.associate(m); // prime
+    for (auto _ : state) {
+        search::AssociationMap map = assoc.associate(m);
+        benchmark::DoNotOptimize(map);
+    }
+    search::AssocMetrics metrics = assoc.metrics();
+    state.counters["hit_rate"] = metrics.cache_hit_rate();
+}
+BENCHMARK(BM_AssociateScadaModelCachedWarm);
 
 // What the paper's pipeline pays up front: generating (stand-in for
 // downloading/parsing) and indexing the corpus.

@@ -54,6 +54,40 @@ void BM_IncrementalReassociation(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalReassociation);
 
+// The refinement step through the parallel engine. Untouched components
+// are copied wholesale (the dominant win); the touched components' cache
+// entries are invalidated by policy on every reassociate, so they
+// re-query each iteration — hit_rate here reflects only duplicate
+// attributes, not replay.
+void BM_IncrementalReassociationParallelCached(benchmark::State& state) {
+    model::SystemModel before = synth::centrifuge_model();
+    model::SystemModel after = synth::centrifuge_model_hardened();
+    search::Associator assoc_engine(demo_engine(), search::AssocOptions{});
+    search::AssociationMap before_assoc = assoc_engine.associate(before);
+    model::ModelDiff d = model::diff(before, after);
+    for (auto _ : state) {
+        auto assoc = assoc_engine.reassociate(before_assoc, d, after);
+        benchmark::DoNotOptimize(assoc);
+    }
+    state.counters["hit_rate"] = assoc_engine.metrics().cache_hit_rate();
+}
+BENCHMARK(BM_IncrementalReassociationParallelCached);
+
+// Full re-association of the whole model, parallel engine, cold vs warm
+// cache — the "re-run everything after a refinement" upper bound the
+// paper's workflow pays without incrementality.
+void BM_FullReassociationParallelWarm(benchmark::State& state) {
+    model::SystemModel after = synth::centrifuge_model_hardened();
+    search::Associator assoc_engine(demo_engine(), search::AssocOptions{});
+    (void)assoc_engine.associate(after); // prime
+    for (auto _ : state) {
+        auto assoc = assoc_engine.associate(after);
+        benchmark::DoNotOptimize(assoc);
+    }
+    state.counters["hit_rate"] = assoc_engine.metrics().cache_hit_rate();
+}
+BENCHMARK(BM_FullReassociationParallelWarm);
+
 // Incremental advantage grows with model size: edit one component of an
 // N-component architecture.
 void BM_IncrementalVsSize(benchmark::State& state) {

@@ -15,4 +15,17 @@ WhatIfResult what_if(const model::SystemModel& before,
     return out;
 }
 
+WhatIfResult what_if(const model::SystemModel& before,
+                     const search::AssociationMap& before_associations,
+                     const model::SystemModel& after, search::Associator& associator,
+                     const search::FilterChain* chain) {
+    WhatIfResult out;
+    out.diff = model::diff(before, after);
+    out.after_associations =
+        associator.reassociate(before_associations, out.diff, after, chain);
+    out.after_posture = compute_posture(after, out.after_associations);
+    out.comparison = compare(compute_posture(before, before_associations), out.after_posture);
+    return out;
+}
+
 } // namespace cybok::analysis

@@ -28,4 +28,16 @@ struct WhatIfResult {
                                    const search::SearchEngine& engine,
                                    const search::FilterChain* chain = nullptr);
 
+/// Same, but re-association runs through the parallel, cached Associator:
+/// unchanged attributes of touched components hit the query cache, and the
+/// refined components' superseded cache entries are invalidated (see
+/// Associator::reassociate). This is the interactive-dashboard path — the
+/// paper's loop "evaluates different architectures iteratively", so each
+/// refinement pays only for what actually changed.
+[[nodiscard]] WhatIfResult what_if(const model::SystemModel& before,
+                                   const search::AssociationMap& before_associations,
+                                   const model::SystemModel& after,
+                                   search::Associator& associator,
+                                   const search::FilterChain* chain = nullptr);
+
 } // namespace cybok::analysis

@@ -8,7 +8,7 @@ namespace cybok::core {
 AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
                                  SessionOptions options)
     : model_(std::move(m)), corpus_(corpus), options_(std::move(options)),
-      engine_(corpus_, options_.engine) {}
+      engine_(corpus_, options_.engine), associator_(engine_, options_.assoc) {}
 
 void AnalysisSession::set_hazards(safety::HazardModel hazards) {
     std::vector<std::string> issues = hazards.validate();
@@ -45,7 +45,7 @@ std::string AnalysisSession::architecture_graphml() const {
 
 const search::AssociationMap& AnalysisSession::associations() {
     if (!associations_.has_value())
-        associations_ = search::associate(model_, engine_, chain());
+        associations_ = associator_.associate(model_, chain());
     return *associations_;
 }
 
@@ -93,6 +93,8 @@ dashboard::Report AnalysisSession::report() {
         extras.scenarios = causal_scenarios();
         extras.hardening = hardening_candidates();
     }
+    (void)associations(); // compute before snapshotting the metrics
+    extras.assoc_metrics = associator_.metrics();
     return dashboard::build_report(model_, associations(), posture(), consequence_traces(),
                                    options_.report, &extras);
 }
@@ -102,13 +104,15 @@ std::vector<std::string> AnalysisSession::export_bundle(const std::string& direc
 }
 
 analysis::WhatIfResult AnalysisSession::propose(const model::SystemModel& candidate) {
-    return analysis::what_if(model_, associations(), candidate, engine_, chain());
+    return analysis::what_if(model_, associations(), candidate, associator_, chain());
 }
 
 model::ModelDiff AnalysisSession::commit(model::SystemModel candidate) {
     model::ModelDiff d = model::diff(model_, candidate);
+    // reassociate drops the refined components' query-cache entries and
+    // re-queries only those components; everything else is copied.
     search::AssociationMap updated =
-        search::reassociate(associations(), d, candidate, engine_, chain());
+        associator_.reassociate(associations(), d, candidate, chain());
     model_ = std::move(candidate);
     invalidate_views();
     associations_ = std::move(updated);

@@ -33,6 +33,9 @@ namespace cybok::core {
 
 struct SessionOptions {
     search::EngineOptions engine;
+    /// Parallel/caching knobs for the association engine (threads, query
+    /// cache); defaults fan out across all cores with the cache on.
+    search::AssocOptions assoc;
     /// Filter chain applied to every attribute's matches (empty = keep
     /// everything; the Table 1 reproduction runs unfiltered).
     search::FilterChain filters;
@@ -53,6 +56,12 @@ public:
     [[nodiscard]] const model::SystemModel& model() const noexcept { return model_; }
     [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
     [[nodiscard]] const search::SearchEngine& engine() const noexcept { return engine_; }
+    /// The parallel/cached association engine every association in this
+    /// session runs through (associations(), propose(), commit()).
+    [[nodiscard]] search::Associator& associator() noexcept { return associator_; }
+    /// Cumulative association metrics (queries, cache hit rate, stage
+    /// timings) for this session; also surfaced as a report section.
+    [[nodiscard]] search::AssocMetrics assoc_metrics() const { return associator_.metrics(); }
 
     /// Attach physical-consequence knowledge (losses/hazards/UCAs). Resets
     /// cached traces.
@@ -112,6 +121,7 @@ private:
     const kb::Corpus& corpus_;
     SessionOptions options_;
     search::SearchEngine engine_;
+    search::Associator associator_;
     std::optional<safety::HazardModel> hazards_;
     std::optional<model::MissionModel> missions_;
 

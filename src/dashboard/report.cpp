@@ -168,6 +168,43 @@ Report build_report(const model::SystemModel& m, const search::AssociationMap& a
         if (!section.lines.empty()) report.sections.push_back(std::move(section));
     }
 
+    if (extras != nullptr && extras->assoc_metrics.has_value()) {
+        const search::AssocMetrics& am = *extras->assoc_metrics;
+        Section section;
+        section.heading = "Association engine";
+        section.lines.push_back(
+            std::to_string(am.queries_run) + " attribute queries executed across " +
+            std::to_string(am.threads) + " thread(s); " +
+            std::to_string(am.reused_components) + " component association(s) reused.");
+        if (am.cache_hits + am.cache_misses > 0) {
+            std::ostringstream rate;
+            rate.precision(1);
+            rate << std::fixed << 100.0 * am.cache_hit_rate();
+            section.lines.push_back("Query cache: " + strings::with_commas(am.cache_hits) +
+                                    " hits / " + strings::with_commas(am.cache_misses) +
+                                    " misses (" + rate.str() + "% hit rate), " +
+                                    std::to_string(am.cache_invalidations) +
+                                    " entries invalidated by refinements.");
+        }
+        section.lines.push_back(
+            "Candidates: " + strings::with_commas(am.pattern_candidates) +
+            " attack patterns, " + strings::with_commas(am.weakness_candidates) +
+            " weaknesses, " + strings::with_commas(am.vulnerability_candidates) +
+            " vulnerabilities.");
+        auto fmt_ms = [](std::uint64_t ns) {
+            std::ostringstream out;
+            out.precision(2);
+            out << std::fixed << static_cast<double>(ns) / 1e6 << " ms";
+            return out.str();
+        };
+        section.lines.push_back("Stage timings: analyze " + fmt_ms(am.timings.analyze_ns) +
+                                ", lexical " + fmt_ms(am.timings.lexical_ns) + ", binding " +
+                                fmt_ms(am.timings.binding_ns) + ", filter " +
+                                fmt_ms(am.timings.filter_ns) + ", wall " +
+                                fmt_ms(am.timings.wall_ns) + ".");
+        report.sections.push_back(std::move(section));
+    }
+
     if (extras != nullptr && !extras->hardening.empty()) {
         Section section;
         section.heading = "Hardening priorities";

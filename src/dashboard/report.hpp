@@ -47,6 +47,9 @@ struct ReportOptions {
 struct ReportExtras {
     std::vector<safety::CausalScenario> scenarios;
     std::vector<analysis::HardeningCandidate> hardening;
+    /// Association-engine counters (queries run, cache hit rate, stage
+    /// timings) — rendered as an "Association engine" section when set.
+    std::optional<search::AssocMetrics> assoc_metrics;
 };
 
 /// Assemble a report from the analysis artifacts. `traces` may be empty

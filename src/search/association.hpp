@@ -2,16 +2,29 @@
 // every component — "the main output … is this association of attack
 // vectors to the system model" — with support for incremental
 // re-association after a model edit (the dashboard's on-the-fly loop).
+//
+// Two execution paths exist:
+//   * the free functions associate()/reassociate(): sequential, uncached,
+//     zero-setup — the reference semantics;
+//   * the Associator class: fans attribute queries out across a thread
+//     pool, memoizes per-attribute results in a QueryCache, and records
+//     AssocMetrics — the interactive-speed path the what-if loop needs.
+// Both produce byte-identical AssociationMaps (tests/test_concurrency.cpp
+// hammers this equivalence).
 
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "model/diff.hpp"
 #include "search/engine.hpp"
 #include "search/filters.hpp"
+#include "search/metrics.hpp"
+#include "search/query_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cybok::search {
 
@@ -67,5 +80,78 @@ struct AssociationMap {
                                          const model::SystemModel& after,
                                          const SearchEngine& engine,
                                          const FilterChain* chain = nullptr);
+
+/// Execution knobs for the Associator.
+struct AssocOptions {
+    /// Lanes to fan attribute queries across (0 = hardware concurrency).
+    std::size_t threads = 0;
+    /// Memoize attribute query results across attributes and runs.
+    bool cache_enabled = true;
+    /// Max cached attribute entries before FIFO eviction.
+    std::size_t cache_capacity = 1 << 14;
+};
+
+/// The parallel, memoizing association engine.
+///
+/// Owns a util::ThreadPool and a QueryCache over one immutable
+/// SearchEngine. associate() fans every (component, attribute) pair of a
+/// model across the pool; each attribute result is cached under its
+/// normalized token sequence + attribute kind + platform + engine-options
+/// signature, so a repeated attribute ("Linux OS" on several platforms)
+/// or an unchanged attribute across what-if refinements is served without
+/// re-scoring. reassociate() additionally drops the cache entries of the
+/// refined components (a memory policy — entries are content-addressed
+/// and can never be stale; see QueryCache).
+///
+/// Result ordering is deterministic: each task writes its own pre-sized
+/// slot, so output is byte-identical to the sequential free functions
+/// regardless of thread count or cache state.
+///
+/// Thread-safety: a single Associator may be shared by concurrent
+/// callers; runs serialize on the pool while cache and metrics updates
+/// are internally locked.
+class Associator {
+public:
+    explicit Associator(const SearchEngine& engine, AssocOptions options = {});
+
+    Associator(const Associator&) = delete;
+    Associator& operator=(const Associator&) = delete;
+
+    [[nodiscard]] const SearchEngine& engine() const noexcept { return engine_; }
+    [[nodiscard]] const AssocOptions& options() const noexcept { return options_; }
+    [[nodiscard]] std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+
+    /// Parallel equivalent of search::associate().
+    [[nodiscard]] AssociationMap associate(const model::SystemModel& m,
+                                           const FilterChain* chain = nullptr);
+
+    /// Parallel equivalent of search::reassociate(). Cache entries of the
+    /// diff's touched and removed components are invalidated before the
+    /// touched components are re-queried.
+    [[nodiscard]] AssociationMap reassociate(const AssociationMap& previous,
+                                             const model::ModelDiff& diff,
+                                             const model::SystemModel& after,
+                                             const FilterChain* chain = nullptr);
+
+    /// Metrics accumulated since construction / the last reset (snapshot
+    /// under lock — safe while runs are in flight).
+    [[nodiscard]] AssocMetrics metrics() const;
+    void reset_metrics();
+
+    /// The underlying cache (e.g. to clear() between benchmark phases).
+    [[nodiscard]] QueryCache& cache() noexcept { return cache_; }
+
+private:
+    struct Task; // one (component, attribute) query
+    void run_tasks(std::vector<Task>& tasks, const FilterChain* chain);
+
+    const SearchEngine& engine_;
+    AssocOptions options_;
+    std::string options_signature_; ///< engine-options half of cache keys
+    util::ThreadPool pool_;
+    QueryCache cache_;
+    mutable std::mutex metrics_mutex_;
+    AssocMetrics metrics_;
+};
 
 } // namespace cybok::search

@@ -1,8 +1,10 @@
 #include "search/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <unordered_set>
 
 #include "cvss/cvss2.hpp"
 #include "text/tokenize.hpp"
@@ -35,7 +37,21 @@ std::string head(std::string_view text, std::size_t max_len = 70) {
     return std::string(text.substr(0, max_len - 3)) + "...";
 }
 
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+}
+
 } // namespace
+
+std::string EngineOptions::signature() const {
+    std::ostringstream out;
+    out << (ranker == Ranker::Bm25 ? "bm25" : "tfidf") << "|idf=" << min_evidence_idf
+        << "|lexvuln=" << (lexical_vulnerabilities ? 1 : 0) << "|tw=" << title_weight;
+    return out.str();
+}
 
 SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options)
     : corpus_(corpus), options_(options) {
@@ -178,27 +194,59 @@ std::vector<Match> SearchEngine::query_platform(const kb::Platform& platform) co
     return out;
 }
 
-std::vector<Match> SearchEngine::query_attribute(const model::Attribute& attr) const {
+std::vector<std::string> SearchEngine::attribute_tokens(const model::Attribute& attr) {
+    return text::analyze(attr.name + " " + attr.value);
+}
+
+std::vector<Match> SearchEngine::query_attribute(const model::Attribute& attr,
+                                                 AssocMetrics* metrics) const {
+    if (attr.kind == model::AttributeKind::Parameter) return {};
+    const Clock::time_point start = Clock::now();
+    const std::vector<std::string> tokens = attribute_tokens(attr);
+    if (metrics != nullptr) metrics->timings.analyze_ns += ns_since(start);
+    return query_attribute_tokens(attr, tokens, metrics);
+}
+
+std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& attr,
+                                                        const std::vector<std::string>& tokens,
+                                                        AssocMetrics* metrics) const {
     std::vector<Match> out;
     if (attr.kind == model::AttributeKind::Parameter) return out;
 
-    const std::string query_text_s = attr.name + " " + attr.value;
-    const std::vector<std::string> tokens = text::analyze(query_text_s);
-
+    const Clock::time_point lex_start = Clock::now();
     for (Match& m : run_lexical(tokens, VectorClass::AttackPattern)) out.push_back(std::move(m));
     for (Match& m : run_lexical(tokens, VectorClass::Weakness)) out.push_back(std::move(m));
+    if (metrics != nullptr) metrics->timings.lexical_ns += ns_since(lex_start);
 
     if (attr.kind == model::AttributeKind::PlatformRef && attr.platform.has_value()) {
+        const Clock::time_point bind_start = Clock::now();
         for (Match& m : query_platform(*attr.platform)) out.push_back(std::move(m));
+        if (metrics != nullptr) metrics->timings.binding_ns += ns_since(bind_start);
     }
     if (options_.lexical_vulnerabilities) {
+        const Clock::time_point lexvuln_start = Clock::now();
         std::vector<Match> lex = run_lexical(tokens, VectorClass::Vulnerability);
-        // Deduplicate against platform-binding results (binding wins).
-        for (Match& m : lex) {
-            bool dup = std::any_of(out.begin(), out.end(), [&](const Match& e) {
-                return e.cls == VectorClass::Vulnerability && e.corpus_index == m.corpus_index;
-            });
-            if (!dup) out.push_back(std::move(m));
+        // Deduplicate against platform-binding results (binding wins). A
+        // hash set of the already-bound corpus indexes keeps this linear —
+        // platform attributes routinely bind thousands of CVEs, so the
+        // old any_of-per-candidate scan was quadratic exactly where the
+        // result space is largest.
+        std::unordered_set<std::size_t> bound;
+        for (const Match& e : out)
+            if (e.cls == VectorClass::Vulnerability) bound.insert(e.corpus_index);
+        for (Match& m : lex)
+            if (!bound.contains(m.corpus_index)) out.push_back(std::move(m));
+        if (metrics != nullptr) metrics->timings.lexical_ns += ns_since(lexvuln_start);
+    }
+
+    if (metrics != nullptr) {
+        ++metrics->queries_run;
+        for (const Match& m : out) {
+            switch (m.cls) {
+                case VectorClass::AttackPattern: ++metrics->pattern_candidates; break;
+                case VectorClass::Weakness: ++metrics->weakness_candidates; break;
+                case VectorClass::Vulnerability: ++metrics->vulnerability_candidates; break;
+            }
         }
     }
     return out;

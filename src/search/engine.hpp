@@ -26,6 +26,7 @@
 #include "cvss/cvss.hpp"
 #include "kb/corpus.hpp"
 #include "model/system_model.hpp"
+#include "search/metrics.hpp"
 #include "text/index.hpp"
 
 namespace cybok::search {
@@ -69,10 +70,22 @@ struct EngineOptions {
     bool lexical_vulnerabilities = false;
     /// Weight multiplier for record titles/names relative to body text.
     float title_weight = 3.0f;
+
+    /// Compact stable encoding of every option that influences query
+    /// results — the engine-options half of the query-cache key, so caches
+    /// built under different options can never alias.
+    [[nodiscard]] std::string signature() const;
 };
 
 /// Immutable index over one corpus. Construction analyzes and indexes all
 /// record text; queries are read-only and cheap.
+///
+/// Thread-safety contract: the constructor is the only mutating operation.
+/// Once constructed, every member function is const and touches only
+/// finalized indexes (see text::InvertedIndex for the finalize-then-
+/// read-only invariant), so any number of threads may query one engine
+/// concurrently without synchronization — the parallel association
+/// pipeline (search::Associator) relies on exactly this.
 class SearchEngine {
 public:
     explicit SearchEngine(const kb::Corpus& corpus) : SearchEngine(corpus, EngineOptions{}) {}
@@ -91,8 +104,23 @@ public:
     /// Descriptor/PlatformRef attributes, platform binding against
     /// vulnerabilities for PlatformRef attributes (plus lexical if the
     /// option is on). Parameter attributes match nothing by design — pure
-    /// engineering parameters carry no security text.
-    [[nodiscard]] std::vector<Match> query_attribute(const model::Attribute& attr) const;
+    /// engineering parameters carry no security text. When `metrics` is
+    /// non-null, per-stage timings and candidate counts are accumulated
+    /// into it.
+    [[nodiscard]] std::vector<Match> query_attribute(const model::Attribute& attr,
+                                                     AssocMetrics* metrics = nullptr) const;
+
+    /// query_attribute with the attribute text already analyzed (the token
+    /// pipeline is deterministic, so callers that need the tokens anyway —
+    /// e.g. to build a cache key — can avoid analyzing twice). `tokens`
+    /// must equal attribute_tokens(attr).
+    [[nodiscard]] std::vector<Match> query_attribute_tokens(
+        const model::Attribute& attr, const std::vector<std::string>& tokens,
+        AssocMetrics* metrics = nullptr) const;
+
+    /// The normalized token sequence query_attribute matches with:
+    /// analyze(name + " " + value) — tokenize, stopwords, stem.
+    [[nodiscard]] static std::vector<std::string> attribute_tokens(const model::Attribute& attr);
 
     /// Vulnerabilities for a platform (exact binding path), as matches.
     [[nodiscard]] std::vector<Match> query_platform(const kb::Platform& platform) const;

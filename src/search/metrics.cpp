@@ -1,0 +1,80 @@
+#include "search/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cybok::search {
+
+void StageTimings::merge(const StageTimings& other) noexcept {
+    analyze_ns += other.analyze_ns;
+    lexical_ns += other.lexical_ns;
+    binding_ns += other.binding_ns;
+    filter_ns += other.filter_ns;
+    wall_ns += other.wall_ns;
+}
+
+void AssocMetrics::merge(const AssocMetrics& other) noexcept {
+    components += other.components;
+    attributes += other.attributes;
+    queries_run += other.queries_run;
+    reused_components += other.reused_components;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_invalidations += other.cache_invalidations;
+    pattern_candidates += other.pattern_candidates;
+    weakness_candidates += other.weakness_candidates;
+    vulnerability_candidates += other.vulnerability_candidates;
+    threads = std::max(threads, other.threads);
+    timings.merge(other.timings);
+}
+
+double AssocMetrics::cache_hit_rate() const noexcept {
+    const std::size_t traffic = cache_hits + cache_misses;
+    return traffic == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(traffic);
+}
+
+namespace {
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+} // namespace
+
+std::string AssocMetrics::summary() const {
+    std::ostringstream out;
+    out.precision(3);
+    out << components << " components / " << attributes << " attributes, " << queries_run
+        << " queries run";
+    if (cache_hits + cache_misses > 0)
+        out << ", cache " << cache_hits << " hits / " << cache_misses << " misses ("
+            << std::fixed << 100.0 * cache_hit_rate() << std::defaultfloat << "% hit rate)";
+    out << "; candidates " << pattern_candidates << " AP / " << weakness_candidates << " W / "
+        << vulnerability_candidates << " V; " << threads << " thread(s); stage ms: analyze "
+        << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
+        << ms(timings.binding_ns) << ", filter " << ms(timings.filter_ns) << ", wall "
+        << ms(timings.wall_ns);
+    return out.str();
+}
+
+json::Value AssocMetrics::to_json() const {
+    json::Object o;
+    o["components"] = static_cast<std::uint64_t>(components);
+    o["attributes"] = static_cast<std::uint64_t>(attributes);
+    o["queries_run"] = static_cast<std::uint64_t>(queries_run);
+    o["reused_components"] = static_cast<std::uint64_t>(reused_components);
+    o["cache_hits"] = static_cast<std::uint64_t>(cache_hits);
+    o["cache_misses"] = static_cast<std::uint64_t>(cache_misses);
+    o["cache_invalidations"] = static_cast<std::uint64_t>(cache_invalidations);
+    o["cache_hit_rate"] = cache_hit_rate();
+    o["pattern_candidates"] = static_cast<std::uint64_t>(pattern_candidates);
+    o["weakness_candidates"] = static_cast<std::uint64_t>(weakness_candidates);
+    o["vulnerability_candidates"] = static_cast<std::uint64_t>(vulnerability_candidates);
+    o["threads"] = static_cast<std::uint64_t>(threads);
+    json::Object t;
+    t["analyze_ns"] = timings.analyze_ns;
+    t["lexical_ns"] = timings.lexical_ns;
+    t["binding_ns"] = timings.binding_ns;
+    t["filter_ns"] = timings.filter_ns;
+    t["wall_ns"] = timings.wall_ns;
+    o["timings"] = std::move(t);
+    return json::Value(std::move(o));
+}
+
+} // namespace cybok::search

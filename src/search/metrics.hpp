@@ -1,0 +1,73 @@
+// Per-run instrumentation for the association engine: how many attribute
+// queries actually ran, how many were served from the memoizing cache,
+// what each pipeline stage cost, and how many candidates each record
+// class produced. The paper warns that the association result space is
+// "very large"; these counters are how the repo tracks what that space
+// costs and how much the cache and the parallel fan-out buy back.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace cybok::search {
+
+/// Wall-clock nanoseconds per association stage, accumulated across all
+/// queries of a run (steady_clock). On a parallel run the stage sums are
+/// CPU-time-like: concurrent queries each contribute their full duration,
+/// so `lexical_ns` can exceed `wall_ns`.
+struct StageTimings {
+    std::uint64_t analyze_ns = 0; ///< tokenize + stopwords + stem of attribute text
+    std::uint64_t lexical_ns = 0; ///< BM25/TF-IDF ranking + evidence gating
+    std::uint64_t binding_ns = 0; ///< CPE platform-binding lookups
+    std::uint64_t filter_ns = 0;  ///< FilterChain application
+    std::uint64_t wall_ns = 0;    ///< end-to-end wall clock of the run
+
+    void merge(const StageTimings& other) noexcept;
+};
+
+/// Counters for one (or several merged) association run(s). Thread-local
+/// instances are accumulated by worker lanes and merged under a lock, so
+/// the hot path never contends on shared counters.
+struct AssocMetrics {
+    // -- query volume --------------------------------------------------------
+    std::size_t components = 0;      ///< components visited
+    std::size_t attributes = 0;      ///< attributes visited (incl. cache hits)
+    std::size_t queries_run = 0;     ///< engine queries actually executed
+    std::size_t reused_components = 0; ///< components copied verbatim by reassociate
+
+    // -- cache ---------------------------------------------------------------
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t cache_invalidations = 0; ///< entries dropped by component invalidation
+
+    // -- result volume per record class --------------------------------------
+    std::size_t pattern_candidates = 0;
+    std::size_t weakness_candidates = 0;
+    std::size_t vulnerability_candidates = 0;
+
+    // -- execution shape -----------------------------------------------------
+    std::size_t threads = 1; ///< lanes the run fanned out across
+    StageTimings timings;
+
+    /// Fold `other` into this (cache/query counters add; threads maxes).
+    void merge(const AssocMetrics& other) noexcept;
+
+    /// hits / (hits + misses); 0 when the cache saw no traffic.
+    [[nodiscard]] double cache_hit_rate() const noexcept;
+
+    [[nodiscard]] std::size_t total_candidates() const noexcept {
+        return pattern_candidates + weakness_candidates + vulnerability_candidates;
+    }
+
+    /// One-paragraph human-readable summary (dashboard / bench preambles).
+    [[nodiscard]] std::string summary() const;
+
+    /// Machine-readable form (BENCH_*.json sidecar friendly).
+    [[nodiscard]] json::Value to_json() const;
+};
+
+} // namespace cybok::search

@@ -7,7 +7,8 @@
 namespace cybok::text {
 
 TermId Vocabulary::intern(std::string_view term) {
-    auto it = ids_.find(std::string(term));
+    // Heterogeneous find: no std::string materialized for the probe.
+    auto it = ids_.find(term);
     if (it != ids_.end()) return it->second;
     TermId id = static_cast<TermId>(terms_.size());
     terms_.emplace_back(term);
@@ -16,7 +17,7 @@ TermId Vocabulary::intern(std::string_view term) {
 }
 
 TermId Vocabulary::lookup(std::string_view term) const noexcept {
-    auto it = ids_.find(std::string(term));
+    auto it = ids_.find(term);
     return it == ids_.end() ? kNoTerm : it->second;
 }
 

@@ -1,9 +1,20 @@
 // Vocabulary and inverted index over tokenized documents, plus the two
 // ranking functions the search engine offers (BM25 and TF-IDF cosine).
+//
+// Thread-safety contract (build-then-freeze): an InvertedIndex has two
+// phases. During *building* (add_document / add_term) it is single-writer
+// and must not be read. After finalize() the index — including its
+// Vocabulary — is logically immutable: every remaining operation is const
+// and performs no hidden mutation, so any number of threads may query it
+// concurrently with no synchronization, provided finalize() happens-before
+// the first concurrent read (e.g. via the thread-creation ordering the
+// parallel association pipeline uses). The scorers hold const references
+// and inherit the same guarantee.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,22 +24,38 @@
 
 namespace cybok::text {
 
+/// Dense id of an interned term within one Vocabulary.
 using TermId = std::uint32_t;
+/// Dense id of a document within one InvertedIndex.
 using DocId = std::uint32_t;
+/// Sentinel: term not present in the vocabulary.
 inline constexpr TermId kNoTerm = UINT32_MAX;
 
-/// Bidirectional term <-> dense id mapping.
+/// Transparent string hash so string_view probes into the vocabulary map
+/// need not materialize a std::string (the lookup hot path runs once per
+/// query token).
+struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+/// Bidirectional term <-> dense id mapping. lookup() is const and
+/// allocation-free (heterogeneous probe); safe for concurrent readers once
+/// interning has stopped (see the file-level thread-safety contract).
 class Vocabulary {
 public:
     /// Id of `term`, interning it if new.
     TermId intern(std::string_view term);
     /// Id of `term` or kNoTerm when absent (no interning).
     [[nodiscard]] TermId lookup(std::string_view term) const noexcept;
+    /// The interned spelling for `id`; throws NotFoundError on a bad id.
     [[nodiscard]] const std::string& term(TermId id) const;
     [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
 
 private:
-    std::unordered_map<std::string, TermId> ids_;
+    std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> ids_;
     std::vector<std::string> terms_;
 };
 
@@ -40,25 +67,35 @@ struct Posting {
 
 /// Inverted index with document length normalization. Documents are added
 /// as pre-analyzed token streams; each token may carry a field weight
-/// (e.g. title tokens count 3x body tokens).
+/// (e.g. title tokens count 3x body tokens). finalize() freezes the index;
+/// after that every operation is const and concurrent reads are safe (the
+/// build-then-freeze contract at the top of this file).
 class InvertedIndex {
 public:
     /// Begin a new document; returns its id. Tokens are then accumulated
     /// via add_term until the next add_document call.
     DocId add_document();
+    /// Accumulate one token into the current document (build phase only).
     void add_term(std::string_view token, float field_weight = 1.0f);
 
     /// Convenience: a whole token vector with one weight.
     void add_terms(const std::vector<std::string>& tokens, float field_weight = 1.0f);
 
     /// Finish building: sorts postings, computes statistics. Must be
-    /// called once before any query; adding after finalize throws.
+    /// called once before any query; adding after finalize throws. This is
+    /// the freeze point of the thread-safety contract: finalize() must
+    /// happen-before any concurrent read of this index.
     void finalize();
 
+    /// True once finalize() has run (reads are only legal then).
     [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+    /// Number of documents added so far.
     [[nodiscard]] std::size_t doc_count() const noexcept { return doc_lengths_.size(); }
+    /// Number of distinct terms interned so far.
     [[nodiscard]] std::size_t term_count() const noexcept { return vocab_.size(); }
+    /// Mean weighted document length (valid after finalize()).
     [[nodiscard]] double avg_doc_length() const noexcept { return avg_len_; }
+    /// The term <-> id mapping backing this index.
     [[nodiscard]] const Vocabulary& vocabulary() const noexcept { return vocab_; }
 
     /// Number of documents containing the term (0 for unknown terms).
@@ -90,9 +127,12 @@ struct Hit {
     std::vector<TermId> matched_terms;
 };
 
-/// Okapi BM25 ranking over an InvertedIndex.
+/// Okapi BM25 ranking over an InvertedIndex. Holds a const reference to a
+/// finalized index; query() is const and safe for concurrent callers.
 class Bm25Scorer {
 public:
+    /// Standard BM25 knobs: k1 = term-frequency saturation, b = length
+    /// normalization strength.
     struct Params {
         double k1 = 1.2;
         double b = 0.75;
@@ -114,6 +154,8 @@ private:
 };
 
 /// TF-IDF cosine-similarity ranking (the ablation baseline for BM25).
+/// Same concurrency guarantee as Bm25Scorer: const queries over a
+/// finalized index.
 class TfidfScorer {
 public:
     explicit TfidfScorer(const InvertedIndex& index);

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cybok::util {
+
+std::size_t ThreadPool::default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(const std::function<void(std::size_t)>& fn, std::size_t n) {
+    for (;;) {
+        const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+        if (begin >= n) break;
+        const std::size_t end = std::min(n, begin + chunk_);
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mutex_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+        }
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_work_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+            if (stop_) return;
+            seen_generation = generation_;
+            fn = job_fn_;
+            n = job_n_;
+        }
+        run_chunks(*fn, n);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (--active_workers_ == 0) cv_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::lock_guard<std::mutex> serial(serial_mutex_);
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        // ~4 chunks per lane balances steal traffic against tail latency.
+        chunk_ = std::max<std::size_t>(1, n / (thread_count() * 4));
+        next_.store(0, std::memory_order_relaxed);
+        active_workers_ = workers_.size();
+        first_error_ = nullptr;
+        ++generation_;
+    }
+    cv_work_.notify_all();
+    run_chunks(fn, n);
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] { return active_workers_ == 0; });
+    job_fn_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace cybok::util
