@@ -1,10 +1,13 @@
 // Substrate scaling: index build time and query latency as the corpus
-// grows, and the BM25-vs-TFIDF ranking ablation called out in DESIGN.md.
+// grows, the BM25-vs-TFIDF ranking ablation called out in DESIGN.md, and
+// the flat-accumulator kernel vs the reference scorers (the PR-2 speedup).
 
 #include <cstdio>
 #include <map>
 
 #include "bench_common.hpp"
+#include "text/scratch.hpp"
+#include "text/tokenize.hpp"
 
 using namespace cybok;
 
@@ -19,6 +22,29 @@ const kb::Corpus& corpus_at_scale(int permille) {
                                         permille / 1000.0, 31))).first;
     }
     return it->second;
+}
+
+/// CVE-description index per scale — the largest of the engine's three
+/// per-class indexes, for scorer-level kernel-vs-reference timings.
+const text::InvertedIndex& vuln_index_at_scale(int permille) {
+    static std::map<int, text::InvertedIndex> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        text::InvertedIndex index;
+        for (const kb::Vulnerability& v : corpus_at_scale(permille).vulnerabilities()) {
+            index.add_document();
+            index.add_terms(text::analyze(v.description));
+        }
+        index.finalize();
+        it = cache.emplace(permille, std::move(index)).first;
+    }
+    return it->second;
+}
+
+const std::vector<std::string>& scorer_query() {
+    static const std::vector<std::string> tokens =
+        text::analyze("scada controller modbus command injection remote code execution");
+    return tokens;
 }
 
 void preamble() {
@@ -50,6 +76,81 @@ void BM_QueryLatencyVsScale(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_QueryLatencyVsScale)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+// Engine path with a top-k cap: the kernel's max-score pruning arms.
+void BM_QueryLatencyTopK(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::EngineOptions opts;
+    opts.max_lexical_hits = 25;
+    search::SearchEngine engine(corpus, opts);
+    model::Attribute attr;
+    attr.name = "role";
+    attr.value = "scada controller modbus command injection";
+    attr.kind = model::AttributeKind::Descriptor;
+    for (auto _ : state) {
+        auto matches = engine.query_attribute(attr);
+        benchmark::DoNotOptimize(matches);
+    }
+}
+BENCHMARK(BM_QueryLatencyTopK)->Arg(50)->Arg(1000);
+
+// Scorer-level A/B over the largest per-class index (CVE descriptions):
+// the reference hash-map accumulator vs the flat-accumulator kernel.
+void BM_Bm25Reference(benchmark::State& state) {
+    const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
+    const text::Bm25Scorer scorer(index);
+    for (auto _ : state) {
+        auto hits = scorer.query(scorer_query());
+        benchmark::DoNotOptimize(hits);
+    }
+    state.counters["docs"] = static_cast<double>(index.doc_count());
+}
+BENCHMARK(BM_Bm25Reference)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_Bm25Kernel(benchmark::State& state) {
+    const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
+    const text::Bm25Scorer scorer(index);
+    text::QueryScratch& scratch = text::tls_query_scratch();
+    for (auto _ : state) {
+        auto hits = scorer.query_kernel(scorer_query(), scratch);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_Bm25Kernel)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_Bm25KernelTopK(benchmark::State& state) {
+    const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
+    const text::Bm25Scorer scorer(index);
+    text::QueryScratch& scratch = text::tls_query_scratch();
+    text::KernelOptions opts;
+    opts.top_k = 25;
+    for (auto _ : state) {
+        auto hits = scorer.query_kernel(scorer_query(), scratch, opts);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_Bm25KernelTopK)->Arg(50)->Arg(1000);
+
+void BM_TfidfReference(benchmark::State& state) {
+    const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
+    const text::TfidfScorer scorer(index);
+    for (auto _ : state) {
+        auto hits = scorer.query(scorer_query());
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_TfidfReference)->Arg(50)->Arg(1000);
+
+void BM_TfidfKernel(benchmark::State& state) {
+    const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
+    const text::TfidfScorer scorer(index);
+    text::QueryScratch& scratch = text::tls_query_scratch();
+    for (auto _ : state) {
+        auto hits = scorer.query_kernel(scorer_query(), scratch);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_TfidfKernel)->Arg(50)->Arg(1000);
 
 // Ranker ablation at full scale.
 void BM_RankerBm25(benchmark::State& state) {

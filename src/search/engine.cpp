@@ -7,7 +7,10 @@
 #include <unordered_set>
 
 #include "cvss/cvss2.hpp"
+#include "text/scratch.hpp"
 #include "text/tokenize.hpp"
+#include "util/fmt.hpp"
+#include "util/strings.hpp"
 
 namespace cybok::search {
 
@@ -31,10 +34,10 @@ std::string_view match_via_name(MatchVia v) noexcept {
 
 namespace {
 
-/// Truncate a long description for use as a match title.
+/// Truncate a long description for use as a match title (UTF-8-safe:
+/// never cuts inside a multi-byte sequence).
 std::string head(std::string_view text, std::size_t max_len = 70) {
-    if (text.size() <= max_len) return std::string(text);
-    return std::string(text.substr(0, max_len - 3)) + "...";
+    return strings::truncate_utf8(text, max_len);
 }
 
 using Clock = std::chrono::steady_clock;
@@ -47,10 +50,17 @@ std::uint64_t ns_since(Clock::time_point start) {
 } // namespace
 
 std::string EngineOptions::signature() const {
-    std::ostringstream out;
-    out << (ranker == Ranker::Bm25 ? "bm25" : "tfidf") << "|idf=" << min_evidence_idf
-        << "|lexvuln=" << (lexical_vulnerabilities ? 1 : 0) << "|tw=" << title_weight;
-    return out.str();
+    // std::to_chars, not iostreams: this string keys the query cache, so
+    // it must not change spelling with the global locale.
+    std::string out = ranker == Ranker::Bm25 ? "bm25" : "tfidf";
+    out += "|idf=";
+    fmt::append_number(out, min_evidence_idf);
+    out += lexical_vulnerabilities ? "|lexvuln=1" : "|lexvuln=0";
+    out += "|tw=";
+    fmt::append_number(out, static_cast<double>(title_weight));
+    out += "|k=";
+    fmt::append_number(out, static_cast<unsigned long long>(max_lexical_hits));
+    return out;
 }
 
 SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options)
@@ -131,47 +141,56 @@ Match SearchEngine::make_match(VectorClass cls, std::size_t index) const {
 }
 
 std::vector<Match> SearchEngine::run_lexical(const std::vector<std::string>& tokens,
-                                             VectorClass cls) const {
+                                             VectorClass cls,
+                                             AssocMetrics* metrics) const {
     const text::InvertedIndex* index = nullptr;
-    std::vector<text::Hit> hits;
+    const text::Bm25Scorer* bm25 = nullptr;
+    const text::TfidfScorer* tfidf = nullptr;
     switch (cls) {
         case VectorClass::AttackPattern:
             index = &pattern_index_;
-            hits = pattern_bm25_ ? pattern_bm25_->query(tokens) : pattern_tfidf_->query(tokens);
+            bm25 = pattern_bm25_ ? &*pattern_bm25_ : nullptr;
+            tfidf = pattern_tfidf_ ? &*pattern_tfidf_ : nullptr;
             break;
         case VectorClass::Weakness:
             index = &weakness_index_;
-            hits = weakness_bm25_ ? weakness_bm25_->query(tokens) : weakness_tfidf_->query(tokens);
+            bm25 = weakness_bm25_ ? &*weakness_bm25_ : nullptr;
+            tfidf = weakness_tfidf_ ? &*weakness_tfidf_ : nullptr;
             break;
         case VectorClass::Vulnerability:
             index = &vulnerability_index_;
-            hits = vulnerability_bm25_ ? vulnerability_bm25_->query(tokens)
-                                       : vulnerability_tfidf_->query(tokens);
+            bm25 = vulnerability_bm25_ ? &*vulnerability_bm25_ : nullptr;
+            tfidf = vulnerability_tfidf_ ? &*vulnerability_tfidf_ : nullptr;
             break;
     }
 
-    // Evidence-quality gate: the distinct matched terms must jointly be
-    // specific enough (summed IDF over the per-class index).
-    const double n_docs = static_cast<double>(index->doc_count());
+    // The evidence-IDF gate runs inside the kernel (KernelOptions), so the
+    // hits that come back are final: distinct sorted matched terms, no
+    // per-hit dedup or IDF recomputation here.
+    text::KernelOptions kopts;
+    kopts.top_k = options_.max_lexical_hits;
+    kopts.min_evidence_idf = options_.min_evidence_idf;
+    text::KernelStats kstats;
+    text::QueryScratch& scratch = text::tls_query_scratch();
+    const std::vector<text::Hit> hits =
+        bm25 != nullptr ? bm25->query_kernel(tokens, scratch, kopts, &kstats)
+                        : tfidf->query_kernel(tokens, scratch, kopts, &kstats);
+
     std::vector<Match> out;
+    out.reserve(hits.size());
     for (const text::Hit& h : hits) {
-        double evidence_idf = 0.0;
-        std::vector<std::string> evidence;
-        std::vector<text::TermId> terms = h.matched_terms;
-        std::sort(terms.begin(), terms.end());
-        terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-        for (text::TermId t : terms) {
-            const std::string& term = index->vocabulary().term(t);
-            const double df = static_cast<double>(index->postings(t).size());
-            evidence_idf += std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
-            evidence.push_back(term);
-        }
-        if (evidence_idf < options_.min_evidence_idf) continue;
         Match m = make_match(cls, h.doc);
         m.score = h.score;
         m.via = MatchVia::Lexical;
-        m.evidence = std::move(evidence);
+        m.evidence.reserve(h.matched_terms.size());
+        for (text::TermId t : h.matched_terms) m.evidence.push_back(index->vocabulary().term(t));
         out.push_back(std::move(m));
+    }
+    if (metrics != nullptr) {
+        metrics->kernel_postings += kstats.postings_scanned;
+        metrics->kernel_pruned_docs += kstats.docs_pruned;
+        metrics->kernel_gated_hits += kstats.hits_gated;
+        metrics->kernel_fallbacks += kstats.fallback_queries;
     }
     return out;
 }
@@ -214,8 +233,10 @@ std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& 
     if (attr.kind == model::AttributeKind::Parameter) return out;
 
     const Clock::time_point lex_start = Clock::now();
-    for (Match& m : run_lexical(tokens, VectorClass::AttackPattern)) out.push_back(std::move(m));
-    for (Match& m : run_lexical(tokens, VectorClass::Weakness)) out.push_back(std::move(m));
+    for (Match& m : run_lexical(tokens, VectorClass::AttackPattern, metrics))
+        out.push_back(std::move(m));
+    for (Match& m : run_lexical(tokens, VectorClass::Weakness, metrics))
+        out.push_back(std::move(m));
     if (metrics != nullptr) metrics->timings.lexical_ns += ns_since(lex_start);
 
     if (attr.kind == model::AttributeKind::PlatformRef && attr.platform.has_value()) {
@@ -225,7 +246,7 @@ std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& 
     }
     if (options_.lexical_vulnerabilities) {
         const Clock::time_point lexvuln_start = Clock::now();
-        std::vector<Match> lex = run_lexical(tokens, VectorClass::Vulnerability);
+        std::vector<Match> lex = run_lexical(tokens, VectorClass::Vulnerability, metrics);
         // Deduplicate against platform-binding results (binding wins). A
         // hash set of the already-bound corpus indexes keeps this linear —
         // platform attributes routinely bind thousands of CVEs, so the
@@ -294,8 +315,7 @@ std::string SearchEngine::explain(const model::Attribute& attr, const Match& mat
     double total_idf = 0.0;
     for (const std::string& token : text::analyze(attr.name + " " + attr.value)) {
         const std::size_t df = index->doc_frequency(token);
-        const double idf = std::log(1.0 + (n_docs - static_cast<double>(df) + 0.5) /
-                                              (static_cast<double>(df) + 0.5));
+        const double idf = text::rsj_idf(n_docs, static_cast<double>(df));
         const bool matched = std::find(match.evidence.begin(), match.evidence.end(), token) !=
                              match.evidence.end();
         out << "    " << (matched ? "+" : " ") << " \"" << token << "\" df=" << df

@@ -70,6 +70,11 @@ struct EngineOptions {
     bool lexical_vulnerabilities = false;
     /// Weight multiplier for record titles/names relative to body text.
     float title_weight = 3.0f;
+    /// Keep only the best k lexical hits per class query (0 = unlimited).
+    /// Applied after the evidence gate; under BM25 it also arms the
+    /// kernel's max-score pruning, which skips documents that provably
+    /// cannot reach the top k — the surviving hits are exact.
+    std::size_t max_lexical_hits = 0;
 
     /// Compact stable encoding of every option that influences query
     /// results — the engine-options half of the query-cache key, so caches
@@ -137,8 +142,13 @@ public:
     [[nodiscard]] std::string explain(const model::Attribute& attr, const Match& match) const;
 
 private:
+    /// The lexical hot path: resolves tokens once, runs the flat-accumulator
+    /// scoring kernel (per-thread scratch arena, fused evidence-IDF gate,
+    /// optional top-k/pruning per options_), and materializes Matches with
+    /// evidence strings. Kernel counters land in `metrics` when non-null.
     [[nodiscard]] std::vector<Match> run_lexical(const std::vector<std::string>& tokens,
-                                                 VectorClass cls) const;
+                                                 VectorClass cls,
+                                                 AssocMetrics* metrics = nullptr) const;
     [[nodiscard]] Match make_match(VectorClass cls, std::size_t index) const;
 
     const kb::Corpus& corpus_;

@@ -24,6 +24,10 @@ void AssocMetrics::merge(const AssocMetrics& other) noexcept {
     pattern_candidates += other.pattern_candidates;
     weakness_candidates += other.weakness_candidates;
     vulnerability_candidates += other.vulnerability_candidates;
+    kernel_postings += other.kernel_postings;
+    kernel_pruned_docs += other.kernel_pruned_docs;
+    kernel_gated_hits += other.kernel_gated_hits;
+    kernel_fallbacks += other.kernel_fallbacks;
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
 }
@@ -46,7 +50,10 @@ std::string AssocMetrics::summary() const {
         out << ", cache " << cache_hits << " hits / " << cache_misses << " misses ("
             << std::fixed << 100.0 * cache_hit_rate() << std::defaultfloat << "% hit rate)";
     out << "; candidates " << pattern_candidates << " AP / " << weakness_candidates << " W / "
-        << vulnerability_candidates << " V; " << threads << " thread(s); stage ms: analyze "
+        << vulnerability_candidates << " V; kernel " << kernel_postings << " postings / "
+        << kernel_pruned_docs << " pruned / " << kernel_gated_hits << " gated";
+    if (kernel_fallbacks > 0) out << " / " << kernel_fallbacks << " fallbacks";
+    out << "; " << threads << " thread(s); stage ms: analyze "
         << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
         << ms(timings.binding_ns) << ", filter " << ms(timings.filter_ns) << ", wall "
         << ms(timings.wall_ns);
@@ -66,6 +73,12 @@ json::Value AssocMetrics::to_json() const {
     o["pattern_candidates"] = static_cast<std::uint64_t>(pattern_candidates);
     o["weakness_candidates"] = static_cast<std::uint64_t>(weakness_candidates);
     o["vulnerability_candidates"] = static_cast<std::uint64_t>(vulnerability_candidates);
+    json::Object k;
+    k["postings_scanned"] = kernel_postings;
+    k["pruned_docs"] = kernel_pruned_docs;
+    k["gated_hits"] = kernel_gated_hits;
+    k["fallback_queries"] = kernel_fallbacks;
+    o["kernel"] = std::move(k);
     o["threads"] = static_cast<std::uint64_t>(threads);
     json::Object t;
     t["analyze_ns"] = timings.analyze_ns;

@@ -49,6 +49,12 @@ struct AssocMetrics {
     std::size_t weakness_candidates = 0;
     std::size_t vulnerability_candidates = 0;
 
+    // -- scoring kernel -------------------------------------------------------
+    std::uint64_t kernel_postings = 0;    ///< postings scanned by the scoring kernel
+    std::uint64_t kernel_pruned_docs = 0; ///< accumulator admissions skipped by max-score
+    std::uint64_t kernel_gated_hits = 0;  ///< candidates dropped by the fused evidence gate
+    std::uint64_t kernel_fallbacks = 0;   ///< queries routed to the reference scorer (>64 terms)
+
     // -- execution shape -----------------------------------------------------
     std::size_t threads = 1; ///< lanes the run fanned out across
     StageTimings timings;

@@ -1,7 +1,10 @@
 #include "text/index.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <set>
 
 namespace cybok::text {
@@ -67,6 +70,12 @@ void InvertedIndex::finalize() {
     double total = 0.0;
     for (double len : doc_lengths_) total += len;
     avg_len_ = doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
+    // One IDF table for BM25 scoring and the evidence gate: computed here
+    // so no query ever recomputes a log or resolves a term string again.
+    const double n = static_cast<double>(doc_lengths_.size());
+    idf_.resize(postings_.size());
+    for (TermId t = 0; t < postings_.size(); ++t)
+        idf_[t] = rsj_idf(n, static_cast<double>(postings_[t].size()));
     finalized_ = true;
 }
 
@@ -87,17 +96,134 @@ const std::vector<Posting>& InvertedIndex::postings(TermId t) const {
     return postings_[t];
 }
 
+// ---------------------------------------------------------------- kernel
+
+namespace {
+
+/// Resolve tokens to distinct TermIds (ascending) with query-term
+/// frequencies, into the scratch arena. Ascending order matters: both
+/// reference scorers and the kernel accumulate per-document contributions
+/// in this order, which is what makes their sums bitwise identical.
+void collect_query_terms(const InvertedIndex& index, const std::vector<std::string>& tokens,
+                         QueryScratch& s) {
+    for (const std::string& tok : tokens) {
+        TermId t = index.vocabulary().lookup(tok);
+        if (t != kNoTerm) s.terms.push_back(t);
+    }
+    std::sort(s.terms.begin(), s.terms.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < s.terms.size();) {
+        std::size_t j = i;
+        while (j < s.terms.size() && s.terms[j] == s.terms[i]) ++j;
+        s.terms[out++] = s.terms[i];
+        s.query_tf.push_back(static_cast<double>(j - i));
+        i = j;
+    }
+    s.terms.resize(out);
+}
+
+/// (score desc, doc asc) — the total order every result list uses.
+struct BetterCandidate {
+    bool operator()(const std::pair<double, DocId>& a,
+                    const std::pair<double, DocId>& b) const noexcept {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    }
+};
+
+/// Gate, top-k-select, and materialize hits from the scratch accumulators.
+/// `final_score(doc)` maps an accumulated score to the reported one (BM25:
+/// identity; TF-IDF: cosine normalization).
+template <typename FinalScore>
+std::vector<Hit> collect_hits(QueryScratch& s, const KernelOptions& opts, KernelStats* stats,
+                              FinalScore&& final_score) {
+    auto& cand = s.candidates;
+    std::uint64_t gated = 0;
+    for (DocId d : s.touched) {
+        if (s.evidence_idf[d] < opts.min_evidence_idf) {
+            ++gated;
+            continue;
+        }
+        cand.emplace_back(final_score(d), d);
+    }
+    if (opts.top_k > 0 && cand.size() > opts.top_k) {
+        std::nth_element(cand.begin(),
+                         cand.begin() + static_cast<std::ptrdiff_t>(opts.top_k), cand.end(),
+                         BetterCandidate{});
+        cand.resize(opts.top_k);
+    }
+    std::sort(cand.begin(), cand.end(), BetterCandidate{});
+    std::vector<Hit> hits;
+    hits.reserve(cand.size());
+    for (const auto& [score, d] : cand) {
+        Hit h{d, score, {}};
+        std::uint64_t bits = s.term_bits[d];
+        h.matched_terms.reserve(static_cast<std::size_t>(std::popcount(bits)));
+        while (bits != 0) {
+            h.matched_terms.push_back(s.terms[static_cast<std::size_t>(std::countr_zero(bits))]);
+            bits &= bits - 1;
+        }
+        hits.push_back(std::move(h));
+    }
+    if (stats != nullptr) stats->hits_gated += gated;
+    return hits;
+}
+
+/// Fallback for queries with more than 64 distinct terms (the per-doc
+/// matched-term bitset is a single word): run the reference scorer, then
+/// apply the same gate / dedup / top-k semantics the kernel fuses in.
+std::vector<Hit> apply_kernel_semantics(std::vector<Hit> hits, const InvertedIndex& index,
+                                        const KernelOptions& opts, KernelStats* stats) {
+    if (stats != nullptr) ++stats->fallback_queries;
+    std::vector<Hit> out;
+    out.reserve(hits.size());
+    for (Hit& h : hits) {
+        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
+                              h.matched_terms.end());
+        double evidence = 0.0;
+        for (TermId t : h.matched_terms) evidence += index.idf(t);
+        if (evidence < opts.min_evidence_idf) {
+            if (stats != nullptr) ++stats->hits_gated;
+            continue;
+        }
+        out.push_back(std::move(h));
+    }
+    // Reference hits are already (score desc, doc asc)-sorted.
+    if (opts.top_k > 0 && out.size() > opts.top_k) out.resize(opts.top_k);
+    return out;
+}
+
+} // namespace
+
 // ----------------------------------------------------------------- BM25
 
 Bm25Scorer::Bm25Scorer(const InvertedIndex& index, Params params)
     : index_(index), params_(params) {
     if (!index.finalized()) throw ValidationError("BM25 requires a finalized index");
+    // Per-doc length norms and per-term max-score bounds, precomputed once
+    // so query_kernel's inner loop is a multiply-add over flat arrays.
+    const double avg = std::max(index.avg_doc_length(), 1e-9);
+    norms_.resize(index.doc_count());
+    for (DocId d = 0; d < norms_.size(); ++d)
+        norms_[d] = params_.k1 * (1.0 - params_.b +
+                                  params_.b * index.doc_length(d) / avg);
+    max_contrib_.assign(index.term_count(), 0.0);
+    for (TermId t = 0; t < index.term_count(); ++t) {
+        const double idf_t = index.idf(t);
+        for (const Posting& p : index.postings(t)) {
+            const double tf = p.weight;
+            const double contrib =
+                idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms_[p.doc]);
+            max_contrib_[t] = std::max(max_contrib_[t], contrib);
+        }
+    }
 }
 
 double Bm25Scorer::idf(std::string_view term) const noexcept {
-    const double n = static_cast<double>(index_.doc_count());
-    const double df = static_cast<double>(index_.doc_frequency(term));
-    return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    TermId t = index_.vocabulary().lookup(term);
+    if (t == kNoTerm) return rsj_idf(static_cast<double>(index_.doc_count()), 0.0);
+    return index_.idf(t);
 }
 
 std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const {
@@ -109,14 +235,11 @@ std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const
         if (t != kNoTerm) terms.insert(t);
     }
     std::unordered_map<DocId, Hit> acc;
-    const double avg = std::max(index_.avg_doc_length(), 1e-9);
     for (TermId t : terms) {
-        const double idf_t = idf(index_.vocab_.term(t));
+        const double idf_t = index_.idf(t);
         for (const Posting& p : index_.postings(t)) {
             const double tf = p.weight;
-            const double norm = params_.k1 * (1.0 - params_.b +
-                                              params_.b * index_.doc_length(p.doc) / avg);
-            const double contrib = idf_t * (tf * (params_.k1 + 1.0)) / (tf + norm);
+            const double contrib = idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms_[p.doc]);
             Hit& h = acc.try_emplace(p.doc, Hit{p.doc, 0.0, {}}).first->second;
             h.score += contrib;
             h.matched_terms.push_back(t);
@@ -132,18 +255,99 @@ std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const
     return hits;
 }
 
+std::vector<Hit> Bm25Scorer::query_kernel(const std::vector<std::string>& tokens,
+                                          QueryScratch& scratch, const KernelOptions& opts,
+                                          KernelStats* stats) const {
+    scratch.begin(index_.doc_count());
+    collect_query_terms(index_, tokens, scratch);
+    const auto& terms = scratch.terms;
+    if (terms.empty()) return {};
+    if (terms.size() > 64) return apply_kernel_semantics(query(tokens), index_, opts, stats);
+
+    const std::size_t k = opts.top_k;
+    const bool prune = opts.prune && k > 0;
+    if (prune) {
+        // bounds[i] = max possible total score of a document first seen at
+        // term i (postings are grouped per term, so such a doc can only
+        // collect contributions from terms i..end).
+        scratch.bounds.assign(terms.size() + 1, 0.0);
+        for (std::size_t i = terms.size(); i-- > 0;)
+            scratch.bounds[i] = scratch.bounds[i + 1] + max_contrib_[terms[i]];
+    }
+
+    const double k1 = params_.k1;
+    auto& heap = scratch.heap; // min-heap of top-k score lower bounds
+    double theta = -std::numeric_limits<double>::infinity();
+    std::uint64_t postings_scanned = 0;
+    std::uint64_t docs_pruned = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        const TermId t = terms[i];
+        const double idf_t = index_.idf(t);
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        // theta only rises during the posting loop, so deciding admission
+        // per term (not per posting) can only admit extra docs — never
+        // wrongly skip one. Skipping requires a strictly losing bound.
+        const bool admit_new = !prune || heap.size() < k || scratch.bounds[i] >= theta;
+        const std::vector<Posting>& plist = index_.postings(t);
+        postings_scanned += plist.size();
+        for (const Posting& p : plist) {
+            const double tf = p.weight;
+            const double contrib = idf_t * (tf * (k1 + 1.0)) / (tf + norms_[p.doc]);
+            if (scratch.stamp[p.doc] == scratch.epoch) {
+                scratch.score[p.doc] += contrib;
+                scratch.evidence_idf[p.doc] += idf_t;
+                scratch.term_bits[p.doc] |= bit;
+            } else if (admit_new) {
+                scratch.stamp[p.doc] = scratch.epoch;
+                scratch.score[p.doc] = contrib;
+                scratch.evidence_idf[p.doc] = idf_t;
+                scratch.term_bits[p.doc] = bit;
+                scratch.touched.push_back(p.doc);
+            } else {
+                ++docs_pruned;
+                continue;
+            }
+            if (prune && scratch.heap_stamp[p.doc] != scratch.epoch &&
+                scratch.evidence_idf[p.doc] >= opts.min_evidence_idf) {
+                // First time this doc both exists and passes the gate: its
+                // current partial score is a valid lower bound on its final
+                // score (and the gate only accumulates, so it stays passed).
+                scratch.heap_stamp[p.doc] = scratch.epoch;
+                heap.push_back(scratch.score[p.doc]);
+                std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+                if (heap.size() > k) {
+                    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+                    heap.pop_back();
+                }
+                if (heap.size() == k) theta = heap.front();
+            }
+        }
+    }
+    if (stats != nullptr) {
+        stats->postings_scanned += postings_scanned;
+        stats->docs_pruned += docs_pruned;
+    }
+    return collect_hits(scratch, opts, stats,
+                        [&scratch](DocId d) { return scratch.score[d]; });
+}
+
 // --------------------------------------------------------------- TF-IDF
 
 TfidfScorer::TfidfScorer(const InvertedIndex& index) : index_(index) {
     if (!index.finalized()) throw ValidationError("TF-IDF requires a finalized index");
     const double n = static_cast<double>(index.doc_count());
     doc_norms_.assign(index.doc_count(), 0.0);
+    idf_.assign(index.term_count(), 0.0);
+    doc_weights_.resize(index.term_count());
     for (TermId t = 0; t < index.term_count(); ++t) {
         const auto& plist = index.postings(t);
         if (plist.empty()) continue;
         const double idf = std::log(n / static_cast<double>(plist.size()));
+        idf_[t] = idf;
+        doc_weights_[t].reserve(plist.size());
         for (const Posting& p : plist) {
             const double w = (1.0 + std::log(std::max<double>(p.weight, 1e-9))) * idf;
+            doc_weights_[t].push_back(w);
             doc_norms_[p.doc] += w * w;
         }
     }
@@ -151,24 +355,33 @@ TfidfScorer::TfidfScorer(const InvertedIndex& index) : index_(index) {
 }
 
 std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) const {
-    std::unordered_map<TermId, double> qtf;
-    for (const std::string& tok : tokens) {
-        TermId t = index_.vocab_.lookup(tok);
-        if (t != kNoTerm) qtf[t] += 1.0;
+    // Query-term frequencies in ascending TermId order — deterministic,
+    // and the same accumulation order as the kernel.
+    std::vector<std::pair<TermId, double>> qtf;
+    {
+        std::vector<TermId> ids;
+        for (const std::string& tok : tokens) {
+            TermId t = index_.vocab_.lookup(tok);
+            if (t != kNoTerm) ids.push_back(t);
+        }
+        std::sort(ids.begin(), ids.end());
+        for (std::size_t i = 0; i < ids.size();) {
+            std::size_t j = i;
+            while (j < ids.size() && ids[j] == ids[i]) ++j;
+            qtf.emplace_back(ids[i], static_cast<double>(j - i));
+            i = j;
+        }
     }
-    const double n = static_cast<double>(index_.doc_count());
     double qnorm = 0.0;
     std::unordered_map<DocId, Hit> acc;
     for (const auto& [t, tf] : qtf) {
         const auto& plist = index_.postings(t);
         if (plist.empty()) continue;
-        const double idf = std::log(n / static_cast<double>(plist.size()));
-        const double qw = (1.0 + std::log(tf)) * idf;
+        const double qw = (1.0 + std::log(tf)) * idf_[t];
         qnorm += qw * qw;
-        for (const Posting& p : plist) {
-            const double dw = (1.0 + std::log(std::max<double>(p.weight, 1e-9))) * idf;
-            Hit& h = acc.try_emplace(p.doc, Hit{p.doc, 0.0, {}}).first->second;
-            h.score += qw * dw;
+        for (std::size_t j = 0; j < plist.size(); ++j) {
+            Hit& h = acc.try_emplace(plist[j].doc, Hit{plist[j].doc, 0.0, {}}).first->second;
+            h.score += qw * doc_weights_[t][j];
             h.matched_terms.push_back(t);
         }
     }
@@ -187,13 +400,73 @@ std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) cons
     return hits;
 }
 
+std::vector<Hit> TfidfScorer::query_kernel(const std::vector<std::string>& tokens,
+                                           QueryScratch& scratch, const KernelOptions& opts,
+                                           KernelStats* stats) const {
+    scratch.begin(index_.doc_count());
+    collect_query_terms(index_, tokens, scratch);
+    const auto& terms = scratch.terms;
+    if (terms.empty()) return {};
+    if (terms.size() > 64) return apply_kernel_semantics(query(tokens), index_, opts, stats);
+
+    double qnorm = 0.0;
+    std::uint64_t postings_scanned = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        const TermId t = terms[i];
+        const std::vector<Posting>& plist = index_.postings(t);
+        if (plist.empty()) continue;
+        const double qw = (1.0 + std::log(scratch.query_tf[i])) * idf_[t];
+        qnorm += qw * qw;
+        const double gate_idf = index_.idf(t); // evidence gate uses rsj_idf
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        const std::vector<double>& dw = doc_weights_[t];
+        postings_scanned += plist.size();
+        for (std::size_t j = 0; j < plist.size(); ++j) {
+            const DocId d = plist[j].doc;
+            const double contrib = qw * dw[j];
+            if (scratch.stamp[d] == scratch.epoch) {
+                scratch.score[d] += contrib;
+                scratch.evidence_idf[d] += gate_idf;
+                scratch.term_bits[d] |= bit;
+            } else {
+                scratch.stamp[d] = scratch.epoch;
+                scratch.score[d] = contrib;
+                scratch.evidence_idf[d] = gate_idf;
+                scratch.term_bits[d] = bit;
+                scratch.touched.push_back(d);
+            }
+        }
+    }
+    if (stats != nullptr) stats->postings_scanned += postings_scanned;
+    qnorm = std::sqrt(qnorm);
+    return collect_hits(scratch, opts, stats, [&](DocId d) {
+        const double denom = qnorm * doc_norms_[d];
+        return denom > 0.0 ? scratch.score[d] / denom : 0.0;
+    });
+}
+
 double jaccard(const std::vector<std::string>& a, const std::vector<std::string>& b) {
-    std::set<std::string> sa(a.begin(), a.end());
-    std::set<std::string> sb(b.begin(), b.end());
+    // Sorted-vector set intersection: the token vectors are small and the
+    // old std::set version paid one node allocation per distinct token.
+    std::vector<std::string_view> sa(a.begin(), a.end());
+    std::vector<std::string_view> sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+    std::sort(sb.begin(), sb.end());
+    sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
     if (sa.empty() && sb.empty()) return 1.0;
     std::size_t inter = 0;
-    for (const std::string& t : sa)
-        if (sb.contains(t)) ++inter;
+    for (std::size_t i = 0, j = 0; i < sa.size() && j < sb.size();) {
+        if (sa[i] < sb[j]) {
+            ++i;
+        } else if (sb[j] < sa[i]) {
+            ++j;
+        } else {
+            ++inter;
+            ++i;
+            ++j;
+        }
+    }
     const std::size_t uni = sa.size() + sb.size() - inter;
     return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -20,9 +21,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "text/scratch.hpp"
 #include "util/error.hpp"
 
 namespace cybok::text {
+
+/// Robertson–Spärck Jones IDF with +1 smoothing — the single spelling of
+/// the formula shared by BM25 scoring, the engine's evidence-quality gate,
+/// and explain() output, so gate and explanation cannot drift.
+[[nodiscard]] inline double rsj_idf(double n_docs, double doc_freq) noexcept {
+    return std::log(1.0 + (n_docs - doc_freq + 0.5) / (doc_freq + 0.5));
+}
 
 /// Dense id of an interned term within one Vocabulary.
 using TermId = std::uint32_t;
@@ -104,6 +113,14 @@ public:
     [[nodiscard]] double doc_length(DocId d) const;
     [[nodiscard]] const std::vector<Posting>& postings(TermId t) const;
 
+    /// Precomputed rsj_idf of a term (valid after finalize(); 0 for ids
+    /// outside the vocabulary). This is both the BM25 term weight and the
+    /// evidence-gate weight — one table, computed once at finalize, so
+    /// query() never recomputes a log or round-trips through strings.
+    [[nodiscard]] double idf(TermId t) const noexcept {
+        return t < idf_.size() ? idf_[t] : 0.0;
+    }
+
 private:
     friend class Bm25Scorer;
     friend class TfidfScorer;
@@ -111,6 +128,7 @@ private:
     Vocabulary vocab_;
     std::vector<std::vector<Posting>> postings_; // indexed by TermId
     std::vector<double> doc_lengths_;
+    std::vector<double> idf_; // rsj_idf per term, filled by finalize()
     double avg_len_ = 0.0;
     bool finalized_ = false;
     DocId current_doc_ = UINT32_MAX;
@@ -127,8 +145,41 @@ struct Hit {
     std::vector<TermId> matched_terms;
 };
 
+/// Options for the flat-accumulator scoring kernel (query_kernel on the
+/// scorers). Defaults reproduce the reference query() exactly: every
+/// gate-passing hit, no truncation, no pruning.
+struct KernelOptions {
+    /// Keep only the best k hits by (score desc, doc asc); 0 = unlimited.
+    std::size_t top_k = 0;
+    /// Fused evidence-quality gate: a hit survives only if the summed
+    /// rsj_idf of its distinct matched terms reaches this threshold (the
+    /// engine's min_evidence_idf, evaluated inside the kernel so the
+    /// caller never re-deduplicates matched terms or recomputes IDF).
+    double min_evidence_idf = 0.0;
+    /// Term-at-a-time max-score pruning (BM25 only; needs top_k > 0):
+    /// once the remaining terms' summed score bound cannot beat the
+    /// current top-k floor, documents not yet seen are skipped. Exact —
+    /// the surviving top-k is identical to the unpruned result.
+    bool prune = true;
+};
+
+/// Per-query kernel instrumentation (accumulated into AssocMetrics by the
+/// search layer).
+struct KernelStats {
+    std::uint64_t postings_scanned = 0; ///< postings visited across all query terms
+    std::uint64_t docs_pruned = 0;      ///< accumulator admissions skipped by max-score
+    std::uint64_t hits_gated = 0;       ///< candidates dropped by the evidence gate
+    std::uint64_t fallback_queries = 0; ///< queries routed to the reference scorer (>64 terms)
+};
+
 /// Okapi BM25 ranking over an InvertedIndex. Holds a const reference to a
-/// finalized index; query() is const and safe for concurrent callers.
+/// finalized index; query() / query_kernel() are const and safe for
+/// concurrent callers (each kernel caller brings its own QueryScratch).
+///
+/// query() is the sequential reference implementation — hash-map
+/// accumulators, no pruning. query_kernel() is the flat-accumulator
+/// kernel the engine runs: identical hits (doc, score, matched terms) by
+/// construction, proven by the kernel property tests.
 class Bm25Scorer {
 public:
     /// Standard BM25 knobs: k1 = term-frequency saturation, b = length
@@ -142,8 +193,16 @@ public:
     Bm25Scorer(const InvertedIndex& index, Params params);
 
     /// Rank all documents matching >= 1 query token. Results sorted by
-    /// descending score (ties by ascending doc id).
+    /// descending score (ties by ascending doc id). Reference semantics.
     [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
+
+    /// Flat-accumulator kernel: same ranking as query(), plus the fused
+    /// evidence gate, optional top-k truncation, and max-score pruning
+    /// (see KernelOptions). matched_terms come back distinct and sorted.
+    [[nodiscard]] std::vector<Hit> query_kernel(const std::vector<std::string>& tokens,
+                                                QueryScratch& scratch,
+                                                const KernelOptions& opts = {},
+                                                KernelStats* stats = nullptr) const;
 
     /// IDF of one term (Robertson–Sparck Jones with +1 smoothing).
     [[nodiscard]] double idf(std::string_view term) const noexcept;
@@ -151,6 +210,10 @@ public:
 private:
     const InvertedIndex& index_;
     Params params_;
+    // Precomputed at construction so the query loop does no division by
+    // avg_doc_length and no per-posting recomputation:
+    std::vector<double> norms_;       ///< k1*(1-b+b*len/avg) per doc
+    std::vector<double> max_contrib_; ///< max posting contribution per term (pruning bound)
 };
 
 /// TF-IDF cosine-similarity ranking (the ablation baseline for BM25).
@@ -160,11 +223,23 @@ class TfidfScorer {
 public:
     explicit TfidfScorer(const InvertedIndex& index);
 
+    /// Reference semantics (hash-map accumulators, all hits).
     [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
+
+    /// Flat-accumulator kernel with fused evidence gate and optional
+    /// top-k. Max-score pruning is not applied: per-document cosine
+    /// normalization makes partial scores non-monotone bounds, so pruning
+    /// could not stay exact (KernelOptions::prune is ignored).
+    [[nodiscard]] std::vector<Hit> query_kernel(const std::vector<std::string>& tokens,
+                                                QueryScratch& scratch,
+                                                const KernelOptions& opts = {},
+                                                KernelStats* stats = nullptr) const;
 
 private:
     const InvertedIndex& index_;
     std::vector<double> doc_norms_; // L2 norm of each doc's tf-idf vector
+    std::vector<double> idf_;       // log(n/df) per term (0 for empty postings)
+    std::vector<std::vector<double>> doc_weights_; // per term, parallel to postings
 };
 
 /// Jaccard similarity of two token sets.

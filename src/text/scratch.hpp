@@ -1,0 +1,66 @@
+// Reusable per-thread scratch memory for the flat-accumulator scoring
+// kernel (see the kernel section of docs/ARCHITECTURE.md).
+//
+// The kernel replaces the per-query hash-map accumulators of the reference
+// scorers with dense arrays indexed by DocId. Allocating those arrays per
+// query would dominate small queries, so a QueryScratch owns them and is
+// reused across queries: begin() bumps an epoch stamp instead of clearing,
+// so a query touching m documents costs O(m) regardless of corpus size,
+// and steady-state queries allocate nothing once the arrays have grown to
+// the largest doc_count seen.
+//
+// Thread-safety contract: a QueryScratch is single-threaded state — it must
+// never be shared between concurrently running queries. Callers either own
+// one per worker lane or use tls_query_scratch(), which hands every OS
+// thread its own arena. The scorers only read the (immutable, finalized)
+// index through it, so any number of threads may run kernel queries
+// concurrently as long as each brings its own scratch — exactly the shape
+// of the parallel Associator fan-out.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cybok::text {
+
+/// Dense per-document accumulators plus the small per-query vectors the
+/// kernel needs, all reused across queries (zero-allocation steady state).
+class QueryScratch {
+public:
+    /// Start a new query over an index with `doc_count` documents: grows
+    /// the dense arrays if needed and invalidates all previous per-doc
+    /// state by bumping the epoch (O(1) amortized; O(doc_count) only on
+    /// growth or epoch wrap-around).
+    void begin(std::size_t doc_count);
+
+    /// True when `doc` has been touched by the current query.
+    [[nodiscard]] bool touched_this_query(std::uint32_t doc) const noexcept {
+        return stamp[doc] == epoch;
+    }
+
+    // Dense, DocId-indexed; valid for the current query iff stamp[d] == epoch.
+    std::vector<double> score;          ///< accumulated (unnormalized) score
+    std::vector<double> evidence_idf;   ///< summed RSJ idf of matched query terms
+    std::vector<std::uint64_t> term_bits; ///< bit i = matched i-th distinct query term
+    std::vector<std::uint32_t> stamp;   ///< epoch stamp (== epoch → entry live)
+    std::vector<std::uint32_t> heap_stamp; ///< epoch stamp: doc already in top-k heap
+
+    // Per-query vectors (cleared by begin(), capacity retained).
+    std::vector<std::uint32_t> touched; ///< docs with live accumulators, touch order
+    std::vector<std::uint32_t> terms;   ///< distinct query TermIds, ascending
+    std::vector<double> query_tf;       ///< parallel to terms: query-term frequency
+    std::vector<double> bounds;         ///< suffix max-score bounds (pruning)
+    std::vector<double> heap;           ///< top-k lower-bound min-heap storage
+    std::vector<std::pair<double, std::uint32_t>> candidates; ///< (score, doc) collection
+
+    std::uint32_t epoch = 0;
+};
+
+/// This thread's scratch arena (one per OS thread, created on first use).
+/// The parallel Associator's pool threads each get their own, so the
+/// engine's query path stays allocation-free in steady state without any
+/// locking or API threading of arenas through callers.
+[[nodiscard]] QueryScratch& tls_query_scratch();
+
+} // namespace cybok::text

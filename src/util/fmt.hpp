@@ -1,0 +1,44 @@
+// Locale-independent number formatting on top of std::to_chars.
+//
+// iostream float formatting honors the global C++ locale (e.g. "2,5" under
+// de_DE), which silently poisons anything used as a cache key or stable
+// signature. These helpers always produce the shortest round-trippable
+// C-locale form.
+
+#pragma once
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+namespace cybok::fmt {
+
+/// Append the shortest round-trippable decimal form of `v` ("2.5", "1e-09")
+/// to `out`, independent of the global locale.
+inline void append_number(std::string& out, double v) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec == std::errc()) out.append(buf, ptr);
+}
+
+inline void append_number(std::string& out, long long v) {
+    char buf[24];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec == std::errc()) out.append(buf, ptr);
+}
+
+inline void append_number(std::string& out, unsigned long long v) {
+    char buf[24];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec == std::errc()) out.append(buf, ptr);
+}
+
+/// The shortest round-trippable decimal form of `v` as a fresh string.
+template <typename T>
+[[nodiscard]] std::string number(T v) {
+    std::string out;
+    append_number(out, v);
+    return out;
+}
+
+} // namespace cybok::fmt

@@ -135,6 +135,15 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
     return row[a.size()];
 }
 
+std::string truncate_utf8(std::string_view s, std::size_t max_len) {
+    if (s.size() <= max_len) return std::string(s);
+    std::size_t cut = max_len - 3;
+    // A byte of the form 10xxxxxx continues a multi-byte sequence; cutting
+    // in front of one would leave a dangling lead byte behind the cut.
+    while (cut > 0 && (static_cast<unsigned char>(s[cut]) & 0xC0) == 0x80) --cut;
+    return std::string(s.substr(0, cut)) + "...";
+}
+
 std::string with_commas(std::uint64_t n) {
     std::string digits = std::to_string(n);
     std::string out;

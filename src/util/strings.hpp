@@ -42,4 +42,11 @@ namespace cybok::strings {
 /// Format a non-negative integer with thousands separators ("9673" -> "9,673").
 [[nodiscard]] std::string with_commas(std::uint64_t n);
 
+/// Truncate `s` to at most `max_len` bytes, appending "..." when shortened.
+/// Never splits a multi-byte UTF-8 sequence: the cut backs up over any
+/// continuation bytes so the result stays valid UTF-8 (CVE descriptions
+/// routinely contain vendor names like "Müller" or CJK product names).
+/// Requires max_len >= 3.
+[[nodiscard]] std::string truncate_utf8(std::string_view s, std::size_t max_len);
+
 } // namespace cybok::strings

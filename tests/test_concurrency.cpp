@@ -169,6 +169,43 @@ TEST(Concurrency, ParallelReassociateMatchesFullAssociate) {
     }
 }
 
+TEST(Concurrency, KernelScratchArenasAreThreadLocal) {
+    // The scoring kernel reuses a per-thread scratch arena
+    // (text::tls_query_scratch) across queries. Hammer one engine's
+    // lexical path from many raw threads — under tsan this proves the
+    // arenas never alias; under any build it proves results equal the
+    // single-threaded run. The Associator's pool threads take exactly
+    // this path, so this is the arena half of its zero-allocation
+    // steady-state contract.
+    search::SearchEngine engine(shared_corpus());
+    const std::vector<std::string> queries = {
+        "linux kernel privilege escalation", "scada controller modbus command injection",
+        "buffer overflow firmware update",   "windows registry weak permissions",
+    };
+    std::vector<std::vector<search::Match>> expected;
+    for (const std::string& q : queries)
+        expected.push_back(engine.query_text(q, search::VectorClass::Weakness));
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 8; ++t) {
+        workers.emplace_back([&, t] {
+            for (int round = 0; round < 16; ++round) {
+                const std::size_t qi = static_cast<std::size_t>(t + round) % queries.size();
+                auto hits = engine.query_text(queries[qi], search::VectorClass::Weakness);
+                const auto& want = expected[qi];
+                bool ok = hits.size() == want.size();
+                for (std::size_t i = 0; ok && i < hits.size(); ++i)
+                    ok = hits[i].id == want[i].id && hits[i].score == want[i].score &&
+                         hits[i].evidence == want[i].evidence;
+                if (!ok) mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(Concurrency, ParallelEnginesOverOneCorpus) {
     // Several engines (different options) built concurrently over the same
     // corpus — construction only reads the corpus.

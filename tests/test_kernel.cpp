@@ -1,0 +1,258 @@
+// Property tests for the flat-accumulator scoring kernel: on synthetic
+// corpora from the bench_search_scaling sweep, query_kernel must produce
+// hit-for-hit identical output (doc id, score, matched terms) to the
+// retained reference scorers with the engine's gate/dedup semantics
+// applied — for both rankers, with and without top-k and pruning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "synth/corpus_gen.hpp"
+#include "text/index.hpp"
+#include "text/scratch.hpp"
+#include "text/tokenize.hpp"
+#include "util/rng.hpp"
+
+using namespace cybok;
+using namespace cybok::text;
+
+namespace {
+
+/// Index a corpus's weakness records the way the engine does (title
+/// weight 3x, body 1x) — the richest of the three per-class indexes.
+InvertedIndex weakness_index(const kb::Corpus& corpus) {
+    InvertedIndex index;
+    for (const kb::Weakness& w : corpus.weaknesses()) {
+        index.add_document();
+        index.add_terms(analyze(w.name), 3.0f);
+        index.add_terms(analyze(w.description));
+        for (const std::string& c : w.consequences) index.add_terms(analyze(c));
+        for (const std::string& ap : w.applicable_platforms) index.add_terms(analyze(ap));
+    }
+    index.finalize();
+    return index;
+}
+
+/// The engine-side reference semantics the kernel fuses in: dedup+sort
+/// matched terms, gate on summed rsj IDF, truncate to top-k.
+std::vector<Hit> reference_hits(const std::vector<Hit>& raw, const InvertedIndex& index,
+                                const KernelOptions& opts) {
+    std::vector<Hit> out;
+    for (Hit h : raw) {
+        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
+                              h.matched_terms.end());
+        double evidence = 0.0;
+        for (TermId t : h.matched_terms) evidence += index.idf(t);
+        if (evidence < opts.min_evidence_idf) continue;
+        out.push_back(std::move(h));
+    }
+    if (opts.top_k > 0 && out.size() > opts.top_k) out.resize(opts.top_k);
+    return out;
+}
+
+void expect_identical(const std::vector<Hit>& kernel, const std::vector<Hit>& reference,
+                      const std::string& label) {
+    ASSERT_EQ(kernel.size(), reference.size()) << label;
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+        EXPECT_EQ(kernel[i].doc, reference[i].doc) << label << " hit " << i;
+        EXPECT_NEAR(kernel[i].score, reference[i].score, 1e-9) << label << " hit " << i;
+        EXPECT_EQ(kernel[i].matched_terms, reference[i].matched_terms) << label << " hit " << i;
+    }
+}
+
+/// Random queries over the index's own vocabulary (so they actually hit),
+/// with duplicates and unknown tokens mixed in.
+std::vector<std::vector<std::string>> sample_queries(const InvertedIndex& index,
+                                                     std::uint64_t seed, std::size_t count) {
+    Rng rng(seed);
+    std::vector<std::vector<std::string>> queries;
+    for (std::size_t q = 0; q < count; ++q) {
+        std::vector<std::string> tokens;
+        const std::size_t len = rng.uniform(1, 9);
+        for (std::size_t i = 0; i < len; ++i) {
+            const TermId t = static_cast<TermId>(rng.uniform(0, index.term_count() - 1));
+            tokens.push_back(index.vocabulary().term(t));
+            if (rng.chance(0.2)) tokens.push_back(tokens.back()); // duplicate
+        }
+        if (rng.chance(0.3)) tokens.push_back("zqzqzq-unknown-token");
+        queries.push_back(std::move(tokens));
+    }
+    return queries;
+}
+
+struct KernelCase {
+    KernelOptions opts;
+    const char* label;
+};
+
+const KernelCase kCases[] = {
+    {{0, 0.0, true}, "all-hits"},
+    {{0, 2.0, true}, "gated"},
+    {{5, 0.0, true}, "top5-pruned"},
+    {{5, 0.0, false}, "top5-unpruned"},
+    {{5, 2.0, true}, "top5-gated-pruned"},
+    {{1, 2.0, true}, "top1-gated-pruned"},
+    {{1000000, 2.0, true}, "k-beyond-hits"},
+};
+
+} // namespace
+
+class KernelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelProperty, Bm25KernelMatchesReferenceOnSyntheticSweep) {
+    const double scale = GetParam() / 1000.0;
+    const kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(scale, 31));
+    const InvertedIndex index = weakness_index(corpus);
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch; // one arena reused across every query below
+    for (const auto& tokens : sample_queries(index, 7u + GetParam(), 25)) {
+        const std::vector<Hit> raw = scorer.query(tokens);
+        for (const KernelCase& c : kCases) {
+            expect_identical(scorer.query_kernel(tokens, scratch, c.opts),
+                             reference_hits(raw, index, c.opts), c.label);
+        }
+    }
+}
+
+TEST_P(KernelProperty, TfidfKernelMatchesReferenceOnSyntheticSweep) {
+    const double scale = GetParam() / 1000.0;
+    const kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(scale, 31));
+    const InvertedIndex index = weakness_index(corpus);
+    const TfidfScorer scorer(index);
+    QueryScratch scratch;
+    for (const auto& tokens : sample_queries(index, 11u + GetParam(), 25)) {
+        const std::vector<Hit> raw = scorer.query(tokens);
+        for (const KernelCase& c : kCases) {
+            expect_identical(scorer.query_kernel(tokens, scratch, c.opts),
+                             reference_hits(raw, index, c.opts), c.label);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticSweep, KernelProperty, ::testing::Values(50, 200));
+
+// ------------------------------------------------------------ small cases
+
+namespace {
+
+/// Four docs where "alpha" scores identically in docs 1..3 (same length,
+/// same tf) — exact score ties at any top-k cut.
+InvertedIndex tied_index() {
+    InvertedIndex index;
+    for (int d = 0; d < 4; ++d) {
+        index.add_document();
+        index.add_terms({d == 0 ? "unique" : "alpha", "pad", "pad"});
+    }
+    index.finalize();
+    return index;
+}
+
+} // namespace
+
+TEST(Kernel, TopKTieAtTheCutBreaksByDocId) {
+    const InvertedIndex index = tied_index();
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch;
+    for (bool prune : {false, true}) {
+        KernelOptions opts;
+        opts.top_k = 2;
+        opts.prune = prune;
+        const std::vector<Hit> hits = scorer.query_kernel({"alpha"}, scratch, opts);
+        // Docs 1, 2, 3 tie exactly; the cut keeps the two lowest doc ids.
+        ASSERT_EQ(hits.size(), 2u) << "prune=" << prune;
+        EXPECT_EQ(hits[0].doc, 1u);
+        EXPECT_EQ(hits[1].doc, 2u);
+        EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+    }
+}
+
+TEST(Kernel, TopKZeroMeansUnlimited) {
+    const InvertedIndex index = tied_index();
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch;
+    KernelOptions opts; // top_k = 0
+    EXPECT_EQ(scorer.query_kernel({"alpha"}, scratch, opts).size(), 3u);
+    EXPECT_EQ(scorer.query_kernel({"pad"}, scratch, opts).size(), 4u);
+}
+
+TEST(Kernel, TopKBeyondHitCountReturnsEverything) {
+    const InvertedIndex index = tied_index();
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch;
+    KernelOptions opts;
+    opts.top_k = 100;
+    EXPECT_EQ(scorer.query_kernel({"alpha"}, scratch, opts).size(), 3u);
+}
+
+TEST(Kernel, EmptyAndUnknownQueries) {
+    const InvertedIndex index = tied_index();
+    const Bm25Scorer bm25(index);
+    const TfidfScorer tfidf(index);
+    QueryScratch scratch;
+    EXPECT_TRUE(bm25.query_kernel({}, scratch).empty());
+    EXPECT_TRUE(bm25.query_kernel({"nope"}, scratch).empty());
+    EXPECT_TRUE(tfidf.query_kernel({}, scratch).empty());
+    EXPECT_TRUE(tfidf.query_kernel({"nope"}, scratch).empty());
+}
+
+TEST(Kernel, WideQueryFallsBackToReferenceSemantics) {
+    // More than 64 distinct terms exceeds the per-doc term bitset; the
+    // kernel must route through the reference scorer and still apply
+    // gate + dedup + top-k.
+    InvertedIndex index;
+    std::vector<std::string> wide;
+    for (int i = 0; i < 80; ++i) wide.push_back("term" + std::to_string(i));
+    for (int d = 0; d < 6; ++d) {
+        index.add_document();
+        // Each doc holds a sliding window of 40 of the 80 terms.
+        for (int i = 0; i < 40; ++i) index.add_term(wide[(d * 8 + i) % 80]);
+    }
+    index.finalize();
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch;
+    KernelOptions opts;
+    opts.top_k = 3;
+    KernelStats stats;
+    const std::vector<Hit> kernel = scorer.query_kernel(wide, scratch, opts, &stats);
+    EXPECT_EQ(stats.fallback_queries, 1u);
+    expect_identical(kernel, reference_hits(scorer.query(wide), index, opts), "wide-fallback");
+    for (const Hit& h : kernel)
+        EXPECT_TRUE(std::is_sorted(h.matched_terms.begin(), h.matched_terms.end()));
+}
+
+TEST(Kernel, ScratchArenaSurvivesIndexSwitching) {
+    // One arena alternating between two indexes of different sizes — the
+    // epoch stamps must isolate queries completely.
+    const InvertedIndex small = tied_index();
+    const kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.05, 31));
+    const InvertedIndex big = weakness_index(corpus);
+    const Bm25Scorer small_scorer(small);
+    const Bm25Scorer big_scorer(big);
+    QueryScratch scratch;
+    const std::vector<Hit> small_ref = small_scorer.query_kernel({"alpha"}, scratch);
+    const auto queries = sample_queries(big, 5, 10);
+    for (int round = 0; round < 3; ++round) {
+        for (const auto& tokens : queries) {
+            expect_identical(big_scorer.query_kernel(tokens, scratch),
+                             reference_hits(big_scorer.query(tokens), big, {}), "big");
+        }
+        expect_identical(small_scorer.query_kernel({"alpha"}, scratch), small_ref, "small");
+    }
+}
+
+TEST(Kernel, StatsCountPostingsAndGatedHits) {
+    const InvertedIndex index = tied_index();
+    const Bm25Scorer scorer(index);
+    QueryScratch scratch;
+    KernelOptions opts;
+    opts.min_evidence_idf = 1e9; // nothing can pass
+    KernelStats stats;
+    EXPECT_TRUE(scorer.query_kernel({"alpha", "pad"}, scratch, opts, &stats).empty());
+    EXPECT_EQ(stats.postings_scanned, 7u); // 3 alpha + 4 pad
+    EXPECT_EQ(stats.hits_gated, 4u);       // every touched doc gated out
+}

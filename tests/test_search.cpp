@@ -438,6 +438,37 @@ TEST(Association, ReassociateReusesUntouchedResults) {
     EXPECT_EQ(re.total(), before_map.total());
 }
 
+TEST(SearchEngine, MaxLexicalHitsTruncatesPerClassQuery) {
+    kb::Corpus c = tiny_corpus();
+    EngineOptions unlimited = relaxed();
+    SearchEngine full(c, unlimited);
+    const char* query = "command injection resource consumption linux product";
+    const auto all = full.query_text(query, VectorClass::Weakness);
+    ASSERT_GE(all.size(), 2u);
+
+    EngineOptions capped = relaxed();
+    capped.max_lexical_hits = 1;
+    SearchEngine engine(c, capped);
+    const auto top = engine.query_text(query, VectorClass::Weakness);
+    ASSERT_EQ(top.size(), 1u);
+    // The survivor is the best-ranked hit of the unlimited run, unchanged.
+    EXPECT_EQ(top[0].id, all[0].id);
+    EXPECT_DOUBLE_EQ(top[0].score, all[0].score);
+    EXPECT_EQ(top[0].evidence, all[0].evidence);
+}
+
+TEST(SearchEngine, OptionsSignatureIsStableAndKeysEveryOption) {
+    EngineOptions a;
+    EXPECT_EQ(a.signature(), "bm25|idf=2|lexvuln=0|tw=3|k=0");
+    EngineOptions b = a;
+    b.max_lexical_hits = 25;
+    EXPECT_NE(a.signature(), b.signature());
+    EngineOptions c = a;
+    c.min_evidence_idf = 2.5;
+    // to_chars spelling: locale-independent shortest form.
+    EXPECT_EQ(c.signature(), "bm25|idf=2.5|lexvuln=0|tw=3|k=0");
+}
+
 TEST(Search, EnumNames) {
     EXPECT_EQ(vector_class_name(VectorClass::AttackPattern), "attack-pattern");
     EXPECT_EQ(vector_class_name(VectorClass::Vulnerability), "vulnerability");

@@ -89,3 +89,42 @@ TEST(Strings, WithCommas) {
     EXPECT_EQ(s::with_commas(9673), "9,673");
     EXPECT_EQ(s::with_commas(1234567), "1,234,567");
 }
+
+TEST(Strings, TruncateUtf8AsciiMatchesPlainTruncation) {
+    EXPECT_EQ(s::truncate_utf8("short", 70), "short");
+    EXPECT_EQ(s::truncate_utf8("abcdefghij", 10), "abcdefghij");
+    EXPECT_EQ(s::truncate_utf8("abcdefghijk", 10), "abcdefg...");
+    EXPECT_EQ(s::truncate_utf8("", 3), "");
+}
+
+TEST(Strings, TruncateUtf8NeverSplitsMultiByteSequences) {
+    // "Müller" = M \xC3\xBC l l e r — cutting between \xC3 and \xBC would
+    // leave an invalid lead byte at the end of the title.
+    const std::string s8 = "M\xC3\xBCller GmbH industrial controller";
+    for (std::size_t max_len = 3; max_len <= s8.size() + 1; ++max_len) {
+        const std::string out = s::truncate_utf8(s8, max_len);
+        EXPECT_LE(out.size(), std::max<std::size_t>(max_len, 3));
+        // No dangling lead byte: the last byte must not start a multi-byte
+        // sequence that got cut off (check by validating tail structure).
+        for (std::size_t i = 0; i < out.size();) {
+            const unsigned char c = static_cast<unsigned char>(out[i]);
+            std::size_t len = c < 0x80 ? 1 : (c >> 5) == 0x6 ? 2 : (c >> 4) == 0xE ? 3 : 4;
+            if ((c & 0xC0) == 0x80) { ADD_FAILURE() << "stray continuation at " << i; break; }
+            if (i + len > out.size() && out.compare(i, std::string::npos, "...") != 0) {
+                ADD_FAILURE() << "split sequence at byte " << i << " (max_len " << max_len
+                              << ")";
+                break;
+            }
+            i += len;
+        }
+    }
+}
+
+TEST(Strings, TruncateUtf8FourByteSequence) {
+    const std::string emoji = "\xF0\x9F\x94\x92 locked device description here";
+    // Cut points that land inside the 4-byte emoji back up to its start.
+    EXPECT_EQ(s::truncate_utf8(emoji, 5), "...");
+    EXPECT_EQ(s::truncate_utf8(emoji, 6), "...");
+    const std::string out7 = s::truncate_utf8(emoji, 7);
+    EXPECT_EQ(out7, "\xF0\x9F\x94\x92...");
+}
