@@ -1,0 +1,200 @@
+// Ingest and cold start: what it costs to go from bytes on disk to a
+// query-ready engine, across the three paths the repo now has —
+//
+//   1. JSON corpus parse + sequential engine build   (the original path)
+//   2. JSON corpus parse + parallel sharded build    (tentpole, phase 1)
+//   3. binary snapshot thaw                          (tentpole, phase 2)
+//
+// The preamble times one cold start per path at the largest scale and
+// prints the speedup table (EXPERIMENTS.md reproduces it); the benchmarks
+// then measure each stage in isolation across scales.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "bench_common.hpp"
+#include "kb/serialize.hpp"
+#include "kb/snapshot.hpp"
+#include "util/bytes.hpp"
+
+using namespace cybok;
+
+namespace {
+
+const kb::Corpus& corpus_at_scale(int permille) {
+    static std::map<int, kb::Corpus> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        it = cache.emplace(permille, synth::generate_corpus(synth::CorpusProfile::scaled(
+                                        permille / 1000.0, 31))).first;
+    }
+    return it->second;
+}
+
+/// JSON corpus file per scale, written once.
+const std::string& json_path_at_scale(int permille) {
+    static std::map<int, std::string> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        std::string path = (std::filesystem::temp_directory_path() /
+                            ("cybok_bench_ingest_" + std::to_string(permille) + ".json"))
+                               .string();
+        kb::save_corpus(path, corpus_at_scale(permille));
+        it = cache.emplace(permille, std::move(path)).first;
+    }
+    return it->second;
+}
+
+/// Snapshot blob file per scale (corpus + default-options engine).
+const std::string& snapshot_path_at_scale(int permille) {
+    static std::map<int, std::string> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        std::string path = (std::filesystem::temp_directory_path() /
+                            ("cybok_bench_ingest_" + std::to_string(permille) + ".snap"))
+                               .string();
+        search::SearchEngine engine(corpus_at_scale(permille));
+        search::save_engine_snapshot(engine, path);
+        it = cache.emplace(permille, std::move(path)).first;
+    }
+    return it->second;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void preamble() {
+    std::printf("Cold start: bytes on disk -> query-ready engine (scale 1.0)\n\n");
+    const int permille = 1000;
+    const std::string& json = json_path_at_scale(permille);
+    const std::string& snap = snapshot_path_at_scale(permille);
+
+    namespace sc = std::chrono;
+    sc::steady_clock::time_point t0 = sc::steady_clock::now();
+    kb::Corpus c1 = kb::load_corpus(json);
+    search::EngineOptions seq;
+    seq.build_threads = 1;
+    search::SearchEngine e1(c1, seq);
+    const double json_seq_ms = ms_since(t0);
+
+    t0 = sc::steady_clock::now();
+    kb::Corpus c2 = kb::load_corpus(json);
+    search::SearchEngine e2(c2); // build_threads = 0: all cores
+    const double json_par_ms = ms_since(t0);
+
+    t0 = sc::steady_clock::now();
+    search::EngineSnapshot thawed = search::load_engine_snapshot(snap);
+    const double snap_ms = ms_since(t0);
+
+    const search::BuildMetrics& bm = e2.build_metrics();
+    std::printf("  %-34s %9.1f ms\n", "JSON parse + sequential build", json_seq_ms);
+    std::printf("  %-34s %9.1f ms  (%zu thread(s))\n", "JSON parse + parallel build",
+                json_par_ms, bm.threads);
+    std::printf("  %-34s %9.1f ms  (%.1fx vs JSON+sequential)\n", "snapshot thaw", snap_ms,
+                snap_ms > 0.0 ? json_seq_ms / snap_ms : 0.0);
+    std::printf("  docs %zu, snapshot from_snapshot=%d\n\n",
+                thawed.engine->build_metrics().docs,
+                thawed.engine->build_metrics().from_snapshot ? 1 : 0);
+}
+
+// -- stage benchmarks --------------------------------------------------------
+
+void BM_JsonParseCorpus(benchmark::State& state) {
+    const std::string& path = json_path_at_scale(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        kb::Corpus corpus = kb::load_corpus(path);
+        benchmark::DoNotOptimize(&corpus);
+    }
+}
+BENCHMARK(BM_JsonParseCorpus)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SequentialBuild(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::EngineOptions opts;
+    opts.build_threads = 1;
+    for (auto _ : state) {
+        search::SearchEngine engine(corpus, opts);
+        benchmark::DoNotOptimize(&engine);
+    }
+}
+BENCHMARK(BM_SequentialBuild)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelBuild(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::EngineOptions opts;
+    opts.build_threads = 0; // hardware concurrency
+    for (auto _ : state) {
+        search::SearchEngine engine(corpus, opts);
+        benchmark::DoNotOptimize(&engine);
+        state.counters["threads"] = static_cast<double>(engine.build_metrics().threads);
+    }
+}
+BENCHMARK(BM_ParallelBuild)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotFreeze(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::SearchEngine engine(corpus);
+    for (auto _ : state) {
+        std::string blob = search::freeze_engine(engine);
+        benchmark::DoNotOptimize(blob);
+        state.counters["bytes"] = static_cast<double>(blob.size());
+    }
+}
+BENCHMARK(BM_SnapshotFreeze)->Arg(50)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotThaw(benchmark::State& state) {
+    // In-memory blob: isolates decode cost from file IO.
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::SearchEngine engine(corpus);
+    const std::string blob = search::freeze_engine(engine);
+    for (auto _ : state) {
+        search::EngineSnapshot snap = search::thaw_engine(blob);
+        benchmark::DoNotOptimize(&snap);
+    }
+}
+BENCHMARK(BM_SnapshotThaw)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// -- end-to-end cold starts ---------------------------------------------------
+
+void BM_ColdStartJsonSequential(benchmark::State& state) {
+    const std::string& path = json_path_at_scale(static_cast<int>(state.range(0)));
+    search::EngineOptions opts;
+    opts.build_threads = 1;
+    for (auto _ : state) {
+        kb::Corpus corpus = kb::load_corpus(path);
+        search::SearchEngine engine(corpus, opts);
+        benchmark::DoNotOptimize(&engine);
+    }
+}
+BENCHMARK(BM_ColdStartJsonSequential)->Arg(50)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ColdStartJsonParallel(benchmark::State& state) {
+    const std::string& path = json_path_at_scale(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        kb::Corpus corpus = kb::load_corpus(path);
+        search::SearchEngine engine(corpus);
+        benchmark::DoNotOptimize(&engine);
+    }
+}
+BENCHMARK(BM_ColdStartJsonParallel)->Arg(50)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ColdStartSnapshot(benchmark::State& state) {
+    const std::string& path = snapshot_path_at_scale(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        search::EngineSnapshot snap = search::load_engine_snapshot(path);
+        benchmark::DoNotOptimize(&snap);
+    }
+}
+BENCHMARK(BM_ColdStartSnapshot)->Arg(50)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+CYBOK_BENCH_MAIN(preamble)

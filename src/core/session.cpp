@@ -5,10 +5,47 @@
 
 namespace cybok::core {
 
+std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
+    const kb::Corpus& corpus, const SessionOptions& options,
+    std::unique_ptr<kb::Corpus>& thawed) {
+    if (!options.snapshot_path.empty()) {
+        try {
+            search::EngineSnapshot snap = search::load_engine_snapshot(options.snapshot_path);
+            // Staleness guard: the snapshot must have been frozen under the
+            // same engine options (signature) over a corpus of the same
+            // shape as the one this session was handed; anything else means
+            // the cache predates a data or configuration change.
+            const bool fresh =
+                snap.engine->options().signature() == options.engine.signature() &&
+                snap.corpus->patterns().size() == corpus.patterns().size() &&
+                snap.corpus->weaknesses().size() == corpus.weaknesses().size() &&
+                snap.corpus->vulnerabilities().size() == corpus.vulnerabilities().size();
+            if (fresh) {
+                thawed = std::move(snap.corpus);
+                return std::move(snap.engine);
+            }
+        } catch (const Error&) {
+            // Missing / truncated / corrupt / version-mismatched snapshot:
+            // fall through to a fresh build, which rewrites the file.
+        }
+    }
+    auto engine = std::make_unique<search::SearchEngine>(corpus, options.engine);
+    if (!options.snapshot_path.empty()) {
+        try {
+            search::save_engine_snapshot(*engine, options.snapshot_path);
+        } catch (const IoError&) {
+            // An unwritable cache location degrades cold-start speed, not
+            // correctness; the session proceeds with the built engine.
+        }
+    }
+    return engine;
+}
+
 AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
                                  SessionOptions options)
-    : model_(std::move(m)), corpus_(corpus), options_(std::move(options)),
-      engine_(corpus_, options_.engine), associator_(engine_, options_.assoc) {}
+    : model_(std::move(m)), options_(std::move(options)),
+      engine_(make_engine(corpus, options_, thawed_corpus_)), corpus_(&engine_->corpus()),
+      associator_(*engine_, options_.assoc) {}
 
 void AnalysisSession::set_hazards(safety::HazardModel hazards) {
     std::vector<std::string> issues = hazards.validate();
@@ -84,7 +121,7 @@ std::vector<analysis::HardeningCandidate> AnalysisSession::hardening_candidates(
 
 graph::PropertyGraph AnalysisSession::vector_graph(
     const dashboard::VectorGraphOptions& options) {
-    return dashboard::build_vector_graph(model_, associations(), corpus_, options);
+    return dashboard::build_vector_graph(model_, associations(), *corpus_, options);
 }
 
 dashboard::Report AnalysisSession::report() {

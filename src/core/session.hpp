@@ -40,6 +40,13 @@ struct SessionOptions {
     /// everything; the Table 1 reproduction runs unfiltered).
     search::FilterChain filters;
     dashboard::ReportOptions report;
+    /// When non-empty, the engine cold-start cache: if the file holds a
+    /// valid snapshot whose engine options and corpus shape match, the
+    /// session thaws corpus + engine from it (skipping all tokenization
+    /// and index construction); otherwise it builds fresh and writes the
+    /// snapshot for the next start. Missing, stale, or corrupt files are
+    /// never fatal — the session falls back to a fresh build.
+    std::string snapshot_path;
 };
 
 /// One analysis session over (model, corpus). The corpus must outlive the
@@ -54,8 +61,15 @@ public:
     AnalysisSession& operator=(const AnalysisSession&) = delete;
 
     [[nodiscard]] const model::SystemModel& model() const noexcept { return model_; }
-    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
-    [[nodiscard]] const search::SearchEngine& engine() const noexcept { return engine_; }
+    /// The corpus the engine indexes: the caller's when built fresh, the
+    /// session-owned thawed copy when restored from a snapshot.
+    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return *corpus_; }
+    [[nodiscard]] const search::SearchEngine& engine() const noexcept { return *engine_; }
+    /// True when this session's engine was thawed from options.snapshot_path
+    /// instead of built from record text.
+    [[nodiscard]] bool from_snapshot() const noexcept {
+        return engine_->build_metrics().from_snapshot;
+    }
     /// The parallel/cached association engine every association in this
     /// session runs through (associations(), propose(), commit()).
     [[nodiscard]] search::Associator& associator() noexcept { return associator_; }
@@ -117,10 +131,17 @@ private:
         return options_.filters.stage_count() > 0 ? &options_.filters : nullptr;
     }
 
+    /// Load-or-build per SessionOptions::snapshot_path; fills `thawed` with
+    /// the snapshot-owned corpus when the engine came from a snapshot.
+    static std::unique_ptr<search::SearchEngine> make_engine(
+        const kb::Corpus& corpus, const SessionOptions& options,
+        std::unique_ptr<kb::Corpus>& thawed);
+
     model::SystemModel model_;
-    const kb::Corpus& corpus_;
     SessionOptions options_;
-    search::SearchEngine engine_;
+    std::unique_ptr<kb::Corpus> thawed_corpus_; ///< owns the corpus when thawed
+    std::unique_ptr<search::SearchEngine> engine_;
+    const kb::Corpus* corpus_; ///< == &engine_->corpus()
     search::Associator associator_;
     std::optional<safety::HazardModel> hazards_;
     std::optional<model::MissionModel> missions_;

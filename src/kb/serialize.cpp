@@ -1,5 +1,7 @@
 #include "kb/serialize.hpp"
 
+#include "util/bytes.hpp"
+
 namespace cybok::kb {
 
 namespace {
@@ -134,7 +136,9 @@ void save_corpus(const std::string& path, const Corpus& corpus) {
 }
 
 Corpus load_corpus(const std::string& path) {
-    return corpus_from_json(json::load_file(path));
+    // read_file pulls the whole corpus into a pre-sized buffer with one
+    // read; the parser then works over the view without re-copying.
+    return corpus_from_json(json::parse(util::read_file(path)));
 }
 
 } // namespace cybok::kb

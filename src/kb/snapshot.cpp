@@ -1,0 +1,174 @@
+#include "kb/snapshot.hpp"
+
+namespace cybok::kb {
+
+namespace {
+
+constexpr std::string_view kMagic = "CYBOKSNP"; // 8 bytes
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+
+void freeze_strings(util::ByteWriter& w, const std::vector<std::string>& items) {
+    w.u32(static_cast<std::uint32_t>(items.size()));
+    for (const std::string& s : items) w.str(s);
+}
+
+std::vector<std::string> thaw_strings(util::ByteReader& r) {
+    const std::uint32_t n = r.u32();
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.str());
+    return out;
+}
+
+void freeze_platform(util::ByteWriter& w, const Platform& p) {
+    w.u8(static_cast<std::uint8_t>(p.part));
+    w.str(p.vendor);
+    w.str(p.product);
+    w.str(p.version);
+}
+
+Platform thaw_platform(util::ByteReader& r) {
+    Platform p;
+    const std::uint8_t part = r.u8();
+    if (part > static_cast<std::uint8_t>(PlatformPart::Hardware))
+        throw SnapshotError("snapshot: platform part out of range");
+    p.part = static_cast<PlatformPart>(part);
+    p.vendor = r.str();
+    p.product = r.str();
+    p.version = r.str();
+    return p;
+}
+
+Rating thaw_rating(util::ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(Rating::VeryHigh))
+        throw SnapshotError("snapshot: rating out of range");
+    return static_cast<Rating>(v);
+}
+
+} // namespace
+
+std::string seal_snapshot(std::string payload) {
+    std::string out;
+    out.reserve(kHeaderSize + payload.size());
+    out.append(kMagic);
+    util::ByteWriter fields;
+    fields.u32(kSnapshotVersion);
+    fields.u64(payload.size());
+    fields.u64(util::fnv1a64(payload));
+    out.append(fields.bytes());
+    out.append(payload);
+    return out;
+}
+
+std::string_view open_snapshot(std::string_view blob) {
+    if (blob.size() < kHeaderSize || blob.substr(0, kMagic.size()) != kMagic)
+        throw SnapshotError("snapshot: bad magic (not a CYBOK snapshot)");
+    util::ByteReader r(blob.substr(kMagic.size()));
+    const std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion)
+        throw SnapshotError("snapshot: version mismatch (blob v" + std::to_string(version) +
+                            ", expected v" + std::to_string(kSnapshotVersion) + ")");
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t checksum = r.u64();
+    std::string_view payload = blob.substr(kHeaderSize);
+    if (payload.size() < payload_size) throw SnapshotError("snapshot: truncated payload");
+    if (payload.size() > payload_size) throw SnapshotError("snapshot: trailing bytes after payload");
+    if (util::fnv1a64(payload) != checksum) throw SnapshotError("snapshot: checksum mismatch");
+    return payload;
+}
+
+void freeze_corpus(util::ByteWriter& w, const Corpus& corpus) {
+    w.u32(static_cast<std::uint32_t>(corpus.patterns().size()));
+    for (const AttackPattern& p : corpus.patterns()) {
+        w.u32(p.id.value);
+        w.str(p.name);
+        w.str(p.summary);
+        freeze_strings(w, p.prerequisites);
+        w.u8(static_cast<std::uint8_t>(p.likelihood));
+        w.u8(static_cast<std::uint8_t>(p.typical_severity));
+        w.u32(static_cast<std::uint32_t>(p.related_weaknesses.size()));
+        for (WeaknessId wid : p.related_weaknesses) w.u32(wid.value);
+        w.u32(p.parent.value);
+        freeze_strings(w, p.domains);
+    }
+
+    w.u32(static_cast<std::uint32_t>(corpus.weaknesses().size()));
+    for (const Weakness& wk : corpus.weaknesses()) {
+        w.u32(wk.id.value);
+        w.str(wk.name);
+        w.str(wk.description);
+        freeze_strings(w, wk.modes_of_introduction);
+        freeze_strings(w, wk.consequences);
+        // related_patterns is derived (rebuilt by reindex), not serialized.
+        w.u32(wk.parent.value);
+        freeze_strings(w, wk.applicable_platforms);
+    }
+
+    w.u32(static_cast<std::uint32_t>(corpus.vulnerabilities().size()));
+    for (const Vulnerability& v : corpus.vulnerabilities()) {
+        w.u32(v.id.year);
+        w.u32(v.id.number);
+        w.str(v.description);
+        w.u32(static_cast<std::uint32_t>(v.platforms.size()));
+        for (const Platform& p : v.platforms) freeze_platform(w, p);
+        w.u32(static_cast<std::uint32_t>(v.weaknesses.size()));
+        for (WeaknessId wid : v.weaknesses) w.u32(wid.value);
+        w.str(v.cvss_vector);
+    }
+}
+
+Corpus thaw_corpus(util::ByteReader& r) {
+    Corpus corpus;
+
+    const std::uint32_t n_patterns = r.u32();
+    for (std::uint32_t i = 0; i < n_patterns; ++i) {
+        AttackPattern p;
+        p.id.value = r.u32();
+        p.name = r.str();
+        p.summary = r.str();
+        p.prerequisites = thaw_strings(r);
+        p.likelihood = thaw_rating(r);
+        p.typical_severity = thaw_rating(r);
+        const std::uint32_t n_rel = r.u32();
+        p.related_weaknesses.reserve(n_rel);
+        for (std::uint32_t j = 0; j < n_rel; ++j) p.related_weaknesses.push_back({r.u32()});
+        p.parent.value = r.u32();
+        p.domains = thaw_strings(r);
+        corpus.add(std::move(p));
+    }
+
+    const std::uint32_t n_weaknesses = r.u32();
+    for (std::uint32_t i = 0; i < n_weaknesses; ++i) {
+        Weakness wk;
+        wk.id.value = r.u32();
+        wk.name = r.str();
+        wk.description = r.str();
+        wk.modes_of_introduction = thaw_strings(r);
+        wk.consequences = thaw_strings(r);
+        wk.parent.value = r.u32();
+        wk.applicable_platforms = thaw_strings(r);
+        corpus.add(std::move(wk));
+    }
+
+    const std::uint32_t n_vulns = r.u32();
+    for (std::uint32_t i = 0; i < n_vulns; ++i) {
+        Vulnerability v;
+        v.id.year = r.u32();
+        v.id.number = r.u32();
+        v.description = r.str();
+        const std::uint32_t n_plat = r.u32();
+        v.platforms.reserve(n_plat);
+        for (std::uint32_t j = 0; j < n_plat; ++j) v.platforms.push_back(thaw_platform(r));
+        const std::uint32_t n_cwe = r.u32();
+        v.weaknesses.reserve(n_cwe);
+        for (std::uint32_t j = 0; j < n_cwe; ++j) v.weaknesses.push_back({r.u32()});
+        v.cvss_vector = r.str();
+        corpus.add(std::move(v));
+    }
+
+    corpus.reindex();
+    return corpus;
+}
+
+} // namespace cybok::kb

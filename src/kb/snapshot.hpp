@@ -1,0 +1,55 @@
+// The versioned binary snapshot format — the build-once/serve-many half
+// of the ingest path. A snapshot blob is
+//
+//   [magic "CYBOKSNP" (8)] [version u32] [payload size u64]
+//   [fnv1a64(payload) u64] [payload ...]
+//
+// where the payload is produced/consumed with util::ByteWriter/ByteReader
+// (little-endian, length-prefixed). This file owns the framing (seal /
+// open) and the corpus record codec; the engine-level payload — finalized
+// inverted indexes, IDF tables, BM25 norms, scorer weights — is frozen by
+// text::InvertedIndex / search::SearchEngine on top of it (layering: kb
+// cannot see search).
+//
+// Unlike the JSON corpus form (kb/serialize.hpp), a snapshot also carries
+// *derived* state, so thawing skips tokenization, stemming, interning and
+// finalize entirely: cold start becomes a sequential read + table fill.
+// Every malformed input — wrong magic, unknown version, truncation,
+// checksum mismatch — is rejected with a typed SnapshotError before any
+// payload byte is interpreted.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kb/corpus.hpp"
+#include "util/bytes.hpp"
+
+namespace cybok::kb {
+
+/// A snapshot blob was rejected: bad magic, version mismatch, truncation,
+/// checksum failure, or trailing bytes. The message names which.
+class SnapshotError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Current snapshot format version. Bump on any payload layout change;
+/// open_snapshot rejects every other version (snapshots are rebuild-cheap
+/// caches, not archival data — no migration machinery).
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Frame a payload: prepend magic, version, size, and checksum.
+[[nodiscard]] std::string seal_snapshot(std::string payload);
+
+/// Validate the frame and return a view of the payload inside `blob`.
+/// Throws SnapshotError on any header or integrity violation.
+[[nodiscard]] std::string_view open_snapshot(std::string_view blob);
+
+/// Corpus record codec (records only; thaw_corpus reindexes, which is
+/// cheap — id maps and platform bindings, no text analysis).
+void freeze_corpus(util::ByteWriter& w, const Corpus& corpus);
+[[nodiscard]] Corpus thaw_corpus(util::ByteReader& r);
+
+} // namespace cybok::kb

@@ -130,7 +130,11 @@ struct Associator::Task {
 Associator::Associator(const SearchEngine& engine, AssocOptions options)
     : engine_(engine), options_(options),
       options_signature_(engine.options().signature()), pool_(options.threads),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity) {
+    // Surface how the engine behind this associator came to exist (cold
+    // build timings or snapshot thaw) in every metrics report.
+    metrics_.build = engine.build_metrics();
+}
 
 namespace {
 

@@ -1,12 +1,14 @@
 #include "search/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <sstream>
 #include <unordered_set>
 
 #include "cvss/cvss2.hpp"
+#include "kb/snapshot.hpp"
 #include "text/scratch.hpp"
 #include "text/tokenize.hpp"
 #include "util/fmt.hpp"
@@ -63,50 +65,188 @@ std::string EngineOptions::signature() const {
     return out;
 }
 
-SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options)
-    : corpus_(corpus), options_(options) {
-    if (!corpus.indexed())
-        throw ValidationError("search engine requires an indexed corpus (call reindex())");
+namespace {
 
-    const float tw = options_.title_weight;
+/// One source field of one record, pending analysis: which text, at what
+/// index weight. The field order per document matches the sequential
+/// reference loop exactly — that ordering is what makes the parallel
+/// build bit-identical (same interning order, same posting order, same
+/// float accumulation order).
+struct FieldSource {
+    const std::string* text;
+    float weight;
+};
 
+/// Collect every document's field sources for all three classes, in the
+/// same class-then-record order the sequential loop visits them. Lanes:
+/// 0 = patterns, 1 = weaknesses, 2 = vulnerabilities.
+struct BuildPlan {
+    std::vector<std::vector<FieldSource>> docs; // flat across classes
+    std::array<std::size_t, 3> lane_begin{};    // first doc of each lane
+    std::array<std::size_t, 3> lane_count{};
+};
+
+BuildPlan make_build_plan(const kb::Corpus& corpus, float title_weight) {
+    BuildPlan plan;
+    plan.docs.reserve(corpus.patterns().size() + corpus.weaknesses().size() +
+                      corpus.vulnerabilities().size());
+
+    plan.lane_begin[0] = 0;
+    plan.lane_count[0] = corpus.patterns().size();
     for (const kb::AttackPattern& p : corpus.patterns()) {
-        pattern_index_.add_document();
-        pattern_index_.add_terms(text::analyze(p.name), tw);
-        pattern_index_.add_terms(text::analyze(p.summary));
-        for (const std::string& pre : p.prerequisites)
-            pattern_index_.add_terms(text::analyze(pre));
+        std::vector<FieldSource>& f = plan.docs.emplace_back();
+        f.reserve(2 + p.prerequisites.size());
+        f.push_back({&p.name, title_weight});
+        f.push_back({&p.summary, 1.0f});
+        for (const std::string& pre : p.prerequisites) f.push_back({&pre, 1.0f});
         // p.domains is categorical metadata ("software", "communications"),
         // not prose; indexing it would make every generic attribute word a
         // high-IDF hit. It stays out of the lexical index by design.
     }
-    pattern_index_.finalize();
 
+    plan.lane_begin[1] = plan.docs.size();
+    plan.lane_count[1] = corpus.weaknesses().size();
     for (const kb::Weakness& w : corpus.weaknesses()) {
-        weakness_index_.add_document();
-        weakness_index_.add_terms(text::analyze(w.name), tw);
-        weakness_index_.add_terms(text::analyze(w.description));
-        for (const std::string& c : w.consequences) weakness_index_.add_terms(text::analyze(c));
-        for (const std::string& ap : w.applicable_platforms)
-            weakness_index_.add_terms(text::analyze(ap));
+        std::vector<FieldSource>& f = plan.docs.emplace_back();
+        f.reserve(2 + w.consequences.size() + w.applicable_platforms.size());
+        f.push_back({&w.name, title_weight});
+        f.push_back({&w.description, 1.0f});
+        for (const std::string& c : w.consequences) f.push_back({&c, 1.0f});
+        for (const std::string& ap : w.applicable_platforms) f.push_back({&ap, 1.0f});
     }
-    weakness_index_.finalize();
 
-    for (const kb::Vulnerability& v : corpus.vulnerabilities()) {
-        vulnerability_index_.add_document();
-        vulnerability_index_.add_terms(text::analyze(v.description));
-    }
-    vulnerability_index_.finalize();
+    plan.lane_begin[2] = plan.docs.size();
+    plan.lane_count[2] = corpus.vulnerabilities().size();
+    for (const kb::Vulnerability& v : corpus.vulnerabilities())
+        plan.docs.emplace_back().push_back({&v.description, 1.0f});
 
-    if (options_.ranker == EngineOptions::Ranker::Bm25) {
-        pattern_bm25_.emplace(pattern_index_);
-        weakness_bm25_.emplace(weakness_index_);
-        vulnerability_bm25_.emplace(vulnerability_index_);
+    return plan;
+}
+
+/// An analyzed field: the token stream plus the weight it carries.
+struct AnalyzedField {
+    std::vector<std::string> tokens;
+    float weight;
+};
+
+} // namespace
+
+SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
+                           util::ThreadPool* pool)
+    : corpus_(corpus), options_(options) {
+    if (!corpus.indexed())
+        throw ValidationError("search engine requires an indexed corpus (call reindex())");
+
+    const Clock::time_point build_start = Clock::now();
+    const float tw = options_.title_weight;
+    const std::size_t threads =
+        pool != nullptr ? pool->thread_count()
+        : options_.build_threads == 0 ? util::ThreadPool::default_thread_count()
+                                      : options_.build_threads;
+
+    if (threads <= 1) {
+        // Sequential reference path: one fused tokenize-and-insert pass.
+        // The parallel path below must reproduce this bit for bit — the
+        // snapshot determinism test compares frozen blobs of both.
+        for (const kb::AttackPattern& p : corpus.patterns()) {
+            pattern_index_.add_document();
+            pattern_index_.add_terms(text::analyze(p.name), tw);
+            pattern_index_.add_terms(text::analyze(p.summary));
+            for (const std::string& pre : p.prerequisites)
+                pattern_index_.add_terms(text::analyze(pre));
+        }
+        pattern_index_.finalize();
+
+        for (const kb::Weakness& w : corpus.weaknesses()) {
+            weakness_index_.add_document();
+            weakness_index_.add_terms(text::analyze(w.name), tw);
+            weakness_index_.add_terms(text::analyze(w.description));
+            for (const std::string& c : w.consequences)
+                weakness_index_.add_terms(text::analyze(c));
+            for (const std::string& ap : w.applicable_platforms)
+                weakness_index_.add_terms(text::analyze(ap));
+        }
+        weakness_index_.finalize();
+
+        for (const kb::Vulnerability& v : corpus.vulnerabilities()) {
+            vulnerability_index_.add_document();
+            vulnerability_index_.add_terms(text::analyze(v.description));
+        }
+        vulnerability_index_.finalize();
+
+        if (options_.ranker == EngineOptions::Ranker::Bm25) {
+            pattern_bm25_.emplace(pattern_index_);
+            weakness_bm25_.emplace(weakness_index_);
+            vulnerability_bm25_.emplace(vulnerability_index_);
+        } else {
+            pattern_tfidf_.emplace(pattern_index_);
+            weakness_tfidf_.emplace(weakness_index_);
+            vulnerability_tfidf_.emplace(vulnerability_index_);
+        }
+        build_metrics_.index_ns = ns_since(build_start);
     } else {
-        pattern_tfidf_.emplace(pattern_index_);
-        weakness_tfidf_.emplace(weakness_index_);
-        vulnerability_tfidf_.emplace(vulnerability_index_);
+        // Parallel sharded build, two phases.
+        //
+        // Phase 1 — analyze: tokenize/stopword/stem every record field
+        // across all three classes on the pool. This is the dominant cost
+        // and is embarrassingly parallel (analyze() is pure).
+        //
+        // Phase 2 — insert: each class lane replays its documents *in
+        // record order* into its own index, finalizes, and builds its
+        // scorer. Insertion order equals the sequential loop's order, so
+        // interning, postings, and float accumulation are identical; the
+        // three lanes share nothing and run concurrently.
+        util::ThreadPool local_pool(pool != nullptr ? 1 : threads);
+        util::ThreadPool& p = pool != nullptr ? *pool : local_pool;
+
+        const BuildPlan plan = make_build_plan(corpus, tw);
+        std::vector<std::vector<AnalyzedField>> analyzed(plan.docs.size());
+
+        const Clock::time_point tok_start = Clock::now();
+        p.parallel_for(plan.docs.size(), [&](std::size_t i) {
+            const std::vector<FieldSource>& fields = plan.docs[i];
+            std::vector<AnalyzedField>& out = analyzed[i];
+            out.reserve(fields.size());
+            for (const FieldSource& f : fields)
+                out.push_back({text::analyze(*f.text), f.weight});
+        });
+        build_metrics_.tokenize_ns = ns_since(tok_start);
+
+        const Clock::time_point idx_start = Clock::now();
+        std::array<text::InvertedIndex*, 3> lane_index = {&pattern_index_, &weakness_index_,
+                                                          &vulnerability_index_};
+        const bool bm25 = options_.ranker == EngineOptions::Ranker::Bm25;
+        p.parallel_for(3, [&](std::size_t lane) {
+            text::InvertedIndex& index = *lane_index[lane];
+            const std::size_t begin = plan.lane_begin[lane];
+            for (std::size_t d = 0; d < plan.lane_count[lane]; ++d) {
+                index.add_document();
+                for (const AnalyzedField& f : analyzed[begin + d])
+                    index.add_terms(f.tokens, f.weight);
+            }
+            index.finalize();
+            switch (lane) {
+                case 0:
+                    bm25 ? void(pattern_bm25_.emplace(index))
+                         : void(pattern_tfidf_.emplace(index));
+                    break;
+                case 1:
+                    bm25 ? void(weakness_bm25_.emplace(index))
+                         : void(weakness_tfidf_.emplace(index));
+                    break;
+                default:
+                    bm25 ? void(vulnerability_bm25_.emplace(index))
+                         : void(vulnerability_tfidf_.emplace(index));
+                    break;
+            }
+        });
+        build_metrics_.index_ns = ns_since(idx_start);
     }
+
+    build_metrics_.wall_ns = ns_since(build_start);
+    build_metrics_.docs = corpus.patterns().size() + corpus.weaknesses().size() +
+                          corpus.vulnerabilities().size();
+    build_metrics_.threads = threads;
 }
 
 Match SearchEngine::make_match(VectorClass cls, std::size_t index) const {
@@ -288,6 +428,101 @@ std::vector<Match> SearchEngine::expand_weakness(const Match& weakness_match) co
         out.push_back(std::move(m));
     }
     return out;
+}
+
+void SearchEngine::freeze(util::ByteWriter& w) const {
+    // Options first: thaw must reconstruct the exact query behavior, and
+    // the session layer compares signatures before trusting a snapshot.
+    // build_threads is deliberately absent — it shapes construction, not
+    // the constructed engine.
+    w.u8(static_cast<std::uint8_t>(options_.ranker));
+    w.f64(options_.min_evidence_idf);
+    w.u8(options_.lexical_vulnerabilities ? 1 : 0);
+    w.f32(options_.title_weight);
+    w.u64(static_cast<std::uint64_t>(options_.max_lexical_hits));
+
+    pattern_index_.freeze(w);
+    weakness_index_.freeze(w);
+    vulnerability_index_.freeze(w);
+
+    // Only the active ranker's tables exist; the tag byte above tells
+    // thaw which three scorers to expect.
+    if (options_.ranker == EngineOptions::Ranker::Bm25) {
+        pattern_bm25_->freeze(w);
+        weakness_bm25_->freeze(w);
+        vulnerability_bm25_->freeze(w);
+    } else {
+        pattern_tfidf_->freeze(w);
+        weakness_tfidf_->freeze(w);
+        vulnerability_tfidf_->freeze(w);
+    }
+}
+
+SearchEngine::SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r)
+    : corpus_(corpus) {
+    const Clock::time_point start = Clock::now();
+
+    const std::uint8_t ranker = r.u8();
+    if (ranker > 1) throw ValidationError("engine snapshot: unknown ranker tag");
+    options_.ranker = static_cast<EngineOptions::Ranker>(ranker);
+    options_.min_evidence_idf = r.f64();
+    options_.lexical_vulnerabilities = r.u8() != 0;
+    options_.title_weight = r.f32();
+    options_.max_lexical_hits = static_cast<std::size_t>(r.u64());
+
+    pattern_index_ = text::InvertedIndex::thaw(r);
+    weakness_index_ = text::InvertedIndex::thaw(r);
+    vulnerability_index_ = text::InvertedIndex::thaw(r);
+    if (pattern_index_.doc_count() != corpus.patterns().size() ||
+        weakness_index_.doc_count() != corpus.weaknesses().size() ||
+        vulnerability_index_.doc_count() != corpus.vulnerabilities().size())
+        throw ValidationError("engine snapshot does not match corpus shape");
+
+    if (options_.ranker == EngineOptions::Ranker::Bm25) {
+        pattern_bm25_.emplace(text::Bm25Scorer::thaw(pattern_index_, r));
+        weakness_bm25_.emplace(text::Bm25Scorer::thaw(weakness_index_, r));
+        vulnerability_bm25_.emplace(text::Bm25Scorer::thaw(vulnerability_index_, r));
+    } else {
+        pattern_tfidf_.emplace(text::TfidfScorer::thaw(pattern_index_, r));
+        weakness_tfidf_.emplace(text::TfidfScorer::thaw(weakness_index_, r));
+        vulnerability_tfidf_.emplace(text::TfidfScorer::thaw(vulnerability_index_, r));
+    }
+
+    build_metrics_.from_snapshot = true;
+    build_metrics_.docs = corpus.patterns().size() + corpus.weaknesses().size() +
+                          corpus.vulnerabilities().size();
+    build_metrics_.wall_ns = ns_since(start);
+}
+
+std::unique_ptr<SearchEngine> SearchEngine::thaw(const kb::Corpus& corpus, util::ByteReader& r) {
+    return std::unique_ptr<SearchEngine>(new SearchEngine(ThawTag{}, corpus, r));
+}
+
+std::string freeze_engine(const SearchEngine& engine) {
+    util::ByteWriter w;
+    kb::freeze_corpus(w, engine.corpus());
+    engine.freeze(w);
+    return kb::seal_snapshot(std::move(w).take());
+}
+
+EngineSnapshot thaw_engine(std::string_view blob) {
+    const std::string_view payload = kb::open_snapshot(blob);
+    util::ByteReader r(payload);
+    EngineSnapshot snap;
+    snap.corpus = std::make_unique<kb::Corpus>(kb::thaw_corpus(r));
+    snap.engine = SearchEngine::thaw(*snap.corpus, r);
+    // The framing already checksum-verified the payload; leftover bytes
+    // here mean a layout mismatch the version field should have caught.
+    if (!r.done()) throw kb::SnapshotError("snapshot payload has trailing engine bytes");
+    return snap;
+}
+
+void save_engine_snapshot(const SearchEngine& engine, const std::string& path) {
+    util::write_file(path, freeze_engine(engine));
+}
+
+EngineSnapshot load_engine_snapshot(const std::string& path) {
+    return thaw_engine(util::read_file(path));
 }
 
 std::string SearchEngine::explain(const model::Attribute& attr, const Match& match) const {

@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,6 +29,8 @@
 #include "model/system_model.hpp"
 #include "search/metrics.hpp"
 #include "text/index.hpp"
+#include "util/bytes.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cybok::search {
 
@@ -75,6 +78,13 @@ struct EngineOptions {
     /// kernel's max-score pruning, which skips documents that provably
     /// cannot reach the top k — the surviving hits are exact.
     std::size_t max_lexical_hits = 0;
+    /// Lanes for engine *construction*: record text is analyzed in shards
+    /// on a util::ThreadPool and the three class indexes are built and
+    /// finalized concurrently. 0 = hardware concurrency, 1 = the
+    /// sequential reference path. The built engine is bit-identical across
+    /// every value (the snapshot determinism test proves it), so this is
+    /// deliberately NOT part of signature().
+    std::size_t build_threads = 0;
 
     /// Compact stable encoding of every option that influences query
     /// results — the engine-options half of the query-cache key, so caches
@@ -94,13 +104,21 @@ struct EngineOptions {
 class SearchEngine {
 public:
     explicit SearchEngine(const kb::Corpus& corpus) : SearchEngine(corpus, EngineOptions{}) {}
-    SearchEngine(const kb::Corpus& corpus, EngineOptions options);
+    SearchEngine(const kb::Corpus& corpus, EngineOptions options)
+        : SearchEngine(corpus, std::move(options), nullptr) {}
+    /// As above, but sharing an existing pool for the build fan-out
+    /// instead of spinning up a transient one (options.build_threads is
+    /// then ignored). The pool is only used during construction.
+    SearchEngine(const kb::Corpus& corpus, EngineOptions options, util::ThreadPool* pool);
 
     SearchEngine(const SearchEngine&) = delete;
     SearchEngine& operator=(const SearchEngine&) = delete;
 
     [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
     [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+    /// How this engine came to exist: build phase timings and shape, or
+    /// the snapshot-thaw marker. Copied into AssocMetrics by Associator.
+    [[nodiscard]] const BuildMetrics& build_metrics() const noexcept { return build_metrics_; }
 
     /// Free-text query against one record family (lexical only).
     [[nodiscard]] std::vector<Match> query_text(std::string_view text, VectorClass cls) const;
@@ -141,7 +159,23 @@ public:
     /// to NLP sensitivity is analyst auditability — this is the audit.
     [[nodiscard]] std::string explain(const model::Attribute& attr, const Match& match) const;
 
+    /// Serialize the fully built engine — options, the three finalized
+    /// indexes, and the active ranker's precomputed tables — into `w`.
+    /// Thawing the bytes yields a bit-identical engine without touching
+    /// the token pipeline (see kb/snapshot.hpp for the blob framing).
+    void freeze(util::ByteWriter& w) const;
+
+    /// Reconstruct an engine from freeze() bytes over `corpus`. The
+    /// corpus must be the same one the frozen engine indexed (validated
+    /// by record counts); malformed bytes throw ValidationError or
+    /// ParseError. Returned by pointer because the engine is neither
+    /// copyable nor movable (it holds const references into itself).
+    [[nodiscard]] static std::unique_ptr<SearchEngine> thaw(const kb::Corpus& corpus,
+                                                            util::ByteReader& r);
+
 private:
+    struct ThawTag {};
+    SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r);
     /// The lexical hot path: resolves tokens once, runs the flat-accumulator
     /// scoring kernel (per-thread scratch arena, fused evidence-IDF gate,
     /// optional top-k/pruning per options_), and materializes Matches with
@@ -162,6 +196,33 @@ private:
     std::optional<text::TfidfScorer> pattern_tfidf_;
     std::optional<text::TfidfScorer> weakness_tfidf_;
     std::optional<text::TfidfScorer> vulnerability_tfidf_;
+    BuildMetrics build_metrics_;
 };
+
+/// A corpus and the engine indexing it, thawed together from one snapshot
+/// blob. The engine holds a reference into the corpus, so the pair must
+/// stay together; keep the struct alive as long as the engine is used.
+struct EngineSnapshot {
+    std::unique_ptr<kb::Corpus> corpus;
+    std::unique_ptr<SearchEngine> engine;
+};
+
+/// Serialize corpus + engine into one framed snapshot blob (magic,
+/// version, checksum — see kb/snapshot.hpp). The blob captures the
+/// *finalized* indexes and scorer tables, so thawing skips tokenization,
+/// finalize, and table precomputation entirely.
+[[nodiscard]] std::string freeze_engine(const SearchEngine& engine);
+
+/// Open a snapshot blob and reconstruct the corpus and engine. Throws
+/// kb::SnapshotError for framing problems (bad magic/version/truncation/
+/// checksum) and util::ValidationError/ParseError for malformed payloads.
+[[nodiscard]] EngineSnapshot thaw_engine(std::string_view blob);
+
+/// freeze_engine + write to `path` (atomic-enough: write then rename is
+/// overkill for a cache file; plain overwrite). Throws util::IoError.
+void save_engine_snapshot(const SearchEngine& engine, const std::string& path);
+
+/// read_file + thaw_engine.
+[[nodiscard]] EngineSnapshot load_engine_snapshot(const std::string& path);
 
 } // namespace cybok::search

@@ -30,6 +30,8 @@ void AssocMetrics::merge(const AssocMetrics& other) noexcept {
     kernel_fallbacks += other.kernel_fallbacks;
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
+    // Build happened once, before any run: adopt whichever side saw it.
+    if (build.wall_ns == 0) build = other.build;
 }
 
 double AssocMetrics::cache_hit_rate() const noexcept {
@@ -40,6 +42,17 @@ double AssocMetrics::cache_hit_rate() const noexcept {
 namespace {
 double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 } // namespace
+
+json::Value BuildMetrics::to_json() const {
+    json::Object o;
+    o["tokenize_ns"] = tokenize_ns;
+    o["index_ns"] = index_ns;
+    o["wall_ns"] = wall_ns;
+    o["docs"] = static_cast<std::uint64_t>(docs);
+    o["threads"] = static_cast<std::uint64_t>(threads);
+    o["from_snapshot"] = json::Value(from_snapshot);
+    return json::Value(std::move(o));
+}
 
 std::string AssocMetrics::summary() const {
     std::ostringstream out;
@@ -57,6 +70,10 @@ std::string AssocMetrics::summary() const {
         << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
         << ms(timings.binding_ns) << ", filter " << ms(timings.filter_ns) << ", wall "
         << ms(timings.wall_ns);
+    if (build.wall_ns > 0)
+        out << "; engine " << (build.from_snapshot ? "thawed from snapshot" : "built") << " in "
+            << ms(build.wall_ns) << " ms (" << build.docs << " docs, " << build.threads
+            << " thread(s))";
     return out.str();
 }
 
@@ -87,6 +104,7 @@ json::Value AssocMetrics::to_json() const {
     t["filter_ns"] = timings.filter_ns;
     t["wall_ns"] = timings.wall_ns;
     o["timings"] = std::move(t);
+    o["build"] = build.to_json();
     return json::Value(std::move(o));
 }
 

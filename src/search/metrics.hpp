@@ -29,6 +29,21 @@ struct StageTimings {
     void merge(const StageTimings& other) noexcept;
 };
 
+/// How the engine this run queries came to exist: cold-built (tokenize +
+/// index + finalize, possibly across shards) or thawed from a binary
+/// snapshot. Recorded once at engine construction and copied into every
+/// AssocMetrics the engine's Associator produces.
+struct BuildMetrics {
+    std::uint64_t tokenize_ns = 0; ///< analyze() over all record fields (0 when thawed)
+    std::uint64_t index_ns = 0;    ///< interning + postings + finalize + scorer tables
+    std::uint64_t wall_ns = 0;     ///< end-to-end engine construction wall clock
+    std::size_t docs = 0;          ///< documents across the three indexes
+    std::size_t threads = 1;       ///< lanes the build fanned out across
+    bool from_snapshot = false;    ///< true when the engine was thawed, not built
+
+    [[nodiscard]] json::Value to_json() const;
+};
+
 /// Counters for one (or several merged) association run(s). Thread-local
 /// instances are accumulated by worker lanes and merged under a lock, so
 /// the hot path never contends on shared counters.
@@ -58,6 +73,7 @@ struct AssocMetrics {
     // -- execution shape -----------------------------------------------------
     std::size_t threads = 1; ///< lanes the run fanned out across
     StageTimings timings;
+    BuildMetrics build; ///< how the engine behind this run was constructed
 
     /// Fold `other` into this (cache/query counters add; threads maxes).
     void merge(const AssocMetrics& other) noexcept;

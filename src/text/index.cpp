@@ -96,6 +96,83 @@ const std::vector<Posting>& InvertedIndex::postings(TermId t) const {
     return postings_[t];
 }
 
+// ------------------------------------------------------------ freeze/thaw
+
+namespace {
+
+void freeze_f64s(util::ByteWriter& w, const std::vector<double>& v) {
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (double d : v) w.f64(d);
+}
+
+std::vector<double> thaw_f64s(util::ByteReader& r) {
+    const std::uint32_t n = r.u32();
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.f64());
+    return out;
+}
+
+} // namespace
+
+void Vocabulary::freeze(util::ByteWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(terms_.size()));
+    for (const std::string& t : terms_) w.str(t);
+}
+
+Vocabulary Vocabulary::thaw(util::ByteReader& r) {
+    Vocabulary v;
+    const std::uint32_t n = r.u32();
+    v.terms_.reserve(n);
+    v.ids_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        v.terms_.push_back(r.str());
+        v.ids_.emplace(v.terms_.back(), static_cast<TermId>(i));
+    }
+    return v;
+}
+
+void InvertedIndex::freeze(util::ByteWriter& w) const {
+    if (!finalized_) throw ValidationError("freeze requires a finalized index");
+    vocab_.freeze(w);
+    freeze_f64s(w, doc_lengths_);
+    w.f64(avg_len_);
+    freeze_f64s(w, idf_);
+    w.u32(static_cast<std::uint32_t>(postings_.size()));
+    for (const std::vector<Posting>& plist : postings_) {
+        w.u32(static_cast<std::uint32_t>(plist.size()));
+        for (const Posting& p : plist) {
+            w.u32(p.doc);
+            w.f32(p.weight);
+        }
+    }
+}
+
+InvertedIndex InvertedIndex::thaw(util::ByteReader& r) {
+    InvertedIndex index;
+    index.vocab_ = Vocabulary::thaw(r);
+    index.doc_lengths_ = thaw_f64s(r);
+    index.avg_len_ = r.f64();
+    index.idf_ = thaw_f64s(r);
+    const std::uint32_t n_terms = r.u32();
+    if (n_terms != index.vocab_.size() || index.idf_.size() != index.vocab_.size())
+        throw ValidationError("index snapshot: table sizes do not match vocabulary");
+    index.postings_.resize(n_terms);
+    const auto n_docs = static_cast<std::uint32_t>(index.doc_lengths_.size());
+    for (std::uint32_t t = 0; t < n_terms; ++t) {
+        const std::uint32_t n = r.u32();
+        index.postings_[t].reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const DocId doc = r.u32();
+            const float weight = r.f32();
+            if (doc >= n_docs) throw ValidationError("index snapshot: posting doc out of range");
+            index.postings_[t].push_back(Posting{doc, weight});
+        }
+    }
+    index.finalized_ = true;
+    return index;
+}
+
 // ---------------------------------------------------------------- kernel
 
 namespace {
@@ -218,6 +295,27 @@ Bm25Scorer::Bm25Scorer(const InvertedIndex& index, Params params)
             max_contrib_[t] = std::max(max_contrib_[t], contrib);
         }
     }
+}
+
+Bm25Scorer::Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r)
+    : index_(index) {
+    params_.k1 = r.f64();
+    params_.b = r.f64();
+    norms_ = thaw_f64s(r);
+    max_contrib_ = thaw_f64s(r);
+    if (norms_.size() != index.doc_count() || max_contrib_.size() != index.term_count())
+        throw ValidationError("BM25 snapshot: table sizes do not match index");
+}
+
+void Bm25Scorer::freeze(util::ByteWriter& w) const {
+    w.f64(params_.k1);
+    w.f64(params_.b);
+    freeze_f64s(w, norms_);
+    freeze_f64s(w, max_contrib_);
+}
+
+Bm25Scorer Bm25Scorer::thaw(const InvertedIndex& index, util::ByteReader& r) {
+    return Bm25Scorer(ThawTag{}, index, r);
 }
 
 double Bm25Scorer::idf(std::string_view term) const noexcept {
@@ -352,6 +450,33 @@ TfidfScorer::TfidfScorer(const InvertedIndex& index) : index_(index) {
         }
     }
     for (double& norm : doc_norms_) norm = std::sqrt(norm);
+}
+
+TfidfScorer::TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r)
+    : index_(index) {
+    doc_norms_ = thaw_f64s(r);
+    idf_ = thaw_f64s(r);
+    const std::uint32_t n_terms = r.u32();
+    if (doc_norms_.size() != index.doc_count() || idf_.size() != index.term_count() ||
+        n_terms != index.term_count())
+        throw ValidationError("TF-IDF snapshot: table sizes do not match index");
+    doc_weights_.resize(n_terms);
+    for (std::uint32_t t = 0; t < n_terms; ++t) {
+        doc_weights_[t] = thaw_f64s(r);
+        if (doc_weights_[t].size() != index.postings(t).size())
+            throw ValidationError("TF-IDF snapshot: doc weights do not match postings");
+    }
+}
+
+void TfidfScorer::freeze(util::ByteWriter& w) const {
+    freeze_f64s(w, doc_norms_);
+    freeze_f64s(w, idf_);
+    w.u32(static_cast<std::uint32_t>(doc_weights_.size()));
+    for (const std::vector<double>& dw : doc_weights_) freeze_f64s(w, dw);
+}
+
+TfidfScorer TfidfScorer::thaw(const InvertedIndex& index, util::ByteReader& r) {
+    return TfidfScorer(ThawTag{}, index, r);
 }
 
 std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) const {

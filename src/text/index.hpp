@@ -10,6 +10,11 @@
 // the first concurrent read (e.g. via the thread-creation ordering the
 // parallel association pipeline uses). The scorers hold const references
 // and inherit the same guarantee.
+//
+// Snapshot freeze/thaw extends the contract: freeze() is a const read of a
+// finalized index (safe concurrently with queries), and thaw() returns an
+// index that is *born finalized* — the build phase never existed for it,
+// so the same happens-before rule applies from the moment thaw returns.
 
 #pragma once
 
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "text/scratch.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace cybok::text {
@@ -62,6 +68,11 @@ public:
     /// The interned spelling for `id`; throws NotFoundError on a bad id.
     [[nodiscard]] const std::string& term(TermId id) const;
     [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+
+    /// Serialize terms in id order; thaw() re-interns them in that order,
+    /// so term ids round-trip exactly (snapshot freeze/thaw support).
+    void freeze(util::ByteWriter& w) const;
+    [[nodiscard]] static Vocabulary thaw(util::ByteReader& r);
 
 private:
     std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> ids_;
@@ -120,6 +131,15 @@ public:
     [[nodiscard]] double idf(TermId t) const noexcept {
         return t < idf_.size() ? idf_[t] : 0.0;
     }
+
+    /// Serialize the finalized index — vocabulary, postings, document
+    /// lengths, the IDF table — for the binary snapshot path. Requires
+    /// finalized(); throws ValidationError otherwise.
+    void freeze(util::ByteWriter& w) const;
+    /// Inverse of freeze(): an already-finalized index with every derived
+    /// table loaded, skipping tokenization and finalize entirely. The
+    /// thawed index is bit-identical to the one that was frozen.
+    [[nodiscard]] static InvertedIndex thaw(util::ByteReader& r);
 
 private:
     friend class Bm25Scorer;
@@ -207,7 +227,18 @@ public:
     /// IDF of one term (Robertson–Sparck Jones with +1 smoothing).
     [[nodiscard]] double idf(std::string_view term) const noexcept;
 
+    /// Serialize params plus the constructor-computed tables (per-doc BM25
+    /// norms, per-term max-score pruning bounds).
+    void freeze(util::ByteWriter& w) const;
+    /// Construct over `index` with the tables read back instead of
+    /// recomputed — the snapshot thaw path. Throws ValidationError when
+    /// the table shapes do not match `index`.
+    [[nodiscard]] static Bm25Scorer thaw(const InvertedIndex& index, util::ByteReader& r);
+
 private:
+    struct ThawTag {};
+    Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r);
+
     const InvertedIndex& index_;
     Params params_;
     // Precomputed at construction so the query loop does no division by
@@ -235,7 +266,16 @@ public:
                                                 const KernelOptions& opts = {},
                                                 KernelStats* stats = nullptr) const;
 
+    /// Serialize the constructor-computed tables (doc norms, IDF, per-term
+    /// document weights).
+    void freeze(util::ByteWriter& w) const;
+    /// Construct over `index` with tables read back instead of recomputed.
+    [[nodiscard]] static TfidfScorer thaw(const InvertedIndex& index, util::ByteReader& r);
+
 private:
+    struct ThawTag {};
+    TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r);
+
     const InvertedIndex& index_;
     std::vector<double> doc_norms_; // L2 norm of each doc's tf-idf vector
     std::vector<double> idf_;       // log(n/df) per term (0 for empty postings)

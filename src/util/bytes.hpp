@@ -1,0 +1,81 @@
+// Little-endian byte-level IO for the binary snapshot format (and any
+// future compact codec): an appending ByteWriter over a growable buffer, a
+// bounds-checked ByteReader over a view, an FNV-1a 64 checksum, and a
+// one-shot pre-sized file reader.
+//
+// Every multi-byte value is written little-endian regardless of host
+// endianness, so a snapshot produced on one machine thaws on any other.
+// Strings and vectors are length-prefixed (u32 count), which lets the
+// reader pre-size its allocations and reject truncated input before
+// copying anything.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cybok::util {
+
+/// Read a whole file into a pre-sized buffer with one read() call —
+/// replaces rdbuf-to-stringstream extraction, which copies the content
+/// twice and reallocates along the way. Throws IoError.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Write `bytes` to `path`, replacing any existing file. Throws IoError
+/// on open failure or short write.
+void write_file(const std::string& path, std::string_view bytes);
+
+/// FNV-1a 64-bit checksum (the snapshot integrity check: fast, simple,
+/// and sensitive to any single-byte corruption).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Appends little-endian primitives to an owned buffer.
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f32(float v);
+    void f64(double v);
+    /// u32 length prefix + raw bytes.
+    void str(std::string_view s);
+
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+    [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+    [[nodiscard]] std::string take() && { return std::move(buf_); }
+
+private:
+    std::string buf_;
+};
+
+/// Bounds-checked little-endian reads over a borrowed view. Every read
+/// past the end throws ParseError with the offending offset; the caller
+/// (kb/snapshot.cpp) turns that into a typed SnapshotError.
+class ByteReader {
+public:
+    explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] float f32();
+    [[nodiscard]] double f64();
+    [[nodiscard]] std::string str();
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+private:
+    /// The next `n` raw bytes, advancing; throws ParseError when fewer remain.
+    std::string_view take(std::size_t n);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cybok::util

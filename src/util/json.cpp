@@ -3,7 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+
+#include "util/bytes.hpp"
 
 namespace cybok::json {
 
@@ -182,6 +183,11 @@ private:
             ++pos_;
             return Value(std::move(a));
         }
+        // Non-empty: skip the first few doubling reallocations up front.
+        // Corpus arrays (records, prerequisites, platforms) are rarely
+        // tiny, and a Value is variant-sized, so early growth is the
+        // expensive kind.
+        a.reserve(8);
         while (true) {
             skip_ws();
             a.push_back(parse_value());
@@ -200,6 +206,21 @@ private:
         expect('"');
         std::string out;
         while (true) {
+            // Bulk-scan to the next quote, escape, or control byte and
+            // append the clean span in one shot. Corpus strings almost
+            // never contain escapes, so the common case is a single
+            // append of the whole string body instead of a push_back per
+            // character.
+            std::size_t span_end = pos_;
+            while (span_end < text_.size()) {
+                const unsigned char u = static_cast<unsigned char>(text_[span_end]);
+                if (u == '"' || u == '\\' || u < 0x20) break;
+                ++span_end;
+            }
+            if (span_end > pos_) {
+                out.append(text_.data() + pos_, span_end - pos_);
+                pos_ = span_end;
+            }
             if (eof()) fail("unterminated string");
             char c = take();
             if (c == '"') break;
@@ -400,11 +421,9 @@ std::string dump(const Value& v, int indent) {
 }
 
 Value load_file(const std::string& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw IoError("cannot open file for reading: " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return parse(ss.str());
+    // One pre-sized read (util::read_file) instead of rdbuf-to-
+    // stringstream, which copies the content twice.
+    return parse(util::read_file(path));
 }
 
 void save_file(const std::string& path, const Value& v, int indent) {
