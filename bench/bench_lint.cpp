@@ -1,0 +1,128 @@
+// Cost of the static lint pipeline (src/lint/) against corpus/model scale.
+// The lint pass runs before association in the session flow, so its cost
+// must stay a small fraction of the association stage it gates; the
+// preamble prints the full-run summary at synth scale 1.0 (the number
+// quoted in EXPERIMENTS.md), and the benchmarks break the cost down per
+// pass — the KB pass does whole-corpus scans and dominates, the model and
+// consequence passes are architecture-sized and nearly free.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "lint/lint.hpp"
+
+using namespace cybok;
+
+namespace {
+
+// Scale factors are permilles so Google Benchmark ranges stay integral.
+constexpr std::int64_t kScales[] = {250, 500, 1000};
+
+const kb::Corpus& corpus_at(std::int64_t permille) {
+    static std::map<std::int64_t, kb::Corpus> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        it = cache.emplace(permille,
+                           synth::generate_corpus(synth::CorpusProfile::scaled(
+                               static_cast<double>(permille) / 1000.0, 7)))
+                 .first;
+    }
+    return it->second;
+}
+
+const model::SystemModel& model_at(std::int64_t permille) {
+    static std::map<std::int64_t, model::SystemModel> cache;
+    auto it = cache.find(permille);
+    if (it == cache.end()) {
+        synth::ModelGenConfig cfg;
+        cfg.seed = 11;
+        cfg.components = static_cast<std::size_t>(40 * permille / 1000 + 10);
+        it = cache.emplace(permille, synth::generate_model(cfg)).first;
+    }
+    return it->second;
+}
+
+const safety::HazardModel& demo_hazards() {
+    static const safety::HazardModel hazards = synth::centrifuge_hazards();
+    return hazards;
+}
+
+/// Options that keep only the rules of one pass enabled, so a benchmark
+/// isolates that pass's cost.
+lint::LintOptions only_pass(lint::Pass pass) {
+    lint::LintOptions opts;
+    for (const lint::Rule& r : lint::registry())
+        if (r.pass != pass) opts.disabled.insert(std::string(r.code));
+    return opts;
+}
+
+lint::LintInput full_input(std::int64_t permille) {
+    lint::LintInput in;
+    in.model = &model_at(permille);
+    in.corpus = &corpus_at(permille);
+    in.hazards = &demo_hazards();
+    return in;
+}
+
+void print_lint_summary() {
+    std::printf("Static lint cost at synth scale 1.0 "
+                "(%zu-component generated model + scaled corpus)\n",
+                model_at(1000).component_count());
+    lint::LintResult r = lint::run_lint(full_input(1000));
+    std::printf("  %s\n", r.summary().c_str());
+    std::printf("  wall %.2f ms | model pass %.2f ms, kb pass %.2f ms, "
+                "consequence pass %.2f ms (per-rule sums)\n\n",
+                static_cast<double>(r.wall_ns) / 1e6,
+                static_cast<double>(r.model_ns) / 1e6,
+                static_cast<double>(r.kb_ns) / 1e6,
+                static_cast<double>(r.consequence_ns) / 1e6);
+}
+
+void BM_LintFull(benchmark::State& state) {
+    const std::int64_t permille = state.range(0);
+    lint::LintInput in = full_input(permille);
+    std::size_t findings = 0;
+    for (auto _ : state) {
+        lint::LintResult r = lint::run_lint(in);
+        findings = r.diagnostics.size();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel("scale=" + std::to_string(static_cast<double>(permille) / 1000.0)
+                                  .substr(0, 4));
+    state.counters["findings"] = static_cast<double>(findings);
+}
+
+void BM_LintPass(benchmark::State& state) {
+    const auto pass = static_cast<lint::Pass>(state.range(0));
+    const std::int64_t permille = state.range(1);
+    lint::LintInput in = full_input(permille);
+    const lint::LintOptions opts = only_pass(pass);
+    for (auto _ : state) {
+        lint::LintResult r = lint::run_lint(in, opts);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(std::string(lint::pass_name(pass)) + " pass, scale=" +
+                   std::to_string(static_cast<double>(permille) / 1000.0).substr(0, 4));
+}
+
+void BM_LintSerialVsParallel(benchmark::State& state) {
+    lint::LintInput in = full_input(1000);
+    lint::LintOptions opts;
+    opts.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        lint::LintResult r = lint::run_lint(in, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_LintFull)->Arg(kScales[0])->Arg(kScales[1])->Arg(kScales[2])
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintPass)
+    ->ArgsProduct({{0, 1, 2}, {kScales[0], kScales[1], kScales[2]}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintSerialVsParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+CYBOK_BENCH_MAIN(print_lint_summary)

@@ -4,26 +4,34 @@
 //
 //   cybok generate  --out corpus.json [--scale F] [--seed N]
 //   cybok model     --demo centrifuge|centrifuge-hardened|uav --out sys.sysm
+//   cybok model     --synth N [--seed S] --out sys.sysm
 //   cybok search    --corpus corpus.json --query "text" [--class CLASS]
 //   cybok associate --corpus corpus.json --model sys.sysm [--out assoc.json]
+//   cybok lint      --corpus corpus.json --model sys.sysm [--hazards demo]
+//                   [--format text|json] [--threads N] [--disable CODES] [--severity C=S,...]
 //   cybok report    --corpus corpus.json --model sys.sysm --out-dir DIR [--hazards demo]
 //   cybok table1
 //
-// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures, 3 when
+// lint finds error-severity diagnostics.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/session.hpp"
 #include "dashboard/vector_graph.hpp"
 #include "graph/graphml.hpp"
 #include "kb/serialize.hpp"
+#include "lint/lint.hpp"
 #include "model/dsl.hpp"
 #include "synth/corpus_gen.hpp"
+#include "synth/model_gen.hpp"
 #include "synth/scada.hpp"
+#include "util/strings.hpp"
 
 using namespace cybok;
 
@@ -37,7 +45,10 @@ public:
             std::string key = argv[i];
             if (key.rfind("--", 0) != 0) throw Error("unexpected argument: " + key);
             key = key.substr(2);
-            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            // Both "--format json" and "--format=json" spellings work.
+            if (std::size_t eq = key.find('='); eq != std::string::npos) {
+                values_[key.substr(0, eq)] = key.substr(eq + 1);
+            } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
                 values_[key] = argv[++i];
             } else {
                 values_[key] = "";
@@ -81,7 +92,15 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_model(const Args& args) {
-    model::SystemModel m = demo_model(args.get("demo", "centrifuge"));
+    model::SystemModel m;
+    if (std::string synth = args.get("synth"); !synth.empty()) {
+        synth::ModelGenConfig config;
+        config.components = std::stoul(synth);
+        config.seed = std::stoull(args.get("seed", "11"));
+        m = synth::generate_model(config);
+    } else {
+        m = demo_model(args.get("demo", "centrifuge"));
+    }
     model::save_dsl(args.require("out"), m);
     std::printf("wrote %s: %zu components, %zu connectors\n", args.require("out").c_str(),
                 m.component_count(), m.connectors().size());
@@ -127,6 +146,47 @@ int cmd_associate(const Args& args) {
     return 0;
 }
 
+int cmd_lint(const Args& args) {
+    kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
+    model::SystemModel m = model::load_dsl(args.require("model"));
+    std::optional<safety::HazardModel> hazards;
+    if (args.get("hazards") == "demo")
+        hazards = m.name().rfind("uav", 0) == 0 ? synth::uav_hazards()
+                                                : synth::centrifuge_hazards();
+
+    lint::LintOptions options;
+    options.threads = std::stoul(args.get("threads", "0"));
+    const std::string disable = args.get("disable");
+    for (std::string_view code : strings::split(disable, ',')) {
+        code = strings::trim(code);
+        if (!code.empty()) options.disabled.insert(std::string(code));
+    }
+    const std::string severity = args.get("severity");
+    for (std::string_view spec : strings::split(severity, ',')) {
+        spec = strings::trim(spec);
+        if (spec.empty()) continue;
+        auto parts = strings::split(spec, '=');
+        std::optional<lint::Severity> sev;
+        if (parts.size() == 2) sev = lint::severity_from_name(strings::trim(parts[1]));
+        if (!sev.has_value())
+            throw Error("bad --severity entry: " + std::string(spec) +
+                        " (want CODE=note|warning|error)");
+        options.severity_overrides[std::string(strings::trim(parts[0]))] = *sev;
+    }
+
+    lint::LintInput input;
+    input.model = &m;
+    input.corpus = &corpus;
+    if (hazards.has_value()) input.hazards = &*hazards;
+    lint::LintResult result = lint::run_lint(input, options);
+
+    if (args.get("format", "text") == "json")
+        std::fputs((json::dump(result.to_json(), 2) + "\n").c_str(), stdout);
+    else
+        std::fputs(result.render_text().c_str(), stdout);
+    return result.ok() ? 0 : 3;
+}
+
 int cmd_report(const Args& args) {
     kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
     model::SystemModel m = model::load_dsl(args.require("model"));
@@ -161,8 +221,12 @@ void usage() {
         "usage: cybok <command> [options]\n"
         "  generate  --out corpus.json [--scale F] [--seed N]   synthesize a corpus\n"
         "  model     --demo NAME --out sys.sysm                 write a demo model (DSL)\n"
+        "  model     --synth N [--seed S] --out sys.sysm        write a generated model\n"
         "  search    --corpus C --query Q [--class K] [--limit N]\n"
         "  associate --corpus C --model M [--out assoc.json]\n"
+        "  lint      --corpus C --model M [--hazards demo] [--format text|json]\n"
+        "            [--threads N] [--disable CODES] [--severity CODE=SEV,...]\n"
+        "            static defect scan; exit 3 when errors are found\n"
         "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
         "  table1                                               reproduce the paper's Table 1\n",
         stderr);
@@ -182,6 +246,7 @@ int main(int argc, char** argv) {
         if (command == "model") return cmd_model(args);
         if (command == "search") return cmd_search(args);
         if (command == "associate") return cmd_associate(args);
+        if (command == "lint") return cmd_lint(args);
         if (command == "report") return cmd_report(args);
         if (command == "table1") return cmd_table1(args);
         usage();

@@ -80,9 +80,44 @@ std::string AnalysisSession::architecture_graphml() const {
     return graph::to_graphml(architecture(), model_.name());
 }
 
+search::AssocMetrics AnalysisSession::assoc_metrics() const {
+    search::AssocMetrics m = associator_.metrics();
+    m.lint = lint_counts_;
+    return m;
+}
+
+lint::LintResult AnalysisSession::lint() {
+    lint::LintInput input;
+    input.model = &model_;
+    input.corpus = corpus_;
+    input.hazards = hazards_.has_value() ? &*hazards_ : nullptr;
+    input.associations = associations_.has_value() ? &*associations_ : nullptr;
+    lint::LintResult result = lint::run_lint(input, options_.lint);
+    lint_counts_.rules_run = result.rules_run;
+    lint_counts_.errors = result.errors();
+    lint_counts_.warnings = result.warnings();
+    lint_counts_.notes = result.notes();
+    lint_counts_.wall_ns = result.wall_ns;
+    return result;
+}
+
 const search::AssociationMap& AnalysisSession::associations() {
-    if (!associations_.has_value())
+    if (!associations_.has_value()) {
+        if (options_.fail_on_lint_error) {
+            lint::LintResult pre = lint();
+            if (!pre.ok()) {
+                std::string what = "lint failed with " + std::to_string(pre.errors()) +
+                                   " error(s); first: ";
+                for (const lint::Diagnostic& d : pre.diagnostics) {
+                    if (d.severity != lint::Severity::Error) continue;
+                    what += lint::to_string(d);
+                    break;
+                }
+                throw ValidationError(what);
+            }
+        }
         associations_ = associator_.associate(model_, chain());
+    }
     return *associations_;
 }
 
@@ -130,8 +165,9 @@ dashboard::Report AnalysisSession::report() {
         extras.scenarios = causal_scenarios();
         extras.hardening = hardening_candidates();
     }
-    (void)associations(); // compute before snapshotting the metrics
-    extras.assoc_metrics = associator_.metrics();
+    (void)associations(); // compute before linting and snapshotting the metrics
+    extras.lint = lint(); // post-association: the consequence pass sees the map
+    extras.assoc_metrics = assoc_metrics();
     return dashboard::build_report(model_, associations(), posture(), consequence_traces(),
                                    options_.report, &extras);
 }

@@ -24,6 +24,7 @@
 #include "analysis/whatif.hpp"
 #include "dashboard/export_bundle.hpp"
 #include "dashboard/vector_graph.hpp"
+#include "lint/lint.hpp"
 #include "safety/scenarios.hpp"
 #include "safety/trace.hpp"
 #include "search/engine.hpp"
@@ -40,6 +41,13 @@ struct SessionOptions {
     /// everything; the Table 1 reproduction runs unfiltered).
     search::FilterChain filters;
     dashboard::ReportOptions report;
+    /// Rule configuration for the static lint pass (lint()); thread count,
+    /// disabled rules, per-rule severity overrides.
+    lint::LintOptions lint;
+    /// When set, the first associations() computation runs the lint pass
+    /// first and throws ValidationError if any error-severity diagnostic
+    /// fires — the "don't compute Table 1 from a known-broken model" gate.
+    bool fail_on_lint_error = false;
     /// When non-empty, the engine cold-start cache: if the file holds a
     /// valid snapshot whose engine options and corpus shape match, the
     /// session thaws corpus + engine from it (skipping all tokenization
@@ -74,8 +82,15 @@ public:
     /// session runs through (associations(), propose(), commit()).
     [[nodiscard]] search::Associator& associator() noexcept { return associator_; }
     /// Cumulative association metrics (queries, cache hit rate, stage
-    /// timings) for this session; also surfaced as a report section.
-    [[nodiscard]] search::AssocMetrics assoc_metrics() const { return associator_.metrics(); }
+    /// timings, lint counts) for this session; also a report section.
+    [[nodiscard]] search::AssocMetrics assoc_metrics() const;
+
+    /// Run the static lint pipeline over the session's current state
+    /// (model, corpus, hazard model if attached, associations if already
+    /// computed — the consequence pass deepens once associations exist).
+    /// Deterministic and side-effect-free apart from recording the counts
+    /// surfaced through assoc_metrics()/report().
+    [[nodiscard]] lint::LintResult lint();
 
     /// Attach physical-consequence knowledge (losses/hazards/UCAs). Resets
     /// cached traces.
@@ -145,6 +160,8 @@ private:
     search::Associator associator_;
     std::optional<safety::HazardModel> hazards_;
     std::optional<model::MissionModel> missions_;
+
+    search::LintCounts lint_counts_; ///< most recent lint() run's counts
 
     std::optional<search::AssociationMap> associations_;
     std::optional<analysis::SecurityPosture> posture_;

@@ -76,6 +76,19 @@ Report build_report(const model::SystemModel& m, const search::AssociationMap& a
         report.sections.push_back(std::move(overview));
     }
 
+    // Preamble: lint findings first — a dangling edge or malformed record
+    // skews every number below, so the reader sees the caveats up front.
+    if (extras != nullptr && extras->lint.has_value()) {
+        Section diags;
+        diags.heading = "Diagnostics";
+        diags.lines.push_back(extras->lint->summary());
+        for (const lint::Diagnostic& d : extras->lint->diagnostics)
+            diags.lines.push_back(lint::to_string(d));
+        if (extras->lint->diagnostics.empty())
+            diags.lines.push_back("No findings: model and knowledge base lint clean.");
+        report.sections.push_back(std::move(diags));
+    }
+
     if (options.include_attribute_table) {
         Section table_section;
         table_section.heading = "Attack vectors per attribute";

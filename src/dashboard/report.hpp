@@ -12,6 +12,7 @@
 #include "analysis/hardening.hpp"
 #include "analysis/posture.hpp"
 #include "dashboard/table.hpp"
+#include "lint/lint.hpp"
 #include "safety/scenarios.hpp"
 #include "safety/trace.hpp"
 #include "search/association.hpp"
@@ -50,6 +51,11 @@ struct ReportExtras {
     /// Association-engine counters (queries run, cache hit rate, stage
     /// timings) — rendered as an "Association engine" section when set.
     std::optional<search::AssocMetrics> assoc_metrics;
+    /// Static-analysis findings over the model/KB — rendered as a
+    /// "Diagnostics" section in the report preamble (right after the
+    /// overview) when set, so defects that skew every later number are
+    /// the first thing an analyst reads.
+    std::optional<lint::LintResult> lint;
 };
 
 /// Assemble a report from the analysis artifacts. `traces` may be empty

@@ -1,0 +1,64 @@
+#include "lint/diagnostic.hpp"
+
+namespace cybok::lint {
+
+std::string_view severity_name(Severity s) noexcept {
+    switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "warning";
+}
+
+std::optional<Severity> severity_from_name(std::string_view name) noexcept {
+    if (name == "note") return Severity::Note;
+    if (name == "warning") return Severity::Warning;
+    if (name == "error") return Severity::Error;
+    return std::nullopt;
+}
+
+std::string_view pass_name(Pass p) noexcept {
+    switch (p) {
+    case Pass::Model: return "model";
+    case Pass::Kb: return "kb";
+    case Pass::Consequence: return "consequence";
+    }
+    return "model";
+}
+
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) noexcept {
+    if (a.code != b.code) return a.code < b.code;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.message < b.message;
+}
+
+std::string to_string(const Diagnostic& d) {
+    std::string out;
+    out.reserve(d.code.size() + d.subject.size() + d.message.size() + d.hint.size() + 32);
+    out += severity_name(d.severity);
+    out += '[';
+    out += d.code;
+    out += "] ";
+    out += d.subject;
+    out += ": ";
+    out += d.message;
+    if (!d.hint.empty()) {
+        out += " (hint: ";
+        out += d.hint;
+        out += ')';
+    }
+    return out;
+}
+
+json::Value to_json(const Diagnostic& d) {
+    json::Object o;
+    o["code"] = d.code;
+    o["severity"] = severity_name(d.severity);
+    o["subject"] = d.subject;
+    o["message"] = d.message;
+    if (!d.hint.empty()) o["hint"] = d.hint;
+    return json::Value(std::move(o));
+}
+
+} // namespace cybok::lint

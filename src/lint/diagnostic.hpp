@@ -1,0 +1,62 @@
+// Typed diagnostics for the model/KB lint pipeline — the compiler-style
+// "warnings before the expensive pass" layer the paper's challenge list
+// (C1–C5) motivates: incomplete, inconsistent, or consequence-disconnected
+// models flow into the association engine and produce confidently wrong
+// Table-1 numbers unless defects are surfaced first.
+//
+// A Diagnostic is a stable, machine-readable finding: a rule code that
+// never changes meaning across releases ("M001"), a severity, the id of
+// the offending element, a message, and an optional fix hint. The text
+// and JSON renderings are byte-deterministic (tests/test_lint.cpp holds
+// two parallel runs to identical streams), so diagnostics can be diffed,
+// golden-filed, and gated on in CI.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cybok::lint {
+
+/// Compiler-style severity ladder. Errors make `cybok lint` exit non-zero
+/// (and, with SessionOptions::fail_on_lint_error, block association).
+enum class Severity : std::uint8_t { Note = 0, Warning = 1, Error = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity s) noexcept;
+/// Inverse of severity_name ("note"/"warning"/"error"), for CLI overrides.
+[[nodiscard]] std::optional<Severity> severity_from_name(std::string_view name) noexcept;
+
+/// Which of the three lint passes a rule belongs to.
+enum class Pass : std::uint8_t { Model = 0, Kb = 1, Consequence = 2 };
+[[nodiscard]] std::string_view pass_name(Pass p) noexcept;
+
+/// One finding. `code` identifies the rule ("M001"); `subject` names the
+/// offending element in its own namespace (component name, "connector#3",
+/// "CVE-2020-12345", "H-1", ...).
+struct Diagnostic {
+    std::string code;
+    Severity severity = Severity::Warning;
+    std::string subject;
+    std::string message;
+    std::string hint; ///< optional fix hint; empty when the rule has none
+
+    friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// The canonical ordering of a diagnostic stream: by code, then subject,
+/// then message. Sorting with this makes output independent of rule
+/// scheduling (thread count, pass interleaving).
+[[nodiscard]] bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) noexcept;
+
+/// "error[M002] connector#3: ... (hint: ...)" — the text-format line.
+[[nodiscard]] std::string to_string(const Diagnostic& d);
+
+/// {"code":..., "severity":..., "subject":..., "message":..., "hint":...}.
+[[nodiscard]] json::Value to_json(const Diagnostic& d);
+
+} // namespace cybok::lint

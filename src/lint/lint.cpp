@@ -1,0 +1,120 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/thread_pool.hpp"
+
+namespace cybok::lint {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - since)
+                                          .count());
+}
+
+} // namespace
+
+std::size_t LintResult::count(Severity s) const noexcept {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics)
+        if (d.severity == s) ++n;
+    return n;
+}
+
+std::string LintResult::summary() const {
+    std::string out;
+    out += std::to_string(errors()) + (errors() == 1 ? " error, " : " errors, ");
+    out += std::to_string(warnings()) + (warnings() == 1 ? " warning, " : " warnings, ");
+    out += std::to_string(notes()) + (notes() == 1 ? " note" : " notes");
+    out += " (" + std::to_string(rules_run) + " rules)";
+    return out;
+}
+
+std::string LintResult::render_text() const {
+    std::string out;
+    for (const Diagnostic& d : diagnostics) {
+        out += to_string(d);
+        out += '\n';
+    }
+    out += summary();
+    out += '\n';
+    return out;
+}
+
+json::Value LintResult::to_json() const {
+    json::Object o;
+    json::Array diags;
+    diags.reserve(diagnostics.size());
+    for (const Diagnostic& d : diagnostics) diags.push_back(lint::to_json(d));
+    o["diagnostics"] = std::move(diags);
+    json::Object counts;
+    counts["errors"] = static_cast<std::uint64_t>(errors());
+    counts["warnings"] = static_cast<std::uint64_t>(warnings());
+    counts["notes"] = static_cast<std::uint64_t>(notes());
+    o["counts"] = std::move(counts);
+    o["rules_run"] = static_cast<std::uint64_t>(rules_run);
+    o["threads"] = static_cast<std::uint64_t>(threads);
+    json::Object t;
+    t["model_ns"] = model_ns;
+    t["kb_ns"] = kb_ns;
+    t["consequence_ns"] = consequence_ns;
+    t["wall_ns"] = wall_ns;
+    o["timings"] = std::move(t);
+    o["ok"] = json::Value(ok());
+    return json::Value(std::move(o));
+}
+
+LintResult run_lint(const LintInput& input, const LintOptions& options) {
+    const auto run_start = std::chrono::steady_clock::now();
+
+    struct Job {
+        const Rule* rule = nullptr;
+        Severity severity = Severity::Warning;
+        std::vector<Diagnostic> diagnostics;
+        std::uint64_t ns = 0;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(registry().size());
+    for (const Rule& rule : registry()) {
+        if (options.disabled.contains(rule.code)) continue;
+        Job job;
+        job.rule = &rule;
+        job.severity = rule.default_severity;
+        if (auto it = options.severity_overrides.find(rule.code);
+            it != options.severity_overrides.end())
+            job.severity = it->second;
+        jobs.push_back(std::move(job));
+    }
+
+    // One task per rule; every task writes only its own slot, so the fan-
+    // out needs no synchronization and the merge below is deterministic.
+    util::ThreadPool pool(options.threads);
+    pool.parallel_for(jobs.size(), [&](std::size_t i) {
+        Job& job = jobs[i];
+        const auto start = std::chrono::steady_clock::now();
+        job.diagnostics = job.rule->run(input, job.severity);
+        job.ns = elapsed_ns(start);
+    });
+
+    LintResult result;
+    result.rules_run = jobs.size();
+    result.threads = pool.thread_count();
+    for (Job& job : jobs) {
+        switch (job.rule->pass) {
+        case Pass::Model: result.model_ns += job.ns; break;
+        case Pass::Kb: result.kb_ns += job.ns; break;
+        case Pass::Consequence: result.consequence_ns += job.ns; break;
+        }
+        result.diagnostics.insert(result.diagnostics.end(),
+                                  std::make_move_iterator(job.diagnostics.begin()),
+                                  std::make_move_iterator(job.diagnostics.end()));
+    }
+    std::sort(result.diagnostics.begin(), result.diagnostics.end(), &diagnostic_less);
+    result.wall_ns = elapsed_ns(run_start);
+    return result;
+}
+
+} // namespace cybok::lint

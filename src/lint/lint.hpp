@@ -1,0 +1,76 @@
+// The lint driver: run the registered rule pipeline over a loaded session
+// state (model + corpus + optional hazards/associations) *before* the
+// association engine, and hand back a deterministic diagnostic stream.
+//
+// Execution model: rules are independent pure functions, so the driver
+// fans them across a util::ThreadPool (one task per enabled rule — rule
+// granularity, not element granularity, because the expensive rules are
+// whole-corpus scans that parallelize naturally against each other). Each
+// rule writes into its own pre-sized slot; the driver then concatenates
+// and sorts by (code, subject, message). Output is therefore byte-
+// identical at every thread count — the same contract the parallel
+// association engine honors.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "util/json.hpp"
+
+namespace cybok::lint {
+
+/// Per-run rule configuration.
+struct LintOptions {
+    /// Lanes to fan rules across (0 = hardware concurrency).
+    std::size_t threads = 0;
+    /// Rule codes switched off entirely.
+    std::set<std::string, std::less<>> disabled;
+    /// Per-rule severity overrides (code -> severity), e.g. promote M005
+    /// to error in a strict CI gate, or demote C003 to note while a hazard
+    /// model is still being written.
+    std::map<std::string, Severity, std::less<>> severity_overrides;
+};
+
+/// The outcome of one lint run: the sorted diagnostic stream plus per-pass
+/// cost accounting (per-rule durations summed into their pass, so on a
+/// parallel run pass sums are CPU-time-like and can exceed wall_ns).
+struct LintResult {
+    std::vector<Diagnostic> diagnostics; ///< sorted by (code, subject, message)
+    std::size_t rules_run = 0;           ///< enabled rules actually executed
+    std::size_t threads = 1;             ///< lanes the run fanned out across
+
+    std::uint64_t model_ns = 0;
+    std::uint64_t kb_ns = 0;
+    std::uint64_t consequence_ns = 0;
+    std::uint64_t wall_ns = 0;
+
+    [[nodiscard]] std::size_t count(Severity s) const noexcept;
+    [[nodiscard]] std::size_t errors() const noexcept { return count(Severity::Error); }
+    [[nodiscard]] std::size_t warnings() const noexcept { return count(Severity::Warning); }
+    [[nodiscard]] std::size_t notes() const noexcept { return count(Severity::Note); }
+    /// True when the stream carries no error-severity diagnostics.
+    [[nodiscard]] bool ok() const noexcept { return errors() == 0; }
+
+    /// "3 errors, 1 warning, 0 notes (16 rules)" — deterministic, no timings.
+    [[nodiscard]] std::string summary() const;
+
+    /// One diagnostic line per finding plus the summary line. Byte-
+    /// deterministic across thread counts and repeated runs.
+    [[nodiscard]] std::string render_text() const;
+
+    /// {"diagnostics": [...], "counts": {...}, "rules_run": n, "timings":
+    /// {...}} — the `cybok lint --format json` document.
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Run every enabled rule over `input`. Null LintInput members skip the
+/// rules that need them (see rules.hpp); an all-null input runs zero-work
+/// rules and returns an empty, ok() result.
+[[nodiscard]] LintResult run_lint(const LintInput& input, const LintOptions& options = {});
+
+} // namespace cybok::lint

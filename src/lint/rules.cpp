@@ -1,0 +1,503 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "cvss/cvss.hpp"
+#include "graph/algorithms.hpp"
+#include "kb/platform.hpp"
+#include "util/strings.hpp"
+
+namespace cybok::lint {
+
+namespace {
+
+Diagnostic make(std::string_view code, Severity sev, std::string subject, std::string message,
+                std::string hint = "") {
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = sev;
+    d.subject = std::move(subject);
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    return d;
+}
+
+/// Live components in id order (tombstones skipped).
+std::vector<const model::Component*> live_components(const model::SystemModel& m) {
+    std::vector<const model::Component*> out;
+    out.reserve(m.components().size());
+    for (const model::Component& c : m.components())
+        if (c.id.valid()) out.push_back(&c);
+    return out;
+}
+
+std::string connector_subject(const model::SystemModel& m, const model::Connector& k,
+                              std::size_t index) {
+    std::string subject = "connector#" + std::to_string(index);
+    if (!k.name.empty()) subject += " \"" + k.name + "\"";
+    if (m.contains(k.from) && m.contains(k.to))
+        subject += " (" + m.component(k.from).name + " -> " + m.component(k.to).name + ")";
+    return subject;
+}
+
+// -- model pass --------------------------------------------------------------
+
+std::vector<Diagnostic> rule_duplicate_component_name(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    std::map<std::string_view, std::size_t> counts;
+    for (const model::Component* c : live_components(*in.model)) ++counts[c->name];
+    for (const auto& [name, count] : counts) {
+        if (count < 2) continue;
+        out.push_back(make("M001", sev, std::string(name),
+                           std::to_string(count) + " components share this name; associations "
+                           "and traces address components by name and will conflate them",
+                           "rename the components so every name is unique"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_dangling_connector(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    const auto& connectors = in.model->connectors();
+    for (std::size_t i = 0; i < connectors.size(); ++i) {
+        const model::Connector& k = connectors[i];
+        if (in.model->contains(k.from) && in.model->contains(k.to)) continue;
+        out.push_back(make("M002", sev, connector_subject(*in.model, k, i),
+                           "connector endpoint references a component absent from the model; "
+                           "graph export and reachability silently drop or crash on this edge",
+                           "remove the connector or restore the missing component"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_self_loop(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    const auto& connectors = in.model->connectors();
+    for (std::size_t i = 0; i < connectors.size(); ++i) {
+        const model::Connector& k = connectors[i];
+        if (!k.from.valid() || k.from != k.to) continue;
+        out.push_back(make("M003", sev, connector_subject(*in.model, k, i),
+                           "connector links a component to itself; self-loops add no attack "
+                           "path and usually indicate a mis-wired endpoint",
+                           "point the connector at the intended peer component"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_duplicate_link(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    // Group connectors by unordered endpoint pair; within a pair, count
+    // coverage per direction (a bidirectional connector covers both). Two
+    // covers of one direction = a duplicate link.
+    struct PairInfo {
+        std::size_t forward = 0;  // min -> max
+        std::size_t backward = 0; // max -> min
+    };
+    std::map<std::pair<std::uint32_t, std::uint32_t>, PairInfo> pairs;
+    for (const model::Connector& k : in.model->connectors()) {
+        if (!in.model->contains(k.from) || !in.model->contains(k.to)) continue; // M002's job
+        if (k.from == k.to) continue;                                           // M003's job
+        const std::uint32_t lo = std::min(k.from.value, k.to.value);
+        const std::uint32_t hi = std::max(k.from.value, k.to.value);
+        PairInfo& info = pairs[{lo, hi}];
+        if (k.bidirectional) {
+            ++info.forward;
+            ++info.backward;
+        } else if (k.from.value == lo) {
+            ++info.forward;
+        } else {
+            ++info.backward;
+        }
+    }
+    for (const auto& [key, info] : pairs) {
+        if (info.forward < 2 && info.backward < 2) continue;
+        const std::string a = in.model->component(model::ComponentId{key.first}).name;
+        const std::string b = in.model->component(model::ComponentId{key.second}).name;
+        out.push_back(make("M004", sev, a + " <-> " + b,
+                           "multiple connectors cover the same direction between this pair "
+                           "(bidirectional links count both ways); duplicate edges inflate "
+                           "path counts and centrality",
+                           "merge the duplicates into one connector"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_empty_attribute(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    for (const model::Component* c : live_components(*in.model)) {
+        for (const model::Attribute& a : c->attributes) {
+            if (!strings::trim(a.value).empty()) continue;
+            out.push_back(make("M005", sev, c->name + "." + a.name,
+                               "attribute value is empty or whitespace; it can never match any "
+                               "attack-vector record and silently weakens the component's row "
+                               "in Table 1",
+                               "fill in the value or remove the attribute"));
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_unreachable_component(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    const std::vector<const model::Component*> live = live_components(*in.model);
+    // Build the directed reachability graph ourselves (model::to_graph
+    // throws on dangling connectors, which are M002's finding, not ours).
+    graph::PropertyGraph g;
+    std::map<std::uint32_t, graph::NodeId> node_of;
+    std::vector<graph::NodeId> entries;
+    for (const model::Component* c : live) {
+        graph::NodeId n = g.add_node(c->name);
+        node_of[c->id.value] = n;
+        if (c->external_facing) entries.push_back(n);
+    }
+    if (entries.empty()) return out; // M007 reports the absence of entry points
+    for (const model::Connector& k : in.model->connectors()) {
+        if (!in.model->contains(k.from) || !in.model->contains(k.to)) continue;
+        g.add_edge(node_of.at(k.from.value), node_of.at(k.to.value));
+        if (k.bidirectional) g.add_edge(node_of.at(k.to.value), node_of.at(k.from.value));
+    }
+    std::set<graph::NodeId> reachable;
+    for (graph::NodeId n : graph::reachable_from(g, entries, graph::Direction::Forward))
+        reachable.insert(n);
+    for (const model::Component* c : live) {
+        if (reachable.contains(node_of.at(c->id.value))) continue;
+        out.push_back(make("M006", sev, c->name,
+                           "component is unreachable from every external-facing entry point; "
+                           "no attack path can include it, so its associations never surface "
+                           "in consequence traces",
+                           "connect it to the architecture or mark the correct entry points "
+                           "external"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_no_entry_point(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr) return out;
+    const std::vector<const model::Component*> live = live_components(*in.model);
+    if (live.empty()) return out;
+    for (const model::Component* c : live)
+        if (c->external_facing) return out;
+    out.push_back(make("M007", sev, in.model->name().empty() ? "model" : in.model->name(),
+                       "no component is marked external-facing; attack-surface and "
+                       "externally-reachable trace views will be empty",
+                       "mark the components an outside attacker can touch as external"));
+    return out;
+}
+
+// -- kb pass -----------------------------------------------------------------
+
+std::vector<Diagnostic> rule_duplicate_record_id(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.corpus == nullptr) return out;
+    auto report = [&](const std::string& id, std::size_t count, std::string_view family) {
+        out.push_back(make("K001", sev, id,
+                           std::to_string(count) + " " + std::string(family) +
+                               " records share this id; reindex() refuses such a corpus and "
+                               "lookups would be ambiguous",
+                           "drop or renumber the duplicate records"));
+    };
+    std::map<kb::AttackPatternId, std::size_t> patterns;
+    for (const kb::AttackPattern& p : in.corpus->patterns()) ++patterns[p.id];
+    for (const auto& [id, n] : patterns)
+        if (n > 1) report(id.to_string(), n, "attack-pattern");
+    std::map<kb::WeaknessId, std::size_t> weaknesses;
+    for (const kb::Weakness& w : in.corpus->weaknesses()) ++weaknesses[w.id];
+    for (const auto& [id, n] : weaknesses)
+        if (n > 1) report(id.to_string(), n, "weakness");
+    std::map<kb::VulnerabilityId, std::size_t> vulns;
+    for (const kb::Vulnerability& v : in.corpus->vulnerabilities()) ++vulns[v.id];
+    for (const auto& [id, n] : vulns)
+        if (n > 1) report(id.to_string(), n, "vulnerability");
+    return out;
+}
+
+std::vector<Diagnostic> rule_malformed_platform(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.corpus == nullptr) return out;
+    for (const kb::Vulnerability& v : in.corpus->vulnerabilities()) {
+        for (const kb::Platform& p : v.platforms) {
+            std::string problem;
+            if (p.vendor.empty() || p.product.empty())
+                problem = "vendor and product must be non-empty";
+            else if (p.vendor != kb::normalize_product_token(p.vendor) ||
+                     p.product != kb::normalize_product_token(p.product))
+                problem = "vendor/product are not in normalized CPE token form";
+            if (problem.empty()) continue;
+            out.push_back(make("K002", sev, v.id.to_string(),
+                               "platform binding \"" + p.uri() + "\" is malformed (" + problem +
+                                   "); the exact-binding association path can never match it",
+                               "normalize the name with kb::normalize_product_token"));
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_invalid_cvss(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.corpus == nullptr) return out;
+    for (const kb::Vulnerability& v : in.corpus->vulnerabilities()) {
+        if (v.cvss_vector.empty()) continue; // unscored is legitimate
+        try {
+            (void)cvss::parse(v.cvss_vector);
+        } catch (const Error& e) {
+            out.push_back(make("K003", sev, v.id.to_string(),
+                               "CVSS vector \"" + v.cvss_vector + "\" does not parse: " +
+                                   e.what() + "; severity filters treat the record as unscored",
+                               "fix the vector or clear it to mark the record unscored"));
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_dangling_cross_reference(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.corpus == nullptr) return out;
+    std::set<kb::WeaknessId> known;
+    for (const kb::Weakness& w : in.corpus->weaknesses()) known.insert(w.id);
+    for (const kb::AttackPattern& p : in.corpus->patterns()) {
+        for (kb::WeaknessId w : p.related_weaknesses) {
+            if (known.contains(w)) continue;
+            out.push_back(make("K004", sev, p.id.to_string(),
+                               "references " + w.to_string() + ", which is absent from the "
+                               "corpus; the pattern<->weakness<->vulnerability chain breaks "
+                               "at this link",
+                               "import the missing weakness or drop the reference"));
+        }
+    }
+    for (const kb::Vulnerability& v : in.corpus->vulnerabilities()) {
+        for (kb::WeaknessId w : v.weaknesses) {
+            if (known.contains(w)) continue;
+            out.push_back(make("K004", sev, v.id.to_string(),
+                               "classified under " + w.to_string() + ", which is absent from "
+                               "the corpus; weakness-level aggregation loses this record",
+                               "import the missing weakness or drop the classification"));
+        }
+    }
+    return out;
+}
+
+/// Missing parents and parent cycles in the CWE/CAPEC trees. A cycle is
+/// reported once, on its smallest member id, so the diagnostic count is
+/// stable however the cycle is entered.
+template <typename Id, typename Record>
+void check_hierarchy(const std::vector<Record>& records, std::string_view family,
+                     Severity sev, std::vector<Diagnostic>& out) {
+    std::map<Id, Id> parent_of;
+    std::set<Id> known;
+    for (const Record& r : records) known.insert(r.id);
+    for (const Record& r : records)
+        if (r.parent.value != 0) parent_of[r.id] = r.parent;
+    for (const Record& r : records) {
+        if (r.parent.value == 0) continue;
+        if (!known.contains(r.parent)) {
+            out.push_back(make("K005", sev, r.id.to_string(),
+                               "parent " + r.parent.to_string() + " is absent from the corpus; "
+                               "the " + std::string(family) + " hierarchy cannot abstract this "
+                               "record to match a lower model fidelity",
+                               "import the parent record or clear the parent link"));
+            continue;
+        }
+        // Walk ancestors; the walk is bounded by the record count, so a
+        // longer walk proves a cycle.
+        Id slow = r.id;
+        std::set<Id> seen{slow};
+        bool cycle = false;
+        while (true) {
+            auto it = parent_of.find(slow);
+            if (it == parent_of.end() || !known.contains(it->second)) break;
+            slow = it->second;
+            if (seen.contains(slow)) {
+                cycle = true;
+                break;
+            }
+            seen.insert(slow);
+        }
+        if (cycle && slow == r.id) { // report on the cycle's entry == member check below
+            // Only the smallest id in the cycle reports, once.
+            bool smallest = true;
+            Id walk = parent_of.at(r.id);
+            while (walk != r.id) {
+                if (walk < r.id) {
+                    smallest = false;
+                    break;
+                }
+                walk = parent_of.at(walk);
+            }
+            if (smallest)
+                out.push_back(make("K005", sev, r.id.to_string(),
+                                   "parent links form a cycle in the " + std::string(family) +
+                                       " hierarchy; ancestor walks would not terminate",
+                                   "break the cycle by clearing one parent link"));
+        }
+    }
+}
+
+std::vector<Diagnostic> rule_broken_hierarchy(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.corpus == nullptr) return out;
+    check_hierarchy<kb::WeaknessId>(in.corpus->weaknesses(), "CWE", sev, out);
+    check_hierarchy<kb::AttackPatternId>(in.corpus->patterns(), "CAPEC", sev, out);
+    return out;
+}
+
+// -- consequence pass --------------------------------------------------------
+
+std::vector<Diagnostic> rule_unknown_uca_controller(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.hazards == nullptr) return out;
+    for (const safety::UnsafeControlAction& uca : in.hazards->ucas()) {
+        if (in.model->find_component(uca.controller).has_value()) continue;
+        out.push_back(make("C001", sev, uca.id,
+                           "controller \"" + uca.controller + "\" names no component in the "
+                           "model; every trace through this unsafe control action is lost",
+                           "fix the controller name or add the component to the model"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_untraceable_hazard(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.hazards == nullptr) return out;
+    std::set<std::string_view> traceable;
+    for (const safety::UnsafeControlAction& uca : in.hazards->ucas()) {
+        if (!in.model->find_component(uca.controller).has_value()) continue;
+        for (const std::string& h : uca.hazards) traceable.insert(h);
+    }
+    for (const safety::Hazard& h : in.hazards->hazards()) {
+        if (traceable.contains(h.id)) continue;
+        out.push_back(make("C002", sev, h.id,
+                           "no unsafe control action with a controller in the model leads to "
+                           "this hazard; it can never appear in a consequence trace",
+                           "add the UCA that causes it, or map an existing UCA's controller "
+                           "to a model component"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_unmapped_vulnerable_component(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.hazards == nullptr || in.associations == nullptr) return out;
+    // Components from which a controller of some UCA is reachable in the
+    // undirected view: these can pivot into a physical consequence.
+    graph::PropertyGraph g;
+    std::map<std::string_view, graph::NodeId> node_of;
+    for (const model::Component* c : live_components(*in.model)) node_of[c->name] = g.add_node(c->name);
+    for (const model::Connector& k : in.model->connectors()) {
+        if (!in.model->contains(k.from) || !in.model->contains(k.to)) continue;
+        g.add_edge(node_of.at(in.model->component(k.from).name),
+                   node_of.at(in.model->component(k.to).name));
+    }
+    std::vector<graph::NodeId> controllers;
+    for (const safety::UnsafeControlAction& uca : in.hazards->ucas()) {
+        auto it = node_of.find(uca.controller);
+        if (it != node_of.end()) controllers.push_back(it->second);
+    }
+    std::set<graph::NodeId> mapped;
+    for (graph::NodeId n : graph::reachable_from(g, controllers, graph::Direction::Undirected))
+        mapped.insert(n);
+    for (const search::ComponentAssociation& ca : in.associations->components) {
+        if (ca.count(search::VectorClass::Vulnerability) == 0) continue;
+        auto it = node_of.find(ca.component);
+        if (it == node_of.end() || mapped.contains(it->second)) continue;
+        out.push_back(make("C003", sev, ca.component,
+                           "carries " +
+                               std::to_string(ca.count(search::VectorClass::Vulnerability)) +
+                               " associated vulnerabilities but has no path to any unsafe "
+                               "control action's controller — the IT-vs-CPS gap: cyber "
+                               "findings with no mapped physical consequence",
+                           "extend the hazard model (UCAs) to cover this part of the "
+                           "architecture"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_missing_hazard_model(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.hazards != nullptr || in.associations == nullptr) return out;
+    const std::size_t vulns = in.associations->total(search::VectorClass::Vulnerability);
+    if (vulns == 0) return out;
+    std::string subject = "model";
+    if (in.model != nullptr && !in.model->name().empty()) subject = in.model->name();
+    out.push_back(make("C004", sev, std::move(subject),
+                       strings::with_commas(vulns) + " vulnerabilities are associated but no "
+                       "hazard model is attached; none of them can be traced to a physical "
+                       "consequence",
+                       "attach losses, hazards, and unsafe control actions (set_hazards)"));
+    return out;
+}
+
+} // namespace
+
+const std::vector<Rule>& registry() {
+    static const std::vector<Rule> rules = {
+        {"M001", "duplicate-component-name", Pass::Model, Severity::Error,
+         "name collisions conflate components in associations and traces",
+         &rule_duplicate_component_name},
+        {"M002", "dangling-connector", Pass::Model, Severity::Error,
+         "edges into removed components crash or silently vanish in graph export",
+         &rule_dangling_connector},
+        {"M003", "self-loop-connector", Pass::Model, Severity::Warning,
+         "self-loops add no attack path and usually indicate a mis-wired endpoint",
+         &rule_self_loop},
+        {"M004", "duplicate-link", Pass::Model, Severity::Warning,
+         "duplicate edges inflate path counts and centrality",
+         &rule_duplicate_link},
+        {"M005", "empty-attribute", Pass::Model, Severity::Warning,
+         "empty attribute values can never match an attack-vector record",
+         &rule_empty_attribute},
+        {"M006", "unreachable-component", Pass::Model, Severity::Warning,
+         "components no entry point reaches never appear on an attack path",
+         &rule_unreachable_component},
+        {"M007", "no-entry-point", Pass::Model, Severity::Note,
+         "without external-facing components the attack-surface views are empty",
+         &rule_no_entry_point},
+        {"K001", "duplicate-record-id", Pass::Kb, Severity::Error,
+         "duplicate ids make lookups ambiguous and reindex() refuses the corpus",
+         &rule_duplicate_record_id},
+        {"K002", "malformed-platform", Pass::Kb, Severity::Error,
+         "non-normalized CPE names can never match the exact-binding path",
+         &rule_malformed_platform},
+        {"K003", "invalid-cvss-vector", Pass::Kb, Severity::Error,
+         "unparseable CVSS vectors silently downgrade records to unscored",
+         &rule_invalid_cvss},
+        {"K004", "dangling-cross-reference", Pass::Kb, Severity::Error,
+         "references to absent records break the pattern<->weakness<->CVE chain",
+         &rule_dangling_cross_reference},
+        {"K005", "broken-hierarchy", Pass::Kb, Severity::Error,
+         "missing parents and cycles break fidelity-matched abstraction walks",
+         &rule_broken_hierarchy},
+        {"C001", "unknown-uca-controller", Pass::Consequence, Severity::Warning,
+         "a UCA whose controller is not modeled can never anchor a trace",
+         &rule_unknown_uca_controller},
+        {"C002", "untraceable-hazard", Pass::Consequence, Severity::Warning,
+         "hazards no UCA reaches never appear in any consequence trace",
+         &rule_untraceable_hazard},
+        {"C003", "unmapped-vulnerable-component", Pass::Consequence, Severity::Warning,
+         "vulnerability findings without a physical-consequence mapping are the paper's "
+         "IT-vs-CPS gap",
+         &rule_unmapped_vulnerable_component},
+        {"C004", "missing-hazard-model", Pass::Consequence, Severity::Note,
+         "associated vulnerabilities without any hazard model cannot be traced at all",
+         &rule_missing_hazard_model},
+    };
+    return rules;
+}
+
+const Rule* find_rule(std::string_view code) noexcept {
+    for (const Rule& r : registry())
+        if (r.code == code) return &r;
+    return nullptr;
+}
+
+} // namespace cybok::lint

@@ -1,0 +1,75 @@
+// The lint rule registry: every defect class the pipeline checks, as a
+// table of (code, pass, default severity, rationale, run function). Codes
+// are stable public API — "M001" means the same thing forever; retired
+// rules leave holes rather than renumbering.
+//
+// Rules are pure functions of a LintInput: no rule mutates anything, no
+// rule depends on another rule's output, and within one rule the emitted
+// diagnostics are in a deterministic order. That is what lets the driver
+// (lint.hpp) fan rules across a thread pool and still produce the same
+// byte stream at every thread count.
+//
+// Rule table (see docs/ARCHITECTURE.md §5 for the full rationale):
+//   model pass        M001 duplicate-component-name       error
+//                     M002 dangling-connector             error
+//                     M003 self-loop-connector            warning
+//                     M004 duplicate-link                 warning
+//                     M005 empty-attribute                warning
+//                     M006 unreachable-component          warning
+//                     M007 no-entry-point                 note
+//   kb pass           K001 duplicate-record-id            error
+//                     K002 malformed-platform             error
+//                     K003 invalid-cvss-vector            error
+//                     K004 dangling-cross-reference       error
+//                     K005 broken-hierarchy               error
+//   consequence pass  C001 unknown-uca-controller         warning
+//                     C002 untraceable-hazard             warning
+//                     C003 unmapped-vulnerable-component  warning
+//                     C004 missing-hazard-model           note
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "kb/corpus.hpp"
+#include "lint/diagnostic.hpp"
+#include "model/system_model.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+
+namespace cybok::lint {
+
+/// What a lint run inspects. Only `model` and `corpus` are expected for
+/// the model and KB passes; the consequence pass additionally wants the
+/// hazard model and (for C003/C004) an already-computed association map.
+/// Every pointer may be null — rules that need a missing input emit
+/// nothing. The corpus does NOT need to be indexed: rules touch only the
+/// raw record vectors, so a corpus too malformed to reindex() (duplicate
+/// ids) still lints.
+struct LintInput {
+    const model::SystemModel* model = nullptr;
+    const kb::Corpus* corpus = nullptr;
+    const safety::HazardModel* hazards = nullptr;
+    const search::AssociationMap* associations = nullptr;
+};
+
+/// One registered rule. `run` emits diagnostics stamped with `severity`
+/// (the effective severity after LintOptions overrides).
+struct Rule {
+    std::string_view code;      ///< stable id, e.g. "M001"
+    std::string_view name;      ///< kebab-case slug, e.g. "duplicate-component-name"
+    Pass pass = Pass::Model;
+    Severity default_severity = Severity::Warning;
+    std::string_view rationale; ///< one line: why this defect corrupts analysis
+    std::vector<Diagnostic> (*run)(const LintInput&, Severity) = nullptr;
+};
+
+/// All built-in rules, ordered by code. The vector is a process-wide
+/// constant; taking references into it is safe.
+[[nodiscard]] const std::vector<Rule>& registry();
+
+/// Rule by code, or nullptr.
+[[nodiscard]] const Rule* find_rule(std::string_view code) noexcept;
+
+} // namespace cybok::lint

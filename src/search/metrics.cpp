@@ -13,6 +13,20 @@ void StageTimings::merge(const StageTimings& other) noexcept {
     wall_ns += other.wall_ns;
 }
 
+void LintCounts::merge(const LintCounts& other) noexcept {
+    if (other.ran()) *this = other;
+}
+
+json::Value LintCounts::to_json() const {
+    json::Object o;
+    o["rules_run"] = static_cast<std::uint64_t>(rules_run);
+    o["errors"] = static_cast<std::uint64_t>(errors);
+    o["warnings"] = static_cast<std::uint64_t>(warnings);
+    o["notes"] = static_cast<std::uint64_t>(notes);
+    o["wall_ns"] = wall_ns;
+    return json::Value(std::move(o));
+}
+
 void AssocMetrics::merge(const AssocMetrics& other) noexcept {
     components += other.components;
     attributes += other.attributes;
@@ -30,6 +44,7 @@ void AssocMetrics::merge(const AssocMetrics& other) noexcept {
     kernel_fallbacks += other.kernel_fallbacks;
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
+    lint.merge(other.lint);
     // Build happened once, before any run: adopt whichever side saw it.
     if (build.wall_ns == 0) build = other.build;
 }
@@ -74,6 +89,10 @@ std::string AssocMetrics::summary() const {
         out << "; engine " << (build.from_snapshot ? "thawed from snapshot" : "built") << " in "
             << ms(build.wall_ns) << " ms (" << build.docs << " docs, " << build.threads
             << " thread(s))";
+    if (lint.ran())
+        out << "; lint " << lint.errors << " errors / " << lint.warnings << " warnings / "
+            << lint.notes << " notes (" << lint.rules_run << " rules, " << ms(lint.wall_ns)
+            << " ms)";
     return out.str();
 }
 
@@ -105,6 +124,7 @@ json::Value AssocMetrics::to_json() const {
     t["wall_ns"] = timings.wall_ns;
     o["timings"] = std::move(t);
     o["build"] = build.to_json();
+    if (lint.ran()) o["lint"] = lint.to_json();
     return json::Value(std::move(o));
 }
 

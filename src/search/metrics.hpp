@@ -44,6 +44,23 @@ struct BuildMetrics {
     [[nodiscard]] json::Value to_json() const;
 };
 
+/// Diagnostic counts from the most recent lint run over the session state
+/// the associations were computed from (zero until a lint runs). Kept here
+/// so one AssocMetrics snapshot carries everything the report preamble and
+/// the bench sidecars need about a run's inputs and execution.
+struct LintCounts {
+    std::size_t rules_run = 0;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    std::uint64_t wall_ns = 0;
+
+    [[nodiscard]] bool ran() const noexcept { return rules_run > 0; }
+    /// Adopt whichever side has linted (later run wins on conflict).
+    void merge(const LintCounts& other) noexcept;
+    [[nodiscard]] json::Value to_json() const;
+};
+
 /// Counters for one (or several merged) association run(s). Thread-local
 /// instances are accumulated by worker lanes and merged under a lock, so
 /// the hot path never contends on shared counters.
@@ -74,6 +91,7 @@ struct AssocMetrics {
     std::size_t threads = 1; ///< lanes the run fanned out across
     StageTimings timings;
     BuildMetrics build; ///< how the engine behind this run was constructed
+    LintCounts lint;    ///< diagnostics found by the session's lint pass
 
     /// Fold `other` into this (cache/query counters add; threads maxes).
     void merge(const AssocMetrics& other) noexcept;

@@ -248,7 +248,8 @@ CorpusProfile CorpusProfile::scaled(double factor, std::uint64_t seed) {
     CorpusProfile p = scada_demo();
     p.seed = seed;
     auto scale = [factor](std::size_t n) {
-        return std::max<std::size_t>(1, static_cast<std::size_t>(n * factor));
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(n) * factor));
     };
     p.pattern_count = scale(p.pattern_count);
     p.weakness_count = scale(p.weakness_count);

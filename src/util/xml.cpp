@@ -7,21 +7,21 @@ std::string Node::attr(std::string_view key, std::string_view fallback) const {
     return it == attrs.end() ? std::string(fallback) : it->second;
 }
 
-const Node* Node::child(std::string_view name) const noexcept {
+const Node* Node::child(std::string_view tag) const noexcept {
     for (const Node& c : children)
-        if (c.name == name) return &c;
+        if (c.name == tag) return &c;
     return nullptr;
 }
 
-std::vector<const Node*> Node::children_named(std::string_view name) const {
+std::vector<const Node*> Node::children_named(std::string_view tag) const {
     std::vector<const Node*> out;
     for (const Node& c : children)
-        if (c.name == name) out.push_back(&c);
+        if (c.name == tag) out.push_back(&c);
     return out;
 }
 
-std::string Node::child_text(std::string_view name, std::string_view fallback) const {
-    const Node* c = child(name);
+std::string Node::child_text(std::string_view tag, std::string_view fallback) const {
+    const Node* c = child(tag);
     return c == nullptr ? std::string(fallback) : c->text;
 }
 

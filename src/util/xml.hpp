@@ -27,11 +27,11 @@ struct Node {
     [[nodiscard]] std::string attr(std::string_view key, std::string_view fallback = "") const;
 
     /// First child with the given element name, or nullptr.
-    [[nodiscard]] const Node* child(std::string_view name) const noexcept;
+    [[nodiscard]] const Node* child(std::string_view tag) const noexcept;
     /// All children with the given element name.
-    [[nodiscard]] std::vector<const Node*> children_named(std::string_view name) const;
+    [[nodiscard]] std::vector<const Node*> children_named(std::string_view tag) const;
     /// Text of the named child, or fallback.
-    [[nodiscard]] std::string child_text(std::string_view name,
+    [[nodiscard]] std::string child_text(std::string_view tag,
                                          std::string_view fallback = "") const;
 };
 

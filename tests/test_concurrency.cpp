@@ -165,7 +165,9 @@ TEST(Concurrency, ParallelReassociateMatchesFullAssociate) {
         model::ModelDiff d = model::diff(before, after);
         search::AssociationMap incremental = assoc.reassociate(before_map, d, after);
         EXPECT_EQ(fingerprint(incremental), full_ref) << "cache=" << cache_on;
-        if (cache_on) EXPECT_GT(assoc.metrics().cache_invalidations, 0u);
+        if (cache_on) {
+            EXPECT_GT(assoc.metrics().cache_invalidations, 0u);
+        }
     }
 }
 

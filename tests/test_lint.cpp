@@ -1,0 +1,475 @@
+// The lint subsystem: every rule has a seeded-defect fixture that makes it
+// fire exactly once with the expected code/severity/subject, the clean
+// fixture stays clean, options (disable / severity override) work, the
+// diagnostic stream is byte-deterministic across thread counts, and the
+// session wiring (fail_on_lint_error gate, metrics, report section) holds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/session.hpp"
+#include "kb/platform.hpp"
+#include "lint/lint.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+#include "util/error.hpp"
+
+using namespace cybok;
+
+namespace {
+
+/// Two components (one external-facing controller, one actuator), one
+/// bidirectional link, one non-empty attribute. Lints clean.
+model::SystemModel clean_model() {
+    model::SystemModel m("plant", "test fixture");
+    model::ComponentId sup = m.add_component("Supervisor", model::ComponentType::Controller);
+    model::ComponentId pump = m.add_component("Pump", model::ComponentType::Actuator);
+    m.component(sup).external_facing = true;
+    model::Attribute role;
+    role.name = "role";
+    role.value = "supervisory controller";
+    m.set_attribute(sup, role);
+    m.connect(sup, pump, "4-20mA", model::ChannelKind::AnalogSignal, /*bidirectional=*/true);
+    return m;
+}
+
+/// Pattern -> weakness -> vulnerability chain with valid parent links, a
+/// normalized platform binding, and a parseable CVSS vector. Lints clean.
+kb::Corpus clean_corpus() {
+    kb::Corpus c;
+    kb::Weakness parent;
+    parent.id = {79};
+    parent.name = "Improper Neutralization";
+    c.add(parent);
+    kb::Weakness child;
+    child.id = {80};
+    child.name = "Basic XSS";
+    child.parent = {79};
+    c.add(child);
+    kb::AttackPattern p;
+    p.id = {63};
+    p.name = "Cross-Site Scripting";
+    p.related_weaknesses = {{79}};
+    c.add(p);
+    kb::Vulnerability v;
+    v.id = {2020, 1000};
+    v.description = "stored xss in widget";
+    v.platforms.push_back({kb::PlatformPart::Application, "acme", "widget", ""});
+    v.weaknesses = {{79}};
+    v.cvss_vector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H";
+    c.add(v);
+    return c;
+}
+
+/// One hazard fully traceable through a UCA on the clean model's
+/// controller. Lints clean against clean_model().
+safety::HazardModel clean_hazards() {
+    safety::HazardModel h;
+    h.add(safety::Loss{"L-1", "loss of batch"});
+    h.add(safety::Hazard{"H-1", "overpressure", {"L-1"}});
+    safety::UnsafeControlAction uca;
+    uca.id = "UCA-1";
+    uca.controller = "Supervisor";
+    uca.action = "open valve";
+    uca.hazards = {"H-1"};
+    h.add(uca);
+    return h;
+}
+
+search::AssociationMap vuln_assoc(std::initializer_list<const char*> component_names) {
+    search::AssociationMap map;
+    for (const char* name : component_names) {
+        search::ComponentAssociation ca;
+        ca.component = name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "os";
+        aa.attribute_value = "stub";
+        search::Match match;
+        match.cls = search::VectorClass::Vulnerability;
+        match.id = "CVE-2020-1";
+        aa.matches.push_back(std::move(match));
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+std::vector<const lint::Diagnostic*> with_code(const lint::LintResult& r,
+                                               std::string_view code) {
+    std::vector<const lint::Diagnostic*> out;
+    for (const lint::Diagnostic& d : r.diagnostics)
+        if (d.code == code) out.push_back(&d);
+    return out;
+}
+
+/// Expect `code` to fire exactly once and return a copy of the diagnostic
+/// (a copy, so call sites may pass run_lint's result as a temporary).
+lint::Diagnostic expect_once(const lint::LintResult& r, std::string_view code,
+                             lint::Severity sev) {
+    auto hits = with_code(r, code);
+    EXPECT_EQ(hits.size(), 1u) << "for code " << code << "\n" << r.render_text();
+    if (hits.size() != 1u) throw std::runtime_error("fixture did not fire exactly once");
+    EXPECT_EQ(hits[0]->severity, sev) << "for code " << code;
+    return *hits[0];
+}
+
+} // namespace
+
+// ----------------------------------------------------------- clean fixture
+
+TEST(Lint, CleanFixtureProducesNoDiagnostics) {
+    model::SystemModel m = clean_model();
+    kb::Corpus c = clean_corpus();
+    safety::HazardModel h = clean_hazards();
+    lint::LintInput in;
+    in.model = &m;
+    in.corpus = &c;
+    in.hazards = &h;
+    lint::LintResult r = lint::run_lint(in);
+    EXPECT_TRUE(r.diagnostics.empty()) << r.render_text();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.rules_run, lint::registry().size());
+    EXPECT_EQ(r.summary(), "0 errors, 0 warnings, 0 notes (16 rules)");
+}
+
+TEST(Lint, AllNullInputIsOkAndEmpty) {
+    lint::LintResult r = lint::run_lint(lint::LintInput{});
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_TRUE(r.ok());
+}
+
+// -------------------------------------------------------------- model pass
+
+TEST(Lint, M001DuplicateComponentName) {
+    model::SystemModel m = clean_model();
+    m.add_component("Pump", model::ComponentType::Actuator);
+    lint::LintInput in;
+    in.model = &m;
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint(in), "M001", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "Pump");
+}
+
+TEST(Lint, M002DanglingConnector) {
+    model::SystemModel m = clean_model();
+    // Tombstone the pump by hand: connect() validates endpoints and
+    // remove_component() erases incident connectors, so a dangling edge can
+    // only arise from direct mutation — exactly the defect M002 exists for.
+    model::ComponentId pump = *m.find_component("Pump");
+    m.component(pump).id = model::ComponentId{};
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.model = &m}), "M002", lint::Severity::Error);
+    EXPECT_TRUE(d.subject.starts_with("connector#0")) << d.subject;
+}
+
+TEST(Lint, M003SelfLoopConnector) {
+    model::SystemModel m = clean_model();
+    model::ComponentId sup = *m.find_component("Supervisor");
+    m.connect(sup, sup, "loopback");
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.model = &m}), "M003", lint::Severity::Warning);
+    EXPECT_NE(d.subject.find("Supervisor -> Supervisor"), std::string::npos) << d.subject;
+}
+
+TEST(Lint, M004DuplicateLink) {
+    model::SystemModel m = clean_model();
+    model::ComponentId sup = *m.find_component("Supervisor");
+    model::ComponentId pump = *m.find_component("Pump");
+    // The fixture already has one bidirectional Supervisor<->Pump link;
+    // a second forward connector makes the forward direction double-covered.
+    m.connect(sup, pump, "duplicate channel");
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.model = &m}), "M004", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "Supervisor <-> Pump");
+}
+
+TEST(Lint, M004OppositeDirectionsAreNotDuplicates) {
+    model::SystemModel m("t", "");
+    model::ComponentId a = m.add_component("A", model::ComponentType::Compute);
+    model::ComponentId b = m.add_component("B", model::ComponentType::Compute);
+    m.component(a).external_facing = true;
+    m.connect(a, b, "request");
+    m.connect(b, a, "response");
+    lint::LintResult r = lint::run_lint({.model = &m});
+    EXPECT_TRUE(with_code(r, "M004").empty()) << r.render_text();
+}
+
+TEST(Lint, M005EmptyAttribute) {
+    model::SystemModel m = clean_model();
+    model::ComponentId pump = *m.find_component("Pump");
+    model::Attribute blank;
+    blank.name = "firmware";
+    blank.value = "   ";
+    m.set_attribute(pump, blank);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.model = &m}), "M005", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "Pump.firmware");
+}
+
+TEST(Lint, M006UnreachableComponent) {
+    model::SystemModel m = clean_model();
+    m.add_component("Island", model::ComponentType::Compute);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.model = &m}), "M006", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "Island");
+}
+
+TEST(Lint, M007NoEntryPoint) {
+    model::SystemModel m = clean_model();
+    model::ComponentId sup = *m.find_component("Supervisor");
+    m.component(sup).external_facing = false;
+    lint::LintResult r = lint::run_lint({.model = &m});
+    const lint::Diagnostic d = expect_once(r, "M007", lint::Severity::Note);
+    EXPECT_EQ(d.subject, "plant");
+    // Without entry points, M006 stands down (it would flag everything).
+    EXPECT_TRUE(with_code(r, "M006").empty());
+}
+
+// ----------------------------------------------------------------- kb pass
+
+TEST(Lint, K001DuplicateRecordId) {
+    kb::Corpus c = clean_corpus();
+    kb::Weakness dup;
+    dup.id = {79};
+    dup.name = "second CWE-79";
+    c.add(dup);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K001", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CWE-79");
+}
+
+TEST(Lint, K002MalformedPlatform) {
+    kb::Corpus c = clean_corpus();
+    kb::Vulnerability v;
+    v.id = {2021, 7};
+    v.platforms.push_back({kb::PlatformPart::Application, "Acme Corp", "widget", ""});
+    c.add(v);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K002", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CVE-2021-7");
+}
+
+TEST(Lint, K003InvalidCvssVector) {
+    kb::Corpus c = clean_corpus();
+    kb::Vulnerability v;
+    v.id = {2021, 8};
+    v.cvss_vector = "CVSS:3.1/AV:banana";
+    c.add(v);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K003", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CVE-2021-8");
+}
+
+TEST(Lint, K004DanglingCrossReference) {
+    kb::Corpus c = clean_corpus();
+    kb::AttackPattern p;
+    p.id = {999};
+    p.name = "orphan pattern";
+    p.related_weaknesses = {{4242}};
+    c.add(p);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K004", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CAPEC-999");
+    EXPECT_NE(d.message.find("CWE-4242"), std::string::npos);
+}
+
+TEST(Lint, K005MissingParent) {
+    kb::Corpus c = clean_corpus();
+    kb::Weakness w;
+    w.id = {500};
+    w.parent = {501}; // absent
+    c.add(w);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K005", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CWE-500");
+}
+
+TEST(Lint, K005ParentCycleReportedOnceOnSmallestMember) {
+    kb::Corpus c = clean_corpus();
+    kb::Weakness w1;
+    w1.id = {600};
+    w1.parent = {601};
+    c.add(w1);
+    kb::Weakness w2;
+    w2.id = {601};
+    w2.parent = {600};
+    c.add(w2);
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint({.corpus = &c}), "K005", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "CWE-600");
+    EXPECT_NE(d.message.find("cycle"), std::string::npos);
+}
+
+// -------------------------------------------------------- consequence pass
+
+TEST(Lint, C001UnknownUcaController) {
+    model::SystemModel m = clean_model();
+    safety::HazardModel h = clean_hazards();
+    safety::UnsafeControlAction uca;
+    uca.id = "UCA-9";
+    uca.controller = "Ghost PLC";
+    uca.hazards = {"H-1"};
+    h.add(uca);
+    const lint::Diagnostic d = expect_once(lint::run_lint({.model = &m, .hazards = &h}),
+                                            "C001", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "UCA-9");
+}
+
+TEST(Lint, C002UntraceableHazard) {
+    model::SystemModel m = clean_model();
+    safety::HazardModel h = clean_hazards();
+    h.add(safety::Hazard{"H-2", "unreferenced hazard", {"L-1"}});
+    const lint::Diagnostic d = expect_once(lint::run_lint({.model = &m, .hazards = &h}),
+                                            "C002", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "H-2");
+}
+
+TEST(Lint, C003UnmappedVulnerableComponent) {
+    model::SystemModel m = clean_model();
+    m.add_component("Island", model::ComponentType::Compute);
+    safety::HazardModel h = clean_hazards();
+    // Pump can pivot to the Supervisor (UCA controller); Island cannot.
+    search::AssociationMap assoc = vuln_assoc({"Pump", "Island"});
+    lint::LintInput in;
+    in.model = &m;
+    in.hazards = &h;
+    in.associations = &assoc;
+    const lint::Diagnostic& d =
+        expect_once(lint::run_lint(in), "C003", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "Island");
+}
+
+TEST(Lint, C004MissingHazardModel) {
+    search::AssociationMap assoc = vuln_assoc({"Pump"});
+    lint::LintInput in;
+    in.associations = &assoc; // no hazard model attached
+    lint::LintResult r = lint::run_lint(in);
+    const lint::Diagnostic d = expect_once(r, "C004", lint::Severity::Note);
+    EXPECT_EQ(d.subject, "model");
+    EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+// ------------------------------------------------------- options + driver
+
+namespace {
+/// A fixture tripping rules in all three passes, for option/driver tests.
+struct DefectFixture {
+    model::SystemModel m = clean_model();
+    kb::Corpus c = clean_corpus();
+    safety::HazardModel h = clean_hazards();
+    DefectFixture() {
+        m.add_component("Pump", model::ComponentType::Actuator); // M001
+        m.add_component("Island", model::ComponentType::Compute); // M006
+        kb::Weakness w;
+        w.id = {500};
+        w.parent = {501};
+        c.add(w); // K005
+        safety::UnsafeControlAction uca;
+        uca.id = "UCA-9";
+        uca.controller = "Ghost PLC";
+        h.add(uca); // C001
+    }
+    [[nodiscard]] lint::LintInput input() const { return {.model = &m, .corpus = &c, .hazards = &h}; }
+};
+} // namespace
+
+TEST(Lint, DisabledRuleDoesNotRun) {
+    DefectFixture f;
+    lint::LintOptions opts;
+    opts.disabled.insert("M001");
+    lint::LintResult r = lint::run_lint(f.input(), opts);
+    EXPECT_TRUE(with_code(r, "M001").empty());
+    EXPECT_EQ(r.rules_run, lint::registry().size() - 1);
+    EXPECT_FALSE(with_code(r, "M006").empty()); // others still run
+}
+
+TEST(Lint, SeverityOverridePromotesAndDemotes) {
+    DefectFixture f;
+    lint::LintOptions opts;
+    opts.severity_overrides["M006"] = lint::Severity::Error;
+    opts.severity_overrides["K005"] = lint::Severity::Note;
+    lint::LintResult r = lint::run_lint(f.input(), opts);
+    EXPECT_EQ(with_code(r, "M006")[0]->severity, lint::Severity::Error);
+    EXPECT_EQ(with_code(r, "K005")[0]->severity, lint::Severity::Note);
+    EXPECT_FALSE(r.ok()); // the promoted M006 now gates
+}
+
+TEST(Lint, StreamIsByteIdenticalAcrossThreadCounts) {
+    DefectFixture f;
+    lint::LintOptions serial;
+    serial.threads = 1;
+    lint::LintOptions wide;
+    wide.threads = 8;
+    const std::string reference = lint::run_lint(f.input(), serial).render_text();
+    EXPECT_FALSE(reference.empty());
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(lint::run_lint(f.input(), wide).render_text(), reference)
+            << "round " << round;
+        EXPECT_EQ(lint::run_lint(f.input(), serial).render_text(), reference)
+            << "round " << round;
+    }
+}
+
+TEST(Lint, DiagnosticsAreSortedByCodeSubjectMessage) {
+    DefectFixture f;
+    lint::LintResult r = lint::run_lint(f.input());
+    EXPECT_TRUE(std::is_sorted(r.diagnostics.begin(), r.diagnostics.end(),
+                               lint::diagnostic_less));
+}
+
+TEST(Lint, ToStringAndJsonCarryAllFields) {
+    DefectFixture f;
+    lint::LintResult r = lint::run_lint(f.input());
+    const lint::Diagnostic& d = *with_code(r, "M001")[0];
+    std::string line = lint::to_string(d);
+    EXPECT_NE(line.find("error[M001]"), std::string::npos) << line;
+    EXPECT_NE(line.find("Pump"), std::string::npos) << line;
+    json::Value doc = r.to_json();
+    EXPECT_EQ(doc.at("counts").get_int("errors"),
+              static_cast<std::int64_t>(r.errors()));
+    EXPECT_EQ(doc.at("diagnostics").as_array().size(), r.diagnostics.size());
+}
+
+// --------------------------------------------------------- session wiring
+
+namespace {
+const kb::Corpus& session_corpus() {
+    static const kb::Corpus corpus =
+        synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    return corpus;
+}
+} // namespace
+
+TEST(LintSession, FailOnLintErrorGatesAssociation) {
+    model::SystemModel broken = synth::centrifuge_model();
+    broken.add_component("BPCS platform", model::ComponentType::Compute); // M001
+    core::SessionOptions opts;
+    opts.fail_on_lint_error = true;
+    core::AnalysisSession gated(broken, session_corpus(), opts);
+    EXPECT_THROW((void)gated.associations(), ValidationError);
+    // The same model passes without the gate (M001 is the only error).
+    core::AnalysisSession open(std::move(broken), session_corpus());
+    EXPECT_GT(open.associations().total(), 0u);
+}
+
+TEST(LintSession, LintCountsSurfaceInAssocMetrics) {
+    core::AnalysisSession s(synth::centrifuge_model(), session_corpus());
+    s.set_hazards(synth::centrifuge_hazards());
+    lint::LintResult r = s.lint();
+    EXPECT_TRUE(r.ok()) << r.render_text();
+    search::AssocMetrics metrics = s.assoc_metrics();
+    EXPECT_TRUE(metrics.lint.ran());
+    EXPECT_EQ(metrics.lint.rules_run, lint::registry().size());
+    EXPECT_EQ(metrics.lint.errors, r.errors());
+    EXPECT_EQ(metrics.lint.warnings, r.warnings());
+    EXPECT_NE(metrics.summary().find("lint"), std::string::npos);
+}
+
+TEST(LintSession, ReportCarriesDiagnosticsSection) {
+    core::AnalysisSession s(synth::centrifuge_model(), session_corpus());
+    s.set_hazards(synth::centrifuge_hazards());
+    dashboard::Report r = s.report();
+    ASSERT_NE(r.find_section("Diagnostics"), nullptr);
+}

@@ -134,7 +134,7 @@ TEST(ModelAdvice, FlagsSparseModel) {
     auto advice = analysis::advise(m, search::AssociationMap{});
     auto count = [&](analysis::AdviceKind k) {
         return std::count_if(advice.begin(), advice.end(),
-                             [k](const analysis::Advice& a) { return a.kind == k; });
+                             [k](const analysis::Advice& adv) { return adv.kind == k; });
     };
     EXPECT_EQ(count(analysis::AdviceKind::UntypedComponent), 1);
     EXPECT_EQ(count(analysis::AdviceKind::UnresolvedPlatform), 1);
