@@ -6,8 +6,10 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "search/association.hpp"
 #include "text/scratch.hpp"
 #include "text/tokenize.hpp"
+#include "util/fault.hpp"
 
 using namespace cybok;
 
@@ -198,6 +200,43 @@ void BM_VulnViaLexical(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_VulnViaLexical);
+
+// Fault-injection overhead. Every CYBOK_FAULT_POINT is compiled in
+// unconditionally, so the disabled cost — one relaxed atomic load plus a
+// never-taken branch per crossing — must stay unmeasurable on hot paths.
+// BM_FaultPointDisabled prices a single crossing directly (items/s =
+// crossings/s); BM_AssocTaskFaultSites times the one query path that
+// actually crosses sites (the cached association task: cache get, miss,
+// recompute, cache put) with the injector disabled. Dividing the former
+// into the latter bounds the end-to-end overhead; EXPERIMENTS.md records
+// both from the JSON sidecar against the <2% acceptance bar.
+void BM_FaultPointDisabled(benchmark::State& state) {
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            CYBOK_FAULT_POINT("bench.disabled.site", Error("never thrown"));
+        }
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_FaultPointDisabled);
+
+void BM_AssocTaskFaultSites(benchmark::State& state) {
+    const kb::Corpus& corpus = corpus_at_scale(static_cast<int>(state.range(0)));
+    search::SearchEngine engine(corpus);
+    search::AssocOptions opts;
+    opts.threads = 1; // isolate per-task cost from fan-out scheduling
+    search::Associator assoc(engine, opts);
+    model::SystemModel one;
+    const model::ComponentId id = one.add_component("bench", model::ComponentType::Controller);
+    one.set_attribute(id, {"role", "scada controller modbus command injection",
+                           model::AttributeKind::Descriptor, model::Fidelity::Logical, {}});
+    for (auto _ : state) {
+        auto map = assoc.associate(one);
+        benchmark::DoNotOptimize(map);
+    }
+}
+BENCHMARK(BM_AssocTaskFaultSites)->Arg(200)->Arg(1000);
 
 } // namespace
 

@@ -31,6 +31,7 @@
 #include "synth/corpus_gen.hpp"
 #include "synth/model_gen.hpp"
 #include "synth/scada.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 using namespace cybok;
@@ -228,7 +229,12 @@ void usage() {
         "            [--threads N] [--disable CODES] [--severity CODE=SEV,...]\n"
         "            static defect scan; exit 3 when errors are found\n"
         "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
-        "  table1                                               reproduce the paper's Table 1\n",
+        "  table1                                               reproduce the paper's Table 1\n"
+        "global options (any command):\n"
+        "  --fault-spec SPEC   arm deterministic fault injection for repro, e.g.\n"
+        "                      'seed=7;kb.snapshot.open;search.cache.get=p:0.25;\n"
+        "                      util.json.parse=nth:3' (sites listed in ARCHITECTURE.md §6);\n"
+        "                      a per-site hit/fire report is printed to stderr on exit\n",
         stderr);
 }
 
@@ -242,15 +248,30 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     try {
         Args args(argc, argv, 2);
-        if (command == "generate") return cmd_generate(args);
-        if (command == "model") return cmd_model(args);
-        if (command == "search") return cmd_search(args);
-        if (command == "associate") return cmd_associate(args);
-        if (command == "lint") return cmd_lint(args);
-        if (command == "report") return cmd_report(args);
-        if (command == "table1") return cmd_table1(args);
-        usage();
-        return 1;
+        // Arm fault injection before dispatch so every site a command
+        // crosses (corpus load, engine build, snapshot IO, cache) is
+        // live; report observed hits/fires on the way out for repro.
+        const bool faults_armed = !args.get("fault-spec").empty();
+        if (faults_armed) util::FaultInjector::instance().arm_spec(args.get("fault-spec"));
+        const auto dispatch = [&]() -> int {
+            if (command == "generate") return cmd_generate(args);
+            if (command == "model") return cmd_model(args);
+            if (command == "search") return cmd_search(args);
+            if (command == "associate") return cmd_associate(args);
+            if (command == "lint") return cmd_lint(args);
+            if (command == "report") return cmd_report(args);
+            if (command == "table1") return cmd_table1(args);
+            usage();
+            return 1;
+        };
+        const int rc = dispatch();
+        if (faults_armed) {
+            for (const util::FaultSiteReport& s : util::FaultInjector::instance().report())
+                std::fprintf(stderr, "fault-site %s: %llu hits, %llu fires\n", s.site.c_str(),
+                             static_cast<unsigned long long>(s.hits),
+                             static_cast<unsigned long long>(s.fires));
+        }
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "cybok %s: error: %s\n", command.c_str(), e.what());
         return 2;

@@ -2,14 +2,17 @@
 
 #include "graph/graphml.hpp"
 #include "model/export.hpp"
+#include "util/fault.hpp"
 
 namespace cybok::core {
 
 std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
     const kb::Corpus& corpus, const SessionOptions& options,
-    std::unique_ptr<kb::Corpus>& thawed) {
+    std::unique_ptr<kb::Corpus>& thawed, search::DegradeCounts& degrade) {
     if (!options.snapshot_path.empty()) {
         try {
+            CYBOK_FAULT_POINT("session.cold_start.load",
+                              IoError("injected: snapshot load failed: " + options.snapshot_path));
             search::EngineSnapshot snap = search::load_engine_snapshot(options.snapshot_path);
             // Staleness guard: the snapshot must have been frozen under the
             // same engine options (signature) over a corpus of the same
@@ -24,18 +27,28 @@ std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
                 thawed = std::move(snap.corpus);
                 return std::move(snap.engine);
             }
-        } catch (const Error&) {
+            ++degrade.snapshot_fallbacks;
+            degrade.last_reason = "snapshot stale: engine signature or corpus shape changed";
+        } catch (const Error& e) {
             // Missing / truncated / corrupt / version-mismatched snapshot:
-            // fall through to a fresh build, which rewrites the file.
+            // fall through to a fresh build, which rewrites the file. The
+            // reason is recorded so the fallback is visible in metrics and
+            // the report instead of a silent slow start.
+            ++degrade.snapshot_fallbacks;
+            degrade.last_reason = e.what();
         }
     }
     auto engine = std::make_unique<search::SearchEngine>(corpus, options.engine);
     if (!options.snapshot_path.empty()) {
         try {
+            CYBOK_FAULT_POINT("session.cold_start.save",
+                              IoError("injected: snapshot save failed: " + options.snapshot_path));
             search::save_engine_snapshot(*engine, options.snapshot_path);
-        } catch (const IoError&) {
+        } catch (const Error& e) {
             // An unwritable cache location degrades cold-start speed, not
             // correctness; the session proceeds with the built engine.
+            ++degrade.snapshot_save_failures;
+            degrade.last_reason = e.what();
         }
     }
     return engine;
@@ -44,8 +57,8 @@ std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
 AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
                                  SessionOptions options)
     : model_(std::move(m)), options_(std::move(options)),
-      engine_(make_engine(corpus, options_, thawed_corpus_)), corpus_(&engine_->corpus()),
-      associator_(*engine_, options_.assoc) {}
+      engine_(make_engine(corpus, options_, thawed_corpus_, degrade_)),
+      corpus_(&engine_->corpus()), associator_(*engine_, options_.assoc) {}
 
 void AnalysisSession::set_hazards(safety::HazardModel hazards) {
     std::vector<std::string> issues = hazards.validate();
@@ -83,6 +96,7 @@ std::string AnalysisSession::architecture_graphml() const {
 search::AssocMetrics AnalysisSession::assoc_metrics() const {
     search::AssocMetrics m = associator_.metrics();
     m.lint = lint_counts_;
+    m.degrade.merge(degrade_);
     return m;
 }
 

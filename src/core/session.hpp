@@ -82,8 +82,14 @@ public:
     /// session runs through (associations(), propose(), commit()).
     [[nodiscard]] search::Associator& associator() noexcept { return associator_; }
     /// Cumulative association metrics (queries, cache hit rate, stage
-    /// timings, lint counts) for this session; also a report section.
+    /// timings, lint counts, degradation events) for this session; also a
+    /// report section.
     [[nodiscard]] search::AssocMetrics assoc_metrics() const;
+    /// Cold-start degradations recorded by make_engine (snapshot fallback
+    /// or failed snapshot write); also folded into assoc_metrics().
+    [[nodiscard]] const search::DegradeCounts& cold_start_degrade() const noexcept {
+        return degrade_;
+    }
 
     /// Run the static lint pipeline over the session's current state
     /// (model, corpus, hazard model if attached, associations if already
@@ -147,14 +153,17 @@ private:
     }
 
     /// Load-or-build per SessionOptions::snapshot_path; fills `thawed` with
-    /// the snapshot-owned corpus when the engine came from a snapshot.
+    /// the snapshot-owned corpus when the engine came from a snapshot, and
+    /// `degrade` with any cold-start fallbacks taken (snapshot rejected ->
+    /// fresh build, snapshot write failed -> proceed uncached).
     static std::unique_ptr<search::SearchEngine> make_engine(
         const kb::Corpus& corpus, const SessionOptions& options,
-        std::unique_ptr<kb::Corpus>& thawed);
+        std::unique_ptr<kb::Corpus>& thawed, search::DegradeCounts& degrade);
 
     model::SystemModel model_;
     SessionOptions options_;
     std::unique_ptr<kb::Corpus> thawed_corpus_; ///< owns the corpus when thawed
+    search::DegradeCounts degrade_; ///< cold-start fallbacks (filled by make_engine)
     std::unique_ptr<search::SearchEngine> engine_;
     const kb::Corpus* corpus_; ///< == &engine_->corpus()
     search::Associator associator_;

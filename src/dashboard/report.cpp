@@ -86,6 +86,36 @@ Report build_report(const model::SystemModel& m, const search::AssociationMap& a
             diags.lines.push_back(lint::to_string(d));
         if (extras->lint->diagnostics.empty())
             diags.lines.push_back("No findings: model and knowledge base lint clean.");
+        // Degradation events next: every absorbed failure (snapshot
+        // fallback, cache recovery, recompute retry) is a caveat on the
+        // numbers below even though the results themselves are identical
+        // to a fault-free run.
+        if (extras->assoc_metrics.has_value()) {
+            const search::DegradeCounts& deg = extras->assoc_metrics->degrade;
+            if (extras->assoc_metrics->build.parallel_fallback)
+                diags.lines.push_back(
+                    "Degradation: parallel index build failed; engine rebuilt sequentially.");
+            if (deg.snapshot_fallbacks > 0)
+                diags.lines.push_back(
+                    "Degradation: engine snapshot unusable (" +
+                    std::to_string(deg.snapshot_fallbacks) + "x); rebuilt from corpus.");
+            if (deg.snapshot_save_failures > 0)
+                diags.lines.push_back("Degradation: engine snapshot write failed (" +
+                                      std::to_string(deg.snapshot_save_failures) +
+                                      "x); next start will be a cold build.");
+            if (deg.cache_recoveries > 0)
+                diags.lines.push_back("Degradation: query cache failed " +
+                                      std::to_string(deg.cache_recoveries) +
+                                      "x; results recomputed or served uncached.");
+            if (deg.recompute_retries > 0)
+                diags.lines.push_back("Degradation: " + std::to_string(deg.recompute_retries) +
+                                      " attribute queries retried after transient failures.");
+            if (deg.records_skipped > 0)
+                diags.lines.push_back("Degradation: " + std::to_string(deg.records_skipped) +
+                                      " corpus records skipped by lenient decode.");
+            if (deg.any() && !deg.last_reason.empty())
+                diags.lines.push_back("Last degradation reason: " + deg.last_reason);
+        }
         report.sections.push_back(std::move(diags));
     }
 

@@ -1,6 +1,7 @@
 #include "kb/serialize.hpp"
 
 #include "util/bytes.hpp"
+#include "util/fault.hpp"
 
 namespace cybok::kb {
 
@@ -22,6 +23,26 @@ std::vector<std::string> strings_from_json(const json::Value& v) {
 Rating rating_from_int(std::int64_t i) {
     if (i < 0 || i > 4) throw ValidationError("rating out of range");
     return static_cast<Rating>(i);
+}
+
+/// Decode every record of one section. Each record decodes into a local
+/// before corpus.add, so a throwing record leaves no partial state. In
+/// strict mode (no sink) the first typed error propagates; in lenient
+/// mode the record is skipped and described in `diagnostics`.
+template <typename Fn>
+void decode_records(const json::Value& doc, std::string_view section,
+                    std::vector<RecordDiagnostic>* diagnostics, Fn&& decode_one) {
+    const json::Array& arr = doc.at(section).as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        try {
+            CYBOK_FAULT_POINT("kb.serialize.record",
+                              ValidationError("injected: corrupt corpus record"));
+            decode_one(arr[i]);
+        } catch (const Error& err) {
+            if (diagnostics == nullptr) throw;
+            diagnostics->push_back({std::string(section), i, err.what()});
+        }
+    }
 }
 
 } // namespace
@@ -82,12 +103,12 @@ json::Value to_json(const Corpus& corpus) {
     return json::Value(std::move(root));
 }
 
-Corpus corpus_from_json(const json::Value& doc) {
+Corpus corpus_from_json(const json::Value& doc, std::vector<RecordDiagnostic>* diagnostics) {
     if (doc.get_string("format") != "cybok-corpus-v1")
         throw ValidationError("unknown corpus format: " + doc.get_string("format"));
     Corpus corpus;
 
-    for (const json::Value& e : doc.at("attack_patterns").as_array()) {
+    decode_records(doc, "attack_patterns", diagnostics, [&](const json::Value& e) {
         AttackPattern p;
         p.id.value = static_cast<std::uint32_t>(e.get_int("id"));
         p.name = e.get_string("name");
@@ -100,9 +121,9 @@ Corpus corpus_from_json(const json::Value& doc) {
         p.parent.value = static_cast<std::uint32_t>(e.get_int("parent"));
         p.domains = strings_from_json(e.at("domains"));
         corpus.add(std::move(p));
-    }
+    });
 
-    for (const json::Value& e : doc.at("weaknesses").as_array()) {
+    decode_records(doc, "weaknesses", diagnostics, [&](const json::Value& e) {
         Weakness w;
         w.id.value = static_cast<std::uint32_t>(e.get_int("id"));
         w.name = e.get_string("name");
@@ -112,9 +133,9 @@ Corpus corpus_from_json(const json::Value& doc) {
         w.parent.value = static_cast<std::uint32_t>(e.get_int("parent"));
         w.applicable_platforms = strings_from_json(e.at("applicable_platforms"));
         corpus.add(std::move(w));
-    }
+    });
 
-    for (const json::Value& e : doc.at("vulnerabilities").as_array()) {
+    decode_records(doc, "vulnerabilities", diagnostics, [&](const json::Value& e) {
         Vulnerability v;
         v.id.year = static_cast<std::uint32_t>(e.get_int("year"));
         v.id.number = static_cast<std::uint32_t>(e.get_int("number"));
@@ -125,7 +146,7 @@ Corpus corpus_from_json(const json::Value& doc) {
             v.weaknesses.push_back(WeaknessId{static_cast<std::uint32_t>(w.as_int())});
         v.cvss_vector = e.get_string("cvss");
         corpus.add(std::move(v));
-    }
+    });
 
     corpus.reindex();
     return corpus;
@@ -135,10 +156,10 @@ void save_corpus(const std::string& path, const Corpus& corpus) {
     json::save_file(path, to_json(corpus), 0);
 }
 
-Corpus load_corpus(const std::string& path) {
+Corpus load_corpus(const std::string& path, std::vector<RecordDiagnostic>* diagnostics) {
     // read_file pulls the whole corpus into a pre-sized buffer with one
     // read; the parser then works over the view without re-copying.
-    return corpus_from_json(json::parse(util::read_file(path)));
+    return corpus_from_json(json::parse(util::read_file(path)), diagnostics);
 }
 
 } // namespace cybok::kb

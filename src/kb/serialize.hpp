@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "kb/corpus.hpp"
 #include "util/json.hpp"
@@ -14,12 +15,28 @@ namespace cybok::kb {
 /// Corpus -> JSON document (records only; indexes are rebuilt on load).
 [[nodiscard]] json::Value to_json(const Corpus& corpus);
 
+/// One skipped record from a lenient corpus load: which array it came
+/// from, its index there, and the typed error's message.
+struct RecordDiagnostic {
+    std::string section; ///< "attack_patterns" | "weaknesses" | "vulnerabilities"
+    std::size_t index = 0;
+    std::string error;
+};
+
 /// JSON document -> Corpus (reindexed and ready to query).
 /// Throws ParseError / ValidationError on schema violations.
-[[nodiscard]] Corpus corpus_from_json(const json::Value& doc);
+///
+/// When `diagnostics` is non-null the load is *lenient*: a record whose
+/// decode throws a typed error is skipped and described in `diagnostics`
+/// (a feed with a handful of mangled entries degrades to a slightly
+/// smaller corpus instead of an all-or-nothing failure). Document-level
+/// violations (wrong format tag, missing arrays) still propagate.
+[[nodiscard]] Corpus corpus_from_json(const json::Value& doc,
+                                      std::vector<RecordDiagnostic>* diagnostics = nullptr);
 
 /// File helpers.
 void save_corpus(const std::string& path, const Corpus& corpus);
-[[nodiscard]] Corpus load_corpus(const std::string& path);
+[[nodiscard]] Corpus load_corpus(const std::string& path,
+                                 std::vector<RecordDiagnostic>* diagnostics = nullptr);
 
 } // namespace cybok::kb

@@ -1,11 +1,13 @@
 #include "kb/snapshot.hpp"
 
+#include "util/fault.hpp"
+
 namespace cybok::kb {
 
 namespace {
 
 constexpr std::string_view kMagic = "CYBOKSNP"; // 8 bytes
-constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+constexpr std::size_t kHeaderSize = kSnapshotHeaderSize;
 
 void freeze_strings(util::ByteWriter& w, const std::vector<std::string>& items) {
     w.u32(static_cast<std::uint32_t>(items.size()));
@@ -49,6 +51,7 @@ Rating thaw_rating(util::ByteReader& r) {
 } // namespace
 
 std::string seal_snapshot(std::string payload) {
+    CYBOK_FAULT_POINT("kb.snapshot.seal", SnapshotError("injected: snapshot seal failed"));
     std::string out;
     out.reserve(kHeaderSize + payload.size());
     out.append(kMagic);
@@ -61,20 +64,28 @@ std::string seal_snapshot(std::string payload) {
     return out;
 }
 
-std::string_view open_snapshot(std::string_view blob) {
+std::string_view open_snapshot(std::string_view blob, std::string_view source) {
+    const std::string path(source);
+    CYBOK_FAULT_POINT("kb.snapshot.open",
+                      SnapshotError("injected: snapshot rejected", path, 0));
     if (blob.size() < kHeaderSize || blob.substr(0, kMagic.size()) != kMagic)
-        throw SnapshotError("snapshot: bad magic (not a CYBOK snapshot)");
+        throw SnapshotError("snapshot: bad magic (not a CYBOK snapshot)", path, 0);
     util::ByteReader r(blob.substr(kMagic.size()));
     const std::uint32_t version = r.u32();
     if (version != kSnapshotVersion)
         throw SnapshotError("snapshot: version mismatch (blob v" + std::to_string(version) +
-                            ", expected v" + std::to_string(kSnapshotVersion) + ")");
+                                ", expected v" + std::to_string(kSnapshotVersion) + ")",
+                            path, kMagic.size());
     const std::uint64_t payload_size = r.u64();
     const std::uint64_t checksum = r.u64();
     std::string_view payload = blob.substr(kHeaderSize);
-    if (payload.size() < payload_size) throw SnapshotError("snapshot: truncated payload");
-    if (payload.size() > payload_size) throw SnapshotError("snapshot: trailing bytes after payload");
-    if (util::fnv1a64(payload) != checksum) throw SnapshotError("snapshot: checksum mismatch");
+    if (payload.size() < payload_size)
+        throw SnapshotError("snapshot: truncated payload", path, blob.size());
+    if (payload.size() > payload_size)
+        throw SnapshotError("snapshot: trailing bytes after payload",
+                            path, kHeaderSize + static_cast<std::size_t>(payload_size));
+    if (util::fnv1a64(payload) != checksum)
+        throw SnapshotError("snapshot: checksum mismatch", path, kMagic.size() + 4 + 8);
     return payload;
 }
 

@@ -29,10 +29,27 @@
 namespace cybok::kb {
 
 /// A snapshot blob was rejected: bad magic, version mismatch, truncation,
-/// checksum failure, or trailing bytes. The message names which.
+/// checksum failure, or trailing bytes. The message names which, and —
+/// when the blob came from a file — carries the source path and the byte
+/// offset of the violation so fault-matrix failures are diagnosable from
+/// the message alone ("snapshot: checksum mismatch [/tmp/x.snap @ byte 20]").
 class SnapshotError : public Error {
 public:
-    using Error::Error;
+    explicit SnapshotError(const std::string& what) : Error(what) {}
+    SnapshotError(const std::string& what, std::string path, std::size_t offset)
+        : Error(what + " [" + (path.empty() ? std::string("<memory>") : path) + " @ byte " +
+                std::to_string(offset) + "]"),
+          path_(std::move(path)),
+          offset_(offset) {}
+
+    /// Source file, empty for in-memory blobs.
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    /// Byte offset (into the framed blob) where validation failed.
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::string path_;
+    std::size_t offset_ = 0;
 };
 
 /// Current snapshot format version. Bump on any payload layout change;
@@ -40,12 +57,20 @@ public:
 /// caches, not archival data — no migration machinery).
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
+/// Framed-header size: magic + version + payload size + checksum. Payload
+/// byte i sits at blob offset kSnapshotHeaderSize + i, which is how
+/// payload decode errors are rebased into whole-blob offsets.
+inline constexpr std::size_t kSnapshotHeaderSize = 8 + 4 + 8 + 8;
+
 /// Frame a payload: prepend magic, version, size, and checksum.
 [[nodiscard]] std::string seal_snapshot(std::string payload);
 
 /// Validate the frame and return a view of the payload inside `blob`.
-/// Throws SnapshotError on any header or integrity violation.
-[[nodiscard]] std::string_view open_snapshot(std::string_view blob);
+/// Throws SnapshotError on any header or integrity violation; `source`
+/// (the originating file path, empty for in-memory blobs) is threaded
+/// into the error for diagnosability.
+[[nodiscard]] std::string_view open_snapshot(std::string_view blob,
+                                             std::string_view source = {});
 
 /// Corpus record codec (records only; thaw_corpus reindexes, which is
 /// cheap — id maps and platform bindings, no text analysis).

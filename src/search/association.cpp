@@ -4,6 +4,8 @@
 #include <chrono>
 #include <set>
 
+#include "util/fault.hpp"
+
 namespace cybok::search {
 
 namespace {
@@ -174,13 +176,42 @@ void Associator::run_tasks(std::vector<Task>& tasks, const FilterChain* chain) {
             const std::vector<std::string> tokens = SearchEngine::attribute_tokens(*task.attr);
             local.timings.analyze_ns += ns_since(analyze_start);
             const std::string key = cache_key(options_signature_, *task.attr, tokens);
-            if (std::optional<std::vector<Match>> hit = cache_.get(key, *task.component)) {
+            // Degradation contract: a failing cache get is a miss, a
+            // failing recompute is retried once (then propagates typed),
+            // a failing cache put skips caching. Every absorbed failure
+            // is counted, so results never silently change shape.
+            std::optional<std::vector<Match>> hit;
+            try {
+                hit = cache_.get(key, *task.component);
+            } catch (const Error& e) {
+                ++local.degrade.cache_recoveries;
+                local.degrade.last_reason = e.what();
+            }
+            if (hit.has_value()) {
                 ++local.cache_hits;
                 matches = std::move(*hit);
             } else {
                 ++local.cache_misses;
-                matches = engine_.query_attribute_tokens(*task.attr, tokens, &local);
-                cache_.put(key, matches, *task.component);
+                try {
+                    CYBOK_FAULT_POINT("search.assoc.recompute",
+                                      Error("injected: attribute recompute failed"));
+                    matches = engine_.query_attribute_tokens(*task.attr, tokens, &local);
+                } catch (const Error& e) {
+                    ++local.degrade.recompute_retries;
+                    local.degrade.last_reason = e.what();
+                    // The retry passes the same fault site: a persistent
+                    // failure (trigger "always") propagates typed out of
+                    // associate(); a transient one (nth:K) recovers here.
+                    CYBOK_FAULT_POINT("search.assoc.recompute",
+                                      Error("injected: attribute recompute failed twice"));
+                    matches = engine_.query_attribute_tokens(*task.attr, tokens, &local);
+                }
+                try {
+                    cache_.put(key, matches, *task.component);
+                } catch (const Error& e) {
+                    ++local.degrade.cache_recoveries;
+                    local.degrade.last_reason = e.what();
+                }
             }
         }
         if (chain != nullptr) {

@@ -11,6 +11,7 @@
 #include "kb/snapshot.hpp"
 #include "text/scratch.hpp"
 #include "text/tokenize.hpp"
+#include "util/fault.hpp"
 #include "util/fmt.hpp"
 #include "util/strings.hpp"
 
@@ -144,10 +145,12 @@ SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
         : options_.build_threads == 0 ? util::ThreadPool::default_thread_count()
                                       : options_.build_threads;
 
-    if (threads <= 1) {
-        // Sequential reference path: one fused tokenize-and-insert pass.
-        // The parallel path below must reproduce this bit for bit — the
-        // snapshot determinism test compares frozen blobs of both.
+    // Sequential reference path: one fused tokenize-and-insert pass. The
+    // parallel path below must reproduce this bit for bit — the snapshot
+    // determinism test compares frozen blobs of both — which is also what
+    // lets a failed parallel build fall back here without changing any
+    // result downstream.
+    const auto sequential_build = [&] {
         for (const kb::AttackPattern& p : corpus.patterns()) {
             pattern_index_.add_document();
             pattern_index_.add_terms(text::analyze(p.name), tw);
@@ -183,6 +186,10 @@ SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
             weakness_tfidf_.emplace(weakness_index_);
             vulnerability_tfidf_.emplace(vulnerability_index_);
         }
+    };
+
+    if (threads <= 1) {
+        sequential_build();
         build_metrics_.index_ns = ns_since(build_start);
     } else {
         // Parallel sharded build, two phases.
@@ -199,48 +206,71 @@ SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
         util::ThreadPool local_pool(pool != nullptr ? 1 : threads);
         util::ThreadPool& p = pool != nullptr ? *pool : local_pool;
 
-        const BuildPlan plan = make_build_plan(corpus, tw);
-        std::vector<std::vector<AnalyzedField>> analyzed(plan.docs.size());
+        try {
+            const BuildPlan plan = make_build_plan(corpus, tw);
+            std::vector<std::vector<AnalyzedField>> analyzed(plan.docs.size());
 
-        const Clock::time_point tok_start = Clock::now();
-        p.parallel_for(plan.docs.size(), [&](std::size_t i) {
-            const std::vector<FieldSource>& fields = plan.docs[i];
-            std::vector<AnalyzedField>& out = analyzed[i];
-            out.reserve(fields.size());
-            for (const FieldSource& f : fields)
-                out.push_back({text::analyze(*f.text), f.weight});
-        });
-        build_metrics_.tokenize_ns = ns_since(tok_start);
+            const Clock::time_point tok_start = Clock::now();
+            p.parallel_for(plan.docs.size(), [&](std::size_t i) {
+                CYBOK_FAULT_POINT("search.build.shard",
+                                  Error("injected: shard analyze failed"));
+                const std::vector<FieldSource>& fields = plan.docs[i];
+                std::vector<AnalyzedField>& out = analyzed[i];
+                out.reserve(fields.size());
+                for (const FieldSource& f : fields)
+                    out.push_back({text::analyze(*f.text), f.weight});
+            });
+            build_metrics_.tokenize_ns = ns_since(tok_start);
 
-        const Clock::time_point idx_start = Clock::now();
-        std::array<text::InvertedIndex*, 3> lane_index = {&pattern_index_, &weakness_index_,
-                                                          &vulnerability_index_};
-        const bool bm25 = options_.ranker == EngineOptions::Ranker::Bm25;
-        p.parallel_for(3, [&](std::size_t lane) {
-            text::InvertedIndex& index = *lane_index[lane];
-            const std::size_t begin = plan.lane_begin[lane];
-            for (std::size_t d = 0; d < plan.lane_count[lane]; ++d) {
-                index.add_document();
-                for (const AnalyzedField& f : analyzed[begin + d])
-                    index.add_terms(f.tokens, f.weight);
-            }
-            index.finalize();
-            switch (lane) {
-                case 0:
-                    bm25 ? void(pattern_bm25_.emplace(index))
-                         : void(pattern_tfidf_.emplace(index));
-                    break;
-                case 1:
-                    bm25 ? void(weakness_bm25_.emplace(index))
-                         : void(weakness_tfidf_.emplace(index));
-                    break;
-                default:
-                    bm25 ? void(vulnerability_bm25_.emplace(index))
-                         : void(vulnerability_tfidf_.emplace(index));
-                    break;
-            }
-        });
-        build_metrics_.index_ns = ns_since(idx_start);
+            const Clock::time_point idx_start = Clock::now();
+            std::array<text::InvertedIndex*, 3> lane_index = {&pattern_index_, &weakness_index_,
+                                                              &vulnerability_index_};
+            const bool bm25 = options_.ranker == EngineOptions::Ranker::Bm25;
+            p.parallel_for(3, [&](std::size_t lane) {
+                text::InvertedIndex& index = *lane_index[lane];
+                const std::size_t begin = plan.lane_begin[lane];
+                for (std::size_t d = 0; d < plan.lane_count[lane]; ++d) {
+                    index.add_document();
+                    for (const AnalyzedField& f : analyzed[begin + d])
+                        index.add_terms(f.tokens, f.weight);
+                }
+                index.finalize();
+                switch (lane) {
+                    case 0:
+                        bm25 ? void(pattern_bm25_.emplace(index))
+                             : void(pattern_tfidf_.emplace(index));
+                        break;
+                    case 1:
+                        bm25 ? void(weakness_bm25_.emplace(index))
+                             : void(weakness_tfidf_.emplace(index));
+                        break;
+                    default:
+                        bm25 ? void(vulnerability_bm25_.emplace(index))
+                             : void(vulnerability_tfidf_.emplace(index));
+                        break;
+                }
+            });
+            build_metrics_.index_ns = ns_since(idx_start);
+        } catch (const Error&) {
+            // A failed lane leaves partially filled indexes behind. Reset
+            // everything and run the bit-identical sequential reference
+            // build, so a transient shard failure degrades to a slower
+            // cold start instead of a failed or corrupted engine.
+            pattern_index_ = text::InvertedIndex();
+            weakness_index_ = text::InvertedIndex();
+            vulnerability_index_ = text::InvertedIndex();
+            pattern_bm25_.reset();
+            weakness_bm25_.reset();
+            vulnerability_bm25_.reset();
+            pattern_tfidf_.reset();
+            weakness_tfidf_.reset();
+            vulnerability_tfidf_.reset();
+            build_metrics_.parallel_fallback = true;
+            build_metrics_.tokenize_ns = 0;
+            const Clock::time_point seq_start = Clock::now();
+            sequential_build();
+            build_metrics_.index_ns = ns_since(seq_start);
+        }
     }
 
     build_metrics_.wall_ns = ns_since(build_start);
@@ -505,15 +535,25 @@ std::string freeze_engine(const SearchEngine& engine) {
     return kb::seal_snapshot(std::move(w).take());
 }
 
-EngineSnapshot thaw_engine(std::string_view blob) {
-    const std::string_view payload = kb::open_snapshot(blob);
+EngineSnapshot thaw_engine(std::string_view blob, std::string_view source) {
+    const std::string_view payload = kb::open_snapshot(blob, source);
     util::ByteReader r(payload);
     EngineSnapshot snap;
-    snap.corpus = std::make_unique<kb::Corpus>(kb::thaw_corpus(r));
-    snap.engine = SearchEngine::thaw(*snap.corpus, r);
+    try {
+        snap.corpus = std::make_unique<kb::Corpus>(kb::thaw_corpus(r));
+        snap.engine = SearchEngine::thaw(*snap.corpus, r);
+    } catch (const ParseError& e) {
+        // A ByteReader truncation mid-payload. Rebase its payload-relative
+        // offset into a whole-blob offset so the message pinpoints the
+        // corrupt byte in the file.
+        throw kb::SnapshotError(std::string("snapshot payload: ") + e.what(),
+                                std::string(source), kb::kSnapshotHeaderSize + e.offset());
+    }
     // The framing already checksum-verified the payload; leftover bytes
     // here mean a layout mismatch the version field should have caught.
-    if (!r.done()) throw kb::SnapshotError("snapshot payload has trailing engine bytes");
+    if (!r.done())
+        throw kb::SnapshotError("snapshot payload has trailing engine bytes",
+                                std::string(source), kb::kSnapshotHeaderSize + r.position());
     return snap;
 }
 
@@ -522,7 +562,7 @@ void save_engine_snapshot(const SearchEngine& engine, const std::string& path) {
 }
 
 EngineSnapshot load_engine_snapshot(const std::string& path) {
-    return thaw_engine(util::read_file(path));
+    return thaw_engine(util::read_file(path), path);
 }
 
 std::string SearchEngine::explain(const model::Attribute& attr, const Match& match) const {

@@ -215,8 +215,11 @@ struct EngineSnapshot {
 
 /// Open a snapshot blob and reconstruct the corpus and engine. Throws
 /// kb::SnapshotError for framing problems (bad magic/version/truncation/
-/// checksum) and util::ValidationError/ParseError for malformed payloads.
-[[nodiscard]] EngineSnapshot thaw_engine(std::string_view blob);
+/// checksum) — carrying `source` (originating file path, empty for
+/// in-memory blobs) and the byte offset — and util::ValidationError for
+/// malformed payload contents; payload decode truncations are rebased
+/// into whole-blob offsets and rethrown as SnapshotError.
+[[nodiscard]] EngineSnapshot thaw_engine(std::string_view blob, std::string_view source = {});
 
 /// freeze_engine + write to `path` (atomic-enough: write then rename is
 /// overkill for a cache file; plain overwrite). Throws util::IoError.

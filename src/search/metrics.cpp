@@ -17,6 +17,26 @@ void LintCounts::merge(const LintCounts& other) noexcept {
     if (other.ran()) *this = other;
 }
 
+void DegradeCounts::merge(const DegradeCounts& other) {
+    snapshot_fallbacks += other.snapshot_fallbacks;
+    snapshot_save_failures += other.snapshot_save_failures;
+    cache_recoveries += other.cache_recoveries;
+    recompute_retries += other.recompute_retries;
+    records_skipped += other.records_skipped;
+    if (!other.last_reason.empty()) last_reason = other.last_reason;
+}
+
+json::Value DegradeCounts::to_json() const {
+    json::Object o;
+    o["snapshot_fallbacks"] = static_cast<std::uint64_t>(snapshot_fallbacks);
+    o["snapshot_save_failures"] = static_cast<std::uint64_t>(snapshot_save_failures);
+    o["cache_recoveries"] = static_cast<std::uint64_t>(cache_recoveries);
+    o["recompute_retries"] = static_cast<std::uint64_t>(recompute_retries);
+    o["records_skipped"] = static_cast<std::uint64_t>(records_skipped);
+    if (!last_reason.empty()) o["last_reason"] = json::Value(last_reason);
+    return json::Value(std::move(o));
+}
+
 json::Value LintCounts::to_json() const {
     json::Object o;
     o["rules_run"] = static_cast<std::uint64_t>(rules_run);
@@ -27,7 +47,7 @@ json::Value LintCounts::to_json() const {
     return json::Value(std::move(o));
 }
 
-void AssocMetrics::merge(const AssocMetrics& other) noexcept {
+void AssocMetrics::merge(const AssocMetrics& other) {
     components += other.components;
     attributes += other.attributes;
     queries_run += other.queries_run;
@@ -45,6 +65,7 @@ void AssocMetrics::merge(const AssocMetrics& other) noexcept {
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
     lint.merge(other.lint);
+    degrade.merge(other.degrade);
     // Build happened once, before any run: adopt whichever side saw it.
     if (build.wall_ns == 0) build = other.build;
 }
@@ -66,6 +87,7 @@ json::Value BuildMetrics::to_json() const {
     o["docs"] = static_cast<std::uint64_t>(docs);
     o["threads"] = static_cast<std::uint64_t>(threads);
     o["from_snapshot"] = json::Value(from_snapshot);
+    o["parallel_fallback"] = json::Value(parallel_fallback);
     return json::Value(std::move(o));
 }
 
@@ -85,10 +107,17 @@ std::string AssocMetrics::summary() const {
         << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
         << ms(timings.binding_ns) << ", filter " << ms(timings.filter_ns) << ", wall "
         << ms(timings.wall_ns);
-    if (build.wall_ns > 0)
+    if (build.wall_ns > 0) {
         out << "; engine " << (build.from_snapshot ? "thawed from snapshot" : "built") << " in "
             << ms(build.wall_ns) << " ms (" << build.docs << " docs, " << build.threads
             << " thread(s))";
+        if (build.parallel_fallback) out << " [sequential fallback]";
+    }
+    if (degrade.any())
+        out << "; degraded: " << degrade.snapshot_fallbacks << " snapshot fallbacks / "
+            << degrade.snapshot_save_failures << " save failures / " << degrade.cache_recoveries
+            << " cache recoveries / " << degrade.recompute_retries << " recompute retries / "
+            << degrade.records_skipped << " records skipped";
     if (lint.ran())
         out << "; lint " << lint.errors << " errors / " << lint.warnings << " warnings / "
             << lint.notes << " notes (" << lint.rules_run << " rules, " << ms(lint.wall_ns)
@@ -125,6 +154,7 @@ json::Value AssocMetrics::to_json() const {
     o["timings"] = std::move(t);
     o["build"] = build.to_json();
     if (lint.ran()) o["lint"] = lint.to_json();
+    if (degrade.any()) o["degrade"] = degrade.to_json();
     return json::Value(std::move(o));
 }
 

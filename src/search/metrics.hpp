@@ -40,7 +40,32 @@ struct BuildMetrics {
     std::size_t docs = 0;          ///< documents across the three indexes
     std::size_t threads = 1;       ///< lanes the build fanned out across
     bool from_snapshot = false;    ///< true when the engine was thawed, not built
+    /// The parallel sharded build failed (a lane threw); the engine reset
+    /// its indexes and re-ran the sequential reference build instead.
+    bool parallel_fallback = false;
 
+    [[nodiscard]] json::Value to_json() const;
+};
+
+/// Graceful-degradation events: every place the pipeline absorbed a typed
+/// failure and continued on a documented fallback path instead of
+/// crashing or silently producing different results. Zero everywhere on a
+/// healthy run; surfaced in the report's Diagnostics section (satellite of
+/// the fault-injection subsystem, see ARCHITECTURE.md §6).
+struct DegradeCounts {
+    std::size_t snapshot_fallbacks = 0;     ///< cold-start snapshot unusable -> fresh build
+    std::size_t snapshot_save_failures = 0; ///< snapshot write failed -> serve uncached
+    std::size_t cache_recoveries = 0;       ///< cache get/put failed -> recompute / skip caching
+    std::size_t recompute_retries = 0;      ///< attribute query retried after transient failure
+    std::size_t records_skipped = 0;        ///< corpus records dropped by lenient decode
+    std::string last_reason;                ///< most recent degradation's error text
+
+    [[nodiscard]] bool any() const noexcept {
+        return snapshot_fallbacks + snapshot_save_failures + cache_recoveries +
+                   recompute_retries + records_skipped >
+               0;
+    }
+    void merge(const DegradeCounts& other);
     [[nodiscard]] json::Value to_json() const;
 };
 
@@ -90,11 +115,12 @@ struct AssocMetrics {
     // -- execution shape -----------------------------------------------------
     std::size_t threads = 1; ///< lanes the run fanned out across
     StageTimings timings;
-    BuildMetrics build; ///< how the engine behind this run was constructed
-    LintCounts lint;    ///< diagnostics found by the session's lint pass
+    BuildMetrics build;    ///< how the engine behind this run was constructed
+    LintCounts lint;       ///< diagnostics found by the session's lint pass
+    DegradeCounts degrade; ///< absorbed failures + the fallback paths taken
 
     /// Fold `other` into this (cache/query counters add; threads maxes).
-    void merge(const AssocMetrics& other) noexcept;
+    void merge(const AssocMetrics& other);
 
     /// hits / (hits + misses); 0 when the cache saw no traffic.
     [[nodiscard]] double cache_hit_rate() const noexcept;

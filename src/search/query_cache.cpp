@@ -1,9 +1,14 @@
 #include "search/query_cache.hpp"
 
+#include "util/fault.hpp"
+
 namespace cybok::search {
 
 std::optional<std::vector<Match>> QueryCache::get(const std::string& key,
                                                   std::string_view component) {
+    // Models a poisoned or unreadable entry; the Associator treats the
+    // typed failure as a miss and recomputes.
+    CYBOK_FAULT_POINT("search.cache.get", Error("injected: cache get failed"));
     std::lock_guard<std::mutex> lk(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return std::nullopt;
@@ -13,6 +18,9 @@ std::optional<std::vector<Match>> QueryCache::get(const std::string& key,
 
 void QueryCache::put(const std::string& key, std::vector<Match> value,
                      std::string_view component) {
+    // Fires before any mutation, so a failed put never leaves a partial
+    // entry; the Associator returns the result uncached.
+    CYBOK_FAULT_POINT("search.cache.put", Error("injected: cache put failed"));
     std::lock_guard<std::mutex> lk(mutex_);
     auto [it, inserted] = entries_.try_emplace(key, std::move(value));
     if (!inserted) it->second = std::move(value);

@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/fault.hpp"
+
 namespace cybok::util {
 
 std::string read_file(const std::string& path) {
+    CYBOK_FAULT_POINT("util.bytes.read_file.open",
+                      IoError("injected: cannot open file for reading: " + path));
     // fopen/fread, not ifstream: one syscall-sized read into a pre-sized
     // buffer, no stream-buffer indirection, no intermediate copy.
     std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -33,12 +37,22 @@ std::string read_file(const std::string& path) {
         throw IoError("read failed: " + path);
     }
     std::fclose(f);
+    CYBOK_FAULT_POINT("util.bytes.read_file.read", IoError("injected: read failed: " + path));
     return out;
 }
 
 void write_file(const std::string& path, std::string_view bytes) {
+    CYBOK_FAULT_POINT("util.bytes.write_file.open",
+                      IoError("injected: cannot open file for writing: " + path));
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) throw IoError("cannot open file for writing: " + path);
+    if (fault_should_fire("util.bytes.write_file.write")) {
+        // Model a device-full partial write: close with only a prefix on
+        // disk, so downstream framing checks must reject the truncated file.
+        if (!bytes.empty()) (void)std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+        std::fclose(f);
+        throw IoError("injected: short write: " + path);
+    }
     const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
     const bool flushed = std::fflush(f) == 0;
     std::fclose(f);

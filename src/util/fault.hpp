@@ -1,0 +1,170 @@
+// Deterministic, zero-overhead-when-disabled fault injection.
+//
+// Production failure surfaces (file IO, snapshot framing, parser entry
+// points, the sharded engine build, query-cache access, session cold-start)
+// register *named sites* via CYBOK_FAULT_POINT. In normal operation a site
+// costs one relaxed atomic load and a never-taken branch; the injector is
+// compiled in unconditionally so release binaries can be fault-tested
+// without a rebuild (`cybok --fault-spec ...`).
+//
+// When armed, a site consults its trigger on every hit:
+//
+//   Always       — fire on every hit.
+//   Nth          — fire on exactly the nth hit (1-based), once.
+//   Probability  — fire on each hit with probability p. The decision is a
+//                  pure function of (seed, site name, hit index): no RNG
+//                  state is shared between hits, so the *set* of fired hit
+//                  indices is reproducible even when hits race across
+//                  threads (which hit a racing thread observes may vary,
+//                  but re-running with the same seed explores the same
+//                  fault surface).
+//
+// Firing throws whatever typed error the call site names — the same
+// exception type the real failure would produce — so the recovery paths
+// exercised by tests are the production ones. See ARCHITECTURE.md §6 for
+// the site table and per-site degradation contract.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cybok::util {
+
+/// How an armed site decides whether a given hit fires.
+struct FaultTrigger {
+    enum class Kind { Always, Nth, Probability };
+    Kind kind = Kind::Always;
+    std::uint64_t nth = 1;    ///< 1-based hit index (Kind::Nth)
+    double probability = 0.0; ///< per-hit fire probability (Kind::Probability)
+
+    [[nodiscard]] static FaultTrigger always() { return {}; }
+    [[nodiscard]] static FaultTrigger on_nth_hit(std::uint64_t n);
+    [[nodiscard]] static FaultTrigger with_probability(double p);
+};
+
+/// Per-site observation counters, as returned by FaultInjector::report().
+struct FaultSiteReport {
+    std::string site;
+    FaultTrigger trigger;
+    std::uint64_t hits = 0;  ///< times the site was evaluated while armed
+    std::uint64_t fires = 0; ///< times it threw
+};
+
+namespace detail {
+/// Global enable flag. True iff at least one site is armed. Read on every
+/// CYBOK_FAULT_POINT with memory_order_relaxed; the disabled fast path is
+/// exactly this load plus an [[unlikely]] branch.
+extern std::atomic<bool> g_fault_enabled;
+} // namespace detail
+
+[[nodiscard]] inline bool fault_enabled() noexcept {
+    return detail::g_fault_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide registry of armed fault sites. Thread-safe. Tests arm it
+/// directly (or via FaultScope); the CLI arms it from --fault-spec.
+class FaultInjector {
+public:
+    /// The singleton. Construction is thread-safe (Meyers).
+    [[nodiscard]] static FaultInjector& instance();
+
+    /// Seed for Probability triggers. Changing it resets hit counters so a
+    /// sweep over seeds replays each site's hit sequence from index 0.
+    void set_seed(std::uint64_t seed);
+    [[nodiscard]] std::uint64_t seed() const;
+
+    /// Arm `site` with `trigger`. Replaces any existing trigger and resets
+    /// that site's counters. Throws ValidationError on a bad trigger
+    /// (nth == 0, probability outside [0, 1]).
+    void arm(std::string_view site, FaultTrigger trigger);
+
+    /// Arm from a spec string, the --fault-spec grammar:
+    ///
+    ///   spec    := entry (';' entry)*
+    ///   entry   := 'seed=' UINT | site | site '=' trigger
+    ///   trigger := 'always' | 'nth:' UINT | 'p:' FLOAT
+    ///
+    /// A bare site arms Always. Example:
+    ///   "seed=7;kb.snapshot.open;search.cache.get=p:0.25;util.json.parse=nth:3"
+    /// Throws ValidationError on malformed input.
+    void arm_spec(std::string_view spec);
+
+    /// Disarm one site (keeps its counters in the report until reset()).
+    void disarm(std::string_view site);
+
+    /// Disarm everything, clear counters, restore the default seed.
+    void reset();
+
+    /// Called by CYBOK_FAULT_POINT when the injector is enabled. Counts
+    /// the hit and returns true when the armed trigger fires. Unarmed
+    /// sites return false (and are not tracked: counters exist only for
+    /// armed sites, so the disabled path stays free of bookkeeping).
+    [[nodiscard]] bool on_hit(std::string_view site);
+
+    /// Snapshot of every armed site's trigger and counters, sorted by
+    /// site name for deterministic output.
+    [[nodiscard]] std::vector<FaultSiteReport> report() const;
+
+private:
+    FaultInjector() = default;
+    struct SiteState {
+        FaultTrigger trigger;
+        std::uint64_t hits = 0;
+        std::uint64_t fires = 0;
+    };
+    void refresh_enabled_locked();
+
+    mutable std::mutex mutex_;
+    std::uint64_t seed_ = 0;
+    // Sorted vector keyed by site name: a handful of armed sites at most,
+    // and on_hit runs under the mutex anyway.
+    std::vector<std::pair<std::string, SiteState>> sites_;
+};
+
+/// True when `site` is armed and its trigger fires for this hit. For call
+/// sites that need cleanup before throwing (the macro throws in-place).
+[[nodiscard]] bool fault_should_fire(std::string_view site);
+
+/// RAII helper for tests: arms a spec on construction, resets the whole
+/// injector on destruction so suites cannot leak armed sites.
+class FaultScope {
+public:
+    explicit FaultScope(std::string_view spec);
+    ~FaultScope();
+    FaultScope(const FaultScope&) = delete;
+    FaultScope& operator=(const FaultScope&) = delete;
+};
+
+/// A registered fault site: name, the typed error it throws, and the
+/// documented degradation. Drives the ARCHITECTURE.md table and the
+/// per-site reachability tests (every entry must have a firing test).
+struct FaultSiteInfo {
+    std::string_view site;
+    std::string_view throws_type;
+    std::string_view degradation;
+};
+
+/// The full site registry. Kept in one place so tests can assert coverage.
+[[nodiscard]] const std::vector<FaultSiteInfo>& known_fault_sites();
+
+} // namespace cybok::util
+
+/// Declare a fault site. `...` is the exception to throw when the site
+/// fires — construct it in-place so the disabled path never evaluates the
+/// arguments:
+///
+///   CYBOK_FAULT_POINT("util.bytes.read_file.open",
+///                     IoError("injected: cannot open: " + path));
+#define CYBOK_FAULT_POINT(site, ...)                                          \
+    do {                                                                      \
+        if (::cybok::util::fault_enabled()) [[unlikely]] {                    \
+            if (::cybok::util::FaultInjector::instance().on_hit(site))        \
+                throw __VA_ARGS__;                                            \
+        }                                                                     \
+    } while (false)

@@ -5,8 +5,16 @@
 #include <fstream>
 
 #include "util/bytes.hpp"
+#include "util/fault.hpp"
 
 namespace cybok::json {
+
+namespace {
+/// Containers may nest at most this deep. The recursive-descent parser
+/// spends a stack frame per level, so an adversarial "[[[[..." document
+/// would otherwise overflow the stack instead of raising a typed error.
+constexpr int kMaxParseDepth = 192;
+} // namespace
 
 bool Value::as_bool() const {
     if (const bool* b = std::get_if<bool>(&data_)) return *b;
@@ -139,8 +147,20 @@ private:
 
     Value parse_value() {
         switch (peek()) {
-            case '{': return parse_object();
-            case '[': return parse_array();
+            case '{': {
+                if (depth_ >= kMaxParseDepth) fail("JSON nesting too deep");
+                ++depth_;
+                Value v = parse_object();
+                --depth_;
+                return v;
+            }
+            case '[': {
+                if (depth_ >= kMaxParseDepth) fail("JSON nesting too deep");
+                ++depth_;
+                Value v = parse_array();
+                --depth_;
+                return v;
+            }
             case '"': return Value(parse_string());
             case 't': expect_literal("true"); return Value(true);
             case 'f': expect_literal("false"); return Value(false);
@@ -314,6 +334,7 @@ private:
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 void write_escaped(std::string& out, std::string_view s) {
@@ -412,7 +433,10 @@ void dump_impl(const Value& v, std::string& out, int indent, int depth) {
 
 } // namespace
 
-Value parse(std::string_view text) { return Parser(text).parse_document(); }
+Value parse(std::string_view text) {
+    CYBOK_FAULT_POINT("util.json.parse", ParseError("injected: json parse failure", 0));
+    return Parser(text).parse_document();
+}
 
 std::string dump(const Value& v, int indent) {
     std::string out;

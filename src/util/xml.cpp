@@ -1,5 +1,7 @@
 #include "util/xml.hpp"
 
+#include "util/fault.hpp"
+
 namespace cybok::xml {
 
 std::string Node::attr(std::string_view key, std::string_view fallback) const {
@@ -43,6 +45,9 @@ std::string escape(std::string_view s) {
 
 namespace {
 
+/// Elements may nest at most this deep (see json.cpp's kMaxParseDepth).
+constexpr int kMaxParseDepth = 192;
+
 std::string unescape(std::string_view s) {
     std::string out;
     out.reserve(s.size());
@@ -60,10 +65,23 @@ std::string unescape(std::string_view s) {
         else if (ent == "quot") out.push_back('"');
         else if (ent == "apos") out.push_back('\'');
         else if (!ent.empty() && ent[0] == '#') {
-            int cp = std::stoi(std::string(ent.substr(ent.size() > 1 && ent[1] == 'x' ? 2 : 1)),
-                               nullptr, ent.size() > 1 && ent[1] == 'x' ? 16 : 10);
-            if (cp < 0x80) out.push_back(static_cast<char>(cp));
-            else throw ParseError("non-ASCII character reference unsupported", i);
+            // Hand-rolled digits so malformed references ("&#;", "&#xzz;",
+            // overlong values) raise typed ParseError rather than the
+            // untyped std::invalid_argument/out_of_range that stoi throws.
+            const bool hex = ent.size() > 1 && ent[1] == 'x';
+            const std::string_view digits = ent.substr(hex ? 2 : 1);
+            if (digits.empty()) throw ParseError("empty character reference", i);
+            unsigned cp = 0;
+            for (char d : digits) {
+                unsigned v;
+                if (d >= '0' && d <= '9') v = static_cast<unsigned>(d - '0');
+                else if (hex && d >= 'a' && d <= 'f') v = static_cast<unsigned>(d - 'a' + 10);
+                else if (hex && d >= 'A' && d <= 'F') v = static_cast<unsigned>(d - 'A' + 10);
+                else throw ParseError("invalid character reference", i);
+                cp = cp * (hex ? 16u : 10u) + v;
+                if (cp >= 0x80) throw ParseError("non-ASCII character reference unsupported", i);
+            }
+            out.push_back(static_cast<char>(cp));
         } else {
             throw ParseError("unknown XML entity: " + std::string(ent), i);
         }
@@ -184,7 +202,12 @@ private:
                 return node;
             }
             if (text_[pos_] == '<') {
+                // One stack frame per nesting level: cap it so adversarial
+                // "<a><a><a>..." input errors out instead of overflowing.
+                if (depth_ >= kMaxParseDepth) throw ParseError("XML nesting too deep", pos_);
+                ++depth_;
                 node.children.push_back(parse_element());
+                --depth_;
                 continue;
             }
             std::size_t start = pos_;
@@ -195,10 +218,14 @@ private:
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace
 
-Node parse(std::string_view text) { return Parser(text).parse_document(); }
+Node parse(std::string_view text) {
+    CYBOK_FAULT_POINT("util.xml.parse", ParseError("injected: xml parse failure", 0));
+    return Parser(text).parse_document();
+}
 
 } // namespace cybok::xml

@@ -1,0 +1,252 @@
+// The differential oracle harness, swept across seeds and fault matrices
+// (ctest label: soak). Three oracles from the fault-injection design:
+//
+//   (a) kernel vs reference scorer — query_kernel() must reproduce the
+//       reference query() hit for hit under every gate configuration,
+//   (b) parallel vs sequential build — the frozen engine blob must be
+//       byte-identical whether the sharded build succeeded or a fault
+//       forced the sequential fallback, and the blob must survive a
+//       freeze -> thaw -> freeze round trip unchanged,
+//   (c) fault-armed session vs fault-free baseline — with an aggressive
+//       probabilistic fault matrix armed over snapshot IO, cache access,
+//       and recompute, the association map must stay byte-identical to
+//       the clean run (degradation is transparent, never lossy).
+//
+// Each seed replays a *different* reproducible fault surface (the
+// probability trigger is a pure function of seed, site, and hit index),
+// so the sweep explores many distinct failure interleavings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "kb/serialize.hpp"
+#include "search/association.hpp"
+#include "search/engine.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/model_gen.hpp"
+#include "text/index.hpp"
+#include "text/scratch.hpp"
+#include "text/tokenize.hpp"
+#include "util/bytes.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+using namespace cybok;
+
+namespace {
+
+const kb::Corpus& soak_corpus() {
+    static const kb::Corpus corpus =
+        synth::generate_corpus(synth::CorpusProfile::scaled(0.05, 42));
+    return corpus;
+}
+
+model::SystemModel soak_model() {
+    synth::ModelGenConfig cfg;
+    cfg.seed = 17;
+    cfg.components = 20;
+    return synth::generate_model(cfg);
+}
+
+std::string fingerprint(const search::AssociationMap& map) {
+    std::ostringstream out;
+    out << std::hexfloat;
+    for (const search::ComponentAssociation& c : map.components) {
+        out << "C " << c.component << '\n';
+        for (const search::AttributeAssociation& a : c.attributes) {
+            out << " A " << a.attribute_name << '=' << a.attribute_value << '\n';
+            for (const search::Match& m : a.matches) {
+                out << "  M " << static_cast<int>(m.cls) << ' ' << m.corpus_index << ' '
+                    << m.id << ' ' << m.score << ' ' << static_cast<int>(m.via) << ' '
+                    << m.severity;
+                for (const std::string& e : m.evidence) out << ' ' << e;
+                out << '\n';
+            }
+        }
+    }
+    return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+    std::string p = testing::TempDir() + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+const std::string& baseline_fingerprint() {
+    static const std::string fp = [] {
+        search::SearchEngine engine(soak_corpus(), {});
+        search::AssocOptions opts;
+        opts.threads = 4;
+        search::Associator assoc(engine, opts);
+        return fingerprint(assoc.associate(soak_model()));
+    }();
+    return fp;
+}
+
+/// The sequential-reference frozen blob every build variant must equal.
+const std::string& reference_blob() {
+    static const std::string blob = [] {
+        search::EngineOptions opts;
+        opts.build_threads = 1;
+        const search::SearchEngine engine(soak_corpus(), opts);
+        return search::freeze_engine(engine);
+    }();
+    return blob;
+}
+
+// --- oracle (a) helpers, engine-side reference semantics -----------------
+
+text::InvertedIndex weakness_index(const kb::Corpus& corpus) {
+    text::InvertedIndex index;
+    for (const kb::Weakness& w : corpus.weaknesses()) {
+        index.add_document();
+        index.add_terms(text::analyze(w.name), 3.0f);
+        index.add_terms(text::analyze(w.description));
+        for (const std::string& c : w.consequences) index.add_terms(text::analyze(c));
+        for (const std::string& ap : w.applicable_platforms)
+            index.add_terms(text::analyze(ap));
+    }
+    index.finalize();
+    return index;
+}
+
+std::vector<text::Hit> reference_hits(const std::vector<text::Hit>& raw,
+                                      const text::InvertedIndex& index,
+                                      const text::KernelOptions& opts) {
+    std::vector<text::Hit> out;
+    for (text::Hit h : raw) {
+        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
+                              h.matched_terms.end());
+        double evidence = 0.0;
+        for (text::TermId t : h.matched_terms) evidence += index.idf(t);
+        if (evidence < opts.min_evidence_idf) continue;
+        out.push_back(std::move(h));
+    }
+    if (opts.top_k > 0 && out.size() > opts.top_k) out.resize(opts.top_k);
+    return out;
+}
+
+} // namespace
+
+/// One instantiation per fault seed; 16 seeds in the sweep.
+class FaultMatrixSoak : public ::testing::TestWithParam<int> {};
+
+// --------------------------------------------------- (a) kernel oracle
+
+TEST_P(FaultMatrixSoak, KernelMatchesReferenceScorer) {
+    static const text::InvertedIndex index = weakness_index(soak_corpus());
+    const text::Bm25Scorer scorer(index);
+    text::QueryScratch scratch;
+
+    Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+    const text::KernelOptions configs[] = {
+        {0, 0.0, true}, {0, 2.0, true}, {5, 2.0, true}, {1, 0.0, false},
+    };
+    for (int q = 0; q < 20; ++q) {
+        std::vector<std::string> tokens;
+        const std::size_t len = rng.uniform(1, 9);
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto t = static_cast<text::TermId>(rng.uniform(0, index.term_count() - 1));
+            tokens.push_back(index.vocabulary().term(t));
+        }
+        const std::vector<text::Hit> raw = scorer.query(tokens);
+        for (const text::KernelOptions& opts : configs) {
+            const std::vector<text::Hit> kernel = scorer.query_kernel(tokens, scratch, opts);
+            const std::vector<text::Hit> ref = reference_hits(raw, index, opts);
+            ASSERT_EQ(kernel.size(), ref.size());
+            for (std::size_t i = 0; i < kernel.size(); ++i) {
+                EXPECT_EQ(kernel[i].doc, ref[i].doc);
+                EXPECT_NEAR(kernel[i].score, ref[i].score, 1e-9);
+                EXPECT_EQ(kernel[i].matched_terms, ref[i].matched_terms);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- (b) build oracle
+
+TEST_P(FaultMatrixSoak, BuildIdentityUnderShardFaults) {
+    // p:0.5 per shard hit: depending on the seed the parallel build either
+    // survives or takes the sequential fallback — both must freeze to the
+    // reference blob, and the blob must round-trip through thaw unchanged.
+    util::FaultScope scope("seed=" + std::to_string(GetParam()) +
+                           ";search.build.shard=p:0.5");
+    search::EngineOptions opts;
+    opts.build_threads = 4;
+    const search::SearchEngine engine(soak_corpus(), opts);
+    const std::string blob = search::freeze_engine(engine);
+    EXPECT_EQ(blob, reference_blob());
+
+    const search::EngineSnapshot thawed = search::thaw_engine(blob);
+    EXPECT_EQ(search::freeze_engine(*thawed.engine), blob);
+}
+
+// ------------------------------------------------ (b') serialize oracle
+
+TEST_P(FaultMatrixSoak, LenientDecodeSkipsExactlyTheFiredRecords) {
+    static const json::Value doc = kb::to_json(soak_corpus());
+    const std::size_t total = soak_corpus().patterns().size() +
+                              soak_corpus().weaknesses().size() +
+                              soak_corpus().vulnerabilities().size();
+    util::FaultScope scope("seed=" + std::to_string(GetParam()) +
+                           ";kb.serialize.record=p:0.1");
+    std::vector<kb::RecordDiagnostic> diags;
+    const kb::Corpus decoded = kb::corpus_from_json(doc, &diags);
+    const std::size_t kept = decoded.patterns().size() + decoded.weaknesses().size() +
+                             decoded.vulnerabilities().size();
+    // Conservation: every record either decoded or produced a diagnostic.
+    EXPECT_EQ(kept + diags.size(), total);
+    EXPECT_TRUE(decoded.indexed());
+    for (const kb::RecordDiagnostic& d : diags)
+        EXPECT_NE(d.error.find("injected"), std::string::npos);
+}
+
+// -------------------------------------------------- (c) session oracle
+
+TEST_P(FaultMatrixSoak, SessionMatchesBaselineUnderFaultMatrix) {
+    const int seed = GetParam();
+    const std::string path =
+        temp_path("fault_matrix_" + std::to_string(seed) + ".snap");
+    core::SessionOptions opts;
+    opts.snapshot_path = path;
+    { core::AnalysisSession warm(soak_model(), soak_corpus(), opts); } // seed the cache
+
+    // The matrix: every degradable site a session crosses, armed at once.
+    // Recompute uses nth (fires exactly once) because its contract is
+    // retry-once — a second probabilistic failure would rightly propagate.
+    const std::string spec =
+        "seed=" + std::to_string(seed) +
+        ";kb.snapshot.open=p:0.5"
+        ";session.cold_start.load=p:0.3"
+        ";session.cold_start.save=p:0.3"
+        ";util.bytes.read_file.open=p:0.2"
+        ";util.bytes.write_file.write=p:0.2"
+        ";search.cache.get=p:0.3"
+        ";search.cache.put=p:0.3"
+        ";search.assoc.recompute=nth:" + std::to_string(seed % 5 + 1);
+    util::FaultScope scope(spec);
+
+    core::AnalysisSession session(soak_model(), soak_corpus(), opts);
+    EXPECT_EQ(fingerprint(session.associations()), baseline_fingerprint());
+
+    // Counter consistency: every task resolved as exactly one hit or miss.
+    const search::AssocMetrics m = session.assoc_metrics();
+    std::size_t tasks = 0;
+    const model::SystemModel counted = soak_model();
+    for (const model::Component& c : counted.components()) {
+        if (!c.id.valid()) continue;
+        for (const model::Attribute& a : c.attributes)
+            if (a.kind != model::AttributeKind::Parameter) ++tasks;
+    }
+    EXPECT_EQ(m.cache_hits + m.cache_misses, tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, FaultMatrixSoak, ::testing::Range(0, 16));

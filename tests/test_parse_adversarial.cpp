@@ -1,0 +1,141 @@
+// Adversarial inputs for the two text parsers. Every case must produce a
+// typed ParseError (never a crash, hang, or uncaught std:: exception) —
+// the CI ASan job runs these to prove no adversarial document reaches
+// undefined behavior. The deep-nesting cases pin the recursion guard:
+// kMaxParseDepth in json.cpp/xml.cpp bounds the stack instead of letting
+// a hostile document overflow it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+#include "util/xml.hpp"
+
+using namespace cybok;
+
+namespace {
+
+std::string repeat(const char* unit, std::size_t n) {
+    std::string out;
+    out.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) out += unit;
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonAdversarial, TruncatedDocumentsThrowTyped) {
+    for (const char* doc : {"", "{", "[", "[1,", "{\"k\":", "{\"k\"", "tru", "nul",
+                            "-", "\"abc", "[1, 2", "{\"a\": 1,"}) {
+        EXPECT_THROW((void)json::parse(doc), ParseError) << "doc: " << doc;
+    }
+}
+
+TEST(JsonAdversarial, UnterminatedStringsThrowTyped) {
+    EXPECT_THROW((void)json::parse("\"never closed"), ParseError);
+    EXPECT_THROW((void)json::parse("\"trailing backslash\\"), ParseError);
+    EXPECT_THROW((void)json::parse("\"bad escape \\q\""), ParseError);
+    EXPECT_THROW((void)json::parse("\"short unicode \\u12\""), ParseError);
+    EXPECT_THROW((void)json::parse("\"bad unicode \\uZZZZ\""), ParseError);
+}
+
+TEST(JsonAdversarial, DeepNestingIsBoundedNotStackOverflow) {
+    // Just inside the guard: parses fine.
+    const std::string ok = repeat("[", 150) + "1" + repeat("]", 150);
+    EXPECT_TRUE(json::parse(ok).is_array());
+    // Far beyond the guard: a typed error, not a blown stack. 100k frames
+    // of unguarded recursion would overflow long before returning.
+    const std::string arrays = repeat("[", 100000);
+    EXPECT_THROW((void)json::parse(arrays), ParseError);
+    const std::string objects = repeat("{\"k\":", 100000);
+    EXPECT_THROW((void)json::parse(objects), ParseError);
+    const std::string mixed = repeat("[{\"k\":", 50000);
+    EXPECT_THROW((void)json::parse(mixed), ParseError);
+}
+
+TEST(JsonAdversarial, ControlCharactersAndGarbageThrowTyped) {
+    EXPECT_THROW((void)json::parse("\"raw \x01 control\""), ParseError);
+    EXPECT_THROW((void)json::parse("{]}"), ParseError);
+    EXPECT_THROW((void)json::parse("[1 2]"), ParseError);
+    EXPECT_THROW((void)json::parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW((void)json::parse("[1] trailing"), ParseError);
+    EXPECT_THROW((void)json::parse("\xff\xfe\x00"), ParseError);
+}
+
+TEST(JsonAdversarial, ErrorsCarryByteOffsets) {
+    try {
+        (void)json::parse("[1, 2, !]");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.offset(), 7u);
+    }
+}
+
+// -------------------------------------------------------------------- XML
+
+TEST(XmlAdversarial, TruncatedDocumentsThrowTyped) {
+    for (const char* doc : {"", "<", "<a", "<a>", "<a><b></b>", "<a attr", "<a attr=",
+                            "<a attr=\"v", "<!--never closed", "<?xml version=\"1.0\""}) {
+        EXPECT_THROW((void)xml::parse(doc), ParseError) << "doc: " << doc;
+    }
+}
+
+TEST(XmlAdversarial, MismatchedAndMalformedTagsThrowTyped) {
+    EXPECT_THROW((void)xml::parse("<a></b>"), ParseError);
+    EXPECT_THROW((void)xml::parse("<a><b></a></b>"), ParseError);
+    EXPECT_THROW((void)xml::parse("</a>"), ParseError);
+    EXPECT_THROW((void)xml::parse("<a/><b/>"), ParseError); // two roots
+    EXPECT_THROW((void)xml::parse("text only"), ParseError);
+}
+
+TEST(XmlAdversarial, MalformedEntitiesThrowTypedNotStdExceptions) {
+    // These once reached std::stoi and escaped as std::invalid_argument /
+    // std::out_of_range — untyped crashes for any caller catching only
+    // cybok::Error. All must be ParseError now.
+    EXPECT_THROW((void)xml::parse("<a>&#;</a>"), ParseError);        // empty reference
+    EXPECT_THROW((void)xml::parse("<a>&#x;</a>"), ParseError);       // empty hex digits
+    EXPECT_THROW((void)xml::parse("<a>&#abc;</a>"), ParseError);     // non-digit
+    EXPECT_THROW((void)xml::parse("<a>&#xZZ;</a>"), ParseError);     // non-hex digit
+    EXPECT_THROW((void)xml::parse("<a>&#99999999999999999999;</a>"), ParseError); // overflow
+    EXPECT_THROW((void)xml::parse("<a>&#128;</a>"), ParseError);     // non-ASCII cp
+    EXPECT_THROW((void)xml::parse("<a>&bogus;</a>"), ParseError);    // unknown entity
+    EXPECT_THROW((void)xml::parse("<a>&amp</a>"), ParseError);       // unterminated
+}
+
+TEST(XmlAdversarial, ValidEntitiesStillDecode) {
+    const xml::Node n = xml::parse("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>");
+    EXPECT_EQ(n.text, "<>&\"'AB");
+}
+
+TEST(XmlAdversarial, DeepNestingIsBoundedNotStackOverflow) {
+    std::string ok;
+    for (int i = 0; i < 150; ++i) ok += "<e>";
+    ok += "x";
+    for (int i = 0; i < 150; ++i) ok += "</e>";
+    EXPECT_EQ(xml::parse(ok).name, "e");
+
+    std::string deep;
+    for (int i = 0; i < 100000; ++i) deep += "<e>";
+    EXPECT_THROW((void)xml::parse(deep), ParseError);
+}
+
+TEST(XmlAdversarial, MalformedAttributesThrowTyped) {
+    EXPECT_THROW((void)xml::parse("<a b=unquoted/>"), ParseError);
+    EXPECT_THROW((void)xml::parse("<a b=\"&#xZZ;\"/>"), ParseError); // entity in attr value
+    EXPECT_THROW((void)xml::parse("<a =\"v\"/>"), ParseError);       // empty attribute name
+    EXPECT_THROW((void)xml::parse("<a b\"v\"/>"), ParseError);       // missing '='
+}
+
+TEST(XmlAdversarial, ErrorsCarryByteOffsets) {
+    try {
+        (void)xml::parse("<a>padding&#;</a>");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        // unescape offsets are relative to the text span ("padding&#;"),
+        // where the bad reference starts at index 7.
+        EXPECT_EQ(e.offset(), 7u);
+    }
+}
