@@ -1,0 +1,236 @@
+// The serve layer under load: one shared engine generation serving many
+// concurrent client connections and sessions over real loopback sockets.
+// Preamble: a 64-session burst against the demo corpus (the acceptance
+// floor for the analysis-server milestone). Benchmarks: single-client
+// request latency (p50/p99 as counters), N-client query fan-in with QPS,
+// and session open/list/close churn — all end to end through framing,
+// the IO thread, the bounded queue, and the worker lanes.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace cybok;
+using cybok::bench::demo_corpus;
+
+namespace {
+
+/// One server per bench process, over the demo corpus + centrifuge base
+/// model; every benchmark talks to it over loopback TCP.
+struct BenchServer {
+    std::shared_ptr<const core::SharedEngine> engine;
+    std::unique_ptr<serve::Server> server;
+
+    BenchServer() {
+        engine = core::make_shared_engine(demo_corpus(), core::SessionOptions{});
+        serve::ServerOptions options;
+        options.queue_capacity = 8192; // measure service time, not shedding
+        options.registry.max_sessions = 8192;
+        server = std::make_unique<serve::Server>(engine, synth::centrifuge_model(), options);
+        server->start();
+    }
+    ~BenchServer() {
+        server->stop();
+        server->wait();
+    }
+};
+
+serve::Server& bench_server() {
+    static BenchServer holder;
+    return *holder.server;
+}
+
+serve::BlockingClient connect() {
+    return serve::BlockingClient("127.0.0.1", bench_server().port());
+}
+
+serve::Request query_request() {
+    serve::Request req;
+    req.type = serve::MsgType::Query;
+    req.text = "buffer overflow industrial control network";
+    req.limit = 5;
+    return req;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+    if (sorted_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+    return sorted_us[idx];
+}
+
+void set_latency_counters(benchmark::State& state, std::vector<double>& latencies_us,
+                          double elapsed_s) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    state.counters["p50_us"] = percentile(latencies_us, 0.50);
+    state.counters["p99_us"] = percentile(latencies_us, 0.99);
+    if (elapsed_s > 0.0)
+        state.counters["qps"] = static_cast<double>(latencies_us.size()) / elapsed_s;
+}
+
+void print_serve_preamble() {
+    serve::Server& server = bench_server();
+    std::printf("cybok-serve on 127.0.0.1:%u — 64-session burst (acceptance floor):\n",
+                server.port());
+    serve::BlockingClient client = connect();
+    serve::Request open;
+    open.type = serve::MsgType::SessionOpen;
+    for (int i = 0; i < 64; ++i) client.send(open);
+    std::size_t opened = 0;
+    for (int i = 0; i < 64; ++i)
+        if (client.receive().ok) ++opened;
+    serve::Request list;
+    list.type = serve::MsgType::SessionList;
+    const serve::Response listing = client.call(list);
+    std::printf("  opened %zu sessions, server lists %lld open (generation %lld)\n", opened,
+                static_cast<long long>(listing.body.get_int("count")),
+                static_cast<long long>(
+                    client.call([] { serve::Request r; r.type = serve::MsgType::Hello; return r; }())
+                        .body.get_int("generation")));
+    serve::Request close;
+    close.type = serve::MsgType::SessionClose;
+    for (int i = 1; i <= 64; ++i) {
+        close.session = "s-" + std::to_string(i);
+        (void)client.call(close);
+    }
+    std::printf("\n");
+}
+
+/// Single client, serial requests: the per-request floor through the full
+/// stack (frame, queue, lane, engine query, response frame).
+void BM_ServeQueryLatencySingleClient(benchmark::State& state) {
+    serve::BlockingClient client = connect();
+    const serve::Request req = query_request();
+    std::vector<double> latencies_us;
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        const auto start = std::chrono::steady_clock::now();
+        const serve::Response resp = client.call(req);
+        const auto end = std::chrono::steady_clock::now();
+        if (!resp.ok) state.SkipWithError("query failed");
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+        benchmark::DoNotOptimize(resp.body);
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    set_latency_counters(state, latencies_us, elapsed_s);
+    state.SetItemsProcessed(static_cast<std::int64_t>(latencies_us.size()));
+}
+BENCHMARK(BM_ServeQueryLatencySingleClient)->Unit(benchmark::kMicrosecond);
+
+/// N concurrent client connections, each running a fixed query burst:
+/// fan-in through the bounded queue and worker lanes. QPS and tail
+/// latency land in the JSON sidecar as counters.
+void BM_ServeConcurrentClients(benchmark::State& state) {
+    const int clients = static_cast<int>(state.range(0));
+    constexpr int kQueriesPerClient = 8;
+    std::vector<double> all_latencies_us;
+    double elapsed_total_s = 0.0;
+    for (auto _ : state) {
+        std::vector<std::vector<double>> per_client(static_cast<std::size_t>(clients));
+        std::atomic<int> failures{0};
+        const auto wall_start = std::chrono::steady_clock::now();
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(static_cast<std::size_t>(clients));
+            for (int c = 0; c < clients; ++c) {
+                threads.emplace_back([&, c] {
+                    try {
+                        serve::BlockingClient client = connect();
+                        const serve::Request req = query_request();
+                        for (int q = 0; q < kQueriesPerClient; ++q) {
+                            const auto start = std::chrono::steady_clock::now();
+                            const serve::Response resp = client.call(req);
+                            const auto end = std::chrono::steady_clock::now();
+                            if (!resp.ok) {
+                                ++failures;
+                                continue;
+                            }
+                            per_client[static_cast<std::size_t>(c)].push_back(
+                                std::chrono::duration<double, std::micro>(end - start)
+                                    .count());
+                        }
+                    } catch (const Error&) {
+                        ++failures;
+                    }
+                });
+            }
+            for (std::thread& t : threads) t.join();
+        }
+        elapsed_total_s += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                         wall_start)
+                               .count();
+        if (failures.load() != 0) state.SkipWithError("client requests failed");
+        for (const auto& v : per_client)
+            all_latencies_us.insert(all_latencies_us.end(), v.begin(), v.end());
+    }
+    set_latency_counters(state, all_latencies_us, elapsed_total_s);
+    state.SetItemsProcessed(static_cast<std::int64_t>(all_latencies_us.size()));
+}
+BENCHMARK(BM_ServeConcurrentClients)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Session lifecycle churn: open a copy-on-write overlay, list, close.
+/// Overlays share the base analysis, so this measures registry + protocol
+/// overhead, not association work.
+void BM_ServeSessionOpenListClose(benchmark::State& state) {
+    serve::BlockingClient client = connect();
+    serve::Request open;
+    open.type = serve::MsgType::SessionOpen;
+    serve::Request list;
+    list.type = serve::MsgType::SessionList;
+    serve::Request close;
+    close.type = serve::MsgType::SessionClose;
+    for (auto _ : state) {
+        const serve::Response opened = client.call(open);
+        if (!opened.ok) state.SkipWithError("open failed");
+        (void)client.call(list);
+        close.session = opened.body.get_string("session");
+        const serve::Response closed = client.call(close);
+        if (!closed.ok) state.SkipWithError("close failed");
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeSessionOpenListClose)->Unit(benchmark::kMicrosecond);
+
+/// A 64-session pipelined open/close burst per iteration: the sustained
+/// many-sessions shape from the acceptance criteria, end to end.
+void BM_ServeSixtyFourSessionBurst(benchmark::State& state) {
+    serve::BlockingClient client = connect();
+    for (auto _ : state) {
+        serve::Request open;
+        open.type = serve::MsgType::SessionOpen;
+        for (int i = 0; i < 64; ++i) client.send(open);
+        std::vector<std::string> ids;
+        ids.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            const serve::Response resp = client.receive();
+            if (!resp.ok) {
+                state.SkipWithError("open failed");
+                break;
+            }
+            ids.push_back(resp.body.get_string("session"));
+        }
+        serve::Request close;
+        close.type = serve::MsgType::SessionClose;
+        for (const std::string& id : ids) {
+            close.session = id;
+            client.send(close);
+        }
+        for (std::size_t i = 0; i < ids.size(); ++i) (void)client.receive();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ServeSixtyFourSessionBurst)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+CYBOK_BENCH_MAIN(print_serve_preamble)

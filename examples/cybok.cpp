@@ -28,9 +28,12 @@
 #include "kb/serialize.hpp"
 #include "lint/lint.hpp"
 #include "model/dsl.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "synth/corpus_gen.hpp"
 #include "synth/model_gen.hpp"
 #include "synth/scada.hpp"
+#include "util/bytes.hpp"
 #include "util/fault.hpp"
 #include "util/strings.hpp"
 
@@ -209,6 +212,88 @@ int cmd_report(const Args& args) {
     return 0;
 }
 
+int cmd_serve(const Args& args) {
+    // Corpus + base model: from files when given, the paper's SCADA demo
+    // otherwise — so `cybok serve` with no options is a working server.
+    kb::Corpus corpus = args.get("corpus").empty()
+                            ? synth::generate_corpus(synth::CorpusProfile::scada_demo())
+                            : kb::load_corpus(args.require("corpus"));
+    model::SystemModel base = args.get("model").empty()
+                                  ? synth::centrifuge_model()
+                                  : model::load_dsl(args.require("model"));
+    core::SessionOptions engine_opts;
+    engine_opts.snapshot_path = args.get("snapshot");
+    // Built (or thawed + staleness-checked) exactly once here; every
+    // session the server opens shares this one engine.
+    std::shared_ptr<const core::SharedEngine> engine =
+        core::make_shared_engine(corpus, engine_opts);
+
+    serve::ServerOptions options;
+    options.bind = args.get("bind", "127.0.0.1");
+    options.port = static_cast<std::uint16_t>(std::stoul(args.get("port", "0")));
+    options.lanes = std::stoul(args.get("lanes", "0"));
+    options.queue_capacity = std::stoul(args.get("queue", "256"));
+    options.registry.max_sessions = std::stoul(args.get("max-sessions", "4096"));
+
+    serve::Server server(engine, std::move(base), options);
+    server.start();
+    const kb::Corpus::Stats s = engine->corpus().stats();
+    std::printf("cybok-serve listening on %s:%u (%zu patterns, %zu weaknesses, "
+                "%zu vulnerabilities; %zu lanes, queue %zu, max %zu sessions)\n",
+                server.options().bind.c_str(), server.port(), s.patterns, s.weaknesses,
+                s.vulnerabilities, server.options().lanes, server.options().queue_capacity,
+                server.options().registry.max_sessions);
+    std::fflush(stdout);
+    // Runs until a client sends `shutdown` (the graceful path — in-flight
+    // requests complete and their responses are written first).
+    server.wait();
+    const serve::ServerStats& st = server.stats();
+    std::printf("cybok-serve stopped: %llu connections, %llu requests, %llu responses, "
+                "%llu overload rejections\n",
+                static_cast<unsigned long long>(st.connections_accepted.load()),
+                static_cast<unsigned long long>(st.requests_received.load()),
+                static_cast<unsigned long long>(st.responses_sent.load()),
+                static_cast<unsigned long long>(st.overload_rejections.load()));
+    return 0;
+}
+
+int cmd_client(const Args& args) {
+    const std::string wire = args.require("type");
+    std::optional<serve::MsgType> type;
+    for (const serve::MessageTypeInfo& info : serve::known_message_types())
+        if (info.wire == wire) type = info.type;
+    if (!type.has_value()) throw Error("unknown --type: " + wire);
+
+    serve::Request req;
+    req.type = *type;
+    req.session = args.get("session");
+    req.text = args.get("text", args.get("query"));
+    req.cls = args.get("class");
+    req.limit = std::stoul(args.get("limit", "10"));
+    if (const std::string path = args.get("model"); !path.empty())
+        req.model_dsl = util::read_file(path);
+    req.commit = args.get("commit", "absent") != "absent";
+    req.snapshot = args.get("snapshot");
+
+    serve::BlockingClient client(args.get("host", "127.0.0.1"),
+                                 static_cast<std::uint16_t>(std::stoul(args.require("port"))));
+    const serve::Response resp = client.call(req);
+    json::Value out;
+    out["id"] = resp.id;
+    out["ok"] = resp.ok;
+    if (resp.ok) {
+        out["type"] = resp.type;
+        out["result"] = resp.body;
+    } else {
+        json::Value error;
+        error["code"] = resp.error_code;
+        error["message"] = resp.error_message;
+        out["error"] = std::move(error);
+    }
+    std::fputs((json::dump(out, 2) + "\n").c_str(), stdout);
+    return resp.ok ? 0 : 4;
+}
+
 int cmd_table1(const Args&) {
     kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scada_demo());
     core::AnalysisSession session(synth::centrifuge_model(), corpus);
@@ -229,6 +314,14 @@ void usage() {
         "            [--threads N] [--disable CODES] [--severity CODE=SEV,...]\n"
         "            static defect scan; exit 3 when errors are found\n"
         "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
+        "  serve     [--corpus C] [--model M] [--snapshot PATH] [--bind A] [--port P]\n"
+        "            [--lanes N] [--queue N] [--max-sessions N]\n"
+        "            analysis server (docs/PROTOCOL.md, docs/OPERATIONS.md);\n"
+        "            stop it with `cybok client --type shutdown`\n"
+        "  client    --port P --type T [--host A] [--session S] [--text Q] [--class K]\n"
+        "            [--limit N] [--model FILE] [--commit] [--snapshot PATH]\n"
+        "            send one request, print the JSON response; exit 4 on a\n"
+        "            typed error response\n"
         "  table1                                               reproduce the paper's Table 1\n"
         "global options (any command):\n"
         "  --fault-spec SPEC   arm deterministic fault injection for repro, e.g.\n"
@@ -260,6 +353,8 @@ int main(int argc, char** argv) {
             if (command == "associate") return cmd_associate(args);
             if (command == "lint") return cmd_lint(args);
             if (command == "report") return cmd_report(args);
+            if (command == "serve") return cmd_serve(args);
+            if (command == "client") return cmd_client(args);
             if (command == "table1") return cmd_table1(args);
             usage();
             return 1;

@@ -6,9 +6,9 @@
 
 namespace cybok::core {
 
-std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
-    const kb::Corpus& corpus, const SessionOptions& options,
-    std::unique_ptr<kb::Corpus>& thawed, search::DegradeCounts& degrade) {
+std::shared_ptr<const SharedEngine> make_shared_engine(const kb::Corpus& corpus,
+                                                       const SessionOptions& options) {
+    auto handle = std::make_shared<SharedEngine>();
     if (!options.snapshot_path.empty()) {
         try {
             CYBOK_FAULT_POINT("session.cold_start.load",
@@ -16,49 +16,68 @@ std::unique_ptr<search::SearchEngine> AnalysisSession::make_engine(
             search::EngineSnapshot snap = search::load_engine_snapshot(options.snapshot_path);
             // Staleness guard: the snapshot must have been frozen under the
             // same engine options (signature) over a corpus of the same
-            // shape as the one this session was handed; anything else means
-            // the cache predates a data or configuration change.
+            // shape as the one the caller handed in; anything else means
+            // the cache predates a data or configuration change. Hoisted
+            // out of the session constructor so N sessions sharing one
+            // engine validate the file once, not N times.
             const bool fresh =
                 snap.engine->options().signature() == options.engine.signature() &&
                 snap.corpus->patterns().size() == corpus.patterns().size() &&
                 snap.corpus->weaknesses().size() == corpus.weaknesses().size() &&
                 snap.corpus->vulnerabilities().size() == corpus.vulnerabilities().size();
             if (fresh) {
-                thawed = std::move(snap.corpus);
-                return std::move(snap.engine);
+                handle->owned_corpus = std::move(snap.corpus);
+                handle->engine = std::move(snap.engine);
+                return handle;
             }
-            ++degrade.snapshot_fallbacks;
-            degrade.last_reason = "snapshot stale: engine signature or corpus shape changed";
+            ++handle->cold_start.snapshot_fallbacks;
+            handle->cold_start.last_reason =
+                "snapshot stale: engine signature or corpus shape changed";
         } catch (const Error& e) {
             // Missing / truncated / corrupt / version-mismatched snapshot:
             // fall through to a fresh build, which rewrites the file. The
             // reason is recorded so the fallback is visible in metrics and
             // the report instead of a silent slow start.
-            ++degrade.snapshot_fallbacks;
-            degrade.last_reason = e.what();
+            ++handle->cold_start.snapshot_fallbacks;
+            handle->cold_start.last_reason = e.what();
         }
     }
-    auto engine = std::make_unique<search::SearchEngine>(corpus, options.engine);
+    handle->engine = std::make_unique<search::SearchEngine>(corpus, options.engine);
     if (!options.snapshot_path.empty()) {
         try {
             CYBOK_FAULT_POINT("session.cold_start.save",
                               IoError("injected: snapshot save failed: " + options.snapshot_path));
-            search::save_engine_snapshot(*engine, options.snapshot_path);
+            search::save_engine_snapshot(*handle->engine, options.snapshot_path);
         } catch (const Error& e) {
             // An unwritable cache location degrades cold-start speed, not
-            // correctness; the session proceeds with the built engine.
-            ++degrade.snapshot_save_failures;
-            degrade.last_reason = e.what();
+            // correctness; the engine is served from memory regardless.
+            ++handle->cold_start.snapshot_save_failures;
+            handle->cold_start.last_reason = e.what();
         }
     }
-    return engine;
+    return handle;
 }
 
 AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
                                  SessionOptions options)
     : model_(std::move(m)), options_(std::move(options)),
-      engine_(make_engine(corpus, options_, thawed_corpus_, degrade_)),
-      corpus_(&engine_->corpus()), associator_(*engine_, options_.assoc) {}
+      engine_handle_(make_shared_engine(corpus, options_)),
+      degrade_(engine_handle_->cold_start), corpus_(&engine_handle_->corpus()),
+      associator_(*engine_handle_->engine, options_.assoc) {}
+
+AnalysisSession::AnalysisSession(model::SystemModel m,
+                                 std::shared_ptr<const SharedEngine> engine,
+                                 SessionOptions options)
+    : model_(std::move(m)), options_(std::move(options)),
+      engine_handle_(std::move(engine)),
+      // degrade_ deliberately left zero: the handle's cold_start belongs to
+      // whoever built the handle (e.g. the serve registry reports it once
+      // per generation); folding it into every overlay session would count
+      // one fallback N times.
+      corpus_(&engine_handle_->corpus()),
+      associator_(*engine_handle_->engine, options_.assoc) {
+    CYBOK_EXPECTS(engine_handle_ != nullptr && engine_handle_->engine != nullptr);
+}
 
 void AnalysisSession::set_hazards(safety::HazardModel hazards) {
     std::vector<std::string> issues = hazards.validate();

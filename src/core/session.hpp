@@ -57,6 +57,41 @@ struct SessionOptions {
     std::string snapshot_path;
 };
 
+/// One engine and the corpus it indexes, built (or thawed from a
+/// snapshot) exactly once and then shared immutably by any number of
+/// sessions. This is the serve layer's generation object: the registry
+/// thaws one SharedEngine and hangs thousands of session overlays off it,
+/// so the snapshot file is opened and its signature/shape staleness check
+/// runs once per process, not once per session.
+///
+/// Thread-safety: after make_shared_engine returns, every member is
+/// immutable; the SearchEngine's const-query contract (engine.hpp) makes
+/// the whole handle safe to share across threads without synchronization.
+struct SharedEngine {
+    /// Owns the corpus when it was thawed out of the snapshot blob; null
+    /// when the engine indexes a caller-owned corpus (which must then
+    /// outlive every session holding this handle).
+    std::unique_ptr<kb::Corpus> owned_corpus;
+    std::unique_ptr<search::SearchEngine> engine;
+    /// Cold-start fallbacks taken while producing the engine (snapshot
+    /// stale/corrupt -> fresh build, snapshot write failed -> uncached).
+    /// Reported once by the owner of the handle — sessions constructed
+    /// over a SharedEngine deliberately do NOT fold these into their own
+    /// metrics, so N sessions never multiply one cold-start event.
+    search::DegradeCounts cold_start;
+
+    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return engine->corpus(); }
+};
+
+/// The hoisted cold-start path: load-or-build an engine per
+/// `options.snapshot_path` + `options.engine` (same semantics the
+/// single-session constructor always had — stale/corrupt snapshots fall
+/// back to a fresh build over `corpus`, never fatal) and wrap it for
+/// sharing. The staleness check (engine-options signature + corpus shape)
+/// runs here, once, instead of inside every session constructor.
+[[nodiscard]] std::shared_ptr<const SharedEngine> make_shared_engine(
+    const kb::Corpus& corpus, const SessionOptions& options);
+
 /// One analysis session over (model, corpus). The corpus must outlive the
 /// session; the model is owned and evolves through commit().
 class AnalysisSession {
@@ -64,6 +99,13 @@ public:
     AnalysisSession(model::SystemModel m, const kb::Corpus& corpus)
         : AnalysisSession(std::move(m), corpus, SessionOptions{}) {}
     AnalysisSession(model::SystemModel m, const kb::Corpus& corpus, SessionOptions options);
+    /// Session over a prebuilt shared engine (the serve path): no corpus
+    /// IO, no index build, no snapshot validation — construction cost is
+    /// the associator + model only. `options.engine` and
+    /// `options.snapshot_path` are ignored (the engine already exists);
+    /// the handle's cold_start degradations stay with the handle.
+    AnalysisSession(model::SystemModel m, std::shared_ptr<const SharedEngine> engine,
+                    SessionOptions options = {});
 
     AnalysisSession(const AnalysisSession&) = delete;
     AnalysisSession& operator=(const AnalysisSession&) = delete;
@@ -72,11 +114,18 @@ public:
     /// The corpus the engine indexes: the caller's when built fresh, the
     /// session-owned thawed copy when restored from a snapshot.
     [[nodiscard]] const kb::Corpus& corpus() const noexcept { return *corpus_; }
-    [[nodiscard]] const search::SearchEngine& engine() const noexcept { return *engine_; }
+    [[nodiscard]] const search::SearchEngine& engine() const noexcept {
+        return *engine_handle_->engine;
+    }
+    /// The shared engine handle behind this session (refcount > 1 when the
+    /// session is one of several overlays over one engine).
+    [[nodiscard]] const std::shared_ptr<const SharedEngine>& engine_handle() const noexcept {
+        return engine_handle_;
+    }
     /// True when this session's engine was thawed from options.snapshot_path
     /// instead of built from record text.
     [[nodiscard]] bool from_snapshot() const noexcept {
-        return engine_->build_metrics().from_snapshot;
+        return engine_handle_->engine->build_metrics().from_snapshot;
     }
     /// The parallel/cached association engine every association in this
     /// session runs through (associations(), propose(), commit()).
@@ -152,20 +201,11 @@ private:
         return options_.filters.stage_count() > 0 ? &options_.filters : nullptr;
     }
 
-    /// Load-or-build per SessionOptions::snapshot_path; fills `thawed` with
-    /// the snapshot-owned corpus when the engine came from a snapshot, and
-    /// `degrade` with any cold-start fallbacks taken (snapshot rejected ->
-    /// fresh build, snapshot write failed -> proceed uncached).
-    static std::unique_ptr<search::SearchEngine> make_engine(
-        const kb::Corpus& corpus, const SessionOptions& options,
-        std::unique_ptr<kb::Corpus>& thawed, search::DegradeCounts& degrade);
-
     model::SystemModel model_;
     SessionOptions options_;
-    std::unique_ptr<kb::Corpus> thawed_corpus_; ///< owns the corpus when thawed
-    search::DegradeCounts degrade_; ///< cold-start fallbacks (filled by make_engine)
-    std::unique_ptr<search::SearchEngine> engine_;
-    const kb::Corpus* corpus_; ///< == &engine_->corpus()
+    std::shared_ptr<const SharedEngine> engine_handle_; ///< never null
+    search::DegradeCounts degrade_; ///< this session's cold-start fallbacks
+    const kb::Corpus* corpus_;      ///< == &engine_handle_->corpus()
     search::Associator associator_;
     std::optional<safety::HazardModel> hazards_;
     std::optional<model::MissionModel> missions_;

@@ -1,0 +1,90 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cybok::serve {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw IoError("client: socket() failed: " + std::string(strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw IoError("client: bad address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        const std::string why = strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw IoError("client: cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                      why);
+    }
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void BlockingClient::send(Request req) {
+    if (fd_ < 0) throw IoError("client: not connected");
+    req.id = next_id_++;
+    const std::string frame = encode_frame(encode_request(req));
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            close();
+            throw IoError("client: send failed: " + std::string(strerror(errno)));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+Response BlockingClient::receive() {
+    for (;;) {
+        if (std::optional<std::string> payload = decoder_.next())
+            return decode_response(*payload);
+        if (fd_ < 0) throw IoError("client: not connected");
+        char buf[65536];
+        const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+        if (n == 0) {
+            close();
+            throw IoError("client: server closed the connection");
+        }
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            close();
+            throw IoError("client: recv failed: " + std::string(strerror(errno)));
+        }
+        decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+}
+
+Response BlockingClient::call(Request req) {
+    send(std::move(req));
+    const std::int64_t want = last_id();
+    for (;;) {
+        Response resp = receive();
+        // On the serial call() path only this id can be outstanding;
+        // anything else would be a pipelined leftover the caller mixed in.
+        if (resp.id == want) return resp;
+    }
+}
+
+} // namespace cybok::serve

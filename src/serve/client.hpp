@@ -1,0 +1,55 @@
+// A small blocking client for the cybok-serve protocol — the reference
+// implementation of the client side of docs/PROTOCOL.md, used by the
+// `cybok client` subcommand, the end-to-end tests, and bench_serve.
+//
+// One BlockingClient owns one TCP connection. call() is the simple
+// request/response path; send() + receive() expose pipelining (many
+// requests in flight, responses correlated by `id` — the server may
+// reorder responses across worker lanes, so receive() hands back whatever
+// arrives next and the caller matches ids).
+//
+// Thread-safety: none. One BlockingClient per thread; the protocol itself
+// is what makes the *server* safe under thousands of these.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace cybok::serve {
+
+class BlockingClient {
+public:
+    /// Connect to host:port. Throws IoError when the connection fails.
+    BlockingClient(const std::string& host, std::uint16_t port);
+    ~BlockingClient();
+
+    BlockingClient(const BlockingClient&) = delete;
+    BlockingClient& operator=(const BlockingClient&) = delete;
+
+    /// Assign the next correlation id, send the request, and block for the
+    /// response bearing that id (buffering any others is unnecessary on
+    /// this strictly serial path). Throws IoError on a dead connection and
+    /// ProtocolError on an unparseable response.
+    Response call(Request req);
+
+    /// Pipelining primitives: send without waiting; receive the next
+    /// response in server order.
+    void send(Request req);
+    [[nodiscard]] Response receive();
+
+    /// Ids handed out so far (the id the next send() will use minus one).
+    [[nodiscard]] std::int64_t last_id() const noexcept { return next_id_ - 1; }
+
+    void close() noexcept;
+    [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+    std::int64_t next_id_ = 1;
+};
+
+} // namespace cybok::serve

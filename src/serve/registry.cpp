@@ -1,0 +1,243 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "kb/snapshot.hpp"
+#include "model/dsl.hpp"
+#include "util/fault.hpp"
+
+namespace cybok::serve {
+
+std::shared_ptr<const core::SharedEngine> load_generation(const std::string& snapshot_path) {
+    CYBOK_FAULT_POINT("serve.swap.load",
+                      kb::SnapshotError("injected: swap snapshot load failed", snapshot_path, 0));
+    search::EngineSnapshot snap = search::load_engine_snapshot(snapshot_path);
+    auto handle = std::make_shared<core::SharedEngine>();
+    handle->owned_corpus = std::move(snap.corpus);
+    handle->engine = std::move(snap.engine);
+    return handle;
+}
+
+// -- ServeSession ------------------------------------------------------------
+
+ServeSession::ServeSession(std::string id, std::shared_ptr<const Generation> gen,
+                           std::shared_ptr<BaseAnalysis> base)
+    : id_(std::move(id)), gen_(std::move(gen)), base_(std::move(base)) {}
+
+ServeSession::ServeSession(std::string id, std::shared_ptr<const Generation> gen,
+                           model::SystemModel own, const core::SessionOptions& options)
+    : id_(std::move(id)), gen_(std::move(gen)),
+      own_(std::make_unique<core::AnalysisSession>(std::move(own), gen_->engine, options)) {
+    materialized_.store(true, std::memory_order_release);
+}
+
+void ServeSession::materialize(const core::SessionOptions& options) {
+    std::lock_guard<std::mutex> lk(op_mutex_);
+    if (own_ != nullptr) return;
+    // The fork copies the *pristine* base model (immutable by contract —
+    // the base analysis never commits), so no base-analysis lock is
+    // needed; concurrent readers of the base keep going unharmed.
+    own_ = std::make_unique<core::AnalysisSession>(*base_->base_model, gen_->engine, options);
+    materialized_.store(true, std::memory_order_release);
+}
+
+// -- SessionRegistry ---------------------------------------------------------
+
+SessionRegistry::SessionRegistry(std::shared_ptr<const core::SharedEngine> engine,
+                                 model::SystemModel base_model, RegistryOptions options)
+    : options_(std::move(options)),
+      base_model_(std::make_shared<const model::SystemModel>(std::move(base_model))),
+      current_(std::make_shared<const Generation>(Generation{1, std::move(engine), "<built>"})) {
+    CYBOK_EXPECTS(current_->engine != nullptr && current_->engine->engine != nullptr);
+    stats_.current_generation = 1;
+}
+
+core::SessionOptions SessionRegistry::session_options() const {
+    core::SessionOptions opts;
+    opts.engine = options_.engine;
+    opts.assoc.threads = options_.session_threads;
+    opts.assoc.cache_capacity = options_.session_cache_capacity;
+    return opts;
+}
+
+std::shared_ptr<ServeSession::BaseAnalysis> SessionRegistry::base_analysis_for(
+    const std::shared_ptr<const Generation>& gen) {
+    // Lazily (re)build the base analysis for the live generation: after a
+    // swap the old one keeps serving its pinned sessions, but new overlay
+    // sessions must layer over the new engine. Caller holds mutex_.
+    if (base_analysis_ == nullptr || base_analysis_generation_ != gen->id) {
+        core::SessionOptions opts = session_options();
+        // The base analysis serves every unforked session, so give it the
+        // library-default cache rather than the small per-session one.
+        opts.assoc.cache_capacity = search::AssocOptions{}.cache_capacity;
+        base_analysis_ =
+            std::make_shared<ServeSession::BaseAnalysis>(base_model_, gen->engine, opts);
+        base_analysis_generation_ = gen->id;
+    }
+    return base_analysis_;
+}
+
+std::string SessionRegistry::open(const std::string& model_dsl) {
+    CYBOK_FAULT_POINT("serve.session.open",
+                      Error("injected: session construction failed"));
+    // Parse outside the registry lock: DSL errors must not serialize other
+    // opens, and nothing is allocated in the registry until the model is
+    // known-good.
+    std::optional<model::SystemModel> own;
+    if (!model_dsl.empty()) {
+        try {
+            own = model::parse_dsl(model_dsl);
+        } catch (const Error& e) {
+            throw ProtocolError(ErrorCode::ModelInvalid,
+                                std::string("model DSL rejected: ") + e.what());
+        }
+    }
+    // Lock order is always swap_gate_ before mutex_ (swap() relies on it),
+    // so pin the generation before taking the registry lock.
+    std::shared_ptr<const Generation> gen = current();
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+        ++stats_.session_limit_rejections;
+        throw ProtocolError(ErrorCode::SessionLimit,
+                            "session limit reached (" + std::to_string(options_.max_sessions) +
+                                " open); close a session or raise --max-sessions");
+    }
+    std::string id = "s-" + std::to_string(next_session_++);
+    std::shared_ptr<ServeSession> session;
+    if (own.has_value()) {
+        session = std::make_shared<ServeSession>(id, gen, std::move(*own), session_options());
+    } else {
+        session = std::make_shared<ServeSession>(id, gen, base_analysis_for(gen));
+    }
+    sessions_.emplace_back(id, std::move(session));
+    ++stats_.total_opened;
+    stats_.peak_sessions = std::max(stats_.peak_sessions, sessions_.size());
+    return id;
+}
+
+std::shared_ptr<ServeSession> SessionRegistry::find(std::string_view id) const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto& [sid, session] : sessions_)
+        if (sid == id) return session;
+    throw ProtocolError(ErrorCode::UnknownSession, "no such session: " + std::string(id));
+}
+
+void SessionRegistry::close(std::string_view id) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                           [&](const auto& entry) { return entry.first == id; });
+    if (it == sessions_.end())
+        throw ProtocolError(ErrorCode::UnknownSession, "no such session: " + std::string(id));
+    sessions_.erase(it);
+}
+
+std::vector<SessionInfo> SessionRegistry::list() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<SessionInfo> infos;
+    infos.reserve(sessions_.size());
+    for (const auto& [sid, session] : sessions_)
+        infos.push_back({sid, session->generation(), session->materialized(),
+                         session->requests()});
+    return infos;
+}
+
+RegistryStats SessionRegistry::stats() const {
+    // swap_gate_ (inside current()) is never taken while holding mutex_.
+    const std::uint64_t generation = current()->id;
+    std::lock_guard<std::mutex> lk(mutex_);
+    RegistryStats s = stats_;
+    s.open_sessions = sessions_.size();
+    s.current_generation = generation;
+    return s;
+}
+
+std::uint64_t SessionRegistry::swap(const std::string& snapshot_path) {
+    // Thaw the new generation *before* taking the gate: seconds of IO and
+    // table fill must not stall in-flight requests, and a corrupt blob
+    // must be rejected while the old generation is still untouched.
+    std::shared_ptr<const core::SharedEngine> fresh;
+    try {
+        fresh = load_generation(snapshot_path);
+    } catch (const Error& e) {
+        throw ProtocolError(ErrorCode::SwapFailed,
+                            std::string("snapshot rejected: ") + e.what());
+    }
+    // Announce the swap so new leases park instead of piling onto the
+    // shared side (reader-preferring rwlocks would otherwise let a
+    // saturating request load starve this exclusive acquisition forever).
+    // The announcement must be withdrawn on every path out, or parked
+    // leases would wait forever.
+    swap_pending_.fetch_add(1, std::memory_order_acq_rel);
+    const auto withdraw = [this]() noexcept {
+        {
+            std::lock_guard<std::mutex> lk(swap_wait_mutex_);
+            swap_pending_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        swap_wait_cv_.notify_all();
+    };
+    std::uint64_t id = 0;
+    try {
+        // Exclusive acquisition waits for every outstanding ReadLease:
+        // this IS the drain — each in-flight request completes against
+        // the generation it pinned before we flip the pointer.
+        std::unique_lock<std::shared_mutex> gate(swap_gate_);
+        std::lock_guard<std::mutex> lk(mutex_);
+        id = next_generation_++;
+        current_ = std::make_shared<const Generation>(Generation{id, std::move(fresh),
+                                                                 snapshot_path});
+        ++stats_.swaps;
+        stats_.current_generation = id;
+        // The old base analysis still serves sessions pinned to the old
+        // generation; dropping our reference here lets it die with them.
+        // A fresh one is built lazily on the next base-overlay open.
+        base_analysis_.reset();
+        base_analysis_generation_ = 0;
+    } catch (...) {
+        withdraw();
+        throw;
+    }
+    withdraw();
+    return id;
+}
+
+search::AssocMetrics SessionRegistry::aggregate_metrics() const {
+    std::vector<std::shared_ptr<ServeSession>> sessions;
+    std::shared_ptr<ServeSession::BaseAnalysis> base;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        sessions.reserve(sessions_.size());
+        for (const auto& [sid, session] : sessions_) sessions.push_back(session);
+        base = base_analysis_;
+    }
+    search::AssocMetrics total;
+    // Each generation's cold-start degradations count once, no matter how
+    // many sessions share the engine (SharedEngine::cold_start).
+    std::vector<const core::SharedEngine*> counted_engines;
+    auto count_engine = [&](const core::SharedEngine* engine) {
+        if (engine == nullptr) return;
+        if (std::find(counted_engines.begin(), counted_engines.end(), engine) !=
+            counted_engines.end())
+            return;
+        counted_engines.push_back(engine);
+        total.degrade.merge(engine->cold_start);
+    };
+    if (base != nullptr) {
+        std::lock_guard<std::mutex> lk(base->mutex);
+        total.merge(base->session.assoc_metrics());
+        count_engine(base->session.engine_handle().get());
+    }
+    for (const auto& session : sessions) {
+        if (session->materialized()) {
+            ServeSession::AnalysisGuard guard(*session);
+            total.merge(guard->assoc_metrics());
+        }
+        count_engine(session->generation_handle()->engine.get());
+    }
+    // Even with no sessions yet, surface the live generation's cold start
+    // (e.g. a stale snapshot fallback at serve startup).
+    count_engine(current()->engine.get());
+    return total;
+}
+
+} // namespace cybok::serve

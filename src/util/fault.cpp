@@ -231,6 +231,18 @@ const std::vector<FaultSiteInfo>& known_fault_sites() {
          "fresh engine build; fallback reason recorded in AssocMetrics"},
         {"session.cold_start.save", "IoError",
          "session continues uncached; failure recorded in AssocMetrics"},
+        {"serve.accept", "IoError",
+         "that connection is dropped; the listener keeps accepting"},
+        {"serve.frame.decode", "ProtocolError",
+         "bad_frame response written, decoder poisoned, connection closed"},
+        {"serve.request.decode", "ProtocolError",
+         "typed bad_request response; the connection stays usable"},
+        {"serve.session.open", "Error",
+         "typed internal response; registry state unchanged, no session leaked"},
+        {"serve.swap.load", "SnapshotError",
+         "typed swap_failed response; the old generation keeps serving"},
+        {"serve.response.write", "IoError",
+         "response abandoned and connection closed; the request already executed"},
     };
     return sites;
 }

@@ -192,7 +192,7 @@ TEST(FaultInjector, MalformedSpecsThrowTyped) {
 
 TEST(FaultInjector, KnownSiteTableIsWellFormed) {
     const std::vector<util::FaultSiteInfo>& sites = util::known_fault_sites();
-    EXPECT_EQ(sites.size(), 15u);
+    EXPECT_EQ(sites.size(), 21u);
     std::set<std::string_view> names;
     for (const util::FaultSiteInfo& s : sites) {
         EXPECT_FALSE(s.site.empty());

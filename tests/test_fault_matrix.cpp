@@ -10,7 +10,13 @@
 //   (c) fault-armed session vs fault-free baseline — with an aggressive
 //       probabilistic fault matrix armed over snapshot IO, cache access,
 //       and recompute, the association map must stay byte-identical to
-//       the clean run (degradation is transparent, never lossy).
+//       the clean run (degradation is transparent, never lossy),
+//   (d) serve request conservation — with probabilistic faults armed over
+//       the server's decode/open/swap sites, every pipelined request gets
+//       exactly one response (ok or typed error, each id exactly once);
+//       with the connection-killing sites armed, every request resolves
+//       as a response or a connection teardown, never silence — and the
+//       server survives to answer a clean probe after disarm.
 //
 // Each seed replays a *different* reproducible fault surface (the
 // probability trigger is a pure function of seed, site, and hit index),
@@ -20,6 +26,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +35,8 @@
 #include "kb/serialize.hpp"
 #include "search/association.hpp"
 #include "search/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "synth/corpus_gen.hpp"
 #include "synth/model_gen.hpp"
 #include "text/index.hpp"
@@ -247,6 +256,139 @@ TEST_P(FaultMatrixSoak, SessionMatchesBaselineUnderFaultMatrix) {
             if (a.kind != model::AttributeKind::Parameter) ++tasks;
     }
     EXPECT_EQ(m.cache_hits + m.cache_misses, tasks);
+}
+
+// --------------------------------------------------- (d) serve oracle
+
+namespace {
+
+/// One shared engine for every serve soak seed, built fault-free.
+std::shared_ptr<const core::SharedEngine> soak_shared_engine() {
+    static const std::shared_ptr<const core::SharedEngine> engine =
+        core::make_shared_engine(soak_corpus(), core::SessionOptions{});
+    return engine;
+}
+
+/// A thawable snapshot for the swap requests, written before faults arm.
+const std::string& soak_snapshot_path() {
+    static const std::string path = [] {
+        const std::string p = temp_path("fault_matrix_serve.snap");
+        search::save_engine_snapshot(*soak_shared_engine()->engine, p);
+        return p;
+    }();
+    return path;
+}
+
+} // namespace
+
+TEST_P(FaultMatrixSoak, ServeOneResponsePerRequestUnderFaultMatrix) {
+    const int seed = GetParam();
+    serve::Server server(soak_shared_engine(), soak_model(), serve::ServerOptions{});
+    server.start();
+
+    // Phase 1 — recoverable sites. These degrade to typed error responses
+    // on a connection that stays usable, so the conservation law is exact:
+    // 48 pipelined requests in, 48 responses out, each id at most once,
+    // id-0 responses (a decode fault fires before the id is parsed, so
+    // the server cannot echo it) covering exactly the remainder.
+    constexpr int kRequests = 48;
+    {
+        util::FaultScope scope("seed=" + std::to_string(seed) +
+                               ";serve.request.decode=p:0.25"
+                               ";serve.session.open=p:0.3"
+                               ";serve.swap.load=p:0.5");
+        serve::BlockingClient client("127.0.0.1", server.port());
+        for (int i = 0; i < kRequests; ++i) {
+            serve::Request req;
+            switch (i % 6) {
+            case 0: req.type = serve::MsgType::Ping; req.text = "probe"; break;
+            case 1: req.type = serve::MsgType::SessionOpen; break;
+            case 2:
+                req.type = serve::MsgType::Query;
+                req.text = "buffer overflow";
+                req.limit = 3;
+                break;
+            case 3:
+                // May race an open that failed or has not executed yet —
+                // unknown_session is then the correct typed answer.
+                req.type = serve::MsgType::Associate;
+                req.session = "s-" + std::to_string(i / 6 + 1);
+                break;
+            case 4: req.type = serve::MsgType::SessionList; break;
+            case 5:
+                req.type = serve::MsgType::SnapshotSwap;
+                req.snapshot = soak_snapshot_path();
+                break;
+            }
+            client.send(req);
+        }
+        std::vector<bool> answered(kRequests + 1, false);
+        int anonymous = 0; // id-0 responses: request.decode fired pre-parse
+        for (int i = 0; i < kRequests; ++i) {
+            const serve::Response resp = client.receive();
+            ASSERT_GE(resp.id, 0);
+            ASSERT_LE(resp.id, kRequests);
+            if (resp.id == 0) {
+                EXPECT_FALSE(resp.ok) << "ok response without an id";
+                ++anonymous;
+            } else {
+                const auto idx = static_cast<std::size_t>(resp.id);
+                EXPECT_FALSE(answered[idx]) << "duplicate response for id " << resp.id;
+                answered[idx] = true;
+            }
+            if (!resp.ok) {
+                const auto& codes = serve::known_error_codes();
+                const bool known = std::any_of(
+                    codes.begin(), codes.end(),
+                    [&](const serve::ErrorCodeInfo& c) { return c.wire == resp.error_code; });
+                EXPECT_TRUE(known) << "untyped error code: " << resp.error_code;
+            }
+        }
+        const auto echoed = std::count(answered.begin() + 1, answered.end(), true);
+        EXPECT_EQ(echoed + anonymous, kRequests);
+    }
+
+    // Phase 2 — connection-killing sites. Here the weaker law holds: every
+    // request resolves as a response or a connection teardown (IoError on
+    // this side), never silence.
+    {
+        util::FaultScope scope("seed=" + std::to_string(seed + 64) +
+                               ";serve.frame.decode=p:0.2"
+                               ";serve.response.write=p:0.2");
+        int responses = 0, teardowns = 0;
+        constexpr int kAttempts = 24;
+        std::unique_ptr<serve::BlockingClient> client;
+        for (int i = 0; i < kAttempts; ++i) {
+            try {
+                if (!client)
+                    client = std::make_unique<serve::BlockingClient>("127.0.0.1",
+                                                                     server.port());
+                serve::Request req;
+                req.type = serve::MsgType::Ping;
+                req.text = "p2";
+                client->send(req);
+                (void)client->receive();
+                ++responses;
+            } catch (const Error&) {
+                ++teardowns; // typed teardown: reconnect and continue
+                client.reset();
+            }
+        }
+        EXPECT_EQ(responses + teardowns, kAttempts);
+    }
+
+    // Disarmed, the server must still be healthy: a clean probe answers.
+    {
+        serve::BlockingClient probe("127.0.0.1", server.port());
+        serve::Request req;
+        req.type = serve::MsgType::Ping;
+        req.text = "healthy";
+        const serve::Response resp = probe.call(req);
+        EXPECT_TRUE(resp.ok);
+        EXPECT_EQ(resp.body.get_string("echo"), "healthy");
+    }
+    server.stop();
+    server.wait();
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedSweep, FaultMatrixSoak, ::testing::Range(0, 16));

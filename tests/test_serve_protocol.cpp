@@ -1,0 +1,280 @@
+// Protocol-layer tests: framing round trips under arbitrary chunking, the
+// full adversarial-frame matrix (every violation a typed BadFrame, never a
+// crash — run this suite under asan), per-type request decode with typed
+// field errors, response envelopes, and the docs/PROTOCOL.md lockstep
+// check that keeps the wire tables and the documentation in sync.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/bytes.hpp"
+
+using namespace cybok;
+using namespace cybok::serve;
+
+namespace {
+
+/// Feed a byte stream in chunks of `chunk` and collect every payload.
+std::vector<std::string> drain(std::string_view stream, std::size_t chunk,
+                               std::size_t max_frame = kDefaultMaxFrameBytes) {
+    FrameDecoder decoder(max_frame);
+    std::vector<std::string> payloads;
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+        decoder.feed(stream.substr(i, chunk));
+        while (std::optional<std::string> p = decoder.next()) payloads.push_back(*p);
+    }
+    return payloads;
+}
+
+ErrorCode decode_failure(std::string_view stream,
+                         std::size_t max_frame = kDefaultMaxFrameBytes) {
+    FrameDecoder decoder(max_frame);
+    decoder.feed(stream);
+    try {
+        while (decoder.next().has_value()) {}
+    } catch (const ProtocolError& e) {
+        return e.code();
+    }
+    ADD_FAILURE() << "no ProtocolError for: " << stream;
+    return ErrorCode::Internal;
+}
+
+ErrorCode request_failure(std::string_view payload) {
+    try {
+        (void)decode_request(payload);
+    } catch (const ProtocolError& e) {
+        return e.code();
+    }
+    ADD_FAILURE() << "no ProtocolError for payload: " << payload;
+    return ErrorCode::Internal;
+}
+
+} // namespace
+
+// -- tables -------------------------------------------------------------------
+
+TEST(ServeProtocol, ErrorCodeTableIsCompleteAndUnique) {
+    const auto& codes = known_error_codes();
+    EXPECT_EQ(codes.size(), 10u);
+    std::set<std::string_view> wires;
+    for (const ErrorCodeInfo& info : codes) {
+        EXPECT_FALSE(info.wire.empty());
+        EXPECT_FALSE(info.summary.empty());
+        EXPECT_TRUE(wires.insert(info.wire).second) << "duplicate wire name " << info.wire;
+        // Enum-order indexing: the lookup function agrees with the table.
+        EXPECT_EQ(error_code_name(info.code), info.wire);
+    }
+}
+
+TEST(ServeProtocol, MessageTypeTableIsCompleteAndUnique) {
+    const auto& types = known_message_types();
+    EXPECT_EQ(types.size(), 12u);
+    std::set<std::string_view> wires;
+    for (const MessageTypeInfo& info : types) {
+        EXPECT_FALSE(info.wire.empty());
+        EXPECT_FALSE(info.summary.empty());
+        EXPECT_TRUE(wires.insert(info.wire).second) << "duplicate wire name " << info.wire;
+        EXPECT_EQ(message_type_name(info.type), info.wire);
+    }
+}
+
+// -- framing ------------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTripsUnderEveryChunking) {
+    const std::string a = R"({"type":"ping","id":1})";
+    const std::string b = R"({"type":"query","id":2,"text":"modbus overflow"})";
+    const std::string stream = encode_frame(a) + encode_frame(b);
+    // From byte-at-a-time up to one big read, the same two payloads.
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{7}, stream.size()}) {
+        const std::vector<std::string> payloads = drain(stream, chunk);
+        ASSERT_EQ(payloads.size(), 2u) << "chunk=" << chunk;
+        EXPECT_EQ(payloads[0], a);
+        EXPECT_EQ(payloads[1], b);
+    }
+}
+
+TEST(ServeProtocol, FrameToleratesCarriageReturnAfterLength) {
+    // `nc -C` sends \r\n; the \r before the length newline is accepted.
+    const std::string payload = R"({"type":"hello"})";
+    const std::string stream = std::to_string(payload.size()) + "\r\n" + payload + "\n";
+    const std::vector<std::string> payloads = drain(stream, stream.size());
+    ASSERT_EQ(payloads.size(), 1u);
+    EXPECT_EQ(payloads[0], payload);
+}
+
+TEST(ServeProtocol, EmptyPayloadFrameIsLegal) {
+    const std::vector<std::string> payloads = drain("0\n\n", 1);
+    ASSERT_EQ(payloads.size(), 1u);
+    EXPECT_EQ(payloads[0], "");
+}
+
+TEST(ServeProtocol, AdversarialFramesAreTypedNeverCrashes) {
+    EXPECT_EQ(decode_failure("abc\n{}\n"), ErrorCode::BadFrame);       // non-digit length
+    EXPECT_EQ(decode_failure("-2\n{}\n"), ErrorCode::BadFrame);        // signed length
+    EXPECT_EQ(decode_failure("\n{}\n"), ErrorCode::BadFrame);          // empty length line
+    EXPECT_EQ(decode_failure("2 \n{}\n"), ErrorCode::BadFrame);        // trailing junk
+    EXPECT_EQ(decode_failure("999999999\n"), ErrorCode::BadFrame);     // 9 digits
+    EXPECT_EQ(decode_failure("4096\n{}\n", 64), ErrorCode::BadFrame);  // over frame limit
+    EXPECT_EQ(decode_failure("2\n{}X"), ErrorCode::BadFrame);          // bad terminator
+    EXPECT_EQ(decode_failure("0123456789abcdef"), ErrorCode::BadFrame); // endless length line
+}
+
+TEST(ServeProtocol, TruncatedFramesWaitForMoreBytes) {
+    FrameDecoder decoder;
+    decoder.feed("16");
+    EXPECT_FALSE(decoder.next().has_value()); // length line incomplete
+    decoder.feed("\n{\"type\":\"hello\"");
+    EXPECT_FALSE(decoder.next().has_value()); // payload incomplete
+    decoder.feed("}");
+    EXPECT_FALSE(decoder.next().has_value()); // terminator missing
+    decoder.feed("\n");
+    const std::optional<std::string> payload = decoder.next();
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, "{\"type\":\"hello\"}");
+}
+
+TEST(ServeProtocol, PoisonedDecoderStaysPoisoned) {
+    FrameDecoder decoder;
+    decoder.feed("nope\n");
+    EXPECT_THROW((void)decoder.next(), ProtocolError);
+    EXPECT_TRUE(decoder.poisoned());
+    // A valid frame after the violation is unreachable: the stream has no
+    // resynchronization point, so every further next() refuses.
+    decoder.feed(encode_frame(std::string_view("{}")));
+    EXPECT_THROW((void)decoder.next(), ProtocolError);
+}
+
+TEST(ServeProtocol, LongLivedDecoderCompactsItsBuffer) {
+    FrameDecoder decoder;
+    const std::string frame = encode_frame(std::string_view(std::string(512, 'x')));
+    for (int i = 0; i < 100; ++i) {
+        decoder.feed(frame);
+        ASSERT_TRUE(decoder.next().has_value());
+    }
+    // The consumed prefix is reclaimed, not accumulated forever.
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// -- requests -----------------------------------------------------------------
+
+TEST(ServeProtocol, EveryMessageTypeRoundTrips) {
+    for (const MessageTypeInfo& info : known_message_types()) {
+        Request req;
+        req.type = info.type;
+        req.id = 42;
+        req.session = "s-7";
+        req.text = "plc firmware tamper";
+        req.cls = "weakness";
+        req.limit = 3;
+        req.model_dsl = "system \"m\"\n";
+        req.commit = true;
+        req.snapshot = "/tmp/gen2.snap";
+        const std::string payload = json::dump(encode_request(req));
+        const Request back = decode_request(payload);
+        EXPECT_EQ(back.type, req.type) << info.wire;
+        EXPECT_EQ(back.id, 42) << info.wire;
+        // Fields not carried by this type legitimately reset to defaults;
+        // the ones the type does carry must survive.
+        switch (info.type) {
+        case MsgType::Ping: EXPECT_EQ(back.text, req.text); break;
+        case MsgType::SessionOpen: EXPECT_EQ(back.model_dsl, req.model_dsl); break;
+        case MsgType::SessionClose:
+        case MsgType::Associate:
+        case MsgType::Posture: EXPECT_EQ(back.session, req.session); break;
+        case MsgType::Query:
+            EXPECT_EQ(back.text, req.text);
+            EXPECT_EQ(back.cls, req.cls);
+            EXPECT_EQ(back.limit, req.limit);
+            break;
+        case MsgType::WhatIf:
+            EXPECT_EQ(back.session, req.session);
+            EXPECT_EQ(back.model_dsl, req.model_dsl);
+            EXPECT_TRUE(back.commit);
+            break;
+        case MsgType::Metrics: EXPECT_EQ(back.session, req.session); break;
+        case MsgType::SnapshotSwap: EXPECT_EQ(back.snapshot, req.snapshot); break;
+        default: break;
+        }
+    }
+}
+
+TEST(ServeProtocol, RequestDecodeErrorsAreTyped) {
+    EXPECT_EQ(request_failure("not json at all"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure("[1,2,3]"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure("{}"), ErrorCode::BadRequest);                 // no type
+    EXPECT_EQ(request_failure(R"({"type":42})"), ErrorCode::BadRequest);     // mistyped type
+    EXPECT_EQ(request_failure(R"({"type":"nope"})"), ErrorCode::UnknownType);
+    EXPECT_EQ(request_failure(R"({"type":"ping","id":"x"})"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"session.close"})"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"associate"})"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"posture","session":7})"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"query"})"), ErrorCode::BadRequest); // no text
+    EXPECT_EQ(request_failure(R"({"type":"query","text":"x","class":"bogus"})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"query","text":"x","limit":-1})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"whatif","session":"s-1"})"), ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"whatif","session":"s-1","model":"m","commit":1})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(request_failure(R"({"type":"snapshot.swap"})"), ErrorCode::BadRequest);
+}
+
+TEST(ServeProtocol, OptionalFieldsDefaultCleanly) {
+    const Request ping = decode_request(R"({"type":"ping"})");
+    EXPECT_EQ(ping.id, 0);
+    EXPECT_TRUE(ping.text.empty());
+    const Request open = decode_request(R"({"type":"session.open"})");
+    EXPECT_TRUE(open.model_dsl.empty()); // base-model overlay
+    const Request query = decode_request(R"({"type":"query","text":"x"})");
+    EXPECT_EQ(query.limit, 10u);
+    EXPECT_TRUE(query.cls.empty()); // all classes
+    const Request metrics = decode_request(R"({"type":"metrics"})");
+    EXPECT_TRUE(metrics.session.empty()); // server-wide
+}
+
+// -- responses ----------------------------------------------------------------
+
+TEST(ServeProtocol, ResponseEnvelopesRoundTrip) {
+    json::Value result;
+    result["echo"] = "hi";
+    const Response ok = decode_response(json::dump(ok_response(7, MsgType::Ping, result)));
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.id, 7);
+    EXPECT_EQ(ok.type, "ping");
+    EXPECT_EQ(ok.body.get_string("echo"), "hi");
+
+    const Response err = decode_response(
+        json::dump(error_response(9, ErrorCode::Overloaded, "queue full")));
+    EXPECT_FALSE(err.ok);
+    EXPECT_EQ(err.id, 9);
+    EXPECT_EQ(err.error_code, "overloaded");
+    EXPECT_EQ(err.error_message, "queue full");
+}
+
+TEST(ServeProtocol, MalformedResponsesAreTyped) {
+    EXPECT_THROW((void)decode_response("garbage"), ProtocolError);
+    EXPECT_THROW((void)decode_response("{}"), ProtocolError);
+    EXPECT_THROW((void)decode_response(R"({"ok":false})"), ProtocolError); // no error object
+}
+
+// -- documentation lockstep ---------------------------------------------------
+
+TEST(ServeProtocol, ProtocolDocCoversEveryWireName) {
+    // CYBOK_SOURCE_DIR is injected by tests/CMakeLists.txt; the doc is the
+    // client-author contract, so every message type and error code in the
+    // source-of-truth tables must appear in it verbatim.
+    const std::string doc = util::read_file(std::string(CYBOK_SOURCE_DIR) +
+                                            "/docs/PROTOCOL.md");
+    for (const MessageTypeInfo& info : known_message_types())
+        EXPECT_NE(doc.find("`" + std::string(info.wire) + "`"), std::string::npos)
+            << "docs/PROTOCOL.md is missing message type `" << info.wire << "`";
+    for (const ErrorCodeInfo& info : known_error_codes())
+        EXPECT_NE(doc.find("`" + std::string(info.wire) + "`"), std::string::npos)
+            << "docs/PROTOCOL.md is missing error code `" << info.wire << "`";
+    // The protocol version in the doc's title block matches the header.
+    EXPECT_NE(doc.find("protocol version " + std::to_string(kProtocolVersion)),
+              std::string::npos);
+}
