@@ -1,6 +1,10 @@
 // Substrate scaling: index build time and query latency as the corpus
-// grows, the BM25-vs-TFIDF ranking ablation called out in DESIGN.md, and
-// the flat-accumulator kernel vs the reference scorers (the PR-2 speedup).
+// grows, the BM25-vs-TFIDF ranking ablation called out in DESIGN.md, the
+// flat-accumulator kernel vs the reference scorers, and the Block-Max
+// WAND top-k path over block-compressed postings. The kernel and build
+// benchmarks attach deterministic counters (postings_scanned,
+// blocks_decoded/skipped, resident postings bytes) that the CI
+// bench-regression gate checks against tools/bench_thresholds.json.
 
 #include <cstdio>
 #include <map>
@@ -61,6 +65,12 @@ void BM_IndexBuild(benchmark::State& state) {
     }
     state.counters["docs"] = static_cast<double>(
         corpus.stats().patterns + corpus.stats().weaknesses + corpus.stats().vulnerabilities);
+    // Resident-size accounting for the regression gate: compressed posting
+    // bytes vs what the old flat Posting arrays would occupy.
+    const search::SearchEngine probe(corpus);
+    const text::IndexStats stats = probe.index_stats();
+    state.counters["postings_bytes"] = static_cast<double>(stats.postings_bytes);
+    state.counters["uncompressed_bytes"] = static_cast<double>(stats.uncompressed_postings_bytes);
 }
 BENCHMARK(BM_IndexBuild)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
@@ -120,16 +130,25 @@ void BM_Bm25Kernel(benchmark::State& state) {
 }
 BENCHMARK(BM_Bm25Kernel)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
 
+// Top-k with pruning: this is the Block-Max WAND path — document-at-a-
+// time over compressed blocks, skipping blocks whose max impact cannot
+// reach the current floor. The counters are deterministic (fixed query,
+// fixed corpus seed) and gate the CI bench-regression check.
 void BM_Bm25KernelTopK(benchmark::State& state) {
     const text::InvertedIndex& index = vuln_index_at_scale(static_cast<int>(state.range(0)));
     const text::Bm25Scorer scorer(index);
     text::QueryScratch& scratch = text::tls_query_scratch();
     text::KernelOptions opts;
     opts.top_k = 25;
+    text::KernelStats stats;
     for (auto _ : state) {
-        auto hits = scorer.query_kernel(scorer_query(), scratch, opts);
+        stats = {};
+        auto hits = scorer.query_kernel(scorer_query(), scratch, opts, &stats);
         benchmark::DoNotOptimize(hits);
     }
+    state.counters["postings_scanned"] = static_cast<double>(stats.postings_scanned);
+    state.counters["blocks_decoded"] = static_cast<double>(stats.blocks_decoded);
+    state.counters["blocks_skipped"] = static_cast<double>(stats.blocks_skipped);
 }
 BENCHMARK(BM_Bm25KernelTopK)->Arg(50)->Arg(1000);
 

@@ -28,6 +28,14 @@ std::shared_ptr<const SharedEngine> make_shared_engine(const kb::Corpus& corpus,
             if (fresh) {
                 handle->owned_corpus = std::move(snap.corpus);
                 handle->engine = std::move(snap.engine);
+                handle->slab_backing = std::move(snap.slab_backing);
+                handle->mapping = std::move(snap.mapping);
+                if (!snap.mmap_fallback_reason.empty()) {
+                    // The engine is fully functional on the owning-buffer
+                    // path; record why the zero-copy start was not taken.
+                    ++handle->cold_start.mmap_fallbacks;
+                    handle->cold_start.last_reason = snap.mmap_fallback_reason;
+                }
                 return handle;
             }
             ++handle->cold_start.snapshot_fallbacks;

@@ -73,6 +73,14 @@ struct SharedEngine {
     /// outlive every session holding this handle).
     std::unique_ptr<kb::Corpus> owned_corpus;
     std::unique_ptr<search::SearchEngine> engine;
+    /// Storage behind the thawed engine's posting/table slabs — exactly one
+    /// of these is set on a snapshot start. `mapping` is the zero-copy
+    /// path: the engine reads the mmap'd snapshot file in place, so all
+    /// sessions over this handle (and across handles mapping the same
+    /// file) share one physical copy of the index. `slab_backing` is the
+    /// owning fallback when mapping fails. Both empty when built fresh.
+    util::AlignedBuffer slab_backing;
+    std::shared_ptr<const util::MappedFile> mapping;
     /// Cold-start fallbacks taken while producing the engine (snapshot
     /// stale/corrupt -> fresh build, snapshot write failed -> uncached).
     /// Reported once by the owner of the handle — sessions constructed

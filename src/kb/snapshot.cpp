@@ -50,21 +50,28 @@ Rating thaw_rating(util::ByteReader& r) {
 
 } // namespace
 
-std::string seal_snapshot(std::string payload) {
+std::string seal_snapshot(std::string_view eager, std::string_view slabs) {
     CYBOK_FAULT_POINT("kb.snapshot.seal", SnapshotError("injected: snapshot seal failed"));
+    const std::size_t slab_begin = snapshot_slab_offset(eager.size());
     std::string out;
-    out.reserve(kHeaderSize + payload.size());
+    out.reserve(slab_begin + slabs.size());
     out.append(kMagic);
     util::ByteWriter fields;
     fields.u32(kSnapshotVersion);
-    fields.u64(payload.size());
-    fields.u64(util::fnv1a64(payload));
+    fields.u64(eager.size());
+    fields.u64(slabs.size());
+    fields.u64(util::fnv1a64(eager));
+    fields.u64(util::fnv1a64(slabs));
     out.append(fields.bytes());
-    out.append(payload);
+    out.resize(kHeaderSize, '\0'); // reserved header tail, deterministic zeros
+    out.append(eager);
+    out.resize(slab_begin, '\0'); // alignment padding, deterministic zeros
+    out.append(slabs);
     return out;
 }
 
-std::string_view open_snapshot(std::string_view blob, std::string_view source) {
+SnapshotSections open_snapshot(std::string_view blob, std::string_view source,
+                               bool verify_slab_checksum) {
     const std::string path(source);
     CYBOK_FAULT_POINT("kb.snapshot.open",
                       SnapshotError("injected: snapshot rejected", path, 0));
@@ -76,17 +83,28 @@ std::string_view open_snapshot(std::string_view blob, std::string_view source) {
         throw SnapshotError("snapshot: version mismatch (blob v" + std::to_string(version) +
                                 ", expected v" + std::to_string(kSnapshotVersion) + ")",
                             path, kMagic.size());
-    const std::uint64_t payload_size = r.u64();
-    const std::uint64_t checksum = r.u64();
-    std::string_view payload = blob.substr(kHeaderSize);
-    if (payload.size() < payload_size)
+    const std::uint64_t eager_size = r.u64();
+    const std::uint64_t slab_size = r.u64();
+    const std::uint64_t eager_checksum = r.u64();
+    const std::uint64_t slab_checksum = r.u64();
+    // Reject absurd sizes before computing offsets, so the arithmetic
+    // below cannot overflow on a hostile header.
+    if (eager_size > blob.size() || slab_size > blob.size())
         throw SnapshotError("snapshot: truncated payload", path, blob.size());
-    if (payload.size() > payload_size)
-        throw SnapshotError("snapshot: trailing bytes after payload",
-                            path, kHeaderSize + static_cast<std::size_t>(payload_size));
-    if (util::fnv1a64(payload) != checksum)
-        throw SnapshotError("snapshot: checksum mismatch", path, kMagic.size() + 4 + 8);
-    return payload;
+    const std::size_t slab_begin = snapshot_slab_offset(static_cast<std::size_t>(eager_size));
+    const std::size_t total = slab_begin + static_cast<std::size_t>(slab_size);
+    if (blob.size() < total)
+        throw SnapshotError("snapshot: truncated payload", path, blob.size());
+    if (blob.size() > total)
+        throw SnapshotError("snapshot: trailing bytes after payload", path, total);
+    SnapshotSections sections;
+    sections.eager = blob.substr(kHeaderSize, static_cast<std::size_t>(eager_size));
+    sections.slabs = blob.substr(slab_begin);
+    if (util::fnv1a64(sections.eager) != eager_checksum)
+        throw SnapshotError("snapshot: checksum mismatch", path, kMagic.size() + 4 + 16);
+    if (verify_slab_checksum && util::fnv1a64(sections.slabs) != slab_checksum)
+        throw SnapshotError("snapshot: slab checksum mismatch", path, kMagic.size() + 4 + 24);
+    return sections;
 }
 
 void freeze_corpus(util::ByteWriter& w, const Corpus& corpus) {

@@ -361,6 +361,8 @@ std::vector<Match> SearchEngine::run_lexical(const std::vector<std::string>& tok
         metrics->kernel_pruned_docs += kstats.docs_pruned;
         metrics->kernel_gated_hits += kstats.hits_gated;
         metrics->kernel_fallbacks += kstats.fallback_queries;
+        metrics->kernel_blocks_decoded += kstats.blocks_decoded;
+        metrics->kernel_blocks_skipped += kstats.blocks_skipped;
     }
     return out;
 }
@@ -460,7 +462,7 @@ std::vector<Match> SearchEngine::expand_weakness(const Match& weakness_match) co
     return out;
 }
 
-void SearchEngine::freeze(util::ByteWriter& w) const {
+void SearchEngine::freeze(util::ByteWriter& w, util::SlabWriter& slabs) const {
     // Options first: thaw must reconstruct the exact query behavior, and
     // the session layer compares signatures before trusting a snapshot.
     // build_threads is deliberately absent — it shapes construction, not
@@ -471,24 +473,25 @@ void SearchEngine::freeze(util::ByteWriter& w) const {
     w.f32(options_.title_weight);
     w.u64(static_cast<std::uint64_t>(options_.max_lexical_hits));
 
-    pattern_index_.freeze(w);
-    weakness_index_.freeze(w);
-    vulnerability_index_.freeze(w);
+    pattern_index_.freeze(w, slabs);
+    weakness_index_.freeze(w, slabs);
+    vulnerability_index_.freeze(w, slabs);
 
     // Only the active ranker's tables exist; the tag byte above tells
     // thaw which three scorers to expect.
     if (options_.ranker == EngineOptions::Ranker::Bm25) {
-        pattern_bm25_->freeze(w);
-        weakness_bm25_->freeze(w);
-        vulnerability_bm25_->freeze(w);
+        pattern_bm25_->freeze(w, slabs);
+        weakness_bm25_->freeze(w, slabs);
+        vulnerability_bm25_->freeze(w, slabs);
     } else {
-        pattern_tfidf_->freeze(w);
-        weakness_tfidf_->freeze(w);
-        vulnerability_tfidf_->freeze(w);
+        pattern_tfidf_->freeze(w, slabs);
+        weakness_tfidf_->freeze(w, slabs);
+        vulnerability_tfidf_->freeze(w, slabs);
     }
 }
 
-SearchEngine::SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r)
+SearchEngine::SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r,
+                           const util::SlabView& slabs)
     : corpus_(corpus) {
     const Clock::time_point start = Clock::now();
 
@@ -500,22 +503,22 @@ SearchEngine::SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& 
     options_.title_weight = r.f32();
     options_.max_lexical_hits = static_cast<std::size_t>(r.u64());
 
-    pattern_index_ = text::InvertedIndex::thaw(r);
-    weakness_index_ = text::InvertedIndex::thaw(r);
-    vulnerability_index_ = text::InvertedIndex::thaw(r);
+    pattern_index_ = text::InvertedIndex::thaw(r, slabs);
+    weakness_index_ = text::InvertedIndex::thaw(r, slabs);
+    vulnerability_index_ = text::InvertedIndex::thaw(r, slabs);
     if (pattern_index_.doc_count() != corpus.patterns().size() ||
         weakness_index_.doc_count() != corpus.weaknesses().size() ||
         vulnerability_index_.doc_count() != corpus.vulnerabilities().size())
         throw ValidationError("engine snapshot does not match corpus shape");
 
     if (options_.ranker == EngineOptions::Ranker::Bm25) {
-        pattern_bm25_.emplace(text::Bm25Scorer::thaw(pattern_index_, r));
-        weakness_bm25_.emplace(text::Bm25Scorer::thaw(weakness_index_, r));
-        vulnerability_bm25_.emplace(text::Bm25Scorer::thaw(vulnerability_index_, r));
+        pattern_bm25_.emplace(text::Bm25Scorer::thaw(pattern_index_, r, slabs));
+        weakness_bm25_.emplace(text::Bm25Scorer::thaw(weakness_index_, r, slabs));
+        vulnerability_bm25_.emplace(text::Bm25Scorer::thaw(vulnerability_index_, r, slabs));
     } else {
-        pattern_tfidf_.emplace(text::TfidfScorer::thaw(pattern_index_, r));
-        weakness_tfidf_.emplace(text::TfidfScorer::thaw(weakness_index_, r));
-        vulnerability_tfidf_.emplace(text::TfidfScorer::thaw(vulnerability_index_, r));
+        pattern_tfidf_.emplace(text::TfidfScorer::thaw(pattern_index_, r, slabs));
+        weakness_tfidf_.emplace(text::TfidfScorer::thaw(weakness_index_, r, slabs));
+        vulnerability_tfidf_.emplace(text::TfidfScorer::thaw(vulnerability_index_, r, slabs));
     }
 
     build_metrics_.from_snapshot = true;
@@ -524,37 +527,70 @@ SearchEngine::SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& 
     build_metrics_.wall_ns = ns_since(start);
 }
 
-std::unique_ptr<SearchEngine> SearchEngine::thaw(const kb::Corpus& corpus, util::ByteReader& r) {
-    return std::unique_ptr<SearchEngine>(new SearchEngine(ThawTag{}, corpus, r));
+std::unique_ptr<SearchEngine> SearchEngine::thaw(const kb::Corpus& corpus, util::ByteReader& r,
+                                                 const util::SlabView& slabs) {
+    return std::unique_ptr<SearchEngine>(new SearchEngine(ThawTag{}, corpus, r, slabs));
 }
 
 std::string freeze_engine(const SearchEngine& engine) {
     util::ByteWriter w;
+    util::SlabWriter slabs;
     kb::freeze_corpus(w, engine.corpus());
-    engine.freeze(w);
-    return kb::seal_snapshot(std::move(w).take());
+    engine.freeze(w, slabs);
+    return kb::seal_snapshot(std::move(w).take(), slabs.bytes());
 }
 
-EngineSnapshot thaw_engine(std::string_view blob, std::string_view source) {
-    const std::string_view payload = kb::open_snapshot(blob, source);
-    util::ByteReader r(payload);
-    EngineSnapshot snap;
+namespace {
+
+/// Shared tail of the owning and mapped thaw paths: decode the eager
+/// section over the (already validated, already aligned) slab view.
+EngineSnapshot thaw_engine_sections(EngineSnapshot snap, std::string_view eager,
+                                    const util::SlabView& slabs, std::string_view source) {
+    util::ByteReader r(eager);
     try {
         snap.corpus = std::make_unique<kb::Corpus>(kb::thaw_corpus(r));
-        snap.engine = SearchEngine::thaw(*snap.corpus, r);
+        snap.engine = SearchEngine::thaw(*snap.corpus, r, slabs);
     } catch (const ParseError& e) {
-        // A ByteReader truncation mid-payload. Rebase its payload-relative
-        // offset into a whole-blob offset so the message pinpoints the
-        // corrupt byte in the file.
+        // A ByteReader truncation mid-eager-stream or a structural slab
+        // violation. Rebase the eager-relative offset into a whole-blob
+        // offset so the message pinpoints the corrupt byte in the file.
         throw kb::SnapshotError(std::string("snapshot payload: ") + e.what(),
                                 std::string(source), kb::kSnapshotHeaderSize + e.offset());
     }
-    // The framing already checksum-verified the payload; leftover bytes
-    // here mean a layout mismatch the version field should have caught.
+    // The framing already checksum-verified the eager section; leftover
+    // bytes here mean a layout mismatch the version field should have
+    // caught.
     if (!r.done())
         throw kb::SnapshotError("snapshot payload has trailing engine bytes",
                                 std::string(source), kb::kSnapshotHeaderSize + r.position());
     return snap;
+}
+
+} // namespace
+
+EngineSnapshot thaw_engine(std::string_view blob, std::string_view source) {
+    const kb::SnapshotSections sections = kb::open_snapshot(blob, source);
+    EngineSnapshot snap;
+    // One memcpy of the slab section into 64-byte-aligned memory — the
+    // only per-byte work the owning thaw does on the big tables (blobs in
+    // std::string carry no alignment guarantee, so they cannot be viewed
+    // in place).
+    snap.slab_backing = util::AlignedBuffer(sections.slabs);
+    const util::SlabView slabs(snap.slab_backing.view());
+    return thaw_engine_sections(std::move(snap), sections.eager, slabs, source);
+}
+
+EngineSnapshot thaw_engine_mapped(std::shared_ptr<const util::MappedFile> mapping) {
+    const std::string& source = mapping->path();
+    // Skip the slab checksum: hashing the slabs would fault in the whole
+    // file and defeat the zero-copy start. The slab tables are validated
+    // structurally below and posting blocks self-check at decode time.
+    const kb::SnapshotSections sections =
+        kb::open_snapshot(mapping->view(), source, /*verify_slab_checksum=*/false);
+    EngineSnapshot snap;
+    snap.mapping = std::move(mapping);
+    const util::SlabView slabs(sections.slabs);
+    return thaw_engine_sections(std::move(snap), sections.eager, slabs, source);
 }
 
 void save_engine_snapshot(const SearchEngine& engine, const std::string& path) {
@@ -562,7 +598,20 @@ void save_engine_snapshot(const SearchEngine& engine, const std::string& path) {
 }
 
 EngineSnapshot load_engine_snapshot(const std::string& path) {
-    return thaw_engine(util::read_file(path), path);
+    try {
+        CYBOK_FAULT_POINT("snapshot.map", IoError("injected: mmap failed: " + path));
+        auto mapping = std::make_shared<const util::MappedFile>(util::MappedFile::open(path));
+        return thaw_engine_mapped(std::move(mapping));
+    } catch (const IoError& e) {
+        // Mapping failed (injected fault, unsupported platform, special
+        // file). Fall back to the owning read+thaw path and record why;
+        // a missing file fails both paths and propagates from read_file.
+        // Corrupt blobs are not a mapping failure: SnapshotError from the
+        // mapped thaw above propagates rather than being retried.
+        EngineSnapshot snap = thaw_engine(util::read_file(path), path);
+        snap.mmap_fallback_reason = e.what();
+        return snap;
+    }
 }
 
 std::string SearchEngine::explain(const model::Attribute& attr, const Match& match) const {

@@ -30,6 +30,7 @@
 #include "search/metrics.hpp"
 #include "text/index.hpp"
 #include "util/bytes.hpp"
+#include "util/mmap.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cybok::search {
@@ -120,6 +121,23 @@ public:
     /// the snapshot-thaw marker. Copied into AssocMetrics by Associator.
     [[nodiscard]] const BuildMetrics& build_metrics() const noexcept { return build_metrics_; }
 
+    /// Aggregate shape/resident-size accounting over the three class
+    /// indexes (the bench regression gate watches these).
+    [[nodiscard]] text::IndexStats index_stats() const noexcept {
+        text::IndexStats s = pattern_index_.stats();
+        s += weakness_index_.stats();
+        s += vulnerability_index_.stats();
+        return s;
+    }
+    /// Direct access to one class index (tests, explain tooling).
+    [[nodiscard]] const text::InvertedIndex& class_index(VectorClass cls) const noexcept {
+        switch (cls) {
+            case VectorClass::AttackPattern: return pattern_index_;
+            case VectorClass::Weakness: return weakness_index_;
+            default: return vulnerability_index_;
+        }
+    }
+
     /// Free-text query against one record family (lexical only).
     [[nodiscard]] std::vector<Match> query_text(std::string_view text, VectorClass cls) const;
 
@@ -159,23 +177,29 @@ public:
     /// to NLP sensitivity is analyst auditability — this is the audit.
     [[nodiscard]] std::string explain(const model::Attribute& attr, const Match& match) const;
 
-    /// Serialize the fully built engine — options, the three finalized
-    /// indexes, and the active ranker's precomputed tables — into `w`.
-    /// Thawing the bytes yields a bit-identical engine without touching
-    /// the token pipeline (see kb/snapshot.hpp for the blob framing).
-    void freeze(util::ByteWriter& w) const;
+    /// Serialize the fully built engine — options and counts into `w`,
+    /// the three finalized indexes and the active ranker's precomputed
+    /// tables as 64-byte-aligned slabs in `slabs`. Thawing the bytes
+    /// yields a bit-identical engine without touching the token pipeline
+    /// (see kb/snapshot.hpp for the blob framing).
+    void freeze(util::ByteWriter& w, util::SlabWriter& slabs) const;
 
-    /// Reconstruct an engine from freeze() bytes over `corpus`. The
-    /// corpus must be the same one the frozen engine indexed (validated
-    /// by record counts); malformed bytes throw ValidationError or
-    /// ParseError. Returned by pointer because the engine is neither
-    /// copyable nor movable (it holds const references into itself).
+    /// Reconstruct an engine from freeze() bytes over `corpus`, viewing
+    /// the posting stores and score tables inside `slabs` in place (no
+    /// per-posting decode; the engine must not outlive the slab memory —
+    /// EngineSnapshot carries the backing). The corpus must be the same
+    /// one the frozen engine indexed (validated by record counts);
+    /// malformed bytes throw ValidationError or ParseError. Returned by
+    /// pointer because the engine is neither copyable nor movable (it
+    /// holds const references into itself).
     [[nodiscard]] static std::unique_ptr<SearchEngine> thaw(const kb::Corpus& corpus,
-                                                            util::ByteReader& r);
+                                                            util::ByteReader& r,
+                                                            const util::SlabView& slabs);
 
 private:
     struct ThawTag {};
-    SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r);
+    SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r,
+                 const util::SlabView& slabs);
     /// The lexical hot path: resolves tokens once, runs the flat-accumulator
     /// scoring kernel (per-thread scratch arena, fused evidence-IDF gate,
     /// optional top-k/pruning per options_), and materializes Matches with
@@ -200,20 +224,40 @@ private:
 };
 
 /// A corpus and the engine indexing it, thawed together from one snapshot
-/// blob. The engine holds a reference into the corpus, so the pair must
-/// stay together; keep the struct alive as long as the engine is used.
+/// blob, plus whichever memory backs the slab tables the engine views in
+/// place: an aligned owned copy of the slab section (owning thaw) or a
+/// shared read-only file mapping (zero-copy thaw). The engine holds
+/// references into the corpus and the backing, so the whole struct must
+/// stay together and alive as long as the engine is used.
 struct EngineSnapshot {
     std::unique_ptr<kb::Corpus> corpus;
     std::unique_ptr<SearchEngine> engine;
+    /// Owning thaw: the snapshot's slab section, copied once into
+    /// 64-byte-aligned memory (empty on the mmap path).
+    util::AlignedBuffer slab_backing;
+    /// Zero-copy thaw: the file mapping the engine serves from. Shared so
+    /// the registry's generation swap keeps an old mapping alive until the
+    /// last pinned session drops it (null on the owning path).
+    std::shared_ptr<const util::MappedFile> mapping;
+    /// Why load_engine_snapshot fell back from mmap to the owning path
+    /// (empty when it did not).
+    std::string mmap_fallback_reason;
+
+    /// True when the engine serves its tables straight from the mapped
+    /// snapshot file (one physical copy, no per-session duplication).
+    [[nodiscard]] bool zero_copy() const noexcept { return mapping != nullptr; }
 };
 
 /// Serialize corpus + engine into one framed snapshot blob (magic,
-/// version, checksum — see kb/snapshot.hpp). The blob captures the
-/// *finalized* indexes and scorer tables, so thawing skips tokenization,
-/// finalize, and table precomputation entirely.
+/// version, checksums, eager + aligned slab sections — see
+/// kb/snapshot.hpp). The blob captures the *finalized* indexes and scorer
+/// tables, so thawing skips tokenization, finalize, and table
+/// precomputation entirely.
 [[nodiscard]] std::string freeze_engine(const SearchEngine& engine);
 
-/// Open a snapshot blob and reconstruct the corpus and engine. Throws
+/// Open a snapshot blob and reconstruct the corpus and engine (the owning
+/// path: the slab section is copied once into aligned memory carried by
+/// the returned EngineSnapshot; both checksums are verified). Throws
 /// kb::SnapshotError for framing problems (bad magic/version/truncation/
 /// checksum) — carrying `source` (originating file path, empty for
 /// in-memory blobs) and the byte offset — and util::ValidationError for
@@ -221,11 +265,22 @@ struct EngineSnapshot {
 /// into whole-blob offsets and rethrown as SnapshotError.
 [[nodiscard]] EngineSnapshot thaw_engine(std::string_view blob, std::string_view source = {});
 
+/// Zero-copy thaw over an existing file mapping: the eager section is
+/// decoded (and checksum-verified) as usual, but the slab tables are
+/// served from the mapping in place — no copy, no slab checksum pass, so
+/// cold start costs O(pages actually touched). Same error contract as
+/// thaw_engine.
+[[nodiscard]] EngineSnapshot thaw_engine_mapped(std::shared_ptr<const util::MappedFile> mapping);
+
 /// freeze_engine + write to `path` (atomic-enough: write then rename is
 /// overkill for a cache file; plain overwrite). Throws util::IoError.
 void save_engine_snapshot(const SearchEngine& engine, const std::string& path);
 
-/// read_file + thaw_engine.
+/// Load a snapshot file, preferring the zero-copy mmap path; if mapping
+/// fails (fault site "snapshot.map", unsupported platform, special file),
+/// falls back to the owning read_file + thaw_engine path and records the
+/// reason in EngineSnapshot::mmap_fallback_reason. Corrupt blobs are NOT
+/// a mapping failure: SnapshotError propagates from either path.
 [[nodiscard]] EngineSnapshot load_engine_snapshot(const std::string& path);
 
 } // namespace cybok::search

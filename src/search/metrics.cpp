@@ -23,6 +23,7 @@ void DegradeCounts::merge(const DegradeCounts& other) {
     cache_recoveries += other.cache_recoveries;
     recompute_retries += other.recompute_retries;
     records_skipped += other.records_skipped;
+    mmap_fallbacks += other.mmap_fallbacks;
     if (!other.last_reason.empty()) last_reason = other.last_reason;
 }
 
@@ -33,6 +34,7 @@ json::Value DegradeCounts::to_json() const {
     o["cache_recoveries"] = static_cast<std::uint64_t>(cache_recoveries);
     o["recompute_retries"] = static_cast<std::uint64_t>(recompute_retries);
     o["records_skipped"] = static_cast<std::uint64_t>(records_skipped);
+    o["mmap_fallbacks"] = static_cast<std::uint64_t>(mmap_fallbacks);
     if (!last_reason.empty()) o["last_reason"] = json::Value(last_reason);
     return json::Value(std::move(o));
 }
@@ -62,6 +64,8 @@ void AssocMetrics::merge(const AssocMetrics& other) {
     kernel_pruned_docs += other.kernel_pruned_docs;
     kernel_gated_hits += other.kernel_gated_hits;
     kernel_fallbacks += other.kernel_fallbacks;
+    kernel_blocks_decoded += other.kernel_blocks_decoded;
+    kernel_blocks_skipped += other.kernel_blocks_skipped;
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
     lint.merge(other.lint);
@@ -101,7 +105,9 @@ std::string AssocMetrics::summary() const {
             << std::fixed << 100.0 * cache_hit_rate() << std::defaultfloat << "% hit rate)";
     out << "; candidates " << pattern_candidates << " AP / " << weakness_candidates << " W / "
         << vulnerability_candidates << " V; kernel " << kernel_postings << " postings / "
-        << kernel_pruned_docs << " pruned / " << kernel_gated_hits << " gated";
+        << kernel_blocks_decoded << " blocks decoded / " << kernel_blocks_skipped
+        << " blocks skipped / " << kernel_pruned_docs << " pruned / " << kernel_gated_hits
+        << " gated";
     if (kernel_fallbacks > 0) out << " / " << kernel_fallbacks << " fallbacks";
     out << "; " << threads << " thread(s); stage ms: analyze "
         << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
@@ -143,6 +149,8 @@ json::Value AssocMetrics::to_json() const {
     k["pruned_docs"] = kernel_pruned_docs;
     k["gated_hits"] = kernel_gated_hits;
     k["fallback_queries"] = kernel_fallbacks;
+    k["blocks_decoded"] = kernel_blocks_decoded;
+    k["blocks_skipped"] = kernel_blocks_skipped;
     o["kernel"] = std::move(k);
     o["threads"] = static_cast<std::uint64_t>(threads);
     json::Object t;

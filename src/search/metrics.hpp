@@ -58,11 +58,12 @@ struct DegradeCounts {
     std::size_t cache_recoveries = 0;       ///< cache get/put failed -> recompute / skip caching
     std::size_t recompute_retries = 0;      ///< attribute query retried after transient failure
     std::size_t records_skipped = 0;        ///< corpus records dropped by lenient decode
+    std::size_t mmap_fallbacks = 0;         ///< snapshot mmap failed -> owning-buffer thaw
     std::string last_reason;                ///< most recent degradation's error text
 
     [[nodiscard]] bool any() const noexcept {
         return snapshot_fallbacks + snapshot_save_failures + cache_recoveries +
-                   recompute_retries + records_skipped >
+                   recompute_retries + records_skipped + mmap_fallbacks >
                0;
     }
     void merge(const DegradeCounts& other);
@@ -107,10 +108,12 @@ struct AssocMetrics {
     std::size_t vulnerability_candidates = 0;
 
     // -- scoring kernel -------------------------------------------------------
-    std::uint64_t kernel_postings = 0;    ///< postings scanned by the scoring kernel
-    std::uint64_t kernel_pruned_docs = 0; ///< accumulator admissions skipped by max-score
+    std::uint64_t kernel_postings = 0;    ///< postings actually decoded by the scoring kernel
+    std::uint64_t kernel_pruned_docs = 0; ///< pivot docs proven below the top-k floor (BMW)
     std::uint64_t kernel_gated_hits = 0;  ///< candidates dropped by the fused evidence gate
     std::uint64_t kernel_fallbacks = 0;   ///< queries routed to the reference scorer (>64 terms)
+    std::uint64_t kernel_blocks_decoded = 0; ///< posting blocks decompressed
+    std::uint64_t kernel_blocks_skipped = 0; ///< posting blocks skipped via block-max bounds
 
     // -- execution shape -----------------------------------------------------
     std::size_t threads = 1; ///< lanes the run fanned out across

@@ -16,6 +16,17 @@ std::shared_ptr<const core::SharedEngine> load_generation(const std::string& sna
     auto handle = std::make_shared<core::SharedEngine>();
     handle->owned_corpus = std::move(snap.corpus);
     handle->engine = std::move(snap.engine);
+    // Keep the snapshot's backing storage alive for the generation's whole
+    // lifetime: on the zero-copy path the engine reads the mmap'd file in
+    // place, so the mapping (one physical copy, shared by every session of
+    // the generation and surviving hot swaps until the last lease drops)
+    // must outlive the engine.
+    handle->slab_backing = std::move(snap.slab_backing);
+    handle->mapping = std::move(snap.mapping);
+    if (!snap.mmap_fallback_reason.empty()) {
+        ++handle->cold_start.mmap_fallbacks;
+        handle->cold_start.last_reason = snap.mmap_fallback_reason;
+    }
     return handle;
 }
 

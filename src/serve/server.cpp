@@ -186,12 +186,14 @@ void Server::io_loop() {
                 ++stats_.connections_open;
             }
         }
-        // fds[i + 2] is conns[i]; compact after the scan so the indexes
-        // stay aligned throughout.
+        // fds[i + 2] is conns[i] for the connections that existed when fds
+        // was built; ones accepted above were never polled, so they carry
+        // no events this round (the next poll() covers them).
+        const std::size_t polled = fds.size() - 2;
         std::vector<std::shared_ptr<Connection>> alive;
         alive.reserve(conns.size());
         for (std::size_t i = 0; i < conns.size(); ++i) {
-            const short revents = fds[i + 2].revents;
+            const short revents = i < polled ? fds[i + 2].revents : short{0};
             bool keep = !conns[i]->dead.load(std::memory_order_acquire);
             if (keep && (revents & (POLLIN | POLLHUP | POLLERR)) != 0)
                 keep = drain_connection(conns[i]);

@@ -32,8 +32,8 @@ const std::string& Vocabulary::term(TermId id) const {
 DocId InvertedIndex::add_document() {
     if (finalized_) throw ValidationError("index already finalized");
     flush_accum();
-    current_doc_ = static_cast<DocId>(doc_lengths_.size());
-    doc_lengths_.push_back(0.0);
+    current_doc_ = static_cast<DocId>(build_lengths_.size());
+    build_lengths_.push_back(0.0);
     return current_doc_;
 }
 
@@ -42,7 +42,7 @@ void InvertedIndex::add_term(std::string_view token, float field_weight) {
     if (current_doc_ == UINT32_MAX) throw ValidationError("add_document must be called first");
     TermId t = vocab_.intern(token);
     accum_[t] += field_weight;
-    doc_lengths_[current_doc_] += field_weight;
+    build_lengths_[current_doc_] += field_weight;
 }
 
 void InvertedIndex::add_terms(const std::vector<std::string>& tokens, float field_weight) {
@@ -54,66 +54,64 @@ void InvertedIndex::flush_accum() {
         accum_.clear();
         return;
     }
-    if (postings_.size() < vocab_.size()) postings_.resize(vocab_.size());
+    if (build_postings_.size() < vocab_.size()) build_postings_.resize(vocab_.size());
     for (const auto& [term, weight] : accum_)
-        postings_[term].push_back(Posting{current_doc_, weight});
+        build_postings_[term].push_back(Posting{current_doc_, weight});
     accum_.clear();
 }
 
 void InvertedIndex::finalize() {
     if (finalized_) throw ValidationError("index already finalized");
     flush_accum();
-    if (postings_.size() < vocab_.size()) postings_.resize(vocab_.size());
-    for (auto& plist : postings_)
+    if (build_postings_.size() < vocab_.size()) build_postings_.resize(vocab_.size());
+    for (auto& plist : build_postings_)
         std::sort(plist.begin(), plist.end(),
                   [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
     double total = 0.0;
-    for (double len : doc_lengths_) total += len;
-    avg_len_ = doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
+    for (double len : build_lengths_) total += len;
+    avg_len_ = build_lengths_.empty() ? 0.0 : total / static_cast<double>(build_lengths_.size());
     // One IDF table for BM25 scoring and the evidence gate: computed here
     // so no query ever recomputes a log or resolves a term string again.
-    const double n = static_cast<double>(doc_lengths_.size());
-    idf_.resize(postings_.size());
-    for (TermId t = 0; t < postings_.size(); ++t)
-        idf_[t] = rsj_idf(n, static_cast<double>(postings_[t].size()));
+    const double n = static_cast<double>(build_lengths_.size());
+    std::vector<double> idf(build_postings_.size());
+    for (TermId t = 0; t < build_postings_.size(); ++t)
+        idf[t] = rsj_idf(n, static_cast<double>(build_postings_[t].size()));
+    store_ = PostingStore::encode(build_postings_, static_cast<std::uint32_t>(n));
+    doc_lengths_ = util::F64Table::own(std::move(build_lengths_));
+    idf_ = util::F64Table::own(std::move(idf));
+    build_postings_.clear();
+    build_postings_.shrink_to_fit();
+    build_lengths_ = {};
     finalized_ = true;
 }
 
 std::size_t InvertedIndex::doc_frequency(std::string_view term) const noexcept {
     TermId t = vocab_.lookup(term);
-    if (t == kNoTerm || t >= postings_.size()) return 0;
-    return postings_[t].size();
+    if (t == kNoTerm) return 0;
+    if (finalized_) return store_.list(t).doc_count;
+    return t < build_postings_.size() ? build_postings_[t].size() : 0;
 }
 
 double InvertedIndex::doc_length(DocId d) const {
-    if (d >= doc_lengths_.size()) throw NotFoundError("index: bad doc id");
-    return doc_lengths_[d];
+    if (d >= doc_count()) throw NotFoundError("index: bad doc id");
+    return finalized_ ? doc_lengths_[d] : build_lengths_[d];
 }
 
-const std::vector<Posting>& InvertedIndex::postings(TermId t) const {
-    static const std::vector<Posting> empty;
-    if (t >= postings_.size()) return empty;
-    return postings_[t];
+IndexStats InvertedIndex::stats() const noexcept {
+    IndexStats s;
+    s.docs = doc_count();
+    s.terms = term_count();
+    s.postings = store_.posting_count();
+    s.blocks = store_.block_count();
+    s.postings_bytes = store_.byte_size();
+    s.table_bytes = (doc_lengths_.size() + idf_.size()) * sizeof(double);
+    s.uncompressed_postings_bytes =
+        8 * store_.posting_count() + 24 * static_cast<std::uint64_t>(store_.term_count());
+    s.mapped = !store_.owning();
+    return s;
 }
 
 // ------------------------------------------------------------ freeze/thaw
-
-namespace {
-
-void freeze_f64s(util::ByteWriter& w, const std::vector<double>& v) {
-    w.u32(static_cast<std::uint32_t>(v.size()));
-    for (double d : v) w.f64(d);
-}
-
-std::vector<double> thaw_f64s(util::ByteReader& r) {
-    const std::uint32_t n = r.u32();
-    std::vector<double> out;
-    out.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.f64());
-    return out;
-}
-
-} // namespace
 
 void Vocabulary::freeze(util::ByteWriter& w) const {
     w.u32(static_cast<std::uint32_t>(terms_.size()));
@@ -132,43 +130,35 @@ Vocabulary Vocabulary::thaw(util::ByteReader& r) {
     return v;
 }
 
-void InvertedIndex::freeze(util::ByteWriter& w) const {
+void InvertedIndex::freeze(util::ByteWriter& w, util::SlabWriter& slabs) const {
     if (!finalized_) throw ValidationError("freeze requires a finalized index");
     vocab_.freeze(w);
-    freeze_f64s(w, doc_lengths_);
+    w.u32(static_cast<std::uint32_t>(doc_count()));
     w.f64(avg_len_);
-    freeze_f64s(w, idf_);
-    w.u32(static_cast<std::uint32_t>(postings_.size()));
-    for (const std::vector<Posting>& plist : postings_) {
-        w.u32(static_cast<std::uint32_t>(plist.size()));
-        for (const Posting& p : plist) {
-            w.u32(p.doc);
-            w.f32(p.weight);
-        }
-    }
+    // The big tables go out as aligned slabs, byte-identical to the
+    // resident representation, so thaw can view them in place.
+    util::write_slab_ref(w, slabs.add(doc_lengths_.bytes()));
+    util::write_slab_ref(w, slabs.add(idf_.bytes()));
+    util::write_slab_ref(w, slabs.add(store_.term_bytes()));
+    util::write_slab_ref(w, slabs.add(store_.block_bytes()));
+    util::write_slab_ref(w, slabs.add(store_.data_bytes()));
 }
 
-InvertedIndex InvertedIndex::thaw(util::ByteReader& r) {
+InvertedIndex InvertedIndex::thaw(util::ByteReader& r, const util::SlabView& slabs) {
     InvertedIndex index;
     index.vocab_ = Vocabulary::thaw(r);
-    index.doc_lengths_ = thaw_f64s(r);
+    const std::uint32_t n_docs = r.u32();
     index.avg_len_ = r.f64();
-    index.idf_ = thaw_f64s(r);
-    const std::uint32_t n_terms = r.u32();
-    if (n_terms != index.vocab_.size() || index.idf_.size() != index.vocab_.size())
+    index.doc_lengths_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    index.idf_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    const std::string_view terms = slabs.slice(util::read_slab_ref(r));
+    const std::string_view blocks = slabs.slice(util::read_slab_ref(r));
+    const std::string_view data = slabs.slice(util::read_slab_ref(r));
+    if (index.doc_lengths_.size() != n_docs || index.idf_.size() != index.vocab_.size())
         throw ValidationError("index snapshot: table sizes do not match vocabulary");
-    index.postings_.resize(n_terms);
-    const auto n_docs = static_cast<std::uint32_t>(index.doc_lengths_.size());
-    for (std::uint32_t t = 0; t < n_terms; ++t) {
-        const std::uint32_t n = r.u32();
-        index.postings_[t].reserve(n);
-        for (std::uint32_t i = 0; i < n; ++i) {
-            const DocId doc = r.u32();
-            const float weight = r.f32();
-            if (doc >= n_docs) throw ValidationError("index snapshot: posting doc out of range");
-            index.postings_[t].push_back(Posting{doc, weight});
-        }
-    }
+    index.store_ = PostingStore::from_slabs(terms, blocks, data, n_docs);
+    if (index.store_.term_count() != index.vocab_.size())
+        throw ValidationError("index snapshot: posting store does not match vocabulary");
     index.finalized_ = true;
     return index;
 }
@@ -278,44 +268,63 @@ std::vector<Hit> apply_kernel_semantics(std::vector<Hit> hits, const InvertedInd
 Bm25Scorer::Bm25Scorer(const InvertedIndex& index, Params params)
     : index_(index), params_(params) {
     if (!index.finalized()) throw ValidationError("BM25 requires a finalized index");
-    // Per-doc length norms and per-term max-score bounds, precomputed once
-    // so query_kernel's inner loop is a multiply-add over flat arrays.
+    // Per-doc length norms plus per-term and per-block max impact scores,
+    // precomputed once so query_kernel's inner loop is a multiply-add over
+    // flat arrays and Block-Max WAND can bound whole blocks.
     const double avg = std::max(index.avg_doc_length(), 1e-9);
-    norms_.resize(index.doc_count());
-    for (DocId d = 0; d < norms_.size(); ++d)
-        norms_[d] = params_.k1 * (1.0 - params_.b +
-                                  params_.b * index.doc_length(d) / avg);
-    max_contrib_.assign(index.term_count(), 0.0);
+    std::vector<double> norms(index.doc_count());
+    for (DocId d = 0; d < norms.size(); ++d)
+        norms[d] = params_.k1 * (1.0 - params_.b +
+                                 params_.b * index.doc_length(d) / avg);
+    std::vector<double> max_contrib(index.term_count(), 0.0);
+    std::vector<double> block_max(index.store().block_count(), 0.0);
+    std::uint32_t docs[kBlockDocs];
+    float weights[kBlockDocs];
     for (TermId t = 0; t < index.term_count(); ++t) {
         const double idf_t = index.idf(t);
-        for (const Posting& p : index.postings(t)) {
-            const double tf = p.weight;
-            const double contrib =
-                idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms_[p.doc]);
-            max_contrib_[t] = std::max(max_contrib_[t], contrib);
+        const ListView lv = index.list(t);
+        for (std::uint32_t b = 0; b < lv.n_blocks; ++b) {
+            const std::size_t n = decode_block(lv, b, docs, weights);
+            double m = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double tf = weights[i];
+                const double contrib =
+                    idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms[docs[i]]);
+                m = std::max(m, contrib);
+            }
+            block_max[lv.block_base + b] = m;
+            max_contrib[t] = std::max(max_contrib[t], m);
         }
     }
+    norms_ = util::F64Table::own(std::move(norms));
+    max_contrib_ = util::F64Table::own(std::move(max_contrib));
+    block_max_ = util::F64Table::own(std::move(block_max));
 }
 
-Bm25Scorer::Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r)
+Bm25Scorer::Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r,
+                       const util::SlabView& slabs)
     : index_(index) {
     params_.k1 = r.f64();
     params_.b = r.f64();
-    norms_ = thaw_f64s(r);
-    max_contrib_ = thaw_f64s(r);
-    if (norms_.size() != index.doc_count() || max_contrib_.size() != index.term_count())
+    norms_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    max_contrib_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    block_max_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    if (norms_.size() != index.doc_count() || max_contrib_.size() != index.term_count() ||
+        block_max_.size() != index.store().block_count())
         throw ValidationError("BM25 snapshot: table sizes do not match index");
 }
 
-void Bm25Scorer::freeze(util::ByteWriter& w) const {
+void Bm25Scorer::freeze(util::ByteWriter& w, util::SlabWriter& slabs) const {
     w.f64(params_.k1);
     w.f64(params_.b);
-    freeze_f64s(w, norms_);
-    freeze_f64s(w, max_contrib_);
+    util::write_slab_ref(w, slabs.add(norms_.bytes()));
+    util::write_slab_ref(w, slabs.add(max_contrib_.bytes()));
+    util::write_slab_ref(w, slabs.add(block_max_.bytes()));
 }
 
-Bm25Scorer Bm25Scorer::thaw(const InvertedIndex& index, util::ByteReader& r) {
-    return Bm25Scorer(ThawTag{}, index, r);
+Bm25Scorer Bm25Scorer::thaw(const InvertedIndex& index, util::ByteReader& r,
+                            const util::SlabView& slabs) {
+    return Bm25Scorer(ThawTag{}, index, r, slabs);
 }
 
 double Bm25Scorer::idf(std::string_view term) const noexcept {
@@ -335,13 +344,13 @@ std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const
     std::unordered_map<DocId, Hit> acc;
     for (TermId t : terms) {
         const double idf_t = index_.idf(t);
-        for (const Posting& p : index_.postings(t)) {
-            const double tf = p.weight;
-            const double contrib = idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms_[p.doc]);
-            Hit& h = acc.try_emplace(p.doc, Hit{p.doc, 0.0, {}}).first->second;
+        for_each_posting(index_.list(t), [&](DocId d, float w) {
+            const double tf = w;
+            const double contrib = idf_t * (tf * (params_.k1 + 1.0)) / (tf + norms_[d]);
+            Hit& h = acc.try_emplace(d, Hit{d, 0.0, {}}).first->second;
             h.score += contrib;
             h.matched_terms.push_back(t);
-        }
+        });
     }
     std::vector<Hit> hits;
     hits.reserve(acc.size());
@@ -361,57 +370,137 @@ std::vector<Hit> Bm25Scorer::query_kernel(const std::vector<std::string>& tokens
     const auto& terms = scratch.terms;
     if (terms.empty()) return {};
     if (terms.size() > 64) return apply_kernel_semantics(query(tokens), index_, opts, stats);
+    if (opts.prune && opts.top_k > 0) return query_kernel_bmw(scratch, opts, stats);
 
-    const std::size_t k = opts.top_k;
-    const bool prune = opts.prune && k > 0;
-    if (prune) {
-        // bounds[i] = max possible total score of a document first seen at
-        // term i (postings are grouped per term, so such a doc can only
-        // collect contributions from terms i..end).
-        scratch.bounds.assign(terms.size() + 1, 0.0);
-        for (std::size_t i = terms.size(); i-- > 0;)
-            scratch.bounds[i] = scratch.bounds[i + 1] + max_contrib_[terms[i]];
-    }
-
+    // Unpruned path: term-at-a-time over every block, in the reference
+    // accumulation order (ascending term, ascending doc) — bit-identical
+    // sums by construction.
     const double k1 = params_.k1;
-    auto& heap = scratch.heap; // min-heap of top-k score lower bounds
-    double theta = -std::numeric_limits<double>::infinity();
-    std::uint64_t postings_scanned = 0;
-    std::uint64_t docs_pruned = 0;
+    PostingStats pstats;
+    std::uint32_t docs[kBlockDocs];
+    float weights[kBlockDocs];
     for (std::size_t i = 0; i < terms.size(); ++i) {
         const TermId t = terms[i];
         const double idf_t = index_.idf(t);
         const std::uint64_t bit = std::uint64_t{1} << i;
-        // theta only rises during the posting loop, so deciding admission
-        // per term (not per posting) can only admit extra docs — never
-        // wrongly skip one. Skipping requires a strictly losing bound.
-        const bool admit_new = !prune || heap.size() < k || scratch.bounds[i] >= theta;
-        const std::vector<Posting>& plist = index_.postings(t);
-        postings_scanned += plist.size();
-        for (const Posting& p : plist) {
-            const double tf = p.weight;
-            const double contrib = idf_t * (tf * (k1 + 1.0)) / (tf + norms_[p.doc]);
-            if (scratch.stamp[p.doc] == scratch.epoch) {
-                scratch.score[p.doc] += contrib;
-                scratch.evidence_idf[p.doc] += idf_t;
-                scratch.term_bits[p.doc] |= bit;
-            } else if (admit_new) {
-                scratch.stamp[p.doc] = scratch.epoch;
-                scratch.score[p.doc] = contrib;
-                scratch.evidence_idf[p.doc] = idf_t;
-                scratch.term_bits[p.doc] = bit;
-                scratch.touched.push_back(p.doc);
-            } else {
-                ++docs_pruned;
-                continue;
+        const ListView lv = index_.list(t);
+        for (std::uint32_t b = 0; b < lv.n_blocks; ++b) {
+            const std::size_t n = decode_block(lv, b, docs, weights, &pstats);
+            for (std::size_t j = 0; j < n; ++j) {
+                const DocId d = docs[j];
+                const double tf = weights[j];
+                const double contrib = idf_t * (tf * (k1 + 1.0)) / (tf + norms_[d]);
+                if (scratch.stamp[d] == scratch.epoch) {
+                    scratch.score[d] += contrib;
+                    scratch.evidence_idf[d] += idf_t;
+                    scratch.term_bits[d] |= bit;
+                } else {
+                    scratch.stamp[d] = scratch.epoch;
+                    scratch.score[d] = contrib;
+                    scratch.evidence_idf[d] = idf_t;
+                    scratch.term_bits[d] = bit;
+                    scratch.touched.push_back(d);
+                }
             }
-            if (prune && scratch.heap_stamp[p.doc] != scratch.epoch &&
-                scratch.evidence_idf[p.doc] >= opts.min_evidence_idf) {
-                // First time this doc both exists and passes the gate: its
-                // current partial score is a valid lower bound on its final
-                // score (and the gate only accumulates, so it stays passed).
-                scratch.heap_stamp[p.doc] = scratch.epoch;
-                heap.push_back(scratch.score[p.doc]);
+        }
+    }
+    if (stats != nullptr) {
+        stats->postings_scanned += pstats.postings_decoded;
+        stats->blocks_decoded += pstats.blocks_decoded;
+        stats->blocks_skipped += pstats.blocks_skipped;
+    }
+    return collect_hits(scratch, opts, stats,
+                        [&scratch](DocId d) { return scratch.score[d]; });
+}
+
+std::vector<Hit> Bm25Scorer::query_kernel_bmw(QueryScratch& scratch, const KernelOptions& opts,
+                                              KernelStats* stats) const {
+    // Block-Max WAND: document-at-a-time with two-level pruning. The
+    // term-level max scores pick a pivot document (no prefix of cursors
+    // whose summed bound is strictly below the top-k floor can contain a
+    // top-k document — strict, so ties can never be wrongly skipped); the
+    // per-block max scores then either confirm the pivot is worth decoding
+    // or certify a whole doc-id range — and the compressed blocks covering
+    // it — as skippable. Every evaluated document's score is accumulated
+    // in ascending-term order starting from 0.0, which reproduces the
+    // reference sums bit-for-bit (contributions are positive, 0 + x == x),
+    // and the surviving candidates flow through the same gate/top-k
+    // collection as the unpruned path, so the result is exactly the
+    // unpruned top-k.
+    const auto& terms = scratch.terms;
+    const std::size_t n_terms = terms.size();
+    const std::size_t k = opts.top_k;
+    const double k1 = params_.k1;
+    scratch.ensure_bmw(n_terms);
+    PostingStats pstats;
+    auto& cursors = scratch.cursors;
+    auto& order = scratch.order;
+    for (std::size_t i = 0; i < n_terms; ++i) {
+        cursors[i].reset(index_.list(terms[i]), scratch.block_docs.data() + i * kBlockDocs,
+                         scratch.block_weights.data() + i * kBlockDocs, &pstats);
+        if (!cursors[i].exhausted()) order.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    auto& heap = scratch.heap; // min-heap of top-k gate-passing scores
+    double theta = -std::numeric_limits<double>::infinity();
+    std::uint64_t pruned = 0;
+    while (!order.empty()) {
+        std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+            const DocId da = cursors[a].doc(), db = cursors[b].doc();
+            if (da != db) return da < db;
+            return a < b;
+        });
+        // Pivot: shortest prefix whose term-level bound can reach theta.
+        double ub = 0.0;
+        std::size_t p = 0;
+        bool found = false;
+        for (; p < order.size(); ++p) {
+            ub += max_contrib_[terms[order[p]]];
+            if (ub >= theta) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) break; // no remaining document can reach the floor
+        const DocId pivot = cursors[order[p]].doc();
+        while (p + 1 < order.size() && cursors[order[p + 1]].doc() == pivot) ++p;
+
+        // Block-level refinement: bound the pivot by the max scores of the
+        // blocks that would actually supply its contributions (metadata
+        // only — nothing is decompressed here).
+        double block_ub = 0.0;
+        DocId min_boundary = kNoDocId;
+        for (std::size_t i = 0; i <= p; ++i) {
+            const PostingCursor& c = cursors[order[i]];
+            const std::uint32_t b = c.find_block(pivot);
+            if (b >= c.n_blocks()) continue; // list ends before the pivot
+            block_ub += block_max_[c.block_base() + b];
+            min_boundary = std::min(min_boundary, c.last_doc_of(b));
+        }
+
+        if (block_ub >= theta) {
+            // Evaluate the pivot exactly.
+            for (std::size_t i = 0; i <= p; ++i) cursors[order[i]].seek(pivot);
+            double score = 0.0, evidence = 0.0;
+            std::uint64_t bits = 0;
+            for (std::size_t i = 0; i < n_terms; ++i) {
+                const PostingCursor& c = cursors[i];
+                if (c.exhausted() || c.doc() != pivot) continue;
+                const double tf = c.weight();
+                const double idf_t = index_.idf(terms[i]);
+                score += idf_t * (tf * (k1 + 1.0)) / (tf + norms_[pivot]);
+                evidence += idf_t;
+                bits |= std::uint64_t{1} << i;
+            }
+            scratch.stamp[pivot] = scratch.epoch;
+            scratch.score[pivot] = score;
+            scratch.evidence_idf[pivot] = evidence;
+            scratch.term_bits[pivot] = bits;
+            scratch.touched.push_back(pivot);
+            if (evidence >= opts.min_evidence_idf) {
+                // Exact scores (not partial lower bounds) feed the floor,
+                // so theta is the true k-th best gate-passing score so far.
+                heap.push_back(score);
                 std::push_heap(heap.begin(), heap.end(), std::greater<>{});
                 if (heap.size() > k) {
                     std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
@@ -419,11 +508,34 @@ std::vector<Hit> Bm25Scorer::query_kernel(const std::vector<std::string>& tokens
                 }
                 if (heap.size() == k) theta = heap.front();
             }
+            for (std::size_t i = 0; i <= p; ++i) {
+                PostingCursor& c = cursors[order[i]];
+                if (!c.exhausted() && c.doc() == pivot) c.seek(pivot + 1);
+            }
+        } else {
+            // Every document in [pivot, min_boundary] draws its possible
+            // contributions from exactly the blocks bounded above (earlier
+            // blocks end before the pivot), so the whole range is below
+            // theta. Jump past it, but never past the first cursor outside
+            // the pivot prefix.
+            ++pruned;
+            DocId target = min_boundary == kNoDocId ? kNoDocId : min_boundary + 1;
+            if (p + 1 < order.size()) target = std::min(target, cursors[order[p + 1]].doc());
+            for (std::size_t i = 0; i <= p; ++i) cursors[order[i]].seek(target);
         }
+        order.erase(std::remove_if(order.begin(), order.end(),
+                                   [&](std::uint32_t i) { return cursors[i].exhausted(); }),
+                    order.end());
     }
+    // Cursors left standing when the loop exits were abandoned by the
+    // term-level bound: no document they still cover can reach theta, so
+    // their undecoded tails are blocks skipped without decompression.
+    for (std::size_t i = 0; i < n_terms; ++i) pstats.blocks_skipped += cursors[i].undecoded_tail();
     if (stats != nullptr) {
-        stats->postings_scanned += postings_scanned;
-        stats->docs_pruned += docs_pruned;
+        stats->postings_scanned += pstats.postings_decoded;
+        stats->blocks_decoded += pstats.blocks_decoded;
+        stats->blocks_skipped += pstats.blocks_skipped;
+        stats->docs_pruned += pruned; // pivot documents proven below the floor
     }
     return collect_hits(scratch, opts, stats,
                         [&scratch](DocId d) { return scratch.score[d]; });
@@ -431,52 +543,61 @@ std::vector<Hit> Bm25Scorer::query_kernel(const std::vector<std::string>& tokens
 
 // --------------------------------------------------------------- TF-IDF
 
+void TfidfScorer::build_weight_begin() {
+    weight_begin_.resize(index_.term_count());
+    std::uint64_t at = 0;
+    for (TermId t = 0; t < weight_begin_.size(); ++t) {
+        weight_begin_[t] = at;
+        at += index_.list(t).doc_count;
+    }
+}
+
 TfidfScorer::TfidfScorer(const InvertedIndex& index) : index_(index) {
     if (!index.finalized()) throw ValidationError("TF-IDF requires a finalized index");
     const double n = static_cast<double>(index.doc_count());
-    doc_norms_.assign(index.doc_count(), 0.0);
-    idf_.assign(index.term_count(), 0.0);
-    doc_weights_.resize(index.term_count());
+    std::vector<double> doc_norms(index.doc_count(), 0.0);
+    std::vector<double> idf(index.term_count(), 0.0);
+    std::vector<double> weights;
+    weights.reserve(index.store().posting_count());
     for (TermId t = 0; t < index.term_count(); ++t) {
-        const auto& plist = index.postings(t);
-        if (plist.empty()) continue;
-        const double idf = std::log(n / static_cast<double>(plist.size()));
-        idf_[t] = idf;
-        doc_weights_[t].reserve(plist.size());
-        for (const Posting& p : plist) {
-            const double w = (1.0 + std::log(std::max<double>(p.weight, 1e-9))) * idf;
-            doc_weights_[t].push_back(w);
-            doc_norms_[p.doc] += w * w;
-        }
+        const ListView lv = index.list(t);
+        if (lv.empty()) continue;
+        const double idf_t = std::log(n / static_cast<double>(lv.doc_count));
+        idf[t] = idf_t;
+        for_each_posting(lv, [&](DocId d, float tf) {
+            const double w = (1.0 + std::log(std::max<double>(tf, 1e-9))) * idf_t;
+            weights.push_back(w);
+            doc_norms[d] += w * w;
+        });
     }
-    for (double& norm : doc_norms_) norm = std::sqrt(norm);
+    for (double& norm : doc_norms) norm = std::sqrt(norm);
+    doc_norms_ = util::F64Table::own(std::move(doc_norms));
+    idf_ = util::F64Table::own(std::move(idf));
+    doc_weights_ = util::F64Table::own(std::move(weights));
+    build_weight_begin();
 }
 
-TfidfScorer::TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r)
+TfidfScorer::TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r,
+                         const util::SlabView& slabs)
     : index_(index) {
-    doc_norms_ = thaw_f64s(r);
-    idf_ = thaw_f64s(r);
-    const std::uint32_t n_terms = r.u32();
+    doc_norms_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    idf_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
+    doc_weights_ = util::F64Table::view(slabs.slice(util::read_slab_ref(r)));
     if (doc_norms_.size() != index.doc_count() || idf_.size() != index.term_count() ||
-        n_terms != index.term_count())
+        doc_weights_.size() != index.store().posting_count())
         throw ValidationError("TF-IDF snapshot: table sizes do not match index");
-    doc_weights_.resize(n_terms);
-    for (std::uint32_t t = 0; t < n_terms; ++t) {
-        doc_weights_[t] = thaw_f64s(r);
-        if (doc_weights_[t].size() != index.postings(t).size())
-            throw ValidationError("TF-IDF snapshot: doc weights do not match postings");
-    }
+    build_weight_begin();
 }
 
-void TfidfScorer::freeze(util::ByteWriter& w) const {
-    freeze_f64s(w, doc_norms_);
-    freeze_f64s(w, idf_);
-    w.u32(static_cast<std::uint32_t>(doc_weights_.size()));
-    for (const std::vector<double>& dw : doc_weights_) freeze_f64s(w, dw);
+void TfidfScorer::freeze(util::ByteWriter& w, util::SlabWriter& slabs) const {
+    util::write_slab_ref(w, slabs.add(doc_norms_.bytes()));
+    util::write_slab_ref(w, slabs.add(idf_.bytes()));
+    util::write_slab_ref(w, slabs.add(doc_weights_.bytes()));
 }
 
-TfidfScorer TfidfScorer::thaw(const InvertedIndex& index, util::ByteReader& r) {
-    return TfidfScorer(ThawTag{}, index, r);
+TfidfScorer TfidfScorer::thaw(const InvertedIndex& index, util::ByteReader& r,
+                              const util::SlabView& slabs) {
+    return TfidfScorer(ThawTag{}, index, r, slabs);
 }
 
 std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) const {
@@ -500,15 +621,16 @@ std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) cons
     double qnorm = 0.0;
     std::unordered_map<DocId, Hit> acc;
     for (const auto& [t, tf] : qtf) {
-        const auto& plist = index_.postings(t);
-        if (plist.empty()) continue;
+        const ListView lv = index_.list(t);
+        if (lv.empty()) continue;
         const double qw = (1.0 + std::log(tf)) * idf_[t];
         qnorm += qw * qw;
-        for (std::size_t j = 0; j < plist.size(); ++j) {
-            Hit& h = acc.try_emplace(plist[j].doc, Hit{plist[j].doc, 0.0, {}}).first->second;
-            h.score += qw * doc_weights_[t][j];
+        std::size_t j = weight_begin_[t];
+        for_each_posting(lv, [&](DocId d, float) {
+            Hit& h = acc.try_emplace(d, Hit{d, 0.0, {}}).first->second;
+            h.score += qw * doc_weights_[j++];
             h.matched_terms.push_back(t);
-        }
+        });
     }
     qnorm = std::sqrt(qnorm);
     std::vector<Hit> hits;
@@ -535,34 +657,42 @@ std::vector<Hit> TfidfScorer::query_kernel(const std::vector<std::string>& token
     if (terms.size() > 64) return apply_kernel_semantics(query(tokens), index_, opts, stats);
 
     double qnorm = 0.0;
-    std::uint64_t postings_scanned = 0;
+    PostingStats pstats;
+    std::uint32_t docs[kBlockDocs];
+    float weights[kBlockDocs];
     for (std::size_t i = 0; i < terms.size(); ++i) {
         const TermId t = terms[i];
-        const std::vector<Posting>& plist = index_.postings(t);
-        if (plist.empty()) continue;
+        const ListView lv = index_.list(t);
+        if (lv.empty()) continue;
         const double qw = (1.0 + std::log(scratch.query_tf[i])) * idf_[t];
         qnorm += qw * qw;
         const double gate_idf = index_.idf(t); // evidence gate uses rsj_idf
         const std::uint64_t bit = std::uint64_t{1} << i;
-        const std::vector<double>& dw = doc_weights_[t];
-        postings_scanned += plist.size();
-        for (std::size_t j = 0; j < plist.size(); ++j) {
-            const DocId d = plist[j].doc;
-            const double contrib = qw * dw[j];
-            if (scratch.stamp[d] == scratch.epoch) {
-                scratch.score[d] += contrib;
-                scratch.evidence_idf[d] += gate_idf;
-                scratch.term_bits[d] |= bit;
-            } else {
-                scratch.stamp[d] = scratch.epoch;
-                scratch.score[d] = contrib;
-                scratch.evidence_idf[d] = gate_idf;
-                scratch.term_bits[d] = bit;
-                scratch.touched.push_back(d);
+        std::size_t w_at = weight_begin_[t];
+        for (std::uint32_t b = 0; b < lv.n_blocks; ++b) {
+            const std::size_t n = decode_block(lv, b, docs, weights, &pstats);
+            for (std::size_t j = 0; j < n; ++j) {
+                const DocId d = docs[j];
+                const double contrib = qw * doc_weights_[w_at++];
+                if (scratch.stamp[d] == scratch.epoch) {
+                    scratch.score[d] += contrib;
+                    scratch.evidence_idf[d] += gate_idf;
+                    scratch.term_bits[d] |= bit;
+                } else {
+                    scratch.stamp[d] = scratch.epoch;
+                    scratch.score[d] = contrib;
+                    scratch.evidence_idf[d] = gate_idf;
+                    scratch.term_bits[d] = bit;
+                    scratch.touched.push_back(d);
+                }
             }
         }
     }
-    if (stats != nullptr) stats->postings_scanned += postings_scanned;
+    if (stats != nullptr) {
+        stats->postings_scanned += pstats.postings_decoded;
+        stats->blocks_decoded += pstats.blocks_decoded;
+        stats->blocks_skipped += pstats.blocks_skipped;
+    }
     qnorm = std::sqrt(qnorm);
     return collect_hits(scratch, opts, stats, [&](DocId d) {
         const double denom = qnorm * doc_norms_[d];

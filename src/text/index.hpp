@@ -11,10 +11,18 @@
 // parallel association pipeline uses). The scorers hold const references
 // and inherit the same guarantee.
 //
+// Storage: finalize() compresses the posting lists into a block-compressed
+// PostingStore (text/postings.hpp) and the per-doc / per-term tables into
+// flat f64 tables. A fresh build owns those bytes; a thawed index *views*
+// snapshot slabs in place — either an aligned owned copy or an mmap — so
+// thaw does no per-posting work and the resident representation is the
+// compressed one in both cases.
+//
 // Snapshot freeze/thaw extends the contract: freeze() is a const read of a
 // finalized index (safe concurrently with queries), and thaw() returns an
 // index that is *born finalized* — the build phase never existed for it,
 // so the same happens-before rule applies from the moment thaw returns.
+// A thawed index must not outlive the slab memory it views.
 
 #pragma once
 
@@ -26,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "text/postings.hpp"
 #include "text/scratch.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -38,13 +47,6 @@ namespace cybok::text {
 [[nodiscard]] inline double rsj_idf(double n_docs, double doc_freq) noexcept {
     return std::log(1.0 + (n_docs - doc_freq + 0.5) / (doc_freq + 0.5));
 }
-
-/// Dense id of an interned term within one Vocabulary.
-using TermId = std::uint32_t;
-/// Dense id of a document within one InvertedIndex.
-using DocId = std::uint32_t;
-/// Sentinel: term not present in the vocabulary.
-inline constexpr TermId kNoTerm = UINT32_MAX;
 
 /// Transparent string hash so string_view probes into the vocabulary map
 /// need not materialize a std::string (the lookup hot path runs once per
@@ -79,10 +81,40 @@ private:
     std::vector<std::string> terms_;
 };
 
-/// One posting: a document and the (weighted) term frequency inside it.
-struct Posting {
-    DocId doc;
-    float weight;
+/// Resident-size and shape accounting for one finalized index (summed
+/// across indexes by SearchEngine::index_stats; the bench regression gate
+/// watches postings_bytes against uncompressed_postings_bytes).
+struct IndexStats {
+    std::uint64_t docs = 0;
+    std::uint64_t terms = 0;
+    std::uint64_t postings = 0;
+    std::uint64_t blocks = 0;
+    /// Resident bytes of the compressed posting store (term table + block
+    /// metadata + packed data).
+    std::uint64_t postings_bytes = 0;
+    /// Resident bytes of the index's flat f64 tables (doc lengths, IDF).
+    std::uint64_t table_bytes = 0;
+    /// What the postings would cost uncompressed: 8 bytes per posting
+    /// (u32 doc + f32 weight) plus a 24-byte vector header per term — the
+    /// resident cost of the pre-block representation, kept as the
+    /// compression-ratio baseline.
+    std::uint64_t uncompressed_postings_bytes = 0;
+    /// True when every index counted serves its postings from external
+    /// slab memory (snapshot thaw — an owned aligned copy or an mmap)
+    /// rather than bytes it encoded itself.
+    bool mapped = false;
+
+    IndexStats& operator+=(const IndexStats& o) noexcept {
+        docs += o.docs;
+        terms += o.terms;
+        postings += o.postings;
+        blocks += o.blocks;
+        postings_bytes += o.postings_bytes;
+        table_bytes += o.table_bytes;
+        uncompressed_postings_bytes += o.uncompressed_postings_bytes;
+        mapped = mapped && o.mapped;
+        return *this;
+    }
 };
 
 /// Inverted index with document length normalization. Documents are added
@@ -101,16 +133,19 @@ public:
     /// Convenience: a whole token vector with one weight.
     void add_terms(const std::vector<std::string>& tokens, float field_weight = 1.0f);
 
-    /// Finish building: sorts postings, computes statistics. Must be
-    /// called once before any query; adding after finalize throws. This is
-    /// the freeze point of the thread-safety contract: finalize() must
-    /// happen-before any concurrent read of this index.
+    /// Finish building: sorts postings, block-compresses them into the
+    /// posting store, computes statistics. Must be called once before any
+    /// query; adding after finalize throws. This is the freeze point of
+    /// the thread-safety contract: finalize() must happen-before any
+    /// concurrent read of this index.
     void finalize();
 
     /// True once finalize() has run (reads are only legal then).
     [[nodiscard]] bool finalized() const noexcept { return finalized_; }
     /// Number of documents added so far.
-    [[nodiscard]] std::size_t doc_count() const noexcept { return doc_lengths_.size(); }
+    [[nodiscard]] std::size_t doc_count() const noexcept {
+        return finalized_ ? doc_lengths_.size() : build_lengths_.size();
+    }
     /// Number of distinct terms interned so far.
     [[nodiscard]] std::size_t term_count() const noexcept { return vocab_.size(); }
     /// Mean weighted document length (valid after finalize()).
@@ -122,7 +157,17 @@ public:
     [[nodiscard]] std::size_t doc_frequency(std::string_view term) const noexcept;
     /// Weighted length of a document.
     [[nodiscard]] double doc_length(DocId d) const;
-    [[nodiscard]] const std::vector<Posting>& postings(TermId t) const;
+
+    /// View of term `t`'s compressed posting list (finalized only; an
+    /// empty view for unknown ids). The cheap accessor query loops use.
+    [[nodiscard]] ListView list(TermId t) const noexcept { return store_.list(t); }
+    /// Materialize term `t`'s postings (tests, explain paths — decodes
+    /// every block; not for query hot loops).
+    [[nodiscard]] std::vector<Posting> postings(TermId t) const { return decode_postings(list(t)); }
+    /// The block-compressed posting storage (finalized only).
+    [[nodiscard]] const PostingStore& store() const noexcept { return store_; }
+    /// Shape and resident-size accounting (finalized only).
+    [[nodiscard]] IndexStats stats() const noexcept;
 
     /// Precomputed rsj_idf of a term (valid after finalize(); 0 for ids
     /// outside the vocabulary). This is both the BM25 term weight and the
@@ -132,28 +177,34 @@ public:
         return t < idf_.size() ? idf_[t] : 0.0;
     }
 
-    /// Serialize the finalized index — vocabulary, postings, document
-    /// lengths, the IDF table — for the binary snapshot path. Requires
+    /// Serialize the finalized index: vocabulary and counts into the eager
+    /// stream, the posting store and f64 tables as aligned slabs. Requires
     /// finalized(); throws ValidationError otherwise.
-    void freeze(util::ByteWriter& w) const;
-    /// Inverse of freeze(): an already-finalized index with every derived
-    /// table loaded, skipping tokenization and finalize entirely. The
-    /// thawed index is bit-identical to the one that was frozen.
-    [[nodiscard]] static InvertedIndex thaw(util::ByteReader& r);
+    void freeze(util::ByteWriter& w, util::SlabWriter& slabs) const;
+    /// Inverse of freeze(): an already-finalized index whose tables *view*
+    /// `slabs` in place — no per-posting decode, no table copies. The
+    /// thawed index is bit-identical to the one that was frozen and must
+    /// not outlive the slab memory. Structural slab validation failures
+    /// throw ParseError; shape mismatches throw ValidationError.
+    [[nodiscard]] static InvertedIndex thaw(util::ByteReader& r, const util::SlabView& slabs);
 
 private:
     friend class Bm25Scorer;
     friend class TfidfScorer;
 
     Vocabulary vocab_;
-    std::vector<std::vector<Posting>> postings_; // indexed by TermId
-    std::vector<double> doc_lengths_;
-    std::vector<double> idf_; // rsj_idf per term, filled by finalize()
+    // Finalized state: compressed postings + flat tables (owned or viewing
+    // snapshot slabs — see the storage note at the top of this file).
+    PostingStore store_;
+    util::F64Table doc_lengths_;
+    util::F64Table idf_; // rsj_idf per term, filled by finalize()
     double avg_len_ = 0.0;
     bool finalized_ = false;
+    // Build-phase state, discarded by finalize().
+    std::vector<std::vector<Posting>> build_postings_; // indexed by TermId
+    std::vector<double> build_lengths_;
     DocId current_doc_ = UINT32_MAX;
-    // During building: per-document term accumulation buffer.
-    std::unordered_map<TermId, float> accum_;
+    std::unordered_map<TermId, float> accum_; // per-document accumulation
     void flush_accum();
 };
 
@@ -176,9 +227,9 @@ struct KernelOptions {
     /// engine's min_evidence_idf, evaluated inside the kernel so the
     /// caller never re-deduplicates matched terms or recomputes IDF).
     double min_evidence_idf = 0.0;
-    /// Term-at-a-time max-score pruning (BM25 only; needs top_k > 0):
-    /// once the remaining terms' summed score bound cannot beat the
-    /// current top-k floor, documents not yet seen are skipped. Exact —
+    /// Block-Max WAND pruning (BM25 only; needs top_k > 0): documents —
+    /// and whole compressed blocks — whose score upper bound cannot beat
+    /// the current top-k floor are skipped without decompression. Exact —
     /// the surviving top-k is identical to the unpruned result.
     bool prune = true;
 };
@@ -186,10 +237,12 @@ struct KernelOptions {
 /// Per-query kernel instrumentation (accumulated into AssocMetrics by the
 /// search layer).
 struct KernelStats {
-    std::uint64_t postings_scanned = 0; ///< postings visited across all query terms
-    std::uint64_t docs_pruned = 0;      ///< accumulator admissions skipped by max-score
+    std::uint64_t postings_scanned = 0; ///< postings actually decoded and scored
+    std::uint64_t docs_pruned = 0;      ///< accumulator admissions skipped by pruning
     std::uint64_t hits_gated = 0;       ///< candidates dropped by the evidence gate
     std::uint64_t fallback_queries = 0; ///< queries routed to the reference scorer (>64 terms)
+    std::uint64_t blocks_decoded = 0;   ///< posting blocks decompressed
+    std::uint64_t blocks_skipped = 0;   ///< posting blocks skipped without decompression
 };
 
 /// Okapi BM25 ranking over an InvertedIndex. Holds a const reference to a
@@ -197,9 +250,12 @@ struct KernelStats {
 /// concurrent callers (each kernel caller brings its own QueryScratch).
 ///
 /// query() is the sequential reference implementation — hash-map
-/// accumulators, no pruning. query_kernel() is the flat-accumulator
-/// kernel the engine runs: identical hits (doc, score, matched terms) by
-/// construction, proven by the kernel property tests.
+/// accumulators, no pruning, every block decoded. query_kernel() is the
+/// kernel the engine runs: a term-at-a-time flat-accumulator pass when
+/// unpruned, and Block-Max WAND (document-at-a-time with block-granular
+/// skipping) when pruning with top-k. Identical hits (doc, score, matched
+/// terms) by construction, proven by the kernel property tests and the
+/// soak-matrix equality oracle.
 class Bm25Scorer {
 public:
     /// Standard BM25 knobs: k1 = term-frequency saturation, b = length
@@ -217,8 +273,9 @@ public:
     [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
 
     /// Flat-accumulator kernel: same ranking as query(), plus the fused
-    /// evidence gate, optional top-k truncation, and max-score pruning
-    /// (see KernelOptions). matched_terms come back distinct and sorted.
+    /// evidence gate, optional top-k truncation, and Block-Max WAND
+    /// pruning (see KernelOptions). matched_terms come back distinct and
+    /// sorted.
     [[nodiscard]] std::vector<Hit> query_kernel(const std::vector<std::string>& tokens,
                                                 QueryScratch& scratch,
                                                 const KernelOptions& opts = {},
@@ -227,24 +284,31 @@ public:
     /// IDF of one term (Robertson–Sparck Jones with +1 smoothing).
     [[nodiscard]] double idf(std::string_view term) const noexcept;
 
-    /// Serialize params plus the constructor-computed tables (per-doc BM25
-    /// norms, per-term max-score pruning bounds).
-    void freeze(util::ByteWriter& w) const;
-    /// Construct over `index` with the tables read back instead of
-    /// recomputed — the snapshot thaw path. Throws ValidationError when
+    /// Serialize params into the eager stream and the constructor-computed
+    /// tables (per-doc BM25 norms, per-term and per-block max impact
+    /// scores) as aligned slabs.
+    void freeze(util::ByteWriter& w, util::SlabWriter& slabs) const;
+    /// Construct over `index` with the tables viewed from `slabs` instead
+    /// of recomputed — the snapshot thaw path. Throws ValidationError when
     /// the table shapes do not match `index`.
-    [[nodiscard]] static Bm25Scorer thaw(const InvertedIndex& index, util::ByteReader& r);
+    [[nodiscard]] static Bm25Scorer thaw(const InvertedIndex& index, util::ByteReader& r,
+                                         const util::SlabView& slabs);
 
 private:
     struct ThawTag {};
-    Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r);
+    Bm25Scorer(ThawTag, const InvertedIndex& index, util::ByteReader& r,
+               const util::SlabView& slabs);
+
+    std::vector<Hit> query_kernel_bmw(QueryScratch& scratch, const KernelOptions& opts,
+                                      KernelStats* stats) const;
 
     const InvertedIndex& index_;
     Params params_;
     // Precomputed at construction so the query loop does no division by
     // avg_doc_length and no per-posting recomputation:
-    std::vector<double> norms_;       ///< k1*(1-b+b*len/avg) per doc
-    std::vector<double> max_contrib_; ///< max posting contribution per term (pruning bound)
+    util::F64Table norms_;       ///< k1*(1-b+b*len/avg) per doc
+    util::F64Table max_contrib_; ///< max posting contribution per term (WAND pivot bound)
+    util::F64Table block_max_;   ///< max contribution per block, by global block index
 };
 
 /// TF-IDF cosine-similarity ranking (the ablation baseline for BM25).
@@ -258,28 +322,38 @@ public:
     [[nodiscard]] std::vector<Hit> query(const std::vector<std::string>& tokens) const;
 
     /// Flat-accumulator kernel with fused evidence gate and optional
-    /// top-k. Max-score pruning is not applied: per-document cosine
-    /// normalization makes partial scores non-monotone bounds, so pruning
-    /// could not stay exact (KernelOptions::prune is ignored).
+    /// top-k. Pruning is not applied: per-document cosine normalization
+    /// makes partial scores non-monotone bounds, so skipping could not
+    /// stay exact (KernelOptions::prune is ignored).
     [[nodiscard]] std::vector<Hit> query_kernel(const std::vector<std::string>& tokens,
                                                 QueryScratch& scratch,
                                                 const KernelOptions& opts = {},
                                                 KernelStats* stats = nullptr) const;
 
-    /// Serialize the constructor-computed tables (doc norms, IDF, per-term
-    /// document weights).
-    void freeze(util::ByteWriter& w) const;
-    /// Construct over `index` with tables read back instead of recomputed.
-    [[nodiscard]] static TfidfScorer thaw(const InvertedIndex& index, util::ByteReader& r);
+    /// Serialize the constructor-computed tables (doc norms, IDF, the flat
+    /// per-posting document weights) as aligned slabs.
+    void freeze(util::ByteWriter& w, util::SlabWriter& slabs) const;
+    /// Construct over `index` with tables viewed from `slabs` instead of
+    /// recomputed.
+    [[nodiscard]] static TfidfScorer thaw(const InvertedIndex& index, util::ByteReader& r,
+                                          const util::SlabView& slabs);
 
 private:
     struct ThawTag {};
-    TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r);
+    TfidfScorer(ThawTag, const InvertedIndex& index, util::ByteReader& r,
+                const util::SlabView& slabs);
+
+    /// Flat index of posting j of term t inside doc_weights_.
+    [[nodiscard]] std::size_t weight_at(TermId t, std::size_t j) const noexcept {
+        return weight_begin_[t] + j;
+    }
+    void build_weight_begin();
 
     const InvertedIndex& index_;
-    std::vector<double> doc_norms_; // L2 norm of each doc's tf-idf vector
-    std::vector<double> idf_;       // log(n/df) per term (0 for empty postings)
-    std::vector<std::vector<double>> doc_weights_; // per term, parallel to postings
+    util::F64Table doc_norms_;   ///< L2 norm of each doc's tf-idf vector
+    util::F64Table idf_;         ///< log(n/df) per term (0 for empty postings)
+    util::F64Table doc_weights_; ///< flat per-posting weights, term-major, posting order
+    std::vector<std::uint64_t> weight_begin_; ///< doc_weights_ offset per term (derived)
 };
 
 /// Jaccard similarity of two token sets.

@@ -1,0 +1,352 @@
+#include "text/postings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cybok::text {
+
+namespace {
+
+constexpr std::size_t kBlockHeaderBytes = 2; // u8 count-1, u8 WeightTag
+
+void write_varint(std::string& out, std::uint32_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint32_t read_varint(const char* data, std::size_t size, std::size_t& i,
+                          std::size_t err_base) {
+    std::uint32_t v = 0;
+    int shift = 0;
+    for (;;) {
+        if (i >= size)
+            throw ParseError("postings: truncated varint in block data", err_base + i);
+        const auto byte = static_cast<std::uint8_t>(data[i++]);
+        if (shift == 28 && (byte & 0xf0U) != 0)
+            throw ParseError("postings: varint overflows 32 bits", err_base + i - 1);
+        v |= static_cast<std::uint32_t>(byte & 0x7fU) << shift;
+        if ((byte & 0x80U) == 0) return v;
+        shift += 7;
+    }
+}
+
+/// True when `w` is a non-negative integer <= limit that round-trips
+/// exactly through the integer encoding (always true below 2^24).
+bool integral_weight(float w, std::uint32_t limit) {
+    if (!(w >= 0.0f) || w > static_cast<float>(limit)) return false;
+    const auto i = static_cast<std::uint32_t>(w);
+    return static_cast<float>(i) == w;
+}
+
+WeightTag choose_tag(const Posting* p, std::size_t n) {
+    bool ones = true, u8 = true, u16 = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float w = p[i].weight;
+        ones = ones && w == 1.0f;
+        u8 = u8 && integral_weight(w, 255);
+        u16 = u16 && integral_weight(w, 65535);
+    }
+    if (ones) return WeightTag::AllOnes;
+    if (u8) return WeightTag::U8;
+    if (u16) return WeightTag::U16;
+    return WeightTag::F32;
+}
+
+} // namespace
+
+PostingStore PostingStore::encode(const std::vector<std::vector<Posting>>& lists,
+                                  std::uint32_t n_docs) {
+    std::vector<TermEntry> terms;
+    std::vector<BlockMeta> blocks;
+    std::string data;
+    terms.reserve(lists.size());
+    std::uint64_t posting_count = 0;
+
+    for (const std::vector<Posting>& plist : lists) {
+        TermEntry entry{data.size(), static_cast<std::uint32_t>(blocks.size()),
+                        static_cast<std::uint32_t>(plist.size())};
+        posting_count += plist.size();
+        DocId prev_last = 0;
+        for (std::size_t begin = 0; begin < plist.size(); begin += kBlockDocs) {
+            const std::size_t n = std::min<std::size_t>(kBlockDocs, plist.size() - begin);
+            const Posting* p = plist.data() + begin;
+            blocks.push_back(BlockMeta{p[n - 1].doc,
+                                       static_cast<std::uint32_t>(data.size() - entry.data_begin)});
+            const WeightTag tag = choose_tag(p, n);
+            data.push_back(static_cast<char>(n - 1));
+            data.push_back(static_cast<char>(tag));
+            DocId prev = prev_last;
+            for (std::size_t i = 0; i < n; ++i) {
+                const DocId doc = p[i].doc;
+                if (doc >= n_docs || (doc <= prev && !(begin == 0 && i == 0 && doc == 0)))
+                    throw ValidationError("postings: doc ids must be strictly increasing "
+                                          "and < doc count");
+                write_varint(data, doc - prev);
+                prev = doc;
+            }
+            switch (tag) {
+                case WeightTag::AllOnes: break;
+                case WeightTag::U8:
+                    for (std::size_t i = 0; i < n; ++i)
+                        data.push_back(static_cast<char>(static_cast<std::uint32_t>(p[i].weight)));
+                    break;
+                case WeightTag::U16:
+                    for (std::size_t i = 0; i < n; ++i) {
+                        const auto w = static_cast<std::uint32_t>(p[i].weight);
+                        data.push_back(static_cast<char>(w & 0xff));
+                        data.push_back(static_cast<char>(w >> 8));
+                    }
+                    break;
+                case WeightTag::F32:
+                    for (std::size_t i = 0; i < n; ++i) {
+                        std::uint32_t bits;
+                        std::memcpy(&bits, &p[i].weight, sizeof bits);
+                        for (int s = 0; s < 32; s += 8)
+                            data.push_back(static_cast<char>(bits >> s));
+                    }
+                    break;
+            }
+            prev_last = p[n - 1].doc;
+        }
+        terms.push_back(entry);
+    }
+
+    PostingStore store;
+    store.n_docs_ = n_docs;
+    store.posting_count_ = posting_count;
+    store.n_terms_ = terms.size();
+    store.n_blocks_ = blocks.size();
+    store.data_size_ = data.size();
+    const std::size_t term_bytes = terms.size() * sizeof(TermEntry);
+    const std::size_t block_bytes = blocks.size() * sizeof(BlockMeta);
+    const std::size_t total = term_bytes + block_bytes + data.size();
+    if (total == 0) return store;
+    // Force the backing onto the heap (past any SSO capacity) so the raw
+    // pointers below survive moves of the store.
+    store.owned_.reserve(std::max<std::size_t>(total, 64));
+    store.owned_.append(reinterpret_cast<const char*>(terms.data()), term_bytes);
+    store.owned_.append(reinterpret_cast<const char*>(blocks.data()), block_bytes);
+    store.owned_.append(data);
+    store.terms_ = reinterpret_cast<const TermEntry*>(store.owned_.data());
+    store.blocks_ = reinterpret_cast<const BlockMeta*>(store.owned_.data() + term_bytes);
+    store.data_ = store.owned_.data() + term_bytes + block_bytes;
+    return store;
+}
+
+PostingStore PostingStore::from_slabs(std::string_view terms, std::string_view blocks,
+                                      std::string_view data, std::uint32_t n_docs) {
+    if (terms.size() % sizeof(TermEntry) != 0)
+        throw ParseError("postings: term table size is not a multiple of 16", 0);
+    if (blocks.size() % sizeof(BlockMeta) != 0)
+        throw ParseError("postings: block table size is not a multiple of 8", 0);
+    if (reinterpret_cast<std::uintptr_t>(terms.data()) % alignof(TermEntry) != 0 ||
+        reinterpret_cast<std::uintptr_t>(blocks.data()) % alignof(BlockMeta) != 0)
+        throw ParseError("postings: slab is misaligned", 0);
+
+    PostingStore store;
+    store.n_docs_ = n_docs;
+    store.n_terms_ = terms.size() / sizeof(TermEntry);
+    store.n_blocks_ = blocks.size() / sizeof(BlockMeta);
+    store.data_size_ = data.size();
+    store.terms_ = reinterpret_cast<const TermEntry*>(terms.data());
+    store.blocks_ = reinterpret_cast<const BlockMeta*>(blocks.data());
+    store.data_ = data.data();
+
+    // Structural validation: every derived range below must stay in
+    // bounds before list()/decode_block ever dereference it. This is a
+    // metadata-only scan — packed data pages are not touched, which is
+    // what keeps the mmap cold start at O(page faults taken).
+    if (store.n_terms_ == 0) {
+        if (store.n_blocks_ != 0 || !data.empty())
+            throw ParseError("postings: blocks/data present without terms", 0);
+        return store;
+    }
+    std::uint64_t prev_data = 0;
+    std::uint32_t prev_block = 0;
+    std::uint64_t postings = 0;
+    for (std::size_t t = 0; t < store.n_terms_; ++t) {
+        const TermEntry& e = store.terms_[t];
+        if (t == 0 && (e.data_begin != 0 || e.block_begin != 0))
+            throw ParseError("postings: first term does not start at offset 0", 0);
+        if (e.data_begin < prev_data || e.data_begin > data.size())
+            throw ParseError("postings: term data offsets are not monotone", t);
+        if (e.block_begin < prev_block || e.block_begin > store.n_blocks_)
+            throw ParseError("postings: term block offsets are not monotone", t);
+        const bool last = t + 1 == store.n_terms_;
+        const std::uint32_t block_end =
+            last ? static_cast<std::uint32_t>(store.n_blocks_) : store.terms_[t + 1].block_begin;
+        const std::uint64_t data_end = last ? data.size() : store.terms_[t + 1].data_begin;
+        if (block_end < e.block_begin || data_end < e.data_begin)
+            throw ParseError("postings: term ranges overlap", t);
+        const std::uint32_t n_blocks_t = block_end - e.block_begin;
+        if (n_blocks_t != (e.doc_count + kBlockDocs - 1) / kBlockDocs)
+            throw ParseError("postings: block count does not match doc count", t);
+        const std::uint64_t region = data_end - e.data_begin;
+        DocId prev_last = 0;
+        for (std::uint32_t b = 0; b < n_blocks_t; ++b) {
+            const BlockMeta& m = store.blocks_[e.block_begin + b];
+            const std::uint32_t expect_off =
+                b == 0 ? 0 : store.blocks_[e.block_begin + b - 1].data_off;
+            if ((b == 0 && m.data_off != 0) || (b > 0 && m.data_off <= expect_off))
+                throw ParseError("postings: block data offsets are not increasing", t);
+            if (m.data_off + kBlockHeaderBytes > region)
+                throw ParseError("postings: block data offset out of range", t);
+            if (m.last_doc >= n_docs || (b > 0 && m.last_doc <= prev_last))
+                throw ParseError("postings: block last-doc ids are not increasing", t);
+            prev_last = m.last_doc;
+        }
+        postings += e.doc_count;
+        prev_data = e.data_begin;
+        prev_block = e.block_begin;
+    }
+    store.posting_count_ = postings;
+    return store;
+}
+
+ListView PostingStore::list(TermId t) const noexcept {
+    if (t >= n_terms_) return {};
+    const TermEntry& e = terms_[t];
+    const bool last = t + 1 == n_terms_;
+    const std::uint32_t block_end =
+        last ? static_cast<std::uint32_t>(n_blocks_) : terms_[t + 1].block_begin;
+    const std::uint64_t data_end = last ? data_size_ : terms_[t + 1].data_begin;
+    ListView lv;
+    lv.blocks = blocks_ + e.block_begin;
+    lv.n_blocks = block_end - e.block_begin;
+    lv.doc_count = e.doc_count;
+    lv.block_base = e.block_begin;
+    lv.data = data_ + e.data_begin;
+    lv.data_size = static_cast<std::size_t>(data_end - e.data_begin);
+    return lv;
+}
+
+std::size_t decode_block(const ListView& lv, std::uint32_t b, std::uint32_t* docs,
+                         float* weights, PostingStats* stats) {
+    const std::size_t begin = lv.blocks[b].data_off;
+    const std::size_t end = b + 1 < lv.n_blocks ? lv.blocks[b + 1].data_off : lv.data_size;
+    if (begin + kBlockHeaderBytes > end || end > lv.data_size)
+        throw ParseError("postings: block data range out of bounds", begin);
+    const char* p = lv.data;
+    std::size_t i = begin;
+    const std::size_t n = static_cast<std::uint8_t>(p[i]) + std::size_t{1};
+    const auto tag = static_cast<WeightTag>(static_cast<std::uint8_t>(p[i + 1]));
+    i += kBlockHeaderBytes;
+    const std::size_t expect =
+        b + 1 < lv.n_blocks
+            ? kBlockDocs
+            : lv.doc_count - static_cast<std::size_t>(lv.n_blocks - 1) * kBlockDocs;
+    if (n != expect) throw ParseError("postings: block count does not match header", begin);
+    if (tag > WeightTag::F32) throw ParseError("postings: unknown weight encoding", begin + 1);
+
+    DocId prev = b == 0 ? 0 : lv.blocks[b - 1].last_doc;
+    const bool first_of_list = b == 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t delta = read_varint(p, end, i, 0);
+        const DocId doc = prev + delta;
+        if (doc < prev || (delta == 0 && !(first_of_list && j == 0)))
+            throw ParseError("postings: non-monotone doc delta", i);
+        docs[j] = doc;
+        prev = doc;
+    }
+    if (prev != lv.blocks[b].last_doc)
+        throw ParseError("postings: decoded last doc does not match block metadata", i);
+
+    switch (tag) {
+        case WeightTag::AllOnes:
+            std::fill_n(weights, n, 1.0f);
+            break;
+        case WeightTag::U8:
+            if (i + n > end) throw ParseError("postings: truncated u8 weights", end);
+            for (std::size_t j = 0; j < n; ++j)
+                weights[j] = static_cast<float>(static_cast<std::uint8_t>(p[i + j]));
+            i += n;
+            break;
+        case WeightTag::U16:
+            if (i + 2 * n > end) throw ParseError("postings: truncated u16 weights", end);
+            for (std::size_t j = 0; j < n; ++j) {
+                const auto lo = static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i + 2 * j]));
+                const auto hi =
+                    static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i + 2 * j + 1]));
+                weights[j] = static_cast<float>(lo | (hi << 8));
+            }
+            i += 2 * n;
+            break;
+        case WeightTag::F32:
+            if (i + 4 * n > end) throw ParseError("postings: truncated f32 weights", end);
+            for (std::size_t j = 0; j < n; ++j) {
+                std::uint32_t bits = 0;
+                for (int s = 0; s < 4; ++s)
+                    bits |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i + 4 * j + s]))
+                            << (8 * s);
+                std::memcpy(&weights[j], &bits, sizeof(float));
+            }
+            i += 4 * n;
+            break;
+    }
+    if (i != end) throw ParseError("postings: trailing bytes after block", i);
+    if (stats != nullptr) {
+        ++stats->blocks_decoded;
+        stats->postings_decoded += n;
+    }
+    return n;
+}
+
+std::vector<Posting> decode_postings(const ListView& lv) {
+    std::vector<Posting> out;
+    out.reserve(lv.doc_count);
+    for_each_posting(lv, [&out](DocId doc, float w) { out.push_back(Posting{doc, w}); });
+    return out;
+}
+
+void PostingCursor::reset(const ListView& lv, std::uint32_t* docs, float* weights,
+                          PostingStats* stats) {
+    lv_ = lv;
+    docs_ = docs;
+    weights_ = weights;
+    stats_ = stats;
+    block_ = 0;
+    count_ = 0;
+    pos_ = 0;
+    decoded_ = false;
+    doc_ = kNoDocId;
+    if (lv_.n_blocks > 0) land_on(0, 0);
+}
+
+std::uint32_t PostingCursor::find_block(DocId target) const noexcept {
+    std::uint32_t b = block_;
+    while (b < lv_.n_blocks && lv_.blocks[b].last_doc < target) ++b;
+    return b;
+}
+
+void PostingCursor::land_on(std::uint32_t b, DocId target) {
+    block_ = b;
+    count_ = static_cast<std::uint32_t>(decode_block(lv_, b, docs_, weights_, stats_));
+    decoded_ = true;
+    pos_ = 0;
+    while (docs_[pos_] < target) ++pos_; // last_doc >= target, so in bounds
+    doc_ = docs_[pos_];
+}
+
+void PostingCursor::seek(DocId target) {
+    if (exhausted()) return;
+    if (decoded_ && target <= docs_[count_ - 1]) {
+        while (docs_[pos_] < target) ++pos_;
+        doc_ = docs_[pos_];
+        return;
+    }
+    const std::uint32_t b = find_block(target);
+    const std::uint32_t passed = b - block_ - (decoded_ ? 1 : 0);
+    if (stats_ != nullptr && b > block_) stats_->blocks_skipped += passed;
+    if (b >= lv_.n_blocks) {
+        block_ = lv_.n_blocks;
+        decoded_ = false;
+        doc_ = kNoDocId;
+        return;
+    }
+    land_on(b, target);
+}
+
+} // namespace cybok::text

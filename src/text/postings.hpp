@@ -1,0 +1,242 @@
+// Block-compressed posting lists — the storage format behind
+// InvertedIndex and the unit the Block-Max WAND kernel skips over.
+//
+// A posting list is split into blocks of up to kBlockDocs documents. Doc
+// ids are delta-encoded LEB128 varints within a block (the first delta of
+// a block is taken against the previous block's last doc id, so blocks
+// decode independently given the block metadata); weights are stored
+// per-block under the cheapest lossless encoding (see WeightTag). Each
+// block's *metadata* — last doc id and data offset — lives in a separate
+// fixed-width array, so the kernel can skip whole blocks (compare
+// last_doc, never touch the packed bytes) and the BM25 scorer can attach
+// a per-block maximum impact score by global block index.
+//
+// The store is three flat byte ranges (term table, block metadata, packed
+// data), laid out so a frozen snapshot can serve them in place: a thawed
+// store *views* 64-byte-aligned slabs — an owned copy or an mmap — and
+// only ever decodes the blocks a query actually visits. An encoded store
+// (fresh build) owns one contiguous buffer with the same three ranges.
+//
+// Layout invariants (validated by from_slabs before anything dereferences
+// them): term entries' data_begin/block_begin are non-decreasing; a
+// term's block count equals ceil(doc_count / kBlockDocs); block data
+// offsets are strictly increasing within a term; block last-doc ids are
+// strictly increasing within a term and < n_docs. Packed data is
+// validated at decode time (count/tag header, delta monotonicity, final
+// doc must equal the block's last_doc), so a corrupt byte inside an
+// mmap'ed block that the open-time structural checks cannot see still
+// dies on a typed error instead of producing wrong postings.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace cybok::text {
+
+/// Dense id of an interned term within one Vocabulary.
+using TermId = std::uint32_t;
+/// Dense id of a document within one InvertedIndex.
+using DocId = std::uint32_t;
+/// Sentinel: term not present in the vocabulary.
+inline constexpr TermId kNoTerm = UINT32_MAX;
+/// Sentinel: an exhausted posting cursor.
+inline constexpr DocId kNoDocId = UINT32_MAX;
+
+/// One posting: a document and the (weighted) term frequency inside it.
+struct Posting {
+    DocId doc;
+    float weight;
+};
+
+/// Documents per block. 128 keeps block metadata ~1% of posting data
+/// while giving the skip loop big enough strides to matter.
+inline constexpr std::uint32_t kBlockDocs = 128;
+
+/// Per-term entry in the term table. Block count and data size are not
+/// stored: they are derived from the next term's entry (the ranges are
+/// contiguous), which keeps the table at 16 bytes/term.
+struct TermEntry {
+    std::uint64_t data_begin;  ///< first packed byte, absolute in the data range
+    std::uint32_t block_begin; ///< first block, absolute in the block metadata array
+    std::uint32_t doc_count;   ///< postings in this term's list
+};
+static_assert(sizeof(TermEntry) == 16 && alignof(TermEntry) == 8);
+
+/// Per-block skip entry. The packed bytes of block b of a term span
+/// [data_off, next block's data_off) relative to the term's data_begin.
+struct BlockMeta {
+    std::uint32_t last_doc; ///< largest doc id in the block (the skip key)
+    std::uint32_t data_off; ///< first packed byte, relative to TermEntry::data_begin
+};
+static_assert(sizeof(BlockMeta) == 8 && alignof(BlockMeta) == 4);
+
+/// How a block's weights are packed (chosen per block at encode time; all
+/// encodings are lossless, which is what lets Block-Max WAND stay
+/// bit-identical to the reference scorer).
+enum class WeightTag : std::uint8_t {
+    AllOnes = 0, ///< every weight is exactly 1.0f; nothing stored
+    U8 = 1,      ///< integer-valued weights in [0, 255]; one byte each
+    U16 = 2,     ///< integer-valued weights in [0, 65535]; two bytes each
+    F32 = 3,     ///< raw little-endian IEEE floats; four bytes each
+};
+
+/// A borrowed view of one term's compressed posting list.
+struct ListView {
+    const BlockMeta* blocks = nullptr;
+    std::uint32_t n_blocks = 0;
+    std::uint32_t doc_count = 0;
+    std::uint32_t block_base = 0; ///< global index of blocks[0] (block-max lookup)
+    const char* data = nullptr;   ///< this term's packed bytes
+    std::size_t data_size = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return doc_count == 0; }
+};
+
+/// Decode/skip instrumentation, accumulated by decode_block and
+/// PostingCursor (feeds KernelStats / AssocMetrics).
+struct PostingStats {
+    std::uint64_t blocks_decoded = 0;
+    std::uint64_t blocks_skipped = 0;   ///< blocks passed over without decompression
+    std::uint64_t postings_decoded = 0; ///< postings materialized by block decodes
+};
+
+/// Decode block `b` of `lv` into caller-provided arrays of at least
+/// kBlockDocs elements; returns the posting count. Throws ParseError on
+/// any malformed packed byte (bad header, non-monotone deltas, last doc
+/// mismatch, truncation).
+std::size_t decode_block(const ListView& lv, std::uint32_t b, std::uint32_t* docs,
+                         float* weights, PostingStats* stats = nullptr);
+
+/// Decode a whole list into a Posting vector (tests, reference paths).
+[[nodiscard]] std::vector<Posting> decode_postings(const ListView& lv);
+
+/// Visit every posting of `lv` in doc order without a heap allocation.
+template <typename F>
+void for_each_posting(const ListView& lv, F&& f) {
+    std::uint32_t docs[kBlockDocs];
+    float weights[kBlockDocs];
+    for (std::uint32_t b = 0; b < lv.n_blocks; ++b) {
+        const std::size_t n = decode_block(lv, b, docs, weights);
+        for (std::size_t i = 0; i < n; ++i) f(docs[i], weights[i]);
+    }
+}
+
+/// The compressed posting storage for one index: term table + block
+/// metadata + packed data. Encoded stores own their bytes; thawed stores
+/// view snapshot slabs in place (see file comment).
+class PostingStore {
+public:
+    PostingStore() = default;
+
+    /// Compress `lists` (indexed by TermId, postings sorted by doc).
+    /// Deterministic: equal inputs produce byte-identical stores.
+    [[nodiscard]] static PostingStore encode(const std::vector<std::vector<Posting>>& lists,
+                                             std::uint32_t n_docs);
+
+    /// Adopt serialized slabs in place (zero copy, zero per-posting work).
+    /// Validates the structural invariants in the file comment; throws
+    /// ParseError on any violation. `terms`/`blocks` must be 8-byte
+    /// aligned (64-byte-aligned slabs always are).
+    [[nodiscard]] static PostingStore from_slabs(std::string_view terms, std::string_view blocks,
+                                                 std::string_view data, std::uint32_t n_docs);
+
+    [[nodiscard]] std::size_t term_count() const noexcept { return n_terms_; }
+    [[nodiscard]] std::size_t block_count() const noexcept { return n_blocks_; }
+    [[nodiscard]] std::uint64_t posting_count() const noexcept { return posting_count_; }
+    [[nodiscard]] std::uint32_t doc_limit() const noexcept { return n_docs_; }
+    /// True when this store owns its bytes (fresh build / encode), false
+    /// when it views external slabs (snapshot thaw).
+    [[nodiscard]] bool owning() const noexcept { return terms_ == nullptr || !owned_.empty(); }
+
+    /// View of term `t`'s list; an empty view for t >= term_count().
+    [[nodiscard]] ListView list(TermId t) const noexcept;
+
+    // The three serialized ranges, for freezing into snapshot slabs. The
+    // bytes are identical whether the store was encoded or thawed, so
+    // freeze(thaw(freeze(x))) is bit-exact.
+    [[nodiscard]] std::string_view term_bytes() const noexcept {
+        return {reinterpret_cast<const char*>(terms_), n_terms_ * sizeof(TermEntry)};
+    }
+    [[nodiscard]] std::string_view block_bytes() const noexcept {
+        return {reinterpret_cast<const char*>(blocks_), n_blocks_ * sizeof(BlockMeta)};
+    }
+    [[nodiscard]] std::string_view data_bytes() const noexcept { return {data_, data_size_}; }
+
+    /// Bytes of the compressed representation (the three ranges).
+    [[nodiscard]] std::size_t byte_size() const noexcept {
+        return n_terms_ * sizeof(TermEntry) + n_blocks_ * sizeof(BlockMeta) + data_size_;
+    }
+
+private:
+    const TermEntry* terms_ = nullptr;
+    std::size_t n_terms_ = 0;
+    const BlockMeta* blocks_ = nullptr;
+    std::size_t n_blocks_ = 0;
+    const char* data_ = nullptr;
+    std::size_t data_size_ = 0;
+    std::uint32_t n_docs_ = 0;
+    std::uint64_t posting_count_ = 0;
+    std::string owned_; ///< backing when encoded; empty when viewing slabs
+};
+
+/// A forward cursor over one compressed list with block-granular skipping
+/// — the unit Block-Max WAND drives. seek() (NextGEQ) jumps whole blocks
+/// by comparing block metadata and decompresses only the landing block
+/// into the caller-provided buffers; blocks passed over are counted but
+/// never touched.
+class PostingCursor {
+public:
+    PostingCursor() = default;
+
+    /// Bind to a list and per-cursor decode buffers (>= kBlockDocs each);
+    /// positions at the first posting (decoding block 0).
+    void reset(const ListView& lv, std::uint32_t* docs, float* weights, PostingStats* stats);
+
+    [[nodiscard]] DocId doc() const noexcept { return doc_; }
+    [[nodiscard]] float weight() const noexcept { return weights_[pos_]; }
+    [[nodiscard]] bool exhausted() const noexcept { return doc_ == kNoDocId; }
+    [[nodiscard]] std::uint32_t block_base() const noexcept { return lv_.block_base; }
+    [[nodiscard]] std::uint32_t n_blocks() const noexcept { return lv_.n_blocks; }
+
+    /// First block at or after the current one whose last_doc >= target;
+    /// n_blocks() when no remaining block can contain target. Pure
+    /// metadata scan — never decompresses.
+    [[nodiscard]] std::uint32_t find_block(DocId target) const noexcept;
+    [[nodiscard]] DocId last_doc_of(std::uint32_t b) const noexcept {
+        return lv_.blocks[b].last_doc;
+    }
+
+    /// Advance to the first posting with doc id >= target (NextGEQ).
+    /// Skips intermediate blocks without decoding; exhausts the cursor
+    /// when no such posting exists.
+    void seek(DocId target);
+
+    /// Blocks after the current one, none of which have been decoded.
+    /// A kernel that abandons the cursor early (its bound proves no
+    /// remaining document can matter) charges these to blocks_skipped.
+    [[nodiscard]] std::uint32_t undecoded_tail() const noexcept {
+        return exhausted() ? 0 : lv_.n_blocks - block_ - 1;
+    }
+
+private:
+    void land_on(std::uint32_t b, DocId target);
+
+    ListView lv_;
+    std::uint32_t block_ = 0;
+    std::uint32_t count_ = 0; ///< postings decoded in the current block
+    std::uint32_t pos_ = 0;
+    DocId doc_ = kNoDocId;
+    bool decoded_ = false;
+    std::uint32_t* docs_ = nullptr;
+    float* weights_ = nullptr;
+    PostingStats* stats_ = nullptr;
+};
+
+} // namespace cybok::text

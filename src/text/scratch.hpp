@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "text/postings.hpp"
+
 namespace cybok::text {
 
 /// Dense per-document accumulators plus the small per-query vectors the
@@ -53,6 +55,27 @@ public:
     std::vector<double> bounds;         ///< suffix max-score bounds (pruning)
     std::vector<double> heap;           ///< top-k lower-bound min-heap storage
     std::vector<std::pair<double, std::uint32_t>> candidates; ///< (score, doc) collection
+
+    // Block-Max WAND state (BM25 pruning kernel): one cursor per distinct
+    // query term plus per-cursor decode buffers of kBlockDocs entries,
+    // grown by ensure_bmw() and reused across queries like everything else
+    // here. `order` is the cursor permutation sorted by current doc id.
+    std::vector<PostingCursor> cursors;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> block_docs;  ///< n_terms * kBlockDocs doc buffer
+    std::vector<float> block_weights;       ///< n_terms * kBlockDocs weight buffer
+
+    /// Size the BMW cursor arrays for a query with `n_terms` distinct
+    /// terms (amortized O(1) once grown).
+    void ensure_bmw(std::size_t n_terms) {
+        if (cursors.size() < n_terms) cursors.resize(n_terms);
+        const std::size_t need = n_terms * kBlockDocs;
+        if (block_docs.size() < need) {
+            block_docs.resize(need);
+            block_weights.resize(need);
+        }
+        order.clear();
+    }
 
     std::uint32_t epoch = 0;
 };

@@ -143,4 +143,46 @@ std::string ByteReader::str() {
     return std::string(take(n));
 }
 
+void write_slab_ref(ByteWriter& w, const SlabRef& ref) {
+    w.u64(ref.offset);
+    w.u64(ref.size);
+}
+
+SlabRef read_slab_ref(ByteReader& r) {
+    SlabRef ref;
+    ref.offset = r.u64();
+    ref.size = r.u64();
+    return ref;
+}
+
+SlabRef SlabWriter::add(std::string_view bytes, std::size_t align) {
+    const std::size_t at = align_up(buf_.size(), align);
+    buf_.resize(at, '\0'); // deterministic zero padding
+    buf_.append(bytes);
+    return SlabRef{at, bytes.size()};
+}
+
+std::string_view SlabView::slice(const SlabRef& ref) const {
+    if (ref.offset > bytes_.size() || ref.size > bytes_.size() - ref.offset)
+        throw ParseError("slab reference out of range", static_cast<std::size_t>(ref.offset));
+    return bytes_.substr(ref.offset, ref.size);
+}
+
+AlignedBuffer::AlignedBuffer(std::string_view bytes) : size_(bytes.size()) {
+    if (size_ == 0) return;
+    buf_.reset(static_cast<char*>(::operator new(size_, std::align_val_t{64})));
+    std::memcpy(buf_.get(), bytes.data(), size_);
+}
+
+F64Table F64Table::view(std::string_view bytes) {
+    if (bytes.size() % sizeof(double) != 0)
+        throw ParseError("f64 slab size is not a multiple of 8", 0);
+    if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(double) != 0)
+        throw ParseError("f64 slab is misaligned", 0);
+    F64Table t;
+    t.data_ = reinterpret_cast<const double*>(bytes.data());
+    t.size_ = bytes.size() / sizeof(double);
+    return t;
+}
+
 } // namespace cybok::util

@@ -219,6 +219,8 @@ const std::vector<FaultSiteInfo>& known_fault_sites() {
          "session cold-start treats the snapshot as stale and rebuilds from the corpus"},
         {"kb.snapshot.seal", "SnapshotError",
          "snapshot save is abandoned; the session keeps its in-memory engine"},
+        {"snapshot.map", "IoError",
+         "zero-copy mmap start abandoned; owning-buffer thaw runs with the reason recorded"},
         {"search.build.shard", "Error",
          "parallel build aborts, indexes reset, sequential reference build runs instead"},
         {"search.cache.get", "Error",

@@ -1,0 +1,67 @@
+#include "util/mmap.hpp"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CYBOK_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CYBOK_HAVE_MMAP 0
+#endif
+
+namespace cybok::util {
+
+MappedFile MappedFile::open(const std::string& path) {
+#if CYBOK_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) throw IoError("cannot open file for mapping: " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        throw IoError("cannot map non-regular file: " + path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap of length 0 is EINVAL; an empty snapshot is invalid anyway,
+        // so route it through the owning path's framing rejection.
+        ::close(fd);
+        throw IoError("cannot map empty file: " + path);
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference to the file
+    if (addr == MAP_FAILED) throw IoError("mmap failed: " + path);
+    // Snapshot reads are a sequential header scan followed by random
+    // posting-block touches; the default kernel readahead handles both.
+    return MappedFile(addr, size, path);
+#else
+    throw IoError("mmap unsupported on this platform: " + path);
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)), size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        this->~MappedFile();
+        addr_ = std::exchange(other.addr_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+MappedFile::~MappedFile() {
+#if CYBOK_HAVE_MMAP
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+    addr_ = nullptr;
+    size_ = 0;
+}
+
+} // namespace cybok::util

@@ -1,0 +1,62 @@
+// Read-only memory-mapped files — the zero-copy half of the snapshot
+// path. A MappedFile wraps one mmap(PROT_READ) of a whole file: the
+// kernel pages bytes in on first touch and shares one physical copy
+// across every process and thread holding the mapping, so a snapshot
+// opened this way costs O(page faults actually taken) instead of
+// O(bytes), and N serve sessions over one engine share a single resident
+// copy of the postings.
+//
+// Lifetime contract: anything that views the mapping (slab tables, the
+// posting store, F64Tables) must not outlive the MappedFile. The engine
+// layer enforces this by carrying a shared_ptr<const MappedFile> in
+// EngineSnapshot / core::SharedEngine, so the registry's generation swap
+// keeps an old mapping alive until the last pinned session drops it.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace cybok::util {
+
+/// RAII read-only file mapping. Move-only; the destructor unmaps.
+class MappedFile {
+public:
+    /// Map `path` read-only. Throws IoError when the file cannot be
+    /// opened, stat'ed, or mapped (including empty files and non-POSIX
+    /// builds, where mapping is unsupported) — callers fall back to the
+    /// owning read_file + thaw path.
+    [[nodiscard]] static MappedFile open(const std::string& path);
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    ~MappedFile();
+
+    [[nodiscard]] std::string_view view() const noexcept {
+        return {static_cast<const char*>(addr_), size_};
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    /// True when `p` points into this mapping (test support: proves a
+    /// table is served from the file, not a private copy).
+    [[nodiscard]] bool contains(const void* p) const noexcept {
+        const char* c = static_cast<const char*>(p);
+        const char* base = static_cast<const char*>(addr_);
+        return c >= base && c < base + size_;
+    }
+
+private:
+    MappedFile(void* addr, std::size_t size, std::string path) noexcept
+        : addr_(addr), size_(size), path_(std::move(path)) {}
+
+    void* addr_ = nullptr;
+    std::size_t size_ = 0;
+    std::string path_;
+};
+
+} // namespace cybok::util

@@ -192,7 +192,7 @@ TEST(FaultInjector, MalformedSpecsThrowTyped) {
 
 TEST(FaultInjector, KnownSiteTableIsWellFormed) {
     const std::vector<util::FaultSiteInfo>& sites = util::known_fault_sites();
-    EXPECT_EQ(sites.size(), 21u);
+    EXPECT_EQ(sites.size(), 22u);
     std::set<std::string_view> names;
     for (const util::FaultSiteInfo& s : sites) {
         EXPECT_FALSE(s.site.empty());
@@ -328,6 +328,28 @@ TEST(FaultSites, SnapshotOpenRejectionFallsBackToFreshBuild) {
     EXPECT_EQ(fingerprint(session.associations()), baseline_fingerprint());
 }
 
+TEST(FaultSites, SnapshotMapFailureFallsBackToOwningThaw) {
+    const std::string path = temp_path("fault_map.snap");
+    core::SessionOptions opts;
+    opts.snapshot_path = path;
+    { core::AnalysisSession warm(small_model(), small_corpus(), opts); } // writes cache
+    util::FaultScope scope("snapshot.map");
+    // Direct load: mmap refused -> owning-buffer thaw, reason recorded,
+    // engine fully functional.
+    search::EngineSnapshot snap = search::load_engine_snapshot(path);
+    EXPECT_FALSE(snap.zero_copy());
+    EXPECT_FALSE(snap.slab_backing.empty());
+    EXPECT_NE(snap.mmap_fallback_reason.find("injected"), std::string::npos);
+    // Session path: still thaws (no rebuild), degradation surfaced once
+    // as an mmap fallback, and results match the fault-free baseline.
+    core::AnalysisSession session(small_model(), small_corpus(), opts);
+    EXPECT_TRUE(session.from_snapshot());
+    EXPECT_EQ(session.cold_start_degrade().mmap_fallbacks, 1u);
+    EXPECT_EQ(session.cold_start_degrade().snapshot_fallbacks, 0u);
+    EXPECT_NE(session.cold_start_degrade().last_reason.find("injected"), std::string::npos);
+    EXPECT_EQ(fingerprint(session.associations()), baseline_fingerprint());
+}
+
 TEST(FaultSites, SnapshotSealFailureAbandonsSaveOnly) {
     const std::string path = temp_path("fault_seal.snap");
     core::SessionOptions opts;
@@ -352,7 +374,7 @@ TEST(FaultSites, SnapshotErrorCarriesPathAndOffset) {
         FAIL() << "expected SnapshotError";
     } catch (const kb::SnapshotError& e) {
         EXPECT_EQ(e.path(), path);
-        EXPECT_EQ(e.offset(), 8u + 4 + 8); // checksum field offset
+        EXPECT_EQ(e.offset(), 8u + 4 + 8 + 8); // eager checksum field offset
         const std::string what = e.what();
         EXPECT_NE(what.find(path), std::string::npos);
         EXPECT_NE(what.find("byte"), std::string::npos);

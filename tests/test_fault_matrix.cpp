@@ -180,6 +180,92 @@ TEST_P(FaultMatrixSoak, KernelMatchesReferenceScorer) {
     }
 }
 
+// ------------------------------------------- (a') Block-Max WAND oracle
+
+namespace {
+
+/// Oracle (a') needs posting lists long enough to span many 128-doc
+/// blocks — the soak corpus weakness index tops out at ~45 docs, where
+/// every list is one block and Block-Max WAND has nothing to skip. Build
+/// a dedicated synthetic index instead: 2000 docs over 24 mid-frequency
+/// terms (multi-block lists the pruner walks) plus 24 rare high-weight
+/// terms (one strong hit pushes the top-k floor above what the mid lists
+/// can reach, so the kernel abandons their tails), which exercises
+/// pivots, shallow seeks, deep skips, and early termination.
+const text::InvertedIndex& bmw_oracle_index() {
+    static const text::InvertedIndex index = [] {
+        text::InvertedIndex idx;
+        Rng rng(99);
+        std::vector<std::string> common, rare;
+        for (int t = 0; t < 24; ++t) common.push_back("common" + std::to_string(t));
+        for (int t = 0; t < 24; ++t) rare.push_back("rare" + std::to_string(t));
+        for (int d = 0; d < 2000; ++d) {
+            idx.add_document();
+            std::vector<std::string> tokens;
+            const std::size_t n = rng.uniform(6, 10);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::string& term = common[rng.uniform(0, common.size() - 1)];
+                const std::size_t tf = rng.uniform(1, 4);
+                for (std::size_t r = 0; r < tf; ++r) tokens.push_back(term);
+            }
+            idx.add_terms(tokens);
+            if (rng.chance(0.08)) idx.add_terms({rare[rng.uniform(0, rare.size() - 1)]}, 8.0f);
+        }
+        idx.finalize();
+        return idx;
+    }();
+    return index;
+}
+
+} // namespace
+
+TEST_P(FaultMatrixSoak, BlockMaxWandMatchesUnprunedBitExactly) {
+    // The tentpole exactness claim: with pruning on, the BM25 kernel runs
+    // document-at-a-time over compressed blocks, skipping every block the
+    // block-max bound proves irrelevant — and must still return the same
+    // hits with BIT-IDENTICAL scores as the unpruned term-at-a-time pass
+    // (EXPECT_EQ on doubles, not NEAR: both paths sum the same positive
+    // contributions in the same ascending-term order).
+    const text::InvertedIndex& index = bmw_oracle_index();
+    const text::Bm25Scorer scorer(index);
+    text::QueryScratch pruned_scratch, ref_scratch;
+
+    Rng rng(static_cast<std::uint64_t>(5000 + GetParam()));
+    std::uint64_t skipped_total = 0;
+    for (int q = 0; q < 25; ++q) {
+        std::vector<std::string> tokens;
+        const std::size_t len = rng.uniform(1, 9);
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto t = static_cast<text::TermId>(rng.uniform(0, index.term_count() - 1));
+            tokens.push_back(index.vocabulary().term(t));
+        }
+        for (std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{10}}) {
+            for (double gate : {0.0, 2.0}) {
+                text::KernelOptions pruned{k, gate, true};
+                text::KernelOptions unpruned{k, gate, false};
+                text::KernelStats ps{}, us{};
+                const std::vector<text::Hit> got =
+                    scorer.query_kernel(tokens, pruned_scratch, pruned, &ps);
+                const std::vector<text::Hit> want =
+                    scorer.query_kernel(tokens, ref_scratch, unpruned, &us);
+                ASSERT_EQ(got.size(), want.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    EXPECT_EQ(got[i].doc, want[i].doc);
+                    EXPECT_EQ(got[i].score, want[i].score); // bit-identical
+                    EXPECT_EQ(got[i].matched_terms, want[i].matched_terms);
+                }
+                // postings_scanned counts only decoded postings, so the
+                // pruned pass can never scan more than decode-everything.
+                EXPECT_LE(ps.postings_scanned, us.postings_scanned);
+                EXPECT_LE(ps.blocks_decoded, us.blocks_decoded);
+                skipped_total += ps.blocks_skipped;
+            }
+        }
+    }
+    // Across 150 query/option pairs the pruner must actually prune.
+    EXPECT_GT(skipped_total, 0u);
+}
+
 // ---------------------------------------------------- (b) build oracle
 
 TEST_P(FaultMatrixSoak, BuildIdentityUnderShardFaults) {

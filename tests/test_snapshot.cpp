@@ -113,13 +113,28 @@ TEST(Bytes, Fnv1a64MatchesReferenceVectors) {
 // ---------------------------------------------------------------- framing
 
 TEST(SnapshotFraming, SealOpenRoundTrip) {
-    const std::string payload = "the payload bytes";
-    const std::string blob = kb::seal_snapshot(payload);
-    EXPECT_EQ(kb::open_snapshot(blob), payload);
+    const std::string eager = "the eager payload bytes";
+    const std::string slabs(130, '\x5a');
+    const std::string blob = kb::seal_snapshot(eager, slabs);
+    const kb::SnapshotSections sections = kb::open_snapshot(blob);
+    EXPECT_EQ(sections.eager, eager);
+    EXPECT_EQ(sections.slabs, slabs);
+    // The slab section sits at a 64-byte-aligned file offset so an mmap'd
+    // blob (page-aligned base) can be viewed in place by the slab tables.
+    const auto slab_off = static_cast<std::size_t>(sections.slabs.data() - blob.data());
+    EXPECT_EQ(slab_off, kb::snapshot_slab_offset(eager.size()));
+    EXPECT_EQ(slab_off % 64, 0u);
+
+    // Empty sections round-trip too.
+    const std::string tiny = kb::seal_snapshot("", "");
+    const kb::SnapshotSections none = kb::open_snapshot(tiny);
+    EXPECT_TRUE(none.eager.empty());
+    EXPECT_TRUE(none.slabs.empty());
+    EXPECT_EQ(tiny.size(), kb::kSnapshotHeaderSize);
 }
 
 TEST(SnapshotFraming, RejectsBadMagic) {
-    std::string blob = kb::seal_snapshot("payload");
+    std::string blob = kb::seal_snapshot("payload", "slabs");
     blob[0] = 'X';
     EXPECT_THROW((void)kb::open_snapshot(blob), kb::SnapshotError);
     // Arbitrary non-snapshot files must be rejected up front, too.
@@ -128,7 +143,7 @@ TEST(SnapshotFraming, RejectsBadMagic) {
 }
 
 TEST(SnapshotFraming, RejectsVersionMismatch) {
-    std::string blob = kb::seal_snapshot("payload");
+    std::string blob = kb::seal_snapshot("payload", "slabs");
     blob[8] = static_cast<char>(kb::kSnapshotVersion + 1); // version u32 LSB
     try {
         (void)kb::open_snapshot(blob);
@@ -139,18 +154,20 @@ TEST(SnapshotFraming, RejectsVersionMismatch) {
 }
 
 TEST(SnapshotFraming, RejectsTruncationAtEveryBoundary) {
-    const std::string blob = kb::seal_snapshot("a longer payload for truncation");
+    const std::string blob =
+        kb::seal_snapshot("a longer payload for truncation", "slab bytes here");
     // Every proper prefix must be rejected (header cuts read as bad magic
-    // or truncation; payload cuts as truncation — never accepted).
-    for (std::size_t len : {std::size_t{0}, std::size_t{4}, std::size_t{8}, std::size_t{12},
-                            std::size_t{27}, blob.size() - 1}) {
+    // or truncation; section cuts as truncation — never accepted).
+    for (std::size_t len :
+         {std::size_t{0}, std::size_t{4}, std::size_t{8}, std::size_t{12}, std::size_t{27},
+          std::size_t{63}, std::size_t{70}, blob.size() - 1}) {
         EXPECT_THROW((void)kb::open_snapshot(blob.substr(0, len)), kb::SnapshotError)
             << "prefix length " << len;
     }
 }
 
 TEST(SnapshotFraming, RejectsTrailingBytes) {
-    std::string blob = kb::seal_snapshot("payload");
+    std::string blob = kb::seal_snapshot("payload", "slabs");
     blob += "junk";
     try {
         (void)kb::open_snapshot(blob);
@@ -161,14 +178,35 @@ TEST(SnapshotFraming, RejectsTrailingBytes) {
 }
 
 TEST(SnapshotFraming, RejectsChecksumMismatch) {
-    std::string blob = kb::seal_snapshot("payload to corrupt");
-    blob[blob.size() - 3] ^= 0x40; // flip one payload bit
+    std::string blob = kb::seal_snapshot("payload to corrupt", "slab section");
+    blob[kb::kSnapshotHeaderSize + 2] ^= 0x40; // flip one eager-section bit
     try {
         (void)kb::open_snapshot(blob);
         FAIL() << "expected SnapshotError";
     } catch (const kb::SnapshotError& e) {
         EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
     }
+}
+
+TEST(SnapshotFraming, SlabChecksumIsOptionalForMappedOpens) {
+    const std::string good = kb::seal_snapshot("eager bytes", "slab section");
+    std::string slab_corrupt = good;
+    slab_corrupt[slab_corrupt.size() - 1] ^= 0x01; // flip one slab-section bit
+    // The verifying open (owning path) catches it...
+    try {
+        (void)kb::open_snapshot(slab_corrupt);
+        FAIL() << "expected SnapshotError";
+    } catch (const kb::SnapshotError& e) {
+        EXPECT_NE(std::string(e.what()).find("slab checksum"), std::string::npos);
+    }
+    // ...while the mmap path skips the slab hash (it would fault in the
+    // whole file) and relies on structural + per-block validation instead.
+    const kb::SnapshotSections lax = kb::open_snapshot(slab_corrupt, {}, false);
+    EXPECT_EQ(lax.eager, "eager bytes");
+    // Eager corruption is always fatal, verified or not.
+    std::string eager_corrupt = good;
+    eager_corrupt[kb::kSnapshotHeaderSize] ^= 0x01;
+    EXPECT_THROW((void)kb::open_snapshot(eager_corrupt, {}, false), kb::SnapshotError);
 }
 
 // ----------------------------------------------------------------- corpus
@@ -312,6 +350,97 @@ TEST(SnapshotEngine, RejectsCorruptEngineBlobs) {
     std::string corrupt = blob;
     corrupt[corrupt.size() / 2] ^= 0x01;
     EXPECT_THROW((void)search::thaw_engine(corrupt), kb::SnapshotError);
+}
+
+// ------------------------------------------------------------- mmap thaw
+
+TEST(SnapshotMmap, LoadServesSlabsStraightFromTheMapping) {
+    const std::string path = temp_path("mmap_snapshot.bin");
+    search::SearchEngine fresh(shared_corpus());
+    search::save_engine_snapshot(fresh, path);
+
+    search::EngineSnapshot snap = search::load_engine_snapshot(path);
+    ASSERT_TRUE(snap.zero_copy());
+    EXPECT_TRUE(snap.mmap_fallback_reason.empty());
+    EXPECT_TRUE(snap.slab_backing.empty()); // no owned slab copy was made
+
+    // Every big table — postings and scorer slabs of every class index —
+    // must point into the file mapping, not into private memory.
+    for (search::VectorClass cls :
+         {search::VectorClass::AttackPattern, search::VectorClass::Weakness,
+          search::VectorClass::Vulnerability}) {
+        const text::InvertedIndex& idx = snap.engine->class_index(cls);
+        EXPECT_FALSE(idx.store().owning());
+        EXPECT_TRUE(snap.mapping->contains(idx.store().term_bytes().data()));
+        EXPECT_TRUE(snap.mapping->contains(idx.store().block_bytes().data()));
+        EXPECT_TRUE(snap.mapping->contains(idx.store().data_bytes().data()));
+    }
+    EXPECT_TRUE(snap.engine->index_stats().mapped);
+
+    // And the mapped engine answers bit-identically to the fresh build.
+    const auto want = fresh.query_text("modbus command injection",
+                                       search::VectorClass::Weakness);
+    const auto got =
+        snap.engine->query_text("modbus command injection", search::VectorClass::Weakness);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].id, got[i].id);
+        EXPECT_EQ(want[i].score, got[i].score);
+    }
+    // Re-freezing the mapped engine reproduces the file byte for byte.
+    EXPECT_EQ(search::freeze_engine(*snap.engine), util::read_file(path));
+
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotMmap, SessionsShareOneMappingAndHotSwapKeepsItAlive) {
+    const std::string path = temp_path("mmap_shared.bin");
+    search::SearchEngine fresh(shared_corpus());
+    search::save_engine_snapshot(fresh, path);
+
+    core::SessionOptions opts;
+    opts.snapshot_path = path;
+    std::shared_ptr<const core::SharedEngine> handle =
+        core::make_shared_engine(shared_corpus(), opts);
+    ASSERT_NE(handle->mapping, nullptr);
+    EXPECT_EQ(handle->cold_start.mmap_fallbacks, 0u);
+
+    // N sessions over the handle: same engine object, same mapping, zero
+    // per-session copies of the index.
+    core::AnalysisSession a(synth::centrifuge_model(), handle);
+    core::AnalysisSession b(synth::centrifuge_model(), handle);
+    EXPECT_EQ(&a.engine(), &b.engine());
+    EXPECT_TRUE(handle->mapping->contains(
+        a.engine().class_index(search::VectorClass::Weakness).store().data_bytes().data()));
+    EXPECT_GT(a.associations().total(), 0u);
+
+    // Hot swap: delete the file, drop our handle reference — the pinned
+    // sessions' shared_ptr keeps the mapping (and the deleted file's
+    // pages) alive, so in-flight analysis is undisturbed.
+    std::remove(path.c_str());
+    const std::weak_ptr<const core::SharedEngine> watch = handle;
+    handle.reset();
+    EXPECT_FALSE(watch.expired()); // sessions still hold it
+    EXPECT_GT(b.associations().total(), 0u);
+}
+
+TEST(SnapshotMmap, MappedAndOwningThawsAgreeExactly) {
+    const std::string path = temp_path("mmap_vs_owning.bin");
+    search::SearchEngine fresh(shared_corpus());
+    search::save_engine_snapshot(fresh, path);
+
+    search::EngineSnapshot mapped = search::load_engine_snapshot(path);
+    ASSERT_TRUE(mapped.zero_copy());
+    search::EngineSnapshot owning = search::thaw_engine(util::read_file(path), path);
+    EXPECT_FALSE(owning.zero_copy());
+    EXPECT_FALSE(owning.slab_backing.empty());
+
+    EXPECT_EQ(search::freeze_engine(*mapped.engine), search::freeze_engine(*owning.engine));
+    model::SystemModel scada = synth::centrifuge_model();
+    EXPECT_EQ(fingerprint(search::associate(scada, *mapped.engine)),
+              fingerprint(search::associate(scada, *owning.engine)));
+
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------- parallel determinism

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Bench-counter regression gate.
+
+Reads one or more Google Benchmark JSON output files and checks the
+deterministic user counters (postings_scanned, blocks_decoded,
+postings_bytes, ...) against the ceilings committed in
+tools/bench_thresholds.json. Wall-clock times are never compared — only
+counters that are pure functions of the corpus seed and query, so the
+gate is exact on any machine.
+
+A rule is either a plain counter ceiling:
+
+    {"benchmark": "BM_Bm25KernelTopK/50", "counter": "postings_scanned",
+     "max": 2000}
+
+or a ratio ceiling between two counters of the same benchmark:
+
+    {"benchmark": "BM_IndexBuild/50",
+     "ratio": ["postings_bytes", "uncompressed_bytes"], "max": 0.5}
+
+A benchmark or counter missing from the JSON fails the gate: a silently
+renamed benchmark must not turn the check into a no-op.
+
+Usage:
+    check_bench_regression.py [--thresholds FILE] RESULTS.json [...]
+
+Exit status 0 when every rule holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(paths):
+    """Map benchmark name -> counter dict, across all result files."""
+    out = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for bench in doc.get("benchmarks", []):
+            # Repetition aggregates ("mean"/"median") carry the same
+            # counters; the plain entry wins when both are present.
+            name = bench.get("name", "")
+            if name not in out or bench.get("run_type") == "iteration":
+                out[name] = bench
+    return out
+
+
+def check_rule(rule, benchmarks):
+    """Return (ok, description) for one threshold rule."""
+    name = rule["benchmark"]
+    bench = benchmarks.get(name)
+    if bench is None:
+        return False, f"{name}: benchmark missing from results"
+    limit = rule["max"]
+    if "ratio" in rule:
+        num_key, den_key = rule["ratio"]
+        num, den = bench.get(num_key), bench.get(den_key)
+        if num is None or den is None:
+            return False, f"{name}: counter {num_key}/{den_key} missing"
+        if den == 0:
+            return False, f"{name}: {den_key} is zero"
+        value = num / den
+        label = f"{num_key}/{den_key}"
+    else:
+        key = rule["counter"]
+        value = bench.get(key)
+        if value is None:
+            return False, f"{name}: counter {key} missing"
+        label = key
+    ok = value <= limit
+    verdict = "ok" if ok else "REGRESSION"
+    return ok, f"{name}: {label} = {value:g} (limit {limit:g}) {verdict}"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_thresholds = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                      "bench_thresholds.json")
+    parser.add_argument("--thresholds", default=default_thresholds,
+                        help="threshold rules file (default: next to this script)")
+    parser.add_argument("results", nargs="+", help="benchmark JSON output file(s)")
+    args = parser.parse_args(argv)
+
+    with open(args.thresholds, "r", encoding="utf-8") as fh:
+        rules = json.load(fh)["rules"]
+    benchmarks = load_benchmarks(args.results)
+
+    failures = 0
+    for rule in rules:
+        ok, line = check_rule(rule, benchmarks)
+        print(("PASS  " if ok else "FAIL  ") + line)
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"\n{failures} of {len(rules)} bench-counter rules failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rules)} bench-counter rules hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
