@@ -274,6 +274,7 @@ int cmd_client(const Args& args) {
         req.model_dsl = util::read_file(path);
     req.commit = args.get("commit", "absent") != "absent";
     req.snapshot = args.get("snapshot");
+    req.delta = args.get("delta");
 
     serve::BlockingClient client(args.get("host", "127.0.0.1"),
                                  static_cast<std::uint16_t>(std::stoul(args.require("port"))));
@@ -320,6 +321,7 @@ void usage() {
         "            stop it with `cybok client --type shutdown`\n"
         "  client    --port P --type T [--host A] [--session S] [--text Q] [--class K]\n"
         "            [--limit N] [--model FILE] [--commit] [--snapshot PATH]\n"
+        "            [--delta PATH]\n"
         "            send one request, print the JSON response; exit 4 on a\n"
         "            typed error response\n"
         "  table1                                               reproduce the paper's Table 1\n"

@@ -3,7 +3,7 @@
 namespace cybok::analysis {
 
 std::vector<FidelityPoint> fidelity_sweep(const model::SystemModel& m,
-                                          const search::SearchEngine& engine,
+                                          const search::QueryEngine& engine,
                                           const search::FilterChain* chain) {
     std::vector<FidelityPoint> out;
     const model::Fidelity max = m.max_fidelity();

@@ -36,7 +36,7 @@ std::vector<std::string> ReevaluationResult::affected_components() const {
 ReevaluationResult reevaluate(const model::SystemModel& deployed,
                               const search::AssociationMap& baseline,
                               const kb::Corpus& baseline_corpus,
-                              const search::SearchEngine& fresh_engine,
+                              const search::QueryEngine& fresh_engine,
                               const search::FilterChain* chain) {
     ReevaluationResult out;
     out.delta = corpus_delta(baseline_corpus, fresh_engine.corpus());

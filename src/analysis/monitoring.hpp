@@ -51,7 +51,7 @@ struct ReevaluationResult {
 [[nodiscard]] ReevaluationResult reevaluate(const model::SystemModel& deployed,
                                             const search::AssociationMap& baseline,
                                             const kb::Corpus& baseline_corpus,
-                                            const search::SearchEngine& fresh_engine,
+                                            const search::QueryEngine& fresh_engine,
                                             const search::FilterChain* chain = nullptr);
 
 } // namespace cybok::analysis

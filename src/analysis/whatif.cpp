@@ -4,7 +4,7 @@ namespace cybok::analysis {
 
 WhatIfResult what_if(const model::SystemModel& before,
                      const search::AssociationMap& before_associations,
-                     const model::SystemModel& after, const search::SearchEngine& engine,
+                     const model::SystemModel& after, const search::QueryEngine& engine,
                      const search::FilterChain* chain) {
     WhatIfResult out;
     out.diff = model::diff(before, after);

@@ -25,7 +25,7 @@ struct WhatIfResult {
 [[nodiscard]] WhatIfResult what_if(const model::SystemModel& before,
                                    const search::AssociationMap& before_associations,
                                    const model::SystemModel& after,
-                                   const search::SearchEngine& engine,
+                                   const search::QueryEngine& engine,
                                    const search::FilterChain* chain = nullptr);
 
 /// Same, but re-association runs through the parallel, cached Associator:

@@ -66,12 +66,41 @@ std::shared_ptr<const SharedEngine> make_shared_engine(const kb::Corpus& corpus,
     return handle;
 }
 
+std::shared_ptr<const SharedEngine> apply_corpus_delta(
+    const std::shared_ptr<const SharedEngine>& current, const kb::CorpusDelta& delta) {
+    CYBOK_EXPECTS(current != nullptr &&
+                  (current->engine != nullptr || current->segmented != nullptr));
+    auto next = std::make_shared<SharedEngine>();
+    // The overlay borrows the root base's SearchEngine (and, transitively,
+    // its mmap'd slabs); the keepalive pins exactly that handle. The
+    // previous *segmented* handle is not pinned — its segments are shared
+    // into the new engine by refcount.
+    next->base = current->base != nullptr ? current->base : current;
+    if (current->segmented != nullptr)
+        next->segmented =
+            std::make_unique<search::SegmentedEngine>(*current->segmented, delta);
+    else
+        next->segmented = std::make_unique<search::SegmentedEngine>(*current->engine, delta);
+    return next;
+}
+
+std::shared_ptr<const SharedEngine> compact(const std::shared_ptr<const SharedEngine>& current) {
+    CYBOK_EXPECTS(current != nullptr &&
+                  (current->engine != nullptr || current->segmented != nullptr));
+    if (current->segmented == nullptr) return current; // already a base generation
+    auto next = std::make_shared<SharedEngine>();
+    next->owned_corpus = std::make_unique<kb::Corpus>(current->segmented->corpus());
+    next->engine = std::make_unique<search::SearchEngine>(*next->owned_corpus,
+                                                          current->segmented->options());
+    return next;
+}
+
 AnalysisSession::AnalysisSession(model::SystemModel m, const kb::Corpus& corpus,
                                  SessionOptions options)
     : model_(std::move(m)), options_(std::move(options)),
       engine_handle_(make_shared_engine(corpus, options_)),
       degrade_(engine_handle_->cold_start), corpus_(&engine_handle_->corpus()),
-      associator_(*engine_handle_->engine, options_.assoc) {}
+      associator_(engine_handle_->query(), options_.assoc) {}
 
 AnalysisSession::AnalysisSession(model::SystemModel m,
                                  std::shared_ptr<const SharedEngine> engine,
@@ -83,8 +112,18 @@ AnalysisSession::AnalysisSession(model::SystemModel m,
       // per generation); folding it into every overlay session would count
       // one fallback N times.
       corpus_(&engine_handle_->corpus()),
-      associator_(*engine_handle_->engine, options_.assoc) {
-    CYBOK_EXPECTS(engine_handle_ != nullptr && engine_handle_->engine != nullptr);
+      associator_(engine_handle_->query(), options_.assoc) {
+    CYBOK_EXPECTS(engine_handle_ != nullptr &&
+                  (engine_handle_->engine != nullptr || engine_handle_->segmented != nullptr));
+}
+
+void AnalysisSession::adopt_engine(std::shared_ptr<const SharedEngine> engine) {
+    CYBOK_EXPECTS(engine != nullptr &&
+                  (engine->engine != nullptr || engine->segmented != nullptr));
+    engine_handle_ = std::move(engine);
+    corpus_ = &engine_handle_->corpus();
+    associator_.rebind(engine_handle_->query());
+    invalidate_views();
 }
 
 void AnalysisSession::set_hazards(safety::HazardModel hazards) {

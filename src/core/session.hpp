@@ -29,6 +29,7 @@
 #include "safety/trace.hpp"
 #include "search/engine.hpp"
 #include "search/filters.hpp"
+#include "search/generation.hpp"
 
 namespace cybok::core {
 
@@ -72,7 +73,20 @@ struct SharedEngine {
     /// when the engine indexes a caller-owned corpus (which must then
     /// outlive every session holding this handle).
     std::unique_ptr<kb::Corpus> owned_corpus;
+    /// The base (from-scratch) engine. Set on every handle produced by
+    /// make_shared_engine / compact; null on a delta handle, whose engine
+    /// is `segmented` and whose base lives in the `base` keepalive chain.
     std::unique_ptr<search::SearchEngine> engine;
+    /// Set on handles produced by apply_corpus_delta: the base engine plus
+    /// the delta-segment chain. Queries go through query(), which prefers
+    /// this overlay when present.
+    std::unique_ptr<search::SegmentedEngine> segmented;
+    /// Keepalive for the *root base* handle a segmented overlay borrows
+    /// its SearchEngine (and possibly mmap'd slabs) from. Always points at
+    /// a handle with `engine` set, never at another segmented handle —
+    /// intermediate delta generations are free to die (their segments are
+    /// shared by refcount), so the chain never grows past depth one.
+    std::shared_ptr<const SharedEngine> base;
     /// Storage behind the thawed engine's posting/table slabs — exactly one
     /// of these is set on a snapshot start. `mapping` is the zero-copy
     /// path: the engine reads the mmap'd snapshot file in place, so all
@@ -88,7 +102,16 @@ struct SharedEngine {
     /// metrics, so N sessions never multiply one cold-start event.
     search::DegradeCounts cold_start;
 
-    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return engine->corpus(); }
+    /// The engine this handle serves queries through: the segmented
+    /// overlay when a delta has been applied, the base engine otherwise.
+    [[nodiscard]] const search::QueryEngine& query() const noexcept {
+        return segmented != nullptr ? static_cast<const search::QueryEngine&>(*segmented)
+                                    : *engine;
+    }
+
+    /// The merged corpus (first call may materialize it — see
+    /// search::QueryEngine::corpus()).
+    [[nodiscard]] const kb::Corpus& corpus() const { return query().corpus(); }
 };
 
 /// The hoisted cold-start path: load-or-build an engine per
@@ -99,6 +122,25 @@ struct SharedEngine {
 /// runs here, once, instead of inside every session constructor.
 [[nodiscard]] std::shared_ptr<const SharedEngine> make_shared_engine(
     const kb::Corpus& corpus, const SessionOptions& options);
+
+/// O(delta) generation step: overlay `current` with one corpus delta and
+/// return the next immutable generation. `current` is untouched and keeps
+/// serving (callers flip to the returned handle when ready — the serve
+/// registry's drain-gated swap); a failed apply throws and publishes
+/// nothing. Cost is proportional to the delta's record text plus cheap
+/// per-apply table refreshes — the base index is never rebuilt.
+[[nodiscard]] std::shared_ptr<const SharedEngine> apply_corpus_delta(
+    const std::shared_ptr<const SharedEngine>& current, const kb::CorpusDelta& delta);
+
+/// Fold a segmented generation back into a from-scratch base engine over
+/// its merged corpus (queries against the result are bit-identical by
+/// construction — it *is* the rebuild the segmented engine mirrors).
+/// Returns `current` unchanged when there is nothing to fold. Typically
+/// run on a background lane (util::ThreadPool) while the segmented
+/// generation keeps serving; the engine build itself fans out across the
+/// build pool per `current`'s engine options.
+[[nodiscard]] std::shared_ptr<const SharedEngine> compact(
+    const std::shared_ptr<const SharedEngine>& current);
 
 /// One analysis session over (model, corpus). The corpus must outlive the
 /// session; the model is owned and evolves through commit().
@@ -122,8 +164,8 @@ public:
     /// The corpus the engine indexes: the caller's when built fresh, the
     /// session-owned thawed copy when restored from a snapshot.
     [[nodiscard]] const kb::Corpus& corpus() const noexcept { return *corpus_; }
-    [[nodiscard]] const search::SearchEngine& engine() const noexcept {
-        return *engine_handle_->engine;
+    [[nodiscard]] const search::QueryEngine& engine() const noexcept {
+        return engine_handle_->query();
     }
     /// The shared engine handle behind this session (refcount > 1 when the
     /// session is one of several overlays over one engine).
@@ -133,8 +175,16 @@ public:
     /// True when this session's engine was thawed from options.snapshot_path
     /// instead of built from record text.
     [[nodiscard]] bool from_snapshot() const noexcept {
-        return engine_handle_->engine->build_metrics().from_snapshot;
+        return engine_handle_->query().build_metrics().from_snapshot;
     }
+
+    /// Re-point this session at a new engine generation (e.g. the handle
+    /// returned by core::apply_corpus_delta or core::compact). The
+    /// associator is rebound — its query cache needs no flush, keys embed
+    /// the engine generation — and every cached view (associations,
+    /// posture, traces) is invalidated so the next access recomputes
+    /// against the new corpus.
+    void adopt_engine(std::shared_ptr<const SharedEngine> engine);
     /// The parallel/cached association engine every association in this
     /// session runs through (associations(), propose(), commit()).
     [[nodiscard]] search::Associator& associator() noexcept { return associator_; }

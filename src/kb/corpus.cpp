@@ -32,6 +32,72 @@ void Corpus::add(Vulnerability vulnerability) {
     indexed_ = false;
 }
 
+namespace {
+
+// Mutation helpers scan linearly rather than consult the by-id maps: the
+// maps are stale mid-edit (apply_corpus_delta batches several mutations
+// before the single closing reindex()).
+template <typename Record>
+typename std::vector<Record>::iterator find_by_id(std::vector<Record>& records,
+                                                  decltype(Record::id) id) {
+    return std::find_if(records.begin(), records.end(),
+                        [&](const Record& r) { return r.id == id; });
+}
+
+template <typename Record>
+bool replace_record(std::vector<Record>& records, Record&& record) {
+    auto it = find_by_id(records, record.id);
+    if (it == records.end()) return false;
+    *it = std::move(record);
+    return true;
+}
+
+template <typename Record>
+bool erase_record(std::vector<Record>& records, decltype(Record::id) id) {
+    auto it = find_by_id(records, id);
+    if (it == records.end()) return false;
+    records.erase(it);
+    return true;
+}
+
+} // namespace
+
+bool Corpus::replace(AttackPattern pattern) {
+    if (!replace_record(patterns_, std::move(pattern))) return false;
+    indexed_ = false;
+    return true;
+}
+
+bool Corpus::replace(Weakness weakness) {
+    if (!replace_record(weaknesses_, std::move(weakness))) return false;
+    indexed_ = false;
+    return true;
+}
+
+bool Corpus::replace(Vulnerability vulnerability) {
+    if (!replace_record(vulnerabilities_, std::move(vulnerability))) return false;
+    indexed_ = false;
+    return true;
+}
+
+bool Corpus::erase(AttackPatternId id) {
+    if (!erase_record(patterns_, id)) return false;
+    indexed_ = false;
+    return true;
+}
+
+bool Corpus::erase(WeaknessId id) {
+    if (!erase_record(weaknesses_, id)) return false;
+    indexed_ = false;
+    return true;
+}
+
+bool Corpus::erase(VulnerabilityId id) {
+    if (!erase_record(vulnerabilities_, id)) return false;
+    indexed_ = false;
+    return true;
+}
+
 void Corpus::reindex() {
     pattern_by_id_.clear();
     weakness_by_id_.clear();

@@ -25,6 +25,21 @@ public:
     void add(Weakness weakness);
     void add(Vulnerability vulnerability);
 
+    /// Replace the record carrying the same id in place — the record's
+    /// position (and therefore corpus order) is preserved. Returns false
+    /// when no record with that id exists; nothing is changed then.
+    /// Invalidates the index.
+    bool replace(AttackPattern pattern);
+    bool replace(Weakness weakness);
+    bool replace(Vulnerability vulnerability);
+
+    /// Remove the record with `id`, shifting later records down (the
+    /// relative order of survivors is preserved). Returns false when
+    /// absent. Invalidates the index.
+    bool erase(AttackPatternId id);
+    bool erase(WeaknessId id);
+    bool erase(VulnerabilityId id);
+
     /// Rebuild derived indexes: weakness.related_patterns (from pattern
     /// references), platform -> vulnerability lists, weakness ->
     /// vulnerability lists. Throws ValidationError on duplicate ids.

@@ -1,0 +1,150 @@
+#include "kb/delta.hpp"
+
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "kb/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace cybok::kb {
+
+namespace {
+
+// Eager-section submagic distinguishing a delta blob from a full
+// snapshot: both use the same v2 frame, so magic alone cannot tell them
+// apart and a full snapshot fed to thaw_corpus_delta must die with a
+// typed error, not a garbage decode.
+constexpr std::string_view kDeltaMagic = "CYBOKDLT"; // 8 bytes
+
+template <typename Record, typename Id>
+void validate_family(const Corpus& corpus, const std::vector<Record>& upserts,
+                     const std::vector<Id>& withdrawals, const char* family) {
+    std::set<Id> seen;
+    for (const Record& r : upserts) {
+        if (!seen.insert(r.id).second)
+            throw ValidationError(std::string("delta: duplicate ") + family + " upsert id " +
+                                  r.id.to_string());
+    }
+    std::set<Id> gone;
+    for (Id id : withdrawals) {
+        if (!gone.insert(id).second)
+            throw ValidationError(std::string("delta: duplicate ") + family + " withdrawal id " +
+                                  id.to_string());
+        if (corpus.find(id) == nullptr)
+            throw ValidationError(std::string("delta: withdrawal of unknown ") + family + " id " +
+                                  id.to_string());
+    }
+}
+
+template <typename Record, typename Id>
+void apply_family(Corpus& corpus, const std::vector<Record>& upserts,
+                  const std::vector<Id>& withdrawals, DeltaApplyReport::Family& out) {
+    for (Id id : withdrawals) {
+        corpus.erase(id);
+        ++out.withdrawn;
+    }
+    for (const Record& r : upserts) {
+        // replace() fails for an id withdrawn above, so a withdraw+upsert
+        // of the same id re-enters as an append, per the header contract.
+        if (corpus.replace(r)) {
+            ++out.modified;
+        } else {
+            corpus.add(r);
+            ++out.added;
+        }
+    }
+}
+
+template <typename Id>
+void freeze_ids(util::ByteWriter& w, const std::vector<Id>& ids) {
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (Id id : ids) w.u32(id.value);
+}
+
+} // namespace
+
+DeltaApplyReport apply_corpus_delta(Corpus& corpus, const CorpusDelta& delta) {
+    CYBOK_FAULT_POINT("kb.delta.apply", ValidationError("injected: delta rejected"));
+    if (!corpus.indexed())
+        throw ValidationError("delta: corpus must be reindexed before apply");
+
+    // Validate everything against the pre-delta corpus before touching it:
+    // a throw below this block would leave the corpus half-edited.
+    validate_family(corpus, delta.patterns, delta.withdraw_patterns, "attack pattern");
+    validate_family(corpus, delta.weaknesses, delta.withdraw_weaknesses, "weakness");
+    validate_family(corpus, delta.vulnerabilities, delta.withdraw_vulnerabilities,
+                    "vulnerability");
+
+    DeltaApplyReport report;
+    apply_family(corpus, delta.patterns, delta.withdraw_patterns, report.patterns);
+    apply_family(corpus, delta.weaknesses, delta.withdraw_weaknesses, report.weaknesses);
+    apply_family(corpus, delta.vulnerabilities, delta.withdraw_vulnerabilities,
+                 report.vulnerabilities);
+    corpus.reindex();
+    return report;
+}
+
+std::string freeze_corpus_delta(const CorpusDelta& delta) {
+    util::ByteWriter w;
+    w.str(kDeltaMagic);
+
+    w.u32(static_cast<std::uint32_t>(delta.patterns.size()));
+    for (const AttackPattern& p : delta.patterns) freeze_record(w, p);
+    w.u32(static_cast<std::uint32_t>(delta.weaknesses.size()));
+    for (const Weakness& wk : delta.weaknesses) freeze_record(w, wk);
+    w.u32(static_cast<std::uint32_t>(delta.vulnerabilities.size()));
+    for (const Vulnerability& v : delta.vulnerabilities) freeze_record(w, v);
+
+    freeze_ids(w, delta.withdraw_patterns);
+    freeze_ids(w, delta.withdraw_weaknesses);
+    w.u32(static_cast<std::uint32_t>(delta.withdraw_vulnerabilities.size()));
+    for (VulnerabilityId id : delta.withdraw_vulnerabilities) {
+        w.u32(id.year);
+        w.u32(id.number);
+    }
+
+    return seal_snapshot(w.bytes(), {});
+}
+
+CorpusDelta thaw_corpus_delta(std::string_view blob, std::string_view source) {
+    const SnapshotSections sections = open_snapshot(blob, source);
+    util::ByteReader r(sections.eager);
+    if (sections.eager.empty() || r.str() != kDeltaMagic)
+        throw SnapshotError("delta: bad submagic (not a corpus delta)", std::string(source),
+                            kSnapshotHeaderSize);
+
+    CorpusDelta delta;
+    const std::uint32_t n_patterns = r.u32();
+    delta.patterns.reserve(n_patterns);
+    for (std::uint32_t i = 0; i < n_patterns; ++i) delta.patterns.push_back(thaw_pattern(r));
+    const std::uint32_t n_weaknesses = r.u32();
+    delta.weaknesses.reserve(n_weaknesses);
+    for (std::uint32_t i = 0; i < n_weaknesses; ++i)
+        delta.weaknesses.push_back(thaw_weakness(r));
+    const std::uint32_t n_vulns = r.u32();
+    delta.vulnerabilities.reserve(n_vulns);
+    for (std::uint32_t i = 0; i < n_vulns; ++i)
+        delta.vulnerabilities.push_back(thaw_vulnerability(r));
+
+    const std::uint32_t n_wp = r.u32();
+    delta.withdraw_patterns.reserve(n_wp);
+    for (std::uint32_t i = 0; i < n_wp; ++i) delta.withdraw_patterns.push_back({r.u32()});
+    const std::uint32_t n_ww = r.u32();
+    delta.withdraw_weaknesses.reserve(n_ww);
+    for (std::uint32_t i = 0; i < n_ww; ++i) delta.withdraw_weaknesses.push_back({r.u32()});
+    const std::uint32_t n_wv = r.u32();
+    delta.withdraw_vulnerabilities.reserve(n_wv);
+    for (std::uint32_t i = 0; i < n_wv; ++i) {
+        const std::uint32_t year = r.u32();
+        const std::uint32_t number = r.u32();
+        delta.withdraw_vulnerabilities.push_back({year, number});
+    }
+    if (r.remaining() != 0)
+        throw SnapshotError("delta: trailing bytes after payload", std::string(source),
+                            kSnapshotHeaderSize + sections.eager.size() - r.remaining());
+    return delta;
+}
+
+} // namespace cybok::kb

@@ -1,0 +1,98 @@
+// Incremental corpus updates — the feed-tick unit of the segmented
+// indexing path. A CorpusDelta names records to withdraw and records to
+// upsert; apply_corpus_delta edits a Corpus in place, transactionally:
+// the whole delta is validated against the pre-delta corpus before any
+// mutation, so a rejected delta (or an injected "kb.delta.apply" fault)
+// leaves the corpus byte-identical to its prior state.
+//
+// Semantics, per record family:
+//   1. Withdrawals apply first. Every withdrawn id must exist in the
+//      pre-delta corpus (delta-only records included once a previous
+//      delta added them — "pre-delta" means before THIS delta).
+//   2. Upserts apply second. An upsert whose id survives step 1 replaces
+//      that record in place (corpus position preserved — a *modify*); any
+//      other id appends (an *add*). A record withdrawn and re-upserted in
+//      the same delta therefore re-enters as a fresh append.
+//
+// Rejected with ValidationError, corpus untouched: duplicate upsert ids
+// within the delta, duplicate withdrawal ids, withdrawal of an unknown
+// id, an id both withdrawn and... (withdraw+upsert of the same id is
+// legal — see above), and applying to a corpus that was never reindexed.
+//
+// The wire form (freeze/thaw) reuses the v2 snapshot frame from
+// kb/snapshot.hpp — header + checksummed eager section, empty slab
+// section — with a delta submagic, so the serve layer ships deltas with
+// the same integrity guarantees as full snapshots.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kb/corpus.hpp"
+
+namespace cybok::kb {
+
+/// One batch of corpus edits. Order within each vector is preserved on
+/// apply (appends land in upsert order).
+struct CorpusDelta {
+    // Upserts: replace-in-place when the id already exists, append otherwise.
+    std::vector<AttackPattern> patterns;
+    std::vector<Weakness> weaknesses;
+    std::vector<Vulnerability> vulnerabilities;
+
+    // Withdrawals: ids that must exist in the pre-delta corpus.
+    std::vector<AttackPatternId> withdraw_patterns;
+    std::vector<WeaknessId> withdraw_weaknesses;
+    std::vector<VulnerabilityId> withdraw_vulnerabilities;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return patterns.empty() && weaknesses.empty() && vulnerabilities.empty() &&
+               withdraw_patterns.empty() && withdraw_weaknesses.empty() &&
+               withdraw_vulnerabilities.empty();
+    }
+
+    /// Records named by this delta (upserts + withdrawals, all families).
+    [[nodiscard]] std::size_t size() const noexcept {
+        return patterns.size() + weaknesses.size() + vulnerabilities.size() +
+               withdraw_patterns.size() + withdraw_weaknesses.size() +
+               withdraw_vulnerabilities.size();
+    }
+};
+
+/// What apply_corpus_delta did, by family. An upsert counts as *modified*
+/// when it replaced a surviving record in place and *added* when it
+/// appended (new id, or an id withdrawn earlier in the same delta).
+struct DeltaApplyReport {
+    struct Family {
+        std::size_t added = 0;
+        std::size_t modified = 0;
+        std::size_t withdrawn = 0;
+    };
+    Family patterns;
+    Family weaknesses;
+    Family vulnerabilities;
+
+    [[nodiscard]] std::size_t total() const noexcept {
+        return patterns.added + patterns.modified + patterns.withdrawn + weaknesses.added +
+               weaknesses.modified + weaknesses.withdrawn + vulnerabilities.added +
+               vulnerabilities.modified + vulnerabilities.withdrawn;
+    }
+};
+
+/// Apply `delta` to `corpus` (which must be indexed), validate-before-
+/// mutate; reindexes on success. Cost is O(delta records + corpus ids):
+/// no text analysis happens here. Fault site "kb.delta.apply" fires
+/// before validation, so an injected failure observes the transactional
+/// contract: the corpus is unchanged.
+DeltaApplyReport apply_corpus_delta(Corpus& corpus, const CorpusDelta& delta);
+
+/// Wire codec: a self-framed blob (v2 snapshot frame, delta submagic,
+/// empty slab section). thaw rejects malformed frames with SnapshotError
+/// and malformed payloads with SnapshotError/ValidationError; `source`
+/// (originating file path, if any) is threaded into frame errors.
+[[nodiscard]] std::string freeze_corpus_delta(const CorpusDelta& delta);
+[[nodiscard]] CorpusDelta thaw_corpus_delta(std::string_view blob, std::string_view source = {});
+
+} // namespace cybok::kb

@@ -107,94 +107,106 @@ SnapshotSections open_snapshot(std::string_view blob, std::string_view source,
     return sections;
 }
 
+void freeze_record(util::ByteWriter& w, const AttackPattern& p) {
+    w.u32(p.id.value);
+    w.str(p.name);
+    w.str(p.summary);
+    freeze_strings(w, p.prerequisites);
+    w.u8(static_cast<std::uint8_t>(p.likelihood));
+    w.u8(static_cast<std::uint8_t>(p.typical_severity));
+    w.u32(static_cast<std::uint32_t>(p.related_weaknesses.size()));
+    for (WeaknessId wid : p.related_weaknesses) w.u32(wid.value);
+    w.u32(p.parent.value);
+    freeze_strings(w, p.domains);
+}
+
+void freeze_record(util::ByteWriter& w, const Weakness& wk) {
+    w.u32(wk.id.value);
+    w.str(wk.name);
+    w.str(wk.description);
+    freeze_strings(w, wk.modes_of_introduction);
+    freeze_strings(w, wk.consequences);
+    // related_patterns is derived (rebuilt by reindex), not serialized.
+    w.u32(wk.parent.value);
+    freeze_strings(w, wk.applicable_platforms);
+}
+
+void freeze_record(util::ByteWriter& w, const Vulnerability& v) {
+    w.u32(v.id.year);
+    w.u32(v.id.number);
+    w.str(v.description);
+    w.u32(static_cast<std::uint32_t>(v.platforms.size()));
+    for (const Platform& p : v.platforms) freeze_platform(w, p);
+    w.u32(static_cast<std::uint32_t>(v.weaknesses.size()));
+    for (WeaknessId wid : v.weaknesses) w.u32(wid.value);
+    w.str(v.cvss_vector);
+}
+
+AttackPattern thaw_pattern(util::ByteReader& r) {
+    AttackPattern p;
+    p.id.value = r.u32();
+    p.name = r.str();
+    p.summary = r.str();
+    p.prerequisites = thaw_strings(r);
+    p.likelihood = thaw_rating(r);
+    p.typical_severity = thaw_rating(r);
+    const std::uint32_t n_rel = r.u32();
+    p.related_weaknesses.reserve(n_rel);
+    for (std::uint32_t j = 0; j < n_rel; ++j) p.related_weaknesses.push_back({r.u32()});
+    p.parent.value = r.u32();
+    p.domains = thaw_strings(r);
+    return p;
+}
+
+Weakness thaw_weakness(util::ByteReader& r) {
+    Weakness wk;
+    wk.id.value = r.u32();
+    wk.name = r.str();
+    wk.description = r.str();
+    wk.modes_of_introduction = thaw_strings(r);
+    wk.consequences = thaw_strings(r);
+    wk.parent.value = r.u32();
+    wk.applicable_platforms = thaw_strings(r);
+    return wk;
+}
+
+Vulnerability thaw_vulnerability(util::ByteReader& r) {
+    Vulnerability v;
+    v.id.year = r.u32();
+    v.id.number = r.u32();
+    v.description = r.str();
+    const std::uint32_t n_plat = r.u32();
+    v.platforms.reserve(n_plat);
+    for (std::uint32_t j = 0; j < n_plat; ++j) v.platforms.push_back(thaw_platform(r));
+    const std::uint32_t n_cwe = r.u32();
+    v.weaknesses.reserve(n_cwe);
+    for (std::uint32_t j = 0; j < n_cwe; ++j) v.weaknesses.push_back({r.u32()});
+    v.cvss_vector = r.str();
+    return v;
+}
+
 void freeze_corpus(util::ByteWriter& w, const Corpus& corpus) {
     w.u32(static_cast<std::uint32_t>(corpus.patterns().size()));
-    for (const AttackPattern& p : corpus.patterns()) {
-        w.u32(p.id.value);
-        w.str(p.name);
-        w.str(p.summary);
-        freeze_strings(w, p.prerequisites);
-        w.u8(static_cast<std::uint8_t>(p.likelihood));
-        w.u8(static_cast<std::uint8_t>(p.typical_severity));
-        w.u32(static_cast<std::uint32_t>(p.related_weaknesses.size()));
-        for (WeaknessId wid : p.related_weaknesses) w.u32(wid.value);
-        w.u32(p.parent.value);
-        freeze_strings(w, p.domains);
-    }
+    for (const AttackPattern& p : corpus.patterns()) freeze_record(w, p);
 
     w.u32(static_cast<std::uint32_t>(corpus.weaknesses().size()));
-    for (const Weakness& wk : corpus.weaknesses()) {
-        w.u32(wk.id.value);
-        w.str(wk.name);
-        w.str(wk.description);
-        freeze_strings(w, wk.modes_of_introduction);
-        freeze_strings(w, wk.consequences);
-        // related_patterns is derived (rebuilt by reindex), not serialized.
-        w.u32(wk.parent.value);
-        freeze_strings(w, wk.applicable_platforms);
-    }
+    for (const Weakness& wk : corpus.weaknesses()) freeze_record(w, wk);
 
     w.u32(static_cast<std::uint32_t>(corpus.vulnerabilities().size()));
-    for (const Vulnerability& v : corpus.vulnerabilities()) {
-        w.u32(v.id.year);
-        w.u32(v.id.number);
-        w.str(v.description);
-        w.u32(static_cast<std::uint32_t>(v.platforms.size()));
-        for (const Platform& p : v.platforms) freeze_platform(w, p);
-        w.u32(static_cast<std::uint32_t>(v.weaknesses.size()));
-        for (WeaknessId wid : v.weaknesses) w.u32(wid.value);
-        w.str(v.cvss_vector);
-    }
+    for (const Vulnerability& v : corpus.vulnerabilities()) freeze_record(w, v);
 }
 
 Corpus thaw_corpus(util::ByteReader& r) {
     Corpus corpus;
 
     const std::uint32_t n_patterns = r.u32();
-    for (std::uint32_t i = 0; i < n_patterns; ++i) {
-        AttackPattern p;
-        p.id.value = r.u32();
-        p.name = r.str();
-        p.summary = r.str();
-        p.prerequisites = thaw_strings(r);
-        p.likelihood = thaw_rating(r);
-        p.typical_severity = thaw_rating(r);
-        const std::uint32_t n_rel = r.u32();
-        p.related_weaknesses.reserve(n_rel);
-        for (std::uint32_t j = 0; j < n_rel; ++j) p.related_weaknesses.push_back({r.u32()});
-        p.parent.value = r.u32();
-        p.domains = thaw_strings(r);
-        corpus.add(std::move(p));
-    }
+    for (std::uint32_t i = 0; i < n_patterns; ++i) corpus.add(thaw_pattern(r));
 
     const std::uint32_t n_weaknesses = r.u32();
-    for (std::uint32_t i = 0; i < n_weaknesses; ++i) {
-        Weakness wk;
-        wk.id.value = r.u32();
-        wk.name = r.str();
-        wk.description = r.str();
-        wk.modes_of_introduction = thaw_strings(r);
-        wk.consequences = thaw_strings(r);
-        wk.parent.value = r.u32();
-        wk.applicable_platforms = thaw_strings(r);
-        corpus.add(std::move(wk));
-    }
+    for (std::uint32_t i = 0; i < n_weaknesses; ++i) corpus.add(thaw_weakness(r));
 
     const std::uint32_t n_vulns = r.u32();
-    for (std::uint32_t i = 0; i < n_vulns; ++i) {
-        Vulnerability v;
-        v.id.year = r.u32();
-        v.id.number = r.u32();
-        v.description = r.str();
-        const std::uint32_t n_plat = r.u32();
-        v.platforms.reserve(n_plat);
-        for (std::uint32_t j = 0; j < n_plat; ++j) v.platforms.push_back(thaw_platform(r));
-        const std::uint32_t n_cwe = r.u32();
-        v.weaknesses.reserve(n_cwe);
-        for (std::uint32_t j = 0; j < n_cwe; ++j) v.weaknesses.push_back({r.u32()});
-        v.cvss_vector = r.str();
-        corpus.add(std::move(v));
-    }
+    for (std::uint32_t i = 0; i < n_vulns; ++i) corpus.add(thaw_vulnerability(r));
 
     corpus.reindex();
     return corpus;

@@ -115,4 +115,15 @@ struct SnapshotSections {
 void freeze_corpus(util::ByteWriter& w, const Corpus& corpus);
 [[nodiscard]] Corpus thaw_corpus(util::ByteReader& r);
 
+/// Single-record codecs — the unit the corpus codec above loops over,
+/// exposed so the delta blob (kb/delta.hpp) serializes records in the
+/// exact same byte layout. Weakness.related_patterns is derived state and
+/// is never serialized (reindex() rebuilds it).
+void freeze_record(util::ByteWriter& w, const AttackPattern& p);
+void freeze_record(util::ByteWriter& w, const Weakness& wk);
+void freeze_record(util::ByteWriter& w, const Vulnerability& v);
+[[nodiscard]] AttackPattern thaw_pattern(util::ByteReader& r);
+[[nodiscard]] Weakness thaw_weakness(util::ByteReader& r);
+[[nodiscard]] Vulnerability thaw_vulnerability(util::ByteReader& r);
+
 } // namespace cybok::kb

@@ -70,7 +70,7 @@ std::vector<AssociationMap::TableRow> AssociationMap::attribute_table() const {
 
 namespace {
 
-ComponentAssociation associate_component(const model::Component& c, const SearchEngine& engine,
+ComponentAssociation associate_component(const model::Component& c, const QueryEngine& engine,
                                          const FilterChain* chain) {
     ComponentAssociation out;
     out.component = c.name;
@@ -87,7 +87,7 @@ ComponentAssociation associate_component(const model::Component& c, const Search
 
 } // namespace
 
-AssociationMap associate(const model::SystemModel& m, const SearchEngine& engine,
+AssociationMap associate(const model::SystemModel& m, const QueryEngine& engine,
                          const FilterChain* chain) {
     AssociationMap map;
     for (const model::Component& c : m.components()) {
@@ -98,7 +98,7 @@ AssociationMap associate(const model::SystemModel& m, const SearchEngine& engine
 }
 
 AssociationMap reassociate(const AssociationMap& previous, const model::ModelDiff& diff,
-                           const model::SystemModel& after, const SearchEngine& engine,
+                           const model::SystemModel& after, const QueryEngine& engine,
                            const FilterChain* chain) {
     std::set<std::string> touched;
     for (const std::string& name : diff.touched_components()) touched.insert(name);
@@ -129,20 +129,39 @@ struct Associator::Task {
     std::vector<Match>* out = nullptr;      ///< pre-sized destination slot
 };
 
-Associator::Associator(const SearchEngine& engine, AssocOptions options)
-    : engine_(engine), options_(options),
-      options_signature_(engine.options().signature()), pool_(options.threads),
-      cache_(options.cache_capacity) {
+namespace {
+
+/// The per-engine half of every cache key: the options signature plus the
+/// engine's process-unique generation id. The generation suffix is what
+/// makes stale hits *impossible* across rebind(): two engine instances —
+/// even over byte-identical corpora — never share a generation, so a key
+/// computed against one can never be produced against the other.
+std::string engine_signature(const QueryEngine& engine) {
+    return engine.options().signature() + "|gen=" + std::to_string(engine.engine_generation());
+}
+
+} // namespace
+
+Associator::Associator(const QueryEngine& engine, AssocOptions options)
+    : engine_(&engine), options_(options), options_signature_(engine_signature(engine)),
+      pool_(options.threads), cache_(options.cache_capacity) {
     // Surface how the engine behind this associator came to exist (cold
     // build timings or snapshot thaw) in every metrics report.
     metrics_.build = engine.build_metrics();
 }
 
+void Associator::rebind(const QueryEngine& engine) {
+    engine_ = &engine;
+    options_signature_ = engine_signature(engine);
+    std::lock_guard<std::mutex> lk(metrics_mutex_);
+    metrics_.build = engine.build_metrics();
+}
+
 namespace {
 
-/// Content-addressed cache key: engine options + attribute kind +
-/// normalized token sequence + platform URI. Fully determines the query
-/// result against an immutable engine.
+/// Content-addressed cache key: engine signature (options + generation) +
+/// attribute kind + normalized token sequence + platform URI. Fully
+/// determines the query result against an immutable engine generation.
 std::string cache_key(const std::string& options_signature, const model::Attribute& attr,
                       const std::vector<std::string>& tokens) {
     std::string key = options_signature;
@@ -170,10 +189,10 @@ void Associator::run_tasks(std::vector<Task>& tasks, const FilterChain* chain) {
         if (task.attr->kind == model::AttributeKind::Parameter) {
             // Parameters match nothing by design; skip analyze and cache.
         } else if (!options_.cache_enabled) {
-            matches = engine_.query_attribute(*task.attr, &local);
+            matches = engine_->query_attribute(*task.attr, &local);
         } else {
             const Clock::time_point analyze_start = Clock::now();
-            const std::vector<std::string> tokens = SearchEngine::attribute_tokens(*task.attr);
+            const std::vector<std::string> tokens = QueryEngine::attribute_tokens(*task.attr);
             local.timings.analyze_ns += ns_since(analyze_start);
             const std::string key = cache_key(options_signature_, *task.attr, tokens);
             // Degradation contract: a failing cache get is a miss, a
@@ -195,7 +214,7 @@ void Associator::run_tasks(std::vector<Task>& tasks, const FilterChain* chain) {
                 try {
                     CYBOK_FAULT_POINT("search.assoc.recompute",
                                       Error("injected: attribute recompute failed"));
-                    matches = engine_.query_attribute_tokens(*task.attr, tokens, &local);
+                    matches = engine_->query_attribute_tokens(*task.attr, tokens, &local);
                 } catch (const Error& e) {
                     ++local.degrade.recompute_retries;
                     local.degrade.last_reason = e.what();
@@ -204,7 +223,7 @@ void Associator::run_tasks(std::vector<Task>& tasks, const FilterChain* chain) {
                     // associate(); a transient one (nth:K) recovers here.
                     CYBOK_FAULT_POINT("search.assoc.recompute",
                                       Error("injected: attribute recompute failed twice"));
-                    matches = engine_.query_attribute_tokens(*task.attr, tokens, &local);
+                    matches = engine_->query_attribute_tokens(*task.attr, tokens, &local);
                 }
                 try {
                     cache_.put(key, matches, *task.component);

@@ -68,7 +68,7 @@ struct AssociationMap {
 
 /// Associate the whole model. If `chain` is non-null, every attribute's
 /// matches are passed through the filter chain.
-[[nodiscard]] AssociationMap associate(const model::SystemModel& m, const SearchEngine& engine,
+[[nodiscard]] AssociationMap associate(const model::SystemModel& m, const QueryEngine& engine,
                                        const FilterChain* chain = nullptr);
 
 /// Incremental re-association after a model edit: only components named in
@@ -78,7 +78,7 @@ struct AssociationMap {
 [[nodiscard]] AssociationMap reassociate(const AssociationMap& previous,
                                          const model::ModelDiff& diff,
                                          const model::SystemModel& after,
-                                         const SearchEngine& engine,
+                                         const QueryEngine& engine,
                                          const FilterChain* chain = nullptr);
 
 /// Execution knobs for the Associator.
@@ -94,7 +94,9 @@ struct AssocOptions {
 /// The parallel, memoizing association engine.
 ///
 /// Owns a util::ThreadPool and a QueryCache over one immutable
-/// SearchEngine. associate() fans every (component, attribute) pair of a
+/// QueryEngine generation (rebind() moves it to the next one; it must not
+/// race with an in-flight run). associate() fans every (component,
+/// attribute) pair of a
 /// model across the pool; each attribute result is cached under its
 /// normalized token sequence + attribute kind + platform + engine-options
 /// signature, so a repeated attribute ("Linux OS" on several platforms)
@@ -112,12 +114,20 @@ struct AssocOptions {
 /// are internally locked.
 class Associator {
 public:
-    explicit Associator(const SearchEngine& engine, AssocOptions options = {});
+    explicit Associator(const QueryEngine& engine, AssocOptions options = {});
 
     Associator(const Associator&) = delete;
     Associator& operator=(const Associator&) = delete;
 
-    [[nodiscard]] const SearchEngine& engine() const noexcept { return engine_; }
+    [[nodiscard]] const QueryEngine& engine() const noexcept { return *engine_; }
+
+    /// Point future queries at a new engine generation (e.g. after a
+    /// corpus delta was applied). The cache is *not* flushed: cache keys
+    /// embed the engine's process-unique generation id, so entries from
+    /// the old generation can never satisfy a lookup against the new one
+    /// — they simply age out FIFO. The caller must keep `engine` alive
+    /// for the associator's lifetime (core::AnalysisSession does).
+    void rebind(const QueryEngine& engine);
     [[nodiscard]] const AssocOptions& options() const noexcept { return options_; }
     [[nodiscard]] std::size_t thread_count() const noexcept { return pool_.thread_count(); }
 
@@ -145,9 +155,9 @@ private:
     struct Task; // one (component, attribute) query
     void run_tasks(std::vector<Task>& tasks, const FilterChain* chain);
 
-    const SearchEngine& engine_;
+    const QueryEngine* engine_;
     AssocOptions options_;
-    std::string options_signature_; ///< engine-options half of cache keys
+    std::string options_signature_; ///< engine-options + generation half of cache keys
     util::ThreadPool pool_;
     QueryCache cache_;
     mutable std::mutex metrics_mutex_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "cvss/cvss2.hpp"
 #include "kb/snapshot.hpp"
+#include "search/indexing.hpp"
 #include "text/scratch.hpp"
 #include "text/tokenize.hpp"
 #include "util/fault.hpp"
@@ -52,6 +54,13 @@ std::uint64_t ns_since(Clock::time_point start) {
 
 } // namespace
 
+QueryEngine::QueryEngine() noexcept {
+    // Process-unique, monotone: the query cache keys on it, so no two
+    // engine instances — however identical their content — ever alias.
+    static std::atomic<std::uint64_t> next{1};
+    generation_ = next.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::string EngineOptions::signature() const {
     // std::to_chars, not iostreams: this string keys the query cache, so
     // it must not change spelling with the global locale.
@@ -92,34 +101,27 @@ BuildPlan make_build_plan(const kb::Corpus& corpus, float title_weight) {
     plan.docs.reserve(corpus.patterns().size() + corpus.weaknesses().size() +
                       corpus.vulnerabilities().size());
 
+    // Field source + order comes from detail::for_each_field — the single
+    // definition shared with the sequential path and the delta-segment
+    // build (search/indexing.hpp).
+    const auto plan_record = [&plan, title_weight](const auto& record) {
+        std::vector<FieldSource>& f = plan.docs.emplace_back();
+        detail::for_each_field(record, title_weight, [&f](const std::string& text, float weight) {
+            f.push_back({&text, weight});
+        });
+    };
+
     plan.lane_begin[0] = 0;
     plan.lane_count[0] = corpus.patterns().size();
-    for (const kb::AttackPattern& p : corpus.patterns()) {
-        std::vector<FieldSource>& f = plan.docs.emplace_back();
-        f.reserve(2 + p.prerequisites.size());
-        f.push_back({&p.name, title_weight});
-        f.push_back({&p.summary, 1.0f});
-        for (const std::string& pre : p.prerequisites) f.push_back({&pre, 1.0f});
-        // p.domains is categorical metadata ("software", "communications"),
-        // not prose; indexing it would make every generic attribute word a
-        // high-IDF hit. It stays out of the lexical index by design.
-    }
+    for (const kb::AttackPattern& p : corpus.patterns()) plan_record(p);
 
     plan.lane_begin[1] = plan.docs.size();
     plan.lane_count[1] = corpus.weaknesses().size();
-    for (const kb::Weakness& w : corpus.weaknesses()) {
-        std::vector<FieldSource>& f = plan.docs.emplace_back();
-        f.reserve(2 + w.consequences.size() + w.applicable_platforms.size());
-        f.push_back({&w.name, title_weight});
-        f.push_back({&w.description, 1.0f});
-        for (const std::string& c : w.consequences) f.push_back({&c, 1.0f});
-        for (const std::string& ap : w.applicable_platforms) f.push_back({&ap, 1.0f});
-    }
+    for (const kb::Weakness& w : corpus.weaknesses()) plan_record(w);
 
     plan.lane_begin[2] = plan.docs.size();
     plan.lane_count[2] = corpus.vulnerabilities().size();
-    for (const kb::Vulnerability& v : corpus.vulnerabilities())
-        plan.docs.emplace_back().push_back({&v.description, 1.0f});
+    for (const kb::Vulnerability& v : corpus.vulnerabilities()) plan_record(v);
 
     return plan;
 }
@@ -151,30 +153,16 @@ SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
     // lets a failed parallel build fall back here without changing any
     // result downstream.
     const auto sequential_build = [&] {
-        for (const kb::AttackPattern& p : corpus.patterns()) {
-            pattern_index_.add_document();
-            pattern_index_.add_terms(text::analyze(p.name), tw);
-            pattern_index_.add_terms(text::analyze(p.summary));
-            for (const std::string& pre : p.prerequisites)
-                pattern_index_.add_terms(text::analyze(pre));
-        }
+        for (const kb::AttackPattern& p : corpus.patterns())
+            detail::index_record(pattern_index_, p, tw);
         pattern_index_.finalize();
 
-        for (const kb::Weakness& w : corpus.weaknesses()) {
-            weakness_index_.add_document();
-            weakness_index_.add_terms(text::analyze(w.name), tw);
-            weakness_index_.add_terms(text::analyze(w.description));
-            for (const std::string& c : w.consequences)
-                weakness_index_.add_terms(text::analyze(c));
-            for (const std::string& ap : w.applicable_platforms)
-                weakness_index_.add_terms(text::analyze(ap));
-        }
+        for (const kb::Weakness& w : corpus.weaknesses())
+            detail::index_record(weakness_index_, w, tw);
         weakness_index_.finalize();
 
-        for (const kb::Vulnerability& v : corpus.vulnerabilities()) {
-            vulnerability_index_.add_document();
-            vulnerability_index_.add_terms(text::analyze(v.description));
-        }
+        for (const kb::Vulnerability& v : corpus.vulnerabilities())
+            detail::index_record(vulnerability_index_, v, tw);
         vulnerability_index_.finalize();
 
         if (options_.ranker == EngineOptions::Ranker::Bm25) {
@@ -279,25 +267,25 @@ SearchEngine::SearchEngine(const kb::Corpus& corpus, EngineOptions options,
     build_metrics_.threads = threads;
 }
 
-Match SearchEngine::make_match(VectorClass cls, std::size_t index) const {
+Match QueryEngine::make_match(VectorClass cls, std::size_t index) const {
     Match m;
     m.cls = cls;
     m.corpus_index = index;
     switch (cls) {
         case VectorClass::AttackPattern: {
-            const kb::AttackPattern& p = corpus_.patterns()[index];
+            const kb::AttackPattern& p = pattern_at(index);
             m.id = p.id.to_string();
             m.title = p.name;
             break;
         }
         case VectorClass::Weakness: {
-            const kb::Weakness& w = corpus_.weaknesses()[index];
+            const kb::Weakness& w = weakness_at(index);
             m.id = w.id.to_string();
             m.title = w.name;
             break;
         }
         case VectorClass::Vulnerability: {
-            const kb::Vulnerability& v = corpus_.vulnerabilities()[index];
+            const kb::Vulnerability& v = vulnerability_at(index);
             m.id = v.id.to_string();
             m.title = head(v.description);
             // Corpus snapshots mix v3 and v2 scoring; junk metadata on a
@@ -367,16 +355,17 @@ std::vector<Match> SearchEngine::run_lexical(const std::vector<std::string>& tok
     return out;
 }
 
-std::vector<Match> SearchEngine::query_text(std::string_view text, VectorClass cls) const {
-    return run_lexical(text::analyze(text), cls);
+std::vector<Match> QueryEngine::query_text(std::string_view text, VectorClass cls) const {
+    return run_lexical(text::analyze(text), cls, nullptr);
 }
 
-std::vector<Match> SearchEngine::query_platform(const kb::Platform& platform) const {
+std::vector<Match> QueryEngine::query_platform(const kb::Platform& platform) const {
+    const kb::Corpus& c = corpus();
     std::vector<Match> out;
-    for (kb::VulnerabilityId id : corpus_.vulnerabilities_for(platform)) {
-        const kb::Vulnerability* v = corpus_.find(id);
+    for (kb::VulnerabilityId id : c.vulnerabilities_for(platform)) {
+        const kb::Vulnerability* v = c.find(id);
         // The id came from the corpus itself; index lookup cannot fail.
-        std::size_t index = static_cast<std::size_t>(v - corpus_.vulnerabilities().data());
+        std::size_t index = static_cast<std::size_t>(v - c.vulnerabilities().data());
         Match m = make_match(VectorClass::Vulnerability, index);
         m.via = MatchVia::PlatformBinding;
         m.evidence = {platform.uri()};
@@ -385,12 +374,12 @@ std::vector<Match> SearchEngine::query_platform(const kb::Platform& platform) co
     return out;
 }
 
-std::vector<std::string> SearchEngine::attribute_tokens(const model::Attribute& attr) {
+std::vector<std::string> QueryEngine::attribute_tokens(const model::Attribute& attr) {
     return text::analyze(attr.name + " " + attr.value);
 }
 
-std::vector<Match> SearchEngine::query_attribute(const model::Attribute& attr,
-                                                 AssocMetrics* metrics) const {
+std::vector<Match> QueryEngine::query_attribute(const model::Attribute& attr,
+                                                AssocMetrics* metrics) const {
     if (attr.kind == model::AttributeKind::Parameter) return {};
     const Clock::time_point start = Clock::now();
     const std::vector<std::string> tokens = attribute_tokens(attr);
@@ -398,9 +387,9 @@ std::vector<Match> SearchEngine::query_attribute(const model::Attribute& attr,
     return query_attribute_tokens(attr, tokens, metrics);
 }
 
-std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& attr,
-                                                        const std::vector<std::string>& tokens,
-                                                        AssocMetrics* metrics) const {
+std::vector<Match> QueryEngine::query_attribute_tokens(const model::Attribute& attr,
+                                                       const std::vector<std::string>& tokens,
+                                                       AssocMetrics* metrics) const {
     std::vector<Match> out;
     if (attr.kind == model::AttributeKind::Parameter) return out;
 
@@ -416,7 +405,7 @@ std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& 
         for (Match& m : query_platform(*attr.platform)) out.push_back(std::move(m));
         if (metrics != nullptr) metrics->timings.binding_ns += ns_since(bind_start);
     }
-    if (options_.lexical_vulnerabilities) {
+    if (options().lexical_vulnerabilities) {
         const Clock::time_point lexvuln_start = Clock::now();
         std::vector<Match> lex = run_lexical(tokens, VectorClass::Vulnerability, metrics);
         // Deduplicate against platform-binding results (binding wins). A
@@ -445,15 +434,16 @@ std::vector<Match> SearchEngine::query_attribute_tokens(const model::Attribute& 
     return out;
 }
 
-std::vector<Match> SearchEngine::expand_weakness(const Match& weakness_match) const {
+std::vector<Match> QueryEngine::expand_weakness(const Match& weakness_match) const {
     if (weakness_match.cls != VectorClass::Weakness)
         throw ValidationError("expand_weakness requires a weakness match");
-    const kb::Weakness& w = corpus_.weaknesses()[weakness_match.corpus_index];
+    const kb::Corpus& c = corpus();
+    const kb::Weakness& w = c.weaknesses()[weakness_match.corpus_index];
     std::vector<Match> out;
     for (kb::AttackPatternId pid : w.related_patterns) {
-        const kb::AttackPattern* p = corpus_.find(pid);
+        const kb::AttackPattern* p = c.find(pid);
         if (p == nullptr) continue;
-        std::size_t index = static_cast<std::size_t>(p - corpus_.patterns().data());
+        std::size_t index = static_cast<std::size_t>(p - c.patterns().data());
         Match m = make_match(VectorClass::AttackPattern, index);
         m.via = MatchVia::CrossReference;
         m.evidence = {w.id.to_string()};
@@ -614,7 +604,7 @@ EngineSnapshot load_engine_snapshot(const std::string& path) {
     }
 }
 
-std::string SearchEngine::explain(const model::Attribute& attr, const Match& match) const {
+std::string QueryEngine::explain(const model::Attribute& attr, const Match& match) const {
     std::ostringstream out;
     out << match.id << " (" << match.title << ") matched attribute \"" << attr.name << " = "
         << attr.value << "\" via " << match_via_name(match.via) << "\n";
@@ -628,17 +618,14 @@ std::string SearchEngine::explain(const model::Attribute& attr, const Match& mat
         return out.str();
     }
 
-    const text::InvertedIndex* index = nullptr;
-    switch (match.cls) {
-        case VectorClass::AttackPattern: index = &pattern_index_; break;
-        case VectorClass::Weakness: index = &weakness_index_; break;
-        case VectorClass::Vulnerability: index = &vulnerability_index_; break;
-    }
-    const double n_docs = static_cast<double>(index->doc_count());
+    // Statistics come through the class_doc_* hooks, so a segmented
+    // engine explains with merged document frequencies — the same numbers
+    // its gate and ranking used.
+    const double n_docs = static_cast<double>(class_doc_count(match.cls));
     out << "  query terms (after tokenize/stopwords/stem):\n";
     double total_idf = 0.0;
     for (const std::string& token : text::analyze(attr.name + " " + attr.value)) {
-        const std::size_t df = index->doc_frequency(token);
+        const std::size_t df = class_doc_frequency(match.cls, token);
         const double idf = text::rsj_idf(n_docs, static_cast<double>(df));
         const bool matched = std::find(match.evidence.begin(), match.evidence.end(), token) !=
                              match.evidence.end();
@@ -646,7 +633,7 @@ std::string SearchEngine::explain(const model::Attribute& attr, const Match& mat
             << " idf=" << idf << (matched ? "  <- matched this record" : "") << "\n";
         if (matched) total_idf += idf;
     }
-    out << "  evidence IDF total " << total_idf << " (gate " << options_.min_evidence_idf
+    out << "  evidence IDF total " << total_idf << " (gate " << options().min_evidence_idf
         << "), ranking score " << match.score << "\n";
     return out.str();
 }

@@ -93,50 +93,47 @@ struct EngineOptions {
     [[nodiscard]] std::string signature() const;
 };
 
-/// Immutable index over one corpus. Construction analyzes and indexes all
-/// record text; queries are read-only and cheap.
+/// The abstract query surface every association consumer runs against:
+/// the monolithic SearchEngine below and the generational SegmentedEngine
+/// (search/generation.hpp) both implement it, and both promise the same
+/// thing — for the same corpus content, bit-identical results.
 ///
-/// Thread-safety contract: the constructor is the only mutating operation.
-/// Once constructed, every member function is const and touches only
-/// finalized indexes (see text::InvertedIndex for the finalize-then-
-/// read-only invariant), so any number of threads may query one engine
-/// concurrently without synchronization — the parallel association
-/// pipeline (search::Associator) relies on exactly this.
-class SearchEngine {
+/// The composite queries (attribute fan-out, platform binding, weakness
+/// expansion, explain) are implemented here once over three small hooks
+/// (run_lexical + the per-class document statistics), so the two engines
+/// cannot drift in dedup, metrics accounting, or evidence semantics.
+///
+/// Thread-safety contract: construction/apply is the only mutating
+/// operation; once built, every member function is const and any number
+/// of threads may query one engine concurrently without synchronization.
+class QueryEngine {
 public:
-    explicit SearchEngine(const kb::Corpus& corpus) : SearchEngine(corpus, EngineOptions{}) {}
-    SearchEngine(const kb::Corpus& corpus, EngineOptions options)
-        : SearchEngine(corpus, std::move(options), nullptr) {}
-    /// As above, but sharing an existing pool for the build fan-out
-    /// instead of spinning up a transient one (options.build_threads is
-    /// then ignored). The pool is only used during construction.
-    SearchEngine(const kb::Corpus& corpus, EngineOptions options, util::ThreadPool* pool);
+    QueryEngine() noexcept;
+    virtual ~QueryEngine() = default;
+    QueryEngine(const QueryEngine&) = delete;
+    QueryEngine& operator=(const QueryEngine&) = delete;
 
-    SearchEngine(const SearchEngine&) = delete;
-    SearchEngine& operator=(const SearchEngine&) = delete;
-
-    [[nodiscard]] const kb::Corpus& corpus() const noexcept { return corpus_; }
-    [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+    /// The corpus queries are answered against (for a segmented engine:
+    /// the merged corpus with all deltas applied). May be expensive on
+    /// first call — a segmented engine materializes the merged corpus
+    /// lazily, so the O(delta) apply path never pays for it; the lexical
+    /// query path reads records through the per-class accessors below
+    /// instead.
+    [[nodiscard]] virtual const kb::Corpus& corpus() const = 0;
+    [[nodiscard]] virtual const EngineOptions& options() const noexcept = 0;
     /// How this engine came to exist: build phase timings and shape, or
     /// the snapshot-thaw marker. Copied into AssocMetrics by Associator.
-    [[nodiscard]] const BuildMetrics& build_metrics() const noexcept { return build_metrics_; }
+    [[nodiscard]] virtual const BuildMetrics& build_metrics() const noexcept = 0;
+    /// Aggregate shape/resident-size accounting over the class indexes
+    /// (the bench regression gate watches these).
+    [[nodiscard]] virtual text::IndexStats index_stats() const noexcept = 0;
 
-    /// Aggregate shape/resident-size accounting over the three class
-    /// indexes (the bench regression gate watches these).
-    [[nodiscard]] text::IndexStats index_stats() const noexcept {
-        text::IndexStats s = pattern_index_.stats();
-        s += weakness_index_.stats();
-        s += vulnerability_index_.stats();
-        return s;
-    }
-    /// Direct access to one class index (tests, explain tooling).
-    [[nodiscard]] const text::InvertedIndex& class_index(VectorClass cls) const noexcept {
-        switch (cls) {
-            case VectorClass::AttackPattern: return pattern_index_;
-            case VectorClass::Weakness: return weakness_index_;
-            default: return vulnerability_index_;
-        }
-    }
+    /// Process-unique id of this engine instance, monotonically assigned
+    /// at construction. Two engines never share a generation even when
+    /// they index identical content, so a cache keyed on it can never
+    /// serve results computed against different corpus state (the query
+    /// cache includes this in every key — see search::Associator).
+    [[nodiscard]] std::uint64_t engine_generation() const noexcept { return generation_; }
 
     /// Free-text query against one record family (lexical only).
     [[nodiscard]] std::vector<Match> query_text(std::string_view text, VectorClass cls) const;
@@ -172,10 +169,103 @@ public:
     [[nodiscard]] std::vector<Match> expand_weakness(const Match& weakness_match) const;
 
     /// Human-readable audit of *why* a match was produced: per matched
-    /// term, its document frequency and IDF in the match's class index;
-    /// for platform bindings, the CPE rule that fired. The paper's answer
-    /// to NLP sensitivity is analyst auditability — this is the audit.
+    /// term, its document frequency and IDF in the match's class document
+    /// set; for platform bindings, the CPE rule that fired. The paper's
+    /// answer to NLP sensitivity is analyst auditability — this is the
+    /// audit.
     [[nodiscard]] std::string explain(const model::Attribute& attr, const Match& match) const;
+
+protected:
+    /// The lexical hot path each engine supplies: resolve tokens, run the
+    /// scoring kernel, materialize Matches with evidence strings and
+    /// kernel counters.
+    [[nodiscard]] virtual std::vector<Match> run_lexical(const std::vector<std::string>& tokens,
+                                                         VectorClass cls,
+                                                         AssocMetrics* metrics) const = 0;
+    /// Documents of `cls` containing `term` (merged view for segmented
+    /// engines) — the explain() statistics hook.
+    [[nodiscard]] virtual std::size_t class_doc_frequency(VectorClass cls,
+                                                          std::string_view term) const = 0;
+    /// Documents of `cls` (merged view for segmented engines).
+    [[nodiscard]] virtual std::size_t class_doc_count(VectorClass cls) const noexcept = 0;
+
+    /// Record access by merged corpus position — the lexical hot path
+    /// (make_match) reads records through these so a segmented engine can
+    /// resolve them from its base + segment overlay without materializing
+    /// the merged corpus. Defaults delegate to corpus().
+    [[nodiscard]] virtual const kb::AttackPattern& pattern_at(std::size_t index) const {
+        return corpus().patterns()[index];
+    }
+    [[nodiscard]] virtual const kb::Weakness& weakness_at(std::size_t index) const {
+        return corpus().weaknesses()[index];
+    }
+    [[nodiscard]] virtual const kb::Vulnerability& vulnerability_at(std::size_t index) const {
+        return corpus().vulnerabilities()[index];
+    }
+
+    /// Materialize the identity half of a Match from record `index` of
+    /// `cls` (id, title, CVSS severity for vulnerabilities), read through
+    /// the per-class record accessors above.
+    [[nodiscard]] Match make_match(VectorClass cls, std::size_t index) const;
+
+private:
+    std::uint64_t generation_;
+};
+
+/// Immutable index over one corpus. Construction analyzes and indexes all
+/// record text; queries are read-only and cheap.
+///
+/// Thread-safety contract: the constructor is the only mutating operation.
+/// Once constructed, every member function is const and touches only
+/// finalized indexes (see text::InvertedIndex for the finalize-then-
+/// read-only invariant), so any number of threads may query one engine
+/// concurrently without synchronization — the parallel association
+/// pipeline (search::Associator) relies on exactly this.
+class SearchEngine final : public QueryEngine {
+public:
+    explicit SearchEngine(const kb::Corpus& corpus) : SearchEngine(corpus, EngineOptions{}) {}
+    SearchEngine(const kb::Corpus& corpus, EngineOptions options)
+        : SearchEngine(corpus, std::move(options), nullptr) {}
+    /// As above, but sharing an existing pool for the build fan-out
+    /// instead of spinning up a transient one (options.build_threads is
+    /// then ignored). The pool is only used during construction.
+    SearchEngine(const kb::Corpus& corpus, EngineOptions options, util::ThreadPool* pool);
+
+    SearchEngine(const SearchEngine&) = delete;
+    SearchEngine& operator=(const SearchEngine&) = delete;
+
+    [[nodiscard]] const kb::Corpus& corpus() const noexcept override { return corpus_; }
+    [[nodiscard]] const EngineOptions& options() const noexcept override { return options_; }
+    [[nodiscard]] const BuildMetrics& build_metrics() const noexcept override {
+        return build_metrics_;
+    }
+
+    /// Aggregate shape/resident-size accounting over the three class
+    /// indexes (the bench regression gate watches these).
+    [[nodiscard]] text::IndexStats index_stats() const noexcept override {
+        text::IndexStats s = pattern_index_.stats();
+        s += weakness_index_.stats();
+        s += vulnerability_index_.stats();
+        return s;
+    }
+    /// Direct access to one class index (tests, explain tooling, the
+    /// segmented engine's base segment).
+    [[nodiscard]] const text::InvertedIndex& class_index(VectorClass cls) const noexcept {
+        switch (cls) {
+            case VectorClass::AttackPattern: return pattern_index_;
+            case VectorClass::Weakness: return weakness_index_;
+            default: return vulnerability_index_;
+        }
+    }
+    /// One class's BM25 scorer (null under the TF-IDF ranker). The
+    /// segmented engine borrows these as base-segment bound tables.
+    [[nodiscard]] const text::Bm25Scorer* class_bm25(VectorClass cls) const noexcept {
+        switch (cls) {
+            case VectorClass::AttackPattern: return pattern_bm25_ ? &*pattern_bm25_ : nullptr;
+            case VectorClass::Weakness: return weakness_bm25_ ? &*weakness_bm25_ : nullptr;
+            default: return vulnerability_bm25_ ? &*vulnerability_bm25_ : nullptr;
+        }
+    }
 
     /// Serialize the fully built engine — options and counts into `w`,
     /// the three finalized indexes and the active ranker's precomputed
@@ -196,18 +286,26 @@ public:
                                                             util::ByteReader& r,
                                                             const util::SlabView& slabs);
 
-private:
-    struct ThawTag {};
-    SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r,
-                 const util::SlabView& slabs);
+protected:
     /// The lexical hot path: resolves tokens once, runs the flat-accumulator
     /// scoring kernel (per-thread scratch arena, fused evidence-IDF gate,
     /// optional top-k/pruning per options_), and materializes Matches with
     /// evidence strings. Kernel counters land in `metrics` when non-null.
     [[nodiscard]] std::vector<Match> run_lexical(const std::vector<std::string>& tokens,
                                                  VectorClass cls,
-                                                 AssocMetrics* metrics = nullptr) const;
-    [[nodiscard]] Match make_match(VectorClass cls, std::size_t index) const;
+                                                 AssocMetrics* metrics) const override;
+    [[nodiscard]] std::size_t class_doc_frequency(VectorClass cls,
+                                                  std::string_view term) const override {
+        return class_index(cls).doc_frequency(term);
+    }
+    [[nodiscard]] std::size_t class_doc_count(VectorClass cls) const noexcept override {
+        return class_index(cls).doc_count();
+    }
+
+private:
+    struct ThawTag {};
+    SearchEngine(ThawTag, const kb::Corpus& corpus, util::ByteReader& r,
+                 const util::SlabView& slabs);
 
     const kb::Corpus& corpus_;
     EngineOptions options_;

@@ -1,0 +1,56 @@
+// The single definition of how one corpus record becomes index text:
+// which fields, in what order, at what weight. The from-scratch engine
+// build (engine.cpp, sequential and sharded paths) and the delta-segment
+// build (generation.cpp) both traverse records through for_each_field, so
+// a record indexed incrementally produces the same token stream — and
+// therefore the same per-document postings and weighted length, bit for
+// bit — as the same record in a full rebuild. Do not reorder fields here
+// without bumping the snapshot version: field order determines float
+// accumulation order.
+
+#pragma once
+
+#include <string>
+
+#include "kb/corpus.hpp"
+#include "text/index.hpp"
+#include "text/tokenize.hpp"
+
+namespace cybok::search::detail {
+
+/// fn(const std::string& text, float weight) per indexed field, in the
+/// canonical order. p.domains is categorical metadata ("software",
+/// "communications"), not prose; indexing it would make every generic
+/// attribute word a high-IDF hit. It stays out of the lexical index by
+/// design.
+template <typename Fn>
+void for_each_field(const kb::AttackPattern& p, float title_weight, Fn&& fn) {
+    fn(p.name, title_weight);
+    fn(p.summary, 1.0f);
+    for (const std::string& pre : p.prerequisites) fn(pre, 1.0f);
+}
+
+template <typename Fn>
+void for_each_field(const kb::Weakness& w, float title_weight, Fn&& fn) {
+    fn(w.name, title_weight);
+    fn(w.description, 1.0f);
+    for (const std::string& c : w.consequences) fn(c, 1.0f);
+    for (const std::string& ap : w.applicable_platforms) fn(ap, 1.0f);
+}
+
+template <typename Fn>
+void for_each_field(const kb::Vulnerability& v, float /*title_weight*/, Fn&& fn) {
+    fn(v.description, 1.0f);
+}
+
+/// Append one record as the next document of `index` — the fused
+/// tokenize-and-insert step both build paths share.
+template <typename Record>
+void index_record(text::InvertedIndex& index, const Record& r, float title_weight) {
+    index.add_document();
+    for_each_field(r, title_weight, [&](const std::string& text, float weight) {
+        index.add_terms(text::analyze(text), weight);
+    });
+}
+
+} // namespace cybok::search::detail

@@ -24,6 +24,7 @@ void DegradeCounts::merge(const DegradeCounts& other) {
     recompute_retries += other.recompute_retries;
     records_skipped += other.records_skipped;
     mmap_fallbacks += other.mmap_fallbacks;
+    compaction_failures += other.compaction_failures;
     if (!other.last_reason.empty()) last_reason = other.last_reason;
 }
 
@@ -35,6 +36,7 @@ json::Value DegradeCounts::to_json() const {
     o["recompute_retries"] = static_cast<std::uint64_t>(recompute_retries);
     o["records_skipped"] = static_cast<std::uint64_t>(records_skipped);
     o["mmap_fallbacks"] = static_cast<std::uint64_t>(mmap_fallbacks);
+    o["compaction_failures"] = static_cast<std::uint64_t>(compaction_failures);
     if (!last_reason.empty()) o["last_reason"] = json::Value(last_reason);
     return json::Value(std::move(o));
 }
@@ -66,6 +68,8 @@ void AssocMetrics::merge(const AssocMetrics& other) {
     kernel_fallbacks += other.kernel_fallbacks;
     kernel_blocks_decoded += other.kernel_blocks_decoded;
     kernel_blocks_skipped += other.kernel_blocks_skipped;
+    kernel_segments_visited += other.kernel_segments_visited;
+    kernel_tombstones_masked += other.kernel_tombstones_masked;
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
     lint.merge(other.lint);
@@ -109,6 +113,9 @@ std::string AssocMetrics::summary() const {
         << " blocks skipped / " << kernel_pruned_docs << " pruned / " << kernel_gated_hits
         << " gated";
     if (kernel_fallbacks > 0) out << " / " << kernel_fallbacks << " fallbacks";
+    if (kernel_segments_visited > 0)
+        out << " / " << kernel_segments_visited << " segments / " << kernel_tombstones_masked
+            << " tombstoned";
     out << "; " << threads << " thread(s); stage ms: analyze "
         << ms(timings.analyze_ns) << ", lexical " << ms(timings.lexical_ns) << ", binding "
         << ms(timings.binding_ns) << ", filter " << ms(timings.filter_ns) << ", wall "
@@ -151,6 +158,8 @@ json::Value AssocMetrics::to_json() const {
     k["fallback_queries"] = kernel_fallbacks;
     k["blocks_decoded"] = kernel_blocks_decoded;
     k["blocks_skipped"] = kernel_blocks_skipped;
+    k["segments_visited"] = kernel_segments_visited;
+    k["tombstones_masked"] = kernel_tombstones_masked;
     o["kernel"] = std::move(k);
     o["threads"] = static_cast<std::uint64_t>(threads);
     json::Object t;

@@ -59,11 +59,13 @@ struct DegradeCounts {
     std::size_t recompute_retries = 0;      ///< attribute query retried after transient failure
     std::size_t records_skipped = 0;        ///< corpus records dropped by lenient decode
     std::size_t mmap_fallbacks = 0;         ///< snapshot mmap failed -> owning-buffer thaw
+    std::size_t compaction_failures = 0;    ///< compaction fold failed -> old generation kept
     std::string last_reason;                ///< most recent degradation's error text
 
     [[nodiscard]] bool any() const noexcept {
         return snapshot_fallbacks + snapshot_save_failures + cache_recoveries +
-                   recompute_retries + records_skipped + mmap_fallbacks >
+                   recompute_retries + records_skipped + mmap_fallbacks +
+                   compaction_failures >
                0;
     }
     void merge(const DegradeCounts& other);
@@ -114,6 +116,8 @@ struct AssocMetrics {
     std::uint64_t kernel_fallbacks = 0;   ///< queries routed to the reference scorer (>64 terms)
     std::uint64_t kernel_blocks_decoded = 0; ///< posting blocks decompressed
     std::uint64_t kernel_blocks_skipped = 0; ///< posting blocks skipped via block-max bounds
+    std::uint64_t kernel_segments_visited = 0;  ///< segments holding >=1 query-term list
+    std::uint64_t kernel_tombstones_masked = 0; ///< postings skipped as withdrawn/superseded
 
     // -- execution shape -----------------------------------------------------
     std::size_t threads = 1; ///< lanes the run fanned out across

@@ -22,6 +22,11 @@ const std::vector<ErrorCodeInfo>& known_error_codes() {
          "registry is at max_sessions; close a session or raise the cap"},
         {ErrorCode::SwapFailed, "swap_failed",
          "snapshot.swap rejected (unreadable/corrupt blob); the old generation keeps serving"},
+        {ErrorCode::DeltaFailed, "delta_failed",
+         "delta.apply rejected (unreadable blob, validation failure, or non-BM25 engine); "
+         "the old generation keeps serving"},
+        {ErrorCode::CompactFailed, "compact_failed",
+         "compaction fold failed; the segmented generation keeps serving, failure counted"},
         {ErrorCode::ShuttingDown, "shutting_down",
          "server is draining; no new work is accepted"},
         {ErrorCode::Internal, "internal", "unexpected server-side failure (bug or injected fault)"},
@@ -55,6 +60,10 @@ const std::vector<MessageTypeInfo>& known_message_types() {
          "server/registry counters, or one session's AssocMetrics when `session` is set"},
         {MsgType::SnapshotSwap, "snapshot.swap",
          "admin: load a new snapshot, drain in-flight requests, switch generations"},
+        {MsgType::DeltaApply, "delta.apply",
+         "admin: apply a frozen corpus delta in O(delta), drain, switch generations"},
+        {MsgType::Compact, "compact",
+         "admin: fold delta segments into a fresh base generation and switch to it"},
         {MsgType::Shutdown, "shutdown", "admin: graceful stop after the response is written"},
     };
     return types;
@@ -190,6 +199,7 @@ Request decode_request(std::string_view payload) {
     switch (req.type) {
     case MsgType::Hello:
     case MsgType::SessionList:
+    case MsgType::Compact:
     case MsgType::Shutdown:
         break;
     case MsgType::Ping:
@@ -228,6 +238,9 @@ Request decode_request(std::string_view payload) {
     case MsgType::SnapshotSwap:
         req.snapshot = require_string(doc, "snapshot", wire);
         break;
+    case MsgType::DeltaApply:
+        req.delta = require_string(doc, "delta", wire);
+        break;
     }
     return req;
 }
@@ -239,6 +252,7 @@ json::Value encode_request(const Request& req) {
     switch (req.type) {
     case MsgType::Hello:
     case MsgType::SessionList:
+    case MsgType::Compact:
     case MsgType::Shutdown:
         break;
     case MsgType::Ping:
@@ -267,6 +281,9 @@ json::Value encode_request(const Request& req) {
         break;
     case MsgType::SnapshotSwap:
         obj["snapshot"] = req.snapshot;
+        break;
+    case MsgType::DeltaApply:
+        obj["delta"] = req.delta;
         break;
     }
     return json::Value(std::move(obj));

@@ -64,6 +64,8 @@ enum class ErrorCode : std::uint8_t {
     Overloaded,    ///< bounded request queue full — retry with backoff
     SessionLimit,  ///< registry at max_sessions — close one or raise the cap
     SwapFailed,    ///< snapshot.swap rejected; the old generation keeps serving
+    DeltaFailed,   ///< delta.apply rejected; the old generation keeps serving
+    CompactFailed, ///< compact failed; the segmented generation keeps serving
     ShuttingDown,  ///< server is draining; no new work accepted
     Internal,      ///< unexpected server-side failure (bug or injected fault)
 };
@@ -104,6 +106,8 @@ enum class MsgType : std::uint8_t {
     Posture,      ///< a session's per-component security posture
     Metrics,      ///< server/registry counters, or one session's AssocMetrics
     SnapshotSwap, ///< admin: drain in-flight requests, switch to a new snapshot
+    DeltaApply,   ///< admin: apply a frozen corpus delta as a new generation
+    Compact,      ///< admin: fold delta segments into a fresh base generation
     Shutdown,     ///< admin: graceful stop after the response is written
 };
 [[nodiscard]] std::string_view message_type_name(MsgType type) noexcept;
@@ -177,6 +181,7 @@ struct Request {
     std::string model_dsl;    ///< session.open (optional) / whatif (required)
     bool commit = false;      ///< whatif: adopt the candidate on this session
     std::string snapshot;     ///< snapshot.swap: path to the new snapshot blob
+    std::string delta;        ///< delta.apply: path to a frozen corpus-delta blob
 };
 
 /// Parse one frame payload into a Request. Throws ProtocolError with

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <optional>
 
+#include "kb/delta.hpp"
 #include "kb/snapshot.hpp"
 #include "model/dsl.hpp"
+#include "util/bytes.hpp"
 #include "util/fault.hpp"
 
 namespace cybok::serve {
@@ -60,7 +62,9 @@ SessionRegistry::SessionRegistry(std::shared_ptr<const core::SharedEngine> engin
     : options_(std::move(options)),
       base_model_(std::make_shared<const model::SystemModel>(std::move(base_model))),
       current_(std::make_shared<const Generation>(Generation{1, std::move(engine), "<built>"})) {
-    CYBOK_EXPECTS(current_->engine != nullptr && current_->engine->engine != nullptr);
+    CYBOK_EXPECTS(current_->engine != nullptr &&
+                  (current_->engine->engine != nullptr ||
+                   current_->engine->segmented != nullptr));
     stats_.current_generation = 1;
 }
 
@@ -155,26 +159,19 @@ std::vector<SessionInfo> SessionRegistry::list() const {
 
 RegistryStats SessionRegistry::stats() const {
     // swap_gate_ (inside current()) is never taken while holding mutex_.
-    const std::uint64_t generation = current()->id;
+    const std::shared_ptr<const Generation> gen = current();
     std::lock_guard<std::mutex> lk(mutex_);
     RegistryStats s = stats_;
     s.open_sessions = sessions_.size();
-    s.current_generation = generation;
+    s.current_generation = gen->id;
+    s.current_segments =
+        gen->engine->segmented != nullptr ? gen->engine->segmented->segment_count() : 0;
     return s;
 }
 
-std::uint64_t SessionRegistry::swap(const std::string& snapshot_path) {
-    // Thaw the new generation *before* taking the gate: seconds of IO and
-    // table fill must not stall in-flight requests, and a corrupt blob
-    // must be rejected while the old generation is still untouched.
-    std::shared_ptr<const core::SharedEngine> fresh;
-    try {
-        fresh = load_generation(snapshot_path);
-    } catch (const Error& e) {
-        throw ProtocolError(ErrorCode::SwapFailed,
-                            std::string("snapshot rejected: ") + e.what());
-    }
-    // Announce the swap so new leases park instead of piling onto the
+std::uint64_t SessionRegistry::flip_generation(std::shared_ptr<const core::SharedEngine> fresh,
+                                               std::string source, FlipKind kind) {
+    // Announce the flip so new leases park instead of piling onto the
     // shared side (reader-preferring rwlocks would otherwise let a
     // saturating request load starve this exclusive acquisition forever).
     // The announcement must be withdrawn on every path out, or parked
@@ -195,9 +192,13 @@ std::uint64_t SessionRegistry::swap(const std::string& snapshot_path) {
         std::unique_lock<std::shared_mutex> gate(swap_gate_);
         std::lock_guard<std::mutex> lk(mutex_);
         id = next_generation_++;
-        current_ = std::make_shared<const Generation>(Generation{id, std::move(fresh),
-                                                                 snapshot_path});
-        ++stats_.swaps;
+        current_ = std::make_shared<const Generation>(
+            Generation{id, std::move(fresh), std::move(source)});
+        switch (kind) {
+        case FlipKind::Swap: ++stats_.swaps; break;
+        case FlipKind::Delta: ++stats_.deltas_applied; break;
+        case FlipKind::Compact: ++stats_.compactions; break;
+        }
         stats_.current_generation = id;
         // The old base analysis still serves sessions pinned to the old
         // generation; dropping our reference here lets it die with them.
@@ -212,6 +213,64 @@ std::uint64_t SessionRegistry::swap(const std::string& snapshot_path) {
     return id;
 }
 
+std::uint64_t SessionRegistry::swap(const std::string& snapshot_path) {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    // Thaw the new generation *before* taking the gate: seconds of IO and
+    // table fill must not stall in-flight requests, and a corrupt blob
+    // must be rejected while the old generation is still untouched.
+    std::shared_ptr<const core::SharedEngine> fresh;
+    try {
+        fresh = load_generation(snapshot_path);
+    } catch (const Error& e) {
+        throw ProtocolError(ErrorCode::SwapFailed,
+                            std::string("snapshot rejected: ") + e.what());
+    }
+    return flip_generation(std::move(fresh), snapshot_path, FlipKind::Swap);
+}
+
+std::uint64_t SessionRegistry::apply_delta(const std::string& delta_path) {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    // Decode and apply *before* the gate: O(delta) segment construction
+    // must not stall in-flight requests, and any failure — unreadable
+    // blob, validation error, injected segment-build fault — leaves the
+    // live generation untouched and authoritative. admin_mutex_ keeps a
+    // concurrent swap/compact from flipping under us, so the overlay is
+    // guaranteed to be built against the generation we publish over.
+    std::shared_ptr<const core::SharedEngine> next;
+    try {
+        const std::string blob = util::read_file(delta_path);
+        const kb::CorpusDelta delta = kb::thaw_corpus_delta(blob, delta_path);
+        next = core::apply_corpus_delta(current()->engine, delta);
+    } catch (const Error& e) {
+        throw ProtocolError(ErrorCode::DeltaFailed,
+                            std::string("delta rejected: ") + e.what());
+    }
+    return flip_generation(std::move(next), "<delta:" + delta_path + ">", FlipKind::Delta);
+}
+
+std::uint64_t SessionRegistry::compact() {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    const std::shared_ptr<const Generation> gen = current();
+    if (gen->engine->segmented == nullptr) return gen->id; // nothing to fold
+    std::shared_ptr<const core::SharedEngine> folded;
+    try {
+        // Crash-consistency site: a fold that dies here publishes nothing —
+        // the segmented generation stays authoritative and keeps serving.
+        CYBOK_FAULT_POINT("serve.compact.fold", Error("injected: compaction fold failed"));
+        folded = core::compact(gen->engine);
+    } catch (const Error& e) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            ++stats_.compaction_failures;
+            ++degrade_.compaction_failures;
+            degrade_.last_reason = e.what();
+        }
+        throw ProtocolError(ErrorCode::CompactFailed,
+                            std::string("compaction failed: ") + e.what());
+    }
+    return flip_generation(std::move(folded), "<compacted>", FlipKind::Compact);
+}
+
 search::AssocMetrics SessionRegistry::aggregate_metrics() const {
     std::vector<std::shared_ptr<ServeSession>> sessions;
     std::shared_ptr<ServeSession::BaseAnalysis> base;
@@ -222,6 +281,11 @@ search::AssocMetrics SessionRegistry::aggregate_metrics() const {
         base = base_analysis_;
     }
     search::AssocMetrics total;
+    {
+        // Registry-level absorbed failures (failed compaction folds).
+        std::lock_guard<std::mutex> lk(mutex_);
+        total.degrade.merge(degrade_);
+    }
     // Each generation's cold-start degradations count once, no matter how
     // many sessions share the engine (SharedEngine::cold_start).
     std::vector<const core::SharedEngine*> counted_engines;

@@ -186,7 +186,11 @@ struct RegistryStats {
     std::uint64_t total_opened = 0;
     std::uint64_t session_limit_rejections = 0;
     std::uint64_t swaps = 0;
+    std::uint64_t deltas_applied = 0;       ///< delta.apply generation flips
+    std::uint64_t compactions = 0;          ///< compact generation flips
+    std::uint64_t compaction_failures = 0;  ///< folds that failed (old generation kept)
     std::uint64_t current_generation = 0;
+    std::size_t current_segments = 0; ///< delta segments behind the live generation
 };
 
 class SessionRegistry {
@@ -255,6 +259,24 @@ public:
     /// generation keeps serving in that case.
     std::uint64_t swap(const std::string& snapshot_path);
 
+    /// Install the next generation by applying a frozen corpus delta
+    /// (kb::freeze_corpus_delta blob at `delta_path`) over the live
+    /// generation in O(delta) — the feed-tick path. Same drain-gated flip
+    /// as swap(); sessions opened before the apply stay pinned to their
+    /// generation. Throws ProtocolError(DeltaFailed) on an unreadable
+    /// blob, a validation failure, or a non-BM25 engine; the old
+    /// generation keeps serving and nothing is published.
+    std::uint64_t apply_delta(const std::string& delta_path);
+
+    /// Fold the live generation's delta segments into a fresh from-scratch
+    /// base generation (core::compact) and flip to it. Queries against the
+    /// result are bit-identical; the win is dropped tombstone masks and
+    /// merge overhead. No-op (returns the live id) when the generation has
+    /// no segments. A failed fold — crash-consistency fault site
+    /// "serve.compact.fold" — leaves the segmented generation authoritative,
+    /// counts a compaction failure, and throws ProtocolError(CompactFailed).
+    std::uint64_t compact();
+
     /// Sum of AssocMetrics over the base analysis and every materialized
     /// session, plus each live generation's cold-start degradations
     /// (counted once per generation — see core::SharedEngine::cold_start).
@@ -276,6 +298,14 @@ private:
             lk, [this] { return swap_pending_.load(std::memory_order_acquire) == 0; });
     }
     [[nodiscard]] core::SessionOptions session_options() const;
+    /// What kind of generation flip a counter should attribute.
+    enum class FlipKind : std::uint8_t { Swap, Delta, Compact };
+    /// The shared drain-gated pointer flip behind swap/apply_delta/compact:
+    /// announce, drain every ReadLease, publish `fresh`, drop the old base
+    /// analysis. The expensive/fallible construction of `fresh` has already
+    /// happened outside the gate.
+    std::uint64_t flip_generation(std::shared_ptr<const core::SharedEngine> fresh,
+                                  std::string source, FlipKind kind);
     /// The base analysis for `gen`, created lazily on the first
     /// base-overlay open after construction or a swap. Caller holds mutex_.
     [[nodiscard]] std::shared_ptr<ServeSession::BaseAnalysis> base_analysis_for(
@@ -283,6 +313,12 @@ private:
 
     RegistryOptions options_;
     std::shared_ptr<const model::SystemModel> base_model_;
+
+    /// Serializes generation *mutators* (swap/apply_delta/compact) against
+    /// each other, so an apply computed against generation G can never
+    /// clobber a flip that landed in between. Never blocks request leases.
+    /// Lock order: admin_mutex_ -> swap_gate_ -> mutex_.
+    std::mutex admin_mutex_;
 
     mutable std::shared_mutex swap_gate_; ///< shared = request in flight, exclusive = swap
     std::shared_ptr<const Generation> current_; ///< guarded by swap_gate_
@@ -297,6 +333,7 @@ private:
     std::uint64_t next_session_ = 1;
     std::uint64_t next_generation_ = 2; ///< generation 1 is the construction one
     RegistryStats stats_;
+    search::DegradeCounts degrade_; ///< registry-level absorbed failures (compaction)
 };
 
 } // namespace cybok::serve

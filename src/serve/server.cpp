@@ -342,6 +342,11 @@ json::Value Server::execute(const Request& req) {
         // No lease here: swap takes the gate exclusively and would
         // deadlock against its own shared hold.
         return ok_response(req.id, req.type, handle_swap(req));
+    case MsgType::DeltaApply:
+        // Likewise leaseless: the drain-gated flip is inside apply_delta.
+        return ok_response(req.id, req.type, handle_delta_apply(req));
+    case MsgType::Compact:
+        return ok_response(req.id, req.type, handle_compact(req));
     case MsgType::Shutdown: {
         json::Value r;
         r["stopping"] = true;
@@ -373,7 +378,7 @@ json::Value Server::handle_hello(const SessionRegistry::ReadLease& lease) {
 }
 
 json::Value Server::handle_query(const SessionRegistry::ReadLease& lease, const Request& req) {
-    const search::SearchEngine& engine = *lease.generation()->engine->engine;
+    const search::QueryEngine& engine = lease.generation()->engine->query();
     std::vector<search::VectorClass> classes;
     if (req.cls == "pattern")
         classes = {search::VectorClass::AttackPattern};
@@ -530,7 +535,11 @@ json::Value Server::handle_metrics(const Request& req) {
     registry["total_opened"] = reg.total_opened;
     registry["session_limit_rejections"] = reg.session_limit_rejections;
     registry["swaps"] = reg.swaps;
+    registry["deltas_applied"] = reg.deltas_applied;
+    registry["compactions"] = reg.compactions;
+    registry["compaction_failures"] = reg.compaction_failures;
     registry["current_generation"] = reg.current_generation;
+    registry["current_segments"] = reg.current_segments;
     result["registry"] = std::move(registry);
     result["assoc"] = registry_.aggregate_metrics().to_json();
     return result;
@@ -543,6 +552,38 @@ json::Value Server::handle_swap(const Request& req) {
     result["generation"] = generation;
     result["previous"] = previous;
     result["source"] = req.snapshot;
+    return result;
+}
+
+json::Value Server::handle_delta_apply(const Request& req) {
+    const std::uint64_t previous = registry_.current()->id;
+    const std::uint64_t generation = registry_.apply_delta(req.delta);
+    json::Value result;
+    result["generation"] = generation;
+    result["previous"] = previous;
+    result["source"] = req.delta;
+    // The apply succeeded, so the live generation is the segmented one we
+    // just installed (admin requests serialize on the registry).
+    const std::shared_ptr<const Generation> gen = registry_.current();
+    if (gen->engine->segmented != nullptr) {
+        const search::DeltaApplyMetrics& m = gen->engine->segmented->apply_metrics();
+        json::Value applied;
+        applied["records"] = m.report.total();
+        applied["segment_docs"] = m.segment_docs;
+        applied["segments"] = m.segments;
+        applied["apply_ns"] = m.apply_ns;
+        result["applied"] = std::move(applied);
+    }
+    return result;
+}
+
+json::Value Server::handle_compact(const Request& /*req*/) {
+    const std::uint64_t previous = registry_.current()->id;
+    const std::uint64_t generation = registry_.compact();
+    json::Value result;
+    result["generation"] = generation;
+    result["previous"] = previous;
+    result["folded"] = generation != previous;
     return result;
 }
 

@@ -159,6 +159,8 @@ private:
     json::Value handle_posture(const Request& req);
     json::Value handle_metrics(const Request& req);
     json::Value handle_swap(const Request& req);
+    json::Value handle_delta_apply(const Request& req);
+    json::Value handle_compact(const Request& req);
 
     /// Frame + write a response payload under the connection's write
     /// mutex. Failures mark the connection dead and are counted.

@@ -5,7 +5,8 @@
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <set>
+
+#include "text/kernel_util.hpp"
 
 namespace cybok::text {
 
@@ -29,8 +30,24 @@ const std::string& Vocabulary::term(TermId id) const {
     return terms_[id];
 }
 
+namespace detail {
+
+void check_doc_capacity(std::size_t doc_count) {
+    // DocId UINT32_MAX is the "no current document" sentinel, so the last
+    // usable id is UINT32_MAX - 1. Admitting the 2^32-1-th document would
+    // make current_doc_ collide with the sentinel and surface later as a
+    // misleading "add_document must be called first" from add_term.
+    if (doc_count >= static_cast<std::size_t>(UINT32_MAX))
+        throw ValidationError("index full: document count " + std::to_string(doc_count) +
+                              " would overflow the 32-bit doc-id space (max " +
+                              std::to_string(UINT32_MAX - 1) + " documents)");
+}
+
+} // namespace detail
+
 DocId InvertedIndex::add_document() {
     if (finalized_) throw ValidationError("index already finalized");
+    detail::check_doc_capacity(build_lengths_.size());
     flush_accum();
     current_doc_ = static_cast<DocId>(build_lengths_.size());
     build_lengths_.push_back(0.0);
@@ -167,17 +184,24 @@ InvertedIndex InvertedIndex::thaw(util::ByteReader& r, const util::SlabView& sla
 
 namespace {
 
-/// Resolve tokens to distinct TermIds (ascending) with query-term
-/// frequencies, into the scratch arena. Ascending order matters: both
-/// reference scorers and the kernel accumulate per-document contributions
-/// in this order, which is what makes their sums bitwise identical.
+/// Resolve tokens to distinct TermIds with query-term frequencies, into
+/// the scratch arena, in ascending term-*string* order. The order is the
+/// canonical accumulation order: reference scorers, both kernels, and the
+/// multi-segment path (text/segments.hpp) all add per-document
+/// contributions in it, which is what makes their sums bitwise identical.
+/// Term strings — not TermIds — because ids depend on corpus interning
+/// order, while the string order is corpus-independent: an engine built
+/// from scratch over a merged corpus and a segmented engine over
+/// base + deltas agree on it, so their floating-point sums agree too.
 void collect_query_terms(const InvertedIndex& index, const std::vector<std::string>& tokens,
                          QueryScratch& s) {
     for (const std::string& tok : tokens) {
         TermId t = index.vocabulary().lookup(tok);
         if (t != kNoTerm) s.terms.push_back(t);
     }
-    std::sort(s.terms.begin(), s.terms.end());
+    const Vocabulary& vocab = index.vocabulary();
+    std::sort(s.terms.begin(), s.terms.end(),
+              [&vocab](TermId a, TermId b) { return vocab.term(a) < vocab.term(b); });
     std::size_t out = 0;
     for (std::size_t i = 0; i < s.terms.size();) {
         std::size_t j = i;
@@ -189,52 +213,7 @@ void collect_query_terms(const InvertedIndex& index, const std::vector<std::stri
     s.terms.resize(out);
 }
 
-/// (score desc, doc asc) — the total order every result list uses.
-struct BetterCandidate {
-    bool operator()(const std::pair<double, DocId>& a,
-                    const std::pair<double, DocId>& b) const noexcept {
-        if (a.first != b.first) return a.first > b.first;
-        return a.second < b.second;
-    }
-};
-
-/// Gate, top-k-select, and materialize hits from the scratch accumulators.
-/// `final_score(doc)` maps an accumulated score to the reported one (BM25:
-/// identity; TF-IDF: cosine normalization).
-template <typename FinalScore>
-std::vector<Hit> collect_hits(QueryScratch& s, const KernelOptions& opts, KernelStats* stats,
-                              FinalScore&& final_score) {
-    auto& cand = s.candidates;
-    std::uint64_t gated = 0;
-    for (DocId d : s.touched) {
-        if (s.evidence_idf[d] < opts.min_evidence_idf) {
-            ++gated;
-            continue;
-        }
-        cand.emplace_back(final_score(d), d);
-    }
-    if (opts.top_k > 0 && cand.size() > opts.top_k) {
-        std::nth_element(cand.begin(),
-                         cand.begin() + static_cast<std::ptrdiff_t>(opts.top_k), cand.end(),
-                         BetterCandidate{});
-        cand.resize(opts.top_k);
-    }
-    std::sort(cand.begin(), cand.end(), BetterCandidate{});
-    std::vector<Hit> hits;
-    hits.reserve(cand.size());
-    for (const auto& [score, d] : cand) {
-        Hit h{d, score, {}};
-        std::uint64_t bits = s.term_bits[d];
-        h.matched_terms.reserve(static_cast<std::size_t>(std::popcount(bits)));
-        while (bits != 0) {
-            h.matched_terms.push_back(s.terms[static_cast<std::size_t>(std::countr_zero(bits))]);
-            bits &= bits - 1;
-        }
-        hits.push_back(std::move(h));
-    }
-    if (stats != nullptr) stats->hits_gated += gated;
-    return hits;
-}
+using detail::collect_hits;
 
 /// Fallback for queries with more than 64 distinct terms (the per-doc
 /// matched-term bitset is a single word): run the reference scorer, then
@@ -244,8 +223,11 @@ std::vector<Hit> apply_kernel_semantics(std::vector<Hit> hits, const InvertedInd
     if (stats != nullptr) ++stats->fallback_queries;
     std::vector<Hit> out;
     out.reserve(hits.size());
+    const Vocabulary& vocab = index.vocabulary();
     for (Hit& h : hits) {
-        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        // Canonical ascending-string order (see collect_query_terms).
+        std::sort(h.matched_terms.begin(), h.matched_terms.end(),
+                  [&vocab](TermId a, TermId b) { return vocab.term(a) < vocab.term(b); });
         h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
                               h.matched_terms.end());
         double evidence = 0.0;
@@ -335,12 +317,18 @@ double Bm25Scorer::idf(std::string_view term) const noexcept {
 
 std::vector<Hit> Bm25Scorer::query(const std::vector<std::string>& tokens) const {
     // Deduplicate query terms; repeated query terms in short attribute
-    // strings should not double-count.
-    std::set<TermId> terms;
+    // strings should not double-count. Iterated in the canonical ascending
+    // term-string order so per-document sums are bit-identical to the
+    // kernel (see collect_query_terms).
+    std::vector<TermId> terms;
     for (const std::string& tok : tokens) {
         TermId t = index_.vocab_.lookup(tok);
-        if (t != kNoTerm) terms.insert(t);
+        if (t != kNoTerm) terms.push_back(t);
     }
+    std::sort(terms.begin(), terms.end(), [this](TermId a, TermId b) {
+        return index_.vocab_.term(a) < index_.vocab_.term(b);
+    });
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
     std::unordered_map<DocId, Hit> acc;
     for (TermId t : terms) {
         const double idf_t = index_.idf(t);
@@ -601,8 +589,8 @@ TfidfScorer TfidfScorer::thaw(const InvertedIndex& index, util::ByteReader& r,
 }
 
 std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) const {
-    // Query-term frequencies in ascending TermId order — deterministic,
-    // and the same accumulation order as the kernel.
+    // Query-term frequencies in canonical ascending term-string order —
+    // deterministic, and the same accumulation order as the kernel.
     std::vector<std::pair<TermId, double>> qtf;
     {
         std::vector<TermId> ids;
@@ -610,7 +598,9 @@ std::vector<Hit> TfidfScorer::query(const std::vector<std::string>& tokens) cons
             TermId t = index_.vocab_.lookup(tok);
             if (t != kNoTerm) ids.push_back(t);
         }
-        std::sort(ids.begin(), ids.end());
+        std::sort(ids.begin(), ids.end(), [this](TermId a, TermId b) {
+            return index_.vocab_.term(a) < index_.vocab_.term(b);
+        });
         for (std::size_t i = 0; i < ids.size();) {
             std::size_t j = i;
             while (j < ids.size() && ids[j] == ids[i]) ++j;

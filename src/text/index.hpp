@@ -117,6 +117,15 @@ struct IndexStats {
     }
 };
 
+namespace detail {
+/// Reject adding a document when `doc_count` documents already exist and
+/// the next id would collide with the UINT32_MAX "no current document"
+/// sentinel. Throws ValidationError naming the offending count. Factored
+/// out of add_document so the overflow contract is unit-testable without
+/// actually adding 2^32 documents.
+void check_doc_capacity(std::size_t doc_count);
+} // namespace detail
+
 /// Inverted index with document length normalization. Documents are added
 /// as pre-analyzed token streams; each token may carry a field weight
 /// (e.g. title tokens count 3x body tokens). finalize() freezes the index;
@@ -209,7 +218,8 @@ private:
 };
 
 /// A scored document hit, with the query terms that matched it (by term
-/// id) — the search layer turns these into human-readable evidence.
+/// id, in canonical ascending term-string order) — the search layer turns
+/// these into human-readable evidence.
 struct Hit {
     DocId doc;
     double score;
@@ -283,6 +293,22 @@ public:
 
     /// IDF of one term (Robertson–Sparck Jones with +1 smoothing).
     [[nodiscard]] double idf(std::string_view term) const noexcept;
+
+    /// The BM25 knobs this scorer was built with (the multi-segment path
+    /// must score every segment with the base scorer's parameters).
+    [[nodiscard]] const Params& params() const noexcept { return params_; }
+    /// Constructor-computed max posting contribution of term `t` under
+    /// *this index's own* statistics (0 for ids outside the vocabulary).
+    /// The segment layer rescales these into valid bounds under merged
+    /// statistics; see text/segments.hpp.
+    [[nodiscard]] double max_contribution(TermId t) const noexcept {
+        return t < max_contrib_.size() ? max_contrib_[t] : 0.0;
+    }
+    /// Max contribution of one compressed block, by global block index
+    /// (ListView::block_base + local block), under this index's own stats.
+    [[nodiscard]] double block_max_bound(std::size_t global_block) const noexcept {
+        return global_block < block_max_.size() ? block_max_[global_block] : 0.0;
+    }
 
     /// Serialize params into the eager stream and the constructor-computed
     /// tables (per-doc BM25 norms, per-term and per-block max impact

@@ -1,0 +1,69 @@
+// Internals shared by the single-index kernel (index.cpp) and the
+// multi-segment kernel (segments.cpp): the candidate ordering and the
+// gate/top-k/materialize collection pass. One definition, included by
+// both, so the two kernels cannot drift in tie-break or gate semantics —
+// the segmented path's bit-identity oracle depends on them matching.
+
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/index.hpp"
+#include "text/scratch.hpp"
+
+namespace cybok::text::detail {
+
+/// (score desc, doc asc) — the total order every result list uses.
+struct BetterCandidate {
+    bool operator()(const std::pair<double, DocId>& a,
+                    const std::pair<double, DocId>& b) const noexcept {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+    }
+};
+
+/// Gate, top-k-select, and materialize hits from the scratch accumulators.
+/// `final_score(doc)` maps an accumulated score to the reported one (BM25:
+/// identity; TF-IDF: cosine normalization). Hits carry whatever the caller
+/// staged in scratch.terms — TermIds for the single-index kernel,
+/// canonical query-term indices for the segmented kernel.
+template <typename FinalScore>
+std::vector<Hit> collect_hits(QueryScratch& s, const KernelOptions& opts, KernelStats* stats,
+                              FinalScore&& final_score) {
+    auto& cand = s.candidates;
+    std::uint64_t gated = 0;
+    for (DocId d : s.touched) {
+        if (s.evidence_idf[d] < opts.min_evidence_idf) {
+            ++gated;
+            continue;
+        }
+        cand.emplace_back(final_score(d), d);
+    }
+    if (opts.top_k > 0 && cand.size() > opts.top_k) {
+        std::nth_element(cand.begin(),
+                         cand.begin() + static_cast<std::ptrdiff_t>(opts.top_k), cand.end(),
+                         BetterCandidate{});
+        cand.resize(opts.top_k);
+    }
+    std::sort(cand.begin(), cand.end(), BetterCandidate{});
+    std::vector<Hit> hits;
+    hits.reserve(cand.size());
+    for (const auto& [score, d] : cand) {
+        Hit h{d, score, {}};
+        std::uint64_t bits = s.term_bits[d];
+        h.matched_terms.reserve(static_cast<std::size_t>(std::popcount(bits)));
+        while (bits != 0) {
+            h.matched_terms.push_back(s.terms[static_cast<std::size_t>(std::countr_zero(bits))]);
+            bits &= bits - 1;
+        }
+        hits.push_back(std::move(h));
+    }
+    if (stats != nullptr) stats->hits_gated += gated;
+    return hits;
+}
+
+} // namespace cybok::text::detail

@@ -77,6 +77,15 @@ public:
         order.clear();
     }
 
+    // Multi-segment kernel state (text/segments.hpp), reused the same way:
+    // per-(term, segment) resolved TermIds and, on the pruned path, the
+    // per-cursor segment/term/scale metadata parallel to `cursors`.
+    std::vector<std::uint32_t> seg_tids;   ///< term-major [n_terms * n_segments]
+    std::vector<std::uint32_t> cursor_seg;  ///< segment index per cursor
+    std::vector<std::uint32_t> cursor_term; ///< canonical term index per cursor
+    std::vector<double> cursor_scale;       ///< block-bound scale per cursor
+    std::vector<double> cursor_bound;       ///< scaled term-level max contribution
+
     std::uint32_t epoch = 0;
 };
 

@@ -1,0 +1,387 @@
+#include "text/segments.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "text/kernel_util.hpp"
+
+namespace cybok::text {
+
+namespace {
+
+/// Rounding slack on rescaled bounds: ~1e-6 relative dwarfs the ~1e-16
+/// relative error the scale computation can introduce, and costs at most
+/// a handful of spurious block decodes.
+constexpr double kBoundSlack = 1.0 + 1e-6;
+
+/// First local doc of `seg` with ordinal >= target (== seg.docs when none).
+std::uint32_t local_lower_bound(const SegmentView& seg, DocId target_ord) noexcept {
+    const std::uint32_t* begin = seg.ordinals;
+    const std::uint32_t* end = begin + seg.docs;
+    return static_cast<std::uint32_t>(std::lower_bound(begin, end, target_ord) - begin);
+}
+
+/// Current global ordinal of a cursor positioned in `seg` (kNoDocId when
+/// exhausted).
+DocId cursor_ord(const SegmentView& seg, const PostingCursor& pc) noexcept {
+    return pc.exhausted() ? kNoDocId : seg.ordinals[pc.doc()];
+}
+
+/// NextGEQ in ordinal space: advance to the first posting whose global
+/// ordinal is >= target (ordinals are strictly ascending in local doc id,
+/// so the local lower bound translates the target exactly).
+void seek_ord(const SegmentView& seg, PostingCursor& pc, DocId target_ord) {
+    const std::uint32_t local = local_lower_bound(seg, target_ord);
+    pc.seek(local >= seg.docs ? kNoDocId : static_cast<DocId>(local));
+}
+
+/// Reference path for queries wider than the 64-bit matched-term bitset:
+/// term-at-a-time map accumulators (each doc is live in exactly one
+/// segment, so per-doc sums still run in canonical term order), then the
+/// same gate / top-k semantics the single-index fallback applies.
+std::vector<Hit> query_segments_reference(const std::vector<SegmentView>& segments,
+                                          const std::vector<SegmentedTerm>& terms,
+                                          const KernelOptions& opts, SegmentedStats* stats) {
+    std::uint64_t masked = 0;
+    std::unordered_map<DocId, Hit> acc;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        const double idf_t = terms[i].idf;
+        for (const SegmentView& seg : segments) {
+            const TermId tid = seg.index->vocabulary().lookup(terms[i].term);
+            if (tid == kNoTerm) continue;
+            const Bm25Scorer::Params& params = seg.scorer->params();
+            for_each_posting(seg.index->list(tid), [&](DocId d, float w) {
+                if (seg.live[d] == 0) {
+                    ++masked;
+                    return;
+                }
+                const double tf = w;
+                const double contrib =
+                    idf_t * (tf * (params.k1 + 1.0)) / (tf + seg.merged_norms[d]);
+                const DocId ord = seg.ordinals[d];
+                Hit& h = acc.try_emplace(ord, Hit{ord, 0.0, {}}).first->second;
+                h.score += contrib;
+                h.matched_terms.push_back(static_cast<TermId>(i));
+            });
+        }
+    }
+    std::vector<Hit> hits;
+    hits.reserve(acc.size());
+    for (auto& [_, h] : acc) hits.push_back(std::move(h));
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.doc < b.doc;
+    });
+    std::vector<Hit> out;
+    out.reserve(hits.size());
+    std::uint64_t gated = 0;
+    for (Hit& h : hits) {
+        double evidence = 0.0;
+        for (TermId i : h.matched_terms) evidence += terms[i].idf;
+        if (evidence < opts.min_evidence_idf) {
+            ++gated;
+            continue;
+        }
+        out.push_back(std::move(h));
+    }
+    if (opts.top_k > 0 && out.size() > opts.top_k) out.resize(opts.top_k);
+    if (stats != nullptr) {
+        ++stats->kernel.fallback_queries;
+        stats->kernel.hits_gated += gated;
+        stats->tombstones_masked += masked;
+    }
+    return out;
+}
+
+/// Document-at-a-time Block-Max WAND across segments: one cursor per
+/// (canonical term, segment) pair that has postings, ordered and pivoted
+/// in global ordinal space. The structure mirrors the single-index
+/// query_kernel_bmw step for step; the differences are the ordinal
+/// translation (seek_ord / cursor_ord), the per-cursor bound rescaling,
+/// and the tombstone mask at evaluation. Summing term-level bounds over
+/// multiple cursors of one term only loosens them (a document exists in
+/// exactly one segment), never invalidates them.
+std::vector<Hit> query_segments_bmw(const std::vector<SegmentView>& segments,
+                                    const std::vector<SegmentedTerm>& terms,
+                                    QueryScratch& scratch, const KernelOptions& opts,
+                                    SegmentedStats* stats) {
+    const std::size_t n_terms = terms.size();
+    const std::size_t n_segs = segments.size();
+    const std::size_t k = opts.top_k;
+    PostingStats pstats;
+    std::uint64_t masked = 0;
+
+    // Build the cursor set term-major, so ascending cursor index is
+    // ascending canonical term — the exact-evaluation order below.
+    auto& seg_tids = scratch.seg_tids; // resolved by the caller
+    auto& cur_seg = scratch.cursor_seg;
+    auto& cur_term = scratch.cursor_term;
+    auto& cur_scale = scratch.cursor_scale;
+    auto& cur_bound = scratch.cursor_bound;
+    cur_seg.clear();
+    cur_term.clear();
+    cur_scale.clear();
+    cur_bound.clear();
+    for (std::size_t i = 0; i < n_terms; ++i) {
+        for (std::size_t g = 0; g < n_segs; ++g) {
+            const TermId tid = seg_tids[i * n_segs + g];
+            if (tid == kNoTerm || segments[g].index->list(tid).empty()) continue;
+            const double scale = segments[g].bound_scale[tid];
+            cur_seg.push_back(static_cast<std::uint32_t>(g));
+            cur_term.push_back(static_cast<std::uint32_t>(i));
+            cur_scale.push_back(scale);
+            cur_bound.push_back(segments[g].scorer->max_contribution(tid) * scale);
+        }
+    }
+    const std::size_t n_cursors = cur_seg.size();
+    scratch.ensure_bmw(n_cursors);
+    auto& cursors = scratch.cursors;
+    auto& order = scratch.order;
+    for (std::size_t c = 0; c < n_cursors; ++c) {
+        const SegmentView& seg = segments[cur_seg[c]];
+        cursors[c].reset(seg.index->list(seg_tids[cur_term[c] * n_segs + cur_seg[c]]),
+                         scratch.block_docs.data() + c * kBlockDocs,
+                         scratch.block_weights.data() + c * kBlockDocs, &pstats);
+        if (!cursors[c].exhausted()) order.push_back(static_cast<std::uint32_t>(c));
+    }
+
+    auto& heap = scratch.heap; // min-heap of top-k gate-passing scores
+    double theta = -std::numeric_limits<double>::infinity();
+    std::uint64_t pruned = 0;
+    while (!order.empty()) {
+        std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+            const DocId da = cursor_ord(segments[cur_seg[a]], cursors[a]);
+            const DocId db = cursor_ord(segments[cur_seg[b]], cursors[b]);
+            if (da != db) return da < db;
+            return a < b;
+        });
+        // Pivot: shortest prefix whose term-level bound can reach theta.
+        double ub = 0.0;
+        std::size_t p = 0;
+        bool found = false;
+        for (; p < order.size(); ++p) {
+            ub += cur_bound[order[p]];
+            if (ub >= theta) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) break; // no remaining document can reach the floor
+        const DocId pivot = cursor_ord(segments[cur_seg[order[p]]], cursors[order[p]]);
+        while (p + 1 < order.size() &&
+               cursor_ord(segments[cur_seg[order[p + 1]]], cursors[order[p + 1]]) == pivot)
+            ++p;
+
+        // Block-level refinement in ordinal space: each cursor's candidate
+        // block is the one that would hold the pivot's local position, and
+        // its rescaled block max bounds the merged contribution.
+        double block_ub = 0.0;
+        DocId min_boundary = kNoDocId;
+        for (std::size_t i = 0; i <= p; ++i) {
+            const std::uint32_t c = order[i];
+            const SegmentView& seg = segments[cur_seg[c]];
+            const PostingCursor& pc = cursors[c];
+            const std::uint32_t local = local_lower_bound(seg, pivot);
+            if (local >= seg.docs) continue; // segment ends before the pivot
+            const std::uint32_t b = pc.find_block(static_cast<DocId>(local));
+            if (b >= pc.n_blocks()) continue; // list ends before the pivot
+            block_ub += seg.scorer->block_max_bound(pc.block_base() + b) * cur_scale[c];
+            min_boundary = std::min(min_boundary, seg.ordinals[pc.last_doc_of(b)]);
+        }
+
+        if (block_ub >= theta) {
+            // Evaluate the pivot exactly: ascending canonical term order,
+            // one live segment per term, dead postings masked.
+            for (std::size_t i = 0; i <= p; ++i) {
+                const std::uint32_t c = order[i];
+                seek_ord(segments[cur_seg[c]], cursors[c], pivot);
+            }
+            double score = 0.0, evidence = 0.0;
+            std::uint64_t bits = 0;
+            for (std::size_t c = 0; c < n_cursors; ++c) {
+                const SegmentView& seg = segments[cur_seg[c]];
+                const PostingCursor& pc = cursors[c];
+                if (pc.exhausted() || cursor_ord(seg, pc) != pivot) continue;
+                if (seg.live[pc.doc()] == 0) {
+                    ++masked;
+                    continue;
+                }
+                const double tf = pc.weight();
+                const double idf_t = terms[cur_term[c]].idf;
+                const double k1 = seg.scorer->params().k1;
+                score += idf_t * (tf * (k1 + 1.0)) / (tf + seg.merged_norms[pc.doc()]);
+                evidence += idf_t;
+                bits |= std::uint64_t{1} << cur_term[c];
+            }
+            // A pivot whose postings were all tombstones is not a document
+            // of the merged corpus's result set — don't materialize it.
+            if (bits != 0) {
+                scratch.stamp[pivot] = scratch.epoch;
+                scratch.score[pivot] = score;
+                scratch.evidence_idf[pivot] = evidence;
+                scratch.term_bits[pivot] = bits;
+                scratch.touched.push_back(pivot);
+                if (evidence >= opts.min_evidence_idf) {
+                    heap.push_back(score);
+                    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+                    if (heap.size() > k) {
+                        std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+                        heap.pop_back();
+                    }
+                    if (heap.size() == k) theta = heap.front();
+                }
+            }
+            for (std::size_t i = 0; i <= p; ++i) {
+                const std::uint32_t c = order[i];
+                const SegmentView& seg = segments[cur_seg[c]];
+                if (!cursors[c].exhausted() && cursor_ord(seg, cursors[c]) == pivot)
+                    seek_ord(seg, cursors[c], pivot + 1);
+            }
+        } else {
+            // Every ordinal in [pivot, min_boundary] draws its possible
+            // contributions from exactly the blocks bounded above, so the
+            // whole range is below theta. Jump past it, but never past the
+            // first cursor outside the pivot prefix.
+            ++pruned;
+            DocId target = min_boundary == kNoDocId ? kNoDocId : min_boundary + 1;
+            if (p + 1 < order.size()) {
+                const std::uint32_t c = order[p + 1];
+                target = std::min(target, cursor_ord(segments[cur_seg[c]], cursors[c]));
+            }
+            for (std::size_t i = 0; i <= p; ++i) {
+                const std::uint32_t c = order[i];
+                seek_ord(segments[cur_seg[c]], cursors[c], target);
+            }
+        }
+        order.erase(std::remove_if(order.begin(), order.end(),
+                                   [&](std::uint32_t c) { return cursors[c].exhausted(); }),
+                    order.end());
+    }
+    for (std::size_t c = 0; c < n_cursors; ++c)
+        pstats.blocks_skipped += cursors[c].undecoded_tail();
+    if (stats != nullptr) {
+        stats->kernel.postings_scanned += pstats.postings_decoded;
+        stats->kernel.blocks_decoded += pstats.blocks_decoded;
+        stats->kernel.blocks_skipped += pstats.blocks_skipped;
+        stats->kernel.docs_pruned += pruned;
+        stats->tombstones_masked += masked;
+    }
+    return detail::collect_hits(scratch, opts, stats != nullptr ? &stats->kernel : nullptr,
+                                [&scratch](DocId d) { return scratch.score[d]; });
+}
+
+} // namespace
+
+std::vector<Hit> query_segments(const std::vector<SegmentView>& segments,
+                                std::size_t ordinal_limit,
+                                const std::vector<SegmentedTerm>& terms, QueryScratch& scratch,
+                                const KernelOptions& opts, SegmentedStats* stats) {
+    if (terms.empty()) return {};
+    if (terms.size() > 64) return query_segments_reference(segments, terms, opts, stats);
+
+    const std::size_t n_terms = terms.size();
+    const std::size_t n_segs = segments.size();
+    scratch.begin(ordinal_limit);
+    // scratch.terms carries canonical term *indices* here: collect_hits
+    // reads them out of the matched bitset, and the engine layer maps
+    // index -> string (per-segment TermIds are meaningless across
+    // segments).
+    for (std::size_t i = 0; i < n_terms; ++i) scratch.terms.push_back(static_cast<TermId>(i));
+
+    // Resolve every (term, segment) TermId once; count visited segments.
+    auto& seg_tids = scratch.seg_tids;
+    seg_tids.assign(n_terms * n_segs, kNoTerm);
+    std::uint64_t visited_count = 0;
+    for (std::size_t g = 0; g < n_segs; ++g) {
+        bool visited = false;
+        for (std::size_t i = 0; i < n_terms; ++i) {
+            const TermId tid = segments[g].index->vocabulary().lookup(terms[i].term);
+            if (tid == kNoTerm || segments[g].index->list(tid).empty()) continue;
+            seg_tids[i * n_segs + g] = tid;
+            visited = true;
+        }
+        if (visited) ++visited_count;
+    }
+    if (stats != nullptr) stats->segments_visited += visited_count;
+
+    if (opts.prune && opts.top_k > 0) return query_segments_bmw(segments, terms, scratch, opts, stats);
+
+    // Unpruned path: term-at-a-time over every block of every segment, in
+    // the reference accumulation order (ascending canonical term; each doc
+    // lives in one segment, so per-doc sums follow that order exactly).
+    PostingStats pstats;
+    std::uint64_t masked = 0;
+    std::uint32_t docs[kBlockDocs];
+    float weights[kBlockDocs];
+    for (std::size_t i = 0; i < n_terms; ++i) {
+        const double idf_t = terms[i].idf;
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        for (std::size_t g = 0; g < n_segs; ++g) {
+            const TermId tid = seg_tids[i * n_segs + g];
+            if (tid == kNoTerm) continue;
+            const SegmentView& seg = segments[g];
+            const double k1 = seg.scorer->params().k1;
+            const ListView lv = seg.index->list(tid);
+            for (std::uint32_t b = 0; b < lv.n_blocks; ++b) {
+                const std::size_t n = decode_block(lv, b, docs, weights, &pstats);
+                for (std::size_t j = 0; j < n; ++j) {
+                    const DocId d = docs[j];
+                    if (seg.live[d] == 0) {
+                        ++masked;
+                        continue;
+                    }
+                    const DocId ord = seg.ordinals[d];
+                    const double tf = weights[j];
+                    const double contrib =
+                        idf_t * (tf * (k1 + 1.0)) / (tf + seg.merged_norms[d]);
+                    if (scratch.stamp[ord] == scratch.epoch) {
+                        scratch.score[ord] += contrib;
+                        scratch.evidence_idf[ord] += idf_t;
+                        scratch.term_bits[ord] |= bit;
+                    } else {
+                        scratch.stamp[ord] = scratch.epoch;
+                        scratch.score[ord] = contrib;
+                        scratch.evidence_idf[ord] = idf_t;
+                        scratch.term_bits[ord] = bit;
+                        scratch.touched.push_back(ord);
+                    }
+                }
+            }
+        }
+    }
+    if (stats != nullptr) {
+        stats->kernel.postings_scanned += pstats.postings_decoded;
+        stats->kernel.blocks_decoded += pstats.blocks_decoded;
+        stats->kernel.blocks_skipped += pstats.blocks_skipped;
+        stats->tombstones_masked += masked;
+    }
+    return detail::collect_hits(scratch, opts, stats != nullptr ? &stats->kernel : nullptr,
+                                [&scratch](DocId d) { return scratch.score[d]; });
+}
+
+std::vector<double> merged_norms(const InvertedIndex& index, Bm25Scorer::Params params,
+                                 double merged_avg_len) {
+    const double avg = std::max(merged_avg_len, 1e-9);
+    std::vector<double> norms(index.doc_count());
+    for (DocId d = 0; d < norms.size(); ++d)
+        norms[d] = params.k1 * (1.0 - params.b + params.b * index.doc_length(d) / avg);
+    return norms;
+}
+
+std::vector<double> merged_bound_scales(const InvertedIndex& index,
+                                        const std::vector<double>& merged_idf,
+                                        double merged_avg_len) {
+    const double avg_local = std::max(index.avg_doc_length(), 1e-9);
+    const double avg_scale = std::max(1.0, std::max(merged_avg_len, 1e-9) / avg_local);
+    std::vector<double> scales(index.term_count(), 0.0);
+    for (TermId t = 0; t < scales.size(); ++t) {
+        const double idf_local = index.idf(t);
+        if (idf_local <= 0.0) continue; // term with no postings: bound stays 0
+        scales[t] = (merged_idf[t] / idf_local) * avg_scale * kBoundSlack;
+    }
+    return scales;
+}
+
+} // namespace cybok::text

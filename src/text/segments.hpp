@@ -1,0 +1,121 @@
+// Multi-segment query execution — the text-layer half of generational
+// segmented indexing (search/generation.hpp builds the segments; this
+// file scores across them).
+//
+// A *segment* is one self-contained finalized InvertedIndex whose local
+// documents map to global *ordinals* — positions in an append-only id
+// space where ascending ordinal order equals merged-corpus document
+// order. The base snapshot is segment 0 (ordinal == local doc id); each
+// applied delta adds a segment whose ordinals are strictly ascending but
+// interleave with earlier segments' (a modified record keeps its original
+// ordinal, so its replacement lives in a later segment at a low ordinal).
+// Every ordinal is *owned* by exactly one segment — the one holding its
+// live version; postings for that ordinal in any other segment are
+// tombstone-masked at query time.
+//
+// Bit-identity contract: for any query, the hits returned here — scores,
+// ordinal order, matched canonical terms — are bitwise identical to what
+// a from-scratch single-index build over the merged corpus would return,
+// because
+//   * per-document contributions are summed in the canonical ascending
+//     term-string order (the engine resolves SegmentedTerm entries in
+//     that order, and each document's postings live in exactly one
+//     segment, so term-major traversal reproduces the reference order);
+//   * each contribution uses the exact merged-statistics expression
+//     idf_merged * (tf * (k1+1)) / (tf + norm_merged[doc]), with
+//     merged_norms recomputed by the engine per apply via the same
+//     formula the from-scratch Bm25Scorer constructor uses; and
+//   * pruning only ever *skips* documents proven below the top-k floor:
+//     per-segment constructor bounds are rescaled into valid (slightly
+//     loose) merged-statistics bounds, and every surviving document is
+//     scored exactly, so the selected set and its scores match the
+//     unpruned result — the same argument the single-index BMW kernel
+//     makes, with looser bounds.
+//
+// Hits come back with doc = global ordinal and matched_terms = indices
+// into the caller's term array (ids are per-segment here, so TermIds
+// would be meaningless); the engine maps ordinals to merged positions
+// and indices to strings.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/index.hpp"
+#include "text/scratch.hpp"
+
+namespace cybok::text {
+
+/// One segment, viewed by the kernel. All pointers are borrowed and must
+/// outlive the query; arrays are indexed by the segment's local DocId.
+struct SegmentView {
+    const InvertedIndex* index = nullptr; ///< finalized
+    const Bm25Scorer* scorer = nullptr;   ///< bound tables under the segment's own stats
+    /// BM25 length norms under *merged* statistics (see merged_norms()).
+    const double* merged_norms = nullptr;
+    /// Local doc -> global ordinal, strictly ascending.
+    const std::uint32_t* ordinals = nullptr;
+    /// 1 = this segment owns the ordinal (live); 0 = tombstoned here.
+    const std::uint8_t* live = nullptr;
+    /// Rescale factor per local TermId turning the scorer's constructor
+    /// bounds into valid merged-statistics bounds (see merged_bound_scales()).
+    const double* bound_scale = nullptr;
+    std::size_t docs = 0;
+};
+
+/// One canonical query term: distinct, in ascending term-string order,
+/// carrying the merged-corpus IDF (the engine resolves both from its
+/// merged document-frequency table). Terms with merged df == 0 should be
+/// dropped by the caller — a from-scratch merged index would not contain
+/// them.
+struct SegmentedTerm {
+    std::string_view term;
+    double idf;
+};
+
+/// Kernel instrumentation plus the segmented-path counters.
+struct SegmentedStats {
+    KernelStats kernel;
+    std::uint64_t segments_visited = 0;  ///< segments holding >= 1 query-term list
+    std::uint64_t tombstones_masked = 0; ///< postings skipped as dead
+};
+
+/// Score `terms` across `segments`. `ordinal_limit` bounds the ordinal
+/// space (max ordinal ever assigned + 1) and sizes the scratch arena.
+/// Semantics and options exactly match Bm25Scorer::query_kernel on the
+/// merged corpus (see the bit-identity contract above); queries with more
+/// than 64 distinct terms take a reference term-at-a-time path, mirroring
+/// the single-index fallback. All segments must share the base scorer's
+/// BM25 parameters.
+[[nodiscard]] std::vector<Hit> query_segments(const std::vector<SegmentView>& segments,
+                                              std::size_t ordinal_limit,
+                                              const std::vector<SegmentedTerm>& terms,
+                                              QueryScratch& scratch, const KernelOptions& opts,
+                                              SegmentedStats* stats = nullptr);
+
+/// Per-doc BM25 norms for one segment under merged statistics — the
+/// byte-exact expression the from-scratch Bm25Scorer constructor uses
+/// (k1 * (1 - b + b * len / max(avg, 1e-9))), so evaluated scores cannot
+/// drift from a merged rebuild. Recomputed per apply (O(segment docs)).
+[[nodiscard]] std::vector<double> merged_norms(const InvertedIndex& index,
+                                               Bm25Scorer::Params params, double merged_avg_len);
+
+/// Per-local-term rescale factors for one segment's constructor bounds:
+///
+///   scale[t] = (idf_merged[t] / idf_local[t]) * max(1, avg_m / avg_l) * slack
+///
+/// Validity: a posting's merged contribution differs from its local one
+/// by the idf ratio times (tf + norm_l) / (tf + norm_m), and the latter
+/// is <= max(1, norm_l / norm_m) <= max(1, avg_m / avg_l) (mediant
+/// inequality; norms are affine in len/avg with positive coefficients).
+/// The slack factor absorbs floating-point rounding in computing the
+/// scale itself. Bounds only need validity, not tightness — every
+/// admitted document is scored exactly. `merged_idf[t]` is the merged
+/// IDF of local term t's string. Recomputed per apply (O(vocabulary)).
+[[nodiscard]] std::vector<double> merged_bound_scales(const InvertedIndex& index,
+                                                      const std::vector<double>& merged_idf,
+                                                      double merged_avg_len);
+
+} // namespace cybok::text

@@ -245,6 +245,12 @@ const std::vector<FaultSiteInfo>& known_fault_sites() {
          "typed swap_failed response; the old generation keeps serving"},
         {"serve.response.write", "IoError",
          "response abandoned and connection closed; the request already executed"},
+        {"kb.delta.apply", "ValidationError",
+         "delta rejected atomically before any mutation; the corpus is unchanged"},
+        {"search.delta.segment", "Error",
+         "segment build aborts; the previous generation stays authoritative"},
+        {"serve.compact.fold", "Error",
+         "typed compact_failed response; old generation keeps serving, failure counted"},
     };
     return sites;
 }

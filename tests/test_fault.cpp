@@ -15,9 +15,12 @@
 
 #include "core/session.hpp"
 #include "kb/serialize.hpp"
+#include "kb/delta.hpp"
 #include "kb/snapshot.hpp"
 #include "search/association.hpp"
 #include "search/engine.hpp"
+#include "search/generation.hpp"
+#include "serve/registry.hpp"
 #include "synth/corpus_gen.hpp"
 #include "synth/model_gen.hpp"
 #include "util/bytes.hpp"
@@ -192,7 +195,7 @@ TEST(FaultInjector, MalformedSpecsThrowTyped) {
 
 TEST(FaultInjector, KnownSiteTableIsWellFormed) {
     const std::vector<util::FaultSiteInfo>& sites = util::known_fault_sites();
-    EXPECT_EQ(sites.size(), 22u);
+    EXPECT_EQ(sites.size(), 25u);
     std::set<std::string_view> names;
     for (const util::FaultSiteInfo& s : sites) {
         EXPECT_FALSE(s.site.empty());
@@ -498,6 +501,72 @@ TEST(FaultSites, StaleSnapshotFallbackIsRecordedNotSilent) {
     EXPECT_FALSE(session.from_snapshot());
     EXPECT_EQ(session.cold_start_degrade().snapshot_fallbacks, 1u);
     EXPECT_NE(session.cold_start_degrade().last_reason.find("stale"), std::string::npos);
+}
+
+// --------------------------------------------- delta + compaction sites
+
+TEST(FaultSites, DeltaApplyFaultIsTransactional) {
+    kb::Corpus corpus = small_corpus();
+    const std::string before = json::dump(kb::to_json(corpus));
+    kb::CorpusDelta delta;
+    delta.weaknesses.push_back(corpus.weaknesses().front());
+    delta.weaknesses.back().description += " amended";
+    {
+        util::FaultScope scope("kb.delta.apply");
+        EXPECT_THROW(kb::apply_corpus_delta(corpus, delta), ValidationError);
+        // Validate-before-mutate: the corpus is byte-identical.
+        EXPECT_EQ(json::dump(kb::to_json(corpus)), before);
+    }
+    EXPECT_EQ(kb::apply_corpus_delta(corpus, delta).weaknesses.modified, 1u);
+}
+
+TEST(FaultSites, DeltaSegmentBuildFaultPublishesNothing) {
+    const kb::Corpus& corpus = small_corpus();
+    const search::SearchEngine base(corpus, {});
+    kb::CorpusDelta delta;
+    delta.weaknesses.push_back(corpus.weaknesses().front());
+    delta.weaknesses.back().description += " amended";
+    {
+        util::FaultScope scope("search.delta.segment");
+        EXPECT_THROW(search::SegmentedEngine(base, delta), Error);
+    }
+    // Apply-is-a-constructor: a failed apply leaves no partial engine, and
+    // the same delta applies cleanly once the fault is disarmed.
+    const search::SegmentedEngine seg(base, delta);
+    EXPECT_EQ(seg.segment_count(), 1u);
+    EXPECT_EQ(seg.apply_metrics().report.weaknesses.modified, 1u);
+}
+
+TEST(FaultSites, CompactionFoldFaultKeepsOldGenerationAuthoritative) {
+    const std::shared_ptr<const core::SharedEngine> g0 =
+        core::make_shared_engine(small_corpus(), core::SessionOptions{});
+    kb::CorpusDelta delta;
+    delta.weaknesses.push_back(small_corpus().weaknesses().front());
+    delta.weaknesses.back().description += " amended";
+    serve::SessionRegistry registry(core::apply_corpus_delta(g0, delta),
+                                    small_model(), serve::RegistryOptions{});
+    const std::uint64_t gen_before = registry.current()->id;
+    {
+        util::FaultScope scope("serve.compact.fold");
+        try {
+            (void)registry.compact();
+            FAIL() << "expected ProtocolError";
+        } catch (const serve::ProtocolError& e) {
+            EXPECT_EQ(static_cast<int>(e.code()),
+                      static_cast<int>(serve::ErrorCode::CompactFailed));
+        }
+    }
+    // The segmented generation keeps serving; the failure is counted, not
+    // silent.
+    EXPECT_EQ(registry.current()->id, gen_before);
+    EXPECT_EQ(registry.stats().compaction_failures, 1u);
+    EXPECT_EQ(registry.stats().current_segments, 1u);
+    EXPECT_EQ(registry.aggregate_metrics().degrade.compaction_failures, 1u);
+
+    // Disarmed: the fold succeeds and flips to a plain base generation.
+    EXPECT_GT(registry.compact(), gen_before);
+    EXPECT_EQ(registry.stats().compactions, 1u);
+    EXPECT_EQ(registry.stats().current_segments, 0u);
 }
 
 // ------------------------------------------------- cache + faults, racing

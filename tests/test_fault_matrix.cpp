@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "kb/delta.hpp"
 #include "kb/serialize.hpp"
 #include "search/association.hpp"
 #include "search/engine.hpp"
@@ -130,8 +131,13 @@ std::vector<text::Hit> reference_hits(const std::vector<text::Hit>& raw,
                                       const text::InvertedIndex& index,
                                       const text::KernelOptions& opts) {
     std::vector<text::Hit> out;
+    const text::Vocabulary& vocab = index.vocabulary();
     for (text::Hit h : raw) {
-        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        // Canonical ascending term-string order (matches collect_query_terms).
+        std::sort(h.matched_terms.begin(), h.matched_terms.end(),
+                  [&vocab](text::TermId a, text::TermId b) {
+                      return vocab.term(a) < vocab.term(b);
+                  });
         h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
                               h.matched_terms.end());
         double evidence = 0.0;
@@ -475,6 +481,131 @@ TEST_P(FaultMatrixSoak, ServeOneResponsePerRequestUnderFaultMatrix) {
     }
     server.stop();
     server.wait();
+}
+
+// ------------------------------ (e) delta + compaction soak oracle
+
+namespace {
+
+/// A deterministic mixed delta (modify / withdraw / add per class) over
+/// `corpus`, tag-unique vocabulary in the additions.
+kb::CorpusDelta soak_delta(const kb::Corpus& corpus, Rng& rng, std::uint32_t tag) {
+    kb::CorpusDelta d;
+    const auto& ps = corpus.patterns();
+    const auto& ws = corpus.weaknesses();
+    const auto& vs = corpus.vulnerabilities();
+
+    const std::vector<std::size_t> pi = rng.sample_indices(ps.size(), 3);
+    d.patterns.push_back(ps[pi[0]]);
+    d.patterns.back().summary += " revised exploitation chain note rev" + std::to_string(tag);
+    d.withdraw_patterns.push_back(ps[pi[1]].id);
+
+    const std::vector<std::size_t> wi = rng.sample_indices(ws.size(), 3);
+    d.weaknesses.push_back(ws[wi[0]]);
+    d.weaknesses.back().description += " amended mitigations discussion";
+    d.withdraw_weaknesses.push_back(ws[wi[1]].id);
+
+    if (!vs.empty()) {
+        const std::vector<std::size_t> vi = rng.sample_indices(vs.size(), 2);
+        d.vulnerabilities.push_back(vs[vi[0]]);
+        d.vulnerabilities.back().description += " patched firmware reissued";
+        d.withdraw_vulnerabilities.push_back(vs[vi[1]].id);
+    }
+
+    kb::Weakness wk;
+    wk.id = kb::WeaknessId{800000 + tag};
+    wk.name = "Unverified maintenance frame origin";
+    wk.description = "Relay accepts maintenance frames without verifying origin; "
+                     "any bus participant can retime protection. rev" + std::to_string(tag);
+    d.weaknesses.push_back(std::move(wk));
+    return d;
+}
+
+} // namespace
+
+TEST(FaultMatrix, KnownSiteTableCoversDeltaAndCompactionSites) {
+    const std::vector<util::FaultSiteInfo>& sites = util::known_fault_sites();
+    EXPECT_GE(sites.size(), 25u);
+    auto has = [&sites](std::string_view name) {
+        return std::any_of(sites.begin(), sites.end(),
+                           [name](const util::FaultSiteInfo& s) { return s.site == name; });
+    };
+    EXPECT_TRUE(has("kb.delta.apply"));
+    EXPECT_TRUE(has("search.delta.segment"));
+    EXPECT_TRUE(has("serve.compact.fold"));
+}
+
+TEST_P(FaultMatrixSoak, DeltaCompactionUnderFaultsMatchesCleanRebuild) {
+    // The tentpole soak oracle: drive a registry through a delta chain and
+    // compactions with every delta/compaction fault site armed
+    // probabilistically. Failed applies publish nothing (retrying the
+    // identical delta is always safe), failed folds leave the segmented
+    // generation authoritative — and whatever interleaving the seed
+    // produces, the surviving generation must answer byte-identically to a
+    // clean from-scratch build of the merged corpus.
+    const int seed = GetParam();
+
+    // The delta chain and its clean merged endpoint, computed fault-free.
+    kb::Corpus merged = soak_corpus();
+    std::vector<kb::CorpusDelta> deltas;
+    Rng rng(static_cast<std::uint64_t>(9000 + seed));
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        deltas.push_back(soak_delta(merged, rng, static_cast<std::uint32_t>(seed) * 10 + t));
+        kb::apply_corpus_delta(merged, deltas.back());
+    }
+
+    serve::SessionRegistry registry(soak_shared_engine(), soak_model(),
+                                    serve::RegistryOptions{});
+    {
+        util::FaultScope scope("seed=" + std::to_string(seed) +
+                               ";kb.delta.apply=p:0.25"
+                               ";search.delta.segment=p:0.25"
+                               ";serve.compact.fold=p:0.5");
+        for (std::size_t t = 0; t < deltas.size(); ++t) {
+            const std::string path =
+                temp_path("fault_matrix_delta_" + std::to_string(seed) + "_" +
+                          std::to_string(t) + ".delta");
+            util::write_file(path, kb::freeze_corpus_delta(deltas[t]));
+            bool applied = false;
+            for (int attempt = 0; attempt < 64 && !applied; ++attempt) {
+                try {
+                    (void)registry.apply_delta(path);
+                    applied = true;
+                } catch (const serve::ProtocolError&) {
+                    // delta_failed: the old generation is still current.
+                }
+            }
+            ASSERT_TRUE(applied) << "delta " << t << " never applied under seed " << seed;
+            if (t == 1) {
+                // Mid-chain fold attempt: success or typed failure, the
+                // final bits must not depend on which one the seed drew.
+                try {
+                    (void)registry.compact();
+                } catch (const serve::ProtocolError&) {
+                }
+            }
+        }
+        bool folded = false;
+        for (int attempt = 0; attempt < 64 && !folded; ++attempt) {
+            try {
+                (void)registry.compact();
+                folded = true;
+            } catch (const serve::ProtocolError&) {
+            }
+        }
+        ASSERT_TRUE(folded) << "compaction never succeeded under seed " << seed;
+    }
+    EXPECT_EQ(registry.stats().current_segments, 0u);
+    EXPECT_EQ(registry.stats().deltas_applied, 3u);
+
+    // Byte-identical to the clean rebuild, via the association fingerprint.
+    search::AssocOptions aopts;
+    aopts.threads = 4;
+    search::Associator got(registry.current()->engine->query(), aopts);
+    const search::SearchEngine clean(merged, {});
+    search::Associator want(clean, aopts);
+    EXPECT_EQ(fingerprint(got.associate(soak_model())),
+              fingerprint(want.associate(soak_model())));
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedSweep, FaultMatrixSoak, ::testing::Range(0, 16));

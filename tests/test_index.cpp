@@ -39,6 +39,29 @@ TEST(Vocabulary, InternAndLookup) {
     EXPECT_THROW((void)v.term(99), cybok::NotFoundError);
 }
 
+TEST(InvertedIndex, DocCapacityOverflowIsTypedWithOffendingCount) {
+    // The 32-bit doc-id space ends one short of UINT32_MAX (the "no
+    // current document" sentinel). The capacity check is factored out of
+    // add_document so the overflow contract is testable without adding
+    // 2^32 documents: at the limit it must throw a typed ValidationError
+    // naming the offending count, not surface later as add_term's
+    // misleading "add_document must be called first".
+    EXPECT_NO_THROW(detail::check_doc_capacity(0));
+    EXPECT_NO_THROW(detail::check_doc_capacity(UINT32_MAX - 1));
+    try {
+        detail::check_doc_capacity(UINT32_MAX);
+        FAIL() << "expected ValidationError";
+    } catch (const cybok::ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find(std::to_string(UINT32_MAX)), std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(detail::check_doc_capacity(static_cast<std::size_t>(UINT32_MAX) + 7),
+                 cybok::ValidationError);
+    // The misuse error is unchanged: add_term before any add_document.
+    InvertedIndex index;
+    EXPECT_THROW(index.add_term("orphan"), cybok::ValidationError);
+}
+
 TEST(InvertedIndex, BasicStatistics) {
     InvertedIndex index = sample_index();
     EXPECT_EQ(index.doc_count(), 4u);

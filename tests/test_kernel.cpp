@@ -38,12 +38,15 @@ InvertedIndex weakness_index(const kb::Corpus& corpus) {
 }
 
 /// The engine-side reference semantics the kernel fuses in: dedup+sort
-/// matched terms, gate on summed rsj IDF, truncate to top-k.
+/// matched terms (canonical ascending term-string order), gate on summed
+/// rsj IDF, truncate to top-k.
 std::vector<Hit> reference_hits(const std::vector<Hit>& raw, const InvertedIndex& index,
                                 const KernelOptions& opts) {
     std::vector<Hit> out;
+    const Vocabulary& vocab = index.vocabulary();
     for (Hit h : raw) {
-        std::sort(h.matched_terms.begin(), h.matched_terms.end());
+        std::sort(h.matched_terms.begin(), h.matched_terms.end(),
+                  [&vocab](TermId a, TermId b) { return vocab.term(a) < vocab.term(b); });
         h.matched_terms.erase(std::unique(h.matched_terms.begin(), h.matched_terms.end()),
                               h.matched_terms.end());
         double evidence = 0.0;
@@ -222,7 +225,10 @@ TEST(Kernel, WideQueryFallsBackToReferenceSemantics) {
     EXPECT_EQ(stats.fallback_queries, 1u);
     expect_identical(kernel, reference_hits(scorer.query(wide), index, opts), "wide-fallback");
     for (const Hit& h : kernel)
-        EXPECT_TRUE(std::is_sorted(h.matched_terms.begin(), h.matched_terms.end()));
+        EXPECT_TRUE(std::is_sorted(
+            h.matched_terms.begin(), h.matched_terms.end(), [&](TermId a, TermId b) {
+                return index.vocabulary().term(a) < index.vocabulary().term(b);
+            }));
 }
 
 TEST(Kernel, ScratchArenaSurvivesIndexSwitching) {

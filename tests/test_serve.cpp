@@ -13,8 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include "kb/delta.hpp"
 #include "model/dsl.hpp"
 #include "serve/client.hpp"
+#include "util/bytes.hpp"
 #include "serve/server.hpp"
 #include "synth/corpus_gen.hpp"
 #include "synth/scada.hpp"
@@ -360,6 +362,57 @@ TEST(ServeServer, SessionLifecycleAndWhatIfCommit) {
     const Response again = client.call(close);
     EXPECT_FALSE(again.ok);
     EXPECT_EQ(again.error_code, "unknown_session");
+}
+
+TEST(ServeServer, DeltaApplyMakesRecordsVisibleAndCompactKeepsThem) {
+    ServerFixture fixture;
+    BlockingClient client = fixture.connect();
+
+    // One feed tick: a probe record whose vocabulary no base query hits.
+    kb::CorpusDelta delta;
+    kb::Weakness probe;
+    probe.id = kb::WeaknessId{900001};
+    probe.name = "Unverified glimmerwick frame origin";
+    probe.description =
+        "Relay accepts glimmerwick maintenance frames without verifying origin.";
+    delta.weaknesses.push_back(std::move(probe));
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "serve_tick.delta").string();
+    util::write_file(path, kb::freeze_corpus_delta(delta));
+
+    Request query = make_request(MsgType::Query);
+    query.text = "glimmerwick maintenance frames";
+    query.cls = "weakness";
+    EXPECT_EQ(client.call(query).body.get_int("count"), 0);
+
+    Request apply = make_request(MsgType::DeltaApply);
+    apply.delta = path;
+    const Response applied = client.call(apply);
+    ASSERT_TRUE(applied.ok);
+    EXPECT_EQ(applied.body.get_int("generation"), 2);
+    EXPECT_EQ(applied.body.at("applied").get_int("records"), 1);
+    EXPECT_EQ(applied.body.at("applied").get_int("segments"), 1);
+
+    // Staleness-to-visibility: the very next sessionless query sees it.
+    const Response hit = client.call(query);
+    ASSERT_TRUE(hit.ok);
+    EXPECT_GT(hit.body.get_int("count"), 0);
+
+    // Compaction folds the segment into a fresh sealed base generation
+    // and the record survives the flip.
+    const Response folded = client.call(make_request(MsgType::Compact));
+    ASSERT_TRUE(folded.ok);
+    EXPECT_TRUE(folded.body.get_bool("folded"));
+    EXPECT_EQ(folded.body.get_int("generation"), 3);
+    EXPECT_GT(client.call(query).body.get_int("count"), 0);
+
+    // Compacting a sealed base is the identity: no generation flip.
+    const Response noop = client.call(make_request(MsgType::Compact));
+    ASSERT_TRUE(noop.ok);
+    EXPECT_FALSE(noop.body.get_bool("folded"));
+    EXPECT_EQ(noop.body.get_int("generation"), 3);
+
+    std::filesystem::remove(path);
 }
 
 TEST(ServeServer, SixtyFourConcurrentSessionsServeConcurrently) {

@@ -58,7 +58,7 @@ ErrorCode request_failure(std::string_view payload) {
 
 TEST(ServeProtocol, ErrorCodeTableIsCompleteAndUnique) {
     const auto& codes = known_error_codes();
-    EXPECT_EQ(codes.size(), 10u);
+    EXPECT_EQ(codes.size(), 12u);
     std::set<std::string_view> wires;
     for (const ErrorCodeInfo& info : codes) {
         EXPECT_FALSE(info.wire.empty());
@@ -71,7 +71,7 @@ TEST(ServeProtocol, ErrorCodeTableIsCompleteAndUnique) {
 
 TEST(ServeProtocol, MessageTypeTableIsCompleteAndUnique) {
     const auto& types = known_message_types();
-    EXPECT_EQ(types.size(), 12u);
+    EXPECT_EQ(types.size(), 14u);
     std::set<std::string_view> wires;
     for (const MessageTypeInfo& info : types) {
         EXPECT_FALSE(info.wire.empty());

@@ -410,8 +410,11 @@ TEST(SnapshotMmap, SessionsShareOneMappingAndHotSwapKeepsItAlive) {
     core::AnalysisSession a(synth::centrifuge_model(), handle);
     core::AnalysisSession b(synth::centrifuge_model(), handle);
     EXPECT_EQ(&a.engine(), &b.engine());
-    EXPECT_TRUE(handle->mapping->contains(
-        a.engine().class_index(search::VectorClass::Weakness).store().data_bytes().data()));
+    EXPECT_TRUE(handle->mapping->contains(a.engine_handle()
+                                              ->engine->class_index(search::VectorClass::Weakness)
+                                              .store()
+                                              .data_bytes()
+                                              .data()));
     EXPECT_GT(a.associations().total(), 0u);
 
     // Hot swap: delete the file, drop our handle reference — the pinned
