@@ -1,0 +1,208 @@
+// Cost and incrementality of the flow pass (src/flow/) against model
+// scale. The headline claims this suite guards:
+//
+//   * the fixpoint counters (taint_iterations, edges_traversed) are pure
+//     functions of the generated model seed — CI gates exact ceilings on
+//     them (tools/bench_thresholds.json), so a lost monotonicity or
+//     worklist regression shows up as counter drift, never as a flaky
+//     timing comparison;
+//   * reanalyze() after a single edit re-runs only the affected region:
+//     the `reanalyzed_nodes` counter (nodes minus reused_components) must
+//     stay a small fraction of the graph while full analyze() touches all
+//     of it.
+//
+// The preamble prints the full-vs-incremental comparison at the largest
+// scale (the numbers quoted in EXPERIMENTS.md).
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "flow/flow.hpp"
+#include "model/diff.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+
+using namespace cybok;
+
+namespace {
+
+constexpr std::int64_t kSizes[] = {50, 200, 800};
+
+const model::SystemModel& model_at(std::int64_t components) {
+    static std::map<std::int64_t, model::SystemModel> cache;
+    auto it = cache.find(components);
+    if (it == cache.end()) {
+        synth::ModelGenConfig cfg;
+        cfg.seed = 23;
+        cfg.components = static_cast<std::size_t>(components);
+        it = cache.emplace(components, synth::generate_model(cfg)).first;
+    }
+    return it->second;
+}
+
+/// Deterministic evidence: vector counts and severities are a pure
+/// function of the component's position, so every flow counter downstream
+/// is machine-independent and CI can gate on it exactly.
+search::AssociationMap assoc_for(const model::SystemModel& m) {
+    search::AssociationMap map;
+    std::size_t i = 0;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        const std::size_t vectors = (i * 7 + 3) % 6; // 0..5, most nodes permeable
+        ++i;
+        if (vectors == 0) continue;
+        search::ComponentAssociation ca;
+        ca.component = c.name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "role";
+        aa.attribute_value = "synthetic";
+        for (std::size_t v = 0; v < vectors; ++v) {
+            search::Match match;
+            match.cls = search::VectorClass::Weakness;
+            match.id = "CWE-" + std::to_string(100 + v);
+            match.severity = v == 0 && i % 3 == 0 ? 8.5 : -1.0;
+            aa.matches.push_back(std::move(match));
+        }
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+const search::AssociationMap& assoc_at(std::int64_t components) {
+    static std::map<std::int64_t, search::AssociationMap> cache;
+    auto it = cache.find(components);
+    if (it == cache.end()) it = cache.emplace(components, assoc_for(model_at(components))).first;
+    return it->second;
+}
+
+/// Every 9th live component is a UCA controller over one of three hazards.
+const safety::HazardModel& hazards_at(std::int64_t components) {
+    static std::map<std::int64_t, safety::HazardModel> cache;
+    auto it = cache.find(components);
+    if (it == cache.end()) {
+        safety::HazardModel hz;
+        hz.add(safety::Loss{"L-1", "loss of the controlled process"});
+        for (int h = 1; h <= 3; ++h)
+            hz.add(safety::Hazard{"H-" + std::to_string(h), "hazardous state", {"L-1"}});
+        std::size_t i = 0, n = 0;
+        for (const model::Component& c : model_at(components).components()) {
+            if (!c.id.valid() || i++ % 9 != 0) continue;
+            safety::UnsafeControlAction uca;
+            uca.id = "UCA-" + std::to_string(++n);
+            uca.controller = c.name;
+            uca.action = "issue command";
+            uca.hazards = {"H-" + std::to_string(static_cast<int>(n % 3) + 1)};
+            hz.add(uca);
+        }
+        it = cache.emplace(components, std::move(hz)).first;
+    }
+    return it->second;
+}
+
+/// The single-edit scenario reanalyze() is measured on: one new component
+/// fed from a mid-graph node. Precomputed once per scale.
+struct IncrementalCase {
+    model::SystemModel after;
+    model::ModelDiff diff;
+    flow::FlowResult previous;
+};
+
+const IncrementalCase& incremental_at(std::int64_t components) {
+    static std::map<std::int64_t, IncrementalCase> cache;
+    auto it = cache.find(components);
+    if (it == cache.end()) {
+        const model::SystemModel& before = model_at(components);
+        IncrementalCase c{before, {}, flow::analyze(before, assoc_at(components),
+                                                    &hazards_at(components))};
+        std::vector<model::ComponentId> live;
+        for (const model::Component& comp : c.after.components())
+            if (comp.id.valid()) live.push_back(comp.id);
+        const model::ComponentId fresh =
+            c.after.add_component("Edit historian", model::ComponentType::Compute);
+        c.after.connect(live[live.size() / 2], fresh, "trend-data");
+        c.diff = model::diff(before, c.after);
+        it = cache.emplace(components, std::move(c)).first;
+    }
+    return it->second;
+}
+
+void BM_FlowFull(benchmark::State& state) {
+    const std::int64_t n = state.range(0);
+    const model::SystemModel& m = model_at(n);
+    const search::AssociationMap& assoc = assoc_at(n);
+    const safety::HazardModel& hz = hazards_at(n);
+    flow::FlowResult r;
+    for (auto _ : state) {
+        r = flow::analyze(m, assoc, &hz);
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["nodes"] = static_cast<double>(r.counts.nodes);
+    state.counters["edges"] = static_cast<double>(r.counts.edges);
+    state.counters["tainted"] = static_cast<double>(r.counts.tainted);
+    state.counters["taint_iterations"] = static_cast<double>(r.counts.taint_iterations);
+    state.counters["slice_iterations"] = static_cast<double>(r.counts.slice_iterations);
+    state.counters["flow_edges_traversed"] = static_cast<double>(r.counts.edges_traversed);
+    state.counters["chokepoints"] = static_cast<double>(r.counts.chokepoints);
+}
+
+void BM_FlowIncremental(benchmark::State& state) {
+    const std::int64_t n = state.range(0);
+    const IncrementalCase& c = incremental_at(n);
+    const search::AssociationMap& assoc = assoc_at(n);
+    const safety::HazardModel& hz = hazards_at(n);
+    flow::FlowResult r;
+    for (auto _ : state) {
+        r = flow::reanalyze(c.previous, c.diff, c.after, assoc, &hz);
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["nodes"] = static_cast<double>(r.counts.nodes);
+    state.counters["reused_components"] = static_cast<double>(r.counts.reused_components);
+    state.counters["reanalyzed_nodes"] =
+        static_cast<double>(r.counts.nodes - r.counts.reused_components);
+    state.counters["taint_iterations"] = static_cast<double>(r.counts.taint_iterations);
+    state.counters["flow_edges_traversed"] = static_cast<double>(r.counts.edges_traversed);
+}
+
+void BM_FlowTaintOnly(benchmark::State& state) {
+    // Null hazard model: isolates the forward taint fixpoint from the
+    // slice and chokepoint stages.
+    const std::int64_t n = state.range(0);
+    const model::SystemModel& m = model_at(n);
+    const search::AssociationMap& assoc = assoc_at(n);
+    for (auto _ : state) {
+        flow::FlowResult r = flow::analyze(m, assoc, nullptr);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+void print_flow_summary() {
+    const std::int64_t n = kSizes[2];
+    const flow::FlowResult full =
+        flow::analyze(model_at(n), assoc_at(n), &hazards_at(n));
+    const IncrementalCase& c = incremental_at(n);
+    const flow::FlowResult inc =
+        flow::reanalyze(c.previous, c.diff, c.after, assoc_at(n), &hazards_at(n));
+    std::printf("Flow pass at %lld generated components\n", static_cast<long long>(n));
+    std::printf("  full:        %s | taint iters %llu, edges traversed %llu\n",
+                full.summary().c_str(),
+                static_cast<unsigned long long>(full.counts.taint_iterations),
+                static_cast<unsigned long long>(full.counts.edges_traversed));
+    std::printf("  incremental: one edit -> %llu of %llu nodes reused "
+                "(taint iters %llu)\n\n",
+                static_cast<unsigned long long>(inc.counts.reused_components),
+                static_cast<unsigned long long>(inc.counts.nodes),
+                static_cast<unsigned long long>(inc.counts.taint_iterations));
+}
+
+} // namespace
+
+BENCHMARK(BM_FlowFull)->Arg(kSizes[0])->Arg(kSizes[1])->Arg(kSizes[2])
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowIncremental)->Arg(kSizes[0])->Arg(kSizes[1])->Arg(kSizes[2])
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlowTaintOnly)->Arg(kSizes[2])->Unit(benchmark::kMillisecond);
+
+CYBOK_BENCH_MAIN(print_flow_summary)

@@ -7,8 +7,10 @@
 //   cybok model     --synth N [--seed S] --out sys.sysm
 //   cybok search    --corpus corpus.json --query "text" [--class CLASS]
 //   cybok associate --corpus corpus.json --model sys.sysm [--out assoc.json]
-//   cybok lint      --corpus corpus.json --model sys.sysm [--hazards demo]
-//                   [--format text|json] [--threads N] [--disable CODES] [--severity C=S,...]
+//   cybok lint      --corpus corpus.json --model sys.sysm [--hazards demo] [--associate]
+//                   [--format text|json|sarif] [--threads N] [--disable CODES] [--severity C=S,...]
+//   cybok flow      --corpus corpus.json --model sys.sysm [--hazards demo]
+//                   [--format text|json] [--fingerprint]
 //   cybok report    --corpus corpus.json --model sys.sysm --out-dir DIR [--hazards demo]
 //   cybok table1
 //
@@ -178,17 +180,73 @@ int cmd_lint(const Args& args) {
         options.severity_overrides[std::string(strings::trim(parts[0]))] = *sev;
     }
 
+    // --associate runs the association engine first and hands the map to
+    // the lint pass, enabling the flow rules (F001-F003) and deepening the
+    // consequence pass (C003/C004). Off by default: plain `cybok lint` is
+    // the cheap pre-association defect scan.
+    std::optional<core::AnalysisSession> session;
     lint::LintInput input;
-    input.model = &m;
     input.corpus = &corpus;
     if (hazards.has_value()) input.hazards = &*hazards;
+    if (args.get("associate", "absent") != "absent") {
+        session.emplace(std::move(m), corpus);
+        input.model = &session->model();
+        input.associations = &session->associations();
+    } else {
+        input.model = &m;
+    }
     lint::LintResult result = lint::run_lint(input, options);
 
-    if (args.get("format", "text") == "json")
+    const std::string format = args.get("format", "text");
+    if (format == "json")
         std::fputs((json::dump(result.to_json(), 2) + "\n").c_str(), stdout);
+    else if (format == "sarif")
+        std::fputs((json::dump(result.to_sarif(), 2) + "\n").c_str(), stdout);
     else
         std::fputs(result.render_text().c_str(), stdout);
     return result.ok() ? 0 : 3;
+}
+
+int cmd_flow(const Args& args) {
+    kb::Corpus corpus = kb::load_corpus(args.require("corpus"));
+    model::SystemModel m = model::load_dsl(args.require("model"));
+    core::AnalysisSession session(std::move(m), corpus);
+    if (args.get("hazards") == "demo") {
+        if (session.model().name().rfind("uav", 0) == 0)
+            session.set_hazards(synth::uav_hazards());
+        else
+            session.set_hazards(synth::centrifuge_hazards());
+    }
+    const flow::FlowResult& r = session.flow();
+
+    if (args.get("fingerprint", "absent") != "absent") {
+        // The canonical byte rendering — what the incremental-vs-full
+        // oracle and the determinism CI jobs compare.
+        std::fputs(r.fingerprint().c_str(), stdout);
+        return r.converged ? 0 : 2;
+    }
+    if (args.get("format", "text") == "json") {
+        std::fputs((json::dump(r.to_json(), 2) + "\n").c_str(), stdout);
+        return r.converged ? 0 : 2;
+    }
+    std::printf("%s\n", r.summary().c_str());
+    for (const flow::ComponentFlow& cf : r.components) {
+        if (cf.taint <= 0.0) continue;
+        std::printf("  %-28s taint %.3f depth %u perm %.3f%s%s\n", cf.component.c_str(),
+                    cf.taint, cf.depth, cf.permeability, cf.entry_point ? " [entry]" : "",
+                    cf.hazard_linked ? " [hazard-linked]" : "");
+    }
+    for (const flow::HazardSlice& s : r.slices) {
+        std::printf("  slice %s (%zu components%s):", s.hazard.c_str(), s.components.size(),
+                    s.tainted_reach ? ", tainted reach" : "");
+        for (const std::string& c : s.components) std::printf(" %s;", c.c_str());
+        std::printf("\n");
+    }
+    for (const flow::Chokepoint& c : r.chokepoints)
+        std::printf("  chokepoint %-20s severs %zu/%zu%s%s\n", c.component.c_str(), c.severed,
+                    r.flows_total, c.in_min_cut ? " [min-cut]" : "",
+                    c.articulation ? " [articulation]" : "");
+    return r.converged ? 0 : 2;
 }
 
 int cmd_report(const Args& args) {
@@ -311,9 +369,13 @@ void usage() {
         "  model     --synth N [--seed S] --out sys.sysm        write a generated model\n"
         "  search    --corpus C --query Q [--class K] [--limit N]\n"
         "  associate --corpus C --model M [--out assoc.json]\n"
-        "  lint      --corpus C --model M [--hazards demo] [--format text|json]\n"
-        "            [--threads N] [--disable CODES] [--severity CODE=SEV,...]\n"
-        "            static defect scan; exit 3 when errors are found\n"
+        "  lint      --corpus C --model M [--hazards demo] [--format text|json|sarif]\n"
+        "            [--threads N] [--disable CODES] [--severity CODE=SEV,...] [--associate]\n"
+        "            static defect scan; --associate enables the flow rules\n"
+        "            (F001-F003); exit 3 when errors are found\n"
+        "  flow      --corpus C --model M [--hazards demo] [--format text|json]\n"
+        "            [--fingerprint]\n"
+        "            dataflow fixpoints: exposure taint, hazard slices, chokepoints\n"
         "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
         "  serve     [--corpus C] [--model M] [--snapshot PATH] [--bind A] [--port P]\n"
         "            [--lanes N] [--queue N] [--max-sessions N]\n"
@@ -354,6 +416,7 @@ int main(int argc, char** argv) {
             if (command == "search") return cmd_search(args);
             if (command == "associate") return cmd_associate(args);
             if (command == "lint") return cmd_lint(args);
+            if (command == "flow") return cmd_flow(args);
             if (command == "report") return cmd_report(args);
             if (command == "serve") return cmd_serve(args);
             if (command == "client") return cmd_client(args);

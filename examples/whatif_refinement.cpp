@@ -42,7 +42,7 @@ int main() {
 
     // Attack paths to the physical process before/after have the same
     // topology, but the entry component now carries far fewer vectors.
-    std::vector<analysis::AttackPath> paths = analysis::attack_paths(
+    const analysis::AttackPathsResult paths = analysis::attack_paths(
         session.model(), session.associations(), "BPCS platform");
     std::cout << "Feasible attacker paths to BPCS platform: " << paths.size() << '\n';
     for (const analysis::AttackPath& p : paths) {

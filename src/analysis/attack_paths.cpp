@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "flow/flow.hpp"
 #include "graph/algorithms.hpp"
 #include "model/export.hpp"
 
 namespace cybok::analysis {
 
-std::vector<AttackPath> attack_paths(const model::SystemModel& m,
-                                     const search::AssociationMap& associations,
-                                     std::string_view target,
-                                     const AttackPathOptions& options) {
-    std::vector<AttackPath> out;
+AttackPathsResult attack_paths(const model::SystemModel& m,
+                               const search::AssociationMap& associations,
+                               std::string_view target,
+                               const AttackPathOptions& options) {
+    AttackPathsResult out;
     if (options.min_vectors_per_hop == 0)
         throw ValidationError("attack paths: min_vectors_per_hop must be >= 1");
 
@@ -21,13 +22,31 @@ std::vector<AttackPath> attack_paths(const model::SystemModel& m,
     if (!target_node.has_value())
         throw NotFoundError("attack paths: unknown target component: " + std::string(target));
 
-    std::map<std::string, std::size_t> vectors;
-    for (const search::ComponentAssociation& ca : associations.components)
-        vectors[ca.component] = ca.total();
+    // Vector count and worst CVSS per component — the same facts the flow
+    // pass derives, so exposure here and taint there agree by definition.
+    struct Evidence {
+        std::size_t vectors = 0;
+        double max_cvss = -1.0;
+    };
+    std::map<std::string, Evidence> evidence;
+    for (const search::ComponentAssociation& ca : associations.components) {
+        Evidence& e = evidence[ca.component];
+        e.vectors = ca.total();
+        for (const search::AttributeAssociation& aa : ca.attributes)
+            for (const search::Match& match : aa.matches)
+                e.max_cvss = std::max(e.max_cvss, match.severity);
+    }
 
+    flow::FlowOptions flow_options;
+    flow_options.min_vectors_per_hop = options.min_vectors_per_hop;
+    auto permeability_of = [&](const std::string& name) {
+        auto it = evidence.find(name);
+        if (it == evidence.end()) return 0.0;
+        return flow::permeability(it->second.vectors, it->second.max_cvss, flow_options);
+    };
     auto traversable = [&](const std::string& name) {
-        auto it = vectors.find(name);
-        return it != vectors.end() && it->second >= options.min_vectors_per_hop;
+        auto it = evidence.find(name);
+        return it != evidence.end() && it->second.vectors >= options.min_vectors_per_hop;
     };
     if (!traversable(std::string(target))) return out;
 
@@ -47,32 +66,41 @@ std::vector<AttackPath> attack_paths(const model::SystemModel& m,
         auto entry = sub.graph.find_node(c.name);
         if (!entry.has_value()) continue;
 
-        std::vector<std::vector<graph::NodeId>> paths;
+        graph::SimplePaths paths;
         if (*entry == *sub_target) {
-            paths.push_back({*entry});
+            paths.paths.push_back({*entry});
         } else {
-            paths = graph::all_simple_paths(sub.graph, *entry, *sub_target, options.max_hops,
-                                            options.max_paths);
+            paths = graph::all_simple_paths_bounded(sub.graph, *entry, *sub_target,
+                                                    options.max_hops, options.max_paths);
+            if (paths.truncated) out.truncated = true;
         }
-        for (const std::vector<graph::NodeId>& p : paths) {
+        for (const std::vector<graph::NodeId>& p : paths.paths) {
             AttackPath ap;
             ap.weakest_link = SIZE_MAX;
+            ap.exposure = 1.0;
             for (graph::NodeId n : p) {
                 const std::string& name = sub.graph.node(n).label;
                 ap.components.push_back(name);
-                std::size_t v = vectors.at(name);
-                ap.total_vectors += v;
-                ap.weakest_link = std::min(ap.weakest_link, v);
+                const Evidence& e = evidence.at(name);
+                ap.total_vectors += e.vectors;
+                ap.weakest_link = std::min(ap.weakest_link, e.vectors);
+                ap.exposure *= permeability_of(name);
             }
-            out.push_back(std::move(ap));
-            if (out.size() >= options.max_paths) break;
+            if (out.paths.size() >= options.max_paths) {
+                out.truncated = true;
+                break;
+            }
+            out.paths.push_back(std::move(ap));
         }
-        if (out.size() >= options.max_paths) break;
+        if (out.truncated && out.paths.size() >= options.max_paths) break;
     }
 
-    std::stable_sort(out.begin(), out.end(), [](const AttackPath& a, const AttackPath& b) {
-        return a.components.size() < b.components.size();
-    });
+    std::stable_sort(out.paths.begin(), out.paths.end(),
+                     [](const AttackPath& a, const AttackPath& b) {
+                         if (a.components.size() != b.components.size())
+                             return a.components.size() < b.components.size();
+                         return a.exposure > b.exposure;
+                     });
     return out;
 }
 

@@ -22,6 +22,10 @@ struct AttackPath {
     /// Minimum per-component vector count along the path — the weakest
     /// link an architect would reinforce first.
     std::size_t weakest_link = 0;
+    /// Product of flow::permeability over the path's components — the
+    /// same per-hop attenuation model the flow pass uses, so a path's
+    /// exposure is exactly the taint it would deliver to the target.
+    double exposure = 0.0;
 
     [[nodiscard]] std::size_t hops() const noexcept {
         return components.empty() ? 0 : components.size() - 1;
@@ -36,12 +40,29 @@ struct AttackPathOptions {
     std::size_t min_vectors_per_hop = 1;
 };
 
+/// Attack-path enumeration outcome. `truncated` is the honesty bit: true
+/// when a bound (max_paths, or max_hops pruning a live branch) cut the
+/// enumeration short, so "N paths" means "at least N", not "exactly N".
+/// Container shims keep existing call sites (`r.size()`, `r[0]`,
+/// range-for) working unchanged.
+struct AttackPathsResult {
+    std::vector<AttackPath> paths; ///< shortest first
+    bool truncated = false;
+
+    [[nodiscard]] auto begin() const noexcept { return paths.begin(); }
+    [[nodiscard]] auto end() const noexcept { return paths.end(); }
+    [[nodiscard]] std::size_t size() const noexcept { return paths.size(); }
+    [[nodiscard]] bool empty() const noexcept { return paths.empty(); }
+    [[nodiscard]] const AttackPath& operator[](std::size_t i) const noexcept { return paths[i]; }
+};
+
 /// All feasible paths from external-facing components to `target`,
-/// shortest first. Entry points themselves must satisfy the traversal
-/// predicate. The target must also carry vectors.
-[[nodiscard]] std::vector<AttackPath> attack_paths(const model::SystemModel& m,
-                                                   const search::AssociationMap& associations,
-                                                   std::string_view target,
-                                                   const AttackPathOptions& options = {});
+/// shortest first (ties broken by exposure, most exposed first). Entry
+/// points themselves must satisfy the traversal predicate. The target
+/// must also carry vectors.
+[[nodiscard]] AttackPathsResult attack_paths(const model::SystemModel& m,
+                                             const search::AssociationMap& associations,
+                                             std::string_view target,
+                                             const AttackPathOptions& options = {});
 
 } // namespace cybok::analysis

@@ -94,7 +94,7 @@ AttackTree build_attack_tree(const model::SystemModel& m,
                              std::string_view target,
                              const analysis::AttackPathOptions& options) {
     AttackTree tree("compromise " + std::string(target));
-    std::vector<analysis::AttackPath> paths =
+    const analysis::AttackPathsResult paths =
         analysis::attack_paths(m, associations, target, options);
     if (paths.empty()) return tree;
 

@@ -134,6 +134,11 @@ void AnalysisSession::set_hazards(safety::HazardModel hazards) {
     hazards_ = std::move(hazards);
     traces_.reset();
     scenarios_.reset();
+    // The hazard universe defines the slice lattice: previous flow results
+    // are no longer a valid incremental baseline.
+    flow_.reset();
+    flow_prev_.reset();
+    flow_prev_model_.reset();
 }
 
 void AnalysisSession::set_missions(model::MissionModel missions) {
@@ -162,8 +167,28 @@ std::string AnalysisSession::architecture_graphml() const {
 search::AssocMetrics AnalysisSession::assoc_metrics() const {
     search::AssocMetrics m = associator_.metrics();
     m.lint = lint_counts_;
+    m.flow = flow_counts_;
     m.degrade.merge(degrade_);
     return m;
+}
+
+const flow::FlowResult& AnalysisSession::flow() {
+    if (!flow_.has_value()) {
+        const search::AssociationMap& assoc = associations();
+        const safety::HazardModel* hz = hazards_.has_value() ? &*hazards_ : nullptr;
+        if (flow_prev_.has_value()) {
+            // Incremental path: re-run the fixpoints only on the region
+            // the diff (plus any association drift) can influence.
+            model::ModelDiff d = model::diff(*flow_prev_model_, model_);
+            flow_ = flow::reanalyze(*flow_prev_, d, model_, assoc, hz, options_.flow);
+        } else {
+            flow_ = flow::analyze(model_, assoc, hz, options_.flow);
+        }
+        flow_counts_.merge(flow_->counts);
+        flow_prev_ = flow_;
+        flow_prev_model_ = model_;
+    }
+    return *flow_;
 }
 
 lint::LintResult AnalysisSession::lint() {
@@ -247,6 +272,7 @@ dashboard::Report AnalysisSession::report() {
     }
     (void)associations(); // compute before linting and snapshotting the metrics
     extras.lint = lint(); // post-association: the consequence pass sees the map
+    extras.flow = flow();
     extras.assoc_metrics = assoc_metrics();
     return dashboard::build_report(model_, associations(), posture(), consequence_traces(),
                                    options_.report, &extras);
@@ -277,6 +303,9 @@ void AnalysisSession::invalidate_views() noexcept {
     posture_.reset();
     traces_.reset();
     scenarios_.reset();
+    // flow_prev_ / flow_prev_model_ deliberately survive: they are the
+    // incremental baseline the next flow() call diffs against.
+    flow_.reset();
 }
 
 std::string_view version() noexcept { return "1.0.0"; }

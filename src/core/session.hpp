@@ -24,6 +24,7 @@
 #include "analysis/whatif.hpp"
 #include "dashboard/export_bundle.hpp"
 #include "dashboard/vector_graph.hpp"
+#include "flow/flow.hpp"
 #include "lint/lint.hpp"
 #include "safety/scenarios.hpp"
 #include "safety/trace.hpp"
@@ -45,6 +46,8 @@ struct SessionOptions {
     /// Rule configuration for the static lint pass (lint()); thread count,
     /// disabled rules, per-rule severity overrides.
     lint::LintOptions lint;
+    /// Permeability / fixpoint knobs for the flow pass (flow()).
+    flow::FlowOptions flow;
     /// When set, the first associations() computation runs the lint pass
     /// first and throws ValidationError if any error-severity diagnostic
     /// fires — the "don't compute Table 1 from a known-broken model" gate.
@@ -198,6 +201,13 @@ public:
         return degrade_;
     }
 
+    /// The dataflow fixpoint view (exposure taint, hazard backward slices,
+    /// chokepoint ranking) for the current model. Computed on first use;
+    /// across commit() the session re-analyzes incrementally from the
+    /// model diff (flow::reanalyze), which is analytically identical to a
+    /// full recompute — fingerprint()-equal by contract.
+    [[nodiscard]] const flow::FlowResult& flow();
+
     /// Run the static lint pipeline over the session's current state
     /// (model, corpus, hazard model if attached, associations if already
     /// computed — the consequence pass deepens once associations exist).
@@ -269,11 +279,18 @@ private:
     std::optional<model::MissionModel> missions_;
 
     search::LintCounts lint_counts_; ///< most recent lint() run's counts
+    search::FlowCounts flow_counts_; ///< cumulative flow-pass counters
 
     std::optional<search::AssociationMap> associations_;
     std::optional<analysis::SecurityPosture> posture_;
     std::optional<std::vector<safety::ConsequenceTrace>> traces_;
     std::optional<std::vector<safety::CausalScenario>> scenarios_;
+    std::optional<flow::FlowResult> flow_;
+    /// The last flow result and the model it was computed over — the
+    /// incremental baseline flow() diffs against after a commit().
+    /// Survives invalidate_views(); reset when the hazard model changes.
+    std::optional<flow::FlowResult> flow_prev_;
+    std::optional<model::SystemModel> flow_prev_model_;
 };
 
 /// Library version string.

@@ -211,6 +211,40 @@ Report build_report(const model::SystemModel& m, const search::AssociationMap& a
         if (!section.lines.empty()) report.sections.push_back(std::move(section));
     }
 
+    if (extras != nullptr && extras->flow.has_value()) {
+        const flow::FlowResult& fr = *extras->flow;
+        Section section;
+        section.heading = "Flow analysis";
+        section.lines.push_back(fr.summary());
+        // The most exposed hazard-linked components first — the report's
+        // "where can the outside world actually hurt the process" answer.
+        std::vector<const flow::ComponentFlow*> hot;
+        for (const flow::ComponentFlow& cf : fr.components)
+            if (cf.taint > 0.0 && cf.hazard_linked) hot.push_back(&cf);
+        std::sort(hot.begin(), hot.end(),
+                  [](const flow::ComponentFlow* a, const flow::ComponentFlow* b) {
+                      if (a->taint != b->taint) return a->taint > b->taint;
+                      return a->component < b->component;
+                  });
+        for (const flow::ComponentFlow* cf : hot) {
+            std::ostringstream line;
+            line.precision(2);
+            line << std::fixed << "  * " << cf->component << ": taint " << cf->taint
+                 << " at depth " << cf->depth << " (controller of";
+            for (const std::string& h : cf->influences) line << ' ' << h;
+            line << ')';
+            section.lines.push_back(line.str());
+        }
+        for (const flow::Chokepoint& c : fr.chokepoints) {
+            section.lines.push_back("  * chokepoint " + c.component + ": severs " +
+                                    std::to_string(c.severed) + " of " +
+                                    std::to_string(fr.flows_total) + " entry->hazard flows" +
+                                    (c.in_min_cut ? " [min-cut]" : "") +
+                                    (c.articulation ? " [articulation]" : ""));
+        }
+        report.sections.push_back(std::move(section));
+    }
+
     if (extras != nullptr && extras->assoc_metrics.has_value()) {
         const search::AssocMetrics& am = *extras->assoc_metrics;
         Section section;

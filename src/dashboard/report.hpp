@@ -12,6 +12,7 @@
 #include "analysis/hardening.hpp"
 #include "analysis/posture.hpp"
 #include "dashboard/table.hpp"
+#include "flow/flow.hpp"
 #include "lint/lint.hpp"
 #include "safety/scenarios.hpp"
 #include "safety/trace.hpp"
@@ -56,6 +57,9 @@ struct ReportExtras {
     /// overview) when set, so defects that skew every later number are
     /// the first thing an analyst reads.
     std::optional<lint::LintResult> lint;
+    /// Dataflow fixpoint results (exposure taint, hazard slices,
+    /// chokepoints) — rendered as a "Flow analysis" section when set.
+    std::optional<flow::FlowResult> flow;
 };
 
 /// Assemble a report from the analysis artifacts. `traces` may be empty

@@ -1,0 +1,654 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/property_graph.hpp"
+
+namespace cybok::flow {
+
+namespace {
+
+/// Dense CSR-style view of a model's live components and connectors —
+/// the shared substrate all three fixpoints run over. Adjacency lists are
+/// sorted + deduplicated so iteration order (and therefore every counter)
+/// is a pure function of the model.
+struct FlowGraph {
+    std::vector<const model::Component*> comps; ///< live, model order
+    std::map<std::string_view, std::uint32_t> by_name; ///< first occurrence wins
+    std::vector<std::vector<std::uint32_t>> fwd;
+    std::vector<std::vector<std::uint32_t>> bwd;
+    std::size_t edge_count = 0;
+
+    [[nodiscard]] std::size_t size() const noexcept { return comps.size(); }
+};
+
+FlowGraph build_graph(const model::SystemModel& m) {
+    FlowGraph g;
+    std::map<std::uint32_t, std::uint32_t> by_id;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        by_id[c.id.value] = static_cast<std::uint32_t>(g.comps.size());
+        g.by_name.emplace(c.name, static_cast<std::uint32_t>(g.comps.size()));
+        g.comps.push_back(&c);
+    }
+    g.fwd.resize(g.size());
+    g.bwd.resize(g.size());
+    for (const model::Connector& k : m.connectors()) {
+        if (!m.contains(k.from) || !m.contains(k.to)) continue; // M002's finding
+        const std::uint32_t u = by_id.at(k.from.value);
+        const std::uint32_t v = by_id.at(k.to.value);
+        g.fwd[u].push_back(v);
+        g.bwd[v].push_back(u);
+        if (k.bidirectional && u != v) {
+            g.fwd[v].push_back(u);
+            g.bwd[u].push_back(v);
+        }
+    }
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        auto dedup = [](std::vector<std::uint32_t>& adj) {
+            std::sort(adj.begin(), adj.end());
+            adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+        };
+        dedup(g.fwd[i]);
+        dedup(g.bwd[i]);
+        g.edge_count += g.fwd[i].size();
+    }
+    return g;
+}
+
+/// Per-component inputs to the transfer functions, derived from the
+/// association map and the hazard model.
+struct Facts {
+    std::vector<std::size_t> vectors;
+    std::vector<double> max_cvss;
+    std::vector<double> perm;
+    std::vector<bool> entry;        ///< external-facing and permeable
+    std::vector<bool> hazard_linked; ///< controller of >= 1 UCA
+    std::vector<std::string> hazard_ids; ///< sorted unique hazard ids
+    /// Seed bits per component (hazard_ids positions); empty rows for
+    /// non-controllers. Width in 64-bit words.
+    std::size_t words = 0;
+    std::vector<std::uint64_t> seeds; ///< size() * words, flat
+};
+
+Facts build_facts(const FlowGraph& g, const search::AssociationMap& associations,
+                  const safety::HazardModel* hazards, const FlowOptions& options) {
+    Facts f;
+    const std::size_t n = g.size();
+    f.vectors.assign(n, 0);
+    f.max_cvss.assign(n, -1.0);
+    f.perm.assign(n, 0.0);
+    f.entry.assign(n, false);
+    f.hazard_linked.assign(n, false);
+
+    std::map<std::string_view, std::pair<std::size_t, double>> by_name;
+    for (const search::ComponentAssociation& ca : associations.components) {
+        auto [it, inserted] = by_name.try_emplace(ca.component, 0, -1.0);
+        if (!inserted) continue; // duplicate names: first occurrence wins
+        it->second.first = ca.total();
+        for (const search::AttributeAssociation& aa : ca.attributes)
+            for (const search::Match& match : aa.matches)
+                it->second.second = std::max(it->second.second, match.severity);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        auto it = by_name.find(g.comps[i]->name);
+        if (it != by_name.end()) {
+            f.vectors[i] = it->second.first;
+            f.max_cvss[i] = it->second.second;
+        }
+        f.perm[i] = permeability(f.vectors[i], f.max_cvss[i], options);
+        f.entry[i] = g.comps[i]->external_facing && f.perm[i] > 0.0;
+    }
+
+    if (hazards != nullptr) {
+        for (const safety::Hazard& h : hazards->hazards()) f.hazard_ids.push_back(h.id);
+        std::sort(f.hazard_ids.begin(), f.hazard_ids.end());
+        f.hazard_ids.erase(std::unique(f.hazard_ids.begin(), f.hazard_ids.end()),
+                           f.hazard_ids.end());
+        f.words = (f.hazard_ids.size() + 63) / 64;
+        f.seeds.assign(n * f.words, 0);
+        for (const safety::UnsafeControlAction& uca : hazards->ucas()) {
+            auto it = g.by_name.find(uca.controller);
+            if (it == g.by_name.end()) continue; // C001's finding
+            f.hazard_linked[it->second] = true;
+            for (const std::string& h : uca.hazards) {
+                const auto pos = std::lower_bound(f.hazard_ids.begin(), f.hazard_ids.end(), h);
+                if (pos == f.hazard_ids.end() || *pos != h) continue;
+                const std::size_t bit =
+                    static_cast<std::size_t>(pos - f.hazard_ids.begin());
+                f.seeds[it->second * f.words + bit / 64] |= std::uint64_t{1} << (bit % 64);
+            }
+        }
+    }
+    return f;
+}
+
+double entry_taint(const Facts& f, std::uint32_t i) { return f.entry[i] ? f.perm[i] : 0.0; }
+
+/// Forward/backward closure of `start` over the graph — the affected
+/// region of an incremental run.
+std::vector<bool> closure(const FlowGraph& g, const std::vector<std::uint32_t>& start,
+                          bool forward) {
+    std::vector<bool> in(g.size(), false);
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t s : start) {
+        if (in[s]) continue;
+        in[s] = true;
+        queue.push_back(s);
+    }
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (std::uint32_t v : forward ? g.fwd[u] : g.bwd[u]) {
+            if (in[v]) continue;
+            in[v] = true;
+            queue.push_back(v);
+        }
+    }
+    return in;
+}
+
+/// The forward taint fixpoint, restricted to `affected` (all-true on a
+/// full run). Values outside the region are boundary inputs and are never
+/// written. Pull-style chaotic iteration: pop the smallest pending node,
+/// recompute its value from its predecessors, push affected successors on
+/// change. Monotone (join = max, transfer = multiply by perm <= 1), so the
+/// iteration converges to the region's unique least fixpoint regardless
+/// of order — the determinism and full-vs-incremental-identity argument.
+void taint_fixpoint(const FlowGraph& g, const Facts& f, const std::vector<bool>& affected,
+                    std::vector<double>& taint, const FlowOptions& options,
+                    search::FlowCounts& counts, bool& converged) {
+    std::set<std::uint32_t> worklist;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        if (!affected[i]) continue;
+        taint[i] = entry_taint(f, i);
+        worklist.insert(i);
+    }
+    while (!worklist.empty()) {
+        if (++counts.taint_iterations > options.max_iterations) {
+            converged = false;
+            break;
+        }
+        const std::uint32_t u = *worklist.begin();
+        worklist.erase(worklist.begin());
+        double value = entry_taint(f, u);
+        for (std::uint32_t w : g.bwd[u]) {
+            ++counts.edges_traversed;
+            value = std::max(value, taint[w] * f.perm[u]);
+        }
+        if (value > taint[u]) {
+            taint[u] = value;
+            for (std::uint32_t v : g.fwd[u])
+                if (affected[v]) worklist.insert(v);
+        }
+    }
+}
+
+/// The backward slice fixpoint over the hazard bitset lattice, restricted
+/// to `affected`: bits(v) = seeds(v) | union of bits(successors). Same
+/// chaotic-iteration structure as the taint pass, against edge direction.
+void slice_fixpoint(const FlowGraph& g, const Facts& f, const std::vector<bool>& affected,
+                    std::vector<std::uint64_t>& bits, const FlowOptions& options,
+                    search::FlowCounts& counts, bool& converged) {
+    if (f.words == 0) return;
+    std::set<std::uint32_t> worklist;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        if (!affected[i]) continue;
+        for (std::size_t w = 0; w < f.words; ++w)
+            bits[i * f.words + w] = f.seeds[i * f.words + w];
+        worklist.insert(i);
+    }
+    while (!worklist.empty()) {
+        if (++counts.slice_iterations > options.max_iterations) {
+            converged = false;
+            break;
+        }
+        const std::uint32_t v = *worklist.begin();
+        worklist.erase(worklist.begin());
+        bool changed = false;
+        for (std::uint32_t s : g.fwd[v]) {
+            ++counts.edges_traversed;
+            for (std::size_t w = 0; w < f.words; ++w) {
+                const std::uint64_t merged = bits[v * f.words + w] | bits[s * f.words + w];
+                if (merged != bits[v * f.words + w]) {
+                    bits[v * f.words + w] = merged;
+                    changed = true;
+                }
+            }
+        }
+        if (changed)
+            for (std::uint32_t u : g.bwd[v])
+                if (affected[u]) worklist.insert(u);
+    }
+}
+
+/// Multi-source BFS depth from the entry points along permeable
+/// components (full recompute on every run — linear and deterministic).
+std::vector<std::uint32_t> entry_depths(const FlowGraph& g, const Facts& f) {
+    std::vector<std::uint32_t> depth(g.size(), UINT32_MAX);
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        if (!f.entry[i]) continue;
+        depth[i] = 0;
+        queue.push_back(i);
+    }
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (std::uint32_t v : g.fwd[u]) {
+            if (depth[v] != UINT32_MAX || f.perm[v] <= 0.0) continue;
+            depth[v] = depth[u] + 1;
+            queue.push_back(v);
+        }
+    }
+    return depth;
+}
+
+/// BFS over the tainted subgraph, skipping `blocked` (UINT32_MAX = none).
+/// Returns the number of reached hazard-linked targets (counting `from`
+/// itself when it is one).
+std::size_t reachable_targets(const FlowGraph& g, const std::vector<bool>& tainted,
+                              const std::vector<bool>& is_target, std::uint32_t from,
+                              std::uint32_t blocked) {
+    std::vector<bool> seen(g.size(), false);
+    std::deque<std::uint32_t> queue{from};
+    seen[from] = true;
+    std::size_t hits = is_target[from] ? 1 : 0;
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (std::uint32_t v : g.fwd[u]) {
+            if (seen[v] || !tainted[v] || v == blocked) continue;
+            seen[v] = true;
+            if (is_target[v]) ++hits;
+            queue.push_back(v);
+        }
+    }
+    return hits;
+}
+
+struct ChokepointAnalysis {
+    std::vector<Chokepoint> chokepoints;
+    std::size_t flows_total = 0;
+    std::size_t min_cut_size = 0;
+};
+
+/// Chokepoint ranking on the taint-reachable subgraph: candidates are its
+/// articulation points plus the minimum entry->hazard vertex cut; each is
+/// scored by how many connected entry->hazard flows disappear when it is
+/// removed (hardening an entry or a controller itself severs its own
+/// flows, so endpoints are legitimate candidates too).
+ChokepointAnalysis rank_chokepoints(const FlowGraph& g, const Facts& f,
+                                    const std::vector<double>& taint) {
+    ChokepointAnalysis out;
+    if (f.hazard_ids.empty()) return out;
+    std::vector<bool> tainted(g.size(), false);
+    std::vector<bool> is_target(g.size(), false);
+    std::vector<std::uint32_t> entries;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        tainted[i] = taint[i] > 0.0;
+        is_target[i] = tainted[i] && f.hazard_linked[i];
+        if (tainted[i] && f.entry[i]) entries.push_back(i);
+    }
+
+    for (std::uint32_t e : entries)
+        out.flows_total += reachable_targets(g, tainted, is_target, e, UINT32_MAX);
+    if (out.flows_total == 0) return out;
+
+    // The tainted subgraph as a PropertyGraph, for the graph/algorithms
+    // structural passes (self-loops dropped — they never affect
+    // connectivity).
+    graph::PropertyGraph sub;
+    std::map<std::uint32_t, graph::NodeId> node_of;
+    std::map<graph::NodeId, std::uint32_t> dense_of;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        if (!tainted[i]) continue;
+        const graph::NodeId n = sub.add_node(g.comps[i]->name);
+        node_of[i] = n;
+        dense_of[n] = i;
+    }
+    for (const auto& [i, n] : node_of)
+        for (std::uint32_t v : g.fwd[i])
+            if (v != i && tainted[v]) sub.add_edge(n, node_of.at(v));
+
+    std::vector<graph::NodeId> source_nodes;
+    std::vector<graph::NodeId> target_nodes;
+    for (std::uint32_t e : entries) source_nodes.push_back(node_of.at(e));
+    for (std::uint32_t i = 0; i < g.size(); ++i)
+        if (is_target[i]) target_nodes.push_back(node_of.at(i));
+
+    std::set<std::uint32_t> candidates;
+    std::set<std::uint32_t> articulation;
+    std::set<std::uint32_t> in_cut;
+    for (graph::NodeId n : graph::articulation_points(sub)) {
+        articulation.insert(dense_of.at(n));
+        candidates.insert(dense_of.at(n));
+    }
+    const std::vector<graph::NodeId> cut =
+        graph::min_vertex_cut(sub, source_nodes, target_nodes);
+    out.min_cut_size = cut.size();
+    for (graph::NodeId n : cut) {
+        in_cut.insert(dense_of.at(n));
+        candidates.insert(dense_of.at(n));
+    }
+    // Entries and controllers sever their own flows by construction; rank
+    // them alongside the structural candidates.
+    for (std::uint32_t e : entries) candidates.insert(e);
+    for (std::uint32_t i = 0; i < g.size(); ++i)
+        if (is_target[i]) candidates.insert(i);
+
+    for (std::uint32_t c : candidates) {
+        std::size_t connected_after = 0;
+        for (std::uint32_t e : entries) {
+            if (e == c) continue;
+            std::size_t hits = reachable_targets(g, tainted, is_target, e, c);
+            if (is_target[e] && e != c) {
+                // reachable_targets counts e itself; keep that (a tainted
+                // entry that is also a controller is a zero-hop flow) —
+                // but never count the blocked candidate.
+            }
+            if (c != UINT32_MAX && is_target[c]) {
+                // Pairs ending at the hardened candidate are severed; the
+                // BFS already excludes c, so nothing to subtract.
+            }
+            connected_after += hits;
+        }
+        const std::size_t severed = out.flows_total - connected_after;
+        if (severed == 0) continue;
+        Chokepoint cp;
+        cp.component = g.comps[c]->name;
+        cp.severed = severed;
+        cp.articulation = articulation.contains(c);
+        cp.in_min_cut = in_cut.contains(c);
+        out.chokepoints.push_back(std::move(cp));
+    }
+    std::sort(out.chokepoints.begin(), out.chokepoints.end(),
+              [](const Chokepoint& a, const Chokepoint& b) {
+                  if (a.severed != b.severed) return a.severed > b.severed;
+                  return a.component < b.component;
+              });
+    return out;
+}
+
+/// Assemble the public result from the internal vectors.
+FlowResult assemble(const FlowGraph& g, const Facts& f, const std::vector<double>& taint,
+                    const std::vector<std::uint32_t>& depth,
+                    const std::vector<std::uint64_t>& bits, bool converged,
+                    search::FlowCounts counts) {
+    FlowResult r;
+    r.converged = converged;
+    r.components.reserve(g.size());
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        ComponentFlow cf;
+        cf.component = g.comps[i]->name;
+        cf.vectors = f.vectors[i];
+        cf.max_cvss = f.max_cvss[i];
+        cf.permeability = f.perm[i];
+        cf.taint = taint[i];
+        cf.depth = depth[i];
+        cf.entry_point = f.entry[i];
+        cf.hazard_linked = f.hazard_linked[i];
+        for (std::size_t b = 0; b < f.hazard_ids.size(); ++b)
+            if ((bits[i * f.words + b / 64] >> (b % 64)) & 1)
+                cf.influences.push_back(f.hazard_ids[b]);
+        r.components.push_back(std::move(cf));
+    }
+
+    for (std::size_t b = 0; b < f.hazard_ids.size(); ++b) {
+        HazardSlice slice;
+        slice.hazard = f.hazard_ids[b];
+        for (std::uint32_t i = 0; i < g.size(); ++i) {
+            if (((bits[i * f.words + b / 64] >> (b % 64)) & 1) == 0) continue;
+            slice.components.push_back(g.comps[i]->name);
+            if (f.hazard_linked[i] && taint[i] > 0.0 &&
+                (f.seeds[i * f.words + b / 64] >> (b % 64) & 1))
+                slice.tainted_reach = true;
+        }
+        std::sort(slice.components.begin(), slice.components.end());
+        r.slices.push_back(std::move(slice));
+    }
+
+    ChokepointAnalysis chokes = rank_chokepoints(g, f, taint);
+    r.chokepoints = std::move(chokes.chokepoints);
+    r.flows_total = chokes.flows_total;
+    r.min_cut_size = chokes.min_cut_size;
+
+    counts.nodes = g.size();
+    counts.edges = g.edge_count;
+    counts.tainted = 0;
+    for (std::uint32_t i = 0; i < g.size(); ++i)
+        if (taint[i] > 0.0) ++counts.tainted;
+    counts.chokepoints = r.chokepoints.size();
+    r.counts = counts;
+    return r;
+}
+
+/// %a rendering: exact, locale-independent, round-trippable — the
+/// fingerprint must treat two doubles as equal iff their bits are.
+std::string hex_double(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+} // namespace
+
+double permeability(std::size_t vectors, double max_cvss, const FlowOptions& options) noexcept {
+    if (vectors < std::max<std::size_t>(options.min_vectors_per_hop, 1)) return 0.0;
+    // log2 saturation: 1 vector ~ 0.17, 7 ~ 0.5, 63+ = 1.0 — evidence mass
+    // has diminishing returns, mirroring the paper's "many irrelevant
+    // results" caution about raw match counts.
+    const double vec_term =
+        std::min(1.0, std::log2(1.0 + static_cast<double>(vectors)) / 6.0);
+    const double sev_term = max_cvss < 0.0 ? 0.0 : std::min(max_cvss, 10.0) / 10.0;
+    const double p = options.base_permeability + options.vector_weight * vec_term +
+                     options.severity_weight * sev_term;
+    return std::clamp(p, 0.0, 1.0);
+}
+
+const ComponentFlow* FlowResult::find(std::string_view component) const noexcept {
+    for (const ComponentFlow& cf : components)
+        if (cf.component == component) return &cf;
+    return nullptr;
+}
+
+std::string FlowResult::summary() const {
+    std::ostringstream out;
+    out << counts.tainted << " tainted / " << components.size() << " components, "
+        << flows_total << (flows_total == 1 ? " entry->hazard flow, " : " entry->hazard flows, ")
+        << chokepoints.size() << (chokepoints.size() == 1 ? " chokepoint" : " chokepoints");
+    if (!converged) out << " [NOT CONVERGED]";
+    return out.str();
+}
+
+json::Value FlowResult::to_json() const {
+    json::Object o;
+    json::Array comps;
+    comps.reserve(components.size());
+    for (const ComponentFlow& cf : components) {
+        json::Object c;
+        c["component"] = cf.component;
+        c["vectors"] = static_cast<std::uint64_t>(cf.vectors);
+        if (cf.max_cvss >= 0.0) c["max_cvss"] = cf.max_cvss;
+        c["permeability"] = cf.permeability;
+        c["taint"] = cf.taint;
+        if (cf.depth != UINT32_MAX) c["depth"] = static_cast<std::uint64_t>(cf.depth);
+        c["entry_point"] = json::Value(cf.entry_point);
+        c["hazard_linked"] = json::Value(cf.hazard_linked);
+        if (!cf.influences.empty()) {
+            json::Array inf;
+            for (const std::string& h : cf.influences) inf.push_back(json::Value(h));
+            c["influences"] = std::move(inf);
+        }
+        comps.push_back(std::move(c));
+    }
+    o["components"] = std::move(comps);
+    json::Array slice_rows;
+    for (const HazardSlice& s : slices) {
+        json::Object row;
+        row["hazard"] = s.hazard;
+        json::Array members;
+        for (const std::string& c : s.components) members.push_back(json::Value(c));
+        row["components"] = std::move(members);
+        row["tainted_reach"] = json::Value(s.tainted_reach);
+        slice_rows.push_back(std::move(row));
+    }
+    o["slices"] = std::move(slice_rows);
+    json::Array choke_rows;
+    for (const Chokepoint& c : chokepoints) {
+        json::Object row;
+        row["component"] = c.component;
+        row["severed"] = static_cast<std::uint64_t>(c.severed);
+        row["articulation"] = json::Value(c.articulation);
+        row["in_min_cut"] = json::Value(c.in_min_cut);
+        choke_rows.push_back(std::move(row));
+    }
+    o["chokepoints"] = std::move(choke_rows);
+    o["flows_total"] = static_cast<std::uint64_t>(flows_total);
+    o["min_cut_size"] = static_cast<std::uint64_t>(min_cut_size);
+    o["converged"] = json::Value(converged);
+    o["counts"] = counts.to_json();
+    return json::Value(std::move(o));
+}
+
+std::string FlowResult::fingerprint() const {
+    std::ostringstream out;
+    for (const ComponentFlow& cf : components) {
+        out << cf.component << '|' << cf.vectors << '|' << hex_double(cf.max_cvss) << '|'
+            << hex_double(cf.permeability) << '|' << hex_double(cf.taint) << '|' << cf.depth
+            << '|' << cf.entry_point << '|' << cf.hazard_linked << '|';
+        for (const std::string& h : cf.influences) out << h << ',';
+        out << '\n';
+    }
+    for (const HazardSlice& s : slices) {
+        out << s.hazard << '|' << s.tainted_reach << '|';
+        for (const std::string& c : s.components) out << c << ',';
+        out << '\n';
+    }
+    for (const Chokepoint& c : chokepoints)
+        out << c.component << '|' << c.severed << '|' << c.articulation << '|' << c.in_min_cut
+            << '\n';
+    out << flows_total << '|' << min_cut_size << '|' << converged << '\n';
+    return out.str();
+}
+
+FlowResult analyze(const model::SystemModel& m, const search::AssociationMap& associations,
+                   const safety::HazardModel* hazards, const FlowOptions& options) {
+    const FlowGraph g = build_graph(m);
+    const Facts f = build_facts(g, associations, hazards, options);
+    search::FlowCounts counts;
+    counts.analyses = 1;
+    bool converged = true;
+
+    const std::vector<bool> all(g.size(), true);
+    std::vector<double> taint(g.size(), 0.0);
+    taint_fixpoint(g, f, all, taint, options, counts, converged);
+    std::vector<std::uint64_t> bits(g.size() * f.words, 0);
+    slice_fixpoint(g, f, all, bits, options, counts, converged);
+    const std::vector<std::uint32_t> depth = entry_depths(g, f);
+    return assemble(g, f, taint, depth, bits, converged, counts);
+}
+
+FlowResult reanalyze(const FlowResult& previous, const model::ModelDiff& diff,
+                     const model::SystemModel& after,
+                     const search::AssociationMap& associations,
+                     const safety::HazardModel* hazards, const FlowOptions& options) {
+    const FlowGraph g = build_graph(after);
+    const Facts f = build_facts(g, associations, hazards, options);
+
+    // The incremental path assumes the hazard universe is the one
+    // `previous` was computed under (session commits never change it); a
+    // different slice vocabulary invalidates every stored bit, so fall
+    // back to the full pass.
+    std::vector<std::string> prev_hazards;
+    for (const HazardSlice& s : previous.slices) prev_hazards.push_back(s.hazard);
+    if (prev_hazards != f.hazard_ids) return analyze(after, associations, hazards, options);
+
+    // Changed components: the diff's touched set, endpoints of changed
+    // connectors, plus any component whose transfer-function inputs
+    // (permeability / entry / hazard-link flags) drifted from `previous`
+    // — that last check also absorbs engine adoptions and association
+    // changes the diff cannot see.
+    std::set<std::string_view> changed_names;
+    const std::vector<std::string> touched = diff.touched_components();
+    for (const std::string& name : touched) changed_names.insert(name);
+    auto endpoints = [&](const std::string& key) {
+        // Connector keys render as "<from> -> <to> (<name>)".
+        const std::size_t arrow = key.find(" -> ");
+        if (arrow == std::string::npos) return;
+        const std::size_t paren = key.rfind(" (");
+        changed_names.insert(std::string_view(key).substr(0, arrow));
+        const std::size_t to_begin = arrow + 4;
+        const std::size_t to_end = (paren == std::string::npos || paren < to_begin)
+                                       ? key.size()
+                                       : paren;
+        changed_names.insert(std::string_view(key).substr(to_begin, to_end - to_begin));
+    };
+    for (const std::string& key : diff.added_connectors) endpoints(key);
+    for (const std::string& key : diff.removed_connectors) endpoints(key);
+
+    std::vector<std::uint32_t> changed;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        const ComponentFlow* prev = previous.find(g.comps[i]->name);
+        const bool drifted = prev == nullptr || prev->permeability != f.perm[i] ||
+                             prev->vectors != f.vectors[i] || prev->max_cvss != f.max_cvss[i] ||
+                             prev->entry_point != f.entry[i] ||
+                             prev->hazard_linked != f.hazard_linked[i];
+        if (drifted || changed_names.contains(std::string_view(g.comps[i]->name)))
+            changed.push_back(i);
+    }
+
+    search::FlowCounts counts;
+    counts.incremental_analyses = 1;
+    bool converged = true;
+
+    if (changed.empty() && diff.empty()) {
+        // Nothing moved: every value carries over verbatim.
+        FlowResult r = previous;
+        counts.nodes = g.size();
+        counts.edges = g.edge_count;
+        counts.tainted = previous.counts.tainted;
+        counts.chokepoints = previous.chokepoints.size();
+        counts.reused_components = g.size();
+        r.counts = counts;
+        return r;
+    }
+
+    // Affected regions: taint can only change downstream of a changed
+    // node (forward closure); slice bits only upstream (backward
+    // closure). Everything outside carries its previous fixpoint value —
+    // no path connects it to any change, so its value provably cannot
+    // differ from a full recompute's.
+    const std::vector<bool> affected_fwd = closure(g, changed, /*forward=*/true);
+    const std::vector<bool> affected_bwd = closure(g, changed, /*forward=*/false);
+
+    std::vector<double> taint(g.size(), 0.0);
+    std::vector<std::uint64_t> bits(g.size() * f.words, 0);
+    std::size_t reused = 0;
+    for (std::uint32_t i = 0; i < g.size(); ++i) {
+        const ComponentFlow* prev = previous.find(g.comps[i]->name);
+        if (!affected_fwd[i]) taint[i] = prev->taint; // prev != null: else in `changed`
+        if (!affected_bwd[i] && f.words > 0) {
+            for (const std::string& h : prev->influences) {
+                const auto pos = std::lower_bound(f.hazard_ids.begin(), f.hazard_ids.end(), h);
+                const std::size_t bit = static_cast<std::size_t>(pos - f.hazard_ids.begin());
+                bits[i * f.words + bit / 64] |= std::uint64_t{1} << (bit % 64);
+            }
+        }
+        if (!affected_fwd[i] && !affected_bwd[i]) ++reused;
+    }
+    taint_fixpoint(g, f, affected_fwd, taint, options, counts, converged);
+    slice_fixpoint(g, f, affected_bwd, bits, options, counts, converged);
+    const std::vector<std::uint32_t> depth = entry_depths(g, f);
+    counts.reused_components = reused;
+    return assemble(g, f, taint, depth, bits, converged, counts);
+}
+
+} // namespace cybok::flow

@@ -1,0 +1,159 @@
+// The flow pass: compiler-style dataflow analysis over the architectural
+// graph. Where the lint rules check *syntactic* well-formedness, this layer
+// reasons about how compromise *propagates* across connectors — the missing
+// half of the paper's "security analysis must interface with the system
+// model" claim. Three fixpoint analyses run over one shared flow graph:
+//
+//   1. exposure taint — a forward worklist fixpoint from external-facing
+//      entry points. The lattice value per component is a double in [0, 1]
+//      (join = max); the transfer function attenuates the incoming taint by
+//      the target component's *permeability*, a [0, 1] factor derived from
+//      its associated attack-vector evidence and worst CVSS score. Because
+//      every permeability is <= 1, cycles can never raise a value, so the
+//      fixpoint equals the max over simple-path attenuation products — a
+//      finite set — and the worklist terminates without widening and is
+//      order-independent (hence byte-identical at any thread count of the
+//      surrounding lint driver).
+//
+//   2. hazard backward slice — a reverse fixpoint over a finite bitset
+//      lattice (join = union): seed the controllers of each unsafe control
+//      action with that UCA's hazard bits and propagate against edge
+//      direction. A component's final bits name every hazard it can
+//      influence; per hazard the member set is the minimal sub-architecture
+//      that can reach one of its controllers.
+//
+//   3. chokepoint ranking — on the taint-reachable subgraph, candidate
+//      components (articulation points plus the minimum entry->hazard
+//      vertex cut, both via graph/algorithms) are scored by how many
+//      connected entry->hazard flows their hardening severs.
+//
+// analyze() recomputes everything; reanalyze() is the incremental mode:
+// given the previous result and a model::ModelDiff it resets only the
+// affected region (forward closure of the changed components for taint,
+// backward closure for slices) to bottom and re-runs the worklist there,
+// copying every unaffected component's value verbatim. Unaffected nodes
+// have no path from any changed node, so their fixpoint values provably
+// cannot differ — fingerprint() of the incremental result is oracle-checked
+// identical to a full recompute (tests/test_flow.cpp, and under the fault
+// matrix in tests/test_fault_matrix.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/diff.hpp"
+#include "model/system_model.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+#include "search/metrics.hpp"
+#include "util/json.hpp"
+
+namespace cybok::flow {
+
+/// Taint at or above this on a hazard-linked controller is the F001 error:
+/// an external entry point can plausibly drive an unsafe control action.
+inline constexpr double kHazardTaintError = 0.5;
+/// Taint at or above this on a non-entry component is the F002 warning:
+/// external reach with almost no attenuation along the way.
+inline constexpr double kUnattenuatedTaint = 0.8;
+
+struct FlowOptions {
+    /// Minimum associated vectors for a component to be permeable at all
+    /// (same defender knob as analysis::AttackPathOptions; must be >= 1).
+    std::size_t min_vectors_per_hop = 1;
+    /// Permeability model: base + vector_weight * saturating-log(vectors)
+    /// + severity_weight * (max CVSS / 10), clamped to [0, 1].
+    double base_permeability = 0.35;
+    double vector_weight = 0.40;
+    double severity_weight = 0.25;
+    /// Safety valve on worklist pops per fixpoint; the attenuation argument
+    /// above proves convergence, so hitting this marks converged = false
+    /// rather than looping forever if that argument is ever broken.
+    std::uint64_t max_iterations = 1u << 22;
+};
+
+/// Per-component result of the taint and slice fixpoints.
+struct ComponentFlow {
+    std::string component;
+    std::size_t vectors = 0;    ///< associated vectors (all classes)
+    double max_cvss = -1.0;     ///< worst associated CVSS base score; -1 none
+    double permeability = 0.0;  ///< per-hop attenuation factor in [0, 1]
+    double taint = 0.0;         ///< exposure taint fixpoint value in [0, 1]
+    /// Hops from the nearest entry point along permeable components
+    /// (UINT32_MAX when no exploitable path reaches this component).
+    std::uint32_t depth = UINT32_MAX;
+    bool entry_point = false;   ///< external-facing and permeable
+    bool hazard_linked = false; ///< controller of at least one UCA
+    /// Hazard ids this component can influence (backward-slice bits), sorted.
+    std::vector<std::string> influences;
+};
+
+/// The minimal sub-architecture that can influence one hazard.
+struct HazardSlice {
+    std::string hazard;                  ///< hazard id, e.g. "H-1"
+    std::vector<std::string> components; ///< sorted member names
+    /// True when taint reaches a controller of this hazard — the slice is
+    /// not just structurally connected but externally exploitable.
+    bool tainted_reach = false;
+};
+
+/// One ranked chokepoint on the taint-reachable subgraph.
+struct Chokepoint {
+    std::string component;
+    std::size_t severed = 0; ///< connected entry->hazard flows its hardening severs
+    bool articulation = false; ///< articulation point of the tainted subgraph
+    bool in_min_cut = false;   ///< member of the minimum entry->hazard vertex cut
+};
+
+struct FlowResult {
+    std::vector<ComponentFlow> components; ///< live components, model order
+    std::vector<HazardSlice> slices;       ///< sorted by hazard id
+    std::vector<Chokepoint> chokepoints;   ///< severed desc, then name asc
+    std::size_t flows_total = 0; ///< connected entry->hazard pairs on the tainted subgraph
+    std::size_t min_cut_size = 0; ///< size of the minimum entry->hazard vertex cut (0 = none)
+    bool converged = true;       ///< false only if max_iterations tripped
+    search::FlowCounts counts;   ///< deterministic fixpoint counters
+
+    [[nodiscard]] const ComponentFlow* find(std::string_view component) const noexcept;
+    /// "12 tainted / 40 components, 3 flows, 2 chokepoints" — deterministic.
+    [[nodiscard]] std::string summary() const;
+    [[nodiscard]] json::Value to_json() const;
+    /// Canonical byte rendering of every analysis value (taint, depths,
+    /// slices, chokepoints — NOT the run-shape counters, which legitimately
+    /// differ between a full and an incremental run). Two results with
+    /// equal fingerprints are analytically identical; this is the
+    /// incremental-vs-full oracle key.
+    [[nodiscard]] std::string fingerprint() const;
+};
+
+/// The per-hop attenuation factor for a component carrying `vectors`
+/// associated attack vectors with worst CVSS base score `max_cvss` (-1 =
+/// unscored). Zero below min_vectors_per_hop — a component with nothing to
+/// exploit does not propagate compromise.
+[[nodiscard]] double permeability(std::size_t vectors, double max_cvss,
+                                  const FlowOptions& options = {}) noexcept;
+
+/// Full analysis: all three fixpoints from scratch. `hazards` may be null —
+/// slices and chokepoints are then empty and only taint is computed.
+[[nodiscard]] FlowResult analyze(const model::SystemModel& m,
+                                 const search::AssociationMap& associations,
+                                 const safety::HazardModel* hazards = nullptr,
+                                 const FlowOptions& options = {});
+
+/// Incremental re-analysis after a model edit. `diff` must be exactly
+/// model::diff(before, after) where `previous` was computed over `before`;
+/// `associations` is the (re)association map for `after`. Components whose
+/// facts and region are untouched are copied from `previous`; the affected
+/// region re-runs its worklist. fingerprint() of the result equals that of
+/// analyze(after, associations, hazards, options) — guaranteed, and
+/// oracle-tested.
+[[nodiscard]] FlowResult reanalyze(const FlowResult& previous, const model::ModelDiff& diff,
+                                   const model::SystemModel& after,
+                                   const search::AssociationMap& associations,
+                                   const safety::HazardModel* hazards = nullptr,
+                                   const FlowOptions& options = {});
+
+} // namespace cybok::flow

@@ -235,19 +235,27 @@ std::vector<NodeId> shortest_path(const PropertyGraph& g, NodeId from, NodeId to
     return path;
 }
 
-std::vector<std::vector<NodeId>> all_simple_paths(const PropertyGraph& g, NodeId from, NodeId to,
-                                                  std::size_t max_hops, std::size_t max_paths) {
-    std::vector<std::vector<NodeId>> paths;
-    if (!g.contains(from) || !g.contains(to)) return paths;
+SimplePaths all_simple_paths_bounded(const PropertyGraph& g, NodeId from, NodeId to,
+                                     std::size_t max_hops, std::size_t max_paths) {
+    SimplePaths out;
+    if (!g.contains(from) || !g.contains(to)) return out;
     std::vector<NodeId> current{from};
     std::set<NodeId> on_path{from};
     std::function<void(NodeId)> dfs = [&](NodeId n) {
-        if (paths.size() >= max_paths) return;
-        if (n == to) {
-            paths.push_back(current);
+        if (out.paths.size() >= max_paths) {
+            out.truncated = true; // a branch was still open when the cap hit
             return;
         }
-        if (current.size() > max_hops) return; // current.size()-1 edges so far
+        if (n == to) {
+            out.paths.push_back(current);
+            return;
+        }
+        if (current.size() > max_hops) {
+            // The hop bound pruned this branch; it could have held more
+            // paths, so the enumeration is no longer exhaustive.
+            out.truncated = true;
+            return;
+        }
         std::vector<NodeId> succ = g.successors(n);
         std::sort(succ.begin(), succ.end());
         for (NodeId m : succ) {
@@ -260,7 +268,13 @@ std::vector<std::vector<NodeId>> all_simple_paths(const PropertyGraph& g, NodeId
         }
     };
     dfs(from);
-    return paths;
+    if (out.paths.size() >= max_paths) out.truncated = true;
+    return out;
+}
+
+std::vector<std::vector<NodeId>> all_simple_paths(const PropertyGraph& g, NodeId from, NodeId to,
+                                                  std::size_t max_hops, std::size_t max_paths) {
+    return all_simple_paths_bounded(g, from, to, max_hops, max_paths).paths;
 }
 
 std::vector<std::vector<NodeId>> k_shortest_paths(const PropertyGraph& g, NodeId from, NodeId to,
@@ -351,6 +365,117 @@ std::vector<NodeId> articulation_points(const PropertyGraph& g) {
     for (NodeId n : g.nodes())
         if (!disc.contains(n)) dfs(n, NodeId{}, true);
     return {points.begin(), points.end()};
+}
+
+std::vector<NodeId> min_vertex_cut(const PropertyGraph& g, const std::vector<NodeId>& sources,
+                                   const std::vector<NodeId>& targets) {
+    // Node-splitting reduction: every intermediate node v becomes an arc
+    // v_in -> v_out with capacity 1; graph edges u -> v become arcs
+    // u_out -> v_in with effectively-infinite capacity. A max-flow from a
+    // super-source (feeding every source's out side) to a super-sink (fed
+    // by every target's in side) then equals the minimum number of
+    // intermediate nodes on any source->target disconnecting set
+    // (Menger), and the cut is read off the residual reachability.
+    const std::set<NodeId> source_set(sources.begin(), sources.end());
+    const std::set<NodeId> target_set(targets.begin(), targets.end());
+    std::vector<NodeId> live;
+    for (NodeId n : g.nodes())
+        live.push_back(n);
+    if (live.empty() || source_set.empty() || target_set.empty()) return {};
+
+    // Vertex layout: node i -> in = 2i, out = 2i + 1; then S, T.
+    std::map<NodeId, std::uint32_t> index;
+    for (std::uint32_t i = 0; i < live.size(); ++i) index[live[i]] = i;
+    const std::uint32_t kS = static_cast<std::uint32_t>(2 * live.size());
+    const std::uint32_t kT = kS + 1;
+    // Capacity larger than any achievable node-cut value stands in for
+    // infinity; intermediate splits cap every augmenting path at 1.
+    const std::int64_t kInf = static_cast<std::int64_t>(live.size()) + 1;
+
+    struct Arc {
+        std::uint32_t to = 0;
+        std::int64_t cap = 0;
+        std::size_t rev = 0; ///< index of the reverse arc in adj[to]
+    };
+    std::vector<std::vector<Arc>> adj(kT + 1);
+    auto add_arc = [&](std::uint32_t from, std::uint32_t to, std::int64_t cap) {
+        adj[from].push_back({to, cap, adj[to].size()});
+        adj[to].push_back({from, 0, adj[from].size() - 1});
+    };
+
+    for (std::uint32_t i = 0; i < live.size(); ++i) {
+        const NodeId n = live[i];
+        const bool terminal = source_set.contains(n) || target_set.contains(n);
+        add_arc(2 * i, 2 * i + 1, terminal ? kInf : 1);
+        if (source_set.contains(n)) add_arc(kS, 2 * i, kInf);
+        if (target_set.contains(n)) add_arc(2 * i + 1, kT, kInf);
+    }
+    for (NodeId n : live) {
+        // Deterministic arc order: successors sorted by id.
+        std::vector<NodeId> succ = g.successors(n);
+        std::sort(succ.begin(), succ.end());
+        succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+        for (NodeId m : succ) {
+            if (m == n) continue; // self-loops never carry s->t flow
+            // A direct source->target edge is unseverable by an
+            // intermediate cut; modeling it would make the flow infinite.
+            if (source_set.contains(n) && target_set.contains(m)) continue;
+            add_arc(2 * index.at(n) + 1, 2 * index.at(m), kInf);
+        }
+    }
+
+    // Edmonds–Karp: BFS shortest augmenting paths until none remains.
+    const std::size_t vertex_count = adj.size();
+    std::vector<std::pair<std::uint32_t, std::size_t>> parent(vertex_count); // (vertex, arc idx)
+    std::vector<bool> visited(vertex_count);
+    while (true) {
+        std::fill(visited.begin(), visited.end(), false);
+        std::deque<std::uint32_t> queue{kS};
+        visited[kS] = true;
+        while (!queue.empty() && !visited[kT]) {
+            const std::uint32_t u = queue.front();
+            queue.pop_front();
+            for (std::size_t a = 0; a < adj[u].size(); ++a) {
+                const Arc& arc = adj[u][a];
+                if (arc.cap <= 0 || visited[arc.to]) continue;
+                visited[arc.to] = true;
+                parent[arc.to] = {u, a};
+                queue.push_back(arc.to);
+            }
+        }
+        if (!visited[kT]) break;
+        std::int64_t bottleneck = kInf;
+        for (std::uint32_t v = kT; v != kS; v = parent[v].first)
+            bottleneck = std::min(bottleneck, adj[parent[v].first][parent[v].second].cap);
+        for (std::uint32_t v = kT; v != kS; v = parent[v].first) {
+            Arc& arc = adj[parent[v].first][parent[v].second];
+            arc.cap -= bottleneck;
+            adj[arc.to][arc.rev].cap += bottleneck;
+        }
+    }
+
+    // Min cut = intermediate nodes whose in side is residual-reachable
+    // from S while their out side is not (the saturated split arcs that
+    // cross the cut).
+    std::fill(visited.begin(), visited.end(), false);
+    std::deque<std::uint32_t> queue{kS};
+    visited[kS] = true;
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (const Arc& arc : adj[u]) {
+            if (arc.cap <= 0 || visited[arc.to]) continue;
+            visited[arc.to] = true;
+            queue.push_back(arc.to);
+        }
+    }
+    std::vector<NodeId> cut;
+    for (std::uint32_t i = 0; i < live.size(); ++i) {
+        const NodeId n = live[i];
+        if (source_set.contains(n) || target_set.contains(n)) continue;
+        if (visited[2 * i] && !visited[2 * i + 1]) cut.push_back(n);
+    }
+    return cut; // live[] is id-ordered, so the cut already is too
 }
 
 Subgraph induced_subgraph(const PropertyGraph& g, const std::vector<NodeId>& keep) {

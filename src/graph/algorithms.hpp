@@ -69,6 +69,18 @@ enum class Direction { Forward, Backward, Undirected };
                                                                 std::size_t max_hops,
                                                                 std::size_t max_paths = 4096);
 
+/// all_simple_paths with an explicit truncation signal: `truncated` is true
+/// when the enumeration gave up on a bound (the result cap was reached, or
+/// some branch was cut off by max_hops) rather than because the path space
+/// was exhausted. Lets callers distinguish "no more paths" from "gave up".
+struct SimplePaths {
+    std::vector<std::vector<NodeId>> paths;
+    bool truncated = false;
+};
+[[nodiscard]] SimplePaths all_simple_paths_bounded(const PropertyGraph& g, NodeId from,
+                                                   NodeId to, std::size_t max_hops,
+                                                   std::size_t max_paths = 4096);
+
 /// In+out degree for every live node.
 [[nodiscard]] std::map<NodeId, std::size_t> degree_centrality(const PropertyGraph& g);
 
@@ -78,6 +90,17 @@ enum class Direction { Forward, Backward, Undirected };
 
 /// Nodes whose removal disconnects the undirected view (articulation points).
 [[nodiscard]] std::vector<NodeId> articulation_points(const PropertyGraph& g);
+
+/// A minimum-cardinality set of *intermediate* nodes whose removal severs
+/// every directed path from `sources` to `targets` (unit node capacities
+/// via node splitting + Edmonds–Karp max-flow). Source and target nodes
+/// are never cut candidates, so a direct source->target edge represents an
+/// unseverable flow and is ignored. Returns the cut nodes sorted by id;
+/// empty when nothing needs cutting (no source reaches a target through an
+/// intermediate). Deterministic.
+[[nodiscard]] std::vector<NodeId> min_vertex_cut(const PropertyGraph& g,
+                                                 const std::vector<NodeId>& sources,
+                                                 const std::vector<NodeId>& targets);
 
 /// Induced subgraph on `keep` (copies labels/properties; returns the new
 /// graph and the old->new node mapping).

@@ -23,6 +23,7 @@ std::string_view pass_name(Pass p) noexcept {
     case Pass::Model: return "model";
     case Pass::Kb: return "kb";
     case Pass::Consequence: return "consequence";
+    case Pass::Flow: return "flow";
     }
     return "model";
 }

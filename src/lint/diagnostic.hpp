@@ -31,8 +31,8 @@ enum class Severity : std::uint8_t { Note = 0, Warning = 1, Error = 2 };
 /// Inverse of severity_name ("note"/"warning"/"error"), for CLI overrides.
 [[nodiscard]] std::optional<Severity> severity_from_name(std::string_view name) noexcept;
 
-/// Which of the three lint passes a rule belongs to.
-enum class Pass : std::uint8_t { Model = 0, Kb = 1, Consequence = 2 };
+/// Which of the four lint passes a rule belongs to.
+enum class Pass : std::uint8_t { Model = 0, Kb = 1, Consequence = 2, Flow = 3 };
 [[nodiscard]] std::string_view pass_name(Pass p) noexcept;
 
 /// One finding. `code` identifies the rule ("M001"); `subject` names the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cybok::lint {
@@ -61,14 +62,101 @@ json::Value LintResult::to_json() const {
     t["model_ns"] = model_ns;
     t["kb_ns"] = kb_ns;
     t["consequence_ns"] = consequence_ns;
+    t["flow_ns"] = flow_ns;
     t["wall_ns"] = wall_ns;
     o["timings"] = std::move(t);
     o["ok"] = json::Value(ok());
     return json::Value(std::move(o));
 }
 
+json::Value LintResult::to_sarif() const {
+    json::Object doc;
+    doc["$schema"] =
+        "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+    doc["version"] = "2.1.0";
+
+    json::Object driver;
+    driver["name"] = "cybok-lint";
+    driver["informationUri"] = "docs/ARCHITECTURE.md";
+    json::Array rules;
+    for (const Rule& rule : registry()) {
+        json::Object r;
+        r["id"] = std::string(rule.code);
+        r["name"] = std::string(rule.name);
+        json::Object desc;
+        desc["text"] = std::string(rule.rationale);
+        r["shortDescription"] = std::move(desc);
+        json::Object props;
+        props["pass"] = std::string(pass_name(rule.pass));
+        r["properties"] = std::move(props);
+        rules.push_back(std::move(r));
+    }
+    driver["rules"] = std::move(rules);
+    json::Object tool;
+    tool["driver"] = std::move(driver);
+
+    json::Array results;
+    results.reserve(diagnostics.size());
+    for (const Diagnostic& d : diagnostics) {
+        json::Object res;
+        res["ruleId"] = d.code;
+        // SARIF levels: error / warning / note map 1:1 onto our ladder.
+        res["level"] = std::string(severity_name(d.severity));
+        json::Object msg;
+        std::string text = d.subject + ": " + d.message;
+        if (!d.hint.empty()) text += " (hint: " + d.hint + ")";
+        msg["text"] = std::move(text);
+        res["message"] = std::move(msg);
+        // Findings are about model/corpus elements, not source files;
+        // SARIF requires a location, so address the element as a logical
+        // location in the rule's pass namespace.
+        json::Array locations;
+        json::Object loc;
+        json::Array logical;
+        json::Object elem;
+        elem["name"] = d.subject;
+        const Rule* rule = find_rule(d.code);
+        elem["kind"] = rule != nullptr ? std::string(pass_name(rule->pass)) : "element";
+        logical.push_back(std::move(elem));
+        loc["logicalLocations"] = std::move(logical);
+        locations.push_back(std::move(loc));
+        res["locations"] = std::move(locations);
+        results.push_back(std::move(res));
+    }
+
+    json::Object run;
+    run["tool"] = std::move(tool);
+    run["results"] = std::move(results);
+    json::Array runs;
+    runs.push_back(std::move(run));
+    doc["runs"] = std::move(runs);
+    return json::Value(std::move(doc));
+}
+
 LintResult run_lint(const LintInput& input, const LintOptions& options) {
     const auto run_start = std::chrono::steady_clock::now();
+
+    // Reject unknown rule codes up front: a typo'd code in `disabled`
+    // would silently run the rule the caller meant to switch off, and a
+    // typo'd override would silently keep the default severity.
+    std::vector<std::string> unknown;
+    for (const std::string& code : options.disabled)
+        if (find_rule(code) == nullptr) unknown.push_back(code);
+    for (const auto& [code, severity] : options.severity_overrides) {
+        (void)severity;
+        if (find_rule(code) == nullptr) unknown.push_back(code);
+    }
+    if (!unknown.empty()) {
+        std::sort(unknown.begin(), unknown.end());
+        unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
+        std::string what = "unknown lint rule code(s): ";
+        for (std::size_t i = 0; i < unknown.size(); ++i) {
+            if (i > 0) what += ", ";
+            what += unknown[i];
+        }
+        what += " (known codes are listed in lint/rules.hpp)";
+        throw ValidationError(what);
+    }
 
     struct Job {
         const Rule* rule = nullptr;
@@ -107,6 +195,7 @@ LintResult run_lint(const LintInput& input, const LintOptions& options) {
         case Pass::Model: result.model_ns += job.ns; break;
         case Pass::Kb: result.kb_ns += job.ns; break;
         case Pass::Consequence: result.consequence_ns += job.ns; break;
+        case Pass::Flow: result.flow_ns += job.ns; break;
         }
         result.diagnostics.insert(result.diagnostics.end(),
                                   std::make_move_iterator(job.diagnostics.begin()),

@@ -24,7 +24,10 @@
 
 namespace cybok::lint {
 
-/// Per-run rule configuration.
+/// Per-run rule configuration. Rule codes in `disabled` and
+/// `severity_overrides` must name registered rules: run_lint throws
+/// ValidationError listing every unknown code, instead of silently
+/// ignoring a typo'd "M0001" and running the rule it meant to suppress.
 struct LintOptions {
     /// Lanes to fan rules across (0 = hardware concurrency).
     std::size_t threads = 0;
@@ -47,6 +50,7 @@ struct LintResult {
     std::uint64_t model_ns = 0;
     std::uint64_t kb_ns = 0;
     std::uint64_t consequence_ns = 0;
+    std::uint64_t flow_ns = 0;
     std::uint64_t wall_ns = 0;
 
     [[nodiscard]] std::size_t count(Severity s) const noexcept;
@@ -66,6 +70,13 @@ struct LintResult {
     /// {"diagnostics": [...], "counts": {...}, "rules_run": n, "timings":
     /// {...}} — the `cybok lint --format json` document.
     [[nodiscard]] json::Value to_json() const;
+
+    /// SARIF 2.1.0 document (`cybok lint --format sarif`): one run, the
+    /// full rule registry as reportingDescriptors, one result per
+    /// diagnostic (error->"error", warning->"warning", note->"note").
+    /// Byte-deterministic like the other renderings, so the document can
+    /// be uploaded to code-scanning UIs or golden-filed.
+    [[nodiscard]] json::Value to_sarif() const;
 };
 
 /// Run every enabled rule over `input`. Null LintInput members skip the

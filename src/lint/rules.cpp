@@ -1,12 +1,14 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "cvss/cvss.hpp"
+#include "flow/flow.hpp"
 #include "graph/algorithms.hpp"
 #include "kb/platform.hpp"
 #include "util/strings.hpp"
@@ -437,6 +439,78 @@ std::vector<Diagnostic> rule_missing_hazard_model(const LintInput& in, Severity 
     return out;
 }
 
+// -- flow pass ---------------------------------------------------------------
+//
+// The F rules are thin projections of flow::analyze() onto the diagnostic
+// stream. Each rule runs the analysis itself — rules are pure functions
+// with no shared state, which is what keeps the driver's fan-out
+// synchronization-free; the fixpoints are linear in the model graph, so
+// the duplicate work is noise next to the whole-corpus KB rules.
+
+std::string two_places(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+std::vector<Diagnostic> rule_tainted_hazard_path(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.associations == nullptr || in.hazards == nullptr) return out;
+    const flow::FlowResult r = flow::analyze(*in.model, *in.associations, in.hazards);
+    for (const flow::ComponentFlow& cf : r.components) {
+        if (!cf.hazard_linked || cf.taint < flow::kHazardTaintError) continue;
+        std::string hazards;
+        for (const std::string& h : cf.influences) {
+            if (!hazards.empty()) hazards += ", ";
+            hazards += h;
+        }
+        out.push_back(make("F001", sev, cf.component,
+                           "controller of unsafe control actions is reachable from an external "
+                           "entry point with taint " + two_places(cf.taint) + " (>= " +
+                               two_places(flow::kHazardTaintError) + "); an attacker can "
+                               "plausibly drive " + (hazards.empty() ? "a hazard" : hazards),
+                           "sever or attenuate the path (see the flow chokepoint ranking) or "
+                           "remove the exploitable evidence on the components along it"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_unattenuated_external_reach(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.associations == nullptr) return out;
+    const flow::FlowResult r = flow::analyze(*in.model, *in.associations, in.hazards);
+    for (const flow::ComponentFlow& cf : r.components) {
+        if (cf.entry_point || cf.taint < flow::kUnattenuatedTaint) continue;
+        out.push_back(make("F002", sev, cf.component,
+                           "reachable from an external entry point with taint " +
+                               two_places(cf.taint) + " (>= " +
+                               two_places(flow::kUnattenuatedTaint) + ") at depth " +
+                               std::to_string(cf.depth) + "; every hop on the way is highly "
+                               "permeable, so external compromise barely attenuates here",
+                           "insert a low-permeability component (no associated vectors) on the "
+                           "path, or reduce this component's exposed attack surface"));
+    }
+    return out;
+}
+
+std::vector<Diagnostic> rule_single_chokepoint(const LintInput& in, Severity sev) {
+    std::vector<Diagnostic> out;
+    if (in.model == nullptr || in.associations == nullptr || in.hazards == nullptr) return out;
+    const flow::FlowResult r = flow::analyze(*in.model, *in.associations, in.hazards);
+    if (r.min_cut_size != 1) return out;
+    for (const flow::Chokepoint& c : r.chokepoints) {
+        if (!c.in_min_cut) continue;
+        out.push_back(make("F003", sev, c.component,
+                           "hardening this single component severs " +
+                               std::to_string(c.severed) + " of " +
+                               std::to_string(r.flows_total) + " externally-driven hazard "
+                               "flows — the minimum entry->hazard cut is just this node",
+                           "prioritize this component for hardening; it is the cheapest "
+                           "defense point the architecture offers"));
+    }
+    return out;
+}
+
 } // namespace
 
 const std::vector<Rule>& registry() {
@@ -490,6 +564,16 @@ const std::vector<Rule>& registry() {
         {"C004", "missing-hazard-model", Pass::Consequence, Severity::Note,
          "associated vulnerabilities without any hazard model cannot be traced at all",
          &rule_missing_hazard_model},
+        {"F001", "tainted-hazard-path", Pass::Flow, Severity::Error,
+         "an external entry point that can drive an unsafe control action is the paper's "
+         "core cyber-to-physical compromise path",
+         &rule_tainted_hazard_path},
+        {"F002", "unattenuated-external-reach", Pass::Flow, Severity::Warning,
+         "deep components reached with barely-attenuated taint have no defensive depth",
+         &rule_unattenuated_external_reach},
+        {"F003", "single-chokepoint", Pass::Flow, Severity::Note,
+         "a one-node minimum cut is the cheapest hardening opportunity the graph offers",
+         &rule_single_chokepoint},
     };
     return rules;
 }

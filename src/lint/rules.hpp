@@ -26,6 +26,14 @@
 //                     C002 untraceable-hazard             warning
 //                     C003 unmapped-vulnerable-component  warning
 //                     C004 missing-hazard-model           note
+//   flow pass         F001 tainted-hazard-path            error
+//                     F002 unattenuated-external-reach    warning
+//                     F003 single-chokepoint              note
+//
+// The flow pass runs the fixpoint dataflow analyses (flow/flow.hpp) and
+// is gated on LintInput::associations — the taint lattice is seeded from
+// attack-vector evidence, so without an association map there is nothing
+// to propagate and the F rules emit nothing.
 
 #pragma once
 

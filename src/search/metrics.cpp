@@ -51,6 +51,32 @@ json::Value LintCounts::to_json() const {
     return json::Value(std::move(o));
 }
 
+void FlowCounts::merge(const FlowCounts& other) noexcept {
+    if (!other.ran()) return;
+    const std::size_t full = analyses + other.analyses;
+    const std::size_t incr = incremental_analyses + other.incremental_analyses;
+    const std::size_t reused = reused_components + other.reused_components;
+    *this = other;
+    analyses = full;
+    incremental_analyses = incr;
+    reused_components = reused;
+}
+
+json::Value FlowCounts::to_json() const {
+    json::Object o;
+    o["nodes"] = static_cast<std::uint64_t>(nodes);
+    o["edges"] = static_cast<std::uint64_t>(edges);
+    o["taint_iterations"] = taint_iterations;
+    o["slice_iterations"] = slice_iterations;
+    o["edges_traversed"] = edges_traversed;
+    o["tainted"] = static_cast<std::uint64_t>(tainted);
+    o["chokepoints"] = static_cast<std::uint64_t>(chokepoints);
+    o["analyses"] = static_cast<std::uint64_t>(analyses);
+    o["incremental_analyses"] = static_cast<std::uint64_t>(incremental_analyses);
+    o["reused_components"] = static_cast<std::uint64_t>(reused_components);
+    return json::Value(std::move(o));
+}
+
 void AssocMetrics::merge(const AssocMetrics& other) {
     components += other.components;
     attributes += other.attributes;
@@ -73,6 +99,7 @@ void AssocMetrics::merge(const AssocMetrics& other) {
     threads = std::max(threads, other.threads);
     timings.merge(other.timings);
     lint.merge(other.lint);
+    flow.merge(other.flow);
     degrade.merge(other.degrade);
     // Build happened once, before any run: adopt whichever side saw it.
     if (build.wall_ns == 0) build = other.build;
@@ -135,6 +162,11 @@ std::string AssocMetrics::summary() const {
         out << "; lint " << lint.errors << " errors / " << lint.warnings << " warnings / "
             << lint.notes << " notes (" << lint.rules_run << " rules, " << ms(lint.wall_ns)
             << " ms)";
+    if (flow.ran())
+        out << "; flow " << flow.nodes << " nodes / " << flow.edges << " edges, "
+            << flow.tainted << " tainted, " << flow.chokepoints << " chokepoints ("
+            << flow.taint_iterations << "+" << flow.slice_iterations << " iterations, "
+            << flow.incremental_analyses << " incremental)";
     return out.str();
 }
 
@@ -171,6 +203,7 @@ json::Value AssocMetrics::to_json() const {
     o["timings"] = std::move(t);
     o["build"] = build.to_json();
     if (lint.ran()) o["lint"] = lint.to_json();
+    if (flow.ran()) o["flow"] = flow.to_json();
     if (degrade.any()) o["degrade"] = degrade.to_json();
     return json::Value(std::move(o));
 }

@@ -89,6 +89,30 @@ struct LintCounts {
     [[nodiscard]] json::Value to_json() const;
 };
 
+/// Counters from the most recent flow-pass run (exposure taint / hazard
+/// slice / chokepoint fixpoints) over the session state — zero until a
+/// flow analysis runs. Every counter is a deterministic function of the
+/// model + association map (no timings), so bench sidecars can gate them
+/// with exact ceilings the same way the kernel counters are gated.
+struct FlowCounts {
+    std::size_t nodes = 0;             ///< live components in the flow graph
+    std::size_t edges = 0;             ///< directed edges (bidirectional = 2)
+    std::uint64_t taint_iterations = 0; ///< worklist pops of the forward taint fixpoint
+    std::uint64_t slice_iterations = 0; ///< worklist pops of the backward slice fixpoint
+    std::uint64_t edges_traversed = 0;  ///< edge relaxations across both fixpoints
+    std::size_t tainted = 0;           ///< components with taint > 0
+    std::size_t chokepoints = 0;       ///< candidates that sever >= 1 entry->hazard flow
+    std::size_t analyses = 0;          ///< full analyze() runs folded in
+    std::size_t incremental_analyses = 0; ///< reanalyze() runs that took the delta path
+    std::size_t reused_components = 0; ///< component results copied verbatim by reanalyze
+
+    [[nodiscard]] bool ran() const noexcept { return analyses + incremental_analyses > 0; }
+    /// Adopt whichever side has analyzed (later run wins on conflict);
+    /// analyses/incremental/reused accumulate.
+    void merge(const FlowCounts& other) noexcept;
+    [[nodiscard]] json::Value to_json() const;
+};
+
 /// Counters for one (or several merged) association run(s). Thread-local
 /// instances are accumulated by worker lanes and merged under a lock, so
 /// the hot path never contends on shared counters.
@@ -124,6 +148,7 @@ struct AssocMetrics {
     StageTimings timings;
     BuildMetrics build;    ///< how the engine behind this run was constructed
     LintCounts lint;       ///< diagnostics found by the session's lint pass
+    FlowCounts flow;       ///< fixpoint counters from the session's flow pass
     DegradeCounts degrade; ///< absorbed failures + the fallback paths taken
 
     /// Fold `other` into this (cache/query counters add; threads maxes).

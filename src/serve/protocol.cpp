@@ -56,6 +56,8 @@ const std::vector<MessageTypeInfo>& known_message_types() {
         {MsgType::WhatIf, "whatif",
          "evaluate a candidate model DSL against a session; `commit` adopts it"},
         {MsgType::Posture, "posture", "a session's per-component security posture"},
+        {MsgType::FlowAnalyze, "flow.analyze",
+         "a session's dataflow fixpoint view: exposure taint, hazard slices, chokepoints"},
         {MsgType::Metrics, "metrics",
          "server/registry counters, or one session's AssocMetrics when `session` is set"},
         {MsgType::SnapshotSwap, "snapshot.swap",
@@ -211,6 +213,7 @@ Request decode_request(std::string_view payload) {
     case MsgType::SessionClose:
     case MsgType::Associate:
     case MsgType::Posture:
+    case MsgType::FlowAnalyze:
         req.session = require_string(doc, "session", wire);
         break;
     case MsgType::Query: {
@@ -264,6 +267,7 @@ json::Value encode_request(const Request& req) {
     case MsgType::SessionClose:
     case MsgType::Associate:
     case MsgType::Posture:
+    case MsgType::FlowAnalyze:
         obj["session"] = req.session;
         break;
     case MsgType::Query:

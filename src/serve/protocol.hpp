@@ -104,6 +104,7 @@ enum class MsgType : std::uint8_t {
     Associate,    ///< a session's association table (Table 1 rows)
     WhatIf,       ///< evaluate a candidate model DSL against a session; optional commit
     Posture,      ///< a session's per-component security posture
+    FlowAnalyze,  ///< a session's dataflow fixpoint view (taint/slices/chokepoints)
     Metrics,      ///< server/registry counters, or one session's AssocMetrics
     SnapshotSwap, ///< admin: drain in-flight requests, switch to a new snapshot
     DeltaApply,   ///< admin: apply a frozen corpus delta as a new generation
@@ -174,7 +175,7 @@ private:
 struct Request {
     MsgType type = MsgType::Ping;
     std::int64_t id = 0;      ///< client correlation id, echoed in the response
-    std::string session;      ///< session.close/associate/whatif/posture/metrics
+    std::string session;      ///< session.close/associate/whatif/posture/flow.analyze/metrics
     std::string text;         ///< query: the free-text query; ping: echo payload
     std::string cls;          ///< query: "pattern"|"weakness"|"vulnerability"|"" (all)
     std::size_t limit = 10;   ///< query: max hits returned per class

@@ -308,6 +308,7 @@ json::Value Server::execute(const Request& req) {
     case MsgType::Associate:
     case MsgType::WhatIf:
     case MsgType::Posture:
+    case MsgType::FlowAnalyze:
     case MsgType::Metrics: {
         // The lease is the hot-swap drain: while any request holds it,
         // snapshot.swap's exclusive acquisition waits, so this request
@@ -333,6 +334,7 @@ json::Value Server::execute(const Request& req) {
         case MsgType::Associate: return ok_response(req.id, req.type, handle_associate(req));
         case MsgType::WhatIf: return ok_response(req.id, req.type, handle_whatif(req));
         case MsgType::Posture: return ok_response(req.id, req.type, handle_posture(req));
+        case MsgType::FlowAnalyze: return ok_response(req.id, req.type, handle_flow(req));
         case MsgType::Metrics: return ok_response(req.id, req.type, handle_metrics(req));
         default: break; // unreachable; the outer switch filtered
         }
@@ -507,6 +509,15 @@ json::Value Server::handle_posture(const Request& req) {
     result["components"] = std::move(rows);
     result["total_vectors"] = posture.total_vectors();
     return result;
+}
+
+json::Value Server::handle_flow(const Request& req) {
+    const std::shared_ptr<ServeSession> session = registry_.find(req.session);
+    session->count_request();
+    ServeSession::AnalysisGuard guard(*session);
+    // The session caches the FlowResult and re-analyzes incrementally
+    // across whatif commits, so repeated flow.analyze calls are cheap.
+    return guard->flow().to_json();
 }
 
 json::Value Server::handle_metrics(const Request& req) {

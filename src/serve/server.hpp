@@ -157,6 +157,7 @@ private:
     json::Value handle_associate(const Request& req);
     json::Value handle_whatif(const Request& req);
     json::Value handle_posture(const Request& req);
+    json::Value handle_flow(const Request& req);
     json::Value handle_metrics(const Request& req);
     json::Value handle_swap(const Request& req);
     json::Value handle_delta_apply(const Request& req);

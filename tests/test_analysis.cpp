@@ -186,6 +186,44 @@ TEST(AttackPaths, TargetWithoutVectorsUnreachable) {
     EXPECT_TRUE(paths.empty());
 }
 
+TEST(AttackPaths, TruncatedFlagDistinguishesCapFromExhaustion) {
+    // Entry with two disjoint routes to the target: capping max_paths at
+    // one must be reported as a truncation, a roomy cap as exhaustion.
+    model::SystemModel m("twopath", "two disjoint entry->target routes");
+    const auto a = m.add_component("Entry", model::ComponentType::Compute);
+    const auto b = m.add_component("Upper", model::ComponentType::Network);
+    const auto c = m.add_component("Lower", model::ComponentType::Network);
+    const auto t = m.add_component("Target", model::ComponentType::Controller);
+    m.component(a).external_facing = true;
+    m.connect(a, b, "e-u");
+    m.connect(a, c, "e-l");
+    m.connect(b, t, "u-t");
+    m.connect(c, t, "l-t");
+    const auto assoc =
+        stub_assoc({{"Entry", 2}, {"Upper", 1}, {"Lower", 1}, {"Target", 2}});
+
+    AttackPathOptions capped;
+    capped.max_paths = 1;
+    const AttackPathsResult one = attack_paths(m, assoc, "Target", capped);
+    EXPECT_EQ(one.size(), 1u);
+    EXPECT_TRUE(one.truncated);
+
+    const AttackPathsResult both = attack_paths(m, assoc, "Target");
+    EXPECT_EQ(both.size(), 2u);
+    EXPECT_FALSE(both.truncated);
+    // Exposure is the product of per-hop permeabilities: positive, below 1.
+    for (const AttackPath& p : both) {
+        EXPECT_GT(p.exposure, 0.0);
+        EXPECT_LT(p.exposure, 1.0);
+    }
+
+    AttackPathOptions hop_cut;
+    hop_cut.max_hops = 1; // both routes need 2 hops; pruning is truncation
+    const AttackPathsResult none = attack_paths(m, assoc, "Target", hop_cut);
+    EXPECT_TRUE(none.empty());
+    EXPECT_TRUE(none.truncated);
+}
+
 // ------------------------------------------------------------ fidelity sweep
 
 TEST(FidelitySweep, ResultSpaceGrowsWithFidelity) {

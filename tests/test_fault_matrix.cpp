@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "flow/flow.hpp"
 #include "kb/delta.hpp"
+#include "safety/hazards.hpp"
 #include "kb/serialize.hpp"
 #include "search/association.hpp"
 #include "search/engine.hpp"
@@ -348,6 +350,103 @@ TEST_P(FaultMatrixSoak, SessionMatchesBaselineUnderFaultMatrix) {
             if (a.kind != model::AttributeKind::Parameter) ++tasks;
     }
     EXPECT_EQ(m.cache_hits + m.cache_misses, tasks);
+}
+
+// ----------------------------------------------- (c') flow incremental oracle
+
+namespace {
+
+/// A seed-directed structural edit: add, remove, rewire, or flip an entry
+/// point. Each class stresses a different region of reanalyze()'s
+/// affected-set computation.
+void mutate_for_flow(model::SystemModel& m, int k) {
+    std::vector<model::ComponentId> live;
+    for (const model::Component& c : m.components())
+        if (c.id.valid()) live.push_back(c.id);
+    ASSERT_FALSE(live.empty());
+    const std::size_t a = static_cast<std::size_t>(k) % live.size();
+    const std::size_t b = (static_cast<std::size_t>(k) * 7 + 3) % live.size();
+    switch (k % 4) {
+    case 0: {
+        const model::ComponentId fresh = m.add_component(
+            "Flow mutant " + std::to_string(k), model::ComponentType::Compute);
+        m.connect(live[a], fresh, "mutant-feed-" + std::to_string(k));
+        break;
+    }
+    case 1:
+        m.remove_component(live[a]);
+        break;
+    case 2:
+        m.connect(live[a], live[b], "mutant-link-" + std::to_string(k));
+        break;
+    default:
+        m.component(live[a]).external_facing = !m.component(live[a]).external_facing;
+        break;
+    }
+}
+
+safety::HazardModel soak_hazards(const model::SystemModel& m) {
+    safety::HazardModel hz;
+    hz.add(safety::Loss{"L-1", "loss of process control"});
+    hz.add(safety::Hazard{"H-1", "unsafe command reaches the plant", {"L-1"}});
+    hz.add(safety::Hazard{"H-2", "protection function suppressed", {"L-1"}});
+    int n = 0;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        safety::UnsafeControlAction uca;
+        uca.id = "UCA-" + std::to_string(n + 1);
+        uca.controller = c.name;
+        uca.action = "issue command";
+        uca.hazards = {n % 2 == 0 ? "H-1" : "H-2"};
+        hz.add(uca);
+        if (++n == 3) break; // three controllers is plenty of seed surface
+    }
+    return hz;
+}
+
+} // namespace
+
+TEST_P(FaultMatrixSoak, FlowIncrementalMatchesFullUnderFaultMatrix) {
+    // Drive a session through a seed-directed chain of structural edits
+    // with the degradable session sites armed: after every commit the
+    // incremental flow() must be fingerprint-identical to a from-scratch
+    // analyze() over the same model and (transparently degraded)
+    // associations. Faults may slow the association layer down; they must
+    // never make the incremental dataflow result drift from the full one.
+    const int seed = GetParam();
+    const std::string path =
+        temp_path("fault_matrix_flow_" + std::to_string(seed) + ".snap");
+    core::SessionOptions opts;
+    opts.snapshot_path = path;
+
+    const safety::HazardModel hz = soak_hazards(soak_model());
+    const std::string spec =
+        "seed=" + std::to_string(seed) +
+        ";kb.snapshot.open=p:0.5"
+        ";session.cold_start.load=p:0.3"
+        ";session.cold_start.save=p:0.3"
+        ";util.bytes.read_file.open=p:0.2"
+        ";util.bytes.write_file.write=p:0.2"
+        ";search.cache.get=p:0.3"
+        ";search.cache.put=p:0.3";
+    util::FaultScope scope(spec);
+
+    core::AnalysisSession session(soak_model(), soak_corpus(), opts);
+    session.set_hazards(hz);
+    ASSERT_TRUE(session.flow().converged);
+
+    for (int step = 0; step < 3; ++step) {
+        model::SystemModel candidate = session.model();
+        mutate_for_flow(candidate, seed * 3 + step);
+        (void)session.commit(std::move(candidate));
+        const flow::FlowResult& incremental = session.flow();
+        const flow::FlowResult full =
+            flow::analyze(session.model(), session.associations(), &hz);
+        ASSERT_EQ(incremental.fingerprint(), full.fingerprint())
+            << "seed " << seed << " step " << step;
+        ASSERT_TRUE(incremental.converged);
+    }
+    EXPECT_GE(session.assoc_metrics().flow.incremental_analyses, 3u);
 }
 
 // --------------------------------------------------- (d) serve oracle

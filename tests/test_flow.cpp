@@ -1,0 +1,536 @@
+// Tests for the flow pass (src/flow): permeability model, taint and slice
+// fixpoints on adversarial graph shapes (cycles, self-loops, disconnected
+// regions, bidirectional links), chokepoint ranking, thread-count byte
+// identity of the lint driver, and the incremental-vs-full fingerprint
+// oracle both directly (analyze vs reanalyze) and through the session's
+// commit() loop.
+
+#include "flow/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/session.hpp"
+#include "kb/corpus.hpp"
+#include "lint/lint.hpp"
+#include "model/diff.hpp"
+#include "model/system_model.hpp"
+#include "safety/hazards.hpp"
+#include "search/association.hpp"
+#include "synth/corpus_gen.hpp"
+#include "synth/scada.hpp"
+
+namespace cybok {
+namespace {
+
+// -- fixtures ----------------------------------------------------------------
+
+/// Association map with `vectors` stub matches per listed component; the
+/// first match carries `cvss` as its severity (rest unscored).
+search::AssociationMap
+stub_map(const std::vector<std::tuple<std::string, std::size_t, double>>& rows) {
+    search::AssociationMap map;
+    for (const auto& [name, vectors, cvss] : rows) {
+        search::ComponentAssociation ca;
+        ca.component = name;
+        search::AttributeAssociation aa;
+        aa.attribute_name = "type";
+        aa.attribute_value = "stub";
+        for (std::size_t i = 0; i < vectors; ++i) {
+            search::Match match;
+            match.cls = search::VectorClass::Weakness;
+            match.id = "CWE-" + std::to_string(100 + i);
+            match.title = "stub weakness";
+            match.severity = i == 0 ? cvss : -1.0;
+            aa.matches.push_back(std::move(match));
+        }
+        ca.attributes.push_back(std::move(aa));
+        map.components.push_back(std::move(ca));
+    }
+    return map;
+}
+
+/// A hazard model with hazards H-1..H-n and one UCA per (controller,
+/// hazard-list) pair.
+safety::HazardModel
+hazards_on(const std::vector<std::pair<std::string, std::vector<std::string>>>& ucas,
+           std::size_t hazard_count = 1) {
+    safety::HazardModel hz;
+    hz.add(safety::Loss{"L-1", "loss of process"});
+    for (std::size_t i = 1; i <= hazard_count; ++i)
+        hz.add(safety::Hazard{"H-" + std::to_string(i), "hazardous state", {"L-1"}});
+    std::size_t n = 0;
+    for (const auto& [controller, ids] : ucas) {
+        safety::UnsafeControlAction uca;
+        uca.id = "UCA-" + std::to_string(++n);
+        uca.controller = controller;
+        uca.action = "actuate";
+        uca.type = safety::UcaType::Providing;
+        uca.context = "while process is active";
+        uca.hazards = ids;
+        hz.add(uca);
+    }
+    return hz;
+}
+
+/// A -> B -> C chain; A is the external entry. A and B carry one vector
+/// each, C carries none (so compromise dies at C).
+model::SystemModel chain_model() {
+    model::SystemModel m("chain", "three-component chain");
+    const auto a = m.add_component("A", model::ComponentType::Compute);
+    const auto b = m.add_component("B", model::ComponentType::Network);
+    const auto c = m.add_component("C", model::ComponentType::Controller);
+    m.component(a).external_facing = true;
+    m.connect(a, b, "a-b");
+    m.connect(b, c, "b-c");
+    return m;
+}
+
+search::AssociationMap chain_map() {
+    return stub_map({{"A", 1, -1.0}, {"B", 1, -1.0}});
+}
+
+/// Diamond: Entry -> {Left, Right} -> Mid -> Ctl. Mid is the unique
+/// articulation point / min cut between the entry and the controller.
+model::SystemModel diamond_model() {
+    model::SystemModel m("diamond", "diamond with a unique chokepoint");
+    const auto entry = m.add_component("Entry", model::ComponentType::Compute);
+    const auto left = m.add_component("Left", model::ComponentType::Network);
+    const auto right = m.add_component("Right", model::ComponentType::Network);
+    const auto mid = m.add_component("Mid", model::ComponentType::Compute);
+    const auto ctl = m.add_component("Ctl", model::ComponentType::Controller);
+    m.component(entry).external_facing = true;
+    m.connect(entry, left, "e-l");
+    m.connect(entry, right, "e-r");
+    m.connect(left, mid, "l-m");
+    m.connect(right, mid, "r-m");
+    m.connect(mid, ctl, "m-c");
+    return m;
+}
+
+search::AssociationMap diamond_map() {
+    return stub_map({{"Entry", 2, 7.5},
+                     {"Left", 1, -1.0},
+                     {"Right", 1, -1.0},
+                     {"Mid", 3, 9.8},
+                     {"Ctl", 1, 6.0}});
+}
+
+// -- permeability ------------------------------------------------------------
+
+TEST(FlowPermeability, ZeroWithoutEvidence) {
+    EXPECT_EQ(flow::permeability(0, -1.0), 0.0);
+    EXPECT_EQ(flow::permeability(0, 10.0), 0.0);
+    flow::FlowOptions opts;
+    opts.min_vectors_per_hop = 3;
+    EXPECT_EQ(flow::permeability(2, 9.0, opts), 0.0);
+    EXPECT_GT(flow::permeability(3, 9.0, opts), 0.0);
+}
+
+TEST(FlowPermeability, MonotoneInVectorsAndSeverity) {
+    const double one = flow::permeability(1, -1.0);
+    const double four = flow::permeability(4, -1.0);
+    const double many = flow::permeability(1000, -1.0);
+    EXPECT_GT(one, 0.0);
+    EXPECT_GT(four, one);
+    EXPECT_GE(many, four);
+    EXPECT_GT(flow::permeability(1, 9.8), flow::permeability(1, 2.0));
+    EXPECT_GT(flow::permeability(1, 2.0), flow::permeability(1, -1.0));
+}
+
+TEST(FlowPermeability, ClampedToUnitInterval) {
+    flow::FlowOptions opts;
+    opts.base_permeability = 0.9;
+    opts.vector_weight = 0.9;
+    opts.severity_weight = 0.9;
+    EXPECT_EQ(flow::permeability(1u << 20, 10.0, opts), 1.0);
+    // An out-of-range CVSS is clamped, not extrapolated.
+    EXPECT_LE(flow::permeability(1, 99.0), 1.0);
+}
+
+TEST(FlowPermeability, MatchesDocumentedFormula) {
+    const flow::FlowOptions opts;
+    const double expected = opts.base_permeability +
+                            opts.vector_weight * (std::log2(1.0 + 4.0) / 6.0) +
+                            opts.severity_weight * (7.0 / 10.0);
+    EXPECT_NEAR(flow::permeability(4, 7.0), expected, 1e-12);
+}
+
+// -- taint fixpoint ----------------------------------------------------------
+
+TEST(FlowAnalyze, ChainAttenuatesPerHop) {
+    const auto m = chain_model();
+    const auto assoc = chain_map();
+    const flow::FlowResult r = flow::analyze(m, assoc);
+    ASSERT_TRUE(r.converged);
+    ASSERT_EQ(r.components.size(), 3u);
+
+    const double pa = flow::permeability(1, -1.0);
+    const flow::ComponentFlow* a = r.find("A");
+    const flow::ComponentFlow* b = r.find("B");
+    const flow::ComponentFlow* c = r.find("C");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+
+    EXPECT_TRUE(a->entry_point);
+    EXPECT_DOUBLE_EQ(a->taint, pa);
+    EXPECT_EQ(a->depth, 0u);
+    EXPECT_FALSE(b->entry_point);
+    EXPECT_DOUBLE_EQ(b->taint, pa * pa);
+    EXPECT_EQ(b->depth, 1u);
+    // C has no vectors: permeability 0, compromise cannot cross into it.
+    EXPECT_DOUBLE_EQ(c->permeability, 0.0);
+    EXPECT_DOUBLE_EQ(c->taint, 0.0);
+    EXPECT_EQ(c->depth, UINT32_MAX);
+    EXPECT_EQ(r.counts.tainted, 2u);
+    EXPECT_EQ(r.counts.analyses, 1u);
+}
+
+TEST(FlowAnalyze, DirectedCycleConverges) {
+    model::SystemModel m("cycle", "three-node directed cycle");
+    const auto a = m.add_component("A", model::ComponentType::Compute);
+    const auto b = m.add_component("B", model::ComponentType::Compute);
+    const auto c = m.add_component("C", model::ComponentType::Compute);
+    m.component(a).external_facing = true;
+    m.connect(a, b, "a-b");
+    m.connect(b, c, "b-c");
+    m.connect(c, a, "c-a");
+    const auto assoc = stub_map({{"A", 1, -1.0}, {"B", 1, -1.0}, {"C", 1, -1.0}});
+
+    const flow::FlowResult r = flow::analyze(m, assoc);
+    ASSERT_TRUE(r.converged);
+    const double p = flow::permeability(1, -1.0);
+    // Going around the loop only attenuates: the fixpoint is the max over
+    // simple paths, and A's own entry value dominates any value returning
+    // through C.
+    EXPECT_DOUBLE_EQ(r.find("A")->taint, p);
+    EXPECT_DOUBLE_EQ(r.find("B")->taint, p * p);
+    EXPECT_DOUBLE_EQ(r.find("C")->taint, p * p * p);
+}
+
+TEST(FlowAnalyze, SelfLoopIsInert) {
+    model::SystemModel m("selfloop", "entry with a self loop");
+    const auto a = m.add_component("A", model::ComponentType::Compute);
+    const auto b = m.add_component("B", model::ComponentType::Compute);
+    m.component(a).external_facing = true;
+    m.connect(a, a, "loopback");
+    m.connect(a, b, "a-b");
+    const auto assoc = stub_map({{"A", 1, -1.0}, {"B", 1, -1.0}});
+
+    const flow::FlowResult r = flow::analyze(m, assoc);
+    ASSERT_TRUE(r.converged);
+    const double p = flow::permeability(1, -1.0);
+    EXPECT_DOUBLE_EQ(r.find("A")->taint, p);
+    EXPECT_DOUBLE_EQ(r.find("B")->taint, p * p);
+}
+
+TEST(FlowAnalyze, DisconnectedRegionStaysBottom) {
+    auto m = chain_model();
+    const auto island = m.add_component("Island", model::ComponentType::Sensor);
+    const auto rock = m.add_component("Rock", model::ComponentType::Sensor);
+    m.connect(island, rock, "island-rock");
+    // The island carries vectors but is not external facing and has no
+    // path from the entry: it must stay at bottom.
+    auto assoc = chain_map();
+    auto extra = stub_map({{"Island", 5, 9.0}});
+    assoc.components.push_back(std::move(extra.components.front()));
+
+    const flow::FlowResult r = flow::analyze(m, assoc);
+    ASSERT_TRUE(r.converged);
+    const flow::ComponentFlow* cf = r.find("Island");
+    ASSERT_NE(cf, nullptr);
+    EXPECT_GT(cf->permeability, 0.0);
+    EXPECT_DOUBLE_EQ(cf->taint, 0.0);
+    EXPECT_EQ(cf->depth, UINT32_MAX);
+    EXPECT_FALSE(cf->entry_point);
+}
+
+TEST(FlowAnalyze, BidirectionalConnectorFlowsBothWays) {
+    model::SystemModel m("bidi", "request/response pair");
+    const auto a = m.add_component("A", model::ComponentType::Compute);
+    const auto b = m.add_component("B", model::ComponentType::Controller);
+    m.component(a).external_facing = true;
+    m.connect(a, b, "req-resp", model::ChannelKind::Ethernet, /*bidirectional=*/true);
+    const auto assoc = stub_map({{"A", 1, -1.0}, {"B", 1, -1.0}});
+    const auto hz = hazards_on({{"A", {"H-1"}}});
+
+    const flow::FlowResult r = flow::analyze(m, assoc, &hz);
+    ASSERT_TRUE(r.converged);
+    const double p = flow::permeability(1, -1.0);
+    // Taint reaches B forward; the backward slice reaches B through the
+    // reverse direction of the same connector (B can influence A's UCA).
+    EXPECT_DOUBLE_EQ(r.find("B")->taint, p * p);
+    ASSERT_EQ(r.slices.size(), 1u);
+    EXPECT_EQ(r.slices[0].hazard, "H-1");
+    EXPECT_EQ(r.slices[0].components, (std::vector<std::string>{"A", "B"}));
+    EXPECT_TRUE(r.slices[0].tainted_reach);
+}
+
+// -- slices and chokepoints --------------------------------------------------
+
+TEST(FlowAnalyze, BackwardSliceCoversUpstreamOfController) {
+    const auto m = chain_model();
+    const auto hz = hazards_on({{"C", {"H-1"}}});
+    const flow::FlowResult r = flow::analyze(m, chain_map(), &hz);
+
+    ASSERT_EQ(r.slices.size(), 1u);
+    EXPECT_EQ(r.slices[0].components, (std::vector<std::string>{"A", "B", "C"}));
+    // C's permeability is zero, so taint never reaches the controller.
+    EXPECT_FALSE(r.slices[0].tainted_reach);
+    EXPECT_TRUE(r.find("C")->hazard_linked);
+    EXPECT_EQ(r.find("A")->influences, (std::vector<std::string>{"H-1"}));
+    EXPECT_EQ(r.flows_total, 0u);
+    EXPECT_TRUE(r.chokepoints.empty());
+}
+
+TEST(FlowAnalyze, DiamondChokepointIsTheMinCut) {
+    const auto m = diamond_model();
+    const auto hz = hazards_on({{"Ctl", {"H-1"}}});
+    const flow::FlowResult r = flow::analyze(m, diamond_map(), &hz);
+    ASSERT_TRUE(r.converged);
+
+    EXPECT_EQ(r.flows_total, 1u); // one entry, one hazard controller, connected
+    EXPECT_EQ(r.min_cut_size, 1u);
+    ASSERT_FALSE(r.chokepoints.empty());
+    // Mid is the unique interior cut vertex; hardening it severs the flow.
+    bool mid_in_cut = false;
+    for (const flow::Chokepoint& c : r.chokepoints) {
+        EXPECT_GT(c.severed, 0u);
+        if (c.component == "Mid") {
+            mid_in_cut = c.in_min_cut;
+            EXPECT_TRUE(c.articulation);
+            EXPECT_EQ(c.severed, 1u);
+        }
+        EXPECT_NE(c.component, "Left");  // redundant path members sever nothing
+        EXPECT_NE(c.component, "Right");
+    }
+    EXPECT_TRUE(mid_in_cut);
+}
+
+TEST(FlowAnalyze, NullHazardsYieldsTaintOnly) {
+    const flow::FlowResult r = flow::analyze(diamond_model(), diamond_map(), nullptr);
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(r.slices.empty());
+    EXPECT_TRUE(r.chokepoints.empty());
+    EXPECT_EQ(r.flows_total, 0u);
+    EXPECT_GT(r.counts.tainted, 0u);
+}
+
+TEST(FlowResult, SummaryFindAndJsonShape) {
+    const auto m = diamond_model();
+    const auto hz = hazards_on({{"Ctl", {"H-1"}}});
+    const flow::FlowResult r = flow::analyze(m, diamond_map(), &hz);
+
+    EXPECT_EQ(r.find("NoSuch"), nullptr);
+    const std::string s = r.summary();
+    EXPECT_NE(s.find("tainted"), std::string::npos);
+    EXPECT_NE(s.find("chokepoint"), std::string::npos);
+
+    const json::Value v = r.to_json();
+    EXPECT_TRUE(v.contains("components"));
+    EXPECT_TRUE(v.contains("slices"));
+    EXPECT_TRUE(v.contains("chokepoints"));
+    EXPECT_TRUE(v.contains("converged"));
+    EXPECT_TRUE(v.contains("counts"));
+}
+
+// -- determinism -------------------------------------------------------------
+
+TEST(FlowDeterminism, LintByteIdenticalAcrossThreadCounts) {
+    const auto m = synth::centrifuge_model();
+    // Saturating evidence everywhere: permeability clamps to 1, so taint
+    // reaches the controllers undiminished and every F-rule has material.
+    const auto assoc = stub_map({{"Programming WS", 64, 10.0},
+                                 {"Control firewall", 64, 10.0},
+                                 {"BPCS platform", 64, 10.0},
+                                 {"SIS platform", 64, 10.0}});
+    const auto hz =
+        hazards_on({{"BPCS platform", {"H-1"}}, {"SIS platform", {"H-2"}}}, 2);
+
+    lint::LintInput input;
+    input.model = &m;
+    input.hazards = &hz;
+    input.associations = &assoc;
+
+    std::string first;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        lint::LintOptions opts;
+        opts.threads = threads;
+        const lint::LintResult r = lint::run_lint(input, opts);
+        const std::string text = r.render_text();
+        if (first.empty()) {
+            first = text;
+            // The fixture is seeded so the flow rules actually fire.
+            EXPECT_NE(text.find("F00"), std::string::npos);
+        } else {
+            EXPECT_EQ(text, first) << "thread count " << threads
+                                   << " changed lint output";
+        }
+    }
+}
+
+TEST(FlowDeterminism, RepeatedAnalyzeIsFingerprintStable) {
+    const auto m = diamond_model();
+    const auto assoc = diamond_map();
+    const auto hz = hazards_on({{"Ctl", {"H-1"}}});
+    const std::string fp = flow::analyze(m, assoc, &hz).fingerprint();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(flow::analyze(m, assoc, &hz).fingerprint(), fp);
+}
+
+// -- incremental re-analysis -------------------------------------------------
+
+TEST(FlowReanalyze, EmptyDiffReusesEveryComponent) {
+    const auto m = diamond_model();
+    const auto assoc = diamond_map();
+    const auto hz = hazards_on({{"Ctl", {"H-1"}}});
+    const flow::FlowResult full = flow::analyze(m, assoc, &hz);
+
+    const model::ModelDiff diff = model::diff(m, m);
+    const flow::FlowResult inc = flow::reanalyze(full, diff, m, assoc, &hz);
+    EXPECT_EQ(inc.fingerprint(), full.fingerprint());
+    EXPECT_EQ(inc.counts.incremental_analyses, 1u);
+    EXPECT_EQ(inc.counts.reused_components, full.components.size());
+}
+
+TEST(FlowReanalyze, MatchesFullRecomputeAfterEachEditKind) {
+    const auto hz = hazards_on({{"Ctl", {"H-1"}}});
+
+    const auto oracle = [&hz](const model::SystemModel& before,
+                              const search::AssociationMap& before_map,
+                              const model::SystemModel& after,
+                              const search::AssociationMap& after_map,
+                              const char* what) {
+        const flow::FlowResult prev = flow::analyze(before, before_map, &hz);
+        const model::ModelDiff d = model::diff(before, after);
+        const flow::FlowResult inc = flow::reanalyze(prev, d, after, after_map, &hz);
+        const flow::FlowResult full = flow::analyze(after, after_map, &hz);
+        EXPECT_EQ(inc.fingerprint(), full.fingerprint()) << "edit kind: " << what;
+        EXPECT_TRUE(inc.converged) << "edit kind: " << what;
+    };
+
+    // (1) add a component + connector feeding the chokepoint
+    {
+        const auto before = diamond_model();
+        auto after = diamond_model();
+        const auto extra = after.add_component("Extra", model::ComponentType::Compute);
+        after.connect(*after.find_component("Entry"), extra, "e-x");
+        after.connect(extra, *after.find_component("Mid"), "x-m");
+        auto map = diamond_map();
+        auto more = stub_map({{"Extra", 2, 5.0}});
+        map.components.push_back(std::move(more.components.front()));
+        oracle(before, diamond_map(), after, map, "add component+connectors");
+    }
+    // (2) remove a component (kills the Left branch)
+    {
+        const auto before = diamond_model();
+        auto after = diamond_model();
+        after.remove_component(*after.find_component("Left"));
+        oracle(before, diamond_map(), after, diamond_map(), "remove component");
+    }
+    // (3) add a redundant connector around the chokepoint
+    {
+        const auto before = diamond_model();
+        auto after = diamond_model();
+        after.connect(*after.find_component("Left"), *after.find_component("Ctl"),
+                      "bypass");
+        oracle(before, diamond_map(), after, diamond_map(), "add connector");
+    }
+    // (4) attribute-only edit (changes the diff, not the flow facts)
+    {
+        const auto before = diamond_model();
+        auto after = diamond_model();
+        model::Attribute attr;
+        attr.name = "firmware";
+        attr.value = "v2";
+        after.set_attribute(*after.find_component("Mid"), attr);
+        oracle(before, diamond_map(), after, diamond_map(), "attribute edit");
+    }
+    // (5) association drift with no structural change: Mid loses all its
+    //     vectors, so taint downstream of it must collapse.
+    {
+        const auto m = diamond_model();
+        const auto drifted = stub_map({{"Entry", 2, 7.5},
+                                       {"Left", 1, -1.0},
+                                       {"Right", 1, -1.0},
+                                       {"Ctl", 1, 6.0}});
+        oracle(m, diamond_map(), m, drifted, "association drift");
+        const flow::FlowResult full = flow::analyze(m, drifted, &hz);
+        EXPECT_DOUBLE_EQ(full.find("Mid")->taint, 0.0);
+        EXPECT_DOUBLE_EQ(full.find("Ctl")->taint, 0.0);
+    }
+    // (6) external-facing flip: Entry stops being an entry point.
+    {
+        const auto before = diamond_model();
+        auto after = diamond_model();
+        after.component(*after.find_component("Entry")).external_facing = false;
+        oracle(before, diamond_map(), after, diamond_map(), "entry flip");
+    }
+}
+
+TEST(FlowReanalyze, HazardUniverseChangeFallsBackToFull) {
+    const auto m = diamond_model();
+    const auto assoc = diamond_map();
+    const auto hz1 = hazards_on({{"Ctl", {"H-1"}}}, 1);
+    const auto hz2 = hazards_on({{"Ctl", {"H-1"}}, {"Mid", {"H-2"}}}, 2);
+
+    const flow::FlowResult prev = flow::analyze(m, assoc, &hz1);
+    const model::ModelDiff d = model::diff(m, m);
+    const flow::FlowResult inc = flow::reanalyze(prev, d, m, assoc, &hz2);
+    const flow::FlowResult full = flow::analyze(m, assoc, &hz2);
+    EXPECT_EQ(inc.fingerprint(), full.fingerprint());
+    // The bit universe changed, so this must have run as a full analysis.
+    EXPECT_EQ(inc.counts.analyses, 1u);
+    EXPECT_EQ(inc.counts.incremental_analyses, 0u);
+    EXPECT_EQ(inc.slices.size(), 2u);
+}
+
+// -- session integration -----------------------------------------------------
+
+TEST(FlowSession, CommitLoopMatchesFreshSession) {
+    const kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    auto m = synth::centrifuge_model();
+    safety::HazardModel hz = hazards_on({{"BPCS platform", {"H-1"}}}, 1);
+
+    core::AnalysisSession session(m, corpus);
+    session.set_hazards(hz);
+    const flow::FlowResult first = session.flow();
+    EXPECT_EQ(first.counts.analyses, 1u);
+
+    auto candidate = session.model();
+    const auto extra = candidate.add_component("Historian", model::ComponentType::Compute);
+    const auto bpcs = candidate.find_component("BPCS platform");
+    ASSERT_TRUE(bpcs.has_value());
+    candidate.connect(*bpcs, extra, "trend-data");
+    (void)session.commit(std::move(candidate));
+
+    const flow::FlowResult& second = session.flow();
+    EXPECT_EQ(second.counts.incremental_analyses, 1u);
+
+    core::AnalysisSession fresh(session.model(), corpus);
+    fresh.set_hazards(hz);
+    EXPECT_EQ(second.fingerprint(), fresh.flow().fingerprint());
+
+    // The counters surface through the session metrics rollup.
+    const search::AssocMetrics metrics = session.assoc_metrics();
+    EXPECT_TRUE(metrics.flow.ran());
+    EXPECT_GE(metrics.flow.analyses + metrics.flow.incremental_analyses, 2u);
+}
+
+TEST(FlowSession, SetHazardsInvalidatesIncrementalBaseline) {
+    const kb::Corpus corpus = synth::generate_corpus(synth::CorpusProfile::scaled(0.1, 99));
+    core::AnalysisSession session(diamond_model(), corpus);
+    session.set_hazards(hazards_on({{"Ctl", {"H-1"}}}, 1));
+    (void)session.flow();
+    // Replacing the hazard model must not reuse slices from the old one.
+    session.set_hazards(hazards_on({{"Ctl", {"H-1"}}, {"Mid", {"H-2"}}}, 2));
+    EXPECT_EQ(session.flow().slices.size(), 2u);
+}
+
+} // namespace
+} // namespace cybok

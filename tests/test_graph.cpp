@@ -375,3 +375,93 @@ TEST(GraphAlgorithms, SccEmptyAndSelfLoop) {
     ASSERT_EQ(sccs.size(), 1u);
     EXPECT_EQ(sccs[0], std::vector<NodeId>{a});
 }
+
+TEST(GraphAlgorithms, SimplePathsBoundedReportsTruncation) {
+    PropertyGraph g = diamondish();
+    NodeId a = *g.find_node("a");
+    NodeId d = *g.find_node("d");
+    // Two paths exist; a cap of one means the enumeration gave up early.
+    SimplePaths capped = all_simple_paths_bounded(g, a, d, 5, 1);
+    EXPECT_EQ(capped.paths.size(), 1u);
+    EXPECT_TRUE(capped.truncated);
+    // A hop bound that prunes a branch is also a truncation, not exhaustion.
+    SimplePaths hop_cut = all_simple_paths_bounded(g, a, d, 2, 4096);
+    EXPECT_EQ(hop_cut.paths.size(), 1u);
+    EXPECT_TRUE(hop_cut.truncated);
+    // Room for everything: the path space was exhausted.
+    SimplePaths all = all_simple_paths_bounded(g, a, d, 5, 4096);
+    EXPECT_EQ(all.paths.size(), 2u);
+    EXPECT_FALSE(all.truncated);
+}
+
+TEST(GraphAlgorithms, MinVertexCutSingleWaist) {
+    // s -> {p, q} -> m -> t : every path squeezes through m.
+    PropertyGraph g;
+    NodeId s = g.add_node("s");
+    NodeId p = g.add_node("p");
+    NodeId q = g.add_node("q");
+    NodeId m = g.add_node("m");
+    NodeId t = g.add_node("t");
+    g.add_edge(s, p);
+    g.add_edge(s, q);
+    g.add_edge(p, m);
+    g.add_edge(q, m);
+    g.add_edge(m, t);
+    EXPECT_EQ(min_vertex_cut(g, {s}, {t}), std::vector<NodeId>{m});
+}
+
+TEST(GraphAlgorithms, MinVertexCutDisjointPathsNeedTwoNodes) {
+    // Two fully node-disjoint s->t routes: the cut must take one from each.
+    PropertyGraph g;
+    NodeId s = g.add_node("s");
+    NodeId a = g.add_node("a");
+    NodeId b = g.add_node("b");
+    NodeId t = g.add_node("t");
+    g.add_edge(s, a);
+    g.add_edge(a, t);
+    g.add_edge(s, b);
+    g.add_edge(b, t);
+    std::vector<NodeId> cut = min_vertex_cut(g, {s}, {t});
+    EXPECT_EQ(cut.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(cut.begin(), cut.end()));
+}
+
+TEST(GraphAlgorithms, MinVertexCutIgnoresDirectEdge) {
+    // The direct s->t edge cannot be severed by removing an intermediate;
+    // only the path through m is cuttable.
+    PropertyGraph g;
+    NodeId s = g.add_node("s");
+    NodeId m = g.add_node("m");
+    NodeId t = g.add_node("t");
+    g.add_edge(s, t);
+    g.add_edge(s, m);
+    g.add_edge(m, t);
+    EXPECT_EQ(min_vertex_cut(g, {s}, {t}), std::vector<NodeId>{m});
+}
+
+TEST(GraphAlgorithms, MinVertexCutEmptyWhenUnreachable) {
+    PropertyGraph g;
+    NodeId s = g.add_node("s");
+    NodeId m = g.add_node("m");
+    NodeId t = g.add_node("t");
+    g.add_edge(t, m); // edges point away from t; s reaches nothing
+    g.add_edge(m, s);
+    EXPECT_TRUE(min_vertex_cut(g, {s}, {t}).empty());
+    EXPECT_TRUE(min_vertex_cut(g, {}, {t}).empty());
+    EXPECT_TRUE(min_vertex_cut(g, {s}, {}).empty());
+}
+
+TEST(GraphAlgorithms, MinVertexCutMultiSourceMultiTarget) {
+    // {s1, s2} both funnel through m to reach {t1, t2}.
+    PropertyGraph g;
+    NodeId s1 = g.add_node("s1");
+    NodeId s2 = g.add_node("s2");
+    NodeId m = g.add_node("m");
+    NodeId t1 = g.add_node("t1");
+    NodeId t2 = g.add_node("t2");
+    g.add_edge(s1, m);
+    g.add_edge(s2, m);
+    g.add_edge(m, t1);
+    g.add_edge(m, t2);
+    EXPECT_EQ(min_vertex_cut(g, {s1, s2}, {t1, t2}), std::vector<NodeId>{m});
+}

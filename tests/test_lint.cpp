@@ -131,7 +131,7 @@ TEST(Lint, CleanFixtureProducesNoDiagnostics) {
     EXPECT_TRUE(r.diagnostics.empty()) << r.render_text();
     EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.rules_run, lint::registry().size());
-    EXPECT_EQ(r.summary(), "0 errors, 0 warnings, 0 notes (16 rules)");
+    EXPECT_EQ(r.summary(), "0 errors, 0 warnings, 0 notes (19 rules)");
 }
 
 TEST(Lint, AllNullInputIsOkAndEmpty) {
@@ -472,4 +472,170 @@ TEST(LintSession, ReportCarriesDiagnosticsSection) {
     s.set_hazards(synth::centrifuge_hazards());
     dashboard::Report r = s.report();
     ASSERT_NE(r.find_section("Diagnostics"), nullptr);
+}
+
+// ------------------------------------------------------------ option hygiene
+
+TEST(Lint, UnknownRuleCodesAreRejected) {
+    model::SystemModel m = clean_model();
+    lint::LintInput in;
+    in.model = &m;
+
+    lint::LintOptions bad_disable;
+    bad_disable.disabled.insert("M999");
+    EXPECT_THROW(lint::run_lint(in, bad_disable), ValidationError);
+
+    lint::LintOptions bad_override;
+    bad_override.severity_overrides["Z123"] = lint::Severity::Error;
+    EXPECT_THROW(lint::run_lint(in, bad_override), ValidationError);
+
+    // The error names every offender, sorted, so a CI config typo is
+    // diagnosable from the message alone.
+    lint::LintOptions both;
+    both.disabled.insert("M999");
+    both.severity_overrides["A000"] = lint::Severity::Note;
+    try {
+        (void)lint::run_lint(in, both);
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("A000"), std::string::npos) << what;
+        EXPECT_NE(what.find("M999"), std::string::npos) << what;
+        EXPECT_LT(what.find("A000"), what.find("M999")) << what;
+    }
+}
+
+// ------------------------------------------------------------------- SARIF
+
+TEST(Lint, SarifDocumentCarriesRulesAndResults) {
+    DefectFixture f;
+    lint::LintResult r = lint::run_lint(f.input());
+    ASSERT_FALSE(r.diagnostics.empty());
+
+    json::Value doc = r.to_sarif();
+    EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+    const json::Value& run = doc.at("runs").as_array().at(0);
+    const json::Value& driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").as_string(), "cybok-lint");
+    EXPECT_EQ(driver.at("rules").as_array().size(), lint::registry().size());
+
+    const auto& results = run.at("results").as_array();
+    ASSERT_EQ(results.size(), r.diagnostics.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const json::Value& res = results.at(i);
+        EXPECT_EQ(res.at("ruleId").as_string(), r.diagnostics[i].code);
+        const std::string& level = res.at("level").as_string();
+        EXPECT_TRUE(level == "error" || level == "warning" || level == "note");
+        // The subject travels as a logical location.
+        const json::Value& loc = res.at("locations").as_array().at(0);
+        EXPECT_EQ(loc.at("logicalLocations")
+                      .as_array()
+                      .at(0)
+                      .at("name")
+                      .as_string(),
+                  r.diagnostics[i].subject);
+    }
+}
+
+// --------------------------------------------------------------- flow rules
+
+namespace {
+
+/// Entry -> Mid -> Ctl chain seeded so each F-rule fires exactly once:
+/// Entry and Mid saturate permeability (taint 1.0), Ctl's weaker evidence
+/// keeps its taint in [0.5, 0.8) — an F001 error without a second F002.
+struct FlowDefectFixture {
+    model::SystemModel m{"flowdefect", "seeded flow findings"};
+    safety::HazardModel hz;
+    search::AssociationMap assoc;
+
+    FlowDefectFixture() {
+        const auto entry = m.add_component("Entry", model::ComponentType::Compute);
+        const auto mid = m.add_component("Mid", model::ComponentType::Network);
+        const auto ctl = m.add_component("Ctl", model::ComponentType::Controller);
+        m.component(entry).external_facing = true;
+        m.connect(entry, mid, "e-m");
+        m.connect(mid, ctl, "m-c");
+
+        hz.add(safety::Loss{"L-1", "loss of containment"});
+        hz.add(safety::Hazard{"H-1", "unsafe actuation", {"L-1"}});
+        safety::UnsafeControlAction uca;
+        uca.id = "UCA-1";
+        uca.controller = "Ctl";
+        uca.action = "actuate";
+        uca.hazards = {"H-1"};
+        hz.add(uca);
+
+        for (const auto& [name, vectors, cvss] :
+             {std::tuple<const char*, int, double>{"Entry", 64, 10.0},
+              {"Mid", 64, 10.0},
+              {"Ctl", 1, 6.0}}) {
+            search::ComponentAssociation ca;
+            ca.component = name;
+            search::AttributeAssociation aa;
+            aa.attribute_name = "role";
+            aa.attribute_value = "stub";
+            for (int i = 0; i < vectors; ++i) {
+                search::Match match;
+                match.cls = search::VectorClass::Weakness;
+                match.id = "CWE-" + std::to_string(100 + i);
+                match.severity = i == 0 ? cvss : -1.0;
+                aa.matches.push_back(std::move(match));
+            }
+            ca.attributes.push_back(std::move(aa));
+            assoc.components.push_back(std::move(ca));
+        }
+    }
+
+    lint::LintInput input() const {
+        lint::LintInput in;
+        in.model = &m;
+        in.hazards = &hz;
+        in.associations = &assoc;
+        return in;
+    }
+};
+
+} // namespace
+
+TEST(Lint, F001TaintedHazardPath) {
+    FlowDefectFixture f;
+    lint::Diagnostic d =
+        expect_once(lint::run_lint(f.input()), "F001", lint::Severity::Error);
+    EXPECT_EQ(d.subject, "Ctl");
+    EXPECT_NE(d.message.find("H-1"), std::string::npos) << d.message;
+}
+
+TEST(Lint, F002UnattenuatedExternalReach) {
+    FlowDefectFixture f;
+    lint::Diagnostic d =
+        expect_once(lint::run_lint(f.input()), "F002", lint::Severity::Warning);
+    EXPECT_EQ(d.subject, "Mid");
+}
+
+TEST(Lint, F003SingleChokepoint) {
+    FlowDefectFixture f;
+    lint::Diagnostic d =
+        expect_once(lint::run_lint(f.input()), "F003", lint::Severity::Note);
+    EXPECT_EQ(d.subject, "Mid");
+}
+
+TEST(Lint, FlowRulesAreGatedOnAssociations) {
+    // Without an association map the flow pass has no evidence to reason
+    // from: the F-rules stay silent instead of reporting a vacuously
+    // un-tainted model (this is what keeps association-free CI runs clean).
+    FlowDefectFixture f;
+    lint::LintInput in = f.input();
+    in.associations = nullptr;
+    lint::LintResult r = lint::run_lint(in);
+    EXPECT_TRUE(with_code(r, "F001").empty());
+    EXPECT_TRUE(with_code(r, "F002").empty());
+    EXPECT_TRUE(with_code(r, "F003").empty());
+}
+
+TEST(Lint, FlowTimingSurfacesInJson) {
+    FlowDefectFixture f;
+    lint::LintResult r = lint::run_lint(f.input());
+    json::Value v = r.to_json();
+    EXPECT_TRUE(v.at("timings").contains("flow_ns"));
 }
