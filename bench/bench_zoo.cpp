@@ -1,0 +1,97 @@
+// Cost of zoo generation and fleet batch analysis (src/synth/zoo.*,
+// src/analysis/fleet.*). The deterministic counters this suite exports —
+// generated connectors/entry points per domain, and the fleet's summed
+// association/flow counters — are pure functions of the generator seed
+// and the demo corpus, so tools/bench_thresholds.json gates exact
+// ceilings on them: a generator that silently densifies its topology or
+// a fleet pass that loses its pruning shows up as counter drift, never
+// as a flaky timing comparison.
+//
+// The preamble prints the per-domain shape at the headline scale plus
+// one fleet ranking summary (the numbers quoted in EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "analysis/fleet.hpp"
+#include "bench_common.hpp"
+#include "synth/zoo.hpp"
+
+using namespace cybok;
+
+namespace {
+
+synth::ZooConfig config_for(synth::ZooDomain domain, std::int64_t components) {
+    synth::ZooConfig cfg;
+    cfg.domain = domain;
+    cfg.seed = 11;
+    cfg.components = static_cast<std::size_t>(components);
+    return cfg;
+}
+
+void BM_ZooGenerate(benchmark::State& state, synth::ZooDomain domain) {
+    const synth::ZooConfig cfg = config_for(domain, state.range(0));
+    synth::ZooSystem sys;
+    for (auto _ : state) {
+        sys = synth::generate_zoo_system(cfg);
+        benchmark::DoNotOptimize(sys);
+    }
+    std::size_t entries = 0;
+    for (const model::Component& c : sys.model.components())
+        if (c.id.valid() && c.external_facing) ++entries;
+    state.counters["connectors"] =
+        static_cast<double>(sys.model.connectors().size());
+    state.counters["entry_points"] = static_cast<double>(entries);
+}
+
+void BM_FleetAnalyze(benchmark::State& state) {
+    analysis::FleetOptions options;
+    options.systems = static_cast<std::size_t>(state.range(0));
+    options.components = 30;
+    options.threads = 0; // hardware concurrency; counters never depend on it
+    analysis::FleetResult result;
+    for (auto _ : state) {
+        result = analysis::analyze_fleet(bench::demo_engine(), options);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["fleet_vectors"] = static_cast<double>(result.total_vectors);
+    state.counters["fleet_tainted"] = static_cast<double>(result.total_tainted);
+    state.counters["queries_run"] = static_cast<double>(result.metrics.queries_run);
+    state.counters["taint_iterations"] =
+        static_cast<double>(result.flow_totals.taint_iterations);
+    state.counters["flow_edges_traversed"] =
+        static_cast<double>(result.flow_totals.edges_traversed);
+}
+
+void print_zoo_summary() {
+    std::printf("Zoo generation at 1000 components (seed 11)\n");
+    for (synth::ZooDomain d : synth::all_zoo_domains()) {
+        const synth::ZooSystem sys =
+            synth::generate_zoo_system(config_for(d, 1000));
+        std::size_t entries = 0;
+        for (const model::Component& c : sys.model.components())
+            if (c.id.valid() && c.external_facing) ++entries;
+        std::printf("  %-10s %zu connectors, %zu entry points, %zu UCAs\n",
+                    std::string(synth::zoo_domain_name(d)).c_str(),
+                    sys.model.connectors().size(), entries, sys.hazards.ucas().size());
+    }
+    analysis::FleetOptions options;
+    options.systems = 16;
+    options.components = 30;
+    const analysis::FleetResult fleet =
+        analysis::analyze_fleet(bench::demo_engine(), options);
+    std::printf("Fleet: %s\n\n", fleet.summary().c_str());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_ZooGenerate, uav, synth::ZooDomain::Uav)
+    ->Arg(50)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ZooGenerate, automotive, synth::ZooDomain::Automotive)
+    ->Arg(50)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ZooGenerate, grid, synth::ZooDomain::Grid)
+    ->Arg(50)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ZooGenerate, water, synth::ZooDomain::Water)
+    ->Arg(50)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FleetAnalyze)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+CYBOK_BENCH_MAIN(print_zoo_summary)

@@ -24,7 +24,9 @@
 #include <optional>
 #include <string>
 
+#include "analysis/fleet.hpp"
 #include "core/session.hpp"
+#include "dashboard/fleet_view.hpp"
 #include "dashboard/vector_graph.hpp"
 #include "graph/graphml.hpp"
 #include "kb/serialize.hpp"
@@ -99,7 +101,16 @@ int cmd_generate(const Args& args) {
 
 int cmd_model(const Args& args) {
     model::SystemModel m;
-    if (std::string synth = args.get("synth"); !synth.empty()) {
+    if (std::string zoo = args.get("zoo"); !zoo.empty()) {
+        const std::optional<synth::ZooDomain> domain = synth::parse_zoo_domain(zoo);
+        if (!domain)
+            throw Error("unknown --zoo domain: " + zoo + " (try uav|automotive|grid|water)");
+        synth::ZooConfig config;
+        config.domain = *domain;
+        config.components = std::stoul(args.get("components", "50"));
+        config.seed = std::stoull(args.get("seed", "11"));
+        m = synth::generate_zoo_system(config).model;
+    } else if (std::string synth = args.get("synth"); !synth.empty()) {
         synth::ModelGenConfig config;
         config.components = std::stoul(synth);
         config.seed = std::stoull(args.get("seed", "11"));
@@ -270,6 +281,49 @@ int cmd_report(const Args& args) {
     return 0;
 }
 
+int cmd_fleet(const Args& args) {
+    // Same engine bootstrap as `serve`: files when given, the SCADA demo
+    // corpus otherwise, with the snapshot cold-start cache available.
+    kb::Corpus corpus = args.get("corpus").empty()
+                            ? synth::generate_corpus(synth::CorpusProfile::scada_demo())
+                            : kb::load_corpus(args.require("corpus"));
+    core::SessionOptions engine_opts;
+    engine_opts.snapshot_path = args.get("snapshot");
+    std::shared_ptr<const core::SharedEngine> engine =
+        core::make_shared_engine(corpus, engine_opts);
+
+    analysis::FleetOptions options;
+    options.systems = std::stoul(args.get("systems", "16"));
+    options.base_seed = std::stoull(args.get("seed", "11"));
+    options.components = std::stoul(args.get("components", "50"));
+    options.threads = std::stoul(args.get("threads", "0"));
+    options.top_paths = std::stoul(args.get("top", "3"));
+    for (std::string_view name : strings::split(args.get("domains"), ',')) {
+        name = strings::trim(name);
+        if (name.empty()) continue;
+        const std::optional<synth::ZooDomain> d = synth::parse_zoo_domain(name);
+        if (!d)
+            throw Error("unknown --domains entry: " + std::string(name) +
+                        " (try uav|automotive|grid|water)");
+        options.domains.push_back(*d);
+    }
+
+    const analysis::FleetResult result = analysis::analyze_fleet(engine->query(), options);
+    if (args.get("fingerprint", "absent") != "absent") {
+        // The canonical byte rendering — what the cross-thread-count
+        // determinism checks compare.
+        std::fputs(result.fingerprint().c_str(), stdout);
+        return 0;
+    }
+    const std::string format = args.get("format", "text");
+    if (format == "json")
+        std::fputs((json::dump(result.to_json(), 2) + "\n").c_str(), stdout);
+    else
+        std::fputs(dashboard::render_fleet_table(result, format == "markdown").c_str(),
+                   stdout);
+    return 0;
+}
+
 int cmd_serve(const Args& args) {
     // Corpus + base model: from files when given, the paper's SCADA demo
     // otherwise — so `cybok serve` with no options is a working server.
@@ -333,6 +387,10 @@ int cmd_client(const Args& args) {
     req.commit = args.get("commit", "absent") != "absent";
     req.snapshot = args.get("snapshot");
     req.delta = args.get("delta");
+    req.systems = std::stoul(args.get("systems", "8"));
+    req.domains = args.get("domains");
+    req.seed = std::stoull(args.get("seed", "11"));
+    req.components = std::stoul(args.get("components", "40"));
 
     serve::BlockingClient client(args.get("host", "127.0.0.1"),
                                  static_cast<std::uint16_t>(std::stoul(args.require("port"))));
@@ -367,6 +425,8 @@ void usage() {
         "  generate  --out corpus.json [--scale F] [--seed N]   synthesize a corpus\n"
         "  model     --demo NAME --out sys.sysm                 write a demo model (DSL)\n"
         "  model     --synth N [--seed S] --out sys.sysm        write a generated model\n"
+        "  model     --zoo D [--components N] [--seed S] --out sys.sysm\n"
+        "            write a zoo architecture (uav|automotive|grid|water)\n"
         "  search    --corpus C --query Q [--class K] [--limit N]\n"
         "  associate --corpus C --model M [--out assoc.json]\n"
         "  lint      --corpus C --model M [--hazards demo] [--format text|json|sarif]\n"
@@ -376,6 +436,11 @@ void usage() {
         "  flow      --corpus C --model M [--hazards demo] [--format text|json]\n"
         "            [--fingerprint]\n"
         "            dataflow fixpoints: exposure taint, hazard slices, chokepoints\n"
+        "  fleet     [--corpus C] [--snapshot PATH] [--systems N] [--domains CSV]\n"
+        "            [--seed S] [--components N] [--threads N] [--top N]\n"
+        "            [--format text|markdown|json] [--fingerprint]\n"
+        "            batch-analyze N generated zoo systems (uav|automotive|grid|water)\n"
+        "            against one shared engine; byte-deterministic comparative ranking\n"
         "  report    --corpus C --model M --out-dir D [--hazards demo]\n"
         "  serve     [--corpus C] [--model M] [--snapshot PATH] [--bind A] [--port P]\n"
         "            [--lanes N] [--queue N] [--max-sessions N]\n"
@@ -383,7 +448,8 @@ void usage() {
         "            stop it with `cybok client --type shutdown`\n"
         "  client    --port P --type T [--host A] [--session S] [--text Q] [--class K]\n"
         "            [--limit N] [--model FILE] [--commit] [--snapshot PATH]\n"
-        "            [--delta PATH]\n"
+        "            [--delta PATH] [--systems N] [--domains CSV] [--seed S]\n"
+        "            [--components N]\n"
         "            send one request, print the JSON response; exit 4 on a\n"
         "            typed error response\n"
         "  table1                                               reproduce the paper's Table 1\n"
@@ -417,6 +483,7 @@ int main(int argc, char** argv) {
             if (command == "associate") return cmd_associate(args);
             if (command == "lint") return cmd_lint(args);
             if (command == "flow") return cmd_flow(args);
+            if (command == "fleet") return cmd_fleet(args);
             if (command == "report") return cmd_report(args);
             if (command == "serve") return cmd_serve(args);
             if (command == "client") return cmd_client(args);

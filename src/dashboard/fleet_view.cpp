@@ -1,0 +1,45 @@
+#include "dashboard/fleet_view.hpp"
+
+#include <cstdio>
+
+#include "dashboard/table.hpp"
+
+namespace cybok::dashboard {
+
+namespace {
+
+std::string fixed(double v, int decimals) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace
+
+std::string render_fleet_table(const analysis::FleetResult& fleet, bool markdown) {
+    TextTable table({"rank", "system", "domain", "comps", "vectors", "tainted", "hazards hit",
+                     "chokepts", "exposure", "risk"});
+    for (std::size_t c = 0; c < 10; ++c)
+        if (c != 1 && c != 2) table.align_right(c);
+    for (const analysis::FleetSystemReport& r : fleet.ranking) {
+        if (r.failed) {
+            table.add_row({std::to_string(r.rank), r.name, r.domain,
+                           std::to_string(r.components), "failed: " + r.error, "-", "-", "-",
+                           "-", "-"});
+            continue;
+        }
+        table.add_row({std::to_string(r.rank), r.name, r.domain, std::to_string(r.components),
+                       std::to_string(r.total_vectors()),
+                       std::to_string(r.tainted) + "/" + std::to_string(r.components),
+                       std::to_string(r.tainted_hazards) + "/" + std::to_string(r.hazards_total),
+                       std::to_string(r.chokepoints), fixed(r.top_exposure, 3),
+                       fixed(r.risk, 1)});
+    }
+    std::string out = markdown ? table.render_markdown() : table.render();
+    out += "\n";
+    out += fleet.summary();
+    out += "\n";
+    return out;
+}
+
+} // namespace cybok::dashboard

@@ -1,0 +1,19 @@
+// Comparative fleet ranking rendered as the dashboard's table shape — the
+// "architecture A vs architecture B" judgment the paper says is the only
+// defensible unit of security measurement, one row per analyzed system.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/fleet.hpp"
+
+namespace cybok::dashboard {
+
+/// One row per ranked system: rank, name, domain, size, vector mass,
+/// tainted reach, chokepoints, top path exposure, risk. Failed systems
+/// render their error in place of metrics.
+[[nodiscard]] std::string render_fleet_table(const analysis::FleetResult& fleet,
+                                             bool markdown = false);
+
+} // namespace cybok::dashboard

@@ -67,6 +67,8 @@ const std::vector<MessageTypeInfo>& known_message_types() {
         {MsgType::Compact, "compact",
          "admin: fold delta segments into a fresh base generation and switch to it"},
         {MsgType::Shutdown, "shutdown", "admin: graceful stop after the response is written"},
+        {MsgType::FleetAnalyze, "fleet.analyze",
+         "batch-analyze N generated zoo systems on the shared engine; comparative ranking"},
     };
     return types;
 }
@@ -244,6 +246,21 @@ Request decode_request(std::string_view payload) {
     case MsgType::DeltaApply:
         req.delta = require_string(doc, "delta", wire);
         break;
+    case MsgType::FleetAnalyze: {
+        const std::int64_t systems = doc.get_int("systems", 8);
+        if (systems < 1 || systems > 4096)
+            throw ProtocolError(ErrorCode::BadRequest, "`systems` must be in [1, 4096]");
+        req.systems = static_cast<std::size_t>(systems);
+        const std::int64_t components = doc.get_int("components", 40);
+        if (components < 10 || components > 10000)
+            throw ProtocolError(ErrorCode::BadRequest, "`components` must be in [10, 10000]");
+        req.components = static_cast<std::size_t>(components);
+        const std::int64_t seed = doc.get_int("seed", 11);
+        if (seed < 0) throw ProtocolError(ErrorCode::BadRequest, "`seed` must be >= 0");
+        req.seed = static_cast<std::uint64_t>(seed);
+        req.domains = doc.get_string("domains"); // csv; validated by the handler
+        break;
+    }
     }
     return req;
 }
@@ -288,6 +305,12 @@ json::Value encode_request(const Request& req) {
         break;
     case MsgType::DeltaApply:
         obj["delta"] = req.delta;
+        break;
+    case MsgType::FleetAnalyze:
+        obj["systems"] = static_cast<std::uint64_t>(req.systems);
+        obj["components"] = static_cast<std::uint64_t>(req.components);
+        obj["seed"] = req.seed;
+        if (!req.domains.empty()) obj["domains"] = req.domains;
         break;
     }
     return json::Value(std::move(obj));

@@ -110,6 +110,7 @@ enum class MsgType : std::uint8_t {
     DeltaApply,   ///< admin: apply a frozen corpus delta as a new generation
     Compact,      ///< admin: fold delta segments into a fresh base generation
     Shutdown,     ///< admin: graceful stop after the response is written
+    FleetAnalyze, ///< batch-analyze N generated zoo systems; comparative ranking
 };
 [[nodiscard]] std::string_view message_type_name(MsgType type) noexcept;
 
@@ -183,6 +184,10 @@ struct Request {
     bool commit = false;      ///< whatif: adopt the candidate on this session
     std::string snapshot;     ///< snapshot.swap: path to the new snapshot blob
     std::string delta;        ///< delta.apply: path to a frozen corpus-delta blob
+    std::size_t systems = 8;  ///< fleet.analyze: systems to generate, in [1, 4096]
+    std::string domains;      ///< fleet.analyze: csv of zoo domains ("" = all four)
+    std::uint64_t seed = 11;  ///< fleet.analyze: base seed (system i uses seed + i)
+    std::size_t components = 40; ///< fleet.analyze: components per system
 };
 
 /// Parse one frame payload into a Request. Throws ProtocolError with

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "analysis/fleet.hpp"
 #include "model/dsl.hpp"
 #include "util/fault.hpp"
 
@@ -309,7 +310,8 @@ json::Value Server::execute(const Request& req) {
     case MsgType::WhatIf:
     case MsgType::Posture:
     case MsgType::FlowAnalyze:
-    case MsgType::Metrics: {
+    case MsgType::Metrics:
+    case MsgType::FleetAnalyze: {
         // The lease is the hot-swap drain: while any request holds it,
         // snapshot.swap's exclusive acquisition waits, so this request
         // completes against the generation pinned here.
@@ -336,6 +338,8 @@ json::Value Server::execute(const Request& req) {
         case MsgType::Posture: return ok_response(req.id, req.type, handle_posture(req));
         case MsgType::FlowAnalyze: return ok_response(req.id, req.type, handle_flow(req));
         case MsgType::Metrics: return ok_response(req.id, req.type, handle_metrics(req));
+        case MsgType::FleetAnalyze:
+            return ok_response(req.id, req.type, handle_fleet(lease, req));
         default: break; // unreachable; the outer switch filtered
         }
         break;
@@ -411,6 +415,32 @@ json::Value Server::handle_query(const SessionRegistry::ReadLease& lease, const 
     result["count"] = hits.size();
     result["hits"] = std::move(hits);
     return result;
+}
+
+json::Value Server::handle_fleet(const SessionRegistry::ReadLease& lease, const Request& req) {
+    analysis::FleetOptions options;
+    options.systems = req.systems;
+    options.base_seed = req.seed;
+    options.components = req.components;
+    // A server lane is already one of N concurrent workers; fanning each
+    // fleet request across the full machine would oversubscribe it.
+    options.threads = 1;
+    std::string_view csv = req.domains;
+    while (!csv.empty()) {
+        const std::size_t comma = csv.find(',');
+        const std::string_view name = csv.substr(0, comma);
+        if (!name.empty()) {
+            const std::optional<synth::ZooDomain> d = synth::parse_zoo_domain(name);
+            if (!d)
+                throw ProtocolError(ErrorCode::BadRequest,
+                                    "unknown zoo domain: " + std::string(name));
+            options.domains.push_back(*d);
+        }
+        if (comma == std::string_view::npos) break;
+        csv.remove_prefix(comma + 1);
+    }
+    const search::QueryEngine& engine = lease.generation()->engine->query();
+    return analysis::analyze_fleet(engine, options).to_json();
 }
 
 json::Value Server::handle_session_open(const Request& req) {

@@ -152,6 +152,7 @@ private:
 
     json::Value handle_hello(const SessionRegistry::ReadLease& lease);
     json::Value handle_query(const SessionRegistry::ReadLease& lease, const Request& req);
+    json::Value handle_fleet(const SessionRegistry::ReadLease& lease, const Request& req);
     json::Value handle_session_open(const Request& req);
     json::Value handle_session_list();
     json::Value handle_associate(const Request& req);

@@ -1,0 +1,614 @@
+#include "synth/zoo.hpp"
+
+#include <array>
+
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace cybok::synth {
+
+namespace {
+
+using model::Attribute;
+using model::AttributeKind;
+using model::ChannelKind;
+using model::ComponentId;
+using model::ComponentType;
+using model::Fidelity;
+
+constexpr std::array<std::string_view, 4> kDomainNames{"uav", "automotive", "grid", "water"};
+
+/// Engineering parameters sprinkled at Logical fidelity — the mid-lifecycle
+/// information layer between the Functional descriptors and the
+/// Implementation platform refs.
+constexpr std::array<std::array<std::string_view, 2>, 6> kParameters{{
+    {"update-rate", "50 Hz control loop"},
+    {"watchdog-timeout", "250 ms supervision window"},
+    {"power-budget", "12 W continuous draw"},
+    {"redundancy", "dual channel hot standby"},
+    {"network-segment", "isolated vlan with acl"},
+    {"maintenance-port", "vendor service interface enabled"},
+}};
+
+constexpr std::array<std::string_view, 8> kUavRoles{
+    "autopilot flight control computer",
+    "command and control telemetry radio link",
+    "inertial navigation measurement sensor",
+    "ground station operator console",
+    "mission payload data processor",
+    "electronic speed controller actuator drive",
+    "onboard companion compute module",
+    "firmware over the air update service",
+};
+
+constexpr std::array<std::string_view, 8> kAutomotiveRoles{
+    "engine control unit embedded controller",
+    "controller area network bus gateway",
+    "diagnostic maintenance interface port",
+    "telematics remote connectivity unit",
+    "brake by wire actuator controller",
+    "infotainment head unit with wireless interface",
+    "body control module firmware",
+    "wheel speed measurement sensor",
+};
+
+constexpr std::array<std::string_view, 8> kGridRoles{
+    "protection relay intelligent electronic device",
+    "substation automation remote terminal unit",
+    "station bus network switch appliance",
+    "supervisory scada operator interface",
+    "merging unit sampled value publisher",
+    "circuit breaker trip actuator",
+    "corporate network segmentation firewall",
+    "time synchronization grandmaster clock service",
+};
+
+constexpr std::array<std::string_view, 8> kWaterRoles{
+    "programmable logic controller process control",
+    "supervisory scada data acquisition server",
+    "chemical dosing pump actuator drive",
+    "turbidity and chlorine measurement sensor probe",
+    "historian trend aggregation service",
+    "plant operator human machine interface",
+    "engineering maintenance laptop workstation",
+    "remote pumping station telemetry unit",
+};
+
+/// Product-family bias per domain, so a grid substation leans on ICS gear
+/// while a UAV leans on embedded/RTOS products. A 30% escape hatch keeps
+/// the long tail (any catalog product can appear anywhere).
+std::vector<Domain> preferred_domains(ZooDomain d) {
+    switch (d) {
+    case ZooDomain::Uav: return {Domain::Embedded, Domain::Wireless, Domain::LinuxOs};
+    case ZooDomain::Automotive: return {Domain::Embedded, Domain::Wireless};
+    case ZooDomain::Grid: return {Domain::Ics, Domain::NetAppliance};
+    case ZooDomain::Water: return {Domain::Ics, Domain::WindowsOs, Domain::Web};
+    }
+    return {};
+}
+
+std::span<const std::string_view> roles_for(ZooDomain d) {
+    switch (d) {
+    case ZooDomain::Uav: return kUavRoles;
+    case ZooDomain::Automotive: return kAutomotiveRoles;
+    case ZooDomain::Grid: return kGridRoles;
+    case ZooDomain::Water: return kWaterRoles;
+    }
+    return kUavRoles;
+}
+
+/// Shared construction state + the attribute policy (the fidelity mix).
+struct Builder {
+    const ZooConfig& config;
+    Rng rng;
+    model::SystemModel m;
+    std::vector<ProductSpec> catalog;
+    std::vector<Domain> preferred;
+    std::span<const std::string_view> roles;
+
+    Builder(const ZooConfig& cfg, std::string name, std::string description)
+        : config(cfg),
+          rng(Rng(cfg.seed).fork(stable_hash(zoo_domain_name(cfg.domain)))),
+          m(std::move(name), std::move(description)),
+          catalog(cfg.products.empty() ? CorpusProfile::scada_demo().products : cfg.products),
+          preferred(preferred_domains(cfg.domain)),
+          roles(roles_for(cfg.domain)) {}
+
+    const ProductSpec& pick_product() {
+        const bool biased = rng.chance(0.7);
+        if (biased && !preferred.empty()) {
+            std::vector<std::size_t> idx;
+            for (std::size_t i = 0; i < catalog.size(); ++i)
+                for (Domain d : preferred)
+                    if (catalog[i].domain == d) {
+                        idx.push_back(i);
+                        break;
+                    }
+            if (!idx.empty())
+                return catalog[idx[static_cast<std::size_t>(rng.uniform(0, idx.size() - 1))]];
+        }
+        return catalog[static_cast<std::size_t>(rng.uniform(0, catalog.size() - 1))];
+    }
+
+    /// Add a component with the domain attribute policy applied: a role
+    /// descriptor (Functional; Conceptual for physical processes — the
+    /// earliest-known information), an optional Logical parameter, and an
+    /// optional Implementation PlatformRef (never on a physical process;
+    /// plant physics does not run a product).
+    ComponentId add(std::string name, ComponentType type, std::string subsystem,
+                    bool external = false) {
+        ComponentId id = m.add_component(std::move(name), type);
+        model::Component& c = m.component(id);
+        c.subsystem = std::move(subsystem);
+        c.external_facing = external;
+
+        Attribute role;
+        role.name = "role";
+        role.value = std::string(roles[rng.zipf(roles.size(), 0.7)]);
+        role.kind = AttributeKind::Descriptor;
+        role.fidelity = type == ComponentType::PhysicalProcess ? Fidelity::Conceptual
+                                                               : Fidelity::Functional;
+        m.set_attribute(id, std::move(role));
+
+        if (rng.chance(config.parameter_prob)) {
+            const auto& p = kParameters[rng.zipf(kParameters.size(), 0.5)];
+            Attribute param;
+            param.name = std::string(p[0]);
+            param.value = std::string(p[1]);
+            param.kind = AttributeKind::Parameter;
+            param.fidelity = Fidelity::Logical;
+            m.set_attribute(id, std::move(param));
+        }
+
+        if (type != ComponentType::PhysicalProcess && rng.chance(config.platform_ref_prob)) {
+            const ProductSpec& spec = pick_product();
+            Attribute ref;
+            ref.name = "platform";
+            ref.value = spec.display;
+            ref.kind = AttributeKind::PlatformRef;
+            ref.fidelity = Fidelity::Implementation;
+            ref.platform = spec.platform;
+            m.set_attribute(id, std::move(ref));
+        }
+        return id;
+    }
+
+    std::size_t remaining() const { return config.components - m.component_count(); }
+
+    /// Index helper: uniform pick from a non-empty id vector.
+    ComponentId any(const std::vector<ComponentId>& ids) {
+        return ids[static_cast<std::size_t>(rng.uniform(0, ids.size() - 1))];
+    }
+};
+
+// -- UAV flight stack --------------------------------------------------------
+//
+// GCS (entry) -> redundant wireless datalinks -> autopilot + flight
+// computer, with sensor/actuator/payload fans. Scaling grows the fans and
+// occasionally adds another redundant command channel.
+
+void build_uav(Builder& b) {
+    ComponentId gcs = b.add("gcs", ComponentType::HumanInterface, "ground", true);
+    ComponentId link_a = b.add("datalink-primary", ComponentType::Network, "datalink");
+    ComponentId link_b = b.add("datalink-backup", ComponentType::Network, "datalink");
+    ComponentId autopilot = b.add("autopilot", ComponentType::Controller, "avionics");
+    ComponentId fcc = b.add("flight-computer", ComponentType::Compute, "avionics");
+    ComponentId gps = b.add("gps-receiver", ComponentType::Sensor, "sensors");
+    ComponentId imu = b.add("imu", ComponentType::Sensor, "sensors");
+    ComponentId esc = b.add("esc-motor-0", ComponentType::Actuator, "actuation");
+    ComponentId airframe = b.add("airframe", ComponentType::PhysicalProcess, "airframe");
+    ComponentId logger = b.add("telemetry-logger", ComponentType::Software, "avionics");
+
+    b.m.connect(gcs, link_a, "c2-uplink", ChannelKind::Wireless, true);
+    b.m.connect(gcs, link_b, "c2-backup", ChannelKind::Wireless, true);
+    b.m.connect(link_a, autopilot, "mavlink", ChannelKind::Serial, true);
+    b.m.connect(link_b, autopilot, "mavlink-backup", ChannelKind::Serial, true);
+    b.m.connect(autopilot, fcc, "companion-link", ChannelKind::Ethernet, true);
+    b.m.connect(gps, autopilot, "nmea", ChannelKind::Serial);
+    b.m.connect(imu, autopilot, "imu-bus", ChannelKind::AnalogSignal);
+    b.m.connect(autopilot, esc, "pwm", ChannelKind::AnalogSignal);
+    b.m.connect(esc, airframe, "thrust", ChannelKind::Mechanical);
+    b.m.connect(fcc, logger, "telemetry", ChannelKind::LogicalFlow);
+
+    std::size_t sensors = 0, actuators = 0, payloads = 0, links = 0;
+    constexpr std::array<double, 4> weights{3.0, 2.0, 2.0, 1.0};
+    while (b.remaining() > 0) {
+        switch (b.rng.weighted(weights)) {
+        case 0: {
+            ComponentId s = b.add("sensor-" + std::to_string(sensors++),
+                                  ComponentType::Sensor, "sensors");
+            b.m.connect(s, autopilot, "sensor-feed",
+                        b.rng.chance(0.5) ? ChannelKind::AnalogSignal : ChannelKind::Serial);
+            break;
+        }
+        case 1: {
+            ComponentId a = b.add("servo-" + std::to_string(actuators++),
+                                  ComponentType::Actuator, "actuation");
+            b.m.connect(autopilot, a, "pwm", ChannelKind::AnalogSignal);
+            b.m.connect(a, airframe, "control-surface", ChannelKind::Mechanical);
+            break;
+        }
+        case 2: {
+            ComponentId p = b.add("payload-" + std::to_string(payloads++),
+                                  b.rng.chance(0.5) ? ComponentType::Compute
+                                                    : ComponentType::Software,
+                                  "payload");
+            b.m.connect(fcc, p, "payload-bus", ChannelKind::Ethernet, true);
+            break;
+        }
+        default: {
+            // Another redundant command channel — the UAV's signature
+            // topology feature, and a second externally-driven path.
+            ComponentId l = b.add("datalink-aux-" + std::to_string(links++),
+                                  ComponentType::Network, "datalink");
+            b.m.connect(gcs, l, "c2-aux", ChannelKind::Wireless, true);
+            b.m.connect(l, autopilot, "mavlink-aux", ChannelKind::Serial, true);
+            break;
+        }
+        }
+    }
+}
+
+safety::HazardModel uav_zoo_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Loss of the airframe"});
+    hm.add(safety::Loss{"L-2", "Injury to people on the ground"});
+    hm.add(safety::Loss{"L-3", "Loss of mission data"});
+    hm.add(safety::Hazard{"H-1", "Aircraft departs controlled flight", {"L-1", "L-2"}});
+    hm.add(safety::Hazard{"H-2", "Aircraft violates the mission geofence", {"L-2"}});
+    hm.add(safety::Hazard{"H-3", "Command link unavailable while airborne", {"L-1", "L-3"}});
+    hm.add(safety::UnsafeControlAction{"UCA-1", "autopilot", "apply corrective attitude command",
+            safety::UcaType::NotProviding, "during an upset condition", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{"UCA-2", "autopilot", "execute uploaded mission waypoint",
+            safety::UcaType::Providing, "when the waypoint lies outside the geofence",
+            {"H-2"}});
+    hm.add(safety::UnsafeControlAction{"UCA-3", "autopilot", "switch to the backup command link",
+            safety::UcaType::WrongTiming, "after the primary datalink is lost", {"H-3"}});
+    hm.add(safety::UnsafeControlAction{"UCA-4", "flight-computer", "forward operator override to the autopilot",
+            safety::UcaType::WrongDuration, "held past the recovery window", {"H-1"}});
+    return hm;
+}
+
+// -- automotive CAN/ECU network ----------------------------------------------
+//
+// Bus segments (Fieldbus hubs) bridged by a central gateway; ECUs fan off
+// each bus, sensors/actuators fan off ECUs. OBD-II port, telematics unit,
+// and the infotainment head unit are the entry points.
+
+void build_automotive(Builder& b) {
+    ComponentId obd = b.add("obd-port", ComponentType::HumanInterface, "diagnostics", true);
+    ComponentId telematics = b.add("telematics-unit", ComponentType::Compute, "telematics", true);
+    ComponentId gateway = b.add("can-gateway", ComponentType::Controller, "gateway");
+    ComponentId bus0 = b.add("can-bus-0", ComponentType::Network, "bus-0");
+    ComponentId engine = b.add("engine-ecu", ComponentType::Controller, "bus-0");
+    ComponentId brake = b.add("brake-ecu", ComponentType::Controller, "bus-0");
+    ComponentId wheel = b.add("wheel-speed-sensor", ComponentType::Sensor, "chassis");
+    ComponentId bact = b.add("brake-actuator", ComponentType::Actuator, "chassis");
+    ComponentId infotainment =
+        b.add("infotainment-head-unit", ComponentType::HumanInterface, "cabin", true);
+    ComponentId dynamics = b.add("vehicle-dynamics", ComponentType::PhysicalProcess, "chassis");
+
+    b.m.connect(obd, gateway, "obd-ii", ChannelKind::Serial, true);
+    b.m.connect(telematics, gateway, "telematics-link", ChannelKind::Wireless, true);
+    b.m.connect(infotainment, gateway, "ivi-link", ChannelKind::Ethernet, true);
+    b.m.connect(gateway, bus0, "can", ChannelKind::Fieldbus, true);
+    b.m.connect(engine, bus0, "can", ChannelKind::Fieldbus, true);
+    b.m.connect(brake, bus0, "can", ChannelKind::Fieldbus, true);
+    b.m.connect(wheel, brake, "wheel-pulse", ChannelKind::AnalogSignal);
+    b.m.connect(brake, bact, "hydraulic-cmd", ChannelKind::AnalogSignal);
+    b.m.connect(bact, dynamics, "brake-force", ChannelKind::Mechanical);
+    b.m.connect(engine, dynamics, "torque", ChannelKind::Mechanical);
+
+    std::vector<ComponentId> buses{bus0};
+    std::vector<ComponentId> ecus{engine, brake};
+    std::size_t nbuses = 1, necus = 0, nsensors = 0, nactuators = 0;
+    constexpr std::array<double, 4> weights{4.0, 2.0, 2.0, 1.0};
+    while (b.remaining() > 0) {
+        // Force a new bus segment every ~16 components so large vehicles
+        // grow segments (powertrain / chassis / body / ADAS) instead of one
+        // flat bus.
+        const bool force_bus = ecus.size() >= buses.size() * 16;
+        const std::size_t kind = force_bus ? 3 : b.rng.weighted(weights);
+        switch (kind) {
+        case 0: {
+            ComponentId e = b.add("ecu-" + std::to_string(necus++), ComponentType::Controller,
+                                  "bus-" + std::to_string(buses.size() - 1));
+            b.m.connect(e, b.any(buses), "can", ChannelKind::Fieldbus, true);
+            ecus.push_back(e);
+            break;
+        }
+        case 1: {
+            ComponentId s = b.add("sensor-" + std::to_string(nsensors++),
+                                  ComponentType::Sensor, "chassis");
+            b.m.connect(s, b.any(ecus), "sensor-feed", ChannelKind::AnalogSignal);
+            break;
+        }
+        case 2: {
+            ComponentId a = b.add("actuator-" + std::to_string(nactuators++),
+                                  ComponentType::Actuator, "chassis");
+            b.m.connect(b.any(ecus), a, "drive-cmd", ChannelKind::AnalogSignal);
+            b.m.connect(a, dynamics, "force", ChannelKind::Mechanical);
+            break;
+        }
+        default: {
+            ComponentId nb = b.add("can-bus-" + std::to_string(nbuses),
+                                   ComponentType::Network, "bus-" + std::to_string(nbuses));
+            ++nbuses;
+            b.m.connect(gateway, nb, "can", ChannelKind::Fieldbus, true);
+            buses.push_back(nb);
+            break;
+        }
+        }
+    }
+}
+
+safety::HazardModel automotive_zoo_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Collision with another vehicle or a pedestrian"});
+    hm.add(safety::Loss{"L-2", "Loss of the vehicle"});
+    hm.add(safety::Loss{"L-3", "Theft of the vehicle or of driver data"});
+    hm.add(safety::Hazard{"H-1", "Unintended vehicle acceleration", {"L-1"}});
+    hm.add(safety::Hazard{"H-2", "Loss of braking on demand", {"L-1", "L-2"}});
+    hm.add(safety::Hazard{"H-3", "Cabin access granted to an unauthorized party", {"L-3"}});
+    hm.add(safety::UnsafeControlAction{"UCA-1", "engine-ecu", "command engine torque", safety::UcaType::Providing,
+            "while the driver is braking", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{"UCA-2", "brake-ecu", "apply hydraulic brake pressure",
+            safety::UcaType::NotProviding, "when the driver presses the pedal", {"H-2"}});
+    hm.add(safety::UnsafeControlAction{"UCA-3", "can-gateway", "forward an unlock frame to the body segment",
+            safety::UcaType::Providing, "without driver authentication", {"H-3"}});
+    return hm;
+}
+
+// -- smart-grid substation ----------------------------------------------------
+//
+// A station-bus ring of switches (redundant backbone); protection IEDs hang
+// off ring nodes with merging-unit and breaker fans down to the primary
+// equipment. The corporate uplink is the entry point.
+
+void build_grid(Builder& b) {
+    ComponentId corp = b.add("corporate-gateway", ComponentType::Compute, "corporate", true);
+    ComponentId hmi = b.add("substation-hmi", ComponentType::HumanInterface, "station");
+    ComponentId rtu = b.add("station-rtu", ComponentType::Controller, "station");
+    ComponentId sw0 = b.add("station-switch-0", ComponentType::Network, "station-bus");
+    ComponentId sw1 = b.add("station-switch-1", ComponentType::Network, "station-bus");
+    ComponentId sw2 = b.add("station-switch-2", ComponentType::Network, "station-bus");
+    ComponentId ied0 = b.add("protection-ied-0", ComponentType::Controller, "bay-0");
+    ComponentId mu0 = b.add("merging-unit-0", ComponentType::Sensor, "bay-0");
+    ComponentId brk0 = b.add("breaker-0", ComponentType::Actuator, "bay-0");
+    ComponentId feeder = b.add("power-feeder", ComponentType::PhysicalProcess, "yard");
+
+    b.m.connect(sw0, sw1, "station-ring", ChannelKind::Ethernet, true);
+    b.m.connect(sw1, sw2, "station-ring", ChannelKind::Ethernet, true);
+    b.m.connect(sw2, sw0, "station-ring", ChannelKind::Ethernet, true);
+    b.m.connect(corp, sw0, "corp-uplink", ChannelKind::Ethernet, true);
+    b.m.connect(hmi, sw1, "station-lan", ChannelKind::Ethernet, true);
+    b.m.connect(rtu, sw2, "station-lan", ChannelKind::Ethernet, true);
+    b.m.connect(ied0, sw0, "goose", ChannelKind::Ethernet, true);
+    b.m.connect(feeder, mu0, "ct-pt", ChannelKind::AnalogSignal);
+    b.m.connect(mu0, ied0, "sampled-values", ChannelKind::Fieldbus);
+    b.m.connect(ied0, brk0, "trip", ChannelKind::AnalogSignal);
+    b.m.connect(brk0, feeder, "interrupt", ChannelKind::Mechanical);
+
+    std::vector<ComponentId> switches{sw0, sw1, sw2};
+    std::vector<ComponentId> ieds{ied0};
+    std::size_t nsw = 3, nied = 1, nmu = 1, nbrk = 1, nxfmr = 0;
+    constexpr std::array<double, 5> weights{3.0, 2.0, 2.0, 1.0, 1.0};
+    while (b.remaining() > 0) {
+        switch (b.rng.weighted(weights)) {
+        case 0: {
+            ComponentId ied = b.add("protection-ied-" + std::to_string(nied),
+                                    ComponentType::Controller, "bay-" + std::to_string(nied));
+            ++nied;
+            b.m.connect(ied, b.any(switches), "goose", ChannelKind::Ethernet, true);
+            ieds.push_back(ied);
+            break;
+        }
+        case 1: {
+            ComponentId mu = b.add("merging-unit-" + std::to_string(nmu++),
+                                   ComponentType::Sensor, "yard");
+            b.m.connect(feeder, mu, "ct-pt", ChannelKind::AnalogSignal);
+            b.m.connect(mu, b.any(ieds), "sampled-values", ChannelKind::Fieldbus);
+            break;
+        }
+        case 2: {
+            ComponentId brk = b.add("breaker-" + std::to_string(nbrk++),
+                                    ComponentType::Actuator, "yard");
+            b.m.connect(b.any(ieds), brk, "trip", ChannelKind::AnalogSignal);
+            b.m.connect(brk, feeder, "interrupt", ChannelKind::Mechanical);
+            break;
+        }
+        case 3: {
+            // Ring growth keeps the redundancy invariant: every switch
+            // joins with two links into the existing ring.
+            ComponentId sw = b.add("station-switch-" + std::to_string(nsw++),
+                                   ComponentType::Network, "station-bus");
+            const std::vector<std::size_t> peers =
+                b.rng.sample_indices(switches.size(), switches.size() < 2 ? 1 : 2);
+            for (std::size_t p : peers)
+                b.m.connect(sw, switches[p], "station-ring", ChannelKind::Ethernet, true);
+            switches.push_back(sw);
+            break;
+        }
+        default: {
+            ComponentId x = b.add("transformer-" + std::to_string(nxfmr++),
+                                  ComponentType::PhysicalProcess, "yard");
+            b.m.connect(feeder, x, "primary-winding", ChannelKind::Mechanical);
+            break;
+        }
+        }
+    }
+}
+
+safety::HazardModel grid_zoo_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Loss of power to the served area"});
+    hm.add(safety::Loss{"L-2", "Destruction of substation primary equipment"});
+    hm.add(safety::Loss{"L-3", "Injury to field personnel"});
+    hm.add(safety::Hazard{"H-1", "Breaker opens under normal load", {"L-1"}});
+    hm.add(safety::Hazard{"H-2", "Breaker fails to trip during a line fault", {"L-2", "L-3"}});
+    hm.add(safety::Hazard{"H-3", "Protection operates on desynchronized measurements", {"L-1", "L-2"}});
+    hm.add(safety::UnsafeControlAction{"UCA-1", "protection-ied-0", "issue breaker trip command",
+            safety::UcaType::Providing, "while the protected line is healthy", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{"UCA-2", "protection-ied-0", "issue breaker trip command",
+            safety::UcaType::NotProviding, "during a line fault", {"H-2"}});
+    hm.add(safety::UnsafeControlAction{"UCA-3", "station-rtu", "rebroadcast time synchronization",
+            safety::UcaType::WrongTiming, "after the clock source is manipulated", {"H-3"}});
+    return hm;
+}
+
+// -- water-treatment plant -----------------------------------------------------
+//
+// An acyclic staged process chain (intake -> ... -> distribution) with
+// per-stage instrumentation fans, PLCs on a fieldbus to the SCADA server,
+// and the engineering workstation as the entry point.
+
+void build_water(Builder& b) {
+    ComponentId ews =
+        b.add("engineering-workstation", ComponentType::HumanInterface, "corporate", true);
+    ComponentId scada = b.add("scada-server", ComponentType::Compute, "control-room");
+    ComponentId hmi = b.add("plant-hmi", ComponentType::HumanInterface, "control-room");
+    ComponentId historian = b.add("historian", ComponentType::Compute, "control-room");
+    ComponentId plc0 = b.add("plc-0", ComponentType::Controller, "stage-0");
+    ComponentId stage0 = b.add("intake-basin", ComponentType::PhysicalProcess, "stage-0");
+    ComponentId pump0 = b.add("intake-pump-0", ComponentType::Actuator, "stage-0");
+    ComponentId level0 = b.add("level-sensor-0", ComponentType::Sensor, "stage-0");
+    ComponentId doser0 = b.add("dosing-pump-0", ComponentType::Actuator, "stage-0");
+    ComponentId turb0 = b.add("turbidity-sensor-0", ComponentType::Sensor, "stage-0");
+
+    b.m.connect(ews, scada, "engineering-lan", ChannelKind::Ethernet, true);
+    b.m.connect(hmi, scada, "operator-lan", ChannelKind::Ethernet, true);
+    b.m.connect(scada, historian, "trend-archive", ChannelKind::LogicalFlow);
+    b.m.connect(scada, plc0, "modbus-tcp", ChannelKind::Fieldbus, true);
+    b.m.connect(plc0, pump0, "drive-cmd", ChannelKind::AnalogSignal);
+    b.m.connect(plc0, doser0, "dosing-cmd", ChannelKind::AnalogSignal);
+    b.m.connect(level0, plc0, "level", ChannelKind::AnalogSignal);
+    b.m.connect(turb0, plc0, "turbidity", ChannelKind::AnalogSignal);
+    b.m.connect(pump0, stage0, "flow", ChannelKind::Mechanical);
+    b.m.connect(doser0, stage0, "chemical-feed", ChannelKind::Mechanical);
+    b.m.connect(stage0, level0, "level-tap", ChannelKind::AnalogSignal);
+    b.m.connect(stage0, turb0, "sample-tap", ChannelKind::AnalogSignal);
+
+    std::vector<ComponentId> plcs{plc0};
+    std::vector<ComponentId> stages{stage0};
+    std::size_t nplc = 1, nstage = 1, nsensor = 1, nactuator = 1;
+    constexpr std::array<double, 4> weights{3.0, 3.0, 1.0, 1.0};
+    while (b.remaining() > 0) {
+        // A PLC for every ~10 field devices keeps control distributed.
+        const bool force_plc = b.m.component_count() >= plcs.size() * 12 + 4;
+        const std::size_t kind = force_plc ? 3 : b.rng.weighted(weights);
+        switch (kind) {
+        case 0: {
+            ComponentId s = b.add("sensor-" + std::to_string(nsensor++),
+                                  ComponentType::Sensor, "field");
+            b.m.connect(b.any(stages), s, "sample-tap", ChannelKind::AnalogSignal);
+            b.m.connect(s, b.any(plcs), "measurement", ChannelKind::AnalogSignal);
+            break;
+        }
+        case 1: {
+            ComponentId a = b.add("actuator-" + std::to_string(nactuator++),
+                                  ComponentType::Actuator, "field");
+            b.m.connect(b.any(plcs), a, "drive-cmd", ChannelKind::AnalogSignal);
+            b.m.connect(a, b.any(stages), "flow", ChannelKind::Mechanical);
+            break;
+        }
+        case 2: {
+            // The chain stays acyclic: each new stage hangs off the last.
+            ComponentId st = b.add("stage-" + std::to_string(nstage),
+                                   ComponentType::PhysicalProcess,
+                                   "stage-" + std::to_string(nstage));
+            ++nstage;
+            b.m.connect(stages.back(), st, "process-flow", ChannelKind::Mechanical);
+            stages.push_back(st);
+            break;
+        }
+        default: {
+            ComponentId p = b.add("plc-" + std::to_string(nplc++),
+                                  ComponentType::Controller, "field");
+            b.m.connect(scada, p, "modbus-tcp", ChannelKind::Fieldbus, true);
+            plcs.push_back(p);
+            break;
+        }
+        }
+    }
+}
+
+safety::HazardModel water_zoo_hazards() {
+    safety::HazardModel hm;
+    hm.add(safety::Loss{"L-1", "Unsafe drinking water reaches consumers"});
+    hm.add(safety::Loss{"L-2", "Loss of treatment capacity"});
+    hm.add(safety::Loss{"L-3", "Environmental discharge violation"});
+    hm.add(safety::Hazard{"H-1", "Chemical dose exceeds the safe band", {"L-1"}});
+    hm.add(safety::Hazard{"H-2", "Basin overflows or runs dry", {"L-2", "L-3"}});
+    hm.add(safety::Hazard{"H-3", "Water leaves the plant with insufficient disinfection", {"L-1"}});
+    hm.add(safety::UnsafeControlAction{"UCA-1", "plc-0", "run the chemical dosing pump", safety::UcaType::WrongDuration,
+            "applied past the dosing setpoint", {"H-1"}});
+    hm.add(safety::UnsafeControlAction{"UCA-2", "plc-0", "stop the intake pump", safety::UcaType::NotProviding,
+            "while the basin level is at the high limit", {"H-2"}});
+    hm.add(safety::UnsafeControlAction{"UCA-3", "plc-0", "hold water for the required contact time",
+            safety::UcaType::WrongDuration, "stopped too soon under throughput pressure",
+            {"H-3"}});
+    return hm;
+}
+
+} // namespace
+
+std::string_view zoo_domain_name(ZooDomain d) noexcept {
+    const auto idx = static_cast<std::size_t>(d);
+    return idx < kDomainNames.size() ? kDomainNames[idx] : kDomainNames[0];
+}
+
+std::optional<ZooDomain> parse_zoo_domain(std::string_view name) noexcept {
+    for (std::size_t i = 0; i < kDomainNames.size(); ++i)
+        if (kDomainNames[i] == name) return static_cast<ZooDomain>(i);
+    return std::nullopt;
+}
+
+const std::vector<ZooDomain>& all_zoo_domains() {
+    static const std::vector<ZooDomain> domains{ZooDomain::Uav, ZooDomain::Automotive,
+                                               ZooDomain::Grid, ZooDomain::Water};
+    return domains;
+}
+
+std::string zoo_system_name(const ZooConfig& config) {
+    return "zoo-" + std::string(zoo_domain_name(config.domain)) + "-s" +
+           std::to_string(config.seed) + "-n" + std::to_string(config.components);
+}
+
+ZooSystem generate_zoo_system(const ZooConfig& config) {
+    if (config.components < kZooMinComponents || config.components > kZooMaxComponents)
+        throw ValidationError("zoo generator: components must be in [" +
+                              std::to_string(kZooMinComponents) + ", " +
+                              std::to_string(kZooMaxComponents) + "], got " +
+                              std::to_string(config.components));
+    CYBOK_FAULT_POINT("synth.zoo.gen",
+                      ValidationError("injected: zoo generation failed for " +
+                                      zoo_system_name(config)));
+
+    Builder b(config, zoo_system_name(config),
+              std::string(zoo_domain_name(config.domain)) + " architecture (" +
+                  std::to_string(config.components) + " components, seed " +
+                  std::to_string(config.seed) + ")");
+    ZooSystem sys;
+    switch (config.domain) {
+    case ZooDomain::Uav:
+        build_uav(b);
+        sys.hazards = uav_zoo_hazards();
+        break;
+    case ZooDomain::Automotive:
+        build_automotive(b);
+        sys.hazards = automotive_zoo_hazards();
+        break;
+    case ZooDomain::Grid:
+        build_grid(b);
+        sys.hazards = grid_zoo_hazards();
+        break;
+    case ZooDomain::Water:
+        build_water(b);
+        sys.hazards = water_zoo_hazards();
+        break;
+    }
+    sys.model = std::move(b.m);
+    return sys;
+}
+
+} // namespace cybok::synth

@@ -1,0 +1,83 @@
+// The architecture zoo: seeded, deterministic generators for CPS domains
+// beyond the layered default — the workload diversity the paper's companion
+// studies name (the 2017 model-based approach analyzes a UAV flight stack;
+// the Black Cat visualization paper works over large heterogeneous
+// topologies). Each generator is a pure function of its config and emits a
+// complete system: the architectural model (domain-appropriate topology —
+// buses, rings, redundant channels, field-device fans — with entry-point
+// annotations and a varied fidelity mix) plus a matching STPA hazard model
+// whose unsafe control actions name real generated controllers, so the
+// flow pass and attack-path search have hazard-linked targets to reach.
+//
+// Determinism contract: generate_zoo_system(config) is bit-identical for
+// equal configs regardless of the calling thread or how many sibling
+// systems are being generated concurrently (the fleet layer fans systems
+// across a ThreadPool and relies on this; tests/test_zoo.cpp proves it).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/system_model.hpp"
+#include "safety/hazards.hpp"
+#include "synth/corpus_gen.hpp"
+
+namespace cybok::synth {
+
+/// The four zoo domains. Wire/CLI names are lowercase ("uav", "automotive",
+/// "grid", "water").
+enum class ZooDomain : std::uint8_t {
+    Uav,        ///< UAV flight stack: GCS, redundant datalinks, autopilot, sensor fan
+    Automotive, ///< CAN/ECU network: bus segments bridged by a gateway, ECU fans
+    Grid,       ///< smart-grid substation: station-bus ring, IEDs, merging units
+    Water,      ///< water-treatment plant: staged process chain, per-stage PLCs
+};
+[[nodiscard]] std::string_view zoo_domain_name(ZooDomain d) noexcept;
+[[nodiscard]] std::optional<ZooDomain> parse_zoo_domain(std::string_view name) noexcept;
+/// All four domains in enum order (iteration helper for fleets and tests).
+[[nodiscard]] const std::vector<ZooDomain>& all_zoo_domains();
+
+/// Component-count bounds every generator accepts (inclusive).
+inline constexpr std::size_t kZooMinComponents = 10;
+inline constexpr std::size_t kZooMaxComponents = 10000;
+
+struct ZooConfig {
+    ZooDomain domain = ZooDomain::Uav;
+    std::uint64_t seed = 11;
+    /// Exact live-component count of the generated model, in
+    /// [kZooMinComponents, kZooMaxComponents].
+    std::size_t components = 50;
+    /// Probability that a component carries a PlatformRef attribute
+    /// (Implementation fidelity) drawn from `products`.
+    double platform_ref_prob = 0.6;
+    /// Probability that a component carries an engineering parameter
+    /// (Logical fidelity) beside its descriptor — the fidelity-mix knob.
+    double parameter_prob = 0.5;
+    /// Product catalog for PlatformRefs; defaults (empty) to the
+    /// scada_demo() catalog. Picks are biased toward the domain's natural
+    /// product families (ICS gear for grid/water, embedded for UAV/auto).
+    std::vector<ProductSpec> products;
+};
+
+/// One generated system: the model plus its matching hazard model. Both
+/// validate cleanly (model.validate() and hazards.validate() are empty)
+/// for every config the bounds admit.
+struct ZooSystem {
+    model::SystemModel model;
+    safety::HazardModel hazards;
+};
+
+/// The deterministic name a config generates under ("zoo-uav-s11-n50") —
+/// also the model's name. Exposed so the fleet layer can report a system
+/// that failed to generate (fault injection) without having it.
+[[nodiscard]] std::string zoo_system_name(const ZooConfig& config);
+
+/// Generate one system. Throws ValidationError when `components` is out of
+/// bounds. Fault site `synth.zoo.gen` fires here (degradation contract:
+/// the fleet layer records the per-system failure and completes the run).
+[[nodiscard]] ZooSystem generate_zoo_system(const ZooConfig& config);
+
+} // namespace cybok::synth

@@ -251,6 +251,10 @@ const std::vector<FaultSiteInfo>& known_fault_sites() {
          "segment build aborts; the previous generation stays authoritative"},
         {"serve.compact.fold", "Error",
          "typed compact_failed response; old generation keeps serving, failure counted"},
+        {"synth.zoo.gen", "ValidationError",
+         "fleet records the per-system failure (failed + error); the fleet run completes"},
+        {"analysis.fleet.task", "Error",
+         "per-system failure recorded (failed + error), system ranks last; ranking completes"},
     };
     return sites;
 }

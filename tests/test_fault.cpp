@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/fleet.hpp"
 #include "core/session.hpp"
 #include "kb/serialize.hpp"
 #include "kb/delta.hpp"
@@ -195,7 +196,7 @@ TEST(FaultInjector, MalformedSpecsThrowTyped) {
 
 TEST(FaultInjector, KnownSiteTableIsWellFormed) {
     const std::vector<util::FaultSiteInfo>& sites = util::known_fault_sites();
-    EXPECT_EQ(sites.size(), 25u);
+    EXPECT_EQ(sites.size(), 27u);
     std::set<std::string_view> names;
     for (const util::FaultSiteInfo& s : sites) {
         EXPECT_FALSE(s.site.empty());
@@ -612,4 +613,48 @@ TEST(FaultConcurrency, QueryCacheHammerWithInjectedFaults) {
         });
     for (std::thread& t : threads) t.join();
     EXPECT_LE(cache.size(), 8u);
+}
+
+// ------------------------------------------------------ zoo / fleet sites
+
+TEST(FaultSites, ZooGenThrowsTypedValidationError) {
+    synth::ZooConfig config;
+    config.domain = synth::ZooDomain::Grid;
+    config.seed = 5;
+    config.components = 20;
+    {
+        util::FaultScope scope("synth.zoo.gen");
+        try {
+            (void)synth::generate_zoo_system(config);
+            FAIL() << "expected ValidationError";
+        } catch (const ValidationError& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("injected"), std::string::npos);
+            EXPECT_NE(what.find("zoo-grid-s5-n20"), std::string::npos);
+        }
+    }
+    // Recovery: disarmed generation succeeds with the same config.
+    EXPECT_EQ(synth::generate_zoo_system(config).model.component_count(), 20u);
+}
+
+TEST(FaultSites, FleetTaskFailureDegradesToRecordedSystem) {
+    search::SearchEngine engine(small_corpus(), {});
+    analysis::FleetOptions options;
+    options.systems = 4;
+    options.components = 15;
+    options.threads = 2;
+    {
+        // nth:2 — exactly one of the four per-system tasks absorbs the fault.
+        util::FaultScope scope("analysis.fleet.task=nth:2");
+        const analysis::FleetResult result = analysis::analyze_fleet(engine, options);
+        ASSERT_EQ(result.ranking.size(), 4u);
+        EXPECT_EQ(result.failed, 1u);
+        const analysis::FleetSystemReport& last = result.ranking.back();
+        EXPECT_TRUE(last.failed); // failed systems rank last
+        EXPECT_FALSE(last.name.empty());
+        EXPECT_NE(last.error.find("injected"), std::string::npos);
+        EXPECT_NE(last.error.find(last.name), std::string::npos);
+    }
+    // Recovery: the disarmed rerun has no failures.
+    EXPECT_EQ(analysis::analyze_fleet(engine, options).failed, 0u);
 }

@@ -71,7 +71,7 @@ TEST(ServeProtocol, ErrorCodeTableIsCompleteAndUnique) {
 
 TEST(ServeProtocol, MessageTypeTableIsCompleteAndUnique) {
     const auto& types = known_message_types();
-    EXPECT_EQ(types.size(), 15u);
+    EXPECT_EQ(types.size(), 16u);
     std::set<std::string_view> wires;
     for (const MessageTypeInfo& info : types) {
         EXPECT_FALSE(info.wire.empty());

@@ -1,0 +1,274 @@
+// Property tests for the architecture zoo (src/synth/zoo.*): determinism
+// (bit-identical generation at any concurrency), seed sensitivity, and
+// per-domain structural invariants that must hold from 10 to 10k
+// components.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/dsl.hpp"
+#include "synth/zoo.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace cybok;
+
+namespace {
+
+synth::ZooConfig config_for(synth::ZooDomain domain, std::uint64_t seed,
+                            std::size_t components) {
+    synth::ZooConfig c;
+    c.domain = domain;
+    c.seed = seed;
+    c.components = components;
+    return c;
+}
+
+/// One canonical byte rendering per system: model DSL plus the hazard
+/// structure, so "bit-identical" covers both halves of ZooSystem.
+std::string system_bytes(const synth::ZooSystem& sys) {
+    std::string out = model::to_dsl(sys.model);
+    for (const safety::Loss& l : sys.hazards.losses()) out += l.id + '|' + l.text + '\n';
+    for (const safety::Hazard& h : sys.hazards.hazards()) {
+        out += h.id + '|' + h.text + '|';
+        for (const std::string& l : h.losses) out += l + ',';
+        out += '\n';
+    }
+    for (const safety::UnsafeControlAction& u : sys.hazards.ucas()) {
+        out += u.id + '|' + u.controller + '|' + u.action + '|' + u.context + '|';
+        for (const std::string& h : u.hazards) out += h + ',';
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Zoo, DomainNamesRoundTrip) {
+    ASSERT_EQ(synth::all_zoo_domains().size(), 4u);
+    for (synth::ZooDomain d : synth::all_zoo_domains()) {
+        const std::string_view name = synth::zoo_domain_name(d);
+        const auto parsed = synth::parse_zoo_domain(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, d);
+    }
+    EXPECT_FALSE(synth::parse_zoo_domain("centrifuge").has_value());
+    EXPECT_FALSE(synth::parse_zoo_domain("").has_value());
+    EXPECT_FALSE(synth::parse_zoo_domain("UAV").has_value()); // wire names are lowercase
+}
+
+TEST(Zoo, RejectsOutOfBoundsComponentCounts) {
+    EXPECT_THROW((void)synth::generate_zoo_system(
+                     config_for(synth::ZooDomain::Uav, 1, synth::kZooMinComponents - 1)),
+                 ValidationError);
+    EXPECT_THROW((void)synth::generate_zoo_system(
+                     config_for(synth::ZooDomain::Grid, 1, synth::kZooMaxComponents + 1)),
+                 ValidationError);
+}
+
+// Same config => bit-identical system, regardless of how many sibling
+// generations run concurrently (the fleet layer's core assumption). Each
+// (domain, seed) is generated on pools of 1/2/8 threads and every byte
+// compared.
+TEST(Zoo, DeterministicAcrossThreadCounts) {
+    std::vector<synth::ZooConfig> configs;
+    for (synth::ZooDomain d : synth::all_zoo_domains())
+        for (std::uint64_t seed : {11u, 12u, 13u})
+            configs.push_back(config_for(d, seed, 40));
+
+    std::vector<std::string> reference(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        reference[i] = system_bytes(synth::generate_zoo_system(configs[i]));
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        util::ThreadPool pool(threads);
+        std::vector<std::string> got(configs.size());
+        pool.parallel_for(configs.size(), [&](std::size_t i) {
+            got[i] = system_bytes(synth::generate_zoo_system(configs[i]));
+        });
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            EXPECT_EQ(got[i], reference[i])
+                << "config " << i << " differs at " << threads << " threads";
+    }
+}
+
+TEST(Zoo, SeedSensitivity) {
+    for (synth::ZooDomain d : synth::all_zoo_domains()) {
+        const std::string a =
+            system_bytes(synth::generate_zoo_system(config_for(d, 11, 60)));
+        const std::string b =
+            system_bytes(synth::generate_zoo_system(config_for(d, 12, 60)));
+        EXPECT_NE(a, b) << "seed must perturb " << synth::zoo_domain_name(d);
+    }
+}
+
+TEST(Zoo, NameEncodesDomainSeedAndSize) {
+    const synth::ZooConfig c = config_for(synth::ZooDomain::Water, 77, 123);
+    EXPECT_EQ(synth::zoo_system_name(c), "zoo-water-s77-n123");
+    EXPECT_EQ(synth::generate_zoo_system(c).model.name(), "zoo-water-s77-n123");
+}
+
+// The structural invariants every domain must hold at every size: the
+// model validates (no dangling connectors, duplicates, or isolated
+// components), the hazard model validates (referential integrity), there
+// is at least one annotated entry point, and every UCA controller names a
+// live component.
+TEST(Zoo, StructuralInvariantsAcrossSizes) {
+    for (synth::ZooDomain d : synth::all_zoo_domains()) {
+        for (std::size_t n : {std::size_t{10}, std::size_t{100}, std::size_t{1000},
+                              std::size_t{10000}}) {
+            const synth::ZooSystem sys =
+                synth::generate_zoo_system(config_for(d, 21, n));
+            const std::string label =
+                std::string(synth::zoo_domain_name(d)) + " n=" + std::to_string(n);
+            EXPECT_EQ(sys.model.component_count(), n) << label;
+            EXPECT_TRUE(sys.model.validate().empty()) << label;
+            EXPECT_TRUE(sys.hazards.validate().empty()) << label;
+
+            std::set<std::string> names;
+            std::size_t entries = 0;
+            for (const model::Component& c : sys.model.components()) {
+                if (!c.id.valid()) continue;
+                names.insert(c.name);
+                if (c.external_facing) ++entries;
+                EXPECT_FALSE(c.attributes.empty()) << label << ": " << c.name;
+            }
+            EXPECT_GE(entries, 1u) << label;
+            for (const safety::UnsafeControlAction& u : sys.hazards.ucas())
+                EXPECT_TRUE(names.count(u.controller))
+                    << label << ": UCA controller " << u.controller;
+        }
+    }
+}
+
+// Automotive bus connectivity: every ECU/controller reaches the gateway
+// through some CAN bus, i.e. each bus connects to the gateway and every
+// ecu-* hangs off a bus.
+TEST(Zoo, AutomotiveBusesBridgeThroughGateway) {
+    const synth::ZooSystem sys =
+        synth::generate_zoo_system(config_for(synth::ZooDomain::Automotive, 31, 400));
+    const model::SystemModel& m = sys.model;
+    std::map<std::string, std::set<std::string>> adj;
+    for (const model::Connector& c : m.connectors()) {
+        const std::string from = m.component(c.from).name;
+        const std::string to = m.component(c.to).name;
+        adj[from].insert(to);
+        adj[to].insert(from);
+    }
+    std::size_t buses = 0;
+    for (const model::Component& c : m.components()) {
+        if (!c.id.valid()) continue;
+        if (c.name.rfind("can-bus-", 0) == 0) {
+            ++buses;
+            EXPECT_TRUE(adj[c.name].count("can-gateway")) << c.name << " not bridged";
+        }
+        if (c.name.rfind("ecu-", 0) == 0) {
+            bool on_bus = false;
+            for (const std::string& peer : adj[c.name])
+                if (peer.rfind("can-bus-", 0) == 0) on_bus = true;
+            EXPECT_TRUE(on_bus) << c.name << " not on any bus";
+        }
+    }
+    // 400 components force multiple segments (one per ~16 ECUs).
+    EXPECT_GE(buses, 2u);
+}
+
+// Grid ring redundancy: with >= 3 switches, every switch carries at least
+// two station-ring links, so no single switch failure partitions the bus.
+TEST(Zoo, GridSwitchRingStaysRedundant) {
+    const synth::ZooSystem sys =
+        synth::generate_zoo_system(config_for(synth::ZooDomain::Grid, 41, 500));
+    const model::SystemModel& m = sys.model;
+    std::map<std::string, std::size_t> ring_degree;
+    for (const model::Connector& c : m.connectors()) {
+        if (c.name != "station-ring") continue;
+        ++ring_degree[m.component(c.from).name];
+        ++ring_degree[m.component(c.to).name];
+    }
+    ASSERT_GE(ring_degree.size(), 3u);
+    for (const auto& [name, degree] : ring_degree)
+        EXPECT_GE(degree, 2u) << name << " has a single ring link";
+}
+
+// Water process-chain acyclicity: the stage-to-stage "process-flow" edges
+// must form a simple forward chain (each stage feeds exactly the next),
+// so treatment stages never loop back.
+TEST(Zoo, WaterStageChainIsAcyclic) {
+    const synth::ZooSystem sys =
+        synth::generate_zoo_system(config_for(synth::ZooDomain::Water, 51, 600));
+    const model::SystemModel& m = sys.model;
+    std::map<std::string, std::string> next;
+    std::set<std::string> targets;
+    for (const model::Connector& c : m.connectors()) {
+        if (c.name != "process-flow") continue;
+        const std::string from = m.component(c.from).name;
+        const std::string to = m.component(c.to).name;
+        EXPECT_TRUE(next.emplace(from, to).second) << from << " feeds two stages";
+        EXPECT_TRUE(targets.insert(to).second) << to << " fed twice";
+    }
+    // Walk from the intake; the chain must terminate without revisiting.
+    std::set<std::string> seen;
+    std::string cur = "intake-basin";
+    while (next.count(cur)) {
+        ASSERT_TRUE(seen.insert(cur).second) << "cycle at " << cur;
+        cur = next[cur];
+    }
+    EXPECT_EQ(seen.size() + 1, next.size() + 1); // every chain edge walked once
+}
+
+// UAV redundant command channels: the ground station always reaches the
+// autopilot over at least two independent datalinks.
+TEST(Zoo, UavKeepsRedundantCommandChannels) {
+    const synth::ZooSystem sys =
+        synth::generate_zoo_system(config_for(synth::ZooDomain::Uav, 61, 300));
+    const model::SystemModel& m = sys.model;
+    std::set<std::string> gcs_links, autopilot_links;
+    for (const model::Connector& c : m.connectors()) {
+        const std::string from = m.component(c.from).name;
+        const std::string to = m.component(c.to).name;
+        const bool is_link = [&](const std::string& n) {
+            return n.rfind("datalink", 0) == 0;
+        }(from.rfind("datalink", 0) == 0 ? from : to);
+        if (!is_link) continue;
+        const std::string link = from.rfind("datalink", 0) == 0 ? from : to;
+        const std::string other = from.rfind("datalink", 0) == 0 ? to : from;
+        if (other == "gcs") gcs_links.insert(link);
+        if (other == "autopilot") autopilot_links.insert(link);
+    }
+    EXPECT_GE(gcs_links.size(), 2u);
+    EXPECT_GE(autopilot_links.size(), 2u);
+    // Every link the GCS can key reaches the autopilot.
+    for (const std::string& l : gcs_links) EXPECT_TRUE(autopilot_links.count(l)) << l;
+}
+
+// The fidelity mix: platform refs are Implementation-fidelity, role
+// descriptors Functional (or Conceptual on physical processes), and a
+// coarser at_fidelity() view drops the platform layer.
+TEST(Zoo, FidelityMixSpansLifecycleStages) {
+    const synth::ZooSystem sys =
+        synth::generate_zoo_system(config_for(synth::ZooDomain::Grid, 71, 200));
+    std::size_t platform_refs = 0, parameters = 0, descriptors = 0;
+    for (const model::Component& c : sys.model.components()) {
+        if (!c.id.valid()) continue;
+        for (const model::Attribute& a : c.attributes) {
+            switch (a.kind) {
+            case model::AttributeKind::PlatformRef:
+                ++platform_refs;
+                EXPECT_EQ(a.fidelity, model::Fidelity::Implementation);
+                EXPECT_TRUE(a.platform.has_value());
+                break;
+            case model::AttributeKind::Parameter:
+                ++parameters;
+                EXPECT_EQ(a.fidelity, model::Fidelity::Logical);
+                break;
+            case model::AttributeKind::Descriptor: ++descriptors; break;
+            }
+        }
+    }
+    EXPECT_EQ(descriptors, 200u); // every component carries its role
+    EXPECT_GT(platform_refs, 0u);
+    EXPECT_GT(parameters, 0u);
+}
